@@ -1,0 +1,167 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! threshold calibration, threshold count `K`, DVFS transition latency,
+//! and the interaction of the two strategies.
+//!
+//! These go beyond the paper's figures: they quantify how much each
+//! design ingredient matters in this reconstruction.
+
+use hermes_bench::{
+    energy_saving_pct, figure_header, measure, threshold_scale, time_loss_pct, trials, Cell,
+    System, WARMUP_TRIALS,
+};
+use hermes_core::{Frequency, Policy, TempoConfig};
+use hermes_sim::{MachineSpec, SimConfig};
+use hermes_workloads::Benchmark;
+
+fn run_with_tempo(
+    bench: Benchmark,
+    machine: &MachineSpec,
+    tempo: &TempoConfig,
+    trial: u64,
+) -> (f64, f64) {
+    let dag = bench.dag_scaled(trial, hermes_bench::scale());
+    let cfg = SimConfig::new(machine.clone(), tempo.clone()).with_seed(trial + 1);
+    let r = hermes_sim::run(&dag, &cfg).expect("consistent config");
+    (r.elapsed.seconds(), r.metered_energy_j)
+}
+
+fn averaged(bench: Benchmark, machine: &MachineSpec, tempo: &TempoConfig) -> (f64, f64) {
+    let total = trials() + WARMUP_TRIALS;
+    let (mut t, mut e, mut n) = (0.0, 0.0, 0.0);
+    for trial in 0..total {
+        let (ti, ei) = run_with_tempo(bench, machine, tempo, trial as u64);
+        if trial >= WARMUP_TRIALS {
+            t += ti;
+            e += ei;
+            n += 1.0;
+        }
+    }
+    (t / n, e / n)
+}
+
+fn tempo_a(policy: Policy, workers: usize, k: usize, tscale: f64) -> TempoConfig {
+    TempoConfig::builder()
+        .policy(policy)
+        .frequencies(vec![Frequency::from_mhz(2400), Frequency::from_mhz(1600)])
+        .workers(workers)
+        .k_thresholds(k)
+        .threshold_scale(tscale)
+        .build()
+}
+
+fn ablate_threshold_scale() {
+    figure_header(
+        "Ablation: threshold calibration",
+        "Sweep of the threshold-formula scale factor (System A, sort, 16 workers)",
+        Some(System::A),
+    );
+    let machine = MachineSpec::system_a();
+    let base = averaged(
+        Benchmark::Sort,
+        &machine,
+        &tempo_a(Policy::Baseline, 16, 2, 1.0),
+    );
+    println!("{:>6} {:>14} {:>12}", "scale", "energy-saving", "time-loss");
+    for s in [0.4, 0.55, 0.7, 0.85, 1.0, 1.3] {
+        let h = averaged(Benchmark::Sort, &machine, &tempo_a(Policy::Unified, 16, 2, s));
+        println!(
+            "{:>6.2} {:>13.1}% {:>11.1}%",
+            s,
+            (1.0 - h.1 / base.1) * 100.0,
+            (h.0 / base.0 - 1.0) * 100.0
+        );
+    }
+    println!(
+        "(higher scale -> higher thresholds -> more time below them -> more\n slowing: energy and loss rise together; the harness uses {:.2} on A)",
+        threshold_scale(System::A)
+    );
+}
+
+fn ablate_k_thresholds() {
+    figure_header(
+        "Ablation: K thresholds",
+        "Number of workload thresholds (System A, compare, 16 workers)",
+        Some(System::A),
+    );
+    let machine = MachineSpec::system_a();
+    let base = averaged(
+        Benchmark::Compare,
+        &machine,
+        &tempo_a(Policy::Baseline, 16, 2, 1.0),
+    );
+    println!("{:>3} {:>14} {:>12}", "K", "energy-saving", "time-loss");
+    for k in [1, 2, 3, 4] {
+        let h = averaged(
+            Benchmark::Compare,
+            &machine,
+            &tempo_a(Policy::Unified, 16, k, threshold_scale(System::A)),
+        );
+        println!(
+            "{:>3} {:>13.1}% {:>11.1}%",
+            k,
+            (1.0 - h.1 / base.1) * 100.0,
+            (h.0 / base.0 - 1.0) * 100.0
+        );
+    }
+}
+
+fn ablate_dvfs_latency() {
+    figure_header(
+        "Ablation: DVFS settling latency",
+        "Sensitivity to the operating-point transition time (System A, knn, 16 workers)",
+        Some(System::A),
+    );
+    let mut machine = MachineSpec::system_a();
+    let base_tempo = tempo_a(Policy::Baseline, 16, 2, 1.0);
+    let uni_tempo = tempo_a(Policy::Unified, 16, 2, threshold_scale(System::A));
+    println!("{:>10} {:>14} {:>12}", "latency", "energy-saving", "time-loss");
+    for latency_us in [0u64, 10, 50, 200, 1000] {
+        machine.dvfs_latency_ns = latency_us * 1000;
+        let base = averaged(Benchmark::Knn, &machine, &base_tempo);
+        let h = averaged(Benchmark::Knn, &machine, &uni_tempo);
+        println!(
+            "{:>8}us {:>13.1}% {:>11.1}%",
+            latency_us,
+            (1.0 - h.1 / base.1) * 100.0,
+            (h.0 / base.0 - 1.0) * 100.0
+        );
+    }
+    println!("(tempo decisions outlive the settling delay: results barely move until");
+    println!(" the latency approaches task lengths, as the paper's overhead note argues)");
+}
+
+fn ablate_strategy_interaction() {
+    figure_header(
+        "Ablation: strategy interaction",
+        "Unified vs the isolated strategies (System A, 16 workers)",
+        Some(System::A),
+    );
+    println!(
+        "{:<9} {:>10} {:>10} {:>10} {:>12}  (energy savings)",
+        "bench", "workpath", "workload", "unified", "sum-isolated"
+    );
+    for bench in Benchmark::all() {
+        let base = measure(&Cell::new(bench, System::A, 16, Policy::Baseline));
+        let wp = measure(&Cell::new(bench, System::A, 16, Policy::WorkpathOnly));
+        let wl = measure(&Cell::new(bench, System::A, 16, Policy::WorkloadOnly));
+        let un = measure(&Cell::new(bench, System::A, 16, Policy::Unified));
+        println!(
+            "{:<9} {:>9.1}% {:>9.1}% {:>9.1}% {:>11.1}%   time: wp {:+.1}% wl {:+.1}% un {:+.1}%",
+            bench.label(),
+            energy_saving_pct(&base, &wp),
+            energy_saving_pct(&base, &wl),
+            energy_saving_pct(&base, &un),
+            energy_saving_pct(&base, &wp) + energy_saving_pct(&base, &wl),
+            time_loss_pct(&base, &wp),
+            time_loss_pct(&base, &wl),
+            time_loss_pct(&base, &un),
+        );
+    }
+}
+
+fn main() {
+    ablate_threshold_scale();
+    ablate_k_thresholds();
+    ablate_dvfs_latency();
+    ablate_strategy_interaction();
+}

@@ -1,0 +1,4 @@
+//! Paper Fig. 6: overall energy savings and time loss on System A.
+fn main() {
+    hermes_bench::figures::overall("Figure 6", hermes_bench::System::A);
+}

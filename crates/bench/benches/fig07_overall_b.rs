@@ -1,0 +1,4 @@
+//! Paper Fig. 7: overall energy savings and time loss on System B.
+fn main() {
+    hermes_bench::figures::overall("Figure 7", hermes_bench::System::B);
+}

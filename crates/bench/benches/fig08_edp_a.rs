@@ -1,0 +1,4 @@
+//! Paper Fig. 8: normalized energy-delay product on System A.
+fn main() {
+    hermes_bench::figures::edp("Figure 8", hermes_bench::System::A);
+}

@@ -1,0 +1,4 @@
+//! Paper Fig. 9: normalized energy-delay product on System B.
+fn main() {
+    hermes_bench::figures::edp("Figure 9", hermes_bench::System::B);
+}

@@ -1,0 +1,4 @@
+//! Paper Fig. 10: workpath vs workload energy contributions, System A.
+fn main() {
+    hermes_bench::figures::strategy_relative("Figure 10", hermes_bench::System::A, true);
+}

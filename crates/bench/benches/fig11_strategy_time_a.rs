@@ -1,0 +1,4 @@
+//! Paper Fig. 11: workpath vs workload time loss ratios, System A.
+fn main() {
+    hermes_bench::figures::strategy_relative("Figure 11", hermes_bench::System::A, false);
+}

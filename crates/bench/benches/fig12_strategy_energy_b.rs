@@ -1,0 +1,4 @@
+//! Paper Fig. 12: workpath vs workload energy contributions, System B.
+fn main() {
+    hermes_bench::figures::strategy_relative("Figure 12", hermes_bench::System::B, true);
+}

@@ -1,0 +1,4 @@
+//! Paper Fig. 13: workpath vs workload time loss ratios, System B.
+fn main() {
+    hermes_bench::figures::strategy_relative("Figure 13", hermes_bench::System::B, false);
+}

@@ -1,0 +1,9 @@
+//! Paper Fig. 14: slow-frequency selection on System A
+//! (pairs 2.4/1.6, 2.4/1.4, 2.4/1.9 GHz).
+fn main() {
+    hermes_bench::figures::freq_selection(
+        "Figure 14",
+        hermes_bench::System::A,
+        &[(2400, 1600), (2400, 1400), (2400, 1900)],
+    );
+}

@@ -1,0 +1,9 @@
+//! Paper Fig. 15: slow-frequency selection on System B
+//! (pairs 3.6/2.7, 3.6/2.1, 3.6/3.3 GHz).
+fn main() {
+    hermes_bench::figures::freq_selection(
+        "Figure 15",
+        hermes_bench::System::B,
+        &[(3600, 2700), (3600, 2100), (3600, 3300)],
+    );
+}

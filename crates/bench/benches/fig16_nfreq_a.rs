@@ -1,0 +1,9 @@
+//! Paper Fig. 16: 2- vs 3-frequency tempo control on System A
+//! (2.4/1.6, 2.4/1.6/1.4, 2.4/1.9/1.6 GHz).
+fn main() {
+    hermes_bench::figures::nfreq(
+        "Figure 16",
+        hermes_bench::System::A,
+        &[&[2400, 1600], &[2400, 1600, 1400], &[2400, 1900, 1600]],
+    );
+}

@@ -1,0 +1,9 @@
+//! Paper Fig. 17: 2- vs 3-frequency tempo control on System B
+//! (3.6/2.7, 3.6/3.3/2.7 GHz).
+fn main() {
+    hermes_bench::figures::nfreq(
+        "Figure 17",
+        hermes_bench::System::B,
+        &[&[3600, 2700], &[3600, 3300, 2700]],
+    );
+}

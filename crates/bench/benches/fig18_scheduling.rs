@@ -1,0 +1,4 @@
+//! Paper Fig. 18: static vs dynamic scheduling effectiveness (System A).
+fn main() {
+    hermes_bench::figures::scheduling("Figure 18", hermes_bench::System::A);
+}

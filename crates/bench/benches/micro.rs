@@ -1,0 +1,150 @@
+//! Criterion micro-benchmarks: deque operation throughput, runtime
+//! fork-join overhead, and simulator event throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hermes_core::{Frequency, Policy, TempoConfig};
+use hermes_deque::{LockFreeDeque, Steal, TaskDeque, TheDeque};
+use hermes_rt::{join, Pool};
+use hermes_sim::{DagSpec, MachineSpec, SimConfig};
+use std::sync::Arc;
+
+fn bench_deque_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("deque/serial_push_pop");
+    group.throughput(Throughput::Elements(1024));
+    group.bench_function("the", |b| {
+        let dq: TheDeque<u64> = TheDeque::with_capacity(2048);
+        b.iter(|| {
+            for i in 0..1024u64 {
+                dq.push(i).unwrap();
+            }
+            for _ in 0..1024 {
+                std::hint::black_box(dq.pop());
+            }
+        });
+    });
+    group.bench_function("lock_free", |b| {
+        let dq: LockFreeDeque<u64> = LockFreeDeque::with_capacity(2048);
+        b.iter(|| {
+            for i in 0..1024u64 {
+                dq.push(i).unwrap();
+            }
+            for _ in 0..1024 {
+                std::hint::black_box(dq.pop());
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_steal_contention(c: &mut Criterion) {
+    // The paper's THE lock vs lockless CAS under thieves hammering one
+    // victim: the `ablate_deque` comparison at the microbenchmark level.
+    let mut group = c.benchmark_group("deque/contended_steal");
+    group.throughput(Throughput::Elements(4096));
+    fn contend<D: TaskDeque<u64> + 'static>(dq: Arc<D>) {
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let thieves: Vec<_> = (0..3)
+            .map(|_| {
+                let dq = Arc::clone(&dq);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut got = 0u64;
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        if let Steal::Success(_) = dq.steal() {
+                            got += 1;
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        for i in 0..4096u64 {
+            while dq.push(i).is_err() {
+                let _ = dq.pop();
+            }
+        }
+        while dq.pop().is_some() {}
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        for t in thieves {
+            let _ = t.join();
+        }
+    }
+    group.bench_function("the", |b| {
+        b.iter(|| contend(Arc::new(TheDeque::<u64>::with_capacity(8192))));
+    });
+    group.bench_function("lock_free", |b| {
+        b.iter(|| contend(Arc::new(LockFreeDeque::<u64>::with_capacity(8192))));
+    });
+    group.finish();
+}
+
+fn bench_join_overhead(c: &mut Criterion) {
+    let pool = Pool::new(4);
+    let mut group = c.benchmark_group("rt/join");
+    group.bench_function("fib20_baseline_pool", |b| {
+        fn fib(n: u64) -> u64 {
+            if n < 2 {
+                return n;
+            }
+            let (a, r) = join(|| fib(n - 1), || fib(n - 2));
+            a + r
+        }
+        b.iter(|| pool.install(|| std::hint::black_box(fib(20))));
+    });
+    group.finish();
+
+    let tempo = TempoConfig::builder()
+        .policy(Policy::Unified)
+        .frequencies(vec![Frequency::from_mhz(2400), Frequency::from_mhz(1600)])
+        .workers(4)
+        .build();
+    let tempo_pool = Pool::builder().workers(4).tempo(tempo).build();
+    let mut group = c.benchmark_group("rt/join_with_tempo_hooks");
+    group.bench_function("fib20_unified_pool", |b| {
+        fn fib(n: u64) -> u64 {
+            if n < 2 {
+                return n;
+            }
+            let (a, r) = join(|| fib(n - 1), || fib(n - 2));
+            a + r
+        }
+        b.iter(|| tempo_pool.install(|| std::hint::black_box(fib(20))));
+    });
+    group.finish();
+}
+
+fn bench_sim_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/event_throughput");
+    group.sample_size(10);
+    for workers in [4usize, 16] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &workers,
+            |b, &workers| {
+                let dag = DagSpec::divide_and_conquer(10, 10_000, |i| {
+                    200_000 + (i as u64 % 7) * 40_000
+                });
+                let tempo = TempoConfig::builder()
+                    .policy(Policy::Unified)
+                    .frequencies(vec![
+                        Frequency::from_mhz(2400),
+                        Frequency::from_mhz(1600),
+                    ])
+                    .workers(workers)
+                    .build();
+                let cfg = SimConfig::new(MachineSpec::system_a(), tempo);
+                b.iter(|| std::hint::black_box(hermes_sim::run(&dag, &cfg).unwrap()));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_deque_ops,
+    bench_steal_contention,
+    bench_join_overhead,
+    bench_sim_throughput
+);
+criterion_main!(benches);

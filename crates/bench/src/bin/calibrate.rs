@@ -1,0 +1,36 @@
+//! Calibration probe: prints savings/loss for every benchmark × policy on
+//! both systems so the power model and DAG shapes can be tuned against
+//! the paper's reported bands.
+
+use hermes_bench::{energy_saving_pct, measure, run_trial, time_loss_pct, Cell, System};
+use hermes_core::Policy;
+use hermes_workloads::Benchmark;
+
+fn main() {
+    for system in [System::A, System::B] {
+        let workers = *system.worker_counts().last().unwrap();
+        println!("== {} ({} workers) ==", system.label(), workers);
+        for bench in Benchmark::all() {
+            let base = measure(&Cell::new(bench, system, workers, Policy::Baseline));
+            // Utilization probe from one baseline trial.
+            let probe = run_trial(&Cell::new(bench, system, workers, Policy::Baseline), 3);
+            let busy: f64 = probe.sched.busy_seconds_at.iter().map(|(_, s)| s).sum();
+            let util = busy / (probe.elapsed.seconds() * workers as f64);
+            print!("{:8} util={:4.2}", bench.label(), util);
+            for policy in [Policy::WorkpathOnly, Policy::WorkloadOnly, Policy::Unified] {
+                let h = measure(&Cell::new(bench, system, workers, policy));
+                print!(
+                    "  {}: e={:+5.1}% t={:+5.1}% slow={:4.2} steals={:6.0}",
+                    policy.label(),
+                    energy_saving_pct(&base, &h),
+                    time_loss_pct(&base, &h),
+                    h.slow_fraction,
+                    h.steals,
+                );
+            }
+            let probe = run_trial(&Cell::new(bench, system, workers, Policy::Unified), 3);
+            print!("  [{}]", probe.tempo);
+            println!();
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! Shared implementations of the paper's figure families, reused by the
+//! per-figure bench targets.
+
+use crate::{
+    energy_saving_pct, figure_header, measure, normalized_edp, time_loss_pct, Cell, Summary,
+    System,
+};
+use hermes_core::Policy;
+use hermes_sim::Mapping;
+use hermes_workloads::Benchmark;
+
+/// Figs. 6/7: overall energy savings (blue) and time loss (red) of the
+/// unified algorithm versus the unmodified baseline, per benchmark and
+/// worker count. Returns `(bench, workers, saving, loss)` rows.
+pub fn overall(id: &str, system: System) -> Vec<(Benchmark, usize, f64, f64)> {
+    figure_header(
+        id,
+        "Normalized Energy Savings and Time Loss of HERMES w.r.t. baseline",
+        Some(system),
+    );
+    println!(
+        "{:<9} {:>7} {:>14} {:>12}",
+        "bench", "workers", "energy-saving", "time-loss"
+    );
+    let mut rows = Vec::new();
+    let mut sum_saving = 0.0;
+    let mut sum_loss = 0.0;
+    for bench in Benchmark::all() {
+        for &workers in system.worker_counts() {
+            let base = measure(&Cell::new(bench, system, workers, Policy::Baseline));
+            let hermes = measure(&Cell::new(bench, system, workers, Policy::Unified));
+            let saving = energy_saving_pct(&base, &hermes);
+            let loss = time_loss_pct(&base, &hermes);
+            println!(
+                "{:<9} {:>7} {:>13.1}% {:>11.1}%",
+                bench.label(),
+                workers,
+                saving,
+                loss
+            );
+            sum_saving += saving;
+            sum_loss += loss;
+            rows.push((bench, workers, saving, loss));
+        }
+    }
+    let n = rows.len() as f64;
+    println!(
+        "{:<9} {:>7} {:>13.1}% {:>11.1}%  <- paper: ~11-12% / ~3-4%",
+        "average",
+        "-",
+        sum_saving / n,
+        sum_loss / n
+    );
+    rows
+}
+
+/// Figs. 8/9: normalized EDP per benchmark and worker count.
+pub fn edp(id: &str, system: System) -> Vec<(Benchmark, usize, f64)> {
+    figure_header(id, "Normalized Energy-Delay Product (HERMES / baseline)", Some(system));
+    println!("{:<9} {:>7} {:>10}", "bench", "workers", "norm-EDP");
+    let mut rows = Vec::new();
+    let mut sum = 0.0;
+    for bench in Benchmark::all() {
+        for &workers in system.worker_counts() {
+            let base = measure(&Cell::new(bench, system, workers, Policy::Baseline));
+            let hermes = measure(&Cell::new(bench, system, workers, Policy::Unified));
+            let e = normalized_edp(&base, &hermes);
+            println!("{:<9} {:>7} {:>10.3}", bench.label(), workers, e);
+            sum += e;
+            rows.push((bench, workers, e));
+        }
+    }
+    println!(
+        "{:<9} {:>7} {:>10.3}  <- paper: ~0.92 average, < 1 without exception",
+        "average",
+        "-",
+        sum / rows.len() as f64
+    );
+    rows
+}
+
+/// Figs. 10–13: contribution of each strategy alone, normalized to the
+/// unified algorithm (energy: fraction of unified savings; time: multiple
+/// of unified loss). Returns `(bench, workers, workpath_rel, workload_rel)`.
+pub fn strategy_relative(
+    id: &str,
+    system: System,
+    energy: bool,
+) -> Vec<(Benchmark, usize, f64, f64)> {
+    let what = if energy { "Energy" } else { "Time" };
+    figure_header(
+        id,
+        &format!("{what}: Workpath-only vs Workload-only, normalized to unified"),
+        Some(system),
+    );
+    println!(
+        "{:<9} {:>7} {:>14} {:>14}",
+        "bench", "workers", "workpath/unif", "workload/unif"
+    );
+    let mut rows = Vec::new();
+    for bench in Benchmark::all() {
+        for &workers in system.worker_counts() {
+            let base = measure(&Cell::new(bench, system, workers, Policy::Baseline));
+            let unified = measure(&Cell::new(bench, system, workers, Policy::Unified));
+            let rel = |policy: Policy| -> f64 {
+                let alone = measure(&Cell::new(bench, system, workers, policy));
+                if energy {
+                    let u = energy_saving_pct(&base, &unified);
+                    if u.abs() < 1e-9 {
+                        return 0.0;
+                    }
+                    energy_saving_pct(&base, &alone) / u
+                } else {
+                    let u = time_loss_pct(&base, &unified);
+                    if u.abs() < 1e-9 {
+                        return 0.0;
+                    }
+                    time_loss_pct(&base, &alone) / u
+                }
+            };
+            let wp = rel(Policy::WorkpathOnly);
+            let wl = rel(Policy::WorkloadOnly);
+            println!("{:<9} {:>7} {:>14.2} {:>14.2}", bench.label(), workers, wp, wl);
+            rows.push((bench, workers, wp, wl));
+        }
+    }
+    if energy {
+        println!("(paper: each strategy alone contributes roughly half the unified savings)");
+    } else {
+        println!("(paper: each strategy alone costs MORE time than unified, ratios > 1)");
+    }
+    rows
+}
+
+/// Figs. 14/15: the effect of the slow-frequency choice under
+/// 2-frequency control. `pairs` lists (fast, slow) in MHz, in the
+/// paper's column order. Returns `(bench, pair, saving, loss)`.
+pub fn freq_selection(
+    id: &str,
+    system: System,
+    pairs: &[(u64, u64)],
+) -> Vec<(Benchmark, (u64, u64), f64, f64)> {
+    figure_header(
+        id,
+        "The Effect of Frequency Selection (2-frequency tempo control)",
+        Some(system),
+    );
+    let workers = *system.worker_counts().last().expect("non-empty");
+    println!("workers = {workers}");
+    println!(
+        "{:<9} {:>12} {:>14} {:>12}",
+        "bench", "pair(GHz)", "energy-saving", "time-loss"
+    );
+    let mut rows = Vec::new();
+    for bench in Benchmark::all() {
+        let base = measure(&Cell::new(bench, system, workers, Policy::Baseline));
+        for &(fast, slow) in pairs {
+            let cell = Cell::new(bench, system, workers, Policy::Unified)
+                .with_freqs(&[fast, slow]);
+            let hermes = measure(&cell);
+            let saving = energy_saving_pct(&base, &hermes);
+            let loss = time_loss_pct(&base, &hermes);
+            println!(
+                "{:<9} {:>5.1}/{:<6.1} {:>13.1}% {:>11.1}%",
+                bench.label(),
+                fast as f64 / 1000.0,
+                slow as f64 / 1000.0,
+                saving,
+                loss
+            );
+            rows.push((bench, (fast, slow), saving, loss));
+        }
+    }
+    println!("(paper: lower slow frequency -> more savings but disproportionate loss;");
+    println!(" the golden-ratio pair slow ~= 0.6-0.7x fast behaves best overall)");
+    rows
+}
+
+/// Figs. 16/17: 2-frequency vs 3-frequency tempo control. `combos` lists
+/// frequency ladders in MHz. Returns `(bench, combo index, saving, loss)`.
+pub fn nfreq(
+    id: &str,
+    system: System,
+    combos: &[&[u64]],
+) -> Vec<(Benchmark, usize, f64, f64)> {
+    figure_header(id, "N-Frequency Tempo Control", Some(system));
+    let workers = *system.worker_counts().last().expect("non-empty");
+    println!("workers = {workers}");
+    println!(
+        "{:<9} {:>18} {:>14} {:>12}",
+        "bench", "frequencies(GHz)", "energy-saving", "time-loss"
+    );
+    let mut rows = Vec::new();
+    for bench in Benchmark::all() {
+        let base = measure(&Cell::new(bench, system, workers, Policy::Baseline));
+        for (i, combo) in combos.iter().enumerate() {
+            let cell = Cell::new(bench, system, workers, Policy::Unified).with_freqs(combo);
+            let hermes = measure(&cell);
+            let saving = energy_saving_pct(&base, &hermes);
+            let loss = time_loss_pct(&base, &hermes);
+            let label = combo
+                .iter()
+                .map(|m| format!("{:.1}", *m as f64 / 1000.0))
+                .collect::<Vec<_>>()
+                .join("/");
+            println!(
+                "{:<9} {:>18} {:>13.1}% {:>11.1}%",
+                bench.label(),
+                label,
+                saving,
+                loss
+            );
+            rows.push((bench, i, saving, loss));
+        }
+    }
+    println!("(paper: 3-frequency control can shave time loss; 2-frequency has a");
+    println!(" slight edge on energy from fewer DVFS transitions)");
+    rows
+}
+
+/// Fig. 18: static vs dynamic worker-core mapping. Returns
+/// `(bench, mapping label, saving, loss)`.
+pub fn scheduling(id: &str, system: System) -> Vec<(Benchmark, &'static str, f64, f64)> {
+    figure_header(id, "Static vs Dynamic Scheduling", Some(system));
+    let workers = *system.worker_counts().last().expect("non-empty");
+    println!("workers = {workers}");
+    println!(
+        "{:<9} {:>8} {:>14} {:>12}",
+        "bench", "mapping", "energy-saving", "time-loss"
+    );
+    let mut rows = Vec::new();
+    for bench in Benchmark::all() {
+        for mapping in [Mapping::Static, Mapping::dynamic_default()] {
+            let base = measure(
+                &Cell::new(bench, system, workers, Policy::Baseline).with_mapping(mapping),
+            );
+            let hermes = measure(
+                &Cell::new(bench, system, workers, Policy::Unified).with_mapping(mapping),
+            );
+            let saving = energy_saving_pct(&base, &hermes);
+            let loss = time_loss_pct(&base, &hermes);
+            println!(
+                "{:<9} {:>8} {:>13.1}% {:>11.1}%",
+                bench.label(),
+                mapping.label(),
+                saving,
+                loss
+            );
+            rows.push((bench, mapping.label(), saving, loss));
+        }
+    }
+    println!("(paper: dynamic scheduling costs slightly more energy — per-WORK affinity)");
+    rows
+}
+
+/// Summaries for one benchmark under baseline and unified, used by tests.
+pub fn headline(system: System, bench: Benchmark, workers: usize) -> (Summary, Summary) {
+    let base = measure(&Cell::new(bench, system, workers, Policy::Baseline));
+    let hermes = measure(&Cell::new(bench, system, workers, Policy::Unified));
+    (base, hermes)
+}

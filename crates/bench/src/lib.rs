@@ -1,0 +1,331 @@
+//! # hermes-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! HERMES evaluation (paper §4). Each `benches/figNN_*.rs` target prints
+//! the rows/series of one figure; this library holds the shared
+//! machinery: system presets, trial protocol, normalisation, and table
+//! formatting.
+//!
+//! Absolute joules/seconds come from the simulator's power model, not the
+//! authors' testbed, so `EXPERIMENTS.md` compares *shapes* (who wins, by
+//! roughly what factor, where crossovers fall), not raw magnitudes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+
+use hermes_core::{Frequency, Policy, TempoConfig};
+use hermes_sim::{DagSpec, MachineSpec, Mapping, SimConfig, SimReport};
+use hermes_workloads::Benchmark;
+
+/// The two evaluation machines (paper §4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum System {
+    /// 2× AMD Opteron 6378, 16 usable clock domains.
+    A,
+    /// AMD FX-8150, 4 usable clock domains.
+    B,
+}
+
+impl System {
+    /// The machine model.
+    #[must_use]
+    pub fn machine(self) -> MachineSpec {
+        match self {
+            System::A => MachineSpec::system_a(),
+            System::B => MachineSpec::system_b(),
+        }
+    }
+
+    /// Worker counts the paper evaluates on this system.
+    #[must_use]
+    pub fn worker_counts(self) -> &'static [usize] {
+        match self {
+            System::A => &[2, 4, 8, 16],
+            System::B => &[2, 3, 4],
+        }
+    }
+
+    /// The default 2-frequency tempo pair (fast/slow) used for the
+    /// overall results (Figs. 6–9): 2.4/1.6 GHz on A, 3.6/2.7 GHz on B.
+    #[must_use]
+    pub fn default_pair(self) -> Vec<Frequency> {
+        match self {
+            System::A => vec![Frequency::from_mhz(2400), Frequency::from_mhz(1600)],
+            System::B => vec![Frequency::from_mhz(3600), Frequency::from_mhz(2700)],
+        }
+    }
+
+    /// Label used in figure headers.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            System::A => "System A",
+            System::B => "System B",
+        }
+    }
+}
+
+/// One experimental cell: a benchmark on a system with a scheduler
+/// configuration.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Which benchmark DAG to run.
+    pub bench: Benchmark,
+    /// Which machine.
+    pub system: System,
+    /// Worker count.
+    pub workers: usize,
+    /// Tempo policy.
+    pub policy: Policy,
+    /// Elected tempo frequencies, fastest first.
+    pub freqs: Vec<Frequency>,
+    /// Worker-core mapping.
+    pub mapping: Mapping,
+}
+
+impl Cell {
+    /// A cell with the system's default frequency pair and static
+    /// mapping.
+    #[must_use]
+    pub fn new(bench: Benchmark, system: System, workers: usize, policy: Policy) -> Cell {
+        Cell {
+            bench,
+            system,
+            workers,
+            policy,
+            freqs: system.default_pair(),
+            mapping: Mapping::Static,
+        }
+    }
+
+    /// Replace the elected frequencies.
+    #[must_use]
+    pub fn with_freqs(mut self, mhz: &[u64]) -> Cell {
+        self.freqs = mhz.iter().map(|&m| Frequency::from_mhz(m)).collect();
+        self
+    }
+
+    /// Replace the mapping.
+    #[must_use]
+    pub fn with_mapping(mut self, mapping: Mapping) -> Cell {
+        self.mapping = mapping;
+        self
+    }
+}
+
+/// Averaged measurements of one cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Mean execution time, seconds.
+    pub time_s: f64,
+    /// Mean energy by exact integration of the power model, joules.
+    ///
+    /// The paper integrates 100 Hz current samples over runs of tens of
+    /// seconds (thousands of samples); at the simulator's shorter virtual
+    /// runs that sampling aliases by up to a few percent, so comparisons
+    /// use the exact integral. The sampled series still backs the
+    /// time-series figures (19-22).
+    pub energy_j: f64,
+    /// Mean energy-delay product, joule-seconds.
+    pub edp: f64,
+    /// Mean fraction of busy time below the fastest frequency.
+    pub slow_fraction: f64,
+    /// Mean successful steals per run.
+    pub steals: f64,
+}
+
+/// Number of trials (paper: 20 with the first 2 discarded). Override
+/// with `HERMES_TRIALS` to trade precision for harness runtime.
+#[must_use]
+pub fn trials() -> usize {
+    std::env::var("HERMES_TRIALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&t| t > 0)
+        .unwrap_or(10)
+}
+
+/// Warm-up trials excluded from averages (paper discards the first 2).
+pub const WARMUP_TRIALS: usize = 2;
+
+/// DAG scale factor, overridable with `HERMES_SCALE` for smoke runs.
+#[must_use]
+pub fn scale() -> f64 {
+    std::env::var("HERMES_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&s| s > 0.0)
+        .unwrap_or(1.0)
+}
+
+/// Run one cell for the configured number of trials and average,
+/// discarding warm-ups (seeds vary per trial like datasets vary per run).
+///
+/// # Panics
+///
+/// Panics if the simulation rejects the configuration — the presets in
+/// this crate are always consistent.
+#[must_use]
+pub fn measure(cell: &Cell) -> Summary {
+    let total = trials() + WARMUP_TRIALS;
+    let mut time = 0.0;
+    let mut energy = 0.0;
+    let mut edp = 0.0;
+    let mut slow = 0.0;
+    let mut steals = 0.0;
+    let mut counted = 0.0;
+    for trial in 0..total {
+        let report = run_trial(cell, trial as u64);
+        if trial < WARMUP_TRIALS {
+            continue;
+        }
+        time += report.elapsed.seconds();
+        energy += report.energy_j;
+        edp += report.edp();
+        slow += report.sched.slow_fraction();
+        steals += report.sched.steals as f64;
+        counted += 1.0;
+    }
+    Summary {
+        time_s: time / counted,
+        energy_j: energy / counted,
+        edp: edp / counted,
+        slow_fraction: slow / counted,
+        steals: steals / counted,
+    }
+}
+
+/// Threshold-formula calibration factor used by the harness, per system
+/// (`HERMES_THRESHOLD_SCALE` overrides both; see `DESIGN.md`
+/// §"calibrated parameters"). Calibrated against the paper's reported
+/// equilibrium on each machine: the 4-worker FX-8150 sees far fewer
+/// drains than the 16-worker Opteron, so its thresholds sit closer to
+/// the profiled average.
+#[must_use]
+pub fn threshold_scale(system: System) -> f64 {
+    if let Some(s) = std::env::var("HERMES_THRESHOLD_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&s: &f64| s > 0.0)
+    {
+        return s;
+    }
+    match system {
+        System::A => 0.62,
+        System::B => 0.74,
+    }
+}
+
+/// Run a single trial of a cell with an explicit seed.
+///
+/// # Panics
+///
+/// Panics if the simulation rejects the configuration.
+#[must_use]
+pub fn run_trial(cell: &Cell, seed: u64) -> SimReport {
+    let dag: DagSpec = cell.bench.dag_scaled(seed, scale());
+    let tempo = TempoConfig::builder()
+        .policy(cell.policy)
+        .frequencies(cell.freqs.clone())
+        .workers(cell.workers)
+        .threshold_scale(threshold_scale(cell.system))
+        .build();
+    let config = SimConfig::new(cell.system.machine(), tempo)
+        .with_mapping(cell.mapping)
+        .with_seed(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1));
+    hermes_sim::run(&dag, &config).expect("harness presets are consistent")
+}
+
+/// Percentage of energy HERMES saves relative to `baseline`
+/// (positive = saving), as the paper's blue bars.
+#[must_use]
+pub fn energy_saving_pct(baseline: &Summary, hermes: &Summary) -> f64 {
+    (1.0 - hermes.energy_j / baseline.energy_j) * 100.0
+}
+
+/// Percentage of time HERMES loses relative to `baseline`
+/// (positive = slower), as the paper's red bars.
+#[must_use]
+pub fn time_loss_pct(baseline: &Summary, hermes: &Summary) -> f64 {
+    (hermes.time_s / baseline.time_s - 1.0) * 100.0
+}
+
+/// Normalized EDP (HERMES / baseline), as Figs. 8–9.
+#[must_use]
+pub fn normalized_edp(baseline: &Summary, hermes: &Summary) -> f64 {
+    hermes.edp / baseline.edp
+}
+
+/// Print a figure header in a consistent format.
+pub fn figure_header(id: &str, title: &str, system: Option<System>) {
+    println!();
+    println!("==================================================================");
+    println!("{id}: {title}");
+    if let Some(s) = system {
+        let m = s.machine();
+        println!(
+            "{} — {} | {} cores, {} clock domains, freqs {}",
+            s.label(),
+            m.name,
+            m.cores,
+            m.domains(),
+            m.freq_table
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("/")
+        );
+    }
+    println!(
+        "trials={} (+{} warm-up discarded), scale={}",
+        trials(),
+        WARMUP_TRIALS,
+        scale()
+    );
+    println!("==================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_presets_match_paper() {
+        assert_eq!(System::A.worker_counts(), &[2, 4, 8, 16]);
+        assert_eq!(System::B.worker_counts(), &[2, 3, 4]);
+        assert_eq!(System::A.default_pair()[0], Frequency::from_mhz(2400));
+        assert_eq!(System::B.default_pair()[1], Frequency::from_mhz(2700));
+    }
+
+    #[test]
+    fn percentage_math() {
+        let base = Summary {
+            time_s: 10.0,
+            energy_j: 100.0,
+            edp: 1000.0,
+            slow_fraction: 0.0,
+            steals: 0.0,
+        };
+        let hermes = Summary {
+            time_s: 10.3,
+            energy_j: 89.0,
+            edp: 916.7,
+            slow_fraction: 0.4,
+            steals: 100.0,
+        };
+        assert!((energy_saving_pct(&base, &hermes) - 11.0).abs() < 1e-9);
+        assert!((time_loss_pct(&base, &hermes) - 3.0).abs() < 1e-9);
+        assert!((normalized_edp(&base, &hermes) - 0.9167).abs() < 1e-4);
+    }
+
+    #[test]
+    fn single_trial_runs() {
+        std::env::set_var("HERMES_SCALE", "0.02");
+        let cell = Cell::new(Benchmark::Sort, System::B, 4, Policy::Unified);
+        let report = run_trial(&cell, 0);
+        assert!(report.elapsed.seconds() > 0.0);
+        std::env::remove_var("HERMES_SCALE");
+    }
+}

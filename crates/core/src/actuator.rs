@@ -1,0 +1,157 @@
+//! The actuation boundary between tempo decisions and DVFS hardware.
+
+use crate::{Frequency, TempoLevel, WorkerId};
+
+/// One tempo actuation emitted by the controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TempoChange {
+    /// The worker whose hosting core changes speed.
+    pub worker: WorkerId,
+    /// The new tempo level.
+    pub level: TempoLevel,
+    /// The frequency the level maps to under the active
+    /// [`FreqMap`](crate::FreqMap).
+    pub frequency: Frequency,
+}
+
+/// Receives frequency changes decided by the
+/// [`TempoController`](crate::TempoController).
+///
+/// Implementations include the discrete-event simulator's virtual cores
+/// (`hermes-sim`), the timing-dilation emulator and the Linux `cpufreq`
+/// sysfs driver (`hermes-rt`), and the in-memory recorders below.
+///
+/// The controller only calls [`apply`](Self::apply) when the level
+/// actually changed, so implementations need not deduplicate.
+pub trait FrequencyActuator {
+    /// Actuate one tempo change on the core hosting `change.worker`.
+    fn apply(&mut self, change: TempoChange);
+}
+
+/// An actuator that ignores all changes; useful for the baseline policy
+/// and for dry-running controllers in tests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullActuator;
+
+impl FrequencyActuator for NullActuator {
+    fn apply(&mut self, _change: TempoChange) {}
+}
+
+/// An actuator that records every change, for tests and tracing.
+///
+/// ```
+/// use hermes_core::{FrequencyActuator, RecordingActuator, TempoChange,
+///                   Frequency, TempoLevel, WorkerId};
+/// let mut rec = RecordingActuator::new();
+/// rec.apply(TempoChange {
+///     worker: WorkerId(1),
+///     level: TempoLevel(1),
+///     frequency: Frequency::from_mhz(1600),
+/// });
+/// assert_eq!(rec.changes().len(), 1);
+/// assert_eq!(rec.last_level(WorkerId(1)), Some(TempoLevel(1)));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RecordingActuator {
+    changes: Vec<TempoChange>,
+}
+
+impl RecordingActuator {
+    /// An empty recorder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Every change applied so far, in order.
+    #[must_use]
+    pub fn changes(&self) -> &[TempoChange] {
+        &self.changes
+    }
+
+    /// The most recent level applied for `worker`, if any.
+    #[must_use]
+    pub fn last_level(&self, worker: WorkerId) -> Option<TempoLevel> {
+        self.changes
+            .iter()
+            .rev()
+            .find(|c| c.worker == worker)
+            .map(|c| c.level)
+    }
+
+    /// The most recent frequency applied for `worker`, if any.
+    #[must_use]
+    pub fn last_frequency(&self, worker: WorkerId) -> Option<Frequency> {
+        self.changes
+            .iter()
+            .rev()
+            .find(|c| c.worker == worker)
+            .map(|c| c.frequency)
+    }
+
+    /// Drop all recorded changes.
+    pub fn clear(&mut self) {
+        self.changes.clear();
+    }
+}
+
+impl FrequencyActuator for RecordingActuator {
+    fn apply(&mut self, change: TempoChange) {
+        self.changes.push(change);
+    }
+}
+
+impl<A: FrequencyActuator + ?Sized> FrequencyActuator for &mut A {
+    fn apply(&mut self, change: TempoChange) {
+        (**self).apply(change);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recording_actuator_tracks_per_worker_history() {
+        let mut rec = RecordingActuator::new();
+        let mk = |w: usize, l: usize, mhz: u64| TempoChange {
+            worker: WorkerId(w),
+            level: TempoLevel(l),
+            frequency: Frequency::from_mhz(mhz),
+        };
+        rec.apply(mk(0, 1, 1600));
+        rec.apply(mk(1, 2, 1400));
+        rec.apply(mk(0, 0, 2400));
+        assert_eq!(rec.last_level(WorkerId(0)), Some(TempoLevel(0)));
+        assert_eq!(rec.last_frequency(WorkerId(0)), Some(Frequency::from_mhz(2400)));
+        assert_eq!(rec.last_level(WorkerId(1)), Some(TempoLevel(2)));
+        assert_eq!(rec.last_level(WorkerId(9)), None);
+        assert_eq!(rec.changes().len(), 3);
+        rec.clear();
+        assert!(rec.changes().is_empty());
+    }
+
+    #[test]
+    fn null_actuator_is_callable() {
+        let mut n = NullActuator;
+        n.apply(TempoChange {
+            worker: WorkerId(0),
+            level: TempoLevel(0),
+            frequency: Frequency::from_mhz(1000),
+        });
+    }
+
+    #[test]
+    fn mut_ref_forwarding() {
+        fn takes_actuator<A: FrequencyActuator>(a: &mut A) {
+            a.apply(TempoChange {
+                worker: WorkerId(0),
+                level: TempoLevel(1),
+                frequency: Frequency::from_mhz(1600),
+            });
+        }
+        let mut rec = RecordingActuator::new();
+        takes_actuator(&mut rec);
+        assert_eq!(rec.changes().len(), 1);
+    }
+}

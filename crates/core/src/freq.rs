@@ -1,0 +1,236 @@
+//! CPU frequencies and the tempo→frequency mapping (paper §3.4).
+
+use crate::TempoLevel;
+
+/// A CPU core frequency.
+///
+/// Stored in kilohertz, the granularity used by Linux cpufreq, so real
+/// hardware tables round-trip exactly.
+///
+/// ```
+/// use hermes_core::Frequency;
+/// let f = Frequency::from_mhz(2400);
+/// assert_eq!(f.khz(), 2_400_000);
+/// assert_eq!(f.ghz(), 2.4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Frequency(u64);
+
+impl Frequency {
+    /// Construct from kilohertz.
+    #[must_use]
+    pub const fn from_khz(khz: u64) -> Self {
+        Frequency(khz)
+    }
+
+    /// Construct from megahertz.
+    #[must_use]
+    pub const fn from_mhz(mhz: u64) -> Self {
+        Frequency(mhz * 1_000)
+    }
+
+    /// The frequency in kilohertz.
+    #[must_use]
+    pub const fn khz(self) -> u64 {
+        self.0
+    }
+
+    /// The frequency in megahertz (truncating).
+    #[must_use]
+    pub const fn mhz(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// The frequency in gigahertz.
+    #[must_use]
+    pub fn ghz(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Ratio of this frequency to `other` (e.g. for slowdown factors).
+    #[must_use]
+    pub fn ratio_to(self, other: Frequency) -> f64 {
+        self.0 as f64 / other.0 as f64
+    }
+}
+
+impl std::fmt::Display for Frequency {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.0.is_multiple_of(100_000) {
+            write!(f, "{:.1}GHz", self.ghz())
+        } else {
+            write!(f, "{}MHz", self.mhz())
+        }
+    }
+}
+
+/// Error returned when a [`FreqMap`] would be malformed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InvalidFreqMapError {
+    /// No frequencies were supplied.
+    Empty,
+    /// Frequencies were not strictly descending (fastest first).
+    NotDescending {
+        /// Index of the first out-of-order entry.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for InvalidFreqMapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InvalidFreqMapError::Empty => write!(f, "frequency map requires at least one frequency"),
+            InvalidFreqMapError::NotDescending { index } => {
+                write!(f, "frequencies must be strictly descending (entry {index} is not)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InvalidFreqMapError {}
+
+/// *N-frequency tempo control* (paper §3.4): the mapping from tempo levels
+/// to the `N` frequencies a runtime elects to use.
+///
+/// A CPU may support `n` frequencies but the runtime uses only the highest
+/// `N` of them; tempo level `i` maps to the `i`-th fastest elected
+/// frequency, and every level at or beyond `N-1` maps to the slowest
+/// elected frequency.
+///
+/// ```
+/// use hermes_core::{FreqMap, Frequency, TempoLevel};
+/// # fn main() -> Result<(), hermes_core::InvalidFreqMapError> {
+/// // Paper Fig. 6 setting: 2-frequency control 2.4/1.6 GHz.
+/// let map = FreqMap::new(vec![Frequency::from_mhz(2400), Frequency::from_mhz(1600)])?;
+/// assert_eq!(map.frequency(TempoLevel(0)), Frequency::from_mhz(2400));
+/// assert_eq!(map.frequency(TempoLevel(1)), Frequency::from_mhz(1600));
+/// // Deeper tempos saturate at the slowest elected frequency.
+/// assert_eq!(map.frequency(TempoLevel(7)), Frequency::from_mhz(1600));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FreqMap {
+    freqs: Vec<Frequency>,
+}
+
+impl FreqMap {
+    /// Build a map from frequencies listed **fastest first**.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidFreqMapError`] if `freqs` is empty or not strictly
+    /// descending.
+    pub fn new(freqs: Vec<Frequency>) -> Result<Self, InvalidFreqMapError> {
+        if freqs.is_empty() {
+            return Err(InvalidFreqMapError::Empty);
+        }
+        for (i, pair) in freqs.windows(2).enumerate() {
+            if pair[0] <= pair[1] {
+                return Err(InvalidFreqMapError::NotDescending { index: i + 1 });
+            }
+        }
+        Ok(FreqMap { freqs })
+    }
+
+    /// Number of distinct tempo levels this map expresses (`N`).
+    #[must_use]
+    pub fn num_levels(&self) -> usize {
+        self.freqs.len()
+    }
+
+    /// The frequency actuated for `level` (saturating at the slowest).
+    #[must_use]
+    pub fn frequency(&self, level: TempoLevel) -> Frequency {
+        self.freqs[level.0.min(self.freqs.len() - 1)]
+    }
+
+    /// The fastest elected frequency (tempo level 0).
+    #[must_use]
+    pub fn fastest(&self) -> Frequency {
+        self.freqs[0]
+    }
+
+    /// The slowest elected frequency.
+    #[must_use]
+    pub fn slowest(&self) -> Frequency {
+        *self.freqs.last().expect("FreqMap is never empty")
+    }
+
+    /// All elected frequencies, fastest first.
+    #[must_use]
+    pub fn frequencies(&self) -> &[Frequency] {
+        &self.freqs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frequency_units_roundtrip() {
+        let f = Frequency::from_khz(1_900_000);
+        assert_eq!(f.mhz(), 1_900);
+        assert!((f.ghz() - 1.9).abs() < 1e-12);
+        assert_eq!(Frequency::from_mhz(1900), f);
+    }
+
+    #[test]
+    fn frequency_display() {
+        assert_eq!(Frequency::from_mhz(2400).to_string(), "2.4GHz");
+        assert_eq!(Frequency::from_khz(2_333_000).to_string(), "2333MHz");
+    }
+
+    #[test]
+    fn ratio_between_frequencies() {
+        let fast = Frequency::from_mhz(2400);
+        let slow = Frequency::from_mhz(1600);
+        assert!((fast.ratio_to(slow) - 1.5).abs() < 1e-12);
+        assert!((slow.ratio_to(fast) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn map_rejects_empty() {
+        assert_eq!(FreqMap::new(vec![]), Err(InvalidFreqMapError::Empty));
+    }
+
+    #[test]
+    fn map_rejects_unsorted_and_duplicates() {
+        let a = Frequency::from_mhz(1600);
+        let b = Frequency::from_mhz(2400);
+        assert_eq!(
+            FreqMap::new(vec![a, b]),
+            Err(InvalidFreqMapError::NotDescending { index: 1 })
+        );
+        assert_eq!(
+            FreqMap::new(vec![b, b]),
+            Err(InvalidFreqMapError::NotDescending { index: 1 })
+        );
+    }
+
+    #[test]
+    fn three_frequency_control_maps_levels() {
+        // Paper Fig. 16: 3-frequency combination 2.4/1.9/1.6 GHz.
+        let map = FreqMap::new(vec![
+            Frequency::from_mhz(2400),
+            Frequency::from_mhz(1900),
+            Frequency::from_mhz(1600),
+        ])
+        .unwrap();
+        assert_eq!(map.num_levels(), 3);
+        assert_eq!(map.frequency(TempoLevel(1)), Frequency::from_mhz(1900));
+        assert_eq!(map.frequency(TempoLevel(2)), Frequency::from_mhz(1600));
+        assert_eq!(map.frequency(TempoLevel(9)), Frequency::from_mhz(1600));
+        assert_eq!(map.fastest(), Frequency::from_mhz(2400));
+        assert_eq!(map.slowest(), Frequency::from_mhz(1600));
+    }
+
+    #[test]
+    fn error_messages_are_lowercase_and_informative() {
+        let e = InvalidFreqMapError::NotDescending { index: 3 };
+        let msg = e.to_string();
+        assert!(msg.contains("descending"));
+        assert!(msg.starts_with(char::is_lowercase));
+    }
+}

@@ -1,0 +1,295 @@
+//! The immediacy list: a doubly-linked order of workers by work-first
+//! immediacy (paper §3.3, Fig. 5).
+//!
+//! When worker `w1`'s `next` is `w2`, worker `w2` is processing a task
+//! *immediately following* the tasks processed by `w1` under the serial
+//! (work-first) order. Thieves are inserted right after their victims;
+//! a thief stealing from an already-stolen victim is inserted *ahead* of
+//! the earlier thief, because later-stolen tasks are more immediate than
+//! earlier-stolen ones (paper §2, §3.3 lines 21–26).
+
+use crate::WorkerId;
+
+/// Doubly-linked immediacy order across the workers of one pool.
+///
+/// Workers are dense indices `0..len`. A worker with no `prev` is at the
+/// *beginning* of (or outside) any immediacy chain and is treated as
+/// carrying immediate work: the unified algorithm never lowers its tempo
+/// on workload grounds (the `prev != null` guard in POP/STEAL).
+///
+/// ```
+/// use hermes_core::{ImmediacyList, WorkerId};
+/// let mut list = ImmediacyList::new(4);
+/// list.insert_thief(WorkerId(1), WorkerId(0)); // w1 steals from w0
+/// list.insert_thief(WorkerId(2), WorkerId(1)); // w2 steals from w1 (thief's thief)
+/// assert_eq!(list.downstream(WorkerId(0)), vec![WorkerId(1), WorkerId(2)]);
+/// assert!(list.is_head(WorkerId(0)));
+/// assert!(!list.is_head(WorkerId(2)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImmediacyList {
+    prev: Vec<Option<usize>>,
+    next: Vec<Option<usize>>,
+}
+
+impl ImmediacyList {
+    /// An empty order over `num_workers` workers (no links).
+    #[must_use]
+    pub fn new(num_workers: usize) -> Self {
+        ImmediacyList {
+            prev: vec![None; num_workers],
+            next: vec![None; num_workers],
+        }
+    }
+
+    /// Number of workers this list covers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.prev.len()
+    }
+
+    /// Whether the list covers zero workers.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.prev.is_empty()
+    }
+
+    /// Whether `w` has no more-immediate predecessor.
+    ///
+    /// True both for a worker heading a chain and for a worker in no chain;
+    /// in either case the worker is processing the most immediate work it
+    /// knows of, and the unified algorithm keeps its tempo fast.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is out of range.
+    #[must_use]
+    pub fn is_head(&self, w: WorkerId) -> bool {
+        self.prev[w.0].is_none()
+    }
+
+    /// Whether `w` is linked to any other worker.
+    #[must_use]
+    pub fn is_linked(&self, w: WorkerId) -> bool {
+        self.prev[w.0].is_some() || self.next[w.0].is_some()
+    }
+
+    /// The worker processing the next-most-immediate work after `w`, if any.
+    #[must_use]
+    pub fn next_of(&self, w: WorkerId) -> Option<WorkerId> {
+        self.next[w.0].map(WorkerId)
+    }
+
+    /// The worker processing the work immediately preceding `w`'s, if any.
+    #[must_use]
+    pub fn prev_of(&self, w: WorkerId) -> Option<WorkerId> {
+        self.prev[w.0].map(WorkerId)
+    }
+
+    /// Record a successful steal: `thief` becomes the immediate next of
+    /// `victim` (paper Fig. 5 lines 20–26).
+    ///
+    /// If the victim already had a thief, the new thief is inserted
+    /// *between* victim and the previous thief — the newly stolen task is
+    /// more immediate than earlier-stolen ones. If the thief is still
+    /// linked from a previous relationship it is unlinked first, so the
+    /// structure remains a set of disjoint chains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thief == victim` or either id is out of range.
+    pub fn insert_thief(&mut self, thief: WorkerId, victim: WorkerId) {
+        assert_ne!(thief, victim, "a worker cannot steal from itself");
+        self.unlink(thief);
+        let (t, v) = (thief.0, victim.0);
+        // Paper line 21-24 (with the obvious fix of the line-23 typo
+        // `v.prev <- w.prev`: the old next's prev must point at the thief).
+        if let Some(old_next) = self.next[v] {
+            self.next[t] = Some(old_next);
+            self.prev[old_next] = Some(t);
+        }
+        self.next[v] = Some(t);
+        self.prev[t] = Some(v);
+    }
+
+    /// Remove `w` from its chain, reconnecting its neighbours
+    /// (paper Fig. 5 lines 11–14).
+    pub fn unlink(&mut self, w: WorkerId) {
+        let i = w.0;
+        let (p, n) = (self.prev[i], self.next[i]);
+        if let Some(p) = p {
+            self.next[p] = n;
+        }
+        if let Some(n) = n {
+            self.prev[n] = p;
+        }
+        self.prev[i] = None;
+        self.next[i] = None;
+    }
+
+    /// All workers strictly downstream of `w` (its thief, its thief's
+    /// thief, …) in immediacy order.
+    ///
+    /// This is the set sped up by *Immediacy Relay* when `w` runs out of
+    /// work (paper Fig. 5 lines 6–10).
+    #[must_use]
+    pub fn downstream(&self, w: WorkerId) -> Vec<WorkerId> {
+        let mut out = Vec::new();
+        let mut cur = self.next[w.0];
+        // Chains are acyclic by construction; the bound is belt and braces
+        // against misuse under concurrent mutation.
+        let mut budget = self.len();
+        while let Some(i) = cur {
+            if budget == 0 {
+                break;
+            }
+            budget -= 1;
+            out.push(WorkerId(i));
+            cur = self.next[i];
+        }
+        out
+    }
+
+    /// Verify structural invariants; used by tests and debug assertions.
+    ///
+    /// Invariants: `next`/`prev` are mutually inverse, and chains are
+    /// acyclic.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the violated invariant.
+    pub fn assert_valid(&self) {
+        let n = self.len();
+        for i in 0..n {
+            if let Some(j) = self.next[i] {
+                assert!(j < n, "next[{i}] out of range");
+                assert_eq!(self.prev[j], Some(i), "prev/next mismatch at {i}->{j}");
+                assert_ne!(j, i, "self-loop at {i}");
+            }
+            if let Some(j) = self.prev[i] {
+                assert!(j < n, "prev[{i}] out of range");
+                assert_eq!(self.next[j], Some(i), "next/prev mismatch at {j}->{i}");
+            }
+        }
+        // Acyclicity: walking next from any head must terminate.
+        for i in 0..n {
+            if self.prev[i].is_none() {
+                let mut steps = 0;
+                let mut cur = Some(i);
+                while let Some(c) = cur {
+                    steps += 1;
+                    assert!(steps <= n, "cycle reachable from head {i}");
+                    cur = self.next[c];
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(i: usize) -> WorkerId {
+        WorkerId(i)
+    }
+
+    #[test]
+    fn fresh_list_has_no_links() {
+        let list = ImmediacyList::new(3);
+        for i in 0..3 {
+            assert!(list.is_head(w(i)));
+            assert!(!list.is_linked(w(i)));
+            assert!(list.downstream(w(i)).is_empty());
+        }
+        list.assert_valid();
+    }
+
+    #[test]
+    fn simple_chain_forms_on_steals() {
+        // Paper Fig. 3(a)-(c): w2 steals from w1, then w3 steals from w2.
+        let mut list = ImmediacyList::new(4);
+        list.insert_thief(w(1), w(0));
+        list.insert_thief(w(2), w(1));
+        assert_eq!(list.downstream(w(0)), vec![w(1), w(2)]);
+        assert_eq!(list.prev_of(w(1)), Some(w(0)));
+        assert_eq!(list.next_of(w(1)), Some(w(2)));
+        assert!(list.is_head(w(0)));
+        list.assert_valid();
+    }
+
+    #[test]
+    fn second_thief_inserted_ahead_of_first() {
+        // Victim already stolen-from: the newer thief is MORE immediate and
+        // goes directly after the victim (paper lines 21-26).
+        let mut list = ImmediacyList::new(4);
+        list.insert_thief(w(1), w(0)); // first thief
+        list.insert_thief(w(2), w(0)); // second thief, same victim
+        assert_eq!(list.downstream(w(0)), vec![w(2), w(1)]);
+        list.assert_valid();
+    }
+
+    #[test]
+    fn unlink_reconnects_neighbours() {
+        let mut list = ImmediacyList::new(4);
+        list.insert_thief(w(1), w(0));
+        list.insert_thief(w(2), w(1));
+        list.unlink(w(1)); // middle of chain runs out of work
+        assert_eq!(list.downstream(w(0)), vec![w(2)]);
+        assert_eq!(list.prev_of(w(2)), Some(w(0)));
+        assert!(!list.is_linked(w(1)));
+        list.assert_valid();
+    }
+
+    #[test]
+    fn unlink_head_promotes_next() {
+        let mut list = ImmediacyList::new(3);
+        list.insert_thief(w(1), w(0));
+        list.insert_thief(w(2), w(1));
+        list.unlink(w(0));
+        assert!(list.is_head(w(1)));
+        assert_eq!(list.downstream(w(1)), vec![w(2)]);
+        list.assert_valid();
+    }
+
+    #[test]
+    fn unlink_is_idempotent() {
+        let mut list = ImmediacyList::new(2);
+        list.insert_thief(w(1), w(0));
+        list.unlink(w(1));
+        list.unlink(w(1));
+        assert!(!list.is_linked(w(0)) && !list.is_linked(w(1)));
+        list.assert_valid();
+    }
+
+    #[test]
+    fn restealing_moves_thief_to_new_victim() {
+        // Paper Fig. 3(f): a previous victim becomes a thief of its thief.
+        let mut list = ImmediacyList::new(3);
+        list.insert_thief(w(1), w(0));
+        list.unlink(w(0)); // w0 ran dry
+        list.insert_thief(w(0), w(1)); // and now steals from w1
+        assert_eq!(list.downstream(w(1)), vec![w(0)]);
+        assert!(list.is_head(w(1)));
+        list.assert_valid();
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot steal from itself")]
+    fn self_steal_panics() {
+        let mut list = ImmediacyList::new(2);
+        list.insert_thief(w(0), w(0));
+    }
+
+    #[test]
+    fn two_disjoint_chains_coexist() {
+        let mut list = ImmediacyList::new(6);
+        list.insert_thief(w(1), w(0));
+        list.insert_thief(w(4), w(3));
+        list.insert_thief(w(5), w(4));
+        assert_eq!(list.downstream(w(0)), vec![w(1)]);
+        assert_eq!(list.downstream(w(3)), vec![w(4), w(5)]);
+        assert!(list.downstream(w(2)).is_empty());
+        list.assert_valid();
+    }
+}

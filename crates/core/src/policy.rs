@@ -1,0 +1,105 @@
+//! Tempo-control policy selection.
+
+/// Which of the HERMES tempo-control strategies are active.
+///
+/// The paper evaluates all four configurations: the unmodified baseline
+/// (Figs. 6–7 normalise against it), each strategy alone (Figs. 10–13),
+/// and the unified algorithm (everywhere else).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Policy {
+    /// No tempo control: every worker stays at the fastest frequency.
+    /// Equivalent to the unmodified Cilk Plus scheduler.
+    Baseline,
+    /// Only workpath-sensitive control (thief procrastination + immediacy
+    /// relay), paper §3.1.
+    WorkpathOnly,
+    /// Only workload-sensitive control (deque-size thresholds), paper §3.2.
+    WorkloadOnly,
+    /// The unified HERMES algorithm (paper Fig. 5).
+    #[default]
+    Unified,
+}
+
+impl Policy {
+    /// Whether workpath-sensitive control is active.
+    #[must_use]
+    pub fn workpath(self) -> bool {
+        matches!(self, Policy::WorkpathOnly | Policy::Unified)
+    }
+
+    /// Whether workload-sensitive control is active.
+    #[must_use]
+    pub fn workload(self) -> bool {
+        matches!(self, Policy::WorkloadOnly | Policy::Unified)
+    }
+
+    /// Whether any tempo control is active at all.
+    #[must_use]
+    pub fn is_enabled(self) -> bool {
+        !matches!(self, Policy::Baseline)
+    }
+
+    /// All four policies, in the order the paper's figures present them.
+    #[must_use]
+    pub fn all() -> [Policy; 4] {
+        [
+            Policy::Baseline,
+            Policy::WorkpathOnly,
+            Policy::WorkloadOnly,
+            Policy::Unified,
+        ]
+    }
+
+    /// Short label used by the benchmark harness tables.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Policy::Baseline => "baseline",
+            Policy::WorkpathOnly => "workpath",
+            Policy::WorkloadOnly => "workload",
+            Policy::Unified => "unified",
+        }
+    }
+}
+
+impl std::fmt::Display for Policy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategy_flags() {
+        assert!(!Policy::Baseline.workpath());
+        assert!(!Policy::Baseline.workload());
+        assert!(Policy::WorkpathOnly.workpath());
+        assert!(!Policy::WorkpathOnly.workload());
+        assert!(!Policy::WorkloadOnly.workpath());
+        assert!(Policy::WorkloadOnly.workload());
+        assert!(Policy::Unified.workpath());
+        assert!(Policy::Unified.workload());
+    }
+
+    #[test]
+    fn default_is_unified() {
+        assert_eq!(Policy::default(), Policy::Unified);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::HashSet<_> =
+            Policy::all().iter().map(|p| p.label()).collect();
+        assert_eq!(labels.len(), 4);
+    }
+
+    #[test]
+    fn only_baseline_is_disabled() {
+        for p in Policy::all() {
+            assert_eq!(p.is_enabled(), p != Policy::Baseline);
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Counters describing what the controller did during a run.
+
+/// Aggregate statistics of one [`TempoController`](crate::TempoController)
+/// run; useful for the overhead analysis of paper §3.4 and the ablation
+/// benches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TempoStats {
+    /// Successful steals observed (thief-victim relationships formed).
+    pub steals: u64,
+    /// Immediacy relays performed (a worker ran dry while having
+    /// downstream thieves).
+    pub relays: u64,
+    /// Workers sped up by relays (each relay may raise several workers).
+    pub relay_ups: u64,
+    /// Tempo reductions from thief procrastination.
+    pub path_downs: u64,
+    /// Tempo raises from workload PUSH threshold crossings.
+    pub workload_ups: u64,
+    /// Tempo reductions from workload POP/STEAL threshold crossings.
+    pub workload_downs: u64,
+    /// Workload reductions *suppressed* by the `prev == null` head guard
+    /// (the single interaction point of the two strategies, paper §3.3).
+    pub guard_suppressions: u64,
+    /// Threshold recomputations by the online profiler.
+    pub threshold_updates: u64,
+    /// Actuations forwarded to the frequency actuator (level actually
+    /// changed).
+    pub actuations: u64,
+}
+
+impl TempoStats {
+    /// Total tempo transitions of any kind.
+    #[must_use]
+    pub fn total_transitions(&self) -> u64 {
+        self.relay_ups + self.path_downs + self.workload_ups + self.workload_downs
+    }
+}
+
+impl std::fmt::Display for TempoStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "steals={} relays={} relay_ups={} path_downs={} wl_ups={} wl_downs={} guard={} thld_updates={} actuations={}",
+            self.steals,
+            self.relays,
+            self.relay_ups,
+            self.path_downs,
+            self.workload_ups,
+            self.workload_downs,
+            self.guard_suppressions,
+            self.threshold_updates,
+            self.actuations
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_transition_kinds() {
+        let s = TempoStats {
+            relay_ups: 2,
+            path_downs: 3,
+            workload_ups: 5,
+            workload_downs: 7,
+            ..TempoStats::default()
+        };
+        assert_eq!(s.total_transitions(), 17);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!TempoStats::default().to_string().is_empty());
+    }
+}

@@ -1,0 +1,112 @@
+//! Discrete tempo levels.
+
+/// A discrete execution speed level for a worker.
+///
+/// Level `0` is the **fastest** tempo (the paper's *allegro*); larger values
+/// are progressively slower (*lento*). The number of meaningful levels is
+/// bounded by the [`FreqMap`](crate::FreqMap) in use: levels at or beyond
+/// the number of mapped frequencies all actuate the slowest frequency.
+///
+/// ```
+/// use hermes_core::TempoLevel;
+/// let l = TempoLevel::FASTEST;
+/// assert_eq!(l.slower(3).0, 1);      // clamped to 3 levels: 0..=2
+/// assert_eq!(l.slower(3).faster(), TempoLevel::FASTEST);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TempoLevel(pub usize);
+
+impl TempoLevel {
+    /// The fastest tempo; programs bootstrap at this level (paper §3.2).
+    pub const FASTEST: TempoLevel = TempoLevel(0);
+
+    /// One level slower, clamped to the slowest of `num_levels` levels.
+    ///
+    /// `num_levels` must be at least 1; a zero value is treated as 1.
+    #[must_use]
+    pub fn slower(self, num_levels: usize) -> TempoLevel {
+        let max = num_levels.max(1) - 1;
+        TempoLevel((self.0 + 1).min(max))
+    }
+
+    /// One level faster (toward [`TempoLevel::FASTEST`]), saturating at 0.
+    #[must_use]
+    pub fn faster(self) -> TempoLevel {
+        TempoLevel(self.0.saturating_sub(1))
+    }
+
+    /// Clamp this level into the range expressible with `num_levels` levels.
+    #[must_use]
+    pub fn clamp_to(self, num_levels: usize) -> TempoLevel {
+        TempoLevel(self.0.min(num_levels.max(1) - 1))
+    }
+
+    /// Whether this is the fastest tempo.
+    #[must_use]
+    pub fn is_fastest(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl std::fmt::Display for TempoLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl From<usize> for TempoLevel {
+    fn from(v: usize) -> Self {
+        TempoLevel(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fastest_is_zero() {
+        assert_eq!(TempoLevel::FASTEST.0, 0);
+        assert!(TempoLevel::FASTEST.is_fastest());
+        assert!(!TempoLevel(1).is_fastest());
+    }
+
+    #[test]
+    fn slower_clamps_at_slowest_level() {
+        let l = TempoLevel(1);
+        assert_eq!(l.slower(2), TempoLevel(1));
+        assert_eq!(l.slower(3), TempoLevel(2));
+        assert_eq!(TempoLevel(5).slower(3), TempoLevel(2));
+    }
+
+    #[test]
+    fn faster_saturates_at_fastest() {
+        assert_eq!(TempoLevel(0).faster(), TempoLevel(0));
+        assert_eq!(TempoLevel(2).faster(), TempoLevel(1));
+    }
+
+    #[test]
+    fn slower_with_degenerate_level_count() {
+        // num_levels == 0 behaves as a single-level system.
+        assert_eq!(TempoLevel(0).slower(0), TempoLevel(0));
+        assert_eq!(TempoLevel(0).slower(1), TempoLevel(0));
+    }
+
+    #[test]
+    fn clamp_to_bounds() {
+        assert_eq!(TempoLevel(7).clamp_to(3), TempoLevel(2));
+        assert_eq!(TempoLevel(1).clamp_to(3), TempoLevel(1));
+        assert_eq!(TempoLevel(7).clamp_to(0), TempoLevel(0));
+    }
+
+    #[test]
+    fn ordering_fast_to_slow() {
+        assert!(TempoLevel::FASTEST < TempoLevel(1));
+        assert!(TempoLevel(1) < TempoLevel(2));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(TempoLevel(2).to_string(), "T2");
+    }
+}

@@ -1,0 +1,337 @@
+//! Workload-sensitive thresholds and the online deque-size profiler
+//! (paper §3.2).
+
+use std::collections::VecDeque;
+
+/// The per-worker deque-size thresholds `thld` (paper §3.2, Fig. 5).
+///
+/// With `K` thresholds derived from the profiled average deque size `L`,
+/// the `i`-th threshold (1-based) is `thld_i = (2L / (K+1)) · i`. The `K`
+/// thresholds induce `K+1` size *bands*; a worker's band index `S` rises
+/// when a PUSH grows its deque past the next threshold up and falls when a
+/// POP or STEAL shrinks it below the next threshold down.
+///
+/// ```
+/// use hermes_core::ThresholdTable;
+/// // Paper's worked example: average 15, two thresholds -> {10, 20}.
+/// let t = ThresholdTable::from_average(15.0, 2);
+/// assert_eq!(t.thresholds(), &[10, 20]);
+/// assert!(t.should_raise(11, 0));  // deque grew past 10: band 0 -> 1
+/// assert!(!t.should_raise(10, 0)); // strict comparison, as in Fig. 5
+/// assert!(t.should_lower(9, 1));   // shrank below 10: band 1 -> 0
+/// assert!(t.should_raise(21, 1));  // past 20: band 1 -> 2 (fastest)
+/// assert!(!t.should_raise(25, 2)); // already in the top band
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThresholdTable {
+    thld: Vec<usize>,
+}
+
+impl ThresholdTable {
+    /// Compute `K` thresholds from the profiled average deque size `L`.
+    ///
+    /// Thresholds are clamped to a minimum of 1 so that an idle period
+    /// (average ≈ 0) cannot produce degenerate all-zero thresholds that
+    /// would pin every worker to the top band.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `avg` is not finite.
+    #[must_use]
+    pub fn from_average(avg: f64, k: usize) -> Self {
+        Self::from_average_scaled(avg, k, 1.0)
+    }
+
+    /// [`from_average`](Self::from_average) with the calibration factor
+    /// `scale` applied to every threshold: `thld_i = scale · (2L/(K+1)) · i`.
+    ///
+    /// `scale = 1.0` is the paper's formula verbatim. The constant `2`
+    /// inside it was tuned by the authors against their runtime's
+    /// deque-length distributions; reconstructions with different
+    /// granularity structure re-tune this single factor (see `DESIGN.md`
+    /// and the `ablate_profiling` benchmark).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`, or `avg`/`scale` are not finite and positive.
+    #[must_use]
+    pub fn from_average_scaled(avg: f64, k: usize, scale: f64) -> Self {
+        assert!(k > 0, "at least one threshold is required");
+        assert!(avg.is_finite(), "average deque size must be finite");
+        assert!(scale.is_finite() && scale > 0.0, "scale must be positive");
+        let base = scale * 2.0 * avg.max(0.0) / (k as f64 + 1.0);
+        let thld = (1..=k)
+            .map(|i| ((base * i as f64).round() as usize).max(i))
+            .collect();
+        ThresholdTable { thld }
+    }
+
+    /// Build directly from explicit thresholds (ascending). Used for fixed
+    /// thresholds in the profiling ablation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thld` is empty or not non-decreasing.
+    #[must_use]
+    pub fn from_thresholds(thld: Vec<usize>) -> Self {
+        assert!(!thld.is_empty(), "at least one threshold is required");
+        assert!(
+            thld.windows(2).all(|p| p[0] <= p[1]),
+            "thresholds must be non-decreasing"
+        );
+        ThresholdTable { thld }
+    }
+
+    /// The number of thresholds `K`.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.thld.len()
+    }
+
+    /// The thresholds, ascending (`thld_1 ..= thld_K`).
+    #[must_use]
+    pub fn thresholds(&self) -> &[usize] {
+        &self.thld
+    }
+
+    /// Whether a worker in band `s` whose deque now holds `len` items
+    /// should move up one band (Fig. 5 PUSH: `T - H > thld[S]`).
+    #[must_use]
+    pub fn should_raise(&self, len: usize, s: usize) -> bool {
+        s < self.thld.len() && len > self.thld[s]
+    }
+
+    /// Whether a worker in band `s` whose deque now holds `len` items
+    /// should move down one band (Fig. 5 POP/STEAL: `T - H < thld[S]`).
+    #[must_use]
+    pub fn should_lower(&self, len: usize, s: usize) -> bool {
+        s > 0 && len < self.thld[s - 1]
+    }
+
+    /// The band a deque of size `len` belongs to, `0 ..= K`.
+    ///
+    /// Useful for initialising `S` after a threshold recomputation.
+    #[must_use]
+    pub fn band_of(&self, len: usize) -> usize {
+        self.thld.iter().take_while(|&&t| len > t).count()
+    }
+}
+
+/// Configuration of the [`OnlineProfiler`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfilerConfig {
+    /// Number of most recent samples averaged into `L`.
+    pub window: usize,
+    /// Host-time between sampling rounds, in nanoseconds. The profiler
+    /// itself is clockless; hosts use this value to schedule calls.
+    pub period_ns: u64,
+    /// Calibration factor applied to the threshold formula
+    /// (see [`ThresholdTable::from_average_scaled`]).
+    pub threshold_scale: f64,
+}
+
+impl Default for ProfilerConfig {
+    fn default() -> Self {
+        // ~1 kHz sampling with a 64-sample window reacts within tens of
+        // milliseconds while smoothing per-task noise, in the spirit of the
+        // paper's "lightweight online profiling".
+        ProfilerConfig {
+            window: 64,
+            period_ns: 1_000_000,
+            threshold_scale: 1.0,
+        }
+    }
+}
+
+/// The lightweight online profiler that feeds [`ThresholdTable`]s
+/// (paper §3.2).
+///
+/// Hosts periodically feed it the instantaneous deque size of every
+/// worker; it maintains a sliding window and recomputes thresholds from
+/// the window average once per period.
+///
+/// ```
+/// use hermes_core::{OnlineProfiler, ProfilerConfig};
+/// let mut p = OnlineProfiler::new(ProfilerConfig { window: 4, period_ns: 1_000, threshold_scale: 1.0 }, 2);
+/// for len in [10, 20, 10, 20] { p.record(len); }
+/// assert_eq!(p.average(), 15.0);
+/// assert_eq!(p.recompute().thresholds(), &[10, 20]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct OnlineProfiler {
+    config: ProfilerConfig,
+    k: usize,
+    samples: VecDeque<usize>,
+}
+
+impl OnlineProfiler {
+    /// A profiler producing `k`-threshold tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `config.window == 0`.
+    #[must_use]
+    pub fn new(config: ProfilerConfig, k: usize) -> Self {
+        assert!(k > 0, "at least one threshold is required");
+        assert!(config.window > 0, "window must hold at least one sample");
+        OnlineProfiler {
+            config,
+            k,
+            samples: VecDeque::new(),
+        }
+    }
+
+    /// The sampling period hosts should use, in nanoseconds.
+    #[must_use]
+    pub fn period_ns(&self) -> u64 {
+        self.config.period_ns
+    }
+
+    /// Record one deque-size sample.
+    pub fn record(&mut self, deque_len: usize) {
+        if self.samples.len() == self.config.window {
+            self.samples.pop_front();
+        }
+        self.samples.push_back(deque_len);
+    }
+
+    /// Average of the samples currently in the window (`L`), or 0 if none.
+    #[must_use]
+    pub fn average(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<usize>() as f64 / self.samples.len() as f64
+    }
+
+    /// Recompute the threshold table from the current window average.
+    #[must_use]
+    pub fn recompute(&self) -> ThresholdTable {
+        ThresholdTable::from_average_scaled(self.average(), self.k, self.config.threshold_scale)
+    }
+
+    /// Number of samples currently held.
+    #[must_use]
+    pub fn sample_count(&self) -> usize {
+        self.samples.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_worked_example() {
+        // "if the average deque size is 15 and there are 2 thresholds, we
+        // apply the fastest tempo if the deque size is no less than 20, the
+        // medium tempo between 10 and 20, and the slowest otherwise."
+        let t = ThresholdTable::from_average(15.0, 2);
+        assert_eq!(t.thresholds(), &[10, 20]);
+        assert_eq!(t.band_of(5), 0);
+        assert_eq!(t.band_of(15), 1);
+        assert_eq!(t.band_of(25), 2);
+    }
+
+    #[test]
+    fn single_threshold() {
+        // K = 1: thld_1 = 2L/2 = L.
+        let t = ThresholdTable::from_average(8.0, 1);
+        assert_eq!(t.thresholds(), &[8]);
+        assert!(t.should_raise(9, 0));
+        assert!(t.should_lower(7, 1));
+    }
+
+    #[test]
+    fn thresholds_never_degenerate_to_zero() {
+        let t = ThresholdTable::from_average(0.0, 3);
+        assert_eq!(t.thresholds(), &[1, 2, 3]);
+        // An empty deque must never be "above" any threshold.
+        assert!(!t.should_raise(0, 0));
+    }
+
+    #[test]
+    fn thresholds_scale_linearly_in_index() {
+        let t = ThresholdTable::from_average(30.0, 3);
+        assert_eq!(t.thresholds(), &[15, 30, 45]);
+    }
+
+    #[test]
+    fn raise_and_lower_are_strict() {
+        let t = ThresholdTable::from_thresholds(vec![10, 20]);
+        assert!(!t.should_raise(10, 0));
+        assert!(t.should_raise(11, 0));
+        assert!(!t.should_lower(10, 1));
+        assert!(t.should_lower(9, 1));
+        assert!(!t.should_lower(5, 0)); // already lowest band
+        assert!(!t.should_raise(100, 2)); // already highest band
+    }
+
+    #[test]
+    fn band_transitions_are_consistent_with_band_of() {
+        let t = ThresholdTable::from_thresholds(vec![4, 8, 12]);
+        for len in 0..20 {
+            let b = t.band_of(len);
+            if b < t.k() {
+                assert!(!t.should_raise(len, b), "len={len} band={b}");
+            }
+            if b > 0 {
+                assert!(!t.should_lower(len, b), "len={len} band={b}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one threshold")]
+    fn zero_k_panics() {
+        let _ = ThresholdTable::from_average(10.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn unsorted_fixed_thresholds_panic() {
+        let _ = ThresholdTable::from_thresholds(vec![5, 3]);
+    }
+
+    #[test]
+    fn profiler_sliding_window() {
+        let mut p = OnlineProfiler::new(
+            ProfilerConfig {
+                window: 2,
+                period_ns: 1,
+                threshold_scale: 1.0,
+            },
+            2,
+        );
+        assert_eq!(p.average(), 0.0);
+        p.record(10);
+        p.record(20);
+        p.record(30); // evicts the 10
+        assert_eq!(p.sample_count(), 2);
+        assert_eq!(p.average(), 25.0);
+    }
+
+    #[test]
+    fn profiler_recompute_matches_formula() {
+        let mut p = OnlineProfiler::new(
+            ProfilerConfig {
+                window: 8,
+                period_ns: 1,
+                threshold_scale: 1.0,
+            },
+            2,
+        );
+        for s in [12, 18] {
+            p.record(s);
+        }
+        // L = 15 -> thresholds {10, 20}.
+        assert_eq!(p.recompute().thresholds(), &[10, 20]);
+    }
+
+    #[test]
+    fn default_profiler_config_is_sane() {
+        let c = ProfilerConfig::default();
+        assert!(c.window >= 16);
+        assert!(c.period_ns >= 100_000);
+    }
+}

@@ -1,0 +1,229 @@
+//! Property-based tests for the HERMES tempo-control state machine.
+
+use hermes_core::{
+    Frequency, ImmediacyList, Policy, RecordingActuator, TempoConfig, TempoController, TempoLevel,
+    ThresholdTable, WorkerId,
+};
+use proptest::prelude::*;
+
+/// Arbitrary scheduler events a host could feed the controller.
+#[derive(Debug, Clone)]
+enum Event {
+    Push { w: usize, len: usize },
+    Pop { w: usize, len: usize },
+    Steal { thief: usize, victim: usize, len: usize },
+    OutOfWork { w: usize },
+    Sample { len: usize },
+    Recompute,
+}
+
+fn event_strategy(workers: usize) -> impl Strategy<Value = Event> {
+    prop_oneof![
+        (0..workers, 0usize..64).prop_map(|(w, len)| Event::Push { w, len }),
+        (0..workers, 0usize..64).prop_map(|(w, len)| Event::Pop { w, len }),
+        (0..workers, 0..workers, 0usize..64)
+            .prop_map(|(thief, victim, len)| Event::Steal { thief, victim, len }),
+        (0..workers).prop_map(|w| Event::OutOfWork { w }),
+        (0usize..64).prop_map(|len| Event::Sample { len }),
+        Just(Event::Recompute),
+    ]
+}
+
+fn controller(policy: Policy, workers: usize, nfreq: usize) -> TempoController {
+    let freqs = [3600u64, 3300, 2700, 2100, 1400];
+    TempoController::new(
+        TempoConfig::builder()
+            .policy(policy)
+            .frequencies(freqs[..nfreq].iter().map(|&m| Frequency::from_mhz(m)).collect())
+            .workers(workers)
+            .k_thresholds(2)
+            .build(),
+    )
+}
+
+fn drive(ctl: &mut TempoController, events: &[Event], workers: usize) {
+    let mut act = RecordingActuator::new();
+    for e in events {
+        match *e {
+            Event::Push { w, len } => ctl.on_push(WorkerId(w), len, &mut act),
+            Event::Pop { w, len } => ctl.on_pop(WorkerId(w), len, &mut act),
+            Event::Steal { thief, victim, len } => {
+                if thief != victim {
+                    // A real scheduler only steals while out of work.
+                    ctl.on_out_of_work(WorkerId(thief), &mut act);
+                    ctl.on_steal(WorkerId(thief), WorkerId(victim), len, &mut act);
+                }
+            }
+            Event::OutOfWork { w } => ctl.on_out_of_work(WorkerId(w), &mut act),
+            Event::Sample { len } => ctl.record_deque_sample(len),
+            Event::Recompute => ctl.recompute_thresholds(),
+        }
+        // Invariants that must hold after EVERY event:
+        ctl.immediacy().assert_valid();
+        for i in 0..workers {
+            let w = WorkerId(i);
+            // Logical levels stay within their documented bounds.
+            assert!(ctl.virtual_level(w) <= 60);
+            assert!(ctl.virtual_level(w) >= 0);
+            assert!(ctl.band(w) <= ctl.config().k_thresholds);
+            // The public level is the floored virtual level.
+            assert_eq!(ctl.level(w).0 as i64, ctl.virtual_level(w).max(0));
+            // Frequency always matches the level under the map.
+            assert_eq!(ctl.frequency(w), ctl.config().freq_map.frequency(ctl.level(w)));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The controller never panics, never leaves the immediacy list
+    /// malformed, and never exceeds level/band bounds under arbitrary
+    /// event interleavings, for every policy.
+    #[test]
+    fn controller_invariants_hold_under_arbitrary_events(
+        events in proptest::collection::vec(event_strategy(6), 0..200),
+        policy_idx in 0usize..4,
+        nfreq in 1usize..=5,
+    ) {
+        let policy = Policy::all()[policy_idx];
+        let mut ctl = controller(policy, 6, nfreq);
+        drive(&mut ctl, &events, 6);
+    }
+
+    /// Baseline policy is inert: no actuations ever.
+    #[test]
+    fn baseline_never_actuates(
+        events in proptest::collection::vec(event_strategy(4), 0..100),
+    ) {
+        let mut ctl = controller(Policy::Baseline, 4, 3);
+        drive(&mut ctl, &events, 4);
+        prop_assert_eq!(ctl.stats().actuations, 0);
+        for i in 0..4 {
+            prop_assert_eq!(ctl.level(WorkerId(i)), TempoLevel::FASTEST);
+        }
+    }
+
+    /// Thief Procrastination: immediately after every steal, the thief
+    /// runs exactly one level below its victim (clamped to the slowest
+    /// elected frequency), and Immediacy Relay preserves the relative
+    /// tempo order of the workers it raises (paper §3.3: "w2 can still
+    /// maintain a slower tempo than w1").
+    ///
+    /// Note that *global* chain monotonicity is NOT an invariant of the
+    /// paper's algorithm: a fresh thief inserted between its victim and an
+    /// earlier, already-relayed thief may legitimately be slower than its
+    /// downstream neighbour.
+    #[test]
+    fn procrastination_and_relay_order(
+        events in proptest::collection::vec(event_strategy(5), 0..150),
+        nfreq in 2usize..=5,
+    ) {
+        let mut ctl = controller(Policy::WorkpathOnly, 5, nfreq);
+        let mut act = RecordingActuator::new();
+        for e in &events {
+            match *e {
+                Event::Steal { thief, victim, len } if thief != victim => {
+                    ctl.on_out_of_work(WorkerId(thief), &mut act);
+                    let v_victim = ctl.virtual_level(WorkerId(victim));
+                    ctl.on_steal(WorkerId(thief), WorkerId(victim), len, &mut act);
+                    prop_assert_eq!(
+                        ctl.virtual_level(WorkerId(thief)),
+                        (v_victim + 1).min(60),
+                        "thief must be one virtual level below its victim"
+                    );
+                    prop_assert!(
+                        ctl.level(WorkerId(thief)) >= ctl.level(WorkerId(victim)),
+                        "thief never faster than victim right after the steal"
+                    );
+                }
+                Event::OutOfWork { w } => {
+                    let down = ctl.immediacy().downstream(WorkerId(w));
+                    let before: Vec<_> = down.iter().map(|&d| ctl.level(d)).collect();
+                    ctl.on_out_of_work(WorkerId(w), &mut act);
+                    let after: Vec<_> = down.iter().map(|&d| ctl.level(d)).collect();
+                    for (b, a) in before.windows(2).zip(after.windows(2)) {
+                        if b[0] <= b[1] {
+                            prop_assert!(a[0] <= a[1], "relay reordered tempos");
+                        }
+                    }
+                    for (b, a) in before.iter().zip(&after) {
+                        prop_assert!(a <= b, "relay must never slow a worker");
+                    }
+                }
+                Event::Push { w, len } => ctl.on_push(WorkerId(w), len, &mut act),
+                Event::Pop { w, len } => ctl.on_pop(WorkerId(w), len, &mut act),
+                _ => {}
+            }
+        }
+    }
+
+    /// Threshold tables are monotone in the average and in the index.
+    #[test]
+    fn threshold_formula_monotone(avg in 0.0f64..1e6, k in 1usize..8) {
+        let t = ThresholdTable::from_average(avg, k);
+        prop_assert_eq!(t.k(), k);
+        for w in t.thresholds().windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+        let t2 = ThresholdTable::from_average(avg * 2.0 + 1.0, k);
+        for (a, b) in t.thresholds().iter().zip(t2.thresholds()) {
+            prop_assert!(a <= b);
+        }
+    }
+
+    /// band_of is the fixed point of raise/lower: from any starting band,
+    /// applying the raise/lower rules converges to band_of(len).
+    #[test]
+    fn bands_converge_to_band_of(
+        thld in proptest::collection::vec(1usize..100, 1..5),
+        len in 0usize..200,
+        start in 0usize..5,
+    ) {
+        let mut sorted = thld.clone();
+        sorted.sort_unstable();
+        let t = ThresholdTable::from_thresholds(sorted);
+        let mut s = start.min(t.k());
+        for _ in 0..t.k() + 2 {
+            if t.should_raise(len, s) { s += 1; }
+            else if t.should_lower(len, s) { s -= 1; }
+        }
+        // After convergence neither rule fires.
+        prop_assert!(!t.should_raise(len, s));
+        prop_assert!(!t.should_lower(len, s));
+    }
+
+    /// The immediacy list under arbitrary valid steal/unlink sequences is
+    /// always a set of disjoint acyclic chains.
+    #[test]
+    fn immediacy_list_stays_well_formed(
+        ops in proptest::collection::vec((0usize..8, 0usize..8, any::<bool>()), 0..200),
+    ) {
+        let mut list = ImmediacyList::new(8);
+        for (a, b, steal) in ops {
+            if steal && a != b {
+                list.insert_thief(WorkerId(a), WorkerId(b));
+            } else {
+                list.unlink(WorkerId(a));
+            }
+            list.assert_valid();
+        }
+    }
+
+    /// Determinism: the same event sequence always produces identical
+    /// controller state.
+    #[test]
+    fn controller_is_deterministic(
+        events in proptest::collection::vec(event_strategy(4), 0..120),
+    ) {
+        let mut a = controller(Policy::Unified, 4, 3);
+        let mut b = controller(Policy::Unified, 4, 3);
+        drive(&mut a, &events, 4);
+        drive(&mut b, &events, 4);
+        for i in 0..4 {
+            prop_assert_eq!(a.level(WorkerId(i)), b.level(WorkerId(i)));
+            prop_assert_eq!(a.band(WorkerId(i)), b.band(WorkerId(i)));
+        }
+        prop_assert_eq!(a.stats(), b.stats());
+    }
+}

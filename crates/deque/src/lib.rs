@@ -1,0 +1,138 @@
+//! # hermes-deque
+//!
+//! Work-stealing deques for the HERMES runtime.
+//!
+//! A work-stealing deque holds a worker's pending tasks in work-first
+//! order: the owner pushes and pops at the **tail** (most immediate work),
+//! thieves steal from the **head** (least immediate work). Two
+//! implementations are provided behind the [`TaskDeque`] trait:
+//!
+//! * [`TheDeque`] — the classic Cilk-5 *THE* protocol exactly as sketched
+//!   in the paper's Fig. 2: head/tail indices over a ring buffer, a
+//!   deque-wide lock taken by every steal and by pop only on potential
+//!   conflict (optimistic locking).
+//! * [`LockFreeDeque`] — Chase–Lev-style indices where steals race on an
+//!   atomic `top` counter instead of a lock. Per-slot guards keep the
+//!   implementation 100 % safe Rust; the contention profile (no
+//!   deque-wide lock on steal) is what the `ablate_deque` benchmark
+//!   compares.
+//!
+//! Both deques are **bounded** (like Cilk's spawn-depth-bounded deque):
+//! [`TaskDeque::push`] reports overflow instead of reallocating, so a
+//! runtime can fall back to inline execution.
+//!
+//! ## Ownership discipline
+//!
+//! `push` and `pop` must only be called by the deque's owning worker;
+//! `steal` and `len` may be called from any thread. Violating the
+//! discipline is a logic error (results may be arbitrary task orderings)
+//! but never memory-unsafe — this crate forbids `unsafe` code.
+//!
+//! ```
+//! use hermes_deque::{TaskDeque, TheDeque, Steal};
+//! let dq = TheDeque::with_capacity(8);
+//! dq.push(1).unwrap();
+//! dq.push(2).unwrap();
+//! assert_eq!(dq.steal(), Steal::Success(1)); // head: least immediate
+//! assert_eq!(dq.pop(), Some(2));             // tail: most immediate
+//! assert_eq!(dq.pop(), None);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod lock_free;
+mod the_deque;
+
+pub use lock_free::LockFreeDeque;
+pub use the_deque::TheDeque;
+
+/// Outcome of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// A task was stolen from the head of the victim's deque.
+    Success(T),
+    /// The victim's deque was empty (or lost the last item to its owner).
+    Empty,
+}
+
+impl<T> Steal<T> {
+    /// Convert to an `Option`, discarding the distinction's provenance.
+    #[must_use]
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(t) => Some(t),
+            Steal::Empty => None,
+        }
+    }
+
+    /// Whether the steal succeeded.
+    #[must_use]
+    pub fn is_success(&self) -> bool {
+        matches!(self, Steal::Success(_))
+    }
+}
+
+/// Error returned when pushing onto a full deque; returns the task so the
+/// caller can run it inline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DequeFullError<T>(pub T);
+
+impl<T> std::fmt::Display for DequeFullError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deque is full")
+    }
+}
+
+impl<T: std::fmt::Debug> std::error::Error for DequeFullError<T> {}
+
+/// Common interface of the work-stealing deques, letting the runtime and
+/// the ablation benchmarks swap implementations.
+pub trait TaskDeque<T>: Send + Sync {
+    /// Push a task at the tail (owner only).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DequeFullError`] with the task if the deque is at
+    /// capacity; callers typically execute the task inline instead.
+    fn push(&self, task: T) -> Result<(), DequeFullError<T>>;
+
+    /// Pop the most recent task from the tail (owner only).
+    fn pop(&self) -> Option<T>;
+
+    /// Steal the oldest task from the head (any thread).
+    fn steal(&self) -> Steal<T>;
+
+    /// Number of tasks currently queued. Racy by nature off-owner; exact
+    /// when called by the owner with no concurrent steals.
+    fn len(&self) -> usize;
+
+    /// Whether the deque appears empty (same caveat as [`len`](Self::len)).
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum number of tasks the deque can hold.
+    fn capacity(&self) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steal_enum_conversions() {
+        assert_eq!(Steal::Success(7).success(), Some(7));
+        assert_eq!(Steal::<i32>::Empty.success(), None);
+        assert!(Steal::Success(1).is_success());
+        assert!(!Steal::<i32>::Empty.is_success());
+    }
+
+    #[test]
+    fn deque_full_error_carries_task() {
+        let e = DequeFullError(42);
+        assert_eq!(e.0, 42);
+        assert_eq!(e.to_string(), "deque is full");
+    }
+}

@@ -1,0 +1,300 @@
+//! The Cilk-5 *THE* protocol deque (paper Fig. 2, Algorithms 2.2–2.4).
+
+use crate::{DequeFullError, Steal, TaskDeque};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering::SeqCst};
+
+/// The classic THE-protocol work-stealing deque.
+///
+/// Head (`H`) and tail (`T`) indices grow monotonically over a ring
+/// buffer; the owner pushes/pops at the tail, thieves steal at the head.
+/// Every steal takes the deque lock; a pop takes it only when it may
+/// conflict with a thief over the last item — the optimistic locking the
+/// paper describes as "reminiscent of optimistic locking … known as THE".
+///
+/// This port stores tasks in per-slot guards so the implementation is
+/// entirely safe Rust; the index protocol is unchanged. (The paper's
+/// Fig. 2 transcription has `T` pointing *at* the last task; we use the
+/// equivalent Cilk-5 convention of `T` pointing one past it, which avoids
+/// index underflow. Observable behaviour is identical.)
+///
+/// ```
+/// use hermes_deque::{TaskDeque, TheDeque, Steal};
+/// let dq: TheDeque<u32> = TheDeque::with_capacity(4);
+/// dq.push(10).unwrap();
+/// dq.push(20).unwrap();
+/// assert_eq!(dq.len(), 2);
+/// assert_eq!(dq.steal(), Steal::Success(10));
+/// assert_eq!(dq.pop(), Some(20));
+/// assert_eq!(dq.steal(), Steal::Empty);
+/// ```
+pub struct TheDeque<T> {
+    /// Index of the first queued task; advanced by steals (under `lock`).
+    head: AtomicUsize,
+    /// Index one past the last queued task; written only by the owner.
+    tail: AtomicUsize,
+    /// The THE lock (the paper's `LOCK(w)`/`UNLOCK(w)`).
+    lock: Mutex<()>,
+    slots: Box<[Mutex<Option<T>>]>,
+    mask: usize,
+}
+
+/// Default capacity: ample for spawn-depth-bounded deques (Cilk deques
+/// hold continuations of the active call spine plus unstolen spawns).
+const DEFAULT_CAPACITY: usize = 8_192;
+
+impl<T> TheDeque<T> {
+    /// A deque with the default capacity (8192 tasks).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// A deque holding at most `capacity` tasks (rounded up to a power of
+    /// two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is 0.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        let cap = capacity.next_power_of_two();
+        let slots = (0..cap).map(|_| Mutex::new(None)).collect::<Vec<_>>();
+        TheDeque {
+            head: AtomicUsize::new(0),
+            tail: AtomicUsize::new(0),
+            lock: Mutex::new(()),
+            slots: slots.into_boxed_slice(),
+            mask: cap - 1,
+        }
+    }
+
+    fn slot(&self, index: usize) -> &Mutex<Option<T>> {
+        &self.slots[index & self.mask]
+    }
+
+    fn take_slot(&self, index: usize) -> T {
+        self.slot(index)
+            .lock()
+            .take()
+            .expect("THE protocol violation: slot already consumed")
+    }
+}
+
+impl<T> Default for TheDeque<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Send> TaskDeque<T> for TheDeque<T> {
+    /// Paper Algorithm 2.2: store the task and advance `T`.
+    fn push(&self, task: T) -> Result<(), DequeFullError<T>> {
+        let t = self.tail.load(SeqCst);
+        let h = self.head.load(SeqCst);
+        // `head` can sit one past its resting place while a thief is
+        // mid-steal, so the unlocked length estimate is off by at most
+        // one. Away from capacity that is harmless; in the tight zone we
+        // arbitrate under the THE lock, which quiesces thieves and makes
+        // "every index below head is consumed" exact.
+        let len_estimate = t.saturating_sub(h);
+        if len_estimate + 2 > self.slots.len() {
+            let _guard = self.lock.lock();
+            let h = self.head.load(SeqCst);
+            if t - h >= self.slots.len() {
+                return Err(DequeFullError(task));
+            }
+            let prev = self.slot(t).lock().replace(task);
+            debug_assert!(prev.is_none(), "push onto an unconsumed slot");
+            self.tail.store(t + 1, SeqCst);
+            return Ok(());
+        }
+        let prev = self.slot(t).lock().replace(task);
+        debug_assert!(prev.is_none(), "push onto an unconsumed slot");
+        self.tail.store(t + 1, SeqCst);
+        Ok(())
+    }
+
+    /// Paper Algorithm 2.3: optimistically decrement `T`; on potential
+    /// conflict with a thief over the last task, arbitrate under the lock.
+    fn pop(&self) -> Option<T> {
+        let t = self.tail.load(SeqCst);
+        if self.head.load(SeqCst) >= t {
+            return None; // empty; nothing to contend for
+        }
+        let nt = t - 1;
+        self.tail.store(nt, SeqCst);
+        let h = self.head.load(SeqCst);
+        if h > nt {
+            // A thief may have taken (or be taking) the last task:
+            // restore, then retry holding the THE lock.
+            self.tail.store(t, SeqCst);
+            let _guard = self.lock.lock();
+            self.tail.store(nt, SeqCst);
+            if self.head.load(SeqCst) > nt {
+                self.tail.store(t, SeqCst);
+                return None;
+            }
+        }
+        Some(self.take_slot(nt))
+    }
+
+    /// Paper Algorithm 2.4: steals always lock, advance `H`, and back off
+    /// if the deque turned out to be empty.
+    fn steal(&self) -> Steal<T> {
+        let _guard = self.lock.lock();
+        let h = self.head.load(SeqCst);
+        self.head.store(h + 1, SeqCst);
+        if h + 1 > self.tail.load(SeqCst) {
+            self.head.store(h, SeqCst);
+            return Steal::Empty;
+        }
+        Steal::Success(self.take_slot(h))
+    }
+
+    fn len(&self) -> usize {
+        // `tail` can transiently sit below `head` mid-pop; saturate.
+        self.tail.load(SeqCst).saturating_sub(self.head.load(SeqCst))
+    }
+
+    fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+impl<T> std::fmt::Debug for TheDeque<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TheDeque")
+            .field("head", &self.head.load(SeqCst))
+            .field("tail", &self.tail.load(SeqCst))
+            .field("capacity", &self.slots.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lifo_for_owner_fifo_for_thieves() {
+        let dq = TheDeque::with_capacity(8);
+        for i in 0..4 {
+            dq.push(i).unwrap();
+        }
+        // Owner pops the most immediate (LIFO).
+        assert_eq!(dq.pop(), Some(3));
+        // Thief steals the least immediate (FIFO).
+        assert_eq!(dq.steal(), Steal::Success(0));
+        assert_eq!(dq.steal(), Steal::Success(1));
+        assert_eq!(dq.pop(), Some(2));
+        assert_eq!(dq.pop(), None);
+        assert_eq!(dq.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn capacity_is_honored() {
+        let dq = TheDeque::with_capacity(2);
+        assert_eq!(dq.capacity(), 2);
+        dq.push(1).unwrap();
+        dq.push(2).unwrap();
+        assert_eq!(dq.push(3), Err(DequeFullError(3)));
+        // Consuming one frees a slot (ring reuse).
+        assert_eq!(dq.steal(), Steal::Success(1));
+        dq.push(3).unwrap();
+        assert_eq!(dq.pop(), Some(3));
+        assert_eq!(dq.pop(), Some(2));
+    }
+
+    #[test]
+    fn ring_wraps_many_times() {
+        let dq = TheDeque::with_capacity(4);
+        for round in 0..100 {
+            dq.push(round * 2).unwrap();
+            dq.push(round * 2 + 1).unwrap();
+            assert_eq!(dq.steal(), Steal::Success(round * 2));
+            assert_eq!(dq.pop(), Some(round * 2 + 1));
+        }
+        assert!(dq.is_empty());
+    }
+
+    #[test]
+    fn pop_on_empty_is_none_repeatedly() {
+        let dq: TheDeque<u8> = TheDeque::with_capacity(4);
+        for _ in 0..3 {
+            assert_eq!(dq.pop(), None);
+            assert_eq!(dq.steal(), Steal::Empty);
+        }
+        dq.push(9).unwrap();
+        assert_eq!(dq.pop(), Some(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = TheDeque::<u8>::with_capacity(0);
+    }
+
+    #[test]
+    fn concurrent_owner_and_thieves_consume_each_item_once() {
+        // Stress: one owner pushes/pops, three thieves steal; every item
+        // must be consumed exactly once.
+        let dq = Arc::new(TheDeque::with_capacity(1024));
+        let n: usize = 20_000;
+        let thieves = 3;
+        let stolen: Vec<_> = (0..thieves)
+            .map(|_| {
+                let dq = Arc::clone(&dq);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    let mut misses = 0;
+                    while misses < 10_000 {
+                        match dq.steal() {
+                            Steal::Success(v) => {
+                                got.push(v);
+                                misses = 0;
+                            }
+                            Steal::Empty => {
+                                misses += 1;
+                                std::hint::spin_loop();
+                            }
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        let mut popped = Vec::new();
+        for i in 0..n {
+            while dq.push(i).is_err() {
+                if let Some(v) = dq.pop() {
+                    popped.push(v);
+                }
+            }
+            if i % 3 == 0 {
+                if let Some(v) = dq.pop() {
+                    popped.push(v);
+                }
+            }
+        }
+        while let Some(v) = dq.pop() {
+            popped.push(v);
+        }
+        let mut all = popped;
+        for h in stolen {
+            all.extend(h.join().unwrap());
+        }
+        all.sort_unstable();
+        let expect: Vec<usize> = (0..n).collect();
+        assert_eq!(all, expect, "each task consumed exactly once");
+    }
+
+    #[test]
+    fn debug_output_mentions_indices() {
+        let dq: TheDeque<u8> = TheDeque::with_capacity(4);
+        let s = format!("{dq:?}");
+        assert!(s.contains("head") && s.contains("tail"));
+    }
+}

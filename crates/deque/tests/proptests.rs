@@ -1,0 +1,127 @@
+//! Model-based property tests: both deques must behave exactly like a
+//! sequential double-ended queue when driven single-threaded, and must
+//! conserve tasks when driven concurrently.
+
+use hermes_deque::{LockFreeDeque, Steal, TaskDeque, TheDeque};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Push(u32),
+    Pop,
+    Steal,
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            any::<u32>().prop_map(Op::Push),
+            Just(Op::Pop),
+            Just(Op::Steal),
+        ],
+        0..400,
+    )
+}
+
+/// Drive `dq` and a `VecDeque` model in lockstep; every observable result
+/// must match (owner end = back, thief end = front).
+fn check_against_model<D: TaskDeque<u32>>(dq: &D, ops: &[Op]) {
+    let mut model: VecDeque<u32> = VecDeque::new();
+    for op in ops {
+        match op {
+            Op::Push(v) => match dq.push(*v) {
+                Ok(()) => model.push_back(*v),
+                Err(e) => {
+                    assert_eq!(e.0, *v);
+                    assert_eq!(model.len(), dq.capacity(), "rejects only when full");
+                }
+            },
+            Op::Pop => assert_eq!(dq.pop(), model.pop_back()),
+            Op::Steal => assert_eq!(dq.steal().success(), model.pop_front()),
+        }
+        assert_eq!(dq.len(), model.len());
+        assert_eq!(dq.is_empty(), model.is_empty());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn the_deque_matches_sequential_model(ops in ops(), cap in 1usize..64) {
+        let dq = TheDeque::with_capacity(cap);
+        check_against_model(&dq, &ops);
+    }
+
+    #[test]
+    fn lock_free_deque_matches_sequential_model(ops in ops(), cap in 1usize..64) {
+        let dq = LockFreeDeque::with_capacity(cap);
+        check_against_model(&dq, &ops);
+    }
+
+    /// Concurrent conservation: N tasks pushed by the owner while thieves
+    /// steal; every task is consumed exactly once, regardless of schedule.
+    #[test]
+    fn the_deque_conserves_tasks_concurrently(n in 1usize..2000, thieves in 1usize..4) {
+        conserve(Arc::new(TheDeque::with_capacity(2048)), n, thieves)?;
+    }
+
+    #[test]
+    fn lock_free_deque_conserves_tasks_concurrently(n in 1usize..2000, thieves in 1usize..4) {
+        conserve(Arc::new(LockFreeDeque::with_capacity(2048)), n, thieves)?;
+    }
+}
+
+fn conserve<D: TaskDeque<usize> + Send + Sync + 'static>(
+    dq: Arc<D>,
+    n: usize,
+    thieves: usize,
+) -> Result<(), TestCaseError> {
+    let done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let handles: Vec<_> = (0..thieves)
+        .map(|_| {
+            let dq = Arc::clone(&dq);
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                loop {
+                    match dq.steal() {
+                        Steal::Success(v) => got.push(v),
+                        Steal::Empty => {
+                            if done.load(std::sync::atomic::Ordering::SeqCst) && dq.is_empty() {
+                                break;
+                            }
+                            std::hint::spin_loop();
+                        }
+                    }
+                }
+                got
+            })
+        })
+        .collect();
+    let mut popped = Vec::new();
+    for i in 0..n {
+        while dq.push(i).is_err() {
+            if let Some(v) = dq.pop() {
+                popped.push(v);
+            }
+        }
+    }
+    while let Some(v) = dq.pop() {
+        popped.push(v);
+    }
+    done.store(true, std::sync::atomic::Ordering::SeqCst);
+    // Drain any remainder the owner sees after signalling.
+    while let Some(v) = dq.pop() {
+        popped.push(v);
+    }
+    let mut all = popped;
+    for h in handles {
+        all.extend(h.join().unwrap());
+    }
+    all.sort_unstable();
+    prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+    Ok(())
+}

@@ -1,0 +1,235 @@
+//! Frequency drivers: how tempo decisions reach (real or emulated) DVFS.
+
+use hermes_core::Frequency;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Error raised by a frequency driver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DriverError {
+    message: String,
+}
+
+impl DriverError {
+    /// Create an error with the given description.
+    #[must_use]
+    pub fn new(message: impl Into<String>) -> Self {
+        DriverError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for DriverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "frequency driver error: {}", self.message)
+    }
+}
+
+impl std::error::Error for DriverError {}
+
+/// Applies per-worker frequency changes decided by the tempo controller.
+///
+/// Implementations:
+/// * [`NullDriver`] — ignores changes (baseline runs).
+/// * [`EmulatedDvfs`] — dilates task execution time and integrates a power
+///   model, for machines without accessible DVFS (CI, containers).
+/// * [`SysfsCpufreqDriver`](crate::SysfsCpufreqDriver) — writes real Linux
+///   cpufreq operating points (requires root and the userspace governor).
+pub trait FrequencyDriver: Send + Sync {
+    /// Apply `freq` for worker `worker`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DriverError`] when actuation fails; the runtime logs the
+    /// first failure and continues at the old frequency (tempo control is
+    /// best-effort, never a correctness concern).
+    fn set_frequency(&self, worker: usize, freq: Frequency) -> Result<(), DriverError>;
+
+    /// Current frequency for `worker`, if the driver tracks one.
+    fn frequency(&self, worker: usize) -> Option<Frequency>;
+
+    /// Human-readable driver name for logs and reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Driver that ignores every request (the unmodified-runtime baseline).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullDriver;
+
+impl FrequencyDriver for NullDriver {
+    fn set_frequency(&self, _worker: usize, _freq: Frequency) -> Result<(), DriverError> {
+        Ok(())
+    }
+
+    fn frequency(&self, _worker: usize) -> Option<Frequency> {
+        None
+    }
+
+    fn name(&self) -> &'static str {
+        "null"
+    }
+}
+
+/// Emulated DVFS by timing dilation.
+///
+/// Real DVFS makes a task take `f_max / f` times longer; the emulation
+/// reproduces that wall-clock effect by busy-waiting for the extra time
+/// after each task slice, and accounts virtual energy as
+/// `P_busy(f) × dilated_time`. This keeps the *scheduling dynamics* (steal
+/// opportunities, load imbalance) faithful on machines where frequencies
+/// cannot actually be changed, and gives examples a concrete energy
+/// number.
+///
+/// The emulation applies between tasks, not inside them, so completion
+/// signals propagate marginally earlier than true DVFS would allow; the
+/// discrete-event simulator (`hermes-sim`) is the measurement-grade
+/// substrate.
+#[derive(Debug)]
+pub struct EmulatedDvfs {
+    fastest: Frequency,
+    freqs_khz: Vec<AtomicU64>,
+    /// Virtual nanojoules consumed per worker.
+    energy_nj: Vec<AtomicU64>,
+    /// Busy power at the fastest frequency, watts (simplified linear-V
+    /// model embedded to avoid a dependency on `hermes-sim`).
+    busy_watts_fast: f64,
+}
+
+impl EmulatedDvfs {
+    /// An emulator for `workers` workers whose hardware tops out at
+    /// `fastest`, drawing `busy_watts_fast` watts per busy core there.
+    #[must_use]
+    pub fn new(workers: usize, fastest: Frequency, busy_watts_fast: f64) -> Self {
+        EmulatedDvfs {
+            fastest,
+            freqs_khz: (0..workers).map(|_| AtomicU64::new(fastest.khz())).collect(),
+            energy_nj: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            busy_watts_fast,
+        }
+    }
+
+    /// Busy power at `freq` under a cubic-in-frequency scaling (the
+    /// `V²·f` law with voltage roughly linear in frequency).
+    #[must_use]
+    pub fn busy_watts(&self, freq: Frequency) -> f64 {
+        let r = freq.ratio_to(self.fastest);
+        self.busy_watts_fast * r * r * r
+    }
+
+    /// The slowdown factor for `worker` (1.0 at the fastest frequency).
+    #[must_use]
+    pub fn dilation(&self, worker: usize) -> f64 {
+        let khz = self.freqs_khz[worker].load(Ordering::Relaxed);
+        self.fastest.khz() as f64 / khz as f64
+    }
+
+    /// Account one executed task slice and perform the dilation spin.
+    /// Called by the pool after each task execution.
+    pub(crate) fn account_and_dilate(&self, worker: usize, real: Duration) {
+        let khz = self.freqs_khz[worker].load(Ordering::Relaxed);
+        let freq = Frequency::from_khz(khz);
+        let dilation = self.fastest.khz() as f64 / khz as f64;
+        let virtual_time = real.as_secs_f64() * dilation;
+        let nj = self.busy_watts(freq) * virtual_time * 1e9;
+        self.energy_nj[worker].fetch_add(nj as u64, Ordering::Relaxed);
+        let extra = virtual_time - real.as_secs_f64();
+        if extra > 0.0 {
+            let deadline = std::time::Instant::now() + Duration::from_secs_f64(extra);
+            while std::time::Instant::now() < deadline {
+                std::hint::spin_loop();
+            }
+        }
+    }
+
+    /// Virtual joules consumed so far, per worker.
+    #[must_use]
+    pub fn energy_by_worker(&self) -> Vec<f64> {
+        self.energy_nj
+            .iter()
+            .map(|e| e.load(Ordering::Relaxed) as f64 / 1e9)
+            .collect()
+    }
+
+    /// Total virtual joules consumed so far.
+    #[must_use]
+    pub fn total_energy(&self) -> f64 {
+        self.energy_by_worker().iter().sum()
+    }
+}
+
+impl FrequencyDriver for EmulatedDvfs {
+    fn set_frequency(&self, worker: usize, freq: Frequency) -> Result<(), DriverError> {
+        let slot = self
+            .freqs_khz
+            .get(worker)
+            .ok_or_else(|| DriverError::new(format!("worker {worker} out of range")))?;
+        if freq.khz() == 0 {
+            return Err(DriverError::new("zero frequency"));
+        }
+        slot.store(freq.khz(), Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn frequency(&self, worker: usize) -> Option<Frequency> {
+        self.freqs_khz
+            .get(worker)
+            .map(|k| Frequency::from_khz(k.load(Ordering::Relaxed)))
+    }
+
+    fn name(&self) -> &'static str {
+        "emulated-dvfs"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_driver_accepts_everything() {
+        let d = NullDriver;
+        assert!(d.set_frequency(3, Frequency::from_mhz(1600)).is_ok());
+        assert_eq!(d.frequency(3), None);
+        assert_eq!(d.name(), "null");
+    }
+
+    #[test]
+    fn emulated_tracks_per_worker_frequency() {
+        let d = EmulatedDvfs::new(2, Frequency::from_mhz(2400), 8.0);
+        assert_eq!(d.frequency(0), Some(Frequency::from_mhz(2400)));
+        d.set_frequency(0, Frequency::from_mhz(1600)).unwrap();
+        assert_eq!(d.frequency(0), Some(Frequency::from_mhz(1600)));
+        assert_eq!(d.frequency(1), Some(Frequency::from_mhz(2400)));
+        assert!((d.dilation(0) - 1.5).abs() < 1e-12);
+        assert!((d.dilation(1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn emulated_rejects_bad_requests() {
+        let d = EmulatedDvfs::new(1, Frequency::from_mhz(2400), 8.0);
+        assert!(d.set_frequency(5, Frequency::from_mhz(1600)).is_err());
+        assert!(d.set_frequency(0, Frequency::from_khz(0)).is_err());
+    }
+
+    #[test]
+    fn power_scales_cubically() {
+        let d = EmulatedDvfs::new(1, Frequency::from_mhz(2400), 8.0);
+        let half = d.busy_watts(Frequency::from_mhz(1200));
+        assert!((half - 1.0).abs() < 1e-9, "8 W × (1/2)³ = 1 W, got {half}");
+    }
+
+    #[test]
+    fn accounting_accumulates_energy_and_dilates() {
+        let d = EmulatedDvfs::new(1, Frequency::from_mhz(2400), 8.0);
+        d.set_frequency(0, Frequency::from_mhz(1200)).unwrap();
+        let before = std::time::Instant::now();
+        d.account_and_dilate(0, Duration::from_millis(5));
+        let spun = before.elapsed();
+        // 2x dilation: ~5ms extra spin.
+        assert!(spun >= Duration::from_millis(4), "spun only {spun:?}");
+        let e = d.total_energy();
+        // 1 W × 10 ms virtual = 10 mJ.
+        assert!((e - 0.010).abs() < 0.002, "energy {e} J");
+    }
+}

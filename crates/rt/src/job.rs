@@ -1,0 +1,229 @@
+//! Type-erased jobs flowing through the work-stealing deques.
+//!
+//! This is the one module of the runtime that uses `unsafe`: like rayon's
+//! `StackJob`, a [`StackJob`] lives on the stack of the `join` that created
+//! it, and its [`JobRef`] is a type-erased pointer into that stack frame.
+//! The join protocol guarantees the frame outlives every use of the
+//! pointer: `join` does not return until the job's latch is set, and the
+//! latch is set only by the single execution of the job.
+
+use crate::Latch;
+use std::cell::UnsafeCell;
+
+/// A type-erased, executable job pointer.
+///
+/// Equality of two `JobRef`s (pointer identity of the job object, not the
+/// function pointer) is how `join` recognises that the task it popped
+/// back is the one it pushed.
+#[derive(Clone, Copy)]
+pub(crate) struct JobRef {
+    pointer: *const (),
+    execute_fn: unsafe fn(*const ()),
+}
+
+impl PartialEq for JobRef {
+    fn eq(&self, other: &Self) -> bool {
+        std::ptr::eq(self.pointer, other.pointer)
+    }
+}
+
+impl Eq for JobRef {}
+
+// SAFETY: a JobRef is only created from jobs whose payloads are Send
+// (enforced by the public APIs' `F: Send` bounds), and the job protocol
+// transfers ownership of the single execution to whichever thread runs it.
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    /// # Safety
+    ///
+    /// `pointer` must stay valid until `execute` is called exactly once.
+    pub(crate) unsafe fn new(pointer: *const (), execute_fn: unsafe fn(*const ())) -> JobRef {
+        JobRef {
+            pointer,
+            execute_fn,
+        }
+    }
+
+    /// Run the job. Consumes the ref conceptually; calling twice is UB.
+    pub(crate) unsafe fn execute(self) {
+        // SAFETY: contract forwarded to the constructor's caller.
+        unsafe { (self.execute_fn)(self.pointer) }
+    }
+}
+
+impl std::fmt::Debug for JobRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobRef")
+            .field("pointer", &self.pointer)
+            .finish()
+    }
+}
+
+/// A job allocated on the stack of a `join`, executed at most once.
+pub(crate) struct StackJob<F, R> {
+    f: UnsafeCell<Option<F>>,
+    result: UnsafeCell<Option<R>>,
+    pub(crate) latch: Latch,
+}
+
+impl<F, R> StackJob<F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    pub(crate) fn new(f: F) -> Self {
+        StackJob {
+            f: UnsafeCell::new(Some(f)),
+            result: UnsafeCell::new(None),
+            latch: Latch::new(),
+        }
+    }
+
+    /// A type-erased reference to this job.
+    ///
+    /// # Safety
+    ///
+    /// The caller must keep `self` alive and pinned until the latch is
+    /// set, and must ensure the ref is executed at most once.
+    pub(crate) unsafe fn as_job_ref(&self) -> JobRef {
+        // SAFETY: lifetime/uniqueness obligations are forwarded to the
+        // caller per this method's contract.
+        unsafe {
+            JobRef::new(
+                self as *const StackJob<F, R> as *const (),
+                Self::execute_erased,
+            )
+        }
+    }
+
+    unsafe fn execute_erased(this: *const ()) {
+        // SAFETY: `this` points to a live StackJob (the join frame blocks
+        // until the latch below is set), and single execution is
+        // guaranteed by the deque: each pushed JobRef is popped or stolen
+        // exactly once.
+        unsafe {
+            let this = &*(this as *const StackJob<F, R>);
+            let f = (*this.f.get()).take().expect("job executed twice");
+            *this.result.get() = Some(f());
+            this.latch.set();
+        }
+    }
+
+    /// Take the result after the latch is set.
+    ///
+    /// # Safety
+    ///
+    /// Only call after `latch.probe()` returned true; the Acquire load in
+    /// `probe` synchronises with the Release store in `set`, making the
+    /// result write visible.
+    pub(crate) unsafe fn take_result(&self) -> R {
+        // SAFETY: per contract the latch was observed set, so the writer
+        // is done and no other reader exists.
+        unsafe {
+            (*self.result.get())
+                .take()
+                .expect("result taken before job ran")
+        }
+    }
+
+    /// Run the job directly on the current thread (the pop-back fast
+    /// path), returning its result without the latch round-trip.
+    ///
+    /// # Safety
+    ///
+    /// The corresponding `JobRef` must not be executed afterwards.
+    pub(crate) unsafe fn run_inline(&self) -> R {
+        // SAFETY: per contract the JobRef is dead, so we hold the only
+        // access path to the closure cell.
+        let f = unsafe { (*self.f.get()).take() }.expect("job executed twice");
+        let r = f();
+        self.latch.set();
+        r
+    }
+}
+
+// SAFETY: the payload and result only cross threads via the protocol
+// described on the methods.
+unsafe impl<F: Send, R: Send> Sync for StackJob<F, R> {}
+
+/// A heap-allocated fire-and-forget job (used by `scope` spawns and
+/// `Pool::spawn`).
+pub(crate) struct HeapJob {
+    f: Box<dyn FnOnce() + Send>,
+}
+
+impl HeapJob {
+    pub(crate) fn new(f: Box<dyn FnOnce() + Send>) -> Box<Self> {
+        Box::new(HeapJob { f })
+    }
+
+    /// Convert into a `JobRef`, leaking the box until execution.
+    pub(crate) fn into_job_ref(self: Box<Self>) -> JobRef {
+        let pointer = Box::into_raw(self) as *const ();
+        // SAFETY: the pointer came from Box::into_raw and is reclaimed in
+        // execute_erased exactly once.
+        unsafe { JobRef::new(pointer, Self::execute_erased) }
+    }
+
+    unsafe fn execute_erased(this: *const ()) {
+        // SAFETY: `this` came from Box::into_raw in into_job_ref and is
+        // reclaimed exactly once.
+        let this = unsafe { Box::from_raw(this as *mut HeapJob) };
+        (this.f)();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stack_job_roundtrip() {
+        let job = StackJob::new(|| 6 * 7);
+        let r = unsafe {
+            let job_ref = job.as_job_ref();
+            job_ref.execute();
+            assert!(job.latch.probe());
+            job.take_result()
+        };
+        assert_eq!(r, 42);
+    }
+
+    #[test]
+    fn stack_job_inline_path() {
+        let job = StackJob::new(|| "hi");
+        let r = unsafe { job.run_inline() };
+        assert_eq!(r, "hi");
+        assert!(job.latch.probe());
+    }
+
+    #[test]
+    fn heap_job_executes_and_frees() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        use std::sync::Arc;
+        let hits = Arc::new(AtomicU32::new(0));
+        let h2 = Arc::clone(&hits);
+        let job = HeapJob::new(Box::new(move || {
+            h2.fetch_add(1, Ordering::SeqCst);
+        }));
+        unsafe { job.into_job_ref().execute() };
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn job_ref_identity() {
+        let a = StackJob::new(|| 1);
+        let b = StackJob::new(|| 2);
+        unsafe {
+            let ra1 = a.as_job_ref();
+            let ra2 = a.as_job_ref();
+            let rb = b.as_job_ref();
+            assert_eq!(ra1, ra2);
+            assert_ne!(ra1, rb);
+            // Consume both so the latches are honoured.
+            ra1.execute();
+            rb.execute();
+        }
+    }
+}

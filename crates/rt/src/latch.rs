@@ -1,0 +1,113 @@
+//! Completion latches used to coordinate fork-join tasks.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// A one-shot completion flag.
+///
+/// The latch is *pure-spin*: [`set`](Self::set) performs a single release
+/// store and touches nothing else afterwards. This is a hard requirement,
+/// not an optimisation: latches live on the stack frame of the `join` or
+/// `install` that waits on them, and the waiter frees that frame the
+/// moment it observes the flag. Any post-store access in `set` (say,
+/// signalling a condvar stored next to the flag) would race with that
+/// free — the classic fork-join latch use-after-free.
+///
+/// Workers poll [`probe`](Self::probe) between useful work
+/// (leapfrogging); external threads use [`wait`](Self::wait), which polls
+/// with a short sleep — `install` happens once per top-level computation,
+/// so the microseconds of poll granularity are immaterial.
+///
+/// ```
+/// use hermes_rt::Latch;
+/// let latch = Latch::new();
+/// assert!(!latch.probe());
+/// latch.set();
+/// assert!(latch.probe());
+/// latch.wait(); // returns immediately once set
+/// ```
+#[derive(Debug, Default)]
+pub struct Latch {
+    set: AtomicBool,
+}
+
+impl Latch {
+    /// A fresh, unset latch.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the latch has been set (non-blocking).
+    #[must_use]
+    pub fn probe(&self) -> bool {
+        self.set.load(Ordering::Acquire)
+    }
+
+    /// Set the latch.
+    ///
+    /// This is the last access `set` makes to `self`; the waiter may free
+    /// the latch immediately after observing the store.
+    pub fn set(&self) {
+        self.set.store(true, Ordering::Release);
+    }
+
+    /// Block the calling thread until the latch is set, by polling.
+    ///
+    /// Intended for non-worker threads (e.g. the caller of
+    /// [`Pool::install`](crate::Pool::install)); workers should poll
+    /// [`probe`](Self::probe) and keep executing tasks instead.
+    pub fn wait(&self) {
+        let mut spins = 0u32;
+        while !self.probe() {
+            if spins < 64 {
+                spins += 1;
+                std::hint::spin_loop();
+            } else if spins < 128 {
+                spins += 1;
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(std::time::Duration::from_micros(50));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn set_then_wait_returns() {
+        let l = Latch::new();
+        l.set();
+        l.wait();
+        assert!(l.probe());
+    }
+
+    #[test]
+    fn cross_thread_wakeup() {
+        let l = Arc::new(Latch::new());
+        let l2 = Arc::clone(&l);
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            l2.set();
+        });
+        l.wait();
+        assert!(l.probe());
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn probe_is_initially_false() {
+        assert!(!Latch::new().probe());
+    }
+
+    #[test]
+    fn set_is_idempotent() {
+        let l = Latch::new();
+        l.set();
+        l.set();
+        assert!(l.probe());
+    }
+}

@@ -1,0 +1,881 @@
+//! The work-stealing thread pool with HERMES tempo control.
+
+use crate::driver::{EmulatedDvfs, FrequencyDriver, NullDriver};
+use crate::job::{HeapJob, JobRef, StackJob};
+use hermes_core::{
+    Frequency, FrequencyActuator, Policy, TempoChange, TempoConfig, TempoController, TempoStats,
+    WorkerId,
+};
+use hermes_deque::{LockFreeDeque, Steal, TaskDeque, TheDeque};
+use parking_lot::{Condvar, Mutex};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::{Duration, Instant};
+
+/// Which deque implementation the pool's workers use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DequeKind {
+    /// The paper's THE-protocol deque (locked steals).
+    #[default]
+    The,
+    /// Chase–Lev-style deque (lockless steals); for the deque ablation.
+    LockFree,
+}
+
+/// Scheduler counters of a running [`Pool`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RtStats {
+    /// Tasks pushed onto worker deques.
+    pub pushes: u64,
+    /// Tasks popped by their owner.
+    pub pops: u64,
+    /// Successful steals.
+    pub steals: u64,
+    /// Steal attempts that found an empty deque.
+    pub failed_steals: u64,
+    /// Tasks executed inline because a deque was full.
+    pub inline_fallbacks: u64,
+}
+
+#[derive(Debug, Default)]
+struct AtomicStats {
+    pushes: AtomicU64,
+    pops: AtomicU64,
+    steals: AtomicU64,
+    failed_steals: AtomicU64,
+    inline_fallbacks: AtomicU64,
+}
+
+impl AtomicStats {
+    fn snapshot(&self) -> RtStats {
+        RtStats {
+            pushes: self.pushes.load(Ordering::Relaxed),
+            pops: self.pops.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+            failed_steals: self.failed_steals.load(Ordering::Relaxed),
+            inline_fallbacks: self.inline_fallbacks.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Builder for [`Pool`].
+///
+/// ```
+/// use hermes_rt::Pool;
+/// let pool = Pool::builder().workers(2).build();
+/// let sum = pool.install(|| (1..=100).sum::<u32>());
+/// assert_eq!(sum, 5050);
+/// pool.shutdown();
+/// ```
+#[derive(Default)]
+pub struct PoolBuilder {
+    workers: Option<usize>,
+    tempo: Option<TempoConfig>,
+    deque: DequeKind,
+    deque_capacity: Option<usize>,
+    driver: Option<Arc<dyn FrequencyDriver>>,
+    emulated: Option<(Frequency, f64)>,
+}
+
+impl std::fmt::Debug for PoolBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoolBuilder")
+            .field("workers", &self.workers)
+            .field("deque", &self.deque)
+            .finish()
+    }
+}
+
+impl PoolBuilder {
+    /// Number of worker threads (default: available parallelism).
+    #[must_use]
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = Some(n);
+        self
+    }
+
+    /// Tempo-control configuration; its worker count must match the
+    /// pool's. Defaults to the baseline policy (no tempo control).
+    #[must_use]
+    pub fn tempo(mut self, config: TempoConfig) -> Self {
+        self.tempo = Some(config);
+        self
+    }
+
+    /// Deque implementation (default: [`DequeKind::The`]).
+    #[must_use]
+    pub fn deque(mut self, kind: DequeKind) -> Self {
+        self.deque = kind;
+        self
+    }
+
+    /// Per-worker deque capacity (default 8192).
+    #[must_use]
+    pub fn deque_capacity(mut self, cap: usize) -> Self {
+        self.deque_capacity = Some(cap);
+        self
+    }
+
+    /// Use a custom frequency driver.
+    #[must_use]
+    pub fn driver(mut self, driver: Arc<dyn FrequencyDriver>) -> Self {
+        self.driver = Some(driver);
+        self
+    }
+
+    /// Use [`EmulatedDvfs`]: timing dilation plus a `busy_watts_fast`-watt
+    /// power model anchored at `fastest`.
+    #[must_use]
+    pub fn emulated_dvfs(mut self, fastest: Frequency, busy_watts_fast: f64) -> Self {
+        self.emulated = Some((fastest, busy_watts_fast));
+        self
+    }
+
+    /// Build and start the pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tempo configuration's worker count disagrees with the
+    /// pool's worker count, or if a worker thread cannot be spawned.
+    #[must_use]
+    pub fn build(self) -> Pool {
+        let workers = self.workers.unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(4, usize::from)
+        });
+        let tempo = self.tempo.unwrap_or_else(|| {
+            TempoConfig::builder()
+                .policy(Policy::Baseline)
+                .frequencies(vec![Frequency::from_mhz(1000)])
+                .workers(workers)
+                .build()
+        });
+        assert_eq!(
+            tempo.num_workers, workers,
+            "tempo config is for {} workers but the pool has {}",
+            tempo.num_workers, workers
+        );
+        let emu = self
+            .emulated
+            .map(|(fastest, watts)| Arc::new(EmulatedDvfs::new(workers, fastest, watts)));
+        let driver: Arc<dyn FrequencyDriver> = match (&self.driver, &emu) {
+            (Some(d), _) => Arc::clone(d),
+            (None, Some(e)) => Arc::clone(e) as Arc<dyn FrequencyDriver>,
+            (None, None) => Arc::new(NullDriver),
+        };
+        let cap = self.deque_capacity.unwrap_or(8192);
+        let deques: Vec<Arc<dyn TaskDeque<JobRef>>> = (0..workers)
+            .map(|_| match self.deque {
+                DequeKind::The => {
+                    Arc::new(TheDeque::with_capacity(cap)) as Arc<dyn TaskDeque<JobRef>>
+                }
+                DequeKind::LockFree => {
+                    Arc::new(LockFreeDeque::with_capacity(cap)) as Arc<dyn TaskDeque<JobRef>>
+                }
+            })
+            .collect();
+
+        let profile_period_ns = tempo.profiler.period_ns;
+        let inner = Arc::new(PoolInner {
+            deques,
+            injector: Mutex::new(std::collections::VecDeque::new()),
+            controller: Mutex::new(TempoController::new(tempo)),
+            driver,
+            emu,
+            terminate: AtomicBool::new(false),
+            sleep_lock: Mutex::new(()),
+            sleep_cond: Condvar::new(),
+            stats: AtomicStats::default(),
+            epoch: Instant::now(),
+            last_profile_ns: AtomicU64::new(0),
+            profile_period_ns,
+        });
+
+        // Bootstrap tempo: everyone at the fastest frequency.
+        {
+            let mut ctl = inner.controller.lock();
+            let mut act = DriverActuator {
+                driver: inner.driver.as_ref(),
+            };
+            ctl.initialize(&mut act);
+        }
+
+        let handles = (0..workers)
+            .map(|index| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("hermes-worker-{index}"))
+                    // Generous stacks: the join resolution loop executes
+                    // other tasks while waiting (leapfrogging), so worker
+                    // stacks nest several task recursions, like Cilk's
+                    // cactus-stack workers.
+                    .stack_size(8 << 20)
+                    .spawn(move || worker_main(&inner, index))
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+
+        Pool {
+            inner,
+            handles: Some(handles),
+        }
+    }
+}
+
+/// A HERMES work-stealing thread pool.
+///
+/// Tasks enter through [`install`](Pool::install) (blocking) or
+/// [`spawn`](Pool::spawn) (fire-and-forget); inside the pool, use
+/// [`join`](crate::join) and [`parallel_for`](crate::parallel_for) for
+/// fork-join parallelism. Tempo control runs transparently underneath
+/// according to the configured [`TempoConfig`].
+pub struct Pool {
+    inner: Arc<PoolInner>,
+    handles: Option<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("workers", &self.inner.deques.len())
+            .field("driver", &self.inner.driver.name())
+            .finish()
+    }
+}
+
+impl Pool {
+    /// Start configuring a pool.
+    #[must_use]
+    pub fn builder() -> PoolBuilder {
+        PoolBuilder::default()
+    }
+
+    /// A pool with default settings (baseline policy).
+    #[must_use]
+    pub fn new(workers: usize) -> Pool {
+        Pool::builder().workers(workers).build()
+    }
+
+    /// Number of worker threads.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.inner.deques.len()
+    }
+
+    /// Run `f` inside the pool, blocking until it completes.
+    ///
+    /// If called from a worker of this pool, runs `f` directly.
+    pub fn install<F, R>(&self, f: F) -> R
+    where
+        F: FnOnce() -> R + Send,
+        R: Send,
+    {
+        if let Some((pool, _)) = current_worker() {
+            if Arc::ptr_eq(&pool, &self.inner) {
+                return f();
+            }
+        }
+        let job = StackJob::new(f);
+        // SAFETY: we block on the latch below, so the stack frame outlives
+        // the job; the injected ref is executed exactly once.
+        let job_ref = unsafe { job.as_job_ref() };
+        self.inner.inject(job_ref);
+        job.latch.wait();
+        // SAFETY: latch set implies the result was written.
+        unsafe { job.take_result() }
+    }
+
+    /// Fire-and-forget a `'static` task into the pool.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        self.inner.inject(HeapJob::new(Box::new(f)).into_job_ref());
+    }
+
+    /// Controller statistics so far.
+    #[must_use]
+    pub fn tempo_stats(&self) -> TempoStats {
+        self.inner.controller.lock().stats()
+    }
+
+    /// Scheduler counters so far.
+    #[must_use]
+    pub fn stats(&self) -> RtStats {
+        self.inner.stats.snapshot()
+    }
+
+    /// Virtual energy consumed per worker, if the pool runs emulated DVFS.
+    #[must_use]
+    pub fn energy_by_worker(&self) -> Option<Vec<f64>> {
+        self.inner.emu.as_ref().map(|e| e.energy_by_worker())
+    }
+
+    /// Total virtual energy, if the pool runs emulated DVFS.
+    #[must_use]
+    pub fn total_energy(&self) -> Option<f64> {
+        self.inner.emu.as_ref().map(|e| e.total_energy())
+    }
+
+    /// The active frequency driver's name.
+    #[must_use]
+    pub fn driver_name(&self) -> &'static str {
+        self.inner.driver.name()
+    }
+
+    /// Stop the workers and join their threads.
+    ///
+    /// Dropping the pool does the same; this explicit form exists so
+    /// teardown is visible and non-blocking destructors stay achievable
+    /// for callers who care.
+    pub fn shutdown(mut self) {
+        self.shutdown_impl();
+    }
+
+    fn shutdown_impl(&mut self) {
+        self.inner.terminate.store(true, Ordering::SeqCst);
+        self.inner.sleep_cond.notify_all();
+        if let Some(handles) = self.handles.take() {
+            for h in handles {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.shutdown_impl();
+    }
+}
+
+// ---------------------------------------------------------------------
+
+struct PoolInner {
+    deques: Vec<Arc<dyn TaskDeque<JobRef>>>,
+    injector: Mutex<std::collections::VecDeque<JobRef>>,
+    controller: Mutex<TempoController>,
+    driver: Arc<dyn FrequencyDriver>,
+    emu: Option<Arc<EmulatedDvfs>>,
+    terminate: AtomicBool,
+    sleep_lock: Mutex<()>,
+    sleep_cond: Condvar,
+    stats: AtomicStats,
+    /// Pool start time and nanoseconds of the last profiler tick since
+    /// then; any worker on the steal path advances it.
+    epoch: Instant,
+    last_profile_ns: AtomicU64,
+    profile_period_ns: u64,
+}
+
+/// Forwards controller actuations to the frequency driver; failures are
+/// ignored after the first (tempo control is best-effort).
+struct DriverActuator<'a> {
+    driver: &'a dyn FrequencyDriver,
+}
+
+impl FrequencyActuator for DriverActuator<'_> {
+    fn apply(&mut self, change: TempoChange) {
+        let _ = self.driver.set_frequency(change.worker.0, change.frequency);
+    }
+}
+
+impl PoolInner {
+    fn inject(&self, job: JobRef) {
+        self.injector.lock().push_back(job);
+        self.sleep_cond.notify_all();
+    }
+
+    fn with_controller(&self, f: impl FnOnce(&mut TempoController, &mut DriverActuator<'_>)) {
+        let mut ctl = self.controller.lock();
+        let mut act = DriverActuator {
+            driver: self.driver.as_ref(),
+        };
+        f(&mut ctl, &mut act);
+    }
+
+    /// Push a job onto worker `w`'s deque, running the workload hook.
+    /// Returns the job back if the deque is full.
+    fn push_job(&self, w: usize, job: JobRef) -> Result<(), JobRef> {
+        match self.deques[w].push(job) {
+            Ok(()) => {
+                self.stats.pushes.fetch_add(1, Ordering::Relaxed);
+                let len = self.deques[w].len();
+                self.with_controller(|ctl, act| ctl.on_push(WorkerId(w), len, act));
+                self.sleep_cond.notify_one();
+                Ok(())
+            }
+            Err(e) => {
+                self.stats.inline_fallbacks.fetch_add(1, Ordering::Relaxed);
+                Err(e.0)
+            }
+        }
+    }
+
+    /// Pop from worker `w`'s own deque, running the workload hook.
+    fn pop_job(&self, w: usize) -> Option<JobRef> {
+        let job = self.deques[w].pop()?;
+        self.stats.pops.fetch_add(1, Ordering::Relaxed);
+        let len = self.deques[w].len();
+        self.with_controller(|ctl, act| ctl.on_pop(WorkerId(w), len, act));
+        Some(job)
+    }
+
+    /// One full steal sweep over random-ordered victims; runs the
+    /// out-of-work hook first (Fig. 5 lines 5-14), then the steal hook on
+    /// success.
+    /// The online profiler (paper §3.2), driven from the steal path so it
+    /// runs even while workers sit inside join resolution loops: whoever
+    /// crosses the period boundary first samples every deque and
+    /// recomputes the thresholds.
+    fn maybe_profile(&self) {
+        let now_ns = self.epoch.elapsed().as_nanos() as u64;
+        let last = self.last_profile_ns.load(Ordering::Relaxed);
+        if now_ns.saturating_sub(last) < self.profile_period_ns {
+            return;
+        }
+        if self
+            .last_profile_ns
+            .compare_exchange(last, now_ns, Ordering::Relaxed, Ordering::Relaxed)
+            .is_err()
+        {
+            return; // another worker took this tick
+        }
+        let mut ctl = self.controller.lock();
+        for dq in &self.deques {
+            ctl.record_deque_sample(dq.len());
+        }
+        ctl.recompute_thresholds();
+    }
+
+    fn steal_job(&self, w: usize, rng: &mut SmallRng) -> Option<JobRef> {
+        self.maybe_profile();
+        self.with_controller(|ctl, act| ctl.on_out_of_work(WorkerId(w), act));
+        let n = self.deques.len();
+        if n <= 1 {
+            return None;
+        }
+        let start = rng.gen_range(0..n);
+        for i in 0..n {
+            let v = (start + i) % n;
+            if v == w {
+                continue;
+            }
+            match self.deques[v].steal() {
+                Steal::Success(job) => {
+                    self.stats.steals.fetch_add(1, Ordering::Relaxed);
+                    let victim_len = self.deques[v].len();
+                    self.with_controller(|ctl, act| {
+                        ctl.on_steal(WorkerId(w), WorkerId(v), victim_len, act);
+                    });
+                    return Some(job);
+                }
+                Steal::Empty => {
+                    self.stats.failed_steals.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        None
+    }
+
+    /// Execute a job with timing, feeding the emulated-DVFS accountant.
+    ///
+    /// # Safety
+    ///
+    /// `job` must be executed exactly once across all threads.
+    unsafe fn execute(&self, w: usize, job: JobRef) {
+        let t0 = Instant::now();
+        // SAFETY: single-execution obligation forwarded to the caller.
+        unsafe { job.execute() };
+        if let Some(emu) = &self.emu {
+            emu.account_and_dilate(w, t0.elapsed());
+        }
+    }
+
+    /// The join resolution loop: keep the worker useful until `latch`.
+    fn join_on<A, B, RA, RB>(self: &Arc<Self>, w: usize, a: A, b: B) -> (RA, RB)
+    where
+        A: FnOnce() -> RA + Send,
+        B: FnOnce() -> RB + Send,
+        RA: Send,
+        RB: Send,
+    {
+        let job_b = StackJob::new(b);
+        // SAFETY: this frame blocks (while helping) until job_b's latch is
+        // set, so the pointer stays valid; the ref is executed once —
+        // either by a thief, or inline below after popping it back.
+        let ref_b = unsafe { job_b.as_job_ref() };
+        if self.push_job(w, ref_b).is_err() {
+            // Deque full: degrade to sequential execution.
+            // SAFETY: run_inline consumes the closure; ref_b was never
+            // made visible to other workers.
+            let rb = unsafe { job_b.run_inline() };
+            let ra = a();
+            return (ra, rb);
+        }
+        let ra = a();
+        // Resolve b: pop back (fast path), help with other work, or steal.
+        let mut rng = SmallRng::seed_from_u64(w as u64 ^ 0x9e37_79b9);
+        loop {
+            if job_b.latch.probe() {
+                // SAFETY: latch set implies the thief wrote the result.
+                let rb = unsafe { job_b.take_result() };
+                return (ra, rb);
+            }
+            if let Some(job) = self.pop_job(w) {
+                if job == ref_b {
+                    // SAFETY: we popped the unique ref; nobody else has it.
+                    let rb = unsafe { job_b.run_inline() };
+                    return (ra, rb);
+                }
+                // Another pending task (e.g. a scope spawn): help.
+                // SAFETY: popped jobs are executed exactly once.
+                unsafe { self.execute(w, job) };
+                continue;
+            }
+            // Own deque empty: leapfrog by stealing.
+            if let Some(job) = self.steal_job(w, &mut rng) {
+                // SAFETY: stolen jobs are executed exactly once.
+                unsafe { self.execute(w, job) };
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+fn worker_main(inner: &Arc<PoolInner>, index: usize) {
+    set_current_worker(inner, index);
+    let mut rng = SmallRng::seed_from_u64(index as u64 ^ 0x5851_f42d);
+    let mut idle_spins = 0u32;
+    loop {
+        if let Some(job) = inner.pop_job(index) {
+            // SAFETY: popped jobs execute exactly once.
+            unsafe { inner.execute(index, job) };
+            idle_spins = 0;
+            continue;
+        }
+        if let Some(job) = inner.steal_job(index, &mut rng) {
+            // SAFETY: stolen jobs execute exactly once.
+            unsafe { inner.execute(index, job) };
+            idle_spins = 0;
+            continue;
+        }
+        let injected = inner.injector.lock().pop_front();
+        if let Some(job) = injected {
+            // SAFETY: injected jobs execute exactly once.
+            unsafe { inner.execute(index, job) };
+            idle_spins = 0;
+            continue;
+        }
+        if inner.terminate.load(Ordering::SeqCst) {
+            break;
+        }
+        idle_spins += 1;
+        if idle_spins < 16 {
+            std::thread::yield_now();
+        } else {
+            let mut guard = inner.sleep_lock.lock();
+            inner
+                .sleep_cond
+                .wait_for(&mut guard, Duration::from_micros(500));
+        }
+    }
+    clear_current_worker();
+}
+
+// ---------------------------------------------------------------------
+// Thread-local worker context
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Weak<PoolInner>, usize)>> = const { RefCell::new(None) };
+}
+
+fn set_current_worker(inner: &Arc<PoolInner>, index: usize) {
+    CURRENT.with(|c| *c.borrow_mut() = Some((Arc::downgrade(inner), index)));
+}
+
+fn clear_current_worker() {
+    CURRENT.with(|c| *c.borrow_mut() = None);
+}
+
+fn current_worker() -> Option<(Arc<PoolInner>, usize)> {
+    CURRENT.with(|c| {
+        c.borrow()
+            .as_ref()
+            .and_then(|(weak, idx)| weak.upgrade().map(|p| (p, *idx)))
+    })
+}
+
+// ---------------------------------------------------------------------
+// Free functions usable inside `Pool::install`
+
+/// Run two closures, potentially in parallel, returning both results.
+///
+/// Inside a pool, `b` is pushed onto the calling worker's deque (where a
+/// thief may steal it) while the caller runs `a` — the work-first
+/// discipline of §2. Outside any pool, runs sequentially.
+///
+/// ```
+/// use hermes_rt::{join, Pool};
+/// let pool = Pool::new(2);
+/// let (a, b) = pool.install(|| join(|| 2 + 2, || 3 * 3));
+/// assert_eq!((a, b), (4, 9));
+/// ```
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    match current_worker() {
+        Some((pool, w)) => pool.join_on(w, a, b),
+        None => (a(), b()),
+    }
+}
+
+/// Apply `f` to every element of `data` in parallel, recursively splitting
+/// down to `grain`-sized chunks via [`join`].
+///
+/// ```
+/// use hermes_rt::{parallel_for, Pool};
+/// let pool = Pool::new(2);
+/// let mut v: Vec<u64> = (0..1000).collect();
+/// pool.install(|| parallel_for(&mut v, 64, |x| *x *= 2));
+/// assert_eq!(v[10], 20);
+/// ```
+pub fn parallel_for<T, F>(data: &mut [T], grain: usize, f: F)
+where
+    T: Send,
+    F: Fn(&mut T) + Sync,
+{
+    parallel_chunks(data, grain, &|chunk| {
+        for item in chunk {
+            f(item);
+        }
+    });
+}
+
+/// Apply `f` to disjoint chunks of `data` (each at most `grain` long) in
+/// parallel. The chunk-level sibling of [`parallel_for`].
+pub fn parallel_chunks<T, F>(data: &mut [T], grain: usize, f: &F)
+where
+    T: Send,
+    F: Fn(&mut [T]) + Sync,
+{
+    let grain = grain.max(1);
+    if data.len() <= grain {
+        f(data);
+        return;
+    }
+    let mid = data.len() / 2;
+    let (left, right) = data.split_at_mut(mid);
+    join(|| parallel_chunks(left, grain, f), || parallel_chunks(right, grain, f));
+}
+
+/// Compute `f(i)` for `i` in `0..n` in parallel and reduce the results
+/// with `reduce`, returning `identity` for an empty range.
+pub fn parallel_map_reduce<R, F, G>(n: usize, grain: usize, identity: R, f: &F, reduce: &G) -> R
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+    G: Fn(R, R) -> R + Sync,
+{
+    fn go<R, F, G>(lo: usize, hi: usize, grain: usize, f: &F, reduce: &G) -> Option<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+        G: Fn(R, R) -> R + Sync,
+    {
+        if hi - lo <= grain {
+            let mut acc: Option<R> = None;
+            for i in lo..hi {
+                let v = f(i);
+                acc = Some(match acc {
+                    None => v,
+                    Some(a) => reduce(a, v),
+                });
+            }
+            return acc;
+        }
+        let mid = lo + (hi - lo) / 2;
+        let (l, r) = join(
+            || go(lo, mid, grain, f, reduce),
+            || go(mid, hi, grain, f, reduce),
+        );
+        match (l, r) {
+            (Some(a), Some(b)) => Some(reduce(a, b)),
+            (x, None) => x,
+            (None, y) => y,
+        }
+    }
+    let grain = grain.max(1);
+    go(0, n, grain, f, reduce).unwrap_or(identity)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_runs_and_returns() {
+        let pool = Pool::new(2);
+        assert_eq!(pool.install(|| 21 * 2), 42);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn join_computes_both_sides() {
+        let pool = Pool::new(4);
+        let (a, b) = pool.install(|| join(|| 1 + 1, || 2 + 2));
+        assert_eq!((a, b), (2, 4));
+    }
+
+    #[test]
+    fn join_outside_pool_is_sequential() {
+        let (a, b) = join(|| 5, || 6);
+        assert_eq!((a, b), (5, 6));
+    }
+
+    #[test]
+    fn nested_joins_compute_fib() {
+        fn fib(n: u64) -> u64 {
+            if n < 2 {
+                return n;
+            }
+            let (a, b) = join(|| fib(n - 1), || fib(n - 2));
+            a + b
+        }
+        let pool = Pool::new(4);
+        assert_eq!(pool.install(|| fib(18)), 2584);
+        assert!(pool.stats().pushes > 0);
+    }
+
+    #[test]
+    fn parallel_for_touches_every_element() {
+        let pool = Pool::new(4);
+        let mut v = vec![1u64; 10_000];
+        pool.install(|| parallel_for(&mut v, 128, |x| *x += 1));
+        assert!(v.iter().all(|&x| x == 2));
+    }
+
+    #[test]
+    fn parallel_map_reduce_sums() {
+        let pool = Pool::new(4);
+        let total = pool.install(|| {
+            parallel_map_reduce(1001, 32, 0u64, &|i| i as u64, &|a, b| a + b)
+        });
+        assert_eq!(total, 500_500);
+    }
+
+    #[test]
+    fn parallel_map_reduce_empty_range_yields_identity() {
+        let pool = Pool::new(2);
+        let total = pool.install(|| parallel_map_reduce(0, 8, 7u64, &|i| i as u64, &|a, b| a + b));
+        assert_eq!(total, 7);
+    }
+
+    #[test]
+    fn spawn_runs_static_tasks() {
+        use std::sync::atomic::AtomicU32;
+        let pool = Pool::new(2);
+        let hits = Arc::new(AtomicU32::new(0));
+        for _ in 0..16 {
+            let hits = Arc::clone(&hits);
+            pool.spawn(move || {
+                hits.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while hits.load(Ordering::SeqCst) != 16 && Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert_eq!(hits.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn steals_happen_under_load() {
+        let pool = Pool::new(4);
+        let mut v: Vec<u64> = (0..200_000).collect();
+        pool.install(|| parallel_for(&mut v, 256, |x| *x = x.wrapping_mul(2654435761)));
+        assert!(
+            pool.stats().steals > 0,
+            "4 workers over 780 chunks should steal: {:?}",
+            pool.stats()
+        );
+    }
+
+    #[test]
+    fn tempo_controller_sees_scheduler_events() {
+        let tempo = TempoConfig::builder()
+            .policy(Policy::Unified)
+            .frequencies(vec![Frequency::from_mhz(2400), Frequency::from_mhz(1600)])
+            .workers(4)
+            .build();
+        let pool = Pool::builder()
+            .workers(4)
+            .tempo(tempo)
+            .emulated_dvfs(Frequency::from_mhz(2400), 8.0)
+            .build();
+        let mut v: Vec<u64> = (0..100_000).collect();
+        pool.install(|| parallel_for(&mut v, 512, |x| *x = x.wrapping_add(1)));
+        let stats = pool.tempo_stats();
+        assert!(stats.steals > 0, "steals observed: {stats}");
+        assert!(stats.path_downs > 0, "thief procrastination fired: {stats}");
+        assert!(pool.total_energy().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn lock_free_deque_pool_works() {
+        let pool = Pool::builder().workers(4).deque(DequeKind::LockFree).build();
+        let mut v = vec![0u8; 50_000];
+        pool.install(|| parallel_for(&mut v, 64, |x| *x = 1));
+        assert!(v.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn tiny_deque_falls_back_inline() {
+        let pool = Pool::builder().workers(2).deque_capacity(2).build();
+        fn fib(n: u64) -> u64 {
+            if n < 2 {
+                return n;
+            }
+            let (a, b) = join(|| fib(n - 1), || fib(n - 2));
+            a + b
+        }
+        assert_eq!(pool.install(|| fib(15)), 610);
+        assert!(
+            pool.stats().inline_fallbacks > 0,
+            "capacity-2 deques must overflow on fib(15): {:?}",
+            pool.stats()
+        );
+    }
+
+    #[test]
+    fn install_from_worker_runs_directly() {
+        let pool = Pool::new(2);
+        let out = pool.install(|| 1 + 1);
+        assert_eq!(out, 2);
+        // Nested install through the public API would need a second pool;
+        // the same-pool fast path is exercised via join + install inside.
+    }
+
+    #[test]
+    fn two_pools_coexist() {
+        let p1 = Pool::new(2);
+        let p2 = Pool::new(2);
+        let a = p1.install(|| 1);
+        let b = p2.install(|| 2);
+        assert_eq!(a + b, 3);
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_through_drop() {
+        let pool = Pool::new(2);
+        pool.install(|| ());
+        pool.shutdown(); // Drop after shutdown must not double-join.
+    }
+}

@@ -1,0 +1,311 @@
+//! Real-hardware bindings: Linux cpufreq sysfs DVFS and RAPL energy
+//! counters.
+//!
+//! These drivers make the runtime deployable on actual Linux machines
+//! (the paper's setting); in containers and CI they fail construction
+//! gracefully and callers fall back to
+//! [`EmulatedDvfs`](crate::EmulatedDvfs). The path-independent parsing
+//! logic is unit-tested everywhere.
+
+use crate::driver::{DriverError, FrequencyDriver};
+use hermes_core::Frequency;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// DVFS driver writing Linux `cpufreq` operating points.
+///
+/// Worker `i` is mapped to the CPU id `cpus[i]`; frequency requests write
+/// `scaling_setspeed` (requires the `userspace` governor and permissions
+/// on `/sys/devices/system/cpu/cpu*/cpufreq`).
+#[derive(Debug)]
+pub struct SysfsCpufreqDriver {
+    cpus: Vec<usize>,
+    root: PathBuf,
+    current_khz: Vec<AtomicU64>,
+}
+
+impl SysfsCpufreqDriver {
+    /// Bind workers to the given CPU ids under the standard sysfs root.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DriverError`] if any CPU's cpufreq directory is missing
+    /// or its governor is not `userspace`.
+    pub fn new(cpus: Vec<usize>) -> Result<Self, DriverError> {
+        Self::with_root(cpus, Path::new("/sys/devices/system/cpu"))
+    }
+
+    /// Like [`new`](Self::new) with an explicit sysfs root (testable).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`new`](Self::new).
+    pub fn with_root(cpus: Vec<usize>, root: &Path) -> Result<Self, DriverError> {
+        if cpus.is_empty() {
+            return Err(DriverError::new("at least one cpu is required"));
+        }
+        for &cpu in &cpus {
+            let gov_path = root.join(format!("cpu{cpu}/cpufreq/scaling_governor"));
+            let governor = std::fs::read_to_string(&gov_path).map_err(|e| {
+                DriverError::new(format!("cannot read {}: {e}", gov_path.display()))
+            })?;
+            if governor.trim() != "userspace" {
+                return Err(DriverError::new(format!(
+                    "cpu{cpu} governor is '{}', need 'userspace'",
+                    governor.trim()
+                )));
+            }
+        }
+        let current_khz = cpus.iter().map(|_| AtomicU64::new(0)).collect();
+        Ok(SysfsCpufreqDriver {
+            cpus,
+            root: root.to_path_buf(),
+            current_khz,
+        })
+    }
+
+    /// Frequencies advertised by `cpu` under `root`
+    /// (`scaling_available_frequencies`), fastest first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DriverError`] if the file is missing or malformed.
+    pub fn available_frequencies(root: &Path, cpu: usize) -> Result<Vec<Frequency>, DriverError> {
+        let path = root.join(format!("cpu{cpu}/cpufreq/scaling_available_frequencies"));
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| DriverError::new(format!("cannot read {}: {e}", path.display())))?;
+        parse_available_frequencies(&text)
+    }
+}
+
+/// Parse a `scaling_available_frequencies` line (kHz values), returning
+/// the table fastest-first.
+///
+/// # Errors
+///
+/// Returns [`DriverError`] if no parseable values are present.
+pub fn parse_available_frequencies(text: &str) -> Result<Vec<Frequency>, DriverError> {
+    let mut freqs: Vec<Frequency> = text
+        .split_whitespace()
+        .filter_map(|tok| tok.parse::<u64>().ok())
+        .map(Frequency::from_khz)
+        .collect();
+    if freqs.is_empty() {
+        return Err(DriverError::new("no frequencies listed"));
+    }
+    freqs.sort_unstable_by(|a, b| b.cmp(a));
+    freqs.dedup();
+    Ok(freqs)
+}
+
+impl FrequencyDriver for SysfsCpufreqDriver {
+    fn set_frequency(&self, worker: usize, freq: Frequency) -> Result<(), DriverError> {
+        let cpu = *self
+            .cpus
+            .get(worker)
+            .ok_or_else(|| DriverError::new(format!("worker {worker} out of range")))?;
+        let path = self
+            .root
+            .join(format!("cpu{cpu}/cpufreq/scaling_setspeed"));
+        std::fs::write(&path, format!("{}\n", freq.khz()))
+            .map_err(|e| DriverError::new(format!("cannot write {}: {e}", path.display())))?;
+        self.current_khz[worker].store(freq.khz(), Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn frequency(&self, worker: usize) -> Option<Frequency> {
+        let khz = self.current_khz.get(worker)?.load(Ordering::Relaxed);
+        (khz > 0).then(|| Frequency::from_khz(khz))
+    }
+
+    fn name(&self) -> &'static str {
+        "sysfs-cpufreq"
+    }
+}
+
+/// Reader of Intel/AMD RAPL package-energy counters
+/// (`/sys/class/powercap/intel-rapl:*/energy_uj`).
+#[derive(Debug)]
+pub struct RaplProbe {
+    counters: Vec<PathBuf>,
+}
+
+impl RaplProbe {
+    /// Discover RAPL domains under the standard powercap root.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DriverError`] if no readable RAPL domain exists (normal
+    /// in containers; callers fall back to modelled energy).
+    pub fn discover() -> Result<Self, DriverError> {
+        Self::with_root(Path::new("/sys/class/powercap"))
+    }
+
+    /// Like [`discover`](Self::discover) with an explicit root (testable).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`discover`](Self::discover).
+    pub fn with_root(root: &Path) -> Result<Self, DriverError> {
+        let mut counters = Vec::new();
+        let entries = std::fs::read_dir(root)
+            .map_err(|e| DriverError::new(format!("cannot read {}: {e}", root.display())))?;
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.starts_with("intel-rapl:") && !name.contains(':', ) {
+                // top-level domains only (intel-rapl:0, not intel-rapl:0:0)
+            }
+            if name.starts_with("intel-rapl:") && name.matches(':').count() == 1 {
+                let path = entry.path().join("energy_uj");
+                if path.exists() {
+                    counters.push(path);
+                }
+            }
+        }
+        if counters.is_empty() {
+            return Err(DriverError::new("no RAPL energy counters found"));
+        }
+        counters.sort();
+        Ok(RaplProbe { counters })
+    }
+
+    /// Total package energy in joules since an arbitrary epoch; subtract
+    /// two readings to measure an interval.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DriverError`] if any counter fails to read or parse.
+    pub fn read_joules(&self) -> Result<f64, DriverError> {
+        let mut total_uj = 0u64;
+        for path in &self.counters {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| DriverError::new(format!("cannot read {}: {e}", path.display())))?;
+            total_uj += parse_energy_uj(&text)?;
+        }
+        Ok(total_uj as f64 / 1e6)
+    }
+
+    /// Number of RAPL domains found.
+    #[must_use]
+    pub fn domains(&self) -> usize {
+        self.counters.len()
+    }
+}
+
+/// Parse an `energy_uj` reading (microjoules).
+///
+/// # Errors
+///
+/// Returns [`DriverError`] on malformed content.
+pub fn parse_energy_uj(text: &str) -> Result<u64, DriverError> {
+    text.trim()
+        .parse::<u64>()
+        .map_err(|e| DriverError::new(format!("bad energy_uj value: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_frequency_table() {
+        // AMD FX-8150 style table.
+        let f = parse_available_frequencies("3600000 3300000 2700000 2100000 1400000\n").unwrap();
+        assert_eq!(f.len(), 5);
+        assert_eq!(f[0], Frequency::from_mhz(3600));
+        assert_eq!(f[4], Frequency::from_mhz(1400));
+    }
+
+    #[test]
+    fn frequency_table_sorts_and_dedups() {
+        let f = parse_available_frequencies("1400000 3600000 1400000").unwrap();
+        assert_eq!(
+            f,
+            vec![Frequency::from_mhz(3600), Frequency::from_mhz(1400)]
+        );
+    }
+
+    #[test]
+    fn rejects_empty_frequency_table() {
+        assert!(parse_available_frequencies("\n").is_err());
+        assert!(parse_available_frequencies("not numbers").is_err());
+    }
+
+    #[test]
+    fn parses_energy_counter() {
+        assert_eq!(parse_energy_uj("123456789\n").unwrap(), 123_456_789);
+        assert!(parse_energy_uj("xyz").is_err());
+    }
+
+    #[test]
+    fn sysfs_driver_via_fake_root() {
+        let dir = std::env::temp_dir().join(format!("hermes-sysfs-{}", std::process::id()));
+        let cpu0 = dir.join("cpu0/cpufreq");
+        std::fs::create_dir_all(&cpu0).unwrap();
+        std::fs::write(cpu0.join("scaling_governor"), "userspace\n").unwrap();
+        std::fs::write(cpu0.join("scaling_setspeed"), "").unwrap();
+        std::fs::write(
+            cpu0.join("scaling_available_frequencies"),
+            "2400000 1600000\n",
+        )
+        .unwrap();
+
+        let driver = SysfsCpufreqDriver::with_root(vec![0], &dir).unwrap();
+        driver.set_frequency(0, Frequency::from_mhz(1600)).unwrap();
+        assert_eq!(driver.frequency(0), Some(Frequency::from_mhz(1600)));
+        let written = std::fs::read_to_string(cpu0.join("scaling_setspeed")).unwrap();
+        assert_eq!(written.trim(), "1600000");
+        assert_eq!(
+            SysfsCpufreqDriver::available_frequencies(&dir, 0).unwrap()[0],
+            Frequency::from_mhz(2400)
+        );
+        assert!(driver.set_frequency(9, Frequency::from_mhz(1600)).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sysfs_driver_requires_userspace_governor() {
+        let dir = std::env::temp_dir().join(format!("hermes-sysfs-gov-{}", std::process::id()));
+        let cpu0 = dir.join("cpu0/cpufreq");
+        std::fs::create_dir_all(&cpu0).unwrap();
+        std::fs::write(cpu0.join("scaling_governor"), "performance\n").unwrap();
+        let err = SysfsCpufreqDriver::with_root(vec![0], &dir).unwrap_err();
+        assert!(err.to_string().contains("userspace"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sysfs_driver_missing_cpu_errors() {
+        let dir = std::env::temp_dir().join(format!("hermes-sysfs-miss-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(SysfsCpufreqDriver::with_root(vec![0], &dir).is_err());
+        assert!(SysfsCpufreqDriver::with_root(vec![], &dir).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rapl_probe_via_fake_root() {
+        let dir = std::env::temp_dir().join(format!("hermes-rapl-{}", std::process::id()));
+        let d0 = dir.join("intel-rapl:0");
+        let d1 = dir.join("intel-rapl:1");
+        let sub = dir.join("intel-rapl:0:0"); // subdomain: ignored
+        std::fs::create_dir_all(&d0).unwrap();
+        std::fs::create_dir_all(&d1).unwrap();
+        std::fs::create_dir_all(&sub).unwrap();
+        std::fs::write(d0.join("energy_uj"), "1000000\n").unwrap();
+        std::fs::write(d1.join("energy_uj"), "2500000\n").unwrap();
+        std::fs::write(sub.join("energy_uj"), "999\n").unwrap();
+
+        let probe = RaplProbe::with_root(&dir).unwrap();
+        assert_eq!(probe.domains(), 2);
+        let joules = probe.read_joules().unwrap();
+        assert!((joules - 3.5).abs() < 1e-9);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rapl_probe_missing_root_errors() {
+        assert!(RaplProbe::with_root(Path::new("/definitely/not/here")).is_err());
+    }
+}

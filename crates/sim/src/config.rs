@@ -1,0 +1,192 @@
+//! Simulation configuration and run reports.
+
+use crate::{MachineSpec, SimTime};
+use hermes_core::{Frequency, TempoConfig, TempoStats};
+
+/// Worker-to-core mapping strategy (paper §3.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mapping {
+    /// Each worker is pre-assigned (pinned) to one core.
+    Static,
+    /// Workers may migrate between cores; affinity is set right before
+    /// each WORK invocation, costing `affinity_ns` each time.
+    Dynamic {
+        /// Cost of the `sched_setaffinity` round-trip per WORK invocation.
+        affinity_ns: u64,
+    },
+}
+
+impl Mapping {
+    /// The paper's default dynamic-scheduling cost (a syscall plus the
+    /// migration cache penalty, single-digit microseconds).
+    #[must_use]
+    pub fn dynamic_default() -> Self {
+        Mapping::Dynamic { affinity_ns: 2_500 }
+    }
+
+    /// Short label for bench tables.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Mapping::Static => "static",
+            Mapping::Dynamic { .. } => "dynamic",
+        }
+    }
+}
+
+/// Full configuration of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// The simulated machine.
+    pub machine: MachineSpec,
+    /// HERMES tempo-control configuration (policy, frequencies, workers,
+    /// thresholds, profiler).
+    pub tempo: TempoConfig,
+    /// Worker-to-core mapping strategy.
+    pub mapping: Mapping,
+    /// Seed for victim selection and migration choices.
+    pub seed: u64,
+    /// Base delay before a worker retries after a failed steal (YIELD).
+    pub yield_ns: u64,
+    /// Cap for the exponential backoff on repeated failed steals.
+    pub yield_max_ns: u64,
+    /// Cost of a successful steal (victim lock, deque transfer, cache).
+    pub steal_cost_ns: u64,
+    /// Meter sampling rate (the paper's DAQ samples at 100 Hz).
+    pub meter_hz: u64,
+}
+
+impl SimConfig {
+    /// A configuration with the defaults used throughout the evaluation.
+    #[must_use]
+    pub fn new(machine: MachineSpec, tempo: TempoConfig) -> Self {
+        SimConfig {
+            machine,
+            tempo,
+            mapping: Mapping::Static,
+            seed: 42,
+            yield_ns: 2_000,
+            yield_max_ns: 64_000,
+            steal_cost_ns: 400,
+            meter_hz: 100,
+        }
+    }
+
+    /// Replace the mapping strategy.
+    #[must_use]
+    pub fn with_mapping(mut self, mapping: Mapping) -> Self {
+        self.mapping = mapping;
+        self
+    }
+
+    /// Replace the RNG seed (one seed per trial in the harness).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Scheduler-level statistics of one run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SchedStats {
+    /// WORK invocations (tasks obtained by pop or steal, plus the root).
+    pub tasks_executed: u64,
+    /// Continuations pushed onto deques.
+    pub pushes: u64,
+    /// Successful pops.
+    pub pops: u64,
+    /// Successful steals.
+    pub steals: u64,
+    /// Failed steal attempts (victim deque empty).
+    pub failed_steals: u64,
+    /// DVFS operating-point changes actually applied to a domain.
+    pub dvfs_transitions: u64,
+    /// Worker migrations under dynamic mapping.
+    pub migrations: u64,
+    /// Total cycles of work executed.
+    pub cycles: u64,
+    /// Busy core-seconds spent at each frequency, fastest first
+    /// (the tempo residency profile).
+    pub busy_seconds_at: Vec<(Frequency, f64)>,
+}
+
+impl SchedStats {
+    /// Fraction of busy time spent below the fastest frequency.
+    #[must_use]
+    pub fn slow_fraction(&self) -> f64 {
+        let total: f64 = self.busy_seconds_at.iter().map(|(_, s)| s).sum();
+        if total == 0.0 {
+            return 0.0;
+        }
+        let slow: f64 = self.busy_seconds_at.iter().skip(1).map(|(_, s)| s).sum();
+        slow / total
+    }
+}
+
+/// Result of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Virtual wall-clock time to complete the computation.
+    pub elapsed: SimTime,
+    /// Energy by continuous integration of the power model, joules.
+    pub energy_j: f64,
+    /// Energy as the paper's metering pipeline reports it
+    /// (100 Hz current samples × 12 V × 0.01 s), joules.
+    pub metered_energy_j: f64,
+    /// Mean rail power, watts.
+    pub mean_power_w: f64,
+    /// The 100 Hz power time series as `(seconds, watts)` pairs
+    /// (Figs. 19–22).
+    pub power_series: Vec<(f64, f64)>,
+    /// Controller statistics.
+    pub tempo: TempoStats,
+    /// Scheduler statistics.
+    pub sched: SchedStats,
+}
+
+impl SimReport {
+    /// Energy-delay product in joule-seconds (paper Figs. 8–9).
+    #[must_use]
+    pub fn edp(&self) -> f64 {
+        self.energy_j * self.elapsed.seconds()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mapping_labels() {
+        assert_eq!(Mapping::Static.label(), "static");
+        assert_eq!(Mapping::dynamic_default().label(), "dynamic");
+    }
+
+    #[test]
+    fn slow_fraction_partitions_busy_time() {
+        let s = SchedStats {
+            busy_seconds_at: vec![
+                (Frequency::from_mhz(2400), 3.0),
+                (Frequency::from_mhz(1600), 1.0),
+            ],
+            ..SchedStats::default()
+        };
+        assert!((s.slow_fraction() - 0.25).abs() < 1e-12);
+        assert_eq!(SchedStats::default().slow_fraction(), 0.0);
+    }
+
+    #[test]
+    fn config_builders_chain() {
+        let machine = MachineSpec::system_b();
+        let tempo = TempoConfig::builder()
+            .frequencies(vec![Frequency::from_mhz(3600), Frequency::from_mhz(2700)])
+            .workers(4)
+            .build();
+        let cfg = SimConfig::new(machine, tempo)
+            .with_mapping(Mapping::dynamic_default())
+            .with_seed(7);
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.mapping.label(), "dynamic");
+    }
+}

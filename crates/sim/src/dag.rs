@@ -1,0 +1,350 @@
+//! Cilk-style task DAGs executed by the simulated scheduler.
+//!
+//! A [`DagSpec`] is a static description of a fork-join computation in the
+//! Cilk model: each node is a function body — a sequence of work segments
+//! interleaved with `spawn`s and `sync`s, with an implicit `sync` before
+//! returning (fully strict computations). The scheduler instantiates nodes
+//! as frames and executes them with lazy task creation: a `spawn` pushes
+//! the *continuation* of the current frame onto the worker's deque and
+//! descends into the child, exactly as in the paper's §2 example.
+
+/// Index of a node within a [`DagSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(pub usize);
+
+/// One step of a node's body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Execute `cycles` cycles of serial work.
+    Work(u64),
+    /// Spawn the given child node (Cilk `spawn`): the continuation of
+    /// this node is pushed onto the deque; execution descends into the
+    /// child.
+    Spawn(NodeId),
+    /// Wait for all children spawned so far (Cilk `sync`).
+    Sync,
+}
+
+/// A static fork-join task DAG.
+///
+/// Build directly with [`DagBuilder`] or via the shape helpers
+/// ([`DagSpec::parallel_for`], [`DagSpec::divide_and_conquer`]).
+///
+/// ```
+/// use hermes_sim::{DagBuilder, Action};
+/// let mut b = DagBuilder::new();
+/// let leaf = b.node(vec![Action::Work(1_000)]);
+/// let root = b.node(vec![
+///     Action::Work(100),
+///     Action::Spawn(leaf),
+///     Action::Work(100),
+///     Action::Sync,
+/// ]);
+/// let dag = b.build(root);
+/// assert_eq!(dag.total_cycles(), 1_200);
+/// assert_eq!(dag.critical_path_cycles(), 1_100); // work || leaf
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DagSpec {
+    nodes: Vec<Vec<Action>>,
+    root: NodeId,
+    mem_fraction: f64,
+}
+
+impl DagSpec {
+    /// The root node executed by worker 0 at bootstrap.
+    #[must_use]
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Fraction of each work segment stalled on memory (0.0–1.0).
+    ///
+    /// Memory time does not scale with core frequency: a segment of `c`
+    /// cycles (calibrated at the machine's top frequency `F`) executing at
+    /// frequency `f` takes `c·((1-β)/f + β/F)` seconds. PBBS-style
+    /// workloads are substantially memory-bound, which is why the paper
+    /// sees only 3–4 % time loss while running large fractions of the work
+    /// at reduced frequency.
+    #[must_use]
+    pub fn mem_fraction(&self) -> f64 {
+        self.mem_fraction
+    }
+
+    /// Set the memory-bound fraction (clamped to `[0, 1]`).
+    #[must_use]
+    pub fn with_mem_fraction(mut self, beta: f64) -> DagSpec {
+        self.mem_fraction = beta.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Body of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn actions(&self, node: NodeId) -> &[Action] {
+        &self.nodes[node.0]
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the DAG has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Total work `T₁`: cycles of every node, summed.
+    #[must_use]
+    pub fn total_cycles(&self) -> u64 {
+        self.nodes
+            .iter()
+            .flatten()
+            .map(|a| if let Action::Work(c) = a { *c } else { 0 })
+            .sum()
+    }
+
+    /// Critical path `T∞`: the longest chain of serial work, assuming
+    /// infinitely many workers.
+    #[must_use]
+    pub fn critical_path_cycles(&self) -> u64 {
+        self.span_of(self.root)
+    }
+
+    fn span_of(&self, node: NodeId) -> u64 {
+        // Span of a fully strict node body: segments separated by syncs;
+        // within a region, spawned children run in parallel with the
+        // serial work that follows their spawn, joining at the region's
+        // sync (or the implicit final sync).
+        let mut total = 0u64; // span of completed regions
+        let mut serial = 0u64; // serial work in the open region
+        let mut spawn_spans: Vec<(u64, u64)> = Vec::new(); // (serial offset at spawn, child span)
+        for action in &self.nodes[node.0] {
+            match *action {
+                Action::Work(c) => serial += c,
+                Action::Spawn(child) => spawn_spans.push((serial, self.span_of(child))),
+                Action::Sync => {
+                    total += region_span(serial, &spawn_spans);
+                    serial = 0;
+                    spawn_spans.clear();
+                }
+            }
+        }
+        total + region_span(serial, &spawn_spans)
+    }
+
+    /// A flat parallel loop: one root spawning `tasks` children, child `i`
+    /// carrying `cycles(i)` cycles, with `root_cycles` of serial setup.
+    ///
+    /// This is the DAG shape of PBBS-style `parallel_for` benchmarks.
+    #[must_use]
+    pub fn parallel_for(tasks: usize, root_cycles: u64, mut cycles: impl FnMut(usize) -> u64) -> DagSpec {
+        let mut b = DagBuilder::new();
+        let children: Vec<NodeId> = (0..tasks).map(|i| b.node(vec![Action::Work(cycles(i))])).collect();
+        let mut actions = Vec::with_capacity(tasks + 2);
+        actions.push(Action::Work(root_cycles));
+        for c in children {
+            actions.push(Action::Spawn(c));
+        }
+        actions.push(Action::Sync);
+        let root = b.node(actions);
+        b.build(root)
+    }
+
+    /// A binary divide-and-conquer tree of the given `depth`: interior
+    /// nodes carry `split_cycles` (the divide/merge work), leaves carry
+    /// `leaf_cycles(leaf_index)`.
+    ///
+    /// This is the DAG shape of recursive sort/geometry benchmarks.
+    #[must_use]
+    pub fn divide_and_conquer(
+        depth: u32,
+        split_cycles: u64,
+        mut leaf_cycles: impl FnMut(usize) -> u64,
+    ) -> DagSpec {
+        let mut b = DagBuilder::new();
+        let mut leaf_index = 0usize;
+        let root = Self::dnc_node(&mut b, depth, split_cycles, &mut leaf_cycles, &mut leaf_index);
+        b.build(root)
+    }
+
+    fn dnc_node(
+        b: &mut DagBuilder,
+        depth: u32,
+        split_cycles: u64,
+        leaf_cycles: &mut impl FnMut(usize) -> u64,
+        leaf_index: &mut usize,
+    ) -> NodeId {
+        if depth == 0 {
+            let i = *leaf_index;
+            *leaf_index += 1;
+            return b.node(vec![Action::Work(leaf_cycles(i))]);
+        }
+        let left = Self::dnc_node(b, depth - 1, split_cycles, leaf_cycles, leaf_index);
+        let right = Self::dnc_node(b, depth - 1, split_cycles, leaf_cycles, leaf_index);
+        b.node(vec![
+            Action::Work(split_cycles),
+            Action::Spawn(left),
+            Action::Spawn(right),
+            Action::Sync,
+            Action::Work(split_cycles),
+        ])
+    }
+}
+
+/// Span of one sync region: children overlap the serial work following
+/// their spawn point.
+fn region_span(serial: u64, spawn_spans: &[(u64, u64)]) -> u64 {
+    let mut span = serial;
+    for &(offset, child) in spawn_spans {
+        span = span.max(offset + child);
+    }
+    span
+}
+
+/// Incremental builder for [`DagSpec`].
+#[derive(Debug, Clone, Default)]
+pub struct DagBuilder {
+    nodes: Vec<Vec<Action>>,
+}
+
+impl DagBuilder {
+    /// An empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a node with the given body; children must already exist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the body spawns a node that has not been added yet
+    /// (guaranteeing the DAG is acyclic by construction).
+    pub fn node(&mut self, actions: Vec<Action>) -> NodeId {
+        for a in &actions {
+            if let Action::Spawn(NodeId(c)) = a {
+                assert!(
+                    *c < self.nodes.len(),
+                    "spawn target {c} does not exist yet (build children first)"
+                );
+            }
+        }
+        self.nodes.push(actions);
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Number of nodes added so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether no nodes were added yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Finish, designating `root`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `root` is out of range.
+    #[must_use]
+    pub fn build(self, root: NodeId) -> DagSpec {
+        assert!(root.0 < self.nodes.len(), "root node out of range");
+        DagSpec {
+            nodes: self.nodes,
+            root,
+            mem_fraction: 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_for_metrics() {
+        let dag = DagSpec::parallel_for(4, 100, |i| (i as u64 + 1) * 10);
+        // Work: 100 + 10+20+30+40 = 200.
+        assert_eq!(dag.total_cycles(), 200);
+        // Span: root work then children in parallel -> 100 + max(40).
+        assert_eq!(dag.critical_path_cycles(), 140);
+        assert_eq!(dag.len(), 5);
+    }
+
+    #[test]
+    fn divide_and_conquer_metrics() {
+        let dag = DagSpec::divide_and_conquer(2, 5, |_| 100);
+        // 3 interior nodes x (5 + 5) + 4 leaves x 100 = 430.
+        assert_eq!(dag.total_cycles(), 430);
+        // Span: 2 levels of (5 .. 5) around one leaf = 5+5+100+5+5 = 120.
+        assert_eq!(dag.critical_path_cycles(), 120);
+    }
+
+    #[test]
+    fn span_overlaps_continuation_with_child() {
+        // spawn(A); work(50); sync  where A = 30 cycles:
+        // span = max(0 + 30, 50) = 50.
+        let mut b = DagBuilder::new();
+        let a = b.node(vec![Action::Work(30)]);
+        let root = b.node(vec![Action::Spawn(a), Action::Work(50), Action::Sync]);
+        let dag = b.build(root);
+        assert_eq!(dag.critical_path_cycles(), 50);
+        assert_eq!(dag.total_cycles(), 80);
+    }
+
+    #[test]
+    fn multiple_sync_regions_accumulate() {
+        let mut b = DagBuilder::new();
+        let a = b.node(vec![Action::Work(100)]);
+        let c = b.node(vec![Action::Work(200)]);
+        let root = b.node(vec![
+            Action::Spawn(a),
+            Action::Sync, // region 1: span 100
+            Action::Work(10),
+            Action::Spawn(c),
+            Action::Sync, // region 2: span 10 + 200
+        ]);
+        let dag = b.build(root);
+        assert_eq!(dag.critical_path_cycles(), 310);
+    }
+
+    #[test]
+    fn implicit_final_sync_counts_open_region() {
+        let mut b = DagBuilder::new();
+        let a = b.node(vec![Action::Work(500)]);
+        let root = b.node(vec![Action::Spawn(a)]); // no explicit sync
+        let dag = b.build(root);
+        assert_eq!(dag.critical_path_cycles(), 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist yet")]
+    fn forward_spawn_panics() {
+        let mut b = DagBuilder::new();
+        let _ = b.node(vec![Action::Spawn(NodeId(7))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "root node out of range")]
+    fn bad_root_panics() {
+        let b = DagBuilder::new();
+        let _ = b.build(NodeId(0));
+    }
+
+    #[test]
+    fn span_never_exceeds_work() {
+        let dag = DagSpec::divide_and_conquer(5, 17, |i| (i as u64 % 7) * 13 + 1);
+        assert!(dag.critical_path_cycles() <= dag.total_cycles());
+    }
+}

@@ -1,0 +1,1055 @@
+//! The discrete-event engine: a Cilk-style continuation-stealing
+//! scheduler over virtual cores with per-domain DVFS and a power meter.
+
+use crate::{
+    Action, CoreId, DagSpec, Mapping, NodeId, PowerMeter, SchedStats, SimConfig, SimReport,
+    SimTime,
+};
+use hermes_core::{Frequency, FrequencyActuator, TempoChange, TempoController, WorkerId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Error returned by [`run`] for inconsistent configurations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The machine spec failed validation.
+    BadMachine(String),
+    /// More workers than independent clock domains (the paper places at
+    /// most one worker per domain to avoid DVFS interference).
+    TooManyWorkers {
+        /// Requested workers.
+        workers: usize,
+        /// Available clock domains.
+        domains: usize,
+    },
+    /// A tempo frequency is not in the machine's table.
+    UnsupportedFrequency(Frequency),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::BadMachine(m) => write!(f, "invalid machine: {m}"),
+            SimError::TooManyWorkers { workers, domains } => write!(
+                f,
+                "{workers} workers exceed the {domains} independent clock domains"
+            ),
+            SimError::UnsupportedFrequency(fr) => {
+                write!(f, "frequency {fr} is not supported by the machine")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Run `spec` to completion under `config`.
+///
+/// Deterministic: the same `(spec, config)` — including the seed — always
+/// produces an identical [`SimReport`].
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the configuration is inconsistent (bad machine,
+/// more workers than clock domains, or tempo frequencies the machine does
+/// not support).
+pub fn run(spec: &DagSpec, config: &SimConfig) -> Result<SimReport, SimError> {
+    Engine::new(spec, config)?.run()
+}
+
+// ---------------------------------------------------------------------
+// Events
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EvKind {
+    /// A worker's current work segment completes.
+    WorkDone { w: usize, gen: u64 },
+    /// A yielded worker wakes to retry pop/steal.
+    Wake { w: usize, gen: u64 },
+    /// A clock domain finishes settling on a new operating point.
+    FreqSettle { domain: usize, freq: Frequency, gen: u64 },
+    /// Meter sampling tick.
+    Meter,
+    /// Online-profiler tick.
+    Profile,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Ev {
+    at: SimTime,
+    seq: u64,
+    kind: EvKind,
+}
+
+impl Ord for Ev {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Engine state
+
+#[derive(Debug)]
+struct Frame {
+    node: NodeId,
+    pc: usize,
+    pending: usize,
+    parent: Option<usize>,
+    waiting: bool,
+}
+
+#[derive(Debug)]
+struct Running {
+    frame: usize,
+    cycles_left: f64,
+    last_update: SimTime,
+    /// Cycles only accrue after this instant (DVFS/steal/migration
+    /// stalls).
+    stalled_until: SimTime,
+}
+
+#[derive(Debug)]
+struct WorkerState {
+    core: usize,
+    deque: VecDeque<usize>,
+    current: Option<Running>,
+    gen: u64,
+    consecutive_fails: u32,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum CoreActivity {
+    /// No worker assigned: power-gated.
+    Parked,
+    /// Worker assigned but waiting for work.
+    Idle,
+    /// Executing (or stalled mid-execution).
+    Busy,
+}
+
+#[derive(Debug)]
+struct CoreState {
+    freq: Frequency,
+    activity: CoreActivity,
+    energy_j: f64,
+    last_change: SimTime,
+    /// Busy seconds per frequency-table slot.
+    busy_at: Vec<f64>,
+}
+
+/// How a completed frame handed control back to the scheduler loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FrameOutcome {
+    /// The worker adopted the (now runnable) parent frame.
+    Adopted,
+    /// The worker has no frame; it must find new work.
+    Detached,
+    /// The root frame completed; the simulation is over.
+    RootDone,
+}
+
+/// Buffers the controller's actuations so the engine can apply them with
+/// full access to its own state.
+#[derive(Debug, Default)]
+struct PendingChanges(Vec<TempoChange>);
+
+impl FrequencyActuator for PendingChanges {
+    fn apply(&mut self, change: TempoChange) {
+        self.0.push(change);
+    }
+}
+
+struct Engine<'a> {
+    spec: &'a DagSpec,
+    cfg: &'a SimConfig,
+    now: SimTime,
+    events: BinaryHeap<Reverse<Ev>>,
+    seq: u64,
+    frames: Vec<Frame>,
+    workers: Vec<WorkerState>,
+    cores: Vec<CoreState>,
+    /// Which worker occupies each core, if any.
+    occupant: Vec<Option<usize>>,
+    /// In-flight DVFS request per clock domain (settling).
+    domain_pending: Vec<Option<Frequency>>,
+    /// Supersession counter per clock domain.
+    domain_gen: Vec<u64>,
+    ctl: TempoController,
+    pending: PendingChanges,
+    meter: PowerMeter,
+    rng: SmallRng,
+    stats: SchedStats,
+    done: bool,
+}
+
+impl<'a> Engine<'a> {
+    fn new(spec: &'a DagSpec, cfg: &'a SimConfig) -> Result<Self, SimError> {
+        cfg.machine.validate().map_err(SimError::BadMachine)?;
+        let workers = cfg.tempo.num_workers;
+        let domain_cores = cfg.machine.distinct_domain_cores();
+        if workers > domain_cores.len() {
+            return Err(SimError::TooManyWorkers {
+                workers,
+                domains: domain_cores.len(),
+            });
+        }
+        for &f in cfg.tempo.freq_map.frequencies() {
+            if !cfg.machine.supports(f) {
+                return Err(SimError::UnsupportedFrequency(f));
+            }
+        }
+
+        let fastest = cfg.tempo.freq_map.fastest();
+        let mut occupant = vec![None; cfg.machine.cores];
+        let worker_states: Vec<WorkerState> = (0..workers)
+            .map(|w| {
+                let core = domain_cores[w].0;
+                occupant[core] = Some(w);
+                WorkerState {
+                    core,
+                    deque: VecDeque::new(),
+                    current: None,
+                    gen: 0,
+                    consecutive_fails: 0,
+                }
+            })
+            .collect();
+        let cores = (0..cfg.machine.cores)
+            .map(|c| CoreState {
+                freq: fastest,
+                activity: if occupant[c].is_some() {
+                    CoreActivity::Idle
+                } else {
+                    CoreActivity::Parked
+                },
+                energy_j: 0.0,
+                last_change: SimTime::ZERO,
+                busy_at: vec![0.0; cfg.machine.freq_table.len()],
+            })
+            .collect();
+
+        Ok(Engine {
+            spec,
+            cfg,
+            now: SimTime::ZERO,
+            events: BinaryHeap::new(),
+            seq: 0,
+            frames: Vec::with_capacity(spec.len()),
+            workers: worker_states,
+            cores,
+            occupant,
+            domain_pending: vec![None; cfg.machine.domains()],
+            domain_gen: vec![0; cfg.machine.domains()],
+            ctl: TempoController::new(cfg.tempo.clone()),
+            pending: PendingChanges::default(),
+            meter: PowerMeter::new(cfg.meter_hz),
+            rng: SmallRng::seed_from_u64(cfg.seed),
+            stats: SchedStats::default(),
+            done: false,
+        })
+    }
+
+    fn run(mut self) -> Result<SimReport, SimError> {
+        // Bootstrap: every worker at the fastest tempo (paper §3.2), the
+        // root frame on worker 0, everyone else hunting for work.
+        self.ctl.initialize(&mut self.pending);
+        self.apply_pending();
+        let root = self.new_frame(self.spec.root(), None);
+        self.workers[0].current = Some(Running {
+            frame: root,
+            cycles_left: 0.0,
+            last_update: SimTime::ZERO,
+            stalled_until: SimTime::ZERO,
+        });
+        self.stats.tasks_executed += 1;
+        self.run_frame(0);
+        for w in 1..self.workers.len() {
+            let gen = self.workers[w].gen;
+            self.push_event(SimTime::ZERO, EvKind::Wake { w, gen });
+        }
+        self.push_event(SimTime::ZERO, EvKind::Meter);
+        let profile_period = SimTime::from_ns(self.ctl.profiler_period_ns());
+        self.push_event(profile_period, EvKind::Profile);
+
+        while let Some(Reverse(ev)) = self.events.pop() {
+            if self.done {
+                break;
+            }
+            debug_assert!(ev.at >= self.now, "time must be monotone");
+            self.now = ev.at;
+            match ev.kind {
+                EvKind::WorkDone { w, gen } => {
+                    if self.workers[w].gen == gen {
+                        self.on_work_done(w);
+                    }
+                }
+                EvKind::Wake { w, gen } => {
+                    if self.workers[w].gen == gen && self.workers[w].current.is_none() {
+                        self.next_task(w);
+                    }
+                }
+                EvKind::FreqSettle { domain, freq, gen } => {
+                    self.on_freq_settle(domain, freq, gen);
+                }
+                EvKind::Meter => {
+                    let watts = self.rail_power();
+                    self.meter.sample(self.now, watts);
+                    let period = self.meter.period();
+                    self.push_event(self.now + period, EvKind::Meter);
+                }
+                EvKind::Profile => {
+                    for w in 0..self.workers.len() {
+                        self.ctl.record_deque_sample(self.workers[w].deque.len());
+                    }
+                    self.ctl.recompute_thresholds();
+                    let period = SimTime::from_ns(self.ctl.profiler_period_ns());
+                    self.push_event(self.now + period, EvKind::Profile);
+                }
+            }
+        }
+
+        // Finalize energy integration at the instant the root completed.
+        for c in 0..self.cores.len() {
+            self.integrate_core(c);
+        }
+        let energy_j: f64 = self.cores.iter().map(|c| c.energy_j).sum::<f64>()
+            + self.cfg.machine.power.package_static * self.now.seconds();
+        let busy_seconds_at = self
+            .cfg
+            .machine
+            .freq_table
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| (f, self.cores.iter().map(|c| c.busy_at[i]).sum()))
+            .collect();
+        let mut sched = self.stats.clone();
+        sched.busy_seconds_at = busy_seconds_at;
+
+        Ok(SimReport {
+            elapsed: self.now,
+            energy_j,
+            metered_energy_j: self.meter.energy_joules(),
+            mean_power_w: if self.now.ns() == 0 {
+                0.0
+            } else {
+                energy_j / self.now.seconds()
+            },
+            power_series: self.meter.series(),
+            tempo: self.ctl.stats(),
+            sched,
+        })
+    }
+
+    // -- event plumbing -------------------------------------------------
+
+    fn push_event(&mut self, at: SimTime, kind: EvKind) {
+        self.seq += 1;
+        self.events.push(Reverse(Ev {
+            at,
+            seq: self.seq,
+            kind,
+        }));
+    }
+
+    // -- power accounting -----------------------------------------------
+
+    fn core_power(&self, c: usize) -> f64 {
+        let core = &self.cores[c];
+        match core.activity {
+            CoreActivity::Parked => 0.0,
+            CoreActivity::Idle => self.cfg.machine.power.idle_power(core.freq),
+            CoreActivity::Busy => self.cfg.machine.power.busy_power(core.freq),
+        }
+    }
+
+    fn rail_power(&self) -> f64 {
+        (0..self.cores.len()).map(|c| self.core_power(c)).sum::<f64>()
+            + self.cfg.machine.power.package_static
+    }
+
+    /// Accrue energy for core `c` up to `now` at its current state.
+    fn integrate_core(&mut self, c: usize) {
+        let p = self.core_power(c);
+        let core = &mut self.cores[c];
+        let dt = self.now.since(core.last_change).seconds();
+        core.energy_j += p * dt;
+        if core.activity == CoreActivity::Busy {
+            if let Some(slot) = self
+                .cfg
+                .machine
+                .freq_table
+                .iter()
+                .position(|&f| f == core.freq)
+            {
+                core.busy_at[slot] += dt;
+            }
+        }
+        core.last_change = self.now;
+    }
+
+    fn set_core_activity(&mut self, c: usize, activity: CoreActivity) {
+        if self.cores[c].activity != activity {
+            self.integrate_core(c);
+            self.cores[c].activity = activity;
+        }
+    }
+
+    fn set_core_freq(&mut self, c: usize, freq: Frequency) {
+        if self.cores[c].freq != freq {
+            self.integrate_core(c);
+            self.cores[c].freq = freq;
+        }
+    }
+
+    // -- DVFS actuation ---------------------------------------------------
+
+    /// Apply tempo changes buffered during controller hooks by
+    /// retargeting the worker's whole clock domain.
+    fn apply_pending(&mut self) {
+        let changes = std::mem::take(&mut self.pending.0);
+        for change in changes {
+            let w = change.worker.0;
+            let core = self.workers[w].core;
+            self.set_domain_freq(core, change.frequency);
+        }
+    }
+
+    /// Request a new operating point for `core`'s clock domain.
+    ///
+    /// DVFS transitions are modelled as a *settling delay* (paper §3.4:
+    /// "tens of microseconds"): the domain keeps executing at its old
+    /// frequency and flips to the new one `dvfs_latency_ns` later. A newer
+    /// request supersedes an in-flight one (generation counter).
+    fn set_domain_freq(&mut self, core: usize, freq: Frequency) {
+        let domain = self.cfg.machine.domain_of(CoreId(core));
+        let settled = self.cores[core].freq;
+        let pending = self.domain_pending[domain];
+        // Distinct tempo levels can map to the same frequency; skip when
+        // the domain is already there (or already heading there).
+        match pending {
+            Some(p) if p == freq => return,
+            None if settled == freq => return,
+            _ => {}
+        }
+        self.domain_gen[domain] += 1;
+        self.domain_pending[domain] = Some(freq);
+        let gen = self.domain_gen[domain];
+        let at = self.now + SimTime::from_ns(self.cfg.machine.dvfs_latency_ns);
+        self.push_event(at, EvKind::FreqSettle { domain, freq, gen });
+    }
+
+    /// The settling delay elapsed: flip the domain to its new frequency
+    /// and retime any work in flight on it.
+    fn on_freq_settle(&mut self, domain: usize, freq: Frequency, gen: u64) {
+        if self.domain_gen[domain] != gen {
+            return; // superseded by a newer request
+        }
+        self.domain_pending[domain] = None;
+        if self.cores[self.cfg.machine.cores_in_domain(domain)[0].0].freq == freq {
+            return;
+        }
+        self.stats.dvfs_transitions += 1;
+        for c in self.cfg.machine.cores_in_domain(domain) {
+            // Credit progress at the old frequency before switching.
+            if let Some(w) = self.occupant[c.0] {
+                if self.workers[w].current.is_some() {
+                    self.advance_progress(w);
+                }
+            }
+            self.set_core_freq(c.0, freq);
+            if let Some(w) = self.occupant[c.0] {
+                if self.workers[w].current.is_some() {
+                    self.reschedule_completion(w);
+                }
+            }
+        }
+    }
+
+    /// Effective execution rate (cycles/second) at `freq`, accounting for
+    /// the workload's memory-bound fraction: memory time is pinned to the
+    /// machine's top frequency, so the rate degrades sub-linearly.
+    fn effective_rate(&self, freq: Frequency) -> f64 {
+        let beta = self.spec.mem_fraction();
+        let f = freq.khz() as f64 * 1e3;
+        let f_top = self.cfg.machine.freq_table[0].khz() as f64 * 1e3;
+        1.0 / ((1.0 - beta) / f + beta / f_top)
+    }
+
+    /// Credit cycles executed since the last progress update.
+    fn advance_progress(&mut self, w: usize) {
+        let rate = self.effective_rate(self.cores[self.workers[w].core].freq);
+        if let Some(r) = &mut self.workers[w].current {
+            let start = r.last_update.max(r.stalled_until);
+            if self.now > start {
+                let dt = self.now.since(start).seconds();
+                let consumed = dt * rate;
+                r.cycles_left = (r.cycles_left - consumed).max(0.0);
+            }
+            r.last_update = self.now;
+        }
+    }
+
+    /// Invalidate the outstanding completion event and schedule a fresh
+    /// one from the current remaining cycles and frequency.
+    fn reschedule_completion(&mut self, w: usize) {
+        let rate = self.effective_rate(self.cores[self.workers[w].core].freq);
+        self.workers[w].gen += 1;
+        let gen = self.workers[w].gen;
+        let r = self.workers[w]
+            .current
+            .as_ref()
+            .expect("rescheduling requires a running task");
+        let start = self.now.max(r.stalled_until);
+        let run_ns = (r.cycles_left / rate * 1e9).ceil() as u64;
+        let at = start + SimTime::from_ns(run_ns);
+        self.push_event(at, EvKind::WorkDone { w, gen });
+    }
+
+    // -- frame execution --------------------------------------------------
+
+    fn new_frame(&mut self, node: NodeId, parent: Option<usize>) -> usize {
+        self.frames.push(Frame {
+            node,
+            pc: 0,
+            pending: 0,
+            parent,
+            waiting: false,
+        });
+        self.frames.len() - 1
+    }
+
+    /// Drive the worker's current frame until a work segment starts, the
+    /// frame suspends at a sync, or it completes.
+    fn run_frame(&mut self, w: usize) {
+        loop {
+            let Some(running) = &self.workers[w].current else {
+                return;
+            };
+            let fidx = running.frame;
+            let pc = self.frames[fidx].pc;
+            let node = self.frames[fidx].node;
+            let actions = self.spec.actions(node);
+            if pc >= actions.len() {
+                // Implicit sync before return (fully strict).
+                if self.frames[fidx].pending > 0 {
+                    self.frames[fidx].waiting = true;
+                    self.workers[w].current = None;
+                    self.next_task(w);
+                    return;
+                }
+                match self.complete_frame(w, fidx) {
+                    FrameOutcome::Adopted => continue,
+                    FrameOutcome::Detached => {
+                        self.next_task(w);
+                        return;
+                    }
+                    FrameOutcome::RootDone => return,
+                }
+            }
+            match actions[pc] {
+                Action::Work(cycles) => {
+                    if cycles == 0 {
+                        self.frames[fidx].pc += 1;
+                        continue;
+                    }
+                    self.frames[fidx].pc += 1;
+                    self.stats.cycles += cycles;
+                    let r = self.workers[w].current.as_mut().expect("running");
+                    r.cycles_left = cycles as f64;
+                    r.last_update = self.now;
+                    self.set_core_activity(self.workers[w].core, CoreActivity::Busy);
+                    self.reschedule_completion(w);
+                    return;
+                }
+                Action::Spawn(child) => {
+                    // Lazy task creation: push THIS frame's continuation,
+                    // descend into the child (paper §2).
+                    self.frames[fidx].pc += 1;
+                    self.frames[fidx].pending += 1;
+                    self.workers[w].deque.push_back(fidx);
+                    self.stats.pushes += 1;
+                    let len = self.workers[w].deque.len();
+                    self.ctl.on_push(WorkerId(w), len, &mut self.pending);
+                    self.apply_pending();
+                    let child_frame = self.new_frame(child, Some(fidx));
+                    let r = self.workers[w].current.as_mut().expect("running");
+                    r.frame = child_frame;
+                    continue;
+                }
+                Action::Sync => {
+                    if self.frames[fidx].pending == 0 {
+                        self.frames[fidx].pc += 1;
+                        continue;
+                    }
+                    self.frames[fidx].waiting = true;
+                    self.workers[w].current = None;
+                    self.next_task(w);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn on_work_done(&mut self, w: usize) {
+        self.advance_progress(w);
+        debug_assert!(
+            self.workers[w]
+                .current
+                .as_ref()
+                .is_none_or(|r| r.cycles_left < 1.0),
+            "completion fired with cycles remaining"
+        );
+        if let Some(r) = &mut self.workers[w].current {
+            r.cycles_left = 0.0;
+        }
+        self.run_frame(w);
+    }
+
+    /// A frame finished: notify the parent; if this was the last child a
+    /// waiting parent needed, the completing worker resumes the parent
+    /// (the "provably good steal" continuation rule).
+    fn complete_frame(&mut self, w: usize, fidx: usize) -> FrameOutcome {
+        match self.frames[fidx].parent {
+            None => {
+                // Root done: stop the virtual world.
+                self.workers[w].current = None;
+                self.set_core_activity(self.workers[w].core, CoreActivity::Idle);
+                self.done = true;
+                FrameOutcome::RootDone
+            }
+            Some(p) => {
+                self.frames[p].pending -= 1;
+                if self.frames[p].waiting && self.frames[p].pending == 0 {
+                    self.frames[p].waiting = false;
+                    let r = self.workers[w].current.as_mut().expect("running");
+                    r.frame = p;
+                    // Continue the parent past its sync in the same loop.
+                    FrameOutcome::Adopted
+                } else {
+                    self.workers[w].current = None;
+                    FrameOutcome::Detached
+                }
+            }
+        }
+    }
+
+    // -- scheduling: POP / SELECT / STEAL / YIELD -------------------------
+
+    fn next_task(&mut self, w: usize) {
+        if self.done {
+            return;
+        }
+        // POP from own tail.
+        if let Some(fidx) = self.workers[w].deque.pop_back() {
+            self.stats.pops += 1;
+            self.stats.tasks_executed += 1;
+            let len = self.workers[w].deque.len();
+            self.ctl.on_pop(WorkerId(w), len, &mut self.pending);
+            self.apply_pending();
+            self.workers[w].consecutive_fails = 0;
+            self.begin_work(w, fidx, 0);
+            return;
+        }
+        // Out of work: immediacy relay + leave the list (Fig. 5 ll. 5-14).
+        self.ctl.on_out_of_work(WorkerId(w), &mut self.pending);
+        self.apply_pending();
+        // SELECT random victims and STEAL from the first non-empty head.
+        // Like Cilk's scheduler loop, a worker re-SELECTs immediately
+        // after an empty victim and only yields once a full sweep failed.
+        let n = self.workers.len();
+        if n > 1 {
+            let start = self.rng.gen_range(0..n);
+            for i in 0..n {
+                let v = (start + i) % n;
+                if v == w {
+                    continue;
+                }
+                if let Some(fidx) = self.workers[v].deque.pop_front() {
+                    self.stats.steals += 1;
+                    self.stats.tasks_executed += 1;
+                    let victim_len = self.workers[v].deque.len();
+                    self.ctl
+                        .on_steal(WorkerId(w), WorkerId(v), victim_len, &mut self.pending);
+                    self.apply_pending();
+                    self.workers[w].consecutive_fails = 0;
+                    self.begin_work(w, fidx, self.cfg.steal_cost_ns);
+                    return;
+                }
+                self.stats.failed_steals += 1;
+            }
+        }
+        // YIELD with capped exponential backoff.
+        let fails = self.workers[w].consecutive_fails.min(16);
+        self.workers[w].consecutive_fails += 1;
+        let delay = (self.cfg.yield_ns << fails.min(6)).min(self.cfg.yield_max_ns);
+        self.set_core_activity(self.workers[w].core, CoreActivity::Idle);
+        let gen = self.workers[w].gen;
+        self.push_event(self.now + SimTime::from_ns(delay), EvKind::Wake { w, gen });
+    }
+
+    /// Start a WORK invocation on an acquired task, handling dynamic
+    /// migration and acquisition stalls.
+    fn begin_work(&mut self, w: usize, fidx: usize, acquire_cost_ns: u64) {
+        let mut stall = acquire_cost_ns;
+        if let Mapping::Dynamic { affinity_ns } = self.cfg.mapping {
+            stall += affinity_ns;
+            self.migrate(w);
+        }
+        self.workers[w].current = Some(Running {
+            frame: fidx,
+            cycles_left: 0.0,
+            last_update: self.now,
+            stalled_until: self.now + SimTime::from_ns(stall),
+        });
+        self.set_core_activity(self.workers[w].core, CoreActivity::Busy);
+        self.run_frame(w);
+    }
+
+    /// Dynamic mapping: move the worker to a random unoccupied core and
+    /// re-apply its tempo frequency there (a fresh DVFS transition if the
+    /// core was parked at a different operating point).
+    fn migrate(&mut self, w: usize) {
+        let free: Vec<usize> = (0..self.cores.len())
+            .filter(|&c| self.occupant[c].is_none())
+            .collect();
+        if free.is_empty() {
+            return;
+        }
+        let target = free[self.rng.gen_range(0..free.len())];
+        let old = self.workers[w].core;
+        if target == old {
+            return;
+        }
+        self.stats.migrations += 1;
+        self.occupant[old] = None;
+        self.set_core_activity(old, CoreActivity::Parked);
+        self.occupant[target] = Some(w);
+        self.workers[w].core = target;
+        self.set_core_activity(target, CoreActivity::Idle);
+        let desired = self.ctl.frequency(WorkerId(w));
+        self.set_domain_freq(target, desired);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MachineSpec;
+    use hermes_core::{Policy, TempoConfig};
+
+    fn tempo(policy: Policy, workers: usize) -> TempoConfig {
+        TempoConfig::builder()
+            .policy(policy)
+            .frequencies(vec![Frequency::from_mhz(2400), Frequency::from_mhz(1600)])
+            .workers(workers)
+            .build()
+    }
+
+    fn tempo_b(policy: Policy, workers: usize) -> TempoConfig {
+        TempoConfig::builder()
+            .policy(policy)
+            .frequencies(vec![Frequency::from_mhz(3600), Frequency::from_mhz(2700)])
+            .workers(workers)
+            .build()
+    }
+
+    fn quick_dag() -> DagSpec {
+        DagSpec::parallel_for(64, 10_000, |i| 200_000 + (i as u64 % 9) * 50_000)
+    }
+
+    /// ~8.7e9 cycles: a second-scale run, enough for the 100 Hz meter.
+    fn second_scale_dag() -> DagSpec {
+        DagSpec::divide_and_conquer(11, 50_000, |i| 4_000_000 + (i as u64 % 7) * 300_000)
+    }
+
+    #[test]
+    fn serial_dag_on_one_worker_matches_hand_math() {
+        // 1M cycles at 2.4 GHz on one worker: elapsed = 1e6/2.4e9 s.
+        let dag = DagSpec::parallel_for(1, 0, |_| 1_000_000);
+        let cfg = SimConfig::new(MachineSpec::system_a(), tempo(Policy::Baseline, 1));
+        let r = run(&dag, &cfg).unwrap();
+        let expect_s = 1_000_000.0 / 2.4e9;
+        assert!(
+            (r.elapsed.seconds() - expect_s).abs() < expect_s * 0.01,
+            "elapsed {} vs expected {expect_s}",
+            r.elapsed.seconds()
+        );
+        assert_eq!(r.sched.cycles, 1_000_000);
+        assert_eq!(r.sched.steals, 0);
+    }
+
+    #[test]
+    fn parallel_speedup_on_baseline() {
+        let dag = quick_dag();
+        let one = run(
+            &dag,
+            &SimConfig::new(MachineSpec::system_a(), tempo(Policy::Baseline, 1)),
+        )
+        .unwrap();
+        let eight = run(
+            &dag,
+            &SimConfig::new(MachineSpec::system_a(), tempo(Policy::Baseline, 8)),
+        )
+        .unwrap();
+        let speedup = one.elapsed.seconds() / eight.elapsed.seconds();
+        assert!(
+            speedup > 4.0,
+            "8 workers should speed a 64-task flat loop >4x, got {speedup:.2}"
+        );
+        assert!(eight.sched.steals > 0, "parallelism comes from stealing");
+    }
+
+    #[test]
+    fn all_work_is_conserved() {
+        let dag = quick_dag();
+        for workers in [1, 2, 4, 8] {
+            let r = run(
+                &dag,
+                &SimConfig::new(MachineSpec::system_a(), tempo(Policy::Unified, workers)),
+            )
+            .unwrap();
+            assert_eq!(r.sched.cycles, dag.total_cycles(), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn elapsed_respects_lower_bounds() {
+        // Greedy-scheduler bound: T_P >= max(T1/P, T_inf).
+        let dag = DagSpec::divide_and_conquer(6, 20_000, |i| 100_000 + (i as u64 % 5) * 40_000);
+        let workers = 8;
+        let cfg = SimConfig::new(MachineSpec::system_a(), tempo(Policy::Baseline, workers));
+        let r = run(&dag, &cfg).unwrap();
+        let f = 2.4e9;
+        let t1 = dag.total_cycles() as f64 / f;
+        let tinf = dag.critical_path_cycles() as f64 / f;
+        let bound = (t1 / workers as f64).max(tinf);
+        assert!(
+            r.elapsed.seconds() >= bound * 0.999,
+            "elapsed {} below greedy bound {bound}",
+            r.elapsed.seconds()
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let dag = quick_dag();
+        let cfg = SimConfig::new(MachineSpec::system_b(), tempo_b(Policy::Unified, 4)).with_seed(7);
+        let a = run(&dag, &cfg).unwrap();
+        let b = run(&dag, &cfg).unwrap();
+        assert_eq!(a.elapsed, b.elapsed);
+        assert!((a.energy_j - b.energy_j).abs() < 1e-12);
+        assert_eq!(a.sched, b.sched);
+        assert_eq!(a.tempo, b.tempo);
+    }
+
+    #[test]
+    fn hermes_saves_energy_on_imbalanced_work() {
+        // An imbalanced flat loop on several workers: thieves do most of
+        // the work; HERMES should cut energy vs baseline with a small
+        // time penalty.
+        let dag = DagSpec::parallel_for(256, 10_000, |i| {
+            if i % 16 == 0 {
+                4_000_000
+            } else {
+                150_000
+            }
+        });
+        let base = run(
+            &dag,
+            &SimConfig::new(MachineSpec::system_a(), tempo(Policy::Baseline, 8)),
+        )
+        .unwrap();
+        let hermes = run(
+            &dag,
+            &SimConfig::new(MachineSpec::system_a(), tempo(Policy::Unified, 8)),
+        )
+        .unwrap();
+        assert!(
+            hermes.energy_j < base.energy_j,
+            "HERMES {:.2} J vs baseline {:.2} J",
+            hermes.energy_j,
+            base.energy_j
+        );
+        assert!(hermes.sched.slow_fraction() > 0.0, "some work ran slow");
+        assert!(hermes.tempo.actuations > 0);
+    }
+
+    #[test]
+    fn metered_energy_tracks_integrated_energy() {
+        let dag = second_scale_dag();
+        let cfg = SimConfig::new(MachineSpec::system_b(), tempo_b(Policy::Unified, 4));
+        let r = run(&dag, &cfg).unwrap();
+        assert!(
+            r.elapsed.seconds() > 0.5,
+            "need a second-scale run for 100 Hz metering, got {}",
+            r.elapsed
+        );
+        let rel = (r.metered_energy_j - r.energy_j).abs() / r.energy_j;
+        // 100 Hz sampling vs exact integration: agree within a few percent
+        // plus one sample of slack for the partial trailing interval.
+        assert!(
+            rel < 0.05,
+            "meter {:.3} J vs integral {:.3} J ({}% off)",
+            r.metered_energy_j,
+            r.energy_j,
+            (rel * 100.0) as u32
+        );
+    }
+
+    #[test]
+    fn too_many_workers_is_an_error() {
+        let dag = quick_dag();
+        let cfg = SimConfig::new(MachineSpec::system_b(), tempo(Policy::Baseline, 5));
+        assert_eq!(
+            run(&dag, &cfg).unwrap_err(),
+            SimError::TooManyWorkers {
+                workers: 5,
+                domains: 4
+            }
+        );
+    }
+
+    #[test]
+    fn unsupported_frequency_is_an_error() {
+        let dag = quick_dag();
+        let t = TempoConfig::builder()
+            .frequencies(vec![Frequency::from_mhz(5000), Frequency::from_mhz(1600)])
+            .workers(2)
+            .build();
+        let cfg = SimConfig::new(MachineSpec::system_a(), t);
+        assert_eq!(
+            run(&dag, &cfg).unwrap_err(),
+            SimError::UnsupportedFrequency(Frequency::from_mhz(5000))
+        );
+    }
+
+    #[test]
+    fn dynamic_mapping_migrates_and_costs_energy() {
+        let dag = second_scale_dag();
+        let base = SimConfig::new(MachineSpec::system_a(), tempo(Policy::Unified, 8));
+        let stat = run(&dag, &base).unwrap();
+        let dyn_cfg = base.clone().with_mapping(Mapping::dynamic_default());
+        let dynamic = run(&dag, &dyn_cfg).unwrap();
+        assert!(dynamic.sched.migrations > 0);
+        assert!(
+            dynamic.elapsed >= stat.elapsed,
+            "per-WORK affinity setting must not speed things up: {} vs {}",
+            dynamic.elapsed,
+            stat.elapsed
+        );
+        assert!(
+            dynamic.energy_j > stat.energy_j * 0.995,
+            "dynamic should not be meaningfully cheaper: {:.3} vs {:.3}",
+            dynamic.energy_j,
+            stat.energy_j
+        );
+    }
+
+    #[test]
+    fn baseline_never_changes_frequency() {
+        let dag = quick_dag();
+        let r = run(
+            &dag,
+            &SimConfig::new(MachineSpec::system_a(), tempo(Policy::Baseline, 8)),
+        )
+        .unwrap();
+        assert_eq!(r.sched.dvfs_transitions, 0);
+        assert_eq!(r.sched.slow_fraction(), 0.0);
+    }
+
+    #[test]
+    fn power_series_is_recorded() {
+        let dag = second_scale_dag();
+        let r = run(
+            &dag,
+            &SimConfig::new(MachineSpec::system_b(), tempo_b(Policy::Baseline, 4)),
+        )
+        .unwrap();
+        // 100 Hz over a >0.5 s run.
+        assert!(
+            r.power_series.len() > 50,
+            "long enough run to see the 100 Hz series: {} samples over {}",
+            r.power_series.len(),
+            r.elapsed
+        );
+        // Power while running flat out exceeds idle power.
+        let peak = r.power_series.iter().map(|&(_, w)| w).fold(0.0, f64::max);
+        assert!(peak > r.mean_power_w * 0.5);
+    }
+}
+
+#[cfg(test)]
+mod failure_tests {
+    use super::*;
+    use crate::{DagBuilder, MachineSpec};
+    use hermes_core::{Policy, TempoConfig};
+
+    #[test]
+    fn single_task_dag_with_many_workers_terminates() {
+        // Empty-deque storm: 15 workers fight over nothing while one
+        // executes the only task; termination and timing must hold.
+        let dag = DagSpec::parallel_for(1, 0, |_| 50_000_000);
+        let tempo = TempoConfig::builder()
+            .policy(Policy::Unified)
+            .frequencies(vec![Frequency::from_mhz(2400), Frequency::from_mhz(1600)])
+            .workers(16)
+            .build();
+        let r = run(&dag, &SimConfig::new(MachineSpec::system_a(), tempo)).unwrap();
+        assert_eq!(r.sched.cycles, 50_000_000);
+        assert!(r.sched.failed_steals > 0, "the storm actually happened");
+        // A faithful corner of the paper's algorithm: the victim's only
+        // steal drops its (empty) deque below threshold and slows it one
+        // band with no relay to recover, so the task may run at the slow
+        // frequency — but never slower, and never livelocked.
+        let slow_bound = 50_000_000.0 / 1.6e9;
+        assert!(
+            r.elapsed.seconds() < slow_bound * 1.1,
+            "bounded by the slow frequency: {} vs {slow_bound}",
+            r.elapsed.seconds()
+        );
+    }
+
+    #[test]
+    fn zero_dvfs_latency_is_supported() {
+        let dag = DagSpec::parallel_for(64, 10_000, |_| 1_000_000);
+        let mut machine = MachineSpec::system_a();
+        machine.dvfs_latency_ns = 0;
+        let tempo = TempoConfig::builder()
+            .policy(Policy::Unified)
+            .frequencies(vec![Frequency::from_mhz(2400), Frequency::from_mhz(1600)])
+            .workers(8)
+            .build();
+        let r = run(&dag, &SimConfig::new(machine, tempo)).unwrap();
+        assert_eq!(r.sched.cycles, dag.total_cycles());
+    }
+
+    #[test]
+    fn deep_serial_chain_of_phases() {
+        // 64 sequential single-task phases: worst case for the relay and
+        // profiler plumbing (constant drains, no parallelism).
+        let mut b = DagBuilder::new();
+        let mut actions = Vec::new();
+        for i in 0..64 {
+            let child = b.node(vec![Action::Work(1_000_000 + i * 10_000)]);
+            actions.push(Action::Spawn(child));
+            actions.push(Action::Sync);
+        }
+        let root = b.node(actions);
+        let dag = b.build(root);
+        let tempo = TempoConfig::builder()
+            .policy(Policy::Unified)
+            .frequencies(vec![Frequency::from_mhz(3600), Frequency::from_mhz(2700)])
+            .workers(4)
+            .build();
+        let r = run(&dag, &SimConfig::new(MachineSpec::system_b(), tempo)).unwrap();
+        assert_eq!(r.sched.cycles, dag.total_cycles());
+    }
+}

@@ -1,0 +1,52 @@
+//! # hermes-sim
+//!
+//! A deterministic discrete-event simulator of a multicore machine with
+//! per-domain DVFS, a CMOS power model, a 100 Hz supply-rail power meter,
+//! and a Cilk-style continuation-stealing work-stealing scheduler driven
+//! by the HERMES tempo controller from `hermes-core`.
+//!
+//! This is the measurement substrate of the reproduction: the paper runs
+//! on two AMD machines with physical current meters; we run the same
+//! scheduler logic over virtual replicas of those machines
+//! ([`MachineSpec::system_a`], [`MachineSpec::system_b`]) so every figure
+//! of the evaluation can be regenerated deterministically.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hermes_core::{Frequency, Policy, TempoConfig};
+//! use hermes_sim::{DagSpec, MachineSpec, SimConfig};
+//!
+//! // An imbalanced parallel loop.
+//! let dag = DagSpec::parallel_for(128, 10_000, |i| if i % 8 == 0 { 2_000_000 } else { 100_000 });
+//!
+//! // HERMES on the paper's System B with 2-frequency control 3.6/2.7 GHz.
+//! let tempo = TempoConfig::builder()
+//!     .policy(Policy::Unified)
+//!     .frequencies(vec![Frequency::from_mhz(3600), Frequency::from_mhz(2700)])
+//!     .workers(4)
+//!     .build();
+//! let report = hermes_sim::run(&dag, &SimConfig::new(MachineSpec::system_b(), tempo))?;
+//! assert!(report.energy_j > 0.0);
+//! # Ok::<(), hermes_sim::SimError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod config;
+mod dag;
+mod engine;
+mod machine;
+mod meter;
+mod power;
+mod time;
+
+pub use config::{Mapping, SchedStats, SimConfig, SimReport};
+pub use dag::{Action, DagBuilder, DagSpec, NodeId};
+pub use engine::{run, SimError};
+pub use machine::{CoreId, MachineSpec};
+pub use meter::{MeterSample, PowerMeter, SUPPLY_VOLTS};
+pub use power::PowerModel;
+pub use time::SimTime;

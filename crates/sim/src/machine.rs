@@ -1,0 +1,246 @@
+//! Simulated machine topology: cores, clock domains, frequency tables.
+
+use crate::PowerModel;
+use hermes_core::Frequency;
+
+/// Identifier of a physical core in a simulated machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CoreId(pub usize);
+
+impl std::fmt::Display for CoreId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Static description of a simulated machine.
+///
+/// Mirrors the paper's two testbeds: cores grouped into clock domains
+/// (on Piledriver/Bulldozer every two cores share one domain — setting
+/// the frequency of one core sets its sibling's too), a discrete table of
+/// supported frequencies, a DVFS transition latency in the tens of
+/// microseconds, and a power model for the meter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineSpec {
+    /// Human-readable name, printed by the bench harness headers.
+    pub name: String,
+    /// Total physical cores.
+    pub cores: usize,
+    /// Cores per clock domain (2 on both of the paper's systems).
+    pub cores_per_domain: usize,
+    /// Supported frequencies, fastest first.
+    pub freq_table: Vec<Frequency>,
+    /// Time for a domain to settle on a new operating point; the core
+    /// stalls for this long when its frequency is changed (paper §3.4:
+    /// "DVFS switching time is usually in the tens of microseconds").
+    pub dvfs_latency_ns: u64,
+    /// The power/energy model.
+    pub power: PowerModel,
+}
+
+impl MachineSpec {
+    /// The paper's **System A**: 2× 16-core AMD Opteron 6378 (Piledriver),
+    /// 32 cores in 16 independent clock domains, frequencies
+    /// 1.4/1.6/1.9/2.2/2.4 GHz.
+    #[must_use]
+    pub fn system_a() -> Self {
+        MachineSpec {
+            name: "System A (2x AMD Opteron 6378, Piledriver)".to_owned(),
+            cores: 32,
+            cores_per_domain: 2,
+            freq_table: [2400u64, 2200, 1900, 1600, 1400]
+                .iter()
+                .map(|&m| Frequency::from_mhz(m))
+                .collect(),
+            dvfs_latency_ns: 50_000,
+            power: PowerModel {
+                volt_min: 0.90,
+                volt_max: 1.25,
+                freq_min: Frequency::from_mhz(1400),
+                freq_max: Frequency::from_mhz(2400),
+                // Calibrated so a busy core at 2.4 GHz draws ≈ 7 W and the
+                // 32-core module lands near the Opteron 6378's 115 W TDP
+                // envelope under load.
+                capacitance: 1.45,
+                static_per_core: 1.1,
+                idle_activity: 0.12,
+                package_static: 14.0,
+            },
+        }
+    }
+
+    /// The paper's **System B**: 8-core AMD FX-8150 (Bulldozer), 4 clock
+    /// domains, frequencies 1.4/2.1/2.7/3.3/3.6 GHz.
+    #[must_use]
+    pub fn system_b() -> Self {
+        MachineSpec {
+            name: "System B (AMD FX-8150, Bulldozer)".to_owned(),
+            cores: 8,
+            cores_per_domain: 2,
+            freq_table: [3600u64, 3300, 2700, 2100, 1400]
+                .iter()
+                .map(|&m| Frequency::from_mhz(m))
+                .collect(),
+            dvfs_latency_ns: 50_000,
+            power: PowerModel {
+                volt_min: 0.90,
+                volt_max: 1.35,
+                // FX-8150: 125 W TDP over 8 cores.
+                freq_min: Frequency::from_mhz(1400),
+                freq_max: Frequency::from_mhz(3600),
+                capacitance: 1.75,
+                static_per_core: 1.6,
+                idle_activity: 0.12,
+                package_static: 9.0,
+            },
+        }
+    }
+
+    /// Number of independent clock domains.
+    #[must_use]
+    pub fn domains(&self) -> usize {
+        self.cores.div_ceil(self.cores_per_domain)
+    }
+
+    /// The clock domain of `core`.
+    #[must_use]
+    pub fn domain_of(&self, core: CoreId) -> usize {
+        core.0 / self.cores_per_domain
+    }
+
+    /// All cores in clock domain `d`.
+    #[must_use]
+    pub fn cores_in_domain(&self, d: usize) -> Vec<CoreId> {
+        (0..self.cores)
+            .filter(|&c| c / self.cores_per_domain == d)
+            .map(CoreId)
+            .collect()
+    }
+
+    /// The first core of each clock domain — the placement the paper uses
+    /// so that no two workers share a domain ("to avoid the undesirable
+    /// DVFS interference, all our experiments are performed over cores
+    /// with distinct clock domains").
+    #[must_use]
+    pub fn distinct_domain_cores(&self) -> Vec<CoreId> {
+        (0..self.domains())
+            .map(|d| CoreId(d * self.cores_per_domain))
+            .collect()
+    }
+
+    /// Fastest supported frequency.
+    #[must_use]
+    pub fn fastest(&self) -> Frequency {
+        self.freq_table[0]
+    }
+
+    /// Whether `f` is in the supported table.
+    #[must_use]
+    pub fn supports(&self, f: Frequency) -> bool {
+        self.freq_table.contains(&f)
+    }
+
+    /// Validate internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.cores == 0 {
+            return Err("machine must have at least one core".into());
+        }
+        if self.cores_per_domain == 0 {
+            return Err("cores_per_domain must be positive".into());
+        }
+        if self.freq_table.is_empty() {
+            return Err("frequency table must not be empty".into());
+        }
+        if !self.freq_table.windows(2).all(|w| w[0] > w[1]) {
+            return Err("frequency table must be strictly descending".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_a_matches_paper() {
+        let a = MachineSpec::system_a();
+        assert_eq!(a.cores, 32);
+        assert_eq!(a.domains(), 16);
+        assert_eq!(a.freq_table.len(), 5);
+        assert_eq!(a.fastest(), Frequency::from_mhz(2400));
+        assert!(a.supports(Frequency::from_mhz(1900)));
+        assert!(!a.supports(Frequency::from_mhz(2000)));
+        a.validate().unwrap();
+        // 16 workers max on distinct domains, as in Fig. 6.
+        assert_eq!(a.distinct_domain_cores().len(), 16);
+    }
+
+    #[test]
+    fn system_b_matches_paper() {
+        let b = MachineSpec::system_b();
+        assert_eq!(b.cores, 8);
+        assert_eq!(b.domains(), 4);
+        assert_eq!(b.fastest(), Frequency::from_mhz(3600));
+        assert_eq!(b.distinct_domain_cores().len(), 4);
+        b.validate().unwrap();
+    }
+
+    #[test]
+    fn domain_mapping_pairs_adjacent_cores() {
+        let a = MachineSpec::system_a();
+        assert_eq!(a.domain_of(CoreId(0)), 0);
+        assert_eq!(a.domain_of(CoreId(1)), 0);
+        assert_eq!(a.domain_of(CoreId(2)), 1);
+        assert_eq!(a.cores_in_domain(1), vec![CoreId(2), CoreId(3)]);
+    }
+
+    #[test]
+    fn distinct_domain_cores_share_no_domain() {
+        let a = MachineSpec::system_a();
+        let picked = a.distinct_domain_cores();
+        let mut domains: Vec<_> = picked.iter().map(|&c| a.domain_of(c)).collect();
+        domains.dedup();
+        assert_eq!(domains.len(), picked.len());
+    }
+
+    #[test]
+    fn validation_catches_bad_tables() {
+        let mut m = MachineSpec::system_b();
+        m.freq_table = vec![Frequency::from_mhz(1000), Frequency::from_mhz(2000)];
+        assert!(m.validate().is_err());
+        m.freq_table.clear();
+        assert!(m.validate().is_err());
+        let mut m2 = MachineSpec::system_a();
+        m2.cores = 0;
+        assert!(m2.validate().is_err());
+    }
+
+    #[test]
+    fn tdp_envelopes_are_plausible() {
+        // Keep the calibration honest: full-load power within a sane band
+        // around the real parts' TDP.
+        let a = MachineSpec::system_a();
+        let full_a: f64 = (0..a.cores)
+            .map(|_| a.power.busy_power(a.fastest()))
+            .sum::<f64>()
+            + a.power.package_static;
+        assert!(
+            (150.0..320.0).contains(&full_a),
+            "System A full load {full_a:.0} W (2 sockets x 115 W TDP ballpark)"
+        );
+        let b = MachineSpec::system_b();
+        let full_b: f64 = (0..b.cores)
+            .map(|_| b.power.busy_power(b.fastest()))
+            .sum::<f64>()
+            + b.power.package_static;
+        assert!(
+            (80.0..160.0).contains(&full_b),
+            "System B full load {full_b:.0} W (125 W TDP ballpark)"
+        );
+    }
+}

@@ -1,0 +1,158 @@
+//! The simulated current meter (paper §4.1).
+//!
+//! The paper measures "current meters over power supply lines to the CPU
+//! module. Data is converted through an NI DAQ … with 100 samples per
+//! second. Since the supply voltage is stable at 12 V, energy consumption
+//! is computed as the sum of current samples multiplied by 12 × 0.01."
+//! This module reproduces that pipeline against the simulated machine's
+//! instantaneous power.
+
+use crate::SimTime;
+
+/// Supply-rail voltage the meter assumes (stable 12 V in the paper).
+pub const SUPPLY_VOLTS: f64 = 12.0;
+
+/// One meter sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeterSample {
+    /// Sample timestamp.
+    pub at: SimTime,
+    /// Current on the supply rail, amperes.
+    pub amps: f64,
+}
+
+impl MeterSample {
+    /// Instantaneous power implied by the sample, watts.
+    #[must_use]
+    pub fn watts(&self) -> f64 {
+        self.amps * SUPPLY_VOLTS
+    }
+}
+
+/// A 100 Hz sampling current meter on the CPU supply rail.
+///
+/// ```
+/// use hermes_sim::{PowerMeter, SimTime};
+/// let mut meter = PowerMeter::new(100);
+/// // The engine feeds it instantaneous power at each sampling tick.
+/// meter.sample(SimTime::ZERO, 60.0);
+/// meter.sample(SimTime::from_millis(10), 66.0);
+/// // E = Σ I · 12 V · 0.01 s = Σ P · 0.01
+/// assert!((meter.energy_joules() - (60.0 + 66.0) * 0.01).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PowerMeter {
+    period: SimTime,
+    samples: Vec<MeterSample>,
+}
+
+impl PowerMeter {
+    /// A meter sampling `hz` times per virtual second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hz` is 0.
+    #[must_use]
+    pub fn new(hz: u64) -> Self {
+        assert!(hz > 0, "sampling rate must be positive");
+        PowerMeter {
+            period: SimTime::from_ns(1_000_000_000 / hz),
+            samples: Vec::new(),
+        }
+    }
+
+    /// Sampling period.
+    #[must_use]
+    pub fn period(&self) -> SimTime {
+        self.period
+    }
+
+    /// Record the instantaneous rail power (`watts`) at time `at`.
+    pub fn sample(&mut self, at: SimTime, watts: f64) {
+        self.samples.push(MeterSample {
+            at,
+            amps: watts / SUPPLY_VOLTS,
+        });
+    }
+
+    /// All samples, in time order.
+    #[must_use]
+    pub fn samples(&self) -> &[MeterSample] {
+        &self.samples
+    }
+
+    /// Metered energy exactly as the paper computes it:
+    /// `Σ I · 12 · Δt` with `Δt` the sampling period.
+    #[must_use]
+    pub fn energy_joules(&self) -> f64 {
+        let dt = self.period.seconds();
+        self.samples.iter().map(|s| s.amps * SUPPLY_VOLTS * dt).sum()
+    }
+
+    /// Mean rail power over the recording, watts.
+    #[must_use]
+    pub fn mean_watts(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(MeterSample::watts).sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// The power time series as `(seconds, watts)` pairs — the raw data
+    /// behind the paper's Figs. 19–22.
+    #[must_use]
+    pub fn series(&self) -> Vec<(f64, f64)> {
+        self.samples
+            .iter()
+            .map(|s| (s.at.seconds(), s.watts()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_formula_matches_paper() {
+        let mut m = PowerMeter::new(100);
+        for i in 0..100u64 {
+            // Constant 120 W for one virtual second: 10 A at 12 V.
+            m.sample(SimTime::from_millis(i * 10), 120.0);
+        }
+        // Σ 10 A · 12 V · 0.01 s over 100 samples = 120 J.
+        assert!((m.energy_joules() - 120.0).abs() < 1e-9);
+        assert!((m.mean_watts() - 120.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn period_from_rate() {
+        assert_eq!(PowerMeter::new(100).period(), SimTime::from_millis(10));
+        assert_eq!(PowerMeter::new(1000).period(), SimTime::from_millis(1));
+    }
+
+    #[test]
+    fn series_converts_units() {
+        let mut m = PowerMeter::new(100);
+        m.sample(SimTime::from_millis(500), 24.0);
+        let s = m.series();
+        assert_eq!(s.len(), 1);
+        assert!((s[0].0 - 0.5).abs() < 1e-12);
+        assert!((s[0].1 - 24.0).abs() < 1e-12);
+        assert!((m.samples()[0].amps - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_meter_reads_zero() {
+        let m = PowerMeter::new(100);
+        assert_eq!(m.energy_joules(), 0.0);
+        assert_eq!(m.mean_watts(), 0.0);
+        assert!(m.series().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "sampling rate must be positive")]
+    fn zero_rate_panics() {
+        let _ = PowerMeter::new(0);
+    }
+}

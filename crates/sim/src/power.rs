@@ -1,0 +1,161 @@
+//! The CMOS power model behind the simulated current meter.
+//!
+//! The paper measures energy with current meters on the 12 V CPU supply
+//! rail. We model per-core power with the standard CMOS decomposition the
+//! DVFS literature relies on (e.g. the paper's refs. [22, 27, 37]):
+//!
+//! ```text
+//! P_core(f) = P_static(V(f)) + a · C · V(f)² · f
+//! ```
+//!
+//! where `V(f)` is the voltage the DVFS operating point pairs with
+//! frequency `f`, `C` is the switched capacitance, and `a` is the activity
+//! factor (1 for a busy core, a small fraction for an idle one). Static
+//! (leakage) power grows with voltage. The crucial property the paper's
+//! results rest on — and which this model preserves — is that energy per
+//! unit of work falls super-linearly as frequency drops (the `V²·f` term),
+//! while execution time grows only linearly.
+
+use hermes_core::Frequency;
+
+/// Per-core and package power model of a simulated machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerModel {
+    /// Voltage at the lowest hardware frequency, volts.
+    pub volt_min: f64,
+    /// Voltage at the highest hardware frequency, volts.
+    pub volt_max: f64,
+    /// Lowest hardware frequency (anchors the voltage curve).
+    pub freq_min: Frequency,
+    /// Highest hardware frequency (anchors the voltage curve).
+    pub freq_max: Frequency,
+    /// Effective switched capacitance, in watts per (GHz·V²).
+    pub capacitance: f64,
+    /// Leakage power per core at `volt_max`, watts. Scales linearly with
+    /// voltage.
+    pub static_per_core: f64,
+    /// Activity factor of an idle core (spinning in the scheduler or
+    /// halted between tasks).
+    pub idle_activity: f64,
+    /// Constant package/uncore power drawn regardless of core states,
+    /// watts (memory controller, interconnect — the meter on the supply
+    /// rail sees it, DVFS does not reduce it).
+    pub package_static: f64,
+}
+
+impl PowerModel {
+    /// Operating voltage paired with `f`, by linear interpolation between
+    /// the anchor points (clamped outside).
+    #[must_use]
+    pub fn voltage(&self, f: Frequency) -> f64 {
+        let lo = self.freq_min.khz() as f64;
+        let hi = self.freq_max.khz() as f64;
+        let x = (f.khz() as f64).clamp(lo, hi);
+        let t = if hi > lo { (x - lo) / (hi - lo) } else { 0.0 };
+        self.volt_min + t * (self.volt_max - self.volt_min)
+    }
+
+    /// Power of one core running flat-out at `f`, watts.
+    #[must_use]
+    pub fn busy_power(&self, f: Frequency) -> f64 {
+        self.core_power(f, 1.0)
+    }
+
+    /// Power of one idle core parked at `f`, watts.
+    #[must_use]
+    pub fn idle_power(&self, f: Frequency) -> f64 {
+        self.core_power(f, self.idle_activity)
+    }
+
+    /// Power of one core at `f` with activity factor `activity ∈ [0, 1]`.
+    #[must_use]
+    pub fn core_power(&self, f: Frequency, activity: f64) -> f64 {
+        let v = self.voltage(f);
+        let dynamic = activity * self.capacitance * v * v * f.ghz();
+        let leakage = self.static_per_core * (v / self.volt_max);
+        dynamic + leakage
+    }
+
+    /// Energy to execute `cycles` cycles at `f` on an otherwise-busy core,
+    /// joules. (Convenience for tests; the engine integrates power over
+    /// state intervals instead.)
+    #[must_use]
+    pub fn energy_for_cycles(&self, f: Frequency, cycles: u64) -> f64 {
+        let seconds = cycles as f64 / (f.khz() as f64 * 1e3);
+        self.busy_power(f) * seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> PowerModel {
+        PowerModel {
+            volt_min: 0.9,
+            volt_max: 1.25,
+            freq_min: Frequency::from_mhz(1400),
+            freq_max: Frequency::from_mhz(2400),
+            capacitance: 3.0,
+            static_per_core: 2.0,
+            idle_activity: 0.1,
+            package_static: 10.0,
+        }
+    }
+
+    #[test]
+    fn voltage_interpolates_and_clamps() {
+        let m = model();
+        assert!((m.voltage(Frequency::from_mhz(1400)) - 0.9).abs() < 1e-12);
+        assert!((m.voltage(Frequency::from_mhz(2400)) - 1.25).abs() < 1e-12);
+        let mid = m.voltage(Frequency::from_mhz(1900));
+        assert!(mid > 0.9 && mid < 1.25);
+        // Clamped outside the anchor range.
+        assert!((m.voltage(Frequency::from_mhz(800)) - 0.9).abs() < 1e-12);
+        assert!((m.voltage(Frequency::from_mhz(4000)) - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn busy_power_rises_superlinearly_with_frequency() {
+        let m = model();
+        let p_low = m.busy_power(Frequency::from_mhz(1400));
+        let p_high = m.busy_power(Frequency::from_mhz(2400));
+        let freq_ratio = 2400.0 / 1400.0;
+        assert!(
+            p_high / p_low > freq_ratio,
+            "dynamic power must grow faster than frequency (V² effect): {} vs {}",
+            p_high / p_low,
+            freq_ratio
+        );
+    }
+
+    #[test]
+    fn energy_per_cycle_falls_at_lower_frequency() {
+        // The property all of HERMES's savings rest on.
+        let m = model();
+        let e_fast = m.energy_for_cycles(Frequency::from_mhz(2400), 1_000_000);
+        let e_slow = m.energy_for_cycles(Frequency::from_mhz(1600), 1_000_000);
+        assert!(
+            e_slow < e_fast,
+            "same work at lower frequency must cost less energy: {e_slow} vs {e_fast}"
+        );
+    }
+
+    #[test]
+    fn idle_power_is_much_less_than_busy() {
+        let m = model();
+        let f = Frequency::from_mhz(2400);
+        assert!(m.idle_power(f) < 0.5 * m.busy_power(f));
+        assert!(m.idle_power(f) > 0.0, "leakage never vanishes");
+    }
+
+    #[test]
+    fn activity_scales_dynamic_term_only() {
+        let m = model();
+        let f = Frequency::from_mhz(2000);
+        let p0 = m.core_power(f, 0.0);
+        let p1 = m.core_power(f, 1.0);
+        let p_half = m.core_power(f, 0.5);
+        assert!((p_half - (p0 + (p1 - p0) * 0.5)).abs() < 1e-9);
+    }
+}

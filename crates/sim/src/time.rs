@@ -1,0 +1,110 @@
+//! Virtual time for the discrete-event simulation.
+
+/// A point in virtual time, in nanoseconds since simulation start.
+///
+/// ```
+/// use hermes_sim::SimTime;
+/// let t = SimTime::from_micros(5);
+/// assert_eq!(t.ns(), 5_000);
+/// assert_eq!((t + SimTime::from_ns(500)).ns(), 5_500);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// Simulation start.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// From nanoseconds.
+    #[must_use]
+    pub const fn from_ns(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// From microseconds.
+    #[must_use]
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// From milliseconds.
+    #[must_use]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Nanoseconds since simulation start.
+    #[must_use]
+    pub const fn ns(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since simulation start.
+    #[must_use]
+    pub fn seconds(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating difference `self - earlier`.
+    #[must_use]
+    pub fn since(self, earlier: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl std::ops::Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl std::ops::AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl std::fmt::Display for SimTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.seconds())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e6)
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(SimTime::from_millis(2).ns(), 2_000_000);
+        assert_eq!(SimTime::from_micros(3).ns(), 3_000);
+        assert!((SimTime::from_millis(1500).seconds() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic_and_ordering() {
+        let a = SimTime::from_ns(100);
+        let b = SimTime::from_ns(250);
+        assert!(a < b);
+        assert_eq!((a + b).ns(), 350);
+        assert_eq!(b.since(a).ns(), 150);
+        assert_eq!(a.since(b).ns(), 0, "saturating");
+        let mut c = a;
+        c += b;
+        assert_eq!(c.ns(), 350);
+    }
+
+    #[test]
+    fn display_scales_units() {
+        assert_eq!(SimTime::from_ns(12).to_string(), "12ns");
+        assert_eq!(SimTime::from_millis(12).to_string(), "12.000ms");
+        assert_eq!(SimTime::from_millis(1200).to_string(), "1.200s");
+    }
+}

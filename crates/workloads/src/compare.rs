@@ -1,0 +1,102 @@
+//! Comparison Sort (the paper's **Compare** benchmark): parallel sample
+//! sort, after PBBS `sampleSort`.
+
+use crate::util::{par_consume, par_map_into, parallel_scatter, split_by_sizes};
+
+/// Below this size, delegate to the standard sort.
+const SERIAL_CUTOFF: usize = 1 << 12;
+/// Oversampling factor for pivot selection.
+const OVERSAMPLE: usize = 8;
+
+/// Sort `data` ascending with a parallel sample sort: sample pivots,
+/// partition into buckets in parallel, sort buckets in parallel.
+///
+/// ```
+/// use hermes_rt::Pool;
+/// use hermes_workloads::sample_sort;
+/// let pool = Pool::new(2);
+/// let mut v = vec![9u32, 1, 8, 2, 7];
+/// pool.install(|| sample_sort(&mut v));
+/// assert_eq!(v, [1, 2, 7, 8, 9]);
+/// ```
+pub fn sample_sort(data: &mut [u32]) {
+    sample_sort_with_buckets(data, 64);
+}
+
+/// [`sample_sort`] with an explicit bucket count (exposed for the
+/// granularity ablation).
+///
+/// # Panics
+///
+/// Panics if `buckets` is 0.
+pub fn sample_sort_with_buckets(data: &mut [u32], buckets: usize) {
+    assert!(buckets > 0, "at least one bucket");
+    let n = data.len();
+    if n <= SERIAL_CUTOFF || buckets == 1 {
+        data.sort_unstable();
+        return;
+    }
+
+    // Sample by fixed stride (deterministic), sort the sample, and pick
+    // equally spaced pivots.
+    let sample_size = (buckets * OVERSAMPLE).min(n);
+    let stride = n / sample_size;
+    let mut sample: Vec<u32> = (0..sample_size).map(|i| data[i * stride]).collect();
+    sample.sort_unstable();
+    let pivots: Vec<u32> = (1..buckets).map(|b| sample[b * OVERSAMPLE - 1]).collect();
+
+    // Partition into buckets with the parallel scatter, then sort each
+    // bucket in parallel and copy back.
+    let classify = |x: &u32| pivots.partition_point(|p| p < x);
+    let mut buf = vec![0u32; n];
+    let sizes = parallel_scatter(data, &mut buf, buckets, (n / 64).max(1), &classify);
+    let bucket_slices = split_by_sizes(&mut buf[..], &sizes);
+    par_consume(bucket_slices, &|bucket| bucket.sort_unstable());
+    par_map_into(&buf, data, (n / 64).max(1), &|&x| x);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{skewed_keys, uniform_keys};
+    use hermes_rt::Pool;
+
+    fn check_sorts(mut v: Vec<u32>) {
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        let pool = Pool::new(4);
+        pool.install(|| sample_sort(&mut v));
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn sorts_uniform_keys() {
+        check_sorts(uniform_keys(100_000, 52));
+    }
+
+    #[test]
+    fn sorts_skewed_keys() {
+        // Heavy duplication stresses bucket imbalance.
+        check_sorts(skewed_keys(100_000, 53));
+    }
+
+    #[test]
+    fn sorts_edge_cases() {
+        check_sorts(vec![]);
+        check_sorts(vec![7]);
+        check_sorts(vec![0; 50_000]);
+        check_sorts((0..50_000u32).rev().collect());
+    }
+
+    #[test]
+    fn explicit_bucket_counts() {
+        for buckets in [1, 2, 16, 128] {
+            let mut v = uniform_keys(30_000, 54);
+            let mut expect = v.clone();
+            expect.sort_unstable();
+            let pool = Pool::new(4);
+            pool.install(|| sample_sort_with_buckets(&mut v, buckets));
+            assert_eq!(v, expect, "buckets={buckets}");
+        }
+    }
+}

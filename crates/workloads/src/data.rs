@@ -1,0 +1,306 @@
+//! Seeded synthetic input generators.
+//!
+//! The paper uses PBBS datasets; we generate structurally equivalent
+//! inputs deterministically from a seed so every trial is reproducible.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A point in the plane.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point2 {
+    /// X coordinate.
+    pub x: f64,
+    /// Y coordinate.
+    pub y: f64,
+}
+
+impl Point2 {
+    /// Euclidean distance to `other`.
+    #[must_use]
+    pub fn dist(&self, other: &Point2) -> f64 {
+        self.dist2(other).sqrt()
+    }
+
+    /// Squared Euclidean distance to `other`.
+    #[must_use]
+    pub fn dist2(&self, other: &Point2) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+}
+
+/// A point in 3-space.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point3 {
+    /// X coordinate.
+    pub x: f64,
+    /// Y coordinate.
+    pub y: f64,
+    /// Z coordinate.
+    pub z: f64,
+}
+
+impl Point3 {
+    /// Component-wise subtraction.
+    #[must_use]
+    pub fn sub(&self, o: &Point3) -> Point3 {
+        Point3 {
+            x: self.x - o.x,
+            y: self.y - o.y,
+            z: self.z - o.z,
+        }
+    }
+
+    /// Cross product.
+    #[must_use]
+    pub fn cross(&self, o: &Point3) -> Point3 {
+        Point3 {
+            x: self.y * o.z - self.z * o.y,
+            y: self.z * o.x - self.x * o.z,
+            z: self.x * o.y - self.y * o.x,
+        }
+    }
+
+    /// Dot product.
+    #[must_use]
+    pub fn dot(&self, o: &Point3) -> f64 {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+}
+
+/// A labelled training point for the KNN benchmark.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Labeled {
+    /// Feature-space position.
+    pub point: Point2,
+    /// Class label.
+    pub label: u8,
+}
+
+/// A triangle in 3-space (the Ray benchmark's scene element).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Triangle {
+    /// First vertex.
+    pub a: Point3,
+    /// Second vertex.
+    pub b: Point3,
+    /// Third vertex.
+    pub c: Point3,
+}
+
+impl Triangle {
+    /// Centroid of the triangle.
+    #[must_use]
+    pub fn centroid(&self) -> Point3 {
+        Point3 {
+            x: (self.a.x + self.b.x + self.c.x) / 3.0,
+            y: (self.a.y + self.b.y + self.c.y) / 3.0,
+            z: (self.a.z + self.b.z + self.c.z) / 3.0,
+        }
+    }
+}
+
+/// A ray with origin and direction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ray {
+    /// Origin point.
+    pub origin: Point3,
+    /// Direction (not necessarily normalised).
+    pub dir: Point3,
+}
+
+/// Uniform random points in the unit square.
+#[must_use]
+pub fn uniform_points2(n: usize, seed: u64) -> Vec<Point2> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Point2 {
+            x: rng.gen::<f64>(),
+            y: rng.gen::<f64>(),
+        })
+        .collect()
+}
+
+/// Clustered points: `clusters` Gaussian-ish blobs in the unit square —
+/// the skewed spatial distribution that makes KNN/Hull irregular.
+#[must_use]
+pub fn clustered_points2(n: usize, clusters: usize, seed: u64) -> Vec<Point2> {
+    assert!(clusters > 0, "at least one cluster");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let centers: Vec<Point2> = (0..clusters)
+        .map(|_| Point2 {
+            x: rng.gen::<f64>(),
+            y: rng.gen::<f64>(),
+        })
+        .collect();
+    (0..n)
+        .map(|_| {
+            let c = centers[rng.gen_range(0..clusters)];
+            // Sum of uniforms approximates a Gaussian tightly enough here.
+            let jitter = |rng: &mut SmallRng| {
+                (rng.gen::<f64>() + rng.gen::<f64>() + rng.gen::<f64>() - 1.5) * 0.05
+            };
+            Point2 {
+                x: (c.x + jitter(&mut rng)).clamp(0.0, 1.0),
+                y: (c.y + jitter(&mut rng)).clamp(0.0, 1.0),
+            }
+        })
+        .collect()
+}
+
+/// Labelled training points: label = spatial quadrant-ish classes with
+/// noise, so k-NN classification is non-trivial but learnable.
+#[must_use]
+pub fn labeled_points(n: usize, classes: u8, seed: u64) -> Vec<Labeled> {
+    assert!(classes > 0, "at least one class");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    uniform_points2(n, seed.wrapping_add(1))
+        .into_iter()
+        .map(|point| {
+            let base = ((point.x * f64::from(classes)) as u8).min(classes - 1);
+            let label = if rng.gen::<f64>() < 0.9 {
+                base
+            } else {
+                rng.gen_range(0..classes)
+            };
+            Labeled { point, label }
+        })
+        .collect()
+}
+
+/// Uniform random `u32` keys.
+#[must_use]
+pub fn uniform_keys(n: usize, seed: u64) -> Vec<u32> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen()).collect()
+}
+
+/// Zipf-skewed keys: a few values dominate — the adversarial case for
+/// bucket-based sorts (bucket imbalance drives steals).
+#[must_use]
+pub fn skewed_keys(n: usize, seed: u64) -> Vec<u32> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let r: f64 = rng.gen::<f64>().max(1e-12);
+            // Inverse-power transform: heavy head, long tail.
+            let v = (1.0 / r.powf(0.5) - 1.0) * 1e6;
+            (v as u64).min(u64::from(u32::MAX)) as u32
+        })
+        .collect()
+}
+
+/// Random triangle soup in the unit cube with edge lengths ~`size`.
+#[must_use]
+pub fn triangle_soup(n: usize, size: f64, seed: u64) -> Vec<Triangle> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let base = Point3 {
+                x: rng.gen::<f64>(),
+                y: rng.gen::<f64>(),
+                z: rng.gen::<f64>(),
+            };
+            let mut v = |b: f64| b + (rng.gen::<f64>() - 0.5) * size;
+            Triangle {
+                a: base,
+                b: Point3 {
+                    x: v(base.x),
+                    y: v(base.y),
+                    z: v(base.z),
+                },
+                c: Point3 {
+                    x: v(base.x),
+                    y: v(base.y),
+                    z: v(base.z),
+                },
+            }
+        })
+        .collect()
+}
+
+/// Rays shot from a plane in front of the cube toward it (the paper's
+/// "penetrating rays R ... in a three-dimensional bounding box").
+#[must_use]
+pub fn ray_cast_set(n: usize, seed: u64) -> Vec<Ray> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Ray {
+            origin: Point3 {
+                x: rng.gen::<f64>(),
+                y: rng.gen::<f64>(),
+                z: -1.0,
+            },
+            dir: Point3 {
+                x: (rng.gen::<f64>() - 0.5) * 0.2,
+                y: (rng.gen::<f64>() - 0.5) * 0.2,
+                z: 1.0,
+            },
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(uniform_points2(100, 7), uniform_points2(100, 7));
+        assert_eq!(uniform_keys(100, 7), uniform_keys(100, 7));
+        assert_eq!(triangle_soup(10, 0.1, 7), triangle_soup(10, 0.1, 7));
+        assert_ne!(uniform_keys(100, 7), uniform_keys(100, 8));
+    }
+
+    #[test]
+    fn points_stay_in_unit_square() {
+        for p in uniform_points2(1000, 3)
+            .into_iter()
+            .chain(clustered_points2(1000, 5, 3))
+        {
+            assert!((0.0..=1.0).contains(&p.x));
+            assert!((0.0..=1.0).contains(&p.y));
+        }
+    }
+
+    #[test]
+    fn labels_are_in_range() {
+        for l in labeled_points(500, 4, 9) {
+            assert!(l.label < 4);
+        }
+    }
+
+    #[test]
+    fn skewed_keys_are_skewed() {
+        let keys = skewed_keys(10_000, 11);
+        let small = keys.iter().filter(|&&k| k < 1_000_000).count();
+        assert!(
+            small > 3_000,
+            "inverse-power transform should concentrate mass low: {small}"
+        );
+        let large = keys.iter().filter(|&&k| k > 100_000_000).count();
+        assert!(large > 0, "but keep a long tail");
+    }
+
+    #[test]
+    fn point_geometry_helpers() {
+        let a = Point2 { x: 0.0, y: 0.0 };
+        let b = Point2 { x: 3.0, y: 4.0 };
+        assert!((a.dist(&b) - 5.0).abs() < 1e-12);
+        let x = Point3 { x: 1.0, y: 0.0, z: 0.0 };
+        let y = Point3 { x: 0.0, y: 1.0, z: 0.0 };
+        let z = x.cross(&y);
+        assert!((z.z - 1.0).abs() < 1e-12 && z.x.abs() < 1e-12);
+        assert!(x.dot(&y).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rays_point_into_the_cube() {
+        for r in ray_cast_set(100, 5) {
+            assert!(r.origin.z < 0.0);
+            assert!(r.dir.z > 0.0);
+        }
+    }
+}

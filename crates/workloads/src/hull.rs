@@ -1,0 +1,277 @@
+//! Convex Hull (the paper's **Hull** benchmark): parallel quickhull,
+//! after PBBS `convexHull`.
+
+use crate::data::Point2;
+use hermes_rt::join;
+
+/// Below this many candidate points, recurse serially.
+const SERIAL_CUTOFF: usize = 2_000;
+/// Strictly-left tolerance: points closer to a hull edge than this are
+/// treated as on it and excluded (PBBS does the same).
+const EPS: f64 = 1e-12;
+
+/// Twice the signed area of triangle `(a, b, c)`; positive when `c` lies
+/// strictly left of the directed line `a -> b`.
+#[must_use]
+pub fn cross(a: &Point2, b: &Point2, c: &Point2) -> f64 {
+    (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x)
+}
+
+/// Convex hull of `points` by parallel quickhull, returned in
+/// counter-clockwise order starting from the leftmost point. Collinear
+/// boundary points are excluded.
+///
+/// Returns an empty vector for fewer than 3 input points.
+///
+/// ```
+/// use hermes_rt::Pool;
+/// use hermes_workloads::{quickhull, Point2};
+/// let pool = Pool::new(2);
+/// let square = vec![
+///     Point2 { x: 0.0, y: 0.0 }, Point2 { x: 1.0, y: 0.0 },
+///     Point2 { x: 1.0, y: 1.0 }, Point2 { x: 0.0, y: 1.0 },
+///     Point2 { x: 0.5, y: 0.5 }, // interior: excluded
+/// ];
+/// let hull = pool.install(|| quickhull(&square));
+/// assert_eq!(hull.len(), 4);
+/// ```
+#[must_use]
+pub fn quickhull(points: &[Point2]) -> Vec<Point2> {
+    if points.len() < 3 {
+        return Vec::new();
+    }
+    let cmp = |a: &&Point2, b: &&Point2| {
+        (a.x, a.y)
+            .partial_cmp(&(b.x, b.y))
+            .expect("finite coordinates")
+    };
+    let lo = *points.iter().min_by(cmp).expect("non-empty");
+    let hi = *points.iter().max_by(cmp).expect("non-empty");
+    if lo == hi {
+        return Vec::new(); // all points identical
+    }
+    let above: Vec<Point2> = points
+        .iter()
+        .copied()
+        .filter(|p| cross(&lo, &hi, p) > EPS)
+        .collect();
+    let below: Vec<Point2> = points
+        .iter()
+        .copied()
+        .filter(|p| cross(&hi, &lo, p) > EPS)
+        .collect();
+    let (upper, lower) = join(|| expand(lo, hi, above), || expand(hi, lo, below));
+    let mut hull = Vec::with_capacity(upper.len() + lower.len() + 2);
+    // `expand(a, b, _)` yields the chain strictly between a and b, in
+    // a -> b order, on the left of a -> b. Counter-clockwise traversal
+    // from the leftmost point runs below-side first (lo -> hi), then
+    // above-side back (hi -> lo) — i.e. both chains reversed.
+    hull.push(lo);
+    hull.extend(lower.into_iter().rev());
+    hull.push(hi);
+    hull.extend(upper.into_iter().rev());
+    // Farthest-point ties among collinear candidates can elect a point in
+    // the middle of a hull edge; sweep those (and duplicates) out so the
+    // hull contains corner vertices only, like the oracle.
+    remove_collinear_middles(&mut hull);
+    if hull.len() < 3 {
+        return Vec::new(); // collinear input: no 2-d hull
+    }
+    hull
+}
+
+/// Drop vertices that do not make a strict left turn (collinear middles
+/// and duplicates), iterating until the polygon is strictly convex.
+fn remove_collinear_middles(hull: &mut Vec<Point2>) {
+    loop {
+        let n = hull.len();
+        if n < 3 {
+            return;
+        }
+        let mut keep = Vec::with_capacity(n);
+        for i in 0..n {
+            let prev = &hull[(i + n - 1) % n];
+            let next = &hull[(i + 1) % n];
+            if cross(prev, next, &hull[i]) < -EPS {
+                // hull[i] lies strictly right of prev->next: a real corner
+                // of the counter-clockwise polygon.
+                keep.push(hull[i]);
+            }
+        }
+        if keep.len() == n {
+            return;
+        }
+        *hull = keep;
+    }
+}
+
+/// Hull points strictly left of `a -> b`, in hull order.
+fn expand(a: Point2, b: Point2, pts: Vec<Point2>) -> Vec<Point2> {
+    if pts.is_empty() {
+        return Vec::new();
+    }
+    // Farthest point from the line a-b drives the split.
+    let far = *pts
+        .iter()
+        .max_by(|p, q| {
+            cross(&a, &b, p)
+                .partial_cmp(&cross(&a, &b, q))
+                .expect("finite coordinates")
+        })
+        .expect("non-empty");
+    let split = |from: Point2, to: Point2, pts: &[Point2]| -> Vec<Point2> {
+        pts.iter()
+            .copied()
+            .filter(|p| cross(&from, &to, p) > EPS)
+            .collect()
+    };
+    let left = split(a, far, &pts);
+    let right = split(far, b, &pts);
+    let (mut l, r) = if pts.len() >= SERIAL_CUTOFF {
+        join(|| expand(a, far, left), || expand(far, b, right))
+    } else {
+        (expand(a, far, left), expand(far, b, right))
+    };
+    l.push(far);
+    l.extend(r);
+    l
+}
+
+/// Andrew's monotone chain — the serial oracle for tests. Returns the
+/// hull counter-clockwise from the leftmost point, collinear points
+/// excluded.
+#[must_use]
+pub fn convex_hull_oracle(points: &[Point2]) -> Vec<Point2> {
+    if points.len() < 3 {
+        return Vec::new();
+    }
+    let mut pts: Vec<Point2> = points.to_vec();
+    pts.sort_by(|a, b| (a.x, a.y).partial_cmp(&(b.x, b.y)).expect("finite"));
+    pts.dedup();
+    if pts.len() < 3 {
+        return Vec::new();
+    }
+    let mut lower: Vec<Point2> = Vec::new();
+    for &p in &pts {
+        while lower.len() >= 2
+            && cross(&lower[lower.len() - 2], &lower[lower.len() - 1], &p) <= EPS
+        {
+            lower.pop();
+        }
+        lower.push(p);
+    }
+    let mut upper: Vec<Point2> = Vec::new();
+    for &p in pts.iter().rev() {
+        while upper.len() >= 2
+            && cross(&upper[upper.len() - 2], &upper[upper.len() - 1], &p) <= EPS
+        {
+            upper.pop();
+        }
+        upper.push(p);
+    }
+    lower.pop();
+    upper.pop();
+    if lower.len() + upper.len() < 3 {
+        return Vec::new(); // fully collinear input
+    }
+    lower.extend(upper);
+    lower
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{clustered_points2, uniform_points2};
+    use hermes_rt::Pool;
+
+    fn normalize(mut hull: Vec<Point2>) -> Vec<(u64, u64)> {
+        // Hulls may start at different vertices; compare as sorted sets of
+        // quantised coordinates.
+        let q = |v: f64| (v * 1e12) as u64;
+        let mut keys: Vec<(u64, u64)> = hull.drain(..).map(|p| (q(p.x), q(p.y))).collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    #[test]
+    fn hull_matches_monotone_chain_oracle() {
+        let pool = Pool::new(4);
+        for seed in [80, 81, 82] {
+            let pts = uniform_points2(5_000, seed);
+            let expect = convex_hull_oracle(&pts);
+            let got = pool.install(|| quickhull(&pts));
+            assert_eq!(normalize(got), normalize(expect), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn hull_of_clustered_points() {
+        let pool = Pool::new(4);
+        let pts = clustered_points2(10_000, 6, 83);
+        let expect = convex_hull_oracle(&pts);
+        let got = pool.install(|| quickhull(&pts));
+        assert_eq!(normalize(got), normalize(expect));
+    }
+
+    #[test]
+    fn hull_is_counter_clockwise_and_convex() {
+        let pool = Pool::new(2);
+        let pts = uniform_points2(2_000, 84);
+        let hull = pool.install(|| quickhull(&pts));
+        assert!(hull.len() >= 3);
+        for i in 0..hull.len() {
+            let a = &hull[i];
+            let b = &hull[(i + 1) % hull.len()];
+            let c = &hull[(i + 2) % hull.len()];
+            assert!(
+                cross(a, b, c) > 0.0,
+                "consecutive hull vertices must turn left"
+            );
+        }
+    }
+
+    #[test]
+    fn hull_contains_all_points() {
+        let pool = Pool::new(2);
+        let pts = uniform_points2(1_000, 85);
+        let hull = pool.install(|| quickhull(&pts));
+        for p in &pts {
+            for i in 0..hull.len() {
+                let a = &hull[i];
+                let b = &hull[(i + 1) % hull.len()];
+                assert!(
+                    cross(a, b, p) >= -1e-9,
+                    "point {p:?} lies outside hull edge {a:?}->{b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(quickhull(&[]).is_empty());
+        let p = Point2 { x: 0.5, y: 0.5 };
+        assert!(quickhull(&[p, p, p, p]).is_empty());
+        // Collinear points: no 2-d hull.
+        let line: Vec<Point2> = (0..100)
+            .map(|i| Point2 {
+                x: i as f64,
+                y: 2.0 * i as f64,
+            })
+            .collect();
+        assert!(quickhull(&line).is_empty());
+        assert!(convex_hull_oracle(&line).is_empty());
+    }
+
+    #[test]
+    fn triangle_is_its_own_hull() {
+        let tri = vec![
+            Point2 { x: 0.0, y: 0.0 },
+            Point2 { x: 1.0, y: 0.0 },
+            Point2 { x: 0.0, y: 1.0 },
+        ];
+        let hull = quickhull(&tri);
+        assert_eq!(normalize(hull), normalize(tri.clone()));
+        assert_eq!(normalize(convex_hull_oracle(&tri)), normalize(tri));
+    }
+}

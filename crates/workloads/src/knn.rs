@@ -1,0 +1,274 @@
+//! K-Nearest Neighbors (the paper's **KNN** benchmark): parallel kd-tree
+//! construction and k-NN classification, after PBBS `nearestNeighbors`.
+
+use crate::data::{Labeled, Point2};
+use crate::util::par_map;
+use hermes_rt::join;
+
+/// Below this many points, build subtrees serially.
+const BUILD_CUTOFF: usize = 1 << 10;
+
+/// A 2-d tree over labelled points.
+#[derive(Debug)]
+pub struct KdTree {
+    root: Option<Box<KdNode>>,
+    len: usize,
+}
+
+#[derive(Debug)]
+struct KdNode {
+    item: Labeled,
+    /// Split dimension: 0 = x, 1 = y.
+    dim: u8,
+    left: Option<Box<KdNode>>,
+    right: Option<Box<KdNode>>,
+}
+
+impl KdTree {
+    /// Build a tree from `points`, reordering the slice in place
+    /// (median-split construction; subtrees build in parallel).
+    #[must_use]
+    pub fn build(points: &mut [Labeled]) -> KdTree {
+        let len = points.len();
+        KdTree {
+            root: build_node(points, 0),
+            len,
+        }
+    }
+
+    /// Number of points in the tree.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The `k` nearest training points to `q`, nearest first.
+    #[must_use]
+    pub fn k_nearest(&self, q: &Point2, k: usize) -> Vec<Labeled> {
+        if k == 0 {
+            return Vec::new();
+        }
+        let mut best: Vec<(f64, Labeled)> = Vec::with_capacity(k + 1);
+        if let Some(root) = &self.root {
+            search(root, q, k, &mut best);
+        }
+        best.into_iter().map(|(_, l)| l).collect()
+    }
+
+    /// Classify `q` by majority vote among its `k` nearest neighbours
+    /// (ties break toward the smaller label).
+    #[must_use]
+    pub fn classify(&self, q: &Point2, k: usize) -> Option<u8> {
+        let neighbours = self.k_nearest(q, k);
+        if neighbours.is_empty() {
+            return None;
+        }
+        let mut counts = [0u32; 256];
+        for n in &neighbours {
+            counts[n.label as usize] += 1;
+        }
+        counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(label, &c)| (c, usize::MAX - label))
+            .map(|(label, _)| label as u8)
+    }
+}
+
+fn build_node(points: &mut [Labeled], depth: u32) -> Option<Box<KdNode>> {
+    if points.is_empty() {
+        return None;
+    }
+    let dim = (depth % 2) as u8;
+    let mid = points.len() / 2;
+    points.select_nth_unstable_by(mid, |a, b| {
+        key(a, dim).partial_cmp(&key(b, dim)).expect("finite coords")
+    });
+    let item = points[mid];
+    let (lo, rest) = points.split_at_mut(mid);
+    let hi = &mut rest[1..];
+    let (left, right) = if points_len(lo) + points_len(hi) >= BUILD_CUTOFF {
+        join(
+            || build_node(lo, depth + 1),
+            || build_node(hi, depth + 1),
+        )
+    } else {
+        (build_node(lo, depth + 1), build_node(hi, depth + 1))
+    };
+    Some(Box::new(KdNode {
+        item,
+        dim,
+        left,
+        right,
+    }))
+}
+
+fn points_len(p: &[Labeled]) -> usize {
+    p.len()
+}
+
+fn key(l: &Labeled, dim: u8) -> f64 {
+    if dim == 0 {
+        l.point.x
+    } else {
+        l.point.y
+    }
+}
+
+fn search(node: &KdNode, q: &Point2, k: usize, best: &mut Vec<(f64, Labeled)>) {
+    let d2 = q.dist2(&node.item.point);
+    consider(best, k, d2, node.item);
+    let qk = if node.dim == 0 { q.x } else { q.y };
+    let nk = key(&node.item, node.dim);
+    let (near, far) = if qk < nk {
+        (&node.left, &node.right)
+    } else {
+        (&node.right, &node.left)
+    };
+    if let Some(n) = near {
+        search(n, q, k, best);
+    }
+    // Prune the far side unless the splitting plane is closer than the
+    // current k-th best.
+    let plane_d2 = (qk - nk) * (qk - nk);
+    if best.len() < k || plane_d2 < best.last().expect("non-empty").0 {
+        if let Some(f) = far {
+            search(f, q, k, best);
+        }
+    }
+}
+
+fn consider(best: &mut Vec<(f64, Labeled)>, k: usize, d2: f64, item: Labeled) {
+    let pos = best.partition_point(|&(d, _)| d <= d2);
+    if pos >= k {
+        return;
+    }
+    best.insert(pos, (d2, item));
+    best.truncate(k);
+}
+
+/// Classify every query point by `k`-nearest-neighbour vote against the
+/// training set (tree build + queries both parallel).
+///
+/// Reorders `train` in place (the kd-tree is built over it).
+///
+/// ```
+/// use hermes_rt::Pool;
+/// use hermes_workloads::{knn_classify, Labeled, Point2};
+/// let pool = Pool::new(2);
+/// let mut train = vec![
+///     Labeled { point: Point2 { x: 0.1, y: 0.1 }, label: 0 },
+///     Labeled { point: Point2 { x: 0.9, y: 0.9 }, label: 1 },
+/// ];
+/// let queries = vec![Point2 { x: 0.15, y: 0.12 }];
+/// let labels = pool.install(|| knn_classify(&mut train, &queries, 1));
+/// assert_eq!(labels, vec![0]);
+/// ```
+#[must_use]
+pub fn knn_classify(train: &mut [Labeled], queries: &[Point2], k: usize) -> Vec<u8> {
+    let tree = KdTree::build(train);
+    par_map(queries, 64, &|q| tree.classify(q, k).unwrap_or(0))
+}
+
+/// Brute-force k-NN classification — the serial oracle for tests.
+#[must_use]
+pub fn knn_classify_oracle(train: &[Labeled], queries: &[Point2], k: usize) -> Vec<u8> {
+    queries
+        .iter()
+        .map(|q| {
+            let mut dists: Vec<(f64, Labeled)> =
+                train.iter().map(|t| (q.dist2(&t.point), *t)).collect();
+            dists.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+            let mut counts = [0u32; 256];
+            for (_, t) in dists.iter().take(k) {
+                counts[t.label as usize] += 1;
+            }
+            counts
+                .iter()
+                .enumerate()
+                .max_by_key(|&(label, &c)| (c, usize::MAX - label))
+                .map(|(label, _)| label as u8)
+                .unwrap_or(0)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{labeled_points, uniform_points2};
+    use hermes_rt::Pool;
+
+    #[test]
+    fn knn_matches_bruteforce_oracle() {
+        let pool = Pool::new(4);
+        let mut train = labeled_points(2_000, 4, 60);
+        let queries = uniform_points2(200, 61);
+        let expect = knn_classify_oracle(&train, &queries, 5);
+        let got = pool.install(|| knn_classify(&mut train, &queries, 5));
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn k_nearest_returns_sorted_distances() {
+        let mut train = labeled_points(500, 3, 62);
+        let tree = KdTree::build(&mut train);
+        let q = Point2 { x: 0.5, y: 0.5 };
+        let near = tree.k_nearest(&q, 10);
+        assert_eq!(near.len(), 10);
+        let dists: Vec<f64> = near.iter().map(|l| q.dist2(&l.point)).collect();
+        assert!(dists.windows(2).all(|w| w[0] <= w[1]), "sorted: {dists:?}");
+    }
+
+    #[test]
+    fn exact_nearest_matches_linear_scan() {
+        let mut train = labeled_points(1_000, 4, 63);
+        let snapshot = train.clone();
+        let tree = KdTree::build(&mut train);
+        for q in uniform_points2(50, 64) {
+            let best = tree.k_nearest(&q, 1)[0];
+            let expect = snapshot
+                .iter()
+                .min_by(|a, b| {
+                    q.dist2(&a.point).partial_cmp(&q.dist2(&b.point)).expect("finite")
+                })
+                .expect("non-empty");
+            assert_eq!(q.dist2(&best.point), q.dist2(&expect.point));
+        }
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        let tree = KdTree::build(&mut []);
+        assert!(tree.is_empty());
+        assert!(tree.k_nearest(&Point2 { x: 0.0, y: 0.0 }, 3).is_empty());
+        assert_eq!(tree.classify(&Point2 { x: 0.0, y: 0.0 }, 3), None);
+
+        // All points identical.
+        let mut same = vec![
+            Labeled {
+                point: Point2 { x: 0.5, y: 0.5 },
+                label: 2
+            };
+            100
+        ];
+        let tree = KdTree::build(&mut same);
+        assert_eq!(tree.len(), 100);
+        assert_eq!(tree.classify(&Point2 { x: 0.4, y: 0.4 }, 7), Some(2));
+    }
+
+    #[test]
+    fn k_zero_and_k_larger_than_train() {
+        let mut train = labeled_points(10, 2, 65);
+        let tree = KdTree::build(&mut train);
+        let q = Point2 { x: 0.2, y: 0.8 };
+        assert!(tree.k_nearest(&q, 0).is_empty());
+        assert_eq!(tree.k_nearest(&q, 100).len(), 10);
+    }
+}

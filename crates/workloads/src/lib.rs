@@ -1,0 +1,52 @@
+//! # hermes-workloads
+//!
+//! The five PBBS-style benchmarks of the HERMES evaluation (paper §4.1),
+//! each in two forms:
+//!
+//! 1. **Real parallel algorithms** on the `hermes-rt` fork-join runtime —
+//!    [`knn_classify`] (kd-tree k-nearest-neighbour classification),
+//!    [`raycast`] (BVH first-hit ray casting), [`radix_sort`] (Integer
+//!    Sort), [`sample_sort`] (Comparison Sort), and [`quickhull`] (Convex
+//!    Hull) — all verified against serial oracles.
+//! 2. **Task-DAG models** for the `hermes-sim` discrete-event simulator
+//!    ([`Benchmark::dag`]), reproducing each benchmark's spawn structure,
+//!    phase profile and load imbalance at the paper's scale.
+//!
+//! ```
+//! use hermes_rt::Pool;
+//! use hermes_workloads::{radix_sort, uniform_keys, Benchmark};
+//!
+//! // Real algorithm on real threads:
+//! let pool = Pool::new(2);
+//! let mut keys = uniform_keys(10_000, 42);
+//! pool.install(|| radix_sort(&mut keys));
+//! assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+//!
+//! // Simulator model of the same benchmark:
+//! let dag = Benchmark::Sort.dag(42);
+//! assert!(dag.total_cycles() > 1_000_000_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod compare;
+mod dags;
+mod data;
+mod hull;
+mod knn;
+mod ray;
+mod sort;
+pub mod util;
+
+pub use compare::{sample_sort, sample_sort_with_buckets};
+pub use dags::Benchmark;
+pub use data::{
+    clustered_points2, labeled_points, ray_cast_set, skewed_keys, triangle_soup, uniform_keys,
+    uniform_points2, Labeled, Point2, Point3, Ray, Triangle,
+};
+pub use hull::{convex_hull_oracle, cross, quickhull};
+pub use knn::{knn_classify, knn_classify_oracle, KdTree};
+pub use ray::{intersect, raycast, raycast_oracle, Aabb, Bvh};
+pub use sort::{radix_sort, radix_sort_with_chunk};

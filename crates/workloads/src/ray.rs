@@ -1,0 +1,393 @@
+//! Sparse-Triangle Intersection (the paper's **Ray** benchmark): BVH
+//! construction plus first-hit ray casting, after PBBS `rayCast`.
+//!
+//! "returns the first triangle each penetrating ray R intersects in a set
+//! of triangles T in a three-dimensional bounding box."
+
+use crate::data::{Point3, Ray, Triangle};
+use crate::util::par_map;
+use hermes_rt::join;
+
+/// Below this many triangles, build subtrees serially.
+const BUILD_CUTOFF: usize = 512;
+/// Maximum triangles per leaf.
+const LEAF_SIZE: usize = 8;
+
+/// An axis-aligned bounding box.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aabb {
+    /// Minimum corner.
+    pub min: Point3,
+    /// Maximum corner.
+    pub max: Point3,
+}
+
+impl Aabb {
+    /// The empty (inverted) box, identity for [`Aabb::union`].
+    #[must_use]
+    pub fn empty() -> Aabb {
+        Aabb {
+            min: Point3 {
+                x: f64::INFINITY,
+                y: f64::INFINITY,
+                z: f64::INFINITY,
+            },
+            max: Point3 {
+                x: f64::NEG_INFINITY,
+                y: f64::NEG_INFINITY,
+                z: f64::NEG_INFINITY,
+            },
+        }
+    }
+
+    /// The box around one triangle.
+    #[must_use]
+    pub fn of_triangle(t: &Triangle) -> Aabb {
+        let mut b = Aabb::empty();
+        for p in [t.a, t.b, t.c] {
+            b = b.grown(p);
+        }
+        b
+    }
+
+    /// This box grown to include `p`.
+    #[must_use]
+    pub fn grown(&self, p: Point3) -> Aabb {
+        Aabb {
+            min: Point3 {
+                x: self.min.x.min(p.x),
+                y: self.min.y.min(p.y),
+                z: self.min.z.min(p.z),
+            },
+            max: Point3 {
+                x: self.max.x.max(p.x),
+                y: self.max.y.max(p.y),
+                z: self.max.z.max(p.z),
+            },
+        }
+    }
+
+    /// Union of two boxes.
+    #[must_use]
+    pub fn union(&self, o: &Aabb) -> Aabb {
+        self.grown(o.min).grown(o.max)
+    }
+
+    /// Index of the longest axis (0 = x, 1 = y, 2 = z).
+    #[must_use]
+    pub fn longest_axis(&self) -> usize {
+        let dx = self.max.x - self.min.x;
+        let dy = self.max.y - self.min.y;
+        let dz = self.max.z - self.min.z;
+        if dx >= dy && dx >= dz {
+            0
+        } else if dy >= dz {
+            1
+        } else {
+            2
+        }
+    }
+
+    /// Slab test: does `ray` hit this box at parameter `t < t_max`?
+    #[must_use]
+    pub fn hit(&self, ray: &Ray, t_max: f64) -> bool {
+        let mut t0: f64 = 1e-12;
+        let mut t1 = t_max;
+        for axis in 0..3 {
+            let (o, d, lo, hi) = match axis {
+                0 => (ray.origin.x, ray.dir.x, self.min.x, self.max.x),
+                1 => (ray.origin.y, ray.dir.y, self.min.y, self.max.y),
+                _ => (ray.origin.z, ray.dir.z, self.min.z, self.max.z),
+            };
+            if d.abs() < 1e-300 {
+                if o < lo || o > hi {
+                    return false;
+                }
+                continue;
+            }
+            let inv = 1.0 / d;
+            let (mut near, mut far) = ((lo - o) * inv, (hi - o) * inv);
+            if near > far {
+                std::mem::swap(&mut near, &mut far);
+            }
+            t0 = t0.max(near);
+            t1 = t1.min(far);
+            if t0 > t1 {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// A bounding-volume hierarchy over a triangle set.
+#[derive(Debug)]
+pub struct Bvh {
+    root: Option<BvhNode>,
+}
+
+#[derive(Debug)]
+enum BvhNode {
+    Leaf {
+        bbox: Aabb,
+        tris: Vec<usize>,
+    },
+    Inner {
+        bbox: Aabb,
+        left: Box<BvhNode>,
+        right: Box<BvhNode>,
+    },
+}
+
+impl BvhNode {
+    fn bbox(&self) -> &Aabb {
+        match self {
+            BvhNode::Leaf { bbox, .. } | BvhNode::Inner { bbox, .. } => bbox,
+        }
+    }
+}
+
+impl Bvh {
+    /// Build a median-split BVH over `tris` (subtrees in parallel).
+    #[must_use]
+    pub fn build(tris: &[Triangle]) -> Bvh {
+        if tris.is_empty() {
+            return Bvh { root: None };
+        }
+        let mut indices: Vec<usize> = (0..tris.len()).collect();
+        Bvh {
+            root: Some(build_node(tris, &mut indices)),
+        }
+    }
+
+    /// The first (nearest) triangle `ray` hits: `(triangle index, t)`.
+    #[must_use]
+    pub fn first_hit(&self, tris: &[Triangle], ray: &Ray) -> Option<(usize, f64)> {
+        let root = self.root.as_ref()?;
+        let mut best: Option<(usize, f64)> = None;
+        hit_node(root, tris, ray, &mut best);
+        best
+    }
+}
+
+fn build_node(tris: &[Triangle], indices: &mut [usize]) -> BvhNode {
+    let bbox = indices
+        .iter()
+        .fold(Aabb::empty(), |b, &i| b.union(&Aabb::of_triangle(&tris[i])));
+    if indices.len() <= LEAF_SIZE {
+        return BvhNode::Leaf {
+            bbox,
+            tris: indices.to_vec(),
+        };
+    }
+    let axis = bbox.longest_axis();
+    let centroid = |i: usize| -> f64 {
+        let c = tris[i].centroid();
+        match axis {
+            0 => c.x,
+            1 => c.y,
+            _ => c.z,
+        }
+    };
+    let mid = indices.len() / 2;
+    indices.select_nth_unstable_by(mid, |&a, &b| {
+        centroid(a).partial_cmp(&centroid(b)).expect("finite coords")
+    });
+    let (lo, hi) = indices.split_at_mut(mid);
+    let (left, right) = if lo.len() + hi.len() >= BUILD_CUTOFF {
+        join(|| build_node(tris, lo), || build_node(tris, hi))
+    } else {
+        (build_node(tris, lo), build_node(tris, hi))
+    };
+    BvhNode::Inner {
+        bbox,
+        left: Box::new(left),
+        right: Box::new(right),
+    }
+}
+
+fn hit_node(node: &BvhNode, tris: &[Triangle], ray: &Ray, best: &mut Option<(usize, f64)>) {
+    let t_max = best.map_or(f64::INFINITY, |(_, t)| t);
+    if !node.bbox().hit(ray, t_max) {
+        return;
+    }
+    match node {
+        BvhNode::Leaf { tris: ids, .. } => {
+            for &i in ids {
+                if let Some(t) = intersect(&tris[i], ray) {
+                    if best.is_none() || t < best.expect("checked").1 {
+                        *best = Some((i, t));
+                    }
+                }
+            }
+        }
+        BvhNode::Inner { left, right, .. } => {
+            hit_node(left, tris, ray, best);
+            hit_node(right, tris, ray, best);
+        }
+    }
+}
+
+/// Möller–Trumbore ray-triangle intersection; returns the ray parameter
+/// `t > 0` of the hit, if any.
+#[must_use]
+pub fn intersect(tri: &Triangle, ray: &Ray) -> Option<f64> {
+    let e1 = tri.b.sub(&tri.a);
+    let e2 = tri.c.sub(&tri.a);
+    let p = ray.dir.cross(&e2);
+    let det = e1.dot(&p);
+    if det.abs() < 1e-12 {
+        return None; // parallel
+    }
+    let inv = 1.0 / det;
+    let s = ray.origin.sub(&tri.a);
+    let u = s.dot(&p) * inv;
+    if !(0.0..=1.0).contains(&u) {
+        return None;
+    }
+    let q = s.cross(&e1);
+    let v = ray.dir.dot(&q) * inv;
+    if v < 0.0 || u + v > 1.0 {
+        return None;
+    }
+    let t = e2.dot(&q) * inv;
+    (t > 1e-9).then_some(t)
+}
+
+/// For each ray, the index of the first triangle it hits (BVH build and
+/// per-ray casting both parallel).
+///
+/// ```
+/// use hermes_rt::Pool;
+/// use hermes_workloads::{raycast, triangle_soup, ray_cast_set};
+/// let pool = Pool::new(2);
+/// let tris = triangle_soup(100, 0.3, 1);
+/// let rays = ray_cast_set(50, 2);
+/// let hits = pool.install(|| raycast(&tris, &rays));
+/// assert_eq!(hits.len(), 50);
+/// ```
+#[must_use]
+pub fn raycast(tris: &[Triangle], rays: &[Ray]) -> Vec<Option<usize>> {
+    let bvh = Bvh::build(tris);
+    par_map(rays, 32, &|r| bvh.first_hit(tris, r).map(|(i, _)| i))
+}
+
+/// Brute-force first-hit — the serial oracle for tests.
+#[must_use]
+pub fn raycast_oracle(tris: &[Triangle], rays: &[Ray]) -> Vec<Option<usize>> {
+    rays.iter()
+        .map(|r| {
+            let mut best: Option<(usize, f64)> = None;
+            for (i, tri) in tris.iter().enumerate() {
+                if let Some(t) = intersect(tri, r) {
+                    if best.is_none() || t < best.expect("checked").1 {
+                        best = Some((i, t));
+                    }
+                }
+            }
+            best.map(|(i, _)| i)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{ray_cast_set, triangle_soup};
+    use hermes_rt::Pool;
+
+    #[test]
+    fn bvh_matches_bruteforce_oracle() {
+        let pool = Pool::new(4);
+        let tris = triangle_soup(2_000, 0.2, 70);
+        let rays = ray_cast_set(300, 71);
+        let expect = raycast_oracle(&tris, &rays);
+        let got = pool.install(|| raycast(&tris, &rays));
+        assert_eq!(got, expect);
+        let hits = got.iter().filter(|h| h.is_some()).count();
+        assert!(hits > 0, "a 2000-triangle soup should be hit sometimes");
+    }
+
+    #[test]
+    fn direct_hit_geometry() {
+        // A triangle squarely in front of a +z ray.
+        let tri = Triangle {
+            a: Point3 { x: -1.0, y: -1.0, z: 1.0 },
+            b: Point3 { x: 1.0, y: -1.0, z: 1.0 },
+            c: Point3 { x: 0.0, y: 1.0, z: 1.0 },
+        };
+        let ray = Ray {
+            origin: Point3 { x: 0.0, y: 0.0, z: 0.0 },
+            dir: Point3 { x: 0.0, y: 0.0, z: 1.0 },
+        };
+        let t = intersect(&tri, &ray).expect("must hit");
+        assert!((t - 1.0).abs() < 1e-9);
+        // Behind the origin: no hit.
+        let back = Ray {
+            origin: Point3 { x: 0.0, y: 0.0, z: 2.0 },
+            dir: Point3 { x: 0.0, y: 0.0, z: 1.0 },
+        };
+        assert_eq!(intersect(&tri, &back), None);
+    }
+
+    #[test]
+    fn nearest_of_two_stacked_triangles_wins() {
+        let near = Triangle {
+            a: Point3 { x: -1.0, y: -1.0, z: 1.0 },
+            b: Point3 { x: 1.0, y: -1.0, z: 1.0 },
+            c: Point3 { x: 0.0, y: 1.0, z: 1.0 },
+        };
+        let far = Triangle {
+            a: Point3 { x: -1.0, y: -1.0, z: 2.0 },
+            b: Point3 { x: 1.0, y: -1.0, z: 2.0 },
+            c: Point3 { x: 0.0, y: 1.0, z: 2.0 },
+        };
+        let tris = vec![far, near];
+        let bvh = Bvh::build(&tris);
+        let ray = Ray {
+            origin: Point3 { x: 0.0, y: 0.0, z: 0.0 },
+            dir: Point3 { x: 0.0, y: 0.0, z: 1.0 },
+        };
+        let (idx, t) = bvh.first_hit(&tris, &ray).expect("hits");
+        assert_eq!(idx, 1, "the nearer triangle");
+        assert!((t - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_scene_and_missing_rays() {
+        let bvh = Bvh::build(&[]);
+        let ray = Ray {
+            origin: Point3 { x: 0.0, y: 0.0, z: 0.0 },
+            dir: Point3 { x: 0.0, y: 0.0, z: 1.0 },
+        };
+        assert_eq!(bvh.first_hit(&[], &ray), None);
+
+        let tris = triangle_soup(100, 0.1, 72);
+        let away = Ray {
+            origin: Point3 { x: 0.5, y: 0.5, z: -1.0 },
+            dir: Point3 { x: 0.0, y: 0.0, z: -1.0 },
+        };
+        let bvh = Bvh::build(&tris);
+        assert_eq!(bvh.first_hit(&tris, &away), None);
+    }
+
+    #[test]
+    fn aabb_slab_test() {
+        let b = Aabb::empty()
+            .grown(Point3 { x: 0.0, y: 0.0, z: 0.0 })
+            .grown(Point3 { x: 1.0, y: 1.0, z: 1.0 });
+        let through = Ray {
+            origin: Point3 { x: 0.5, y: 0.5, z: -1.0 },
+            dir: Point3 { x: 0.0, y: 0.0, z: 1.0 },
+        };
+        assert!(b.hit(&through, f64::INFINITY));
+        let miss = Ray {
+            origin: Point3 { x: 5.0, y: 5.0, z: -1.0 },
+            dir: Point3 { x: 0.0, y: 0.0, z: 1.0 },
+        };
+        assert!(!b.hit(&miss, f64::INFINITY));
+        // t_max short of the box: treated as a miss.
+        assert!(!b.hit(&through, 0.5));
+        assert_eq!(b.longest_axis(), 0);
+    }
+}

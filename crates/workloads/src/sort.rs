@@ -1,0 +1,100 @@
+//! Integer Sort (the paper's **Sort** benchmark): parallel radix sort,
+//! after PBBS `integerSort`.
+
+use crate::util::parallel_scatter;
+
+/// Number of bits per radix digit.
+const RADIX_BITS: u32 = 8;
+/// Buckets per pass.
+const BUCKETS: usize = 1 << RADIX_BITS;
+/// Below this size, delegate to the standard sort.
+const SERIAL_CUTOFF: usize = 1 << 12;
+
+/// Sort `data` ascending with a parallel least-significant-digit radix
+/// sort (four 8-bit passes over `u32` keys).
+///
+/// Call inside a [`Pool::install`](hermes_rt::Pool::install) for parallel
+/// execution; outside a pool it degrades to sequential fork-join.
+///
+/// ```
+/// use hermes_rt::Pool;
+/// use hermes_workloads::radix_sort;
+/// let pool = Pool::new(2);
+/// let mut v = vec![5u32, 3, 9, 3, 0];
+/// pool.install(|| radix_sort(&mut v));
+/// assert_eq!(v, [0, 3, 3, 5, 9]);
+/// ```
+pub fn radix_sort(data: &mut [u32]) {
+    radix_sort_with_chunk(data, 1 << 14);
+}
+
+/// [`radix_sort`] with an explicit scatter chunk size (exposed for the
+/// granularity ablation).
+pub fn radix_sort_with_chunk(data: &mut [u32], chunk_size: usize) {
+    if data.len() <= SERIAL_CUTOFF {
+        data.sort_unstable();
+        return;
+    }
+    let mut buf = vec![0u32; data.len()];
+    for pass in 0..(u32::BITS / RADIX_BITS) {
+        let shift = pass * RADIX_BITS;
+        let classify = move |x: &u32| ((x >> shift) as usize) & (BUCKETS - 1);
+        if pass % 2 == 0 {
+            parallel_scatter(data, &mut buf, BUCKETS, chunk_size, &classify);
+        } else {
+            parallel_scatter(&buf, data, BUCKETS, chunk_size, &classify);
+        }
+    }
+    // u32::BITS / RADIX_BITS = 4 passes: an even count, so the final
+    // scatter of pass 3 landed back in `data`.
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{skewed_keys, uniform_keys};
+    use hermes_rt::Pool;
+
+    fn check_sorts(mut v: Vec<u32>) {
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        let pool = Pool::new(4);
+        pool.install(|| radix_sort(&mut v));
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn sorts_uniform_keys() {
+        check_sorts(uniform_keys(100_000, 42));
+    }
+
+    #[test]
+    fn sorts_skewed_keys() {
+        check_sorts(skewed_keys(100_000, 43));
+    }
+
+    #[test]
+    fn sorts_small_inputs_serially() {
+        check_sorts(vec![]);
+        check_sorts(vec![1]);
+        check_sorts(vec![2, 1]);
+        check_sorts(uniform_keys(100, 44));
+    }
+
+    #[test]
+    fn sorts_adversarial_patterns() {
+        check_sorts(vec![u32::MAX; 20_000]);
+        check_sorts((0..20_000u32).rev().collect());
+        check_sorts((0..20_000u32).map(|i| i % 3).collect());
+    }
+
+    #[test]
+    fn custom_chunk_sizes_work() {
+        let mut v = uniform_keys(50_000, 45);
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        let pool = Pool::new(4);
+        pool.install(|| radix_sort_with_chunk(&mut v, 777));
+        assert_eq!(v, expect);
+    }
+}

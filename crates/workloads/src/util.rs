@@ -1,0 +1,252 @@
+//! Small fork-join helpers shared by the benchmark implementations.
+
+use hermes_rt::join;
+
+/// Map `f` over `input` into `out` in parallel, splitting both slices in
+/// tandem down to `grain`.
+///
+/// # Panics
+///
+/// Panics if `input` and `out` have different lengths.
+pub fn par_map_into<T, R, F>(input: &[T], out: &mut [R], grain: usize, f: &F)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    assert_eq!(input.len(), out.len(), "input/output length mismatch");
+    let grain = grain.max(1);
+    if input.len() <= grain {
+        for (i, o) in input.iter().zip(out.iter_mut()) {
+            *o = f(i);
+        }
+        return;
+    }
+    let mid = input.len() / 2;
+    let (il, ir) = input.split_at(mid);
+    let (ol, or) = out.split_at_mut(mid);
+    join(
+        || par_map_into(il, ol, grain, f),
+        || par_map_into(ir, or, grain, f),
+    );
+}
+
+/// Map `f` over `input`, collecting into a fresh `Vec`, in parallel.
+pub fn par_map<T, R, F>(input: &[T], grain: usize, f: &F) -> Vec<R>
+where
+    T: Sync,
+    R: Send + Default + Clone,
+    F: Fn(&T) -> R + Sync,
+{
+    let mut out = vec![R::default(); input.len()];
+    par_map_into(input, &mut out, grain, f);
+    out
+}
+
+/// Split `slice` into the consecutive chunks whose lengths are given by
+/// `sizes`, returning one mutable sub-slice per chunk.
+///
+/// # Panics
+///
+/// Panics if the sizes do not sum to the slice length.
+pub fn split_by_sizes<'a, T>(mut slice: &'a mut [T], sizes: &[usize]) -> Vec<&'a mut [T]> {
+    let mut out = Vec::with_capacity(sizes.len());
+    for &s in sizes {
+        let (head, rest) = slice.split_at_mut(s);
+        out.push(head);
+        slice = rest;
+    }
+    assert!(slice.is_empty(), "sizes must sum to the slice length");
+    out
+}
+
+/// Run `f` over each element of `items` in parallel (consuming the
+/// vector). Useful when each work item owns mutable borrows, e.g. the
+/// per-chunk output slices of a scatter.
+pub fn par_consume<T, F>(mut items: Vec<T>, f: &F)
+where
+    T: Send,
+    F: Fn(T) + Sync,
+{
+    fn go<T: Send, F: Fn(T) + Sync>(items: &mut Vec<T>, f: &F) {
+        match items.len() {
+            0 => {}
+            1 => f(items.pop().expect("len checked")),
+            _ => {
+                let mut right = items.split_off(items.len() / 2);
+                join(|| go(items, f), || go(&mut right, f));
+            }
+        }
+    }
+    go(&mut items, f);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_rt::Pool;
+
+    #[test]
+    fn par_map_matches_serial() {
+        let pool = Pool::new(4);
+        let input: Vec<u64> = (0..10_000).collect();
+        let out = pool.install(|| par_map(&input, 64, &|x| x * 3));
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i as u64 * 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn par_map_into_length_mismatch_panics() {
+        let mut out = vec![0u64; 3];
+        par_map_into(&[1u64, 2], &mut out, 1, &|&x| x);
+    }
+
+    #[test]
+    fn split_by_sizes_partitions() {
+        let mut v: Vec<u32> = (0..10).collect();
+        let parts = split_by_sizes(&mut v, &[3, 0, 7]);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0], &[0, 1, 2]);
+        assert!(parts[1].is_empty());
+        assert_eq!(parts[2][0], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "sizes must sum")]
+    fn split_by_sizes_checks_total() {
+        let mut v = vec![1, 2, 3];
+        let _ = split_by_sizes(&mut v, &[1]);
+    }
+
+    #[test]
+    fn par_consume_visits_every_item() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let pool = Pool::new(4);
+        let total = AtomicU64::new(0);
+        let items: Vec<u64> = (1..=100).collect();
+        pool.install(|| par_consume(items, &|x| { total.fetch_add(x, Ordering::SeqCst); }));
+        assert_eq!(total.load(Ordering::SeqCst), 5050);
+    }
+}
+
+/// Scatter `src` into `dst` grouped by bucket, fully in parallel and in
+/// safe Rust, returning the bucket sizes.
+///
+/// The classic parallel scatter writes from many chunks into interleaved
+/// destination ranges; we realise it safely by pre-splitting `dst` into
+/// one sub-slice per `(bucket, chunk)` pair and *transposing ownership*
+/// so each source chunk receives exactly the output slices it will fill.
+///
+/// Returns the total size of each bucket; bucket `b` occupies the range
+/// `starts[b] .. starts[b] + sizes[b]` of `dst` where `starts` is the
+/// prefix sum of the returned sizes.
+///
+/// # Panics
+///
+/// Panics if `src` and `dst` have different lengths, `nbuckets` is 0, or
+/// `classify` returns an index `>= nbuckets`.
+pub fn parallel_scatter<T, F>(
+    src: &[T],
+    dst: &mut [T],
+    nbuckets: usize,
+    chunk_size: usize,
+    classify: &F,
+) -> Vec<usize>
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T) -> usize + Sync,
+{
+    assert_eq!(src.len(), dst.len(), "src/dst length mismatch");
+    assert!(nbuckets > 0, "at least one bucket");
+    let chunk_size = chunk_size.max(1);
+    let chunks: Vec<&[T]> = src.chunks(chunk_size).collect();
+    let nchunks = chunks.len();
+
+    // Phase 1: per-chunk histograms, in parallel.
+    let hists: Vec<Vec<usize>> = par_map(&chunks, 1, &|chunk: &&[T]| {
+        let mut h = vec![0usize; nbuckets];
+        for x in *chunk {
+            h[classify(x)] += 1;
+        }
+        h
+    });
+
+    // Phase 2: carve dst into (bucket-major, chunk-minor) regions.
+    let mut bucket_totals = vec![0usize; nbuckets];
+    for h in &hists {
+        for (b, c) in h.iter().enumerate() {
+            bucket_totals[b] += c;
+        }
+    }
+    let mut sizes = Vec::with_capacity(nbuckets * nchunks);
+    for b in 0..nbuckets {
+        for h in &hists {
+            sizes.push(h[b]);
+        }
+    }
+    let parts = split_by_sizes(dst, &sizes);
+
+    // Phase 3: transpose ownership to per-chunk slice sets.
+    let mut per_chunk: Vec<Vec<&mut [T]>> = (0..nchunks)
+        .map(|_| Vec::with_capacity(nbuckets))
+        .collect();
+    for (i, part) in parts.into_iter().enumerate() {
+        per_chunk[i % nchunks].push(part);
+    }
+
+    // Phase 4: parallel scatter, each chunk into its own slices.
+    let items: Vec<(&[T], Vec<&mut [T]>)> = chunks.into_iter().zip(per_chunk).collect();
+    par_consume(items, &|(chunk, mut outs)| {
+        let mut cursors = vec![0usize; nbuckets];
+        for &x in chunk {
+            let b = classify(&x);
+            outs[b][cursors[b]] = x;
+            cursors[b] += 1;
+        }
+    });
+    bucket_totals
+}
+
+#[cfg(test)]
+mod scatter_tests {
+    use super::*;
+    use hermes_rt::Pool;
+
+    #[test]
+    fn scatter_groups_by_bucket() {
+        let pool = Pool::new(4);
+        let src: Vec<u32> = (0..10_000).rev().collect();
+        let mut dst = vec![0u32; src.len()];
+        let sizes = pool.install(|| {
+            parallel_scatter(&src, &mut dst, 4, 512, &|&x| (x % 4) as usize)
+        });
+        assert_eq!(sizes.iter().sum::<usize>(), src.len());
+        // Every element within a bucket region has the right class.
+        let mut start = 0;
+        for (b, &s) in sizes.iter().enumerate() {
+            for &x in &dst[start..start + s] {
+                assert_eq!((x % 4) as usize, b);
+            }
+            start += s;
+        }
+        // Stability within (bucket, chunk) order is not promised, but
+        // conservation is.
+        let mut a = src.clone();
+        let mut bsorted = dst.clone();
+        a.sort_unstable();
+        bsorted.sort_unstable();
+        assert_eq!(a, bsorted);
+    }
+
+    #[test]
+    fn scatter_single_bucket_is_copy() {
+        let pool = Pool::new(2);
+        let src = vec![5u32, 9, 1];
+        let mut dst = vec![0u32; 3];
+        let sizes = pool.install(|| parallel_scatter(&src, &mut dst, 1, 2, &|_| 0));
+        assert_eq!(sizes, vec![3]);
+        let mut d = dst.clone();
+        d.sort_unstable();
+        assert_eq!(d, vec![1, 5, 9]);
+    }
+}

@@ -1,0 +1,65 @@
+//! Domain example: the paper's KNN benchmark as an application — train a
+//! k-nearest-neighbour classifier on labelled points and classify a
+//! query set in parallel, with tempo telemetry.
+//!
+//! ```sh
+//! cargo run --release --example knn_classifier
+//! ```
+
+use hermes::core::{Frequency, Policy, TempoConfig};
+use hermes::rt::Pool;
+use hermes::workloads::{
+    knn_classify, knn_classify_oracle, labeled_points, uniform_points2,
+};
+
+fn main() {
+    let workers = 4;
+    let tempo = TempoConfig::builder()
+        .policy(Policy::Unified)
+        .frequencies(vec![Frequency::from_mhz(2400), Frequency::from_mhz(1600)])
+        .workers(workers)
+        .build();
+    let pool = Pool::builder()
+        .workers(workers)
+        .tempo(tempo)
+        .emulated_dvfs(Frequency::from_mhz(2400), 8.0)
+        .build();
+
+    let classes = 4u8;
+    let mut train = labeled_points(200_000, classes, 11);
+    let queries = uniform_points2(20_000, 12);
+    let k = 7;
+
+    let t0 = std::time::Instant::now();
+    let labels = pool.install(|| knn_classify(&mut train, &queries, k));
+    let elapsed = t0.elapsed();
+
+    let mut histogram = [0usize; 4];
+    for &l in &labels {
+        histogram[l as usize] += 1;
+    }
+    println!(
+        "classified {} queries against {} training points (k={k}) in {elapsed:?}",
+        queries.len(),
+        train.len()
+    );
+    println!("label histogram: {histogram:?}");
+
+    // Verify a sample against the brute-force oracle.
+    let sample = 200;
+    let expect = knn_classify_oracle(&train, &queries[..sample], k);
+    let agree = labels[..sample]
+        .iter()
+        .zip(&expect)
+        .filter(|(a, b)| a == b)
+        .count();
+    println!("oracle agreement on {sample} sampled queries: {agree}/{sample}");
+    assert_eq!(agree, sample, "kd-tree must match brute force exactly");
+
+    println!("scheduler: {:?}", pool.stats());
+    println!("tempo:     {}", pool.tempo_stats());
+    if let Some(by_worker) = pool.energy_by_worker() {
+        let total: f64 = by_worker.iter().sum();
+        println!("virtual energy: {total:.2} J  per worker: {by_worker:.2?}");
+    }
+}

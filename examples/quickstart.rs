@@ -1,0 +1,70 @@
+//! Quickstart: run a parallel computation on the HERMES runtime with
+//! tempo control, then replay the same benchmark in the simulator to get
+//! paper-style energy numbers.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use hermes::core::{Frequency, Policy, TempoConfig};
+use hermes::rt::{join, Pool};
+use hermes::sim::{MachineSpec, SimConfig};
+use hermes::workloads::Benchmark;
+
+fn fib(n: u64) -> u64 {
+    if n < 2 {
+        return n;
+    }
+    let (a, b) = join(|| fib(n - 1), || fib(n - 2));
+    a + b
+}
+
+fn main() {
+    // ── 1. Real threads: a tempo-controlled work-stealing pool. ──────
+    let workers = 4;
+    let tempo = TempoConfig::builder()
+        .policy(Policy::Unified)
+        .frequencies(vec![Frequency::from_mhz(2400), Frequency::from_mhz(1600)])
+        .workers(workers)
+        .build();
+    let pool = Pool::builder()
+        .workers(workers)
+        .tempo(tempo)
+        // No root/cpufreq here, so emulate DVFS: timing dilation plus an
+        // 8 W-per-core power model.
+        .emulated_dvfs(Frequency::from_mhz(2400), 8.0)
+        .build();
+
+    let n = 30;
+    let started = std::time::Instant::now();
+    let result = pool.install(|| fib(n));
+    let elapsed = started.elapsed();
+    println!("fib({n}) = {result}  ({elapsed:?} on {workers} workers)");
+
+    let stats = pool.tempo_stats();
+    println!("scheduler: {:?}", pool.stats());
+    println!("tempo:     {stats}");
+    if let Some(energy) = pool.total_energy() {
+        println!("virtual energy: {energy:.3} J via {}", pool.driver_name());
+    }
+
+    // ── 2. The simulator: deterministic paper-style measurements. ────
+    let dag = Benchmark::Sort.dag_scaled(42, 0.25);
+    for policy in [Policy::Baseline, Policy::Unified] {
+        let tempo = TempoConfig::builder()
+            .policy(policy)
+            .frequencies(vec![Frequency::from_mhz(2400), Frequency::from_mhz(1600)])
+            .workers(8)
+            .threshold_scale(0.55)
+            .build();
+        let report = hermes::sim::run(&dag, &SimConfig::new(MachineSpec::system_a(), tempo))
+            .expect("valid configuration");
+        println!(
+            "sim sort/8w {:9}: {:.0} ms, {:.2} J metered, EDP {:.3}",
+            policy.label(),
+            report.elapsed.seconds() * 1e3,
+            report.metered_energy_j,
+            report.edp()
+        );
+    }
+}

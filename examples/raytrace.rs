@@ -1,0 +1,74 @@
+//! Domain example: the paper's Ray benchmark as an application — build a
+//! BVH over a triangle soup and cast a grid of rays, rendering a coarse
+//! ASCII depth map of what they hit.
+//!
+//! ```sh
+//! cargo run --release --example raytrace
+//! ```
+
+use hermes::core::{Frequency, Policy, TempoConfig};
+use hermes::rt::Pool;
+use hermes::workloads::{triangle_soup, Bvh, Point3, Ray};
+
+fn main() {
+    let workers = 4;
+    let tempo = TempoConfig::builder()
+        .policy(Policy::Unified)
+        .frequencies(vec![Frequency::from_mhz(2400), Frequency::from_mhz(1600)])
+        .workers(workers)
+        .build();
+    let pool = Pool::builder()
+        .workers(workers)
+        .tempo(tempo)
+        .emulated_dvfs(Frequency::from_mhz(2400), 8.0)
+        .build();
+
+    let tris = triangle_soup(60_000, 0.12, 21);
+    let t0 = std::time::Instant::now();
+    let bvh = pool.install(|| Bvh::build(&tris));
+    println!("BVH over {} triangles built in {:?}", tris.len(), t0.elapsed());
+
+    // A 60x30 image plane in front of the cube, one ray per cell.
+    let (cols, rows) = (60usize, 30usize);
+    let rays: Vec<Ray> = (0..rows * cols)
+        .map(|i| {
+            let (r, c) = (i / cols, i % cols);
+            Ray {
+                origin: Point3 {
+                    x: c as f64 / cols as f64,
+                    y: r as f64 / rows as f64,
+                    z: -1.0,
+                },
+                dir: Point3 { x: 0.0, y: 0.0, z: 1.0 },
+            }
+        })
+        .collect();
+
+    let t0 = std::time::Instant::now();
+    let hits: Vec<Option<f64>> = pool.install(|| {
+        hermes::workloads::util::par_map(&rays, 64, &|ray| {
+            bvh.first_hit(&tris, ray).map(|(_, t)| t)
+        })
+    });
+    let cast = t0.elapsed();
+
+    let shades = ['@', '#', '*', '+', '=', '-', ':', '.'];
+    let mut image = String::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            image.push(match hits[r * cols + c] {
+                // Depth t in [1, 2] across the cube maps dark-to-light.
+                Some(t) => {
+                    let x = ((t - 1.0).clamp(0.0, 1.0) * (shades.len() - 1) as f64) as usize;
+                    shades[x]
+                }
+                None => ' ',
+            });
+        }
+        image.push('\n');
+    }
+    let hit_count = hits.iter().filter(|h| h.is_some()).count();
+    println!("cast {} rays in {cast:?} — {hit_count} hits", rays.len());
+    println!("{image}");
+    println!("steals: {}  tempo: {}", pool.stats().steals, pool.tempo_stats());
+}

@@ -1,0 +1,85 @@
+//! Domain example: sort a large key array with the parallel radix and
+//! sample sorts on the tempo-controlled runtime, and compare the
+//! policies' simulated energy on the paper's System A.
+//!
+//! ```sh
+//! cargo run --release --example sort_energy
+//! ```
+
+use hermes::core::{Frequency, Policy, TempoConfig};
+use hermes::rt::Pool;
+use hermes::sim::{MachineSpec, SimConfig};
+use hermes::workloads::{radix_sort, sample_sort, skewed_keys, uniform_keys, Benchmark};
+
+fn main() {
+    // ── Real algorithms on real threads ──────────────────────────────
+    let workers = 4;
+    let tempo = TempoConfig::builder()
+        .policy(Policy::Unified)
+        .frequencies(vec![Frequency::from_mhz(2400), Frequency::from_mhz(1600)])
+        .workers(workers)
+        .build();
+    let pool = Pool::builder()
+        .workers(workers)
+        .tempo(tempo)
+        .emulated_dvfs(Frequency::from_mhz(2400), 8.0)
+        .build();
+
+    let n = 2_000_000;
+    let mut uniform = uniform_keys(n, 1);
+    let t0 = std::time::Instant::now();
+    pool.install(|| radix_sort(&mut uniform));
+    println!(
+        "radix_sort   {n} uniform keys: {:?} (sorted: {})",
+        t0.elapsed(),
+        uniform.windows(2).all(|w| w[0] <= w[1])
+    );
+
+    let mut skewed = skewed_keys(n, 2);
+    let t0 = std::time::Instant::now();
+    pool.install(|| sample_sort(&mut skewed));
+    println!(
+        "sample_sort  {n} skewed keys:  {:?} (sorted: {})",
+        t0.elapsed(),
+        skewed.windows(2).all(|w| w[0] <= w[1])
+    );
+    println!(
+        "steals: {}, tempo: {}",
+        pool.stats().steals,
+        pool.tempo_stats()
+    );
+    if let Some(j) = pool.total_energy() {
+        println!("virtual energy: {j:.2} J");
+    }
+
+    // ── Paper-style measurement in the simulator ─────────────────────
+    println!("\nSimulated Integer Sort on System A, 8 workers:");
+    println!(
+        "{:<10} {:>9} {:>10} {:>8}",
+        "policy", "time", "energy", "EDP"
+    );
+    let dag = Benchmark::Sort.dag_scaled(7, 0.5);
+    let mut baseline: Option<f64> = None;
+    for policy in Policy::all() {
+        let tempo = TempoConfig::builder()
+            .policy(policy)
+            .frequencies(vec![Frequency::from_mhz(2400), Frequency::from_mhz(1600)])
+            .workers(8)
+            .threshold_scale(0.55)
+            .build();
+        let r = hermes::sim::run(&dag, &SimConfig::new(MachineSpec::system_a(), tempo))
+            .expect("valid configuration");
+        let rel = baseline.map_or(1.0, |b| r.metered_energy_j / b);
+        if policy == Policy::Baseline {
+            baseline = Some(r.metered_energy_j);
+        }
+        println!(
+            "{:<10} {:>7.1}ms {:>8.2}J {:>8.3}   ({:.1}% saved)",
+            policy.label(),
+            r.elapsed.seconds() * 1e3,
+            r.metered_energy_j,
+            r.edp(),
+            (1.0 - rel) * 100.0
+        );
+    }
+}

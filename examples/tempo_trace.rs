@@ -1,0 +1,89 @@
+//! Observe HERMES tempo control live: run one simulated benchmark and
+//! print the power time series (the raw material of the paper's
+//! Figs. 19–22) side by side for the baseline and unified policies,
+//! together with the tempo-residency breakdown.
+//!
+//! ```sh
+//! cargo run --release --example tempo_trace [knn|ray|sort|compare|hull]
+//! ```
+
+use hermes::core::{Frequency, Policy, TempoConfig};
+use hermes::sim::{MachineSpec, SimConfig};
+use hermes::workloads::Benchmark;
+
+fn sparkline(series: &[(f64, f64)], lo: f64, hi: f64, cols: usize) -> String {
+    let glyphs = ['.', ':', '-', '=', '+', '*', '#', '@'];
+    let chunk = series.len().div_ceil(cols).max(1);
+    series
+        .chunks(chunk)
+        .map(|c| {
+            let avg = c.iter().map(|&(_, w)| w).sum::<f64>() / c.len() as f64;
+            let x = ((avg - lo) / (hi - lo)).clamp(0.0, 1.0);
+            glyphs[(x * (glyphs.len() - 1) as f64).round() as usize]
+        })
+        .collect()
+}
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "ray".into());
+    let bench = Benchmark::all()
+        .into_iter()
+        .find(|b| b.label() == which)
+        .unwrap_or(Benchmark::Ray);
+    let machine = MachineSpec::system_a();
+    let workers = 16;
+
+    println!("{bench} on {}, {workers} workers\n", machine.name);
+    let mut reports = Vec::new();
+    for policy in [Policy::Baseline, Policy::Unified] {
+        let tempo = TempoConfig::builder()
+            .policy(policy)
+            .frequencies(vec![Frequency::from_mhz(2400), Frequency::from_mhz(1600)])
+            .workers(workers)
+            .threshold_scale(0.55)
+            .build();
+        let r = hermes::sim::run(&bench.dag(3), &SimConfig::new(machine.clone(), tempo))
+            .expect("valid configuration");
+        reports.push((policy, r));
+    }
+
+    let hi = reports
+        .iter()
+        .flat_map(|(_, r)| r.power_series.iter().map(|&(_, w)| w))
+        .fold(f64::MIN, f64::max);
+    let lo = reports
+        .iter()
+        .flat_map(|(_, r)| r.power_series.iter().map(|&(_, w)| w))
+        .fold(f64::MAX, f64::min);
+
+    for (policy, r) in &reports {
+        println!(
+            "{:<9} {:>7.1} ms  {:>7.2} J  mean {:>5.1} W  EDP {:.3}",
+            policy.label(),
+            r.elapsed.seconds() * 1e3,
+            r.metered_energy_j,
+            r.mean_power_w,
+            r.edp()
+        );
+        println!("  power |{}|", sparkline(&r.power_series, lo, hi, 70));
+        let busy: f64 = r.sched.busy_seconds_at.iter().map(|(_, s)| s).sum();
+        print!("  residency: ");
+        for (f, s) in &r.sched.busy_seconds_at {
+            if *s > 0.0 {
+                print!("{f}: {:.0}%  ", s / busy * 100.0);
+            }
+        }
+        println!();
+        println!(
+            "  steals {}  dvfs transitions {}  relays {}  guard hits {}\n",
+            r.sched.steals, r.sched.dvfs_transitions, r.tempo.relays, r.tempo.guard_suppressions
+        );
+    }
+    let (_, base) = &reports[0];
+    let (_, uni) = &reports[1];
+    println!(
+        "unified vs baseline: {:.1}% energy saved, {:.1}% time lost",
+        (1.0 - uni.metered_energy_j / base.metered_energy_j) * 100.0,
+        (uni.elapsed.seconds() / base.elapsed.seconds() - 1.0) * 100.0
+    );
+}

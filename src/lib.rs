@@ -1,0 +1,66 @@
+//! # HERMES — energy-efficient work-stealing runtimes
+//!
+//! A from-scratch Rust reproduction of *"Energy-Efficient Work-Stealing
+//! Language Runtimes"* (Ribic & Liu, ASPLOS 2014): a work-stealing
+//! runtime whose workers execute at coordinated *tempos* — DVFS operating
+//! points chosen by two complementary algorithms (workpath-sensitive and
+//! workload-sensitive) — saving 11-12 % energy for 3-4 % time on the
+//! paper's benchmarks.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`core`] | `hermes-core` | The tempo-control algorithms (the paper's contribution) |
+//! | [`deque`] | `hermes-deque` | THE-protocol and Chase–Lev-style work-stealing deques |
+//! | [`sim`] | `hermes-sim` | Discrete-event multicore/DVFS/power simulator |
+//! | [`rt`] | `hermes-rt` | Real-thread work-stealing pool with tempo hooks |
+//! | [`workloads`] | `hermes-workloads` | The five PBBS-style benchmarks |
+//!
+//! ## Two ways to run
+//!
+//! **Real threads** (`rt`): a rayon-style pool with the HERMES controller
+//! wired into push/pop/steal, actuating emulated or real (sysfs) DVFS:
+//!
+//! ```
+//! use hermes::core::{Frequency, Policy, TempoConfig};
+//! use hermes::rt::{join, Pool};
+//!
+//! let tempo = TempoConfig::builder()
+//!     .policy(Policy::Unified)
+//!     .frequencies(vec![Frequency::from_mhz(2400), Frequency::from_mhz(1600)])
+//!     .workers(2)
+//!     .build();
+//! let pool = Pool::builder().workers(2).tempo(tempo).build();
+//! let (a, b) = pool.install(|| join(|| 1 + 1, || 2 + 2));
+//! assert_eq!((a, b), (2, 4));
+//! ```
+//!
+//! **Simulation** (`sim`): deterministic replicas of the paper's two AMD
+//! machines with a 100 Hz supply-rail meter, regenerating every figure of
+//! the evaluation (`cargo bench`):
+//!
+//! ```
+//! use hermes::core::{Frequency, Policy, TempoConfig};
+//! use hermes::sim::{MachineSpec, SimConfig};
+//! use hermes::workloads::Benchmark;
+//!
+//! let tempo = TempoConfig::builder()
+//!     .policy(Policy::Unified)
+//!     .frequencies(vec![Frequency::from_mhz(3600), Frequency::from_mhz(2700)])
+//!     .workers(4)
+//!     .build();
+//! let dag = Benchmark::Sort.dag_scaled(1, 0.02);
+//! let report = hermes::sim::run(&dag, &SimConfig::new(MachineSpec::system_b(), tempo))?;
+//! assert!(report.energy_j > 0.0);
+//! # Ok::<(), hermes::sim::SimError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use hermes_core as core;
+pub use hermes_deque as deque;
+pub use hermes_rt as rt;
+pub use hermes_sim as sim;
+pub use hermes_workloads as workloads;

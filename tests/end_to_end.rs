@@ -1,0 +1,149 @@
+//! End-to-end integration: the headline claims of the paper must hold in
+//! the simulator, at smoke scale, across crates.
+
+use hermes::core::{Frequency, Policy, TempoConfig};
+use hermes::sim::{MachineSpec, SimConfig, SimReport};
+use hermes::workloads::Benchmark;
+
+/// Run one benchmark on System A at reduced scale.
+fn run_a(bench: Benchmark, policy: Policy, workers: usize, seed: u64) -> SimReport {
+    let tempo = TempoConfig::builder()
+        .policy(policy)
+        .frequencies(vec![Frequency::from_mhz(2400), Frequency::from_mhz(1600)])
+        .workers(workers)
+        .threshold_scale(0.55)
+        .build();
+    let cfg = SimConfig::new(MachineSpec::system_a(), tempo).with_seed(seed);
+    hermes::sim::run(&bench.dag_scaled(seed, 0.4), &cfg).expect("valid config")
+}
+
+fn averaged(bench: Benchmark, policy: Policy, workers: usize) -> (f64, f64) {
+    let trials = 3;
+    let (mut t, mut e) = (0.0, 0.0);
+    for seed in 0..trials {
+        let r = run_a(bench, policy, workers, seed);
+        t += r.elapsed.seconds();
+        e += r.energy_j;
+    }
+    (t / trials as f64, e / trials as f64)
+}
+
+#[test]
+fn unified_saves_energy_on_every_benchmark() {
+    for bench in Benchmark::all() {
+        let (bt, be) = averaged(bench, Policy::Baseline, 8);
+        let (ht, he) = averaged(bench, Policy::Unified, 8);
+        let saving = (1.0 - he / be) * 100.0;
+        let loss = (ht / bt - 1.0) * 100.0;
+        assert!(
+            saving > 2.0,
+            "{bench}: unified must save energy, got {saving:.1}%"
+        );
+        assert!(
+            loss < 12.0,
+            "{bench}: time loss must stay moderate, got {loss:.1}%"
+        );
+    }
+}
+
+#[test]
+fn edp_improves_without_exception() {
+    // The paper: "EDP is improved without exception."
+    for bench in Benchmark::all() {
+        for workers in [4, 16] {
+            let (bt, be) = averaged(bench, Policy::Baseline, workers);
+            let (ht, he) = averaged(bench, Policy::Unified, workers);
+            let edp_ratio = (he * ht) / (be * bt);
+            assert!(
+                edp_ratio < 1.0,
+                "{bench}/{workers}w: normalized EDP {edp_ratio:.3} must be < 1"
+            );
+        }
+    }
+}
+
+#[test]
+fn both_strategies_contribute() {
+    // Figs. 10/12: each strategy alone produces real savings; the unified
+    // algorithm is at least comparable to the better of the two.
+    let bench = Benchmark::Compare;
+    let (_, be) = averaged(bench, Policy::Baseline, 16);
+    let (_, wp) = averaged(bench, Policy::WorkpathOnly, 16);
+    let (_, wl) = averaged(bench, Policy::WorkloadOnly, 16);
+    let (_, un) = averaged(bench, Policy::Unified, 16);
+    let save = |e: f64| (1.0 - e / be) * 100.0;
+    assert!(save(wp) > 0.5, "workpath alone saves: {:.1}%", save(wp));
+    assert!(save(wl) > 1.0, "workload alone saves: {:.1}%", save(wl));
+    assert!(
+        save(un) > save(wp).min(save(wl)),
+        "unified ({:.1}%) at least the weaker strategy (wp {:.1}%, wl {:.1}%)",
+        save(un),
+        save(wp),
+        save(wl)
+    );
+}
+
+#[test]
+fn lower_slow_frequency_saves_more_but_costs_more_time() {
+    // Figs. 14/15 shape: 2.4/1.4 saves no less energy than 2.4/1.9 but
+    // costs more time.
+    let bench = Benchmark::Sort;
+    let mk = |slow_mhz: u64| {
+        let tempo = TempoConfig::builder()
+            .policy(Policy::Unified)
+            .frequencies(vec![
+                Frequency::from_mhz(2400),
+                Frequency::from_mhz(slow_mhz),
+            ])
+            .workers(16)
+            .threshold_scale(0.55)
+            .build();
+        let cfg = SimConfig::new(MachineSpec::system_a(), tempo).with_seed(1);
+        hermes::sim::run(&bench.dag_scaled(1, 0.4), &cfg).expect("valid config")
+    };
+    let deep = mk(1400);
+    let shallow = mk(1900);
+    assert!(
+        deep.elapsed >= shallow.elapsed,
+        "a deeper slow frequency cannot be faster: {} vs {}",
+        deep.elapsed,
+        shallow.elapsed
+    );
+}
+
+#[test]
+fn baseline_matches_unmodified_scheduler() {
+    // Baseline runs never change frequency and finish at full speed.
+    let r = run_a(Benchmark::Hull, Policy::Baseline, 8, 2);
+    assert_eq!(r.sched.dvfs_transitions, 0);
+    assert_eq!(r.tempo.actuations, 0);
+    assert_eq!(r.sched.slow_fraction(), 0.0);
+}
+
+#[test]
+fn simulation_is_deterministic_across_policies() {
+    for policy in Policy::all() {
+        let a = run_a(Benchmark::Knn, policy, 8, 9);
+        let b = run_a(Benchmark::Knn, policy, 8, 9);
+        assert_eq!(a.elapsed, b.elapsed, "{policy}");
+        assert!((a.energy_j - b.energy_j).abs() < 1e-12, "{policy}");
+    }
+}
+
+#[test]
+fn work_is_conserved_across_policies_and_workers() {
+    let dag = Benchmark::Ray.dag_scaled(4, 0.4);
+    let total = dag.total_cycles();
+    for policy in Policy::all() {
+        for workers in [2, 8, 16] {
+            let tempo = TempoConfig::builder()
+                .policy(policy)
+                .frequencies(vec![Frequency::from_mhz(2400), Frequency::from_mhz(1600)])
+                .workers(workers)
+                .build();
+            let cfg = SimConfig::new(MachineSpec::system_a(), tempo);
+            let r = hermes::sim::run(&dag, &cfg).expect("valid config");
+            assert_eq!(r.sched.cycles, total, "{policy}/{workers}w");
+        }
+    }
+}

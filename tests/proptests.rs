@@ -1,0 +1,119 @@
+//! Workspace-level property tests: cross-crate invariants under
+//! arbitrary inputs.
+
+use hermes::core::{Frequency, Policy, TempoConfig};
+use hermes::rt::{join, parallel_for, Pool};
+use hermes::sim::{Action, DagBuilder, MachineSpec, NodeId, SimConfig};
+use hermes::workloads::{quickhull, convex_hull_oracle, radix_sort, sample_sort, Point2};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Both parallel sorts agree with the standard sort on arbitrary
+    /// key vectors, run inside a tempo-controlled pool.
+    #[test]
+    fn parallel_sorts_match_std(mut keys in proptest::collection::vec(any::<u32>(), 0..30_000)) {
+        let tempo = TempoConfig::builder()
+            .policy(Policy::Unified)
+            .frequencies(vec![Frequency::from_mhz(2400), Frequency::from_mhz(1600)])
+            .workers(3)
+            .build();
+        let pool = Pool::builder().workers(3).tempo(tempo).build();
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        let mut keys2 = keys.clone();
+        pool.install(|| radix_sort(&mut keys));
+        prop_assert_eq!(&keys, &expect);
+        pool.install(|| sample_sort(&mut keys2));
+        prop_assert_eq!(&keys2, &expect);
+    }
+
+    /// Quickhull equals the monotone-chain oracle on arbitrary point
+    /// clouds (finite coordinates).
+    #[test]
+    fn hull_matches_oracle(raw in proptest::collection::vec((0u32..1000, 0u32..1000), 0..2000)) {
+        let pts: Vec<Point2> = raw
+            .iter()
+            .map(|&(x, y)| Point2 { x: f64::from(x) / 1000.0, y: f64::from(y) / 1000.0 })
+            .collect();
+        let pool = Pool::new(2);
+        let mut got: Vec<(u64, u64)> = pool
+            .install(|| quickhull(&pts))
+            .iter()
+            .map(|p| (p.x.to_bits(), p.y.to_bits()))
+            .collect();
+        let mut expect: Vec<(u64, u64)> = convex_hull_oracle(&pts)
+            .iter()
+            .map(|p| (p.x.to_bits(), p.y.to_bits()))
+            .collect();
+        got.sort_unstable();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// join computes the same as sequential execution for arbitrary
+    /// reduction trees.
+    #[test]
+    fn join_reductions_are_exact(values in proptest::collection::vec(any::<i64>(), 1..5000)) {
+        fn sum(v: &[i64]) -> i64 {
+            if v.len() <= 64 {
+                return v.iter().copied().fold(0i64, i64::wrapping_add);
+            }
+            let (l, r) = v.split_at(v.len() / 2);
+            let (a, b) = join(|| sum(l), || sum(r));
+            a.wrapping_add(b)
+        }
+        let expect = values.iter().copied().fold(0i64, i64::wrapping_add);
+        let pool = Pool::new(4);
+        let got = pool.install(|| sum(&values));
+        prop_assert_eq!(got, expect);
+    }
+
+    /// parallel_for visits every element exactly once regardless of
+    /// grain.
+    #[test]
+    fn parallel_for_visits_exactly_once(
+        n in 1usize..20_000,
+        grain in 1usize..4096,
+    ) {
+        let pool = Pool::new(4);
+        let mut v = vec![0u8; n];
+        pool.install(|| parallel_for(&mut v, grain, |x| *x += 1));
+        prop_assert!(v.iter().all(|&x| x == 1));
+    }
+
+    /// The simulator conserves work and respects greedy bounds for
+    /// arbitrary random DAGs, under every policy.
+    #[test]
+    fn sim_conserves_arbitrary_dags(
+        leaves in proptest::collection::vec(50_000u64..2_000_000, 1..64),
+        policy_idx in 0usize..4,
+        workers in 1usize..8,
+    ) {
+        let mut b = DagBuilder::new();
+        let children: Vec<NodeId> = leaves.iter().map(|&c| b.node(vec![Action::Work(c)])).collect();
+        let mut actions = vec![Action::Work(10_000)];
+        for c in children {
+            actions.push(Action::Spawn(c));
+        }
+        actions.push(Action::Sync);
+        let root = b.node(actions);
+        let dag = b.build(root);
+
+        let tempo = TempoConfig::builder()
+            .policy(Policy::all()[policy_idx])
+            .frequencies(vec![Frequency::from_mhz(3600), Frequency::from_mhz(2700)])
+            .workers(workers.min(4))
+            .build();
+        let cfg = SimConfig::new(MachineSpec::system_b(), tempo);
+        let r = hermes::sim::run(&dag, &cfg).expect("valid config");
+        prop_assert_eq!(r.sched.cycles, dag.total_cycles());
+        // Greedy bound with the slowest elected frequency as the limit.
+        let slow_hz = 2.7e9;
+        let t1 = dag.total_cycles() as f64 / slow_hz;
+        prop_assert!(r.elapsed.seconds() <= t1 * 1.5 + 0.01,
+            "elapsed {} beyond pessimistic serial bound {}", r.elapsed.seconds(), t1);
+        prop_assert!(r.energy_j > 0.0);
+    }
+}
