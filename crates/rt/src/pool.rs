@@ -796,14 +796,32 @@ mod tests {
         assert_eq!(hits.load(Ordering::SeqCst), 16);
     }
 
+    /// Per-element work slow enough that a parallel region spans many OS
+    /// scheduler ticks: on single-core hosts thieves only run when the
+    /// victim is preempted mid-region, so fast regions finish steal-free.
+    fn spin_work(x: &mut u64) {
+        let mut acc = *x;
+        for _ in 0..2_000 {
+            acc = std::hint::black_box(acc.wrapping_mul(2654435761).rotate_left(7));
+        }
+        *x = acc;
+    }
+
     #[test]
     fn steals_happen_under_load() {
         let pool = Pool::new(4);
-        let mut v: Vec<u64> = (0..200_000).collect();
-        pool.install(|| parallel_for(&mut v, 256, |x| *x = x.wrapping_mul(2654435761)));
+        // Retry a few regions: with one core, whether a thief wins a chunk
+        // depends on preemption timing within each region.
+        for _ in 0..20 {
+            let mut v: Vec<u64> = (0..20_000).collect();
+            pool.install(|| parallel_for(&mut v, 64, spin_work));
+            if pool.stats().steals > 0 {
+                break;
+            }
+        }
         assert!(
             pool.stats().steals > 0,
-            "4 workers over 780 chunks should steal: {:?}",
+            "4 workers over 300+ slow chunks should steal: {:?}",
             pool.stats()
         );
     }
@@ -820,8 +838,13 @@ mod tests {
             .tempo(tempo)
             .emulated_dvfs(Frequency::from_mhz(2400), 8.0)
             .build();
-        let mut v: Vec<u64> = (0..100_000).collect();
-        pool.install(|| parallel_for(&mut v, 512, |x| *x = x.wrapping_add(1)));
+        for _ in 0..20 {
+            let mut v: Vec<u64> = (0..20_000).collect();
+            pool.install(|| parallel_for(&mut v, 64, spin_work));
+            if pool.tempo_stats().steals > 0 {
+                break;
+            }
+        }
         let stats = pool.tempo_stats();
         assert!(stats.steals > 0, "steals observed: {stats}");
         assert!(stats.path_downs > 0, "thief procrastination fired: {stats}");

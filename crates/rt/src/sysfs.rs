@@ -153,9 +153,8 @@ impl RaplProbe {
         for entry in entries.flatten() {
             let name = entry.file_name();
             let name = name.to_string_lossy();
-            if name.starts_with("intel-rapl:") && !name.contains(':', ) {
-                // top-level domains only (intel-rapl:0, not intel-rapl:0:0)
-            }
+            // Top-level domains only (intel-rapl:0, not intel-rapl:0:0):
+            // subdomain energy is already included in the package counter.
             if name.starts_with("intel-rapl:") && name.matches(':').count() == 1 {
                 let path = entry.path().join("energy_uj");
                 if path.exists() {

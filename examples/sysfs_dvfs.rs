@@ -1,0 +1,69 @@
+//! Real-hardware DVFS demo, gated so it degrades instead of failing.
+//!
+//! On a Linux box with the `userspace` cpufreq governor and write access to
+//! `/sys/devices/system/cpu/cpu*/cpufreq` (the paper's setting), the pool
+//! actuates real operating points and, where available, reports measured
+//! RAPL energy. Everywhere else — containers, CI, macOS — it says why and
+//! falls back to emulated DVFS so the example always runs to completion.
+//!
+//! ```sh
+//! cargo run --release --example sysfs_dvfs
+//! ```
+
+use hermes::core::{Frequency, Policy, TempoConfig};
+use hermes::rt::{parallel_for, Pool, RaplProbe, SysfsCpufreqDriver};
+use std::path::Path;
+use std::sync::Arc;
+
+fn main() {
+    let workers = 4;
+    let sysfs_root = Path::new("/sys/devices/system/cpu");
+
+    // Frequency table: advertised by the hardware when cpufreq is present,
+    // otherwise the paper's System A two-point configuration.
+    let freqs = SysfsCpufreqDriver::available_frequencies(sysfs_root, 0)
+        .unwrap_or_else(|_| vec![Frequency::from_mhz(2400), Frequency::from_mhz(1600)]);
+
+    let tempo = TempoConfig::builder()
+        .policy(Policy::Unified)
+        .frequencies(freqs.clone())
+        .workers(workers)
+        .build();
+
+    let builder = Pool::builder().workers(workers).tempo(tempo);
+    let (pool, live) = match SysfsCpufreqDriver::new((0..workers).collect()) {
+        Ok(driver) => (builder.driver(Arc::new(driver)).build(), true),
+        Err(e) => {
+            eprintln!("no writable cpufreq ({e}); falling back to emulated DVFS");
+            (builder.emulated_dvfs(freqs[0], 8.0).build(), false)
+        }
+    };
+
+    let rapl = RaplProbe::discover().ok();
+    let energy_before = rapl.as_ref().and_then(|p| p.read_joules().ok());
+
+    let mut v: Vec<u64> = (0..2_000_000).collect();
+    let started = std::time::Instant::now();
+    pool.install(|| {
+        parallel_for(&mut v, 4096, |x| {
+            *x = x.wrapping_mul(2_654_435_761).rotate_left(7);
+        });
+    });
+    let elapsed = started.elapsed();
+
+    println!(
+        "scrambled 2M words in {elapsed:?} on {workers} workers via {} driver",
+        pool.driver_name()
+    );
+    println!("scheduler: {:?}", pool.stats());
+    println!("tempo:     {}", pool.tempo_stats());
+    match (energy_before, rapl.as_ref().and_then(|p| p.read_joules().ok())) {
+        (Some(a), Some(b)) => println!("RAPL package energy: {:.3} J", b - a),
+        _ if live => println!("RAPL unavailable; no measured energy"),
+        _ => {
+            if let Some(e) = pool.total_energy() {
+                println!("virtual energy (emulated): {e:.3} J");
+            }
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! `any::<T>()` and the `Arbitrary` trait for primitive types.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::fmt::Debug;
+use std::marker::PhantomData;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Debug + Sized {
+    /// Draw one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.gen::<$t>()
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen::<bool>()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Uniform in [0, 1): finite by construction, which is what the
+        // workspace tests rely on (no NaN surprises in oracles).
+        rng.gen::<f64>()
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen::<f32>()
+    }
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T> {
+    _marker: PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Strategy producing arbitrary values of `T` over its full domain.
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: PhantomData,
+    }
+}

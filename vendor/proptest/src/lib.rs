@@ -1,0 +1,153 @@
+//! Offline shim of the `proptest` crate: the subset of the API used by the
+//! HERMES workspace, implemented as straightforward seeded random testing.
+//!
+//! The container this workspace builds in has no crates.io access, so the
+//! real `proptest` cannot be fetched. This shim keeps the test sources
+//! compatible: the [`proptest!`] macro, `prop_assert*`, [`prop_oneof!`],
+//! `Strategy`/`Just`/`any`, `collection::vec`, and `ProptestConfig`.
+//!
+//! Differences from real proptest: cases are drawn from a deterministic
+//! per-test seed (derived from the test name) and failures are **not
+//! shrunk** — the failing inputs are reported as generated.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Re-exports mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Alias of the crate root, mirroring `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::{arbitrary, collection, strategy};
+    }
+
+    /// Configuration for a `proptest!` block (re-exported at prelude level
+    /// like the real crate).
+    pub use crate::test_runner::ProptestConfig;
+}
+
+/// Assert a condition inside a `proptest!` body, failing the case (not
+/// panicking) so the runner can report the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// `prop_assert!` for equality, printing both operands on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($a), stringify!($b), a, b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a == *b, $($fmt)*);
+    }};
+}
+
+/// `prop_assert!` for inequality, printing both operands on failure.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a != *b,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($a), stringify!($b), a
+        );
+    }};
+}
+
+/// Uniform choice among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::Strategy::boxed($s)),+])
+    };
+}
+
+/// The test-definition macro: each `fn name(args in strategies) { body }`
+/// becomes a `#[test]` that runs `config.cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+            for case in 0..config.cases {
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> = {
+                    $crate::__proptest_bindings!(rng; $($params)*);
+                    #[allow(unused_mut)]
+                    let mut body = move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        { $body }
+                        ::std::result::Result::Ok(())
+                    };
+                    body()
+                };
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!("proptest `{}` failed at case {}/{}: {}", stringify!($name), case + 1, config.cases, e);
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bindings {
+    ($rng:ident;) => {};
+    ($rng:ident; mut $name:ident in $s:expr) => {
+        let mut $name = $crate::strategy::Strategy::generate(&($s), &mut $rng);
+    };
+    ($rng:ident; mut $name:ident in $s:expr, $($rest:tt)*) => {
+        let mut $name = $crate::strategy::Strategy::generate(&($s), &mut $rng);
+        $crate::__proptest_bindings!($rng; $($rest)*);
+    };
+    ($rng:ident; $name:ident in $s:expr) => {
+        let $name = $crate::strategy::Strategy::generate(&($s), &mut $rng);
+    };
+    ($rng:ident; $name:ident in $s:expr, $($rest:tt)*) => {
+        let $name = $crate::strategy::Strategy::generate(&($s), &mut $rng);
+        $crate::__proptest_bindings!($rng; $($rest)*);
+    };
+}
