@@ -140,11 +140,89 @@ fn bench_sim_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    use hermes_telemetry::{Event, NullSink, RingSink, StealOutcome, TelemetrySink};
+
+    // Raw sink-record cost: the RingSink's tally + ring stores vs. the
+    // NullSink's empty body. This is the per-event price a steal path
+    // pays once a sink is attached.
+    let mut group = c.benchmark_group("telemetry/record");
+    group.throughput(Throughput::Elements(1024));
+    let ring = RingSink::new(4);
+    group.bench_function("ring_sink", |b| {
+        b.iter(|| {
+            for i in 0..1024u64 {
+                ring.record(
+                    (i % 4) as usize,
+                    i,
+                    Event::StealAttempt {
+                        victim: ((i + 1) % 4) as u32,
+                        outcome: StealOutcome::Success,
+                    },
+                );
+            }
+        });
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("telemetry/null_sink");
+    group.throughput(Throughput::Elements(1024));
+    let null = NullSink;
+    group.bench_function("null_sink", |b| {
+        b.iter(|| {
+            for i in 0..1024u64 {
+                null.record(
+                    (i % 4) as usize,
+                    i,
+                    Event::StealAttempt {
+                        victim: ((i + 1) % 4) as u32,
+                        outcome: StealOutcome::Success,
+                    },
+                );
+            }
+        });
+    });
+    group.finish();
+
+    // Whole-scheduler check: the same steal-heavy fork-join workload on
+    // a pool with no sink, a NullSink, and a recording RingSink. The
+    // first two must be indistinguishable (the satellite claim: the
+    // steal path is unaffected when telemetry is off or null).
+    fn fib(n: u64) -> u64 {
+        if n < 2 {
+            return n;
+        }
+        let (a, b) = join(|| fib(n - 1), || fib(n - 2));
+        a + b
+    }
+    let mut group = c.benchmark_group("telemetry/steal_path");
+    let no_sink = Pool::new(4);
+    group.bench_function("fib18_no_sink", |b| {
+        b.iter(|| no_sink.install(|| std::hint::black_box(fib(18))));
+    });
+    let null_pool = Pool::builder()
+        .workers(4)
+        .telemetry(Arc::new(NullSink) as Arc<dyn TelemetrySink>)
+        .build();
+    group.bench_function("fib18_null_sink", |b| {
+        b.iter(|| null_pool.install(|| std::hint::black_box(fib(18))));
+    });
+    let ring_pool = Pool::builder()
+        .workers(4)
+        .telemetry(Arc::new(RingSink::new(4)) as Arc<dyn TelemetrySink>)
+        .build();
+    group.bench_function("fib18_ring_sink", |b| {
+        b.iter(|| ring_pool.install(|| std::hint::black_box(fib(18))));
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_deque_ops,
     bench_steal_contention,
     bench_join_overhead,
-    bench_sim_throughput
+    bench_sim_throughput,
+    bench_telemetry_overhead
 );
 criterion_main!(benches);

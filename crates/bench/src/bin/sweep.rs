@@ -1,0 +1,601 @@
+//! `sweep`: run the paper's figure matrix, persist the results as a
+//! machine-readable baseline artifact, and diff artifacts against each
+//! other within tolerances.
+//!
+//! ```text
+//! sweep [--smoke] [--out PATH]        record an artifact (default BENCH_baseline.json)
+//! sweep --diff BASE NEW [tolerances]  compare two artifacts; non-zero exit on drift
+//!
+//! Tolerances (percentage points unless noted):
+//!   --tol-headline PTS   headline energy/time drift        (default 1.0)
+//!   --tol-headline-edp X headline normalized-EDP drift     (default 0.02)
+//!   --tol-row PTS        per-row energy/time drift         (default 5.0)
+//!   --tol-row-edp X      per-row normalized-EDP drift      (default 0.10)
+//! ```
+//!
+//! `--smoke` pins `HERMES_TRIALS=3` / `HERMES_SCALE=0.05` and runs the
+//! System B overall + EDP figures only, so the run is deterministic,
+//! CI-sized, and directly diffable against the committed
+//! `BENCH_baseline.json`. Without `--smoke` the full fig06–fig18 matrix
+//! runs at the ambient trial count and scale (long — tens of minutes).
+//! Diffing across modes compares the figure rows both artifacts share;
+//! the headline gate only applies between artifacts of the same mode
+//! (smoke and full headlines average different figure families).
+//!
+//! The artifact also embeds one telemetry [`RunReport`] from a
+//! sink-instrumented simulator run, so the baseline pins the report
+//! schema alongside the headline numbers.
+
+use hermes_bench::figures;
+use hermes_bench::{Cell, System};
+use hermes_core::Policy;
+use hermes_telemetry::json::Value;
+use hermes_telemetry::{RingSink, RunReport, TelemetrySink};
+use hermes_workloads::Benchmark;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+const ARTIFACT_SCHEMA: &str = "hermes-bench-baseline/v1";
+/// Default outputs differ by mode so a full run cannot silently clobber
+/// the committed smoke baseline.
+const DEFAULT_SMOKE_OUT: &str = "BENCH_baseline.json";
+const DEFAULT_FULL_OUT: &str = "BENCH_full.json";
+
+/// Flags that take a value (the next argument).
+const VALUE_FLAGS: &[&str] = &[
+    "--out",
+    "--tol-headline",
+    "--tol-headline-edp",
+    "--tol-row",
+    "--tol-row-edp",
+    "--tol-row-ratio",
+];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print_usage();
+        return ExitCode::SUCCESS;
+    }
+    // Strict argument validation: a typo like `--smokey` must error,
+    // not silently fall through to the tens-of-minutes full sweep.
+    let mut positionals = 0;
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if a == "--smoke" || a == "--diff" {
+            i += 1;
+        } else if VALUE_FLAGS.contains(&a.as_str()) {
+            if args.get(i + 1).is_none_or(|v| v.starts_with("--")) {
+                eprintln!("sweep: flag {a} needs a value");
+                print_usage();
+                return ExitCode::from(2);
+            }
+            i += 2;
+        } else if a.starts_with('-') {
+            eprintln!("sweep: unknown flag {a}");
+            print_usage();
+            return ExitCode::from(2);
+        } else {
+            positionals += 1;
+            i += 1;
+        }
+    }
+    if args.iter().any(|a| a == "--diff") {
+        if positionals != 2 {
+            eprintln!("sweep: --diff needs exactly two artifact paths");
+            print_usage();
+            return ExitCode::from(2);
+        }
+        return diff_main(&args);
+    }
+    if positionals != 0 {
+        eprintln!("sweep: unexpected positional arguments");
+        print_usage();
+        return ExitCode::from(2);
+    }
+    record_main(&args)
+}
+
+fn print_usage() {
+    eprintln!("usage: sweep [--smoke] [--out PATH]");
+    eprintln!("       sweep --diff BASE NEW [--tol-headline PTS] [--tol-headline-edp X]");
+    eprintln!("                             [--tol-row PTS] [--tol-row-edp X] [--tol-row-ratio X]");
+    eprintln!("default output: {DEFAULT_SMOKE_OUT} with --smoke, {DEFAULT_FULL_OUT} without");
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Parse a tolerance flag; an unparsable or negative value is a hard
+/// error — silently falling back to the default would let a CI config
+/// that thinks it tightened a gate run at the loose default.
+fn tolerance(args: &[String], flag: &str, default: f64) -> Result<f64, String> {
+    match flag_value(args, flag) {
+        None => Ok(default),
+        Some(v) => v
+            .parse::<f64>()
+            .ok()
+            .filter(|&t| t >= 0.0 && t.is_finite())
+            .ok_or_else(|| format!("{flag} expects a non-negative number, got '{v}'")),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Recording
+
+fn record_main(args: &[String]) -> ExitCode {
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let default_out = if smoke { DEFAULT_SMOKE_OUT } else { DEFAULT_FULL_OUT };
+    let out_path = flag_value(args, "--out").unwrap_or_else(|| default_out.to_string());
+    if smoke {
+        // Pin the protocol so smoke artifacts are comparable across
+        // machines and CI runs: the simulator is deterministic, so the
+        // same trials × scale reproduce bit-identical figures.
+        std::env::set_var("HERMES_TRIALS", "3");
+        std::env::set_var("HERMES_SCALE", "0.05");
+    }
+    let artifact = record(smoke);
+    let json = artifact.to_string_pretty();
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("sweep: cannot write {out_path}: {e}");
+        return ExitCode::from(2);
+    }
+    println!("\nsweep: wrote {out_path} ({} bytes)", json.len());
+    ExitCode::SUCCESS
+}
+
+/// One figure row: a stable key plus named metric fields.
+fn row(key: String, fields: Vec<(&str, f64)>) -> Value {
+    let mut pairs = vec![("key", Value::Str(key))];
+    pairs.extend(fields.into_iter().map(|(k, v)| (k, Value::Num(v))));
+    Value::obj(pairs)
+}
+
+fn overall_rows(rows: Vec<(Benchmark, usize, f64, f64)>) -> Value {
+    Value::Arr(
+        rows.into_iter()
+            .map(|(bench, workers, saving, loss)| {
+                row(
+                    format!("{}/w{workers}", bench.label()),
+                    vec![("energy_saving_pct", saving), ("time_loss_pct", loss)],
+                )
+            })
+            .collect(),
+    )
+}
+
+fn edp_rows(rows: Vec<(Benchmark, usize, f64)>) -> Value {
+    Value::Arr(
+        rows.into_iter()
+            .map(|(bench, workers, edp)| {
+                row(format!("{}/w{workers}", bench.label()), vec![("norm_edp", edp)])
+            })
+            .collect(),
+    )
+}
+
+fn saving_loss_rows<K: std::fmt::Display>(
+    rows: Vec<(Benchmark, K, f64, f64)>,
+) -> Value {
+    Value::Arr(
+        rows.into_iter()
+            .map(|(bench, k, saving, loss)| {
+                row(
+                    format!("{}/{k}", bench.label()),
+                    vec![("energy_saving_pct", saving), ("time_loss_pct", loss)],
+                )
+            })
+            .collect(),
+    )
+}
+
+fn strategy_rows(rows: Vec<(Benchmark, usize, f64, f64)>) -> Value {
+    Value::Arr(
+        rows.into_iter()
+            .map(|(bench, workers, wp, wl)| {
+                row(
+                    format!("{}/w{workers}", bench.label()),
+                    vec![("workpath_rel", wp), ("workload_rel", wl)],
+                )
+            })
+            .collect(),
+    )
+}
+
+fn record(smoke: bool) -> Value {
+    let mut figures_out: Vec<(String, Value)> = Vec::new();
+    // Headline accumulators over the overall (fig06/07) and EDP
+    // (fig08/09) families.
+    let mut saving_sum = 0.0;
+    let mut loss_sum = 0.0;
+    let mut overall_n = 0.0;
+    let mut edp_sum = 0.0;
+    let mut edp_n = 0.0;
+
+    let run_overall = |id: &str, name: &str, system: System,
+                           figures_out: &mut Vec<(String, Value)>,
+                           saving_sum: &mut f64,
+                           loss_sum: &mut f64,
+                           overall_n: &mut f64| {
+        let rows = figures::overall(id, system);
+        for &(_, _, saving, loss) in &rows {
+            *saving_sum += saving;
+            *loss_sum += loss;
+            *overall_n += 1.0;
+        }
+        figures_out.push((name.to_string(), overall_rows(rows)));
+    };
+    let run_edp = |id: &str, name: &str, system: System,
+                       figures_out: &mut Vec<(String, Value)>,
+                       edp_sum: &mut f64,
+                       edp_n: &mut f64| {
+        let rows = figures::edp(id, system);
+        for &(_, _, e) in &rows {
+            *edp_sum += e;
+            *edp_n += 1.0;
+        }
+        figures_out.push((name.to_string(), edp_rows(rows)));
+    };
+
+    if !smoke {
+        run_overall(
+            "Figure 6", "fig06_overall_a", System::A, &mut figures_out,
+            &mut saving_sum, &mut loss_sum, &mut overall_n,
+        );
+    }
+    run_overall(
+        "Figure 7", "fig07_overall_b", System::B, &mut figures_out,
+        &mut saving_sum, &mut loss_sum, &mut overall_n,
+    );
+    if !smoke {
+        run_edp("Figure 8", "fig08_edp_a", System::A, &mut figures_out, &mut edp_sum, &mut edp_n);
+    }
+    run_edp("Figure 9", "fig09_edp_b", System::B, &mut figures_out, &mut edp_sum, &mut edp_n);
+
+    if !smoke {
+        figures_out.push((
+            "fig10_strategy_energy_a".to_string(),
+            strategy_rows(figures::strategy_relative("Figure 10", System::A, true)),
+        ));
+        figures_out.push((
+            "fig11_strategy_time_a".to_string(),
+            strategy_rows(figures::strategy_relative("Figure 11", System::A, false)),
+        ));
+        figures_out.push((
+            "fig12_strategy_energy_b".to_string(),
+            strategy_rows(figures::strategy_relative("Figure 12", System::B, true)),
+        ));
+        figures_out.push((
+            "fig13_strategy_time_b".to_string(),
+            strategy_rows(figures::strategy_relative("Figure 13", System::B, false)),
+        ));
+        let fs_a = figures::freq_selection(
+            "Figure 14",
+            System::A,
+            &[(2400, 1600), (2400, 1400), (2400, 1900)],
+        );
+        figures_out.push((
+            "fig14_freq_selection_a".to_string(),
+            saving_loss_rows(
+                fs_a.into_iter()
+                    .map(|(b, (f, s), sv, ls)| (b, format!("{f}-{s}"), sv, ls))
+                    .collect(),
+            ),
+        ));
+        let fs_b = figures::freq_selection(
+            "Figure 15",
+            System::B,
+            &[(3600, 2700), (3600, 2100), (3600, 3300)],
+        );
+        figures_out.push((
+            "fig15_freq_selection_b".to_string(),
+            saving_loss_rows(
+                fs_b.into_iter()
+                    .map(|(b, (f, s), sv, ls)| (b, format!("{f}-{s}"), sv, ls))
+                    .collect(),
+            ),
+        ));
+        let nf_a = figures::nfreq(
+            "Figure 16",
+            System::A,
+            &[&[2400, 1600], &[2400, 1600, 1400], &[2400, 1900, 1600]],
+        );
+        figures_out.push((
+            "fig16_nfreq_a".to_string(),
+            saving_loss_rows(
+                nf_a.into_iter()
+                    .map(|(b, i, sv, ls)| (b, format!("combo{i}"), sv, ls))
+                    .collect(),
+            ),
+        ));
+        let nf_b = figures::nfreq(
+            "Figure 17",
+            System::B,
+            &[&[3600, 2700], &[3600, 3300, 2700]],
+        );
+        figures_out.push((
+            "fig17_nfreq_b".to_string(),
+            saving_loss_rows(
+                nf_b.into_iter()
+                    .map(|(b, i, sv, ls)| (b, format!("combo{i}"), sv, ls))
+                    .collect(),
+            ),
+        ));
+        figures_out.push((
+            "fig18_scheduling".to_string(),
+            saving_loss_rows(
+                figures::scheduling("Figure 18", System::B)
+                    .into_iter()
+                    .map(|(b, m, sv, ls)| (b, m.to_string(), sv, ls))
+                    .collect(),
+            ),
+        ));
+    }
+
+    let headline = Value::obj(vec![
+        ("energy_saving_pct", Value::Num(saving_sum / overall_n.max(1.0))),
+        ("time_loss_pct", Value::Num(loss_sum / overall_n.max(1.0))),
+        ("norm_edp", Value::Num(edp_sum / edp_n.max(1.0))),
+    ]);
+    println!(
+        "\nheadline: energy saving {:.2}% | time loss {:.2}% | norm EDP {:.3}",
+        saving_sum / overall_n.max(1.0),
+        loss_sum / overall_n.max(1.0),
+        edp_sum / edp_n.max(1.0),
+    );
+
+    Value::obj(vec![
+        ("schema", Value::Str(ARTIFACT_SCHEMA.to_string())),
+        ("mode", Value::Str(if smoke { "smoke" } else { "full" }.to_string())),
+        ("trials", Value::Num(hermes_bench::trials() as f64)),
+        ("scale", Value::Num(hermes_bench::scale())),
+        ("headline", headline),
+        ("figures", Value::Obj(figures_out.into_iter().collect())),
+        ("sample_run_report", sample_run_report().to_value()),
+    ])
+}
+
+/// One telemetry-instrumented simulator run, embedded so the baseline
+/// pins the RunReport schema next to the figures (and exercises the sink
+/// wiring end to end on every sweep).
+fn sample_run_report() -> RunReport {
+    let cell = Cell::new(Benchmark::Sort, System::B, 4, Policy::Unified);
+    let sink = Arc::new(RingSink::new(cell.workers));
+    let dag = cell.bench.dag_scaled(0, hermes_bench::scale());
+    let tempo = hermes_core::TempoConfig::builder()
+        .policy(cell.policy)
+        .frequencies(cell.freqs.clone())
+        .workers(cell.workers)
+        .threshold_scale(hermes_bench::threshold_scale(cell.system))
+        .build();
+    let config = hermes_sim::SimConfig::new(cell.system.machine(), tempo)
+        .with_telemetry(Arc::clone(&sink) as Arc<dyn TelemetrySink>);
+    let report = hermes_sim::run(&dag, &config).expect("harness presets are consistent");
+    sink.report(
+        "sort/B/w4/unified",
+        "sim",
+        report.elapsed.seconds(),
+        report.energy_j,
+    )
+}
+
+// ---------------------------------------------------------------------
+// Diffing
+
+struct Tolerances {
+    headline_pct: f64,
+    headline_edp: f64,
+    row_pct: f64,
+    row_edp: f64,
+    row_ratio: f64,
+}
+
+fn diff_main(args: &[String]) -> ExitCode {
+    // The two positionals after flag filtering are BASE and NEW (main
+    // already validated the count); accept them in order.
+    let mut paths = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if VALUE_FLAGS.contains(&a.as_str()) {
+            i += 2;
+        } else if a.starts_with('-') {
+            i += 1;
+        } else {
+            paths.push(a.clone());
+            i += 1;
+        }
+    }
+    let (base_path, new_path) = (&paths[0], &paths[1]);
+    let tol = match (|| -> Result<Tolerances, String> {
+        Ok(Tolerances {
+            headline_pct: tolerance(args, "--tol-headline", 1.0)?,
+            headline_edp: tolerance(args, "--tol-headline-edp", 0.02)?,
+            row_pct: tolerance(args, "--tol-row", 5.0)?,
+            row_edp: tolerance(args, "--tol-row-edp", 0.10)?,
+            row_ratio: tolerance(args, "--tol-row-ratio", 0.25)?,
+        })
+    })() {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("sweep: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let load = |path: &str| -> Result<Value, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let v = Value::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+        match v.get("schema").and_then(Value::as_str) {
+            Some(ARTIFACT_SCHEMA) => Ok(v),
+            Some(other) => Err(format!("{path}: unsupported schema '{other}'")),
+            None => Err(format!("{path}: missing schema tag")),
+        }
+    };
+    let (base, new) = match (load(base_path), load(new_path)) {
+        (Ok(b), Ok(n)) => (b, n),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("sweep: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match diff(&base, &new, &tol) {
+        0 => {
+            println!("sweep: {new_path} agrees with {base_path} within tolerances");
+            ExitCode::SUCCESS
+        }
+        n => {
+            eprintln!("sweep: {n} metric(s) drifted beyond tolerance");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Tolerance for a metric field, by name. Percentage-point fields get
+/// `--tol-row`; normalized quantities get scales of their own —
+/// applying the 5-point row tolerance to a ~1.0-scale ratio would make
+/// that gate vacuous.
+fn field_tolerance(field: &str, tol: &Tolerances) -> f64 {
+    match field {
+        "norm_edp" => tol.row_edp,
+        // Strategy contributions normalized to the unified policy
+        // (~0.3–1.5): noisier than EDP (a ratio of two small
+        // percentages), hence the wider default.
+        "workpath_rel" | "workload_rel" => tol.row_ratio,
+        _ => tol.row_pct,
+    }
+}
+
+fn diff(base: &Value, new: &Value, tol: &Tolerances) -> usize {
+    let mut violations = 0;
+
+    // Headline: the gate CI cares about — but only between artifacts of
+    // the same mode. A smoke headline averages the System B figures
+    // while a full headline averages Systems A+B, so a cross-mode delta
+    // is protocol difference, not drift; shared figure rows below are
+    // still compared.
+    let base_mode = base.get("mode").and_then(Value::as_str).unwrap_or("?");
+    let new_mode = new.get("mode").and_then(Value::as_str).unwrap_or("?");
+    let headline_gate: &[(&str, f64)] = if base_mode == new_mode {
+        &[
+            ("energy_saving_pct", tol.headline_pct),
+            ("time_loss_pct", tol.headline_pct),
+            ("norm_edp", tol.headline_edp),
+        ]
+    } else {
+        println!(
+            "headline gate skipped: artifact modes differ ({base_mode} vs {new_mode}); \
+             comparing shared figure rows only"
+        );
+        &[]
+    };
+    println!("{:<34} {:>10} {:>10} {:>8} {:>8}", "metric", "base", "new", "drift", "tol");
+    for &(field, t) in headline_gate {
+        let b = base.get("headline").and_then(|h| h.get(field)).and_then(Value::as_f64);
+        let n = new.get("headline").and_then(|h| h.get(field)).and_then(Value::as_f64);
+        match (b, n) {
+            (Some(b), Some(n)) => {
+                let drift = (n - b).abs();
+                let flag = if drift > t { " DRIFT" } else { "" };
+                if drift > t {
+                    violations += 1;
+                }
+                println!(
+                    "{:<34} {:>10.3} {:>10.3} {:>8.3} {:>8.3}{flag}",
+                    format!("headline.{field}"),
+                    b,
+                    n,
+                    drift,
+                    t
+                );
+            }
+            _ => {
+                violations += 1;
+                println!("{:<34} missing on one side", format!("headline.{field}"));
+            }
+        }
+    }
+
+    // Per-row comparison over the figures present in BOTH artifacts
+    // (a smoke artifact diffs cleanly against a full one).
+    let (Some(Value::Obj(base_figs)), Some(Value::Obj(new_figs))) =
+        (base.get("figures"), new.get("figures"))
+    else {
+        eprintln!("sweep: malformed figures section");
+        return violations + 1;
+    };
+    let mut compared = 0;
+    for (fig, base_rows) in base_figs {
+        let Some(new_rows) = new_figs.iter().find(|(k, _)| k == fig).map(|(_, v)| v) else {
+            continue;
+        };
+        let (Some(base_rows), Some(new_rows)) = (base_rows.as_arr(), new_rows.as_arr()) else {
+            violations += 1;
+            continue;
+        };
+        for brow in base_rows {
+            let Some(key) = brow.get("key").and_then(Value::as_str) else {
+                continue;
+            };
+            let Some(nrow) = new_rows
+                .iter()
+                .find(|r| r.get("key").and_then(Value::as_str) == Some(key))
+            else {
+                violations += 1;
+                println!("{fig}/{key:<24} row missing in new artifact");
+                continue;
+            };
+            if let Value::Obj(fields) = brow {
+                for (field, bval) in fields {
+                    if field == "key" {
+                        continue;
+                    }
+                    let (Some(b), Some(n)) = (
+                        bval.as_f64(),
+                        nrow.get(field).and_then(Value::as_f64),
+                    ) else {
+                        violations += 1;
+                        continue;
+                    };
+                    compared += 1;
+                    let t = field_tolerance(field, tol);
+                    let drift = (n - b).abs();
+                    if drift > t {
+                        violations += 1;
+                        println!(
+                            "{:<34} {:>10.3} {:>10.3} {:>8.3} {:>8.3} DRIFT",
+                            format!("{fig}/{key}.{field}"),
+                            b,
+                            n,
+                            drift,
+                            t
+                        );
+                    }
+                }
+            }
+        }
+    }
+    println!("compared {compared} row metrics; {violations} violation(s)");
+
+    // The embedded RunReport must parse under the current schema — a
+    // cheap guard against silently breaking the report format.
+    for (side, artifact) in [("base", base), ("new", new)] {
+        match artifact.get("sample_run_report") {
+            Some(v) => {
+                if let Err(e) = RunReport::from_value(v) {
+                    violations += 1;
+                    eprintln!("sweep: {side} sample_run_report invalid: {e}");
+                }
+            }
+            None => {
+                violations += 1;
+                eprintln!("sweep: {side} artifact has no sample_run_report");
+            }
+        }
+    }
+    violations
+}

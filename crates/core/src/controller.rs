@@ -2,7 +2,8 @@
 
 use crate::{
     FreqMap, Frequency, FrequencyActuator, ImmediacyList, OnlineProfiler, Policy, ProfilerConfig,
-    TempoChange, TempoLevel, TempoStats, ThresholdTable, WorkerId,
+    TempoChange, TempoLevel, TempoStats, ThresholdTable, TransitionKind, TransitionRecord,
+    WorkerId,
 };
 
 /// Configuration of a [`TempoController`].
@@ -202,6 +203,10 @@ pub struct TempoController {
     table: ThresholdTable,
     profiler: OnlineProfiler,
     stats: TempoStats,
+    /// When true, every tempo transition is appended to `trace_buf` for
+    /// the host to drain (see [`drain_transitions`](Self::drain_transitions)).
+    tracing: bool,
+    trace_buf: Vec<TransitionRecord>,
 }
 
 /// Cap on the logical level, far beyond any realistic procrastination
@@ -227,6 +232,8 @@ impl TempoController {
             profiler,
             config,
             stats: TempoStats::default(),
+            tracing: false,
+            trace_buf: Vec::new(),
         }
     }
 
@@ -285,6 +292,48 @@ impl TempoController {
         self.stats = TempoStats::default();
     }
 
+    /// Enable or disable transition tracing (off by default).
+    ///
+    /// While enabled, the controller buffers one [`TransitionRecord`]
+    /// per tempo transition — including transitions of workers *other*
+    /// than the hook's subject (immediacy relays) that a host cannot
+    /// reconstruct from hook calls alone. Hosts must call
+    /// [`drain_transitions`](Self::drain_transitions) after each hook
+    /// invocation to keep the buffer empty.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
+        if !on {
+            self.trace_buf.clear();
+        }
+    }
+
+    /// Whether transition tracing is enabled.
+    #[must_use]
+    pub fn tracing(&self) -> bool {
+        self.tracing
+    }
+
+    /// Hand every buffered transition to `f`, oldest first, and clear
+    /// the buffer (the backing allocation is reused across calls).
+    pub fn drain_transitions<F: FnMut(TransitionRecord)>(&mut self, mut f: F) {
+        for record in self.trace_buf.drain(..) {
+            f(record);
+        }
+    }
+
+    /// Record one transition of `w` when tracing is on; called exactly
+    /// where the corresponding [`TempoStats`] counter is incremented, so
+    /// the trace and the stats always agree.
+    fn trace(&mut self, w: WorkerId, kind: TransitionKind) {
+        if self.tracing {
+            self.trace_buf.push(TransitionRecord {
+                worker: w,
+                kind,
+                level: TempoLevel(self.virtuals[w.0].max(0) as usize),
+            });
+        }
+    }
+
     /// Actuate the bootstrap frequency (fastest) for every worker.
     pub fn initialize<A: FrequencyActuator>(&mut self, actuator: &mut A) {
         for w in 0..self.config.num_workers {
@@ -329,6 +378,7 @@ impl TempoController {
             self.virtuals[thief.0] =
                 self.clamp_virtual((self.virtuals[victim.0] + 1).max(self.floor(thief)));
             self.stats.path_downs += 1;
+            self.trace(thief, TransitionKind::PathDown);
             self.refresh(thief, actuator);
             self.list.insert_thief(thief, victim);
         }
@@ -349,6 +399,7 @@ impl TempoController {
                 // the workload floor — a drained deque stays slow.
                 self.virtuals[d.0] = (self.virtuals[d.0] - 1).max(self.floor(d));
                 self.stats.relay_ups += 1;
+                self.trace(d, TransitionKind::RelayUp);
                 self.refresh(d, actuator);
             }
         }
@@ -367,6 +418,7 @@ impl TempoController {
             // step, so this tracks exactly for floor-resting workers.
             self.virtuals[w.0] = (self.virtuals[w.0] - 1).max(self.floor(w));
             self.stats.workload_ups += 1;
+            self.trace(w, TransitionKind::WorkloadUp);
             self.refresh(w, actuator);
         }
     }
@@ -448,6 +500,7 @@ impl TempoController {
         self.bands[w.0] -= 1;
         self.virtuals[w.0] = self.clamp_virtual(self.virtuals[w.0] + 1);
         self.stats.workload_downs += 1;
+        self.trace(w, TransitionKind::WorkloadDown);
         self.refresh(w, actuator);
     }
 
@@ -805,6 +858,57 @@ mod tests {
         ctl.on_steal(w(0), w(1), 1, &mut act);
         assert_eq!(ctl.level(w(0)), TempoLevel(1));
         assert!(ctl.immediacy().is_head(w(1)));
+    }
+
+    #[test]
+    fn transition_trace_mirrors_stats_counters() {
+        let mut ctl = TempoController::new(config(Policy::Unified, 4, 3));
+        let mut act = RecordingActuator::new();
+        ctl.set_tracing(true);
+        assert!(ctl.tracing());
+        let t = ctl.thresholds().thresholds().to_vec();
+        ctl.on_steal(w(1), w(0), t[1] + 1, &mut act);
+        ctl.on_push(w(1), t[0] + 1, &mut act);
+        ctl.on_pop(w(1), t[0] - 1, &mut act);
+        ctl.on_out_of_work(w(0), &mut act);
+        let mut counts = std::collections::HashMap::new();
+        let mut records = Vec::new();
+        ctl.drain_transitions(|r| {
+            *counts.entry(r.kind).or_insert(0u64) += 1;
+            records.push(r);
+        });
+        let stats = ctl.stats();
+        assert_eq!(counts.get(&TransitionKind::PathDown).copied().unwrap_or(0), stats.path_downs);
+        assert_eq!(counts.get(&TransitionKind::RelayUp).copied().unwrap_or(0), stats.relay_ups);
+        assert_eq!(
+            counts.get(&TransitionKind::WorkloadUp).copied().unwrap_or(0),
+            stats.workload_ups
+        );
+        assert_eq!(
+            counts.get(&TransitionKind::WorkloadDown).copied().unwrap_or(0),
+            stats.workload_downs
+        );
+        assert_eq!(records.len() as u64, stats.total_transitions());
+        // The buffer drained; a second drain sees nothing.
+        let mut more = 0;
+        ctl.drain_transitions(|_| more += 1);
+        assert_eq!(more, 0);
+        // Disabling tracing clears and stops buffering.
+        ctl.set_tracing(false);
+        ctl.on_steal(w(2), w(0), 1, &mut act);
+        ctl.drain_transitions(|_| more += 1);
+        assert_eq!(more, 0);
+    }
+
+    #[test]
+    fn tracing_off_by_default_buffers_nothing() {
+        let mut ctl = TempoController::new(config(Policy::Unified, 2, 2));
+        let mut act = RecordingActuator::new();
+        ctl.on_steal(w(1), w(0), 5, &mut act);
+        let mut n = 0;
+        ctl.drain_transitions(|_| n += 1);
+        assert_eq!(n, 0);
+        assert!(!ctl.tracing());
     }
 
     #[test]

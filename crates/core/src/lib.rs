@@ -60,6 +60,7 @@ mod policy;
 mod stats;
 mod tempo;
 mod thresholds;
+mod trace;
 
 pub use actuator::{FrequencyActuator, NullActuator, RecordingActuator, TempoChange};
 pub use controller::{TempoConfig, TempoConfigBuilder, TempoController};
@@ -69,6 +70,7 @@ pub use policy::Policy;
 pub use stats::TempoStats;
 pub use tempo::TempoLevel;
 pub use thresholds::{OnlineProfiler, ProfilerConfig, ThresholdTable};
+pub use trace::{TransitionKind, TransitionRecord};
 
 /// Identifier of a worker thread within a work-stealing pool.
 ///

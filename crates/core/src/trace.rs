@@ -1,0 +1,88 @@
+//! Tempo-transition trace records emitted by the controller.
+//!
+//! The [`TempoController`](crate::TempoController) is a pure state
+//! machine; several of its transitions (immediacy relays in particular)
+//! change workers *other* than the one whose hook is running, so a host
+//! cannot reconstruct the transition stream from hook calls alone. When
+//! tracing is enabled ([`TempoController::set_tracing`]), the controller
+//! appends one [`TransitionRecord`] per tempo transition to an internal
+//! buffer that the host drains after each hook call
+//! ([`TempoController::drain_transitions`]) and forwards to its telemetry
+//! sink.
+
+use crate::{TempoLevel, WorkerId};
+
+/// The kind of a tempo transition, mirroring the counters of
+/// [`TempoStats`](crate::TempoStats) one-to-one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransitionKind {
+    /// Thief procrastination: a successful steal slowed the thief
+    /// (paper Fig. 5 line 20; counted in `path_downs`).
+    PathDown,
+    /// Immediacy relay: a drained worker raised a downstream thief
+    /// (paper Fig. 5 lines 5–14; counted in `relay_ups`).
+    RelayUp,
+    /// Workload raise: a push crossed a threshold upward
+    /// (counted in `workload_ups`).
+    WorkloadUp,
+    /// Workload lowering: a pop or steal crossed a threshold downward
+    /// (counted in `workload_downs`).
+    WorkloadDown,
+}
+
+impl TransitionKind {
+    /// All kinds, in the order used by transition-mix vectors.
+    #[must_use]
+    pub fn all() -> [TransitionKind; 4] {
+        [
+            TransitionKind::PathDown,
+            TransitionKind::RelayUp,
+            TransitionKind::WorkloadUp,
+            TransitionKind::WorkloadDown,
+        ]
+    }
+
+    /// Short label for reports and tables.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            TransitionKind::PathDown => "path_down",
+            TransitionKind::RelayUp => "relay_up",
+            TransitionKind::WorkloadUp => "workload_up",
+            TransitionKind::WorkloadDown => "workload_down",
+        }
+    }
+}
+
+impl std::fmt::Display for TransitionKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One tempo transition: which worker moved, why, and the logical level
+/// it landed on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransitionRecord {
+    /// The worker whose tempo changed.
+    pub worker: WorkerId,
+    /// What caused the transition.
+    pub kind: TransitionKind,
+    /// The worker's logical tempo level *after* the transition.
+    pub level: TempoLevel,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: Vec<_> = TransitionKind::all().iter().map(|k| k.label()).collect();
+        let mut dedup = labels.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(labels.len(), dedup.len());
+        assert_eq!(TransitionKind::PathDown.to_string(), "path_down");
+    }
+}

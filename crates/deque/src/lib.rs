@@ -49,12 +49,21 @@ pub use lock_free::LockFreeDeque;
 pub use the_deque::TheDeque;
 
 /// Outcome of a steal attempt.
+///
+/// The two failure modes are distinguished because they mean different
+/// things to a scheduler (and to the deque ablation): `Empty` is
+/// *starvation* — the victim had nothing to take — while `Retry` is
+/// *contention* — work was present but another party won the race for
+/// it, so the same victim may be worth retrying.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Steal<T> {
     /// A task was stolen from the head of the victim's deque.
     Success(T),
-    /// The victim's deque was empty (or lost the last item to its owner).
+    /// The victim's deque was empty before the thief committed.
     Empty,
+    /// The victim had work, but the thief lost the race for it to the
+    /// owner or another thief.
+    Retry,
 }
 
 impl<T> Steal<T> {
@@ -63,7 +72,7 @@ impl<T> Steal<T> {
     pub fn success(self) -> Option<T> {
         match self {
             Steal::Success(t) => Some(t),
-            Steal::Empty => None,
+            Steal::Empty | Steal::Retry => None,
         }
     }
 
@@ -71,6 +80,13 @@ impl<T> Steal<T> {
     #[must_use]
     pub fn is_success(&self) -> bool {
         matches!(self, Steal::Success(_))
+    }
+
+    /// Whether the attempt failed to a lost race (contention, not
+    /// starvation).
+    #[must_use]
+    pub fn is_retry(&self) -> bool {
+        matches!(self, Steal::Retry)
     }
 }
 
@@ -125,8 +141,12 @@ mod tests {
     fn steal_enum_conversions() {
         assert_eq!(Steal::Success(7).success(), Some(7));
         assert_eq!(Steal::<i32>::Empty.success(), None);
+        assert_eq!(Steal::<i32>::Retry.success(), None);
         assert!(Steal::Success(1).is_success());
         assert!(!Steal::<i32>::Empty.is_success());
+        assert!(!Steal::<i32>::Retry.is_success());
+        assert!(Steal::<i32>::Retry.is_retry());
+        assert!(!Steal::<i32>::Empty.is_retry());
     }
 
     #[test]

@@ -125,26 +125,25 @@ impl<T: Send> TaskDeque<T> for LockFreeDeque<T> {
     }
 
     fn steal(&self) -> Steal<T> {
-        loop {
-            let t = self.top.load(SeqCst);
-            let b = self.bottom.load(SeqCst);
-            if t >= b {
-                return Steal::Empty;
-            }
-            // Acquire the slot BEFORE committing the CAS (the analogue of
-            // Chase–Lev's read-before-CAS): a successful CAS then implies
-            // exclusive rights to the slot's current occupant, and the
-            // owner's reuse of the ring position blocks on this guard.
-            let mut slot = self.slot(t).lock();
-            if self.top.compare_exchange(t, t + 1, SeqCst, SeqCst).is_ok() {
-                let task = slot.take().expect("deque protocol violation: slot already consumed");
-                return Steal::Success(task);
-            }
-            // Lost the race to another thief (or the owner's last-item
-            // pop); re-examine the indices.
-            drop(slot);
-            std::hint::spin_loop();
+        let t = self.top.load(SeqCst);
+        let b = self.bottom.load(SeqCst);
+        if t >= b {
+            return Steal::Empty;
         }
+        // Acquire the slot BEFORE committing the CAS (the analogue of
+        // Chase–Lev's read-before-CAS): a successful CAS then implies
+        // exclusive rights to the slot's current occupant, and the
+        // owner's reuse of the ring position blocks on this guard.
+        let mut slot = self.slot(t).lock();
+        if self.top.compare_exchange(t, t + 1, SeqCst, SeqCst).is_ok() {
+            let task = slot.take().expect("deque protocol violation: slot already consumed");
+            return Steal::Success(task);
+        }
+        // Lost the race for visible work to another thief (or the
+        // owner's last-item pop). Reporting the lost race — instead of
+        // looping internally — lets schedulers count contention
+        // separately from starvation and choose their own retry policy.
+        Steal::Retry
     }
 
     fn len(&self) -> usize {
@@ -227,7 +226,7 @@ mod tests {
                                 got.push(v);
                                 misses = 0;
                             }
-                            Steal::Empty => {
+                            Steal::Empty | Steal::Retry => {
                                 misses += 1;
                                 std::hint::spin_loop();
                             }

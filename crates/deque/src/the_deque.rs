@@ -142,13 +142,20 @@ impl<T: Send> TaskDeque<T> for TheDeque<T> {
 
     /// Paper Algorithm 2.4: steals always lock, advance `H`, and back off
     /// if the deque turned out to be empty.
+    ///
+    /// A failed attempt reports [`Steal::Retry`] when the deque held work
+    /// at the moment the thief committed to stealing (before taking the
+    /// lock) but was drained — by the owner or by thieves ahead in the
+    /// lock queue — before this thief got its turn: contention, not
+    /// starvation.
     fn steal(&self) -> Steal<T> {
+        let saw_work = self.len() > 0;
         let _guard = self.lock.lock();
         let h = self.head.load(SeqCst);
         self.head.store(h + 1, SeqCst);
         if h + 1 > self.tail.load(SeqCst) {
             self.head.store(h, SeqCst);
-            return Steal::Empty;
+            return if saw_work { Steal::Retry } else { Steal::Empty };
         }
         Steal::Success(self.take_slot(h))
     }
@@ -256,7 +263,7 @@ mod tests {
                                 got.push(v);
                                 misses = 0;
                             }
-                            Steal::Empty => {
+                            Steal::Empty | Steal::Retry => {
                                 misses += 1;
                                 std::hint::spin_loop();
                             }

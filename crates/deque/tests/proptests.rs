@@ -89,6 +89,9 @@ fn conserve<D: TaskDeque<usize> + Send + Sync + 'static>(
                 loop {
                     match dq.steal() {
                         Steal::Success(v) => got.push(v),
+                        // A lost race means work was present: retry at
+                        // once without consulting the exit condition.
+                        Steal::Retry => std::hint::spin_loop(),
                         Steal::Empty => {
                             if done.load(std::sync::atomic::Ordering::SeqCst) && dq.is_empty() {
                                 break;

@@ -7,6 +7,7 @@ use hermes_core::{
     WorkerId,
 };
 use hermes_deque::{LockFreeDeque, Steal, TaskDeque, TheDeque};
+use hermes_telemetry::{Event, StealOutcome, TelemetrySink};
 use parking_lot::{Condvar, Mutex};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -34,10 +35,22 @@ pub struct RtStats {
     pub pops: u64,
     /// Successful steals.
     pub steals: u64,
-    /// Steal attempts that found an empty deque.
-    pub failed_steals: u64,
+    /// Steal attempts that found an empty deque (starvation).
+    pub empty_steals: u64,
+    /// Steal attempts that lost a race for present work to the owner or
+    /// another thief (contention) — the signal the deque ablation needs
+    /// to separate lock/CAS pressure from plain work shortage.
+    pub lost_race_steals: u64,
     /// Tasks executed inline because a deque was full.
     pub inline_fallbacks: u64,
+}
+
+impl RtStats {
+    /// All unsuccessful steal attempts (empty + lost races).
+    #[must_use]
+    pub fn failed_steals(&self) -> u64 {
+        self.empty_steals + self.lost_race_steals
+    }
 }
 
 #[derive(Debug, Default)]
@@ -45,7 +58,8 @@ struct AtomicStats {
     pushes: AtomicU64,
     pops: AtomicU64,
     steals: AtomicU64,
-    failed_steals: AtomicU64,
+    empty_steals: AtomicU64,
+    lost_race_steals: AtomicU64,
     inline_fallbacks: AtomicU64,
 }
 
@@ -55,7 +69,8 @@ impl AtomicStats {
             pushes: self.pushes.load(Ordering::Relaxed),
             pops: self.pops.load(Ordering::Relaxed),
             steals: self.steals.load(Ordering::Relaxed),
-            failed_steals: self.failed_steals.load(Ordering::Relaxed),
+            empty_steals: self.empty_steals.load(Ordering::Relaxed),
+            lost_race_steals: self.lost_race_steals.load(Ordering::Relaxed),
             inline_fallbacks: self.inline_fallbacks.load(Ordering::Relaxed),
         }
     }
@@ -78,6 +93,7 @@ pub struct PoolBuilder {
     deque_capacity: Option<usize>,
     driver: Option<Arc<dyn FrequencyDriver>>,
     emulated: Option<(Frequency, f64)>,
+    telemetry: Option<Arc<dyn TelemetrySink>>,
 }
 
 impl std::fmt::Debug for PoolBuilder {
@@ -134,6 +150,19 @@ impl PoolBuilder {
         self
     }
 
+    /// Attach a telemetry sink (e.g. [`hermes_telemetry::RingSink`]).
+    ///
+    /// The pool then emits steal attempts (with per-victim outcome),
+    /// tempo transitions, and DVFS actuations as they happen; energy
+    /// totals are emitted by [`Pool::flush_energy_telemetry`]. Without a
+    /// sink the event paths are skipped entirely (not even a timestamp
+    /// is read), so the default costs nothing.
+    #[must_use]
+    pub fn telemetry(mut self, sink: Arc<dyn TelemetrySink>) -> Self {
+        self.telemetry = Some(sink);
+        self
+    }
+
     /// Build and start the pool.
     ///
     /// # Panics
@@ -178,10 +207,17 @@ impl PoolBuilder {
             .collect();
 
         let profile_period_ns = tempo.profiler.period_ns;
+        // A NullSink is equivalent to no sink: drop it here so the event
+        // paths (timestamps, controller tracing) stay fully dormant.
+        let telemetry = self.telemetry.filter(|s| !s.is_null());
+        let mut controller = TempoController::new(tempo);
+        if telemetry.is_some() {
+            controller.set_tracing(true);
+        }
         let inner = Arc::new(PoolInner {
             deques,
             injector: Mutex::new(std::collections::VecDeque::new()),
-            controller: Mutex::new(TempoController::new(tempo)),
+            controller: Mutex::new(controller),
             driver,
             emu,
             terminate: AtomicBool::new(false),
@@ -191,6 +227,7 @@ impl PoolBuilder {
             epoch: Instant::now(),
             last_profile_ns: AtomicU64::new(0),
             profile_period_ns,
+            sink: telemetry,
         });
 
         // Bootstrap tempo: everyone at the fastest frequency.
@@ -198,6 +235,8 @@ impl PoolBuilder {
             let mut ctl = inner.controller.lock();
             let mut act = DriverActuator {
                 driver: inner.driver.as_ref(),
+                sink: inner.sink.as_deref(),
+                epoch: &inner.epoch,
             };
             ctl.initialize(&mut act);
         }
@@ -319,6 +358,28 @@ impl Pool {
         self.inner.emu.as_ref().map(|e| e.total_energy())
     }
 
+    /// Emit one [`Event::EnergySample`] per worker carrying its emulated
+    /// energy total so far. Call once, after the measured region and
+    /// before folding the sink into a
+    /// [`RunReport`](hermes_telemetry::RunReport); sinks accumulate
+    /// samples, so calling this repeatedly would double-count. No-op
+    /// without a telemetry sink or without emulated DVFS.
+    pub fn flush_energy_telemetry(&self) {
+        if let (Some(sink), Some(emu)) = (self.inner.sink.as_deref(), self.inner.emu.as_ref()) {
+            let at_ns = self.inner.epoch.elapsed().as_nanos() as u64;
+            for (w, &joules) in emu.energy_by_worker().iter().enumerate() {
+                sink.record(w, at_ns, Event::energy_from_joules(joules));
+            }
+        }
+    }
+
+    /// Nanoseconds since the pool started — the timestamp base of every
+    /// event this pool records.
+    #[must_use]
+    pub fn elapsed_ns(&self) -> u64 {
+        self.inner.epoch.elapsed().as_nanos() as u64
+    }
+
     /// The active frequency driver's name.
     #[must_use]
     pub fn driver_name(&self) -> &'static str {
@@ -331,6 +392,18 @@ impl Pool {
     /// teardown is visible and non-blocking destructors stay achievable
     /// for callers who care.
     pub fn shutdown(mut self) {
+        self.shutdown_impl();
+    }
+
+    /// Stop and join the workers but keep the pool object alive for
+    /// post-run inspection. After this returns no worker is running, so
+    /// [`stats`](Self::stats), energy totals, and any attached telemetry
+    /// sink are frozen — the way to get exact (not racy-by-a-sweep)
+    /// agreement between counters and a folded
+    /// [`RunReport`](hermes_telemetry::RunReport), since idle workers
+    /// otherwise keep recording empty steal sweeps. Terminal: tasks
+    /// submitted afterwards will never run.
+    pub fn stop(&mut self) {
         self.shutdown_impl();
     }
 
@@ -368,17 +441,32 @@ struct PoolInner {
     epoch: Instant,
     last_profile_ns: AtomicU64,
     profile_period_ns: u64,
+    /// Telemetry destination; `None` keeps every event path dormant.
+    sink: Option<Arc<dyn TelemetrySink>>,
 }
 
 /// Forwards controller actuations to the frequency driver; failures are
-/// ignored after the first (tempo control is best-effort).
+/// ignored after the first (tempo control is best-effort). When a
+/// telemetry sink is attached, every actuation is also recorded on the
+/// target worker's stream.
 struct DriverActuator<'a> {
     driver: &'a dyn FrequencyDriver,
+    sink: Option<&'a dyn TelemetrySink>,
+    epoch: &'a Instant,
 }
 
 impl FrequencyActuator for DriverActuator<'_> {
     fn apply(&mut self, change: TempoChange) {
         let _ = self.driver.set_frequency(change.worker.0, change.frequency);
+        if let Some(sink) = self.sink {
+            sink.record(
+                change.worker.0,
+                self.epoch.elapsed().as_nanos() as u64,
+                Event::DvfsActuation {
+                    freq_khz: change.frequency.khz(),
+                },
+            );
+        }
     }
 }
 
@@ -392,8 +480,17 @@ impl PoolInner {
         let mut ctl = self.controller.lock();
         let mut act = DriverActuator {
             driver: self.driver.as_ref(),
+            sink: self.sink.as_deref(),
+            epoch: &self.epoch,
         };
         f(&mut ctl, &mut act);
+        // Forward the tempo transitions this hook produced (possibly for
+        // other workers — relays) while still holding the controller
+        // lock, so transition order matches controller order.
+        if let Some(sink) = self.sink.as_deref() {
+            let at_ns = self.epoch.elapsed().as_nanos() as u64;
+            ctl.drain_transitions(|t| sink.record_transition(at_ns, t));
+        }
     }
 
     /// Push a job onto worker `w`'s deque, running the workload hook.
@@ -463,7 +560,23 @@ impl PoolInner {
             if v == w {
                 continue;
             }
-            match self.deques[v].steal() {
+            let outcome = self.deques[v].steal();
+            if let Some(sink) = self.sink.as_deref() {
+                let telemetry_outcome = match &outcome {
+                    Steal::Success(_) => StealOutcome::Success,
+                    Steal::Empty => StealOutcome::Empty,
+                    Steal::Retry => StealOutcome::LostRace,
+                };
+                sink.record(
+                    w,
+                    self.epoch.elapsed().as_nanos() as u64,
+                    Event::StealAttempt {
+                        victim: v as u32,
+                        outcome: telemetry_outcome,
+                    },
+                );
+            }
+            match outcome {
                 Steal::Success(job) => {
                     self.stats.steals.fetch_add(1, Ordering::Relaxed);
                     let victim_len = self.deques[v].len();
@@ -473,7 +586,13 @@ impl PoolInner {
                     return Some(job);
                 }
                 Steal::Empty => {
-                    self.stats.failed_steals.fetch_add(1, Ordering::Relaxed);
+                    self.stats.empty_steals.fetch_add(1, Ordering::Relaxed);
+                }
+                Steal::Retry => {
+                    // Contention, not starvation: the victim had work but
+                    // this thief lost the race for it. Move on to the
+                    // next victim; the sweep will come back around.
+                    self.stats.lost_race_steals.fetch_add(1, Ordering::Relaxed);
                 }
             }
         }
@@ -849,6 +968,74 @@ mod tests {
         assert!(stats.steals > 0, "steals observed: {stats}");
         assert!(stats.path_downs > 0, "thief procrastination fired: {stats}");
         assert!(pool.total_energy().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn telemetry_report_agrees_with_scheduler_counters() {
+        use hermes_telemetry::RingSink;
+        let sink = Arc::new(RingSink::new(4));
+        let tempo = TempoConfig::builder()
+            .policy(Policy::Unified)
+            .frequencies(vec![Frequency::from_mhz(2400), Frequency::from_mhz(1600)])
+            .workers(4)
+            .build();
+        let mut pool = Pool::builder()
+            .workers(4)
+            .tempo(tempo)
+            .emulated_dvfs(Frequency::from_mhz(2400), 8.0)
+            .telemetry(Arc::clone(&sink) as Arc<dyn TelemetrySink>)
+            .build();
+        for _ in 0..20 {
+            let mut v: Vec<u64> = (0..20_000).collect();
+            pool.install(|| parallel_for(&mut v, 64, spin_work));
+            if pool.stats().steals > 0 {
+                break;
+            }
+        }
+        // Freeze the world: without this, idle workers keep recording
+        // empty steal sweeps between the stats snapshot and the report
+        // fold, and the equality asserts below would race.
+        pool.stop();
+        pool.flush_energy_telemetry();
+        let stats = pool.stats();
+        let elapsed = pool.elapsed_ns() as f64 / 1e9;
+        let energy = pool.total_energy().unwrap();
+        let report = sink.report("rt-unit", "rt", elapsed, energy);
+        let totals = report.totals();
+        assert_eq!(totals.steals, stats.steals, "steal events == counters");
+        assert_eq!(totals.empty_steals, stats.empty_steals);
+        assert_eq!(totals.lost_race_steals, stats.lost_race_steals);
+        assert!(totals.steals > 0, "the workload steals: {stats:?}");
+        // Every steal procrastinates the thief under the unified policy.
+        assert_eq!(report.transition_mix().path_downs, totals.steals);
+        // The steal matrix partitions the successful steals by victim.
+        let matrix_total: u64 = report.steal_matrix.iter().flatten().sum();
+        assert_eq!(matrix_total, totals.steals);
+        for w in 0..4 {
+            assert_eq!(report.steal_matrix[w][w], 0, "no self-steals");
+            let row: u64 = report.steal_matrix[w].iter().sum();
+            assert_eq!(row, report.per_worker[w].steals);
+        }
+        // Energy flushed once: per-worker samples sum to the pool total.
+        assert!((totals.energy_j - energy).abs() <= energy * 0.01 + 1e-6);
+        // Actuation events mirror the controller's actuation counter.
+        assert_eq!(
+            totals.actuations,
+            pool.tempo_stats().actuations + 4,
+            "one bootstrap actuation per worker plus level changes"
+        );
+        // And the report survives its own JSON codec.
+        let parsed =
+            hermes_telemetry::RunReport::from_json(&report.to_json()).expect("round trip");
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn pool_without_sink_records_nothing_and_flush_is_noop() {
+        let pool = Pool::new(2);
+        pool.install(|| ());
+        pool.flush_energy_telemetry(); // no sink, no emu: must not panic
+        assert!(pool.stats().pushes == 0 || pool.stats().pops > 0);
     }
 
     #[test]

@@ -2,6 +2,8 @@
 
 use crate::{MachineSpec, SimTime};
 use hermes_core::{Frequency, TempoConfig, TempoStats};
+use hermes_telemetry::TelemetrySink;
+use std::sync::Arc;
 
 /// Worker-to-core mapping strategy (paper §3.4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,6 +56,13 @@ pub struct SimConfig {
     pub steal_cost_ns: u64,
     /// Meter sampling rate (the paper's DAQ samples at 100 Hz).
     pub meter_hz: u64,
+    /// Optional telemetry sink. When set, the engine emits steal
+    /// attempts, tempo transitions, DVFS actuations, and energy samples
+    /// (per worker at completion, per meter tick on the machine stream),
+    /// timestamped in virtual nanoseconds — the same schema the
+    /// real-thread pool emits, so sim and rt runs fold into identical
+    /// [`RunReport`](hermes_telemetry::RunReport)s.
+    pub telemetry: Option<Arc<dyn TelemetrySink>>,
 }
 
 impl SimConfig {
@@ -69,6 +78,7 @@ impl SimConfig {
             yield_max_ns: 64_000,
             steal_cost_ns: 400,
             meter_hz: 100,
+            telemetry: None,
         }
     }
 
@@ -83,6 +93,13 @@ impl SimConfig {
     #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Attach a telemetry sink (e.g. [`hermes_telemetry::RingSink`]).
+    #[must_use]
+    pub fn with_telemetry(mut self, sink: Arc<dyn TelemetrySink>) -> Self {
+        self.telemetry = Some(sink);
         self
     }
 }

@@ -6,7 +6,9 @@ use crate::{
     SimTime,
 };
 use hermes_core::{Frequency, FrequencyActuator, TempoChange, TempoController, WorkerId};
+use hermes_telemetry::{Event, StealOutcome, TelemetrySink};
 use rand::rngs::SmallRng;
+use std::sync::Arc;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -188,6 +190,9 @@ struct Engine<'a> {
     rng: SmallRng,
     stats: SchedStats,
     done: bool,
+    /// The configured telemetry sink, with null sinks already filtered
+    /// out so event paths stay dormant unless someone is listening.
+    sink: Option<Arc<dyn TelemetrySink>>,
 }
 
 impl<'a> Engine<'a> {
@@ -205,6 +210,14 @@ impl<'a> Engine<'a> {
             if !cfg.machine.supports(f) {
                 return Err(SimError::UnsupportedFrequency(f));
             }
+        }
+
+        let sink = cfg.telemetry.clone().filter(|s| !s.is_null());
+        let mut ctl = TempoController::new(cfg.tempo.clone());
+        let mut meter = PowerMeter::new(cfg.meter_hz);
+        if let Some(sink) = &sink {
+            ctl.set_tracing(true);
+            meter.attach_sink(Arc::clone(sink));
         }
 
         let fastest = cfg.tempo.freq_map.fastest();
@@ -248,12 +261,13 @@ impl<'a> Engine<'a> {
             occupant,
             domain_pending: vec![None; cfg.machine.domains()],
             domain_gen: vec![0; cfg.machine.domains()],
-            ctl: TempoController::new(cfg.tempo.clone()),
+            ctl,
             pending: PendingChanges::default(),
-            meter: PowerMeter::new(cfg.meter_hz),
+            meter,
             rng: SmallRng::seed_from_u64(cfg.seed),
             stats: SchedStats::default(),
             done: false,
+            sink,
         })
     }
 
@@ -320,6 +334,17 @@ impl<'a> Engine<'a> {
         for c in 0..self.cores.len() {
             self.integrate_core(c);
         }
+        // One final energy sample per worker: the energy of the core it
+        // ends on (under dynamic mapping a worker may have visited other
+        // cores; the per-worker attribution is then approximate, while
+        // the report's `energy_j` total stays exact).
+        if let Some(sink) = self.sink.as_deref() {
+            let at_ns = self.now.ns();
+            for w in 0..self.workers.len() {
+                let joules = self.cores[self.workers[w].core].energy_j;
+                sink.record(w, at_ns, Event::energy_from_joules(joules));
+            }
+        }
         let energy_j: f64 = self.cores.iter().map(|c| c.energy_j).sum::<f64>()
             + self.cfg.machine.power.package_static * self.now.seconds();
         let busy_seconds_at = self
@@ -349,6 +374,19 @@ impl<'a> Engine<'a> {
     }
 
     // -- event plumbing -------------------------------------------------
+
+    fn record_steal(&self, thief: usize, victim: usize, outcome: StealOutcome) {
+        if let Some(sink) = self.sink.as_deref() {
+            sink.record(
+                thief,
+                self.now.ns(),
+                Event::StealAttempt {
+                    victim: victim as u32,
+                    outcome,
+                },
+            );
+        }
+    }
 
     fn push_event(&mut self, at: SimTime, kind: EvKind) {
         self.seq += 1;
@@ -412,13 +450,28 @@ impl<'a> Engine<'a> {
     // -- DVFS actuation ---------------------------------------------------
 
     /// Apply tempo changes buffered during controller hooks by
-    /// retargeting the worker's whole clock domain.
+    /// retargeting the worker's whole clock domain, then forward the
+    /// hook's telemetry (actuations and tempo transitions). Called after
+    /// every controller hook, so the trace buffer never grows.
     fn apply_pending(&mut self) {
         let changes = std::mem::take(&mut self.pending.0);
         for change in changes {
             let w = change.worker.0;
+            if let Some(sink) = self.sink.as_deref() {
+                sink.record(
+                    w,
+                    self.now.ns(),
+                    Event::DvfsActuation {
+                        freq_khz: change.frequency.khz(),
+                    },
+                );
+            }
             let core = self.workers[w].core;
             self.set_domain_freq(core, change.frequency);
+        }
+        if let Some(sink) = self.sink.as_deref() {
+            let at_ns = self.now.ns();
+            self.ctl.drain_transitions(|t| sink.record_transition(at_ns, t));
         }
     }
 
@@ -675,6 +728,7 @@ impl<'a> Engine<'a> {
                 if let Some(fidx) = self.workers[v].deque.pop_front() {
                     self.stats.steals += 1;
                     self.stats.tasks_executed += 1;
+                    self.record_steal(w, v, StealOutcome::Success);
                     let victim_len = self.workers[v].deque.len();
                     self.ctl
                         .on_steal(WorkerId(w), WorkerId(v), victim_len, &mut self.pending);
@@ -683,7 +737,11 @@ impl<'a> Engine<'a> {
                     self.begin_work(w, fidx, self.cfg.steal_cost_ns);
                     return;
                 }
+                // The engine serialises thieves, so every failure is a
+                // genuinely empty victim — lost races cannot happen here
+                // (unlike the real-thread pool).
                 self.stats.failed_steals += 1;
+                self.record_steal(w, v, StealOutcome::Empty);
             }
         }
         // YIELD with capped exponential backoff.
@@ -902,6 +960,72 @@ mod tests {
             r.energy_j,
             (rel * 100.0) as u32
         );
+    }
+
+    #[test]
+    fn telemetry_report_agrees_with_sim_stats() {
+        use hermes_telemetry::{RingSink, RunReport, TelemetrySink};
+        use std::sync::Arc;
+        let dag = second_scale_dag();
+        let sink = Arc::new(RingSink::new(4));
+        let cfg = SimConfig::new(MachineSpec::system_b(), tempo_b(Policy::Unified, 4))
+            .with_telemetry(Arc::clone(&sink) as Arc<dyn TelemetrySink>);
+        let r = run(&dag, &cfg).unwrap();
+        let report = sink.report("sim-unit", "sim", r.elapsed.seconds(), r.energy_j);
+        let totals = report.totals();
+        assert_eq!(totals.steals, r.sched.steals, "steal events == SchedStats");
+        assert_eq!(totals.empty_steals, r.sched.failed_steals);
+        assert_eq!(totals.lost_race_steals, 0, "the engine serialises thieves");
+        assert!(totals.steals > 0);
+        let mix = report.transition_mix();
+        assert_eq!(mix.path_downs, r.tempo.path_downs);
+        assert_eq!(mix.relay_ups, r.tempo.relay_ups);
+        assert_eq!(mix.workload_ups, r.tempo.workload_ups);
+        assert_eq!(mix.workload_downs, r.tempo.workload_downs);
+        assert_eq!(totals.actuations, r.tempo.actuations + 4, "plus bootstrap");
+        // Steal matrix: no self-steals; rows partition each thief's count.
+        for w in 0..4 {
+            assert_eq!(report.steal_matrix[w][w], 0);
+            let row: u64 = report.steal_matrix[w].iter().sum();
+            assert_eq!(row, report.per_worker[w].steals);
+        }
+        // The machine stream folded the 100 Hz meter: equal to the
+        // paper-style metered energy (same Σ P·Δt sum, quantised to µJ).
+        assert!(
+            (report.machine_energy_j - r.metered_energy_j).abs() < 1e-3,
+            "machine stream {} vs meter {}",
+            report.machine_energy_j,
+            r.metered_energy_j
+        );
+        // Worker samples sum to the integrated core energy (total minus
+        // package-static, which belongs to no worker).
+        let core_energy: f64 = report.per_worker.iter().map(|w| w.energy_j).sum();
+        let static_j =
+            MachineSpec::system_b().power.package_static * r.elapsed.seconds();
+        assert!(
+            (core_energy + static_j - r.energy_j).abs() < r.energy_j * 0.02,
+            "workers {core_energy} + static {static_j} vs total {}",
+            r.energy_j
+        );
+        // Schema round-trip.
+        assert_eq!(RunReport::from_json(&report.to_json()).unwrap(), report);
+    }
+
+    #[test]
+    fn telemetry_does_not_perturb_the_simulation() {
+        use hermes_telemetry::{RingSink, TelemetrySink};
+        use std::sync::Arc;
+        let dag = quick_dag();
+        let plain = SimConfig::new(MachineSpec::system_a(), tempo(Policy::Unified, 8));
+        let a = run(&dag, &plain).unwrap();
+        let sink = Arc::new(RingSink::new(8));
+        let traced = plain
+            .clone()
+            .with_telemetry(Arc::clone(&sink) as Arc<dyn TelemetrySink>);
+        let b = run(&dag, &traced).unwrap();
+        assert_eq!(a.elapsed, b.elapsed, "observation must not change the run");
+        assert_eq!(a.sched, b.sched);
+        assert_eq!(a.tempo, b.tempo);
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //! instantaneous power.
 
 use crate::SimTime;
+use hermes_telemetry::{Event, TelemetrySink, MACHINE_STREAM};
+use std::sync::Arc;
 
 /// Supply-rail voltage the meter assumes (stable 12 V in the paper).
 pub const SUPPLY_VOLTS: f64 = 12.0;
@@ -44,6 +46,10 @@ impl MeterSample {
 pub struct PowerMeter {
     period: SimTime,
     samples: Vec<MeterSample>,
+    /// Optional telemetry sink; each sample then also lands on the
+    /// machine stream as an energy delta (`P × Δt`, exactly the paper's
+    /// `I × 12 V × 0.01 s` term).
+    sink: Option<Arc<dyn TelemetrySink>>,
 }
 
 impl PowerMeter {
@@ -58,7 +64,14 @@ impl PowerMeter {
         PowerMeter {
             period: SimTime::from_ns(1_000_000_000 / hz),
             samples: Vec::new(),
+            sink: None,
         }
+    }
+
+    /// Mirror every future sample onto `sink`'s machine stream as an
+    /// [`Event::EnergySample`] delta.
+    pub fn attach_sink(&mut self, sink: Arc<dyn TelemetrySink>) {
+        self.sink = Some(sink);
     }
 
     /// Sampling period.
@@ -73,6 +86,13 @@ impl PowerMeter {
             at,
             amps: watts / SUPPLY_VOLTS,
         });
+        if let Some(sink) = self.sink.as_deref() {
+            sink.record(
+                MACHINE_STREAM,
+                at.ns(),
+                Event::energy_from_joules(watts * self.period.seconds()),
+            );
+        }
     }
 
     /// All samples, in time order.

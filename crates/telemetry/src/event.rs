@@ -1,0 +1,248 @@
+//! Telemetry events and their fixed-width encoding.
+//!
+//! Events are encoded into a single `u64` word so the
+//! [`EventRing`](crate::EventRing) can stay lock-free with plain atomics
+//! and zero allocation on the record path. The layout reserves the top
+//! four bits for a tag (tag `0` marks a vacant ring slot) and packs each
+//! variant's payload into the remaining sixty.
+
+use hermes_core::TransitionKind;
+
+/// Outcome of one steal attempt, as seen by the thief.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StealOutcome {
+    /// A task was transferred from the victim.
+    Success,
+    /// The victim's deque was empty before the thief committed.
+    Empty,
+    /// The victim had work but the thief lost the race for it (to the
+    /// owner or another thief) — contention, not starvation.
+    LostRace,
+}
+
+impl StealOutcome {
+    /// Short label for reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            StealOutcome::Success => "success",
+            StealOutcome::Empty => "empty",
+            StealOutcome::LostRace => "lost_race",
+        }
+    }
+}
+
+/// One telemetry event, attributed by the recording host to a worker
+/// stream (or the machine stream) and a host-defined timestamp.
+///
+/// The four variants are exactly the signals the perf roadmap needs:
+/// steal outcomes per victim (deque ablation, locality-aware victim
+/// selection), tempo transitions (controller semantics), DVFS actuations
+/// (transition overhead), and energy samples (headline metric).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A steal attempt against `victim` and how it ended.
+    StealAttempt {
+        /// The victim worker probed.
+        victim: u32,
+        /// How the attempt ended.
+        outcome: StealOutcome,
+    },
+    /// A tempo transition of the stream's worker.
+    TempoTransition {
+        /// Why the tempo moved.
+        kind: TransitionKind,
+        /// Logical tempo level after the transition.
+        level: u32,
+    },
+    /// The controller actuated a frequency for the stream's worker.
+    DvfsActuation {
+        /// The requested operating point, kHz.
+        freq_khz: u64,
+    },
+    /// An energy contribution in microjoules. Streams accumulate samples,
+    /// so hosts may emit either periodic deltas (the simulator's supply
+    /// meter) or one final total per worker (the runtime's emulated DVFS
+    /// accountant).
+    EnergySample {
+        /// Energy contributed since the previous sample, µJ.
+        microjoules: u64,
+    },
+}
+
+impl Event {
+    /// An [`Event::EnergySample`] from a joule value: clamped at zero
+    /// and converted to µJ. The single home of that conversion — every
+    /// host (rt energy flush, sim finalizer, supply meter) goes through
+    /// it.
+    #[must_use]
+    pub fn energy_from_joules(joules: f64) -> Event {
+        Event::EnergySample {
+            microjoules: (joules.max(0.0) * 1e6) as u64,
+        }
+    }
+}
+
+const TAG_SHIFT: u32 = 60;
+const TAG_STEAL: u64 = 1;
+const TAG_TEMPO: u64 = 2;
+const TAG_DVFS: u64 = 3;
+const TAG_ENERGY: u64 = 4;
+
+const PAYLOAD_MASK: u64 = (1 << TAG_SHIFT) - 1;
+const FREQ_MASK: u64 = (1 << 48) - 1;
+
+fn outcome_code(o: StealOutcome) -> u64 {
+    match o {
+        StealOutcome::Success => 0,
+        StealOutcome::Empty => 1,
+        StealOutcome::LostRace => 2,
+    }
+}
+
+fn kind_code(k: TransitionKind) -> u64 {
+    match k {
+        TransitionKind::PathDown => 0,
+        TransitionKind::RelayUp => 1,
+        TransitionKind::WorkloadUp => 2,
+        TransitionKind::WorkloadDown => 3,
+    }
+}
+
+impl Event {
+    /// Pack the event into one word. Oversized payloads saturate at
+    /// their field maximum (48 bits for frequencies, 60 bits for
+    /// energy — a 281 THz clock or 1.15 × 10¹² J sample, far beyond
+    /// anything real) rather than corrupting the tag or wrapping to an
+    /// arbitrary small value.
+    #[must_use]
+    pub fn encode(self) -> u64 {
+        match self {
+            Event::StealAttempt { victim, outcome } => {
+                (TAG_STEAL << TAG_SHIFT) | (outcome_code(outcome) << 32) | u64::from(victim)
+            }
+            Event::TempoTransition { kind, level } => {
+                (TAG_TEMPO << TAG_SHIFT) | (kind_code(kind) << 32) | u64::from(level)
+            }
+            Event::DvfsActuation { freq_khz } => {
+                (TAG_DVFS << TAG_SHIFT) | freq_khz.min(FREQ_MASK)
+            }
+            Event::EnergySample { microjoules } => {
+                (TAG_ENERGY << TAG_SHIFT) | microjoules.min(PAYLOAD_MASK)
+            }
+        }
+    }
+
+    /// Unpack a word produced by [`encode`](Self::encode); `None` for the
+    /// vacant-slot sentinel (tag 0) or any malformed word.
+    #[must_use]
+    pub fn decode(word: u64) -> Option<Event> {
+        let payload = word & PAYLOAD_MASK;
+        match word >> TAG_SHIFT {
+            TAG_STEAL => {
+                let outcome = match payload >> 32 {
+                    0 => StealOutcome::Success,
+                    1 => StealOutcome::Empty,
+                    2 => StealOutcome::LostRace,
+                    _ => return None,
+                };
+                Some(Event::StealAttempt {
+                    victim: (payload & u64::from(u32::MAX)) as u32,
+                    outcome,
+                })
+            }
+            TAG_TEMPO => {
+                let kind = match payload >> 32 {
+                    0 => TransitionKind::PathDown,
+                    1 => TransitionKind::RelayUp,
+                    2 => TransitionKind::WorkloadUp,
+                    3 => TransitionKind::WorkloadDown,
+                    _ => return None,
+                };
+                Some(Event::TempoTransition {
+                    kind,
+                    level: (payload & u64::from(u32::MAX)) as u32,
+                })
+            }
+            TAG_DVFS => Some(Event::DvfsActuation { freq_khz: payload }),
+            TAG_ENERGY => Some(Event::EnergySample { microjoules: payload }),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_variant_round_trips() {
+        let events = [
+            Event::StealAttempt {
+                victim: 17,
+                outcome: StealOutcome::Success,
+            },
+            Event::StealAttempt {
+                victim: u32::MAX,
+                outcome: StealOutcome::Empty,
+            },
+            Event::StealAttempt {
+                victim: 0,
+                outcome: StealOutcome::LostRace,
+            },
+            Event::TempoTransition {
+                kind: TransitionKind::PathDown,
+                level: 3,
+            },
+            Event::TempoTransition {
+                kind: TransitionKind::RelayUp,
+                level: 0,
+            },
+            Event::TempoTransition {
+                kind: TransitionKind::WorkloadUp,
+                level: 60,
+            },
+            Event::TempoTransition {
+                kind: TransitionKind::WorkloadDown,
+                level: 1,
+            },
+            Event::DvfsActuation { freq_khz: 2_400_000 },
+            Event::EnergySample { microjoules: 123_456_789 },
+        ];
+        for ev in events {
+            assert_eq!(Event::decode(ev.encode()), Some(ev), "{ev:?}");
+        }
+    }
+
+    #[test]
+    fn vacant_sentinel_decodes_to_none() {
+        assert_eq!(Event::decode(0), None);
+        // Unknown tag.
+        assert_eq!(Event::decode(9 << TAG_SHIFT), None);
+        // Steal with an invalid outcome code.
+        assert_eq!(Event::decode((TAG_STEAL << TAG_SHIFT) | (3 << 32)), None);
+    }
+
+    #[test]
+    fn oversized_payloads_saturate_into_their_field() {
+        // Saturation, not truncation: one-past-the-field must clamp to
+        // the field maximum, not wrap to a small value.
+        for freq_khz in [u64::MAX, (1 << 48) + 1000] {
+            match Event::decode(Event::DvfsActuation { freq_khz }.encode()) {
+                Some(Event::DvfsActuation { freq_khz }) => assert_eq!(freq_khz, FREQ_MASK),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        match Event::decode(Event::EnergySample { microjoules: u64::MAX }.encode()) {
+            Some(Event::EnergySample { microjoules }) => assert_eq!(microjoules, PAYLOAD_MASK),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn outcome_labels() {
+        assert_eq!(StealOutcome::Success.label(), "success");
+        assert_eq!(StealOutcome::Empty.label(), "empty");
+        assert_eq!(StealOutcome::LostRace.label(), "lost_race");
+    }
+}

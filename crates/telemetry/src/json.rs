@@ -1,0 +1,619 @@
+//! A dependency-free JSON value, writer, and parser.
+//!
+//! The container this workspace builds in has no crates.io access, so
+//! report persistence cannot lean on `serde`. This module implements the
+//! small subset of JSON the telemetry artifacts need: finite numbers,
+//! strings with standard escapes, arrays, objects (order-preserving),
+//! booleans and null. Integers up to 2⁵³ round-trip exactly through the
+//! `f64` number representation — every counter in a [`RunReport`]
+//! (crate::RunReport) is far below that.
+
+use std::fmt;
+
+/// A parsed or constructed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (integers exact up to 2⁵³).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object; insertion order is preserved on write.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Build an object from key/value pairs.
+    #[must_use]
+    pub fn obj(pairs: Vec<(&str, Value)>) -> Value {
+        Value::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Look up a key in an object.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a finite float, if it is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as an unsigned integer, if it is a non-negative whole
+    /// number within exact `f64` range.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 9_007_199_254_740_992.0 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    #[must_use]
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Parse a JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] with a byte offset on malformed input or
+    /// trailing garbage.
+    pub fn parse(text: &str) -> Result<Value, JsonError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+            depth: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after document"));
+        }
+        Ok(v)
+    }
+
+    /// Serialize with two-space indentation (the artifact format checked
+    /// into the repo, so diffs stay reviewable).
+    #[must_use]
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write_pretty(&self, out: &mut String, depth: usize) {
+        match self {
+            Value::Arr(items) if !items.is_empty() => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    indent(out, depth + 1);
+                    item.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push(']');
+            }
+            Value::Obj(pairs) if !pairs.is_empty() => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    indent(out, depth + 1);
+                    write_string(out, k);
+                    out.push_str(": ");
+                    v.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push('}');
+            }
+            other => {
+                use fmt::Write;
+                let _ = write!(out, "{other}");
+            }
+        }
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use fmt::Write;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Value {
+    /// Compact (single-line) serialization.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Num(n) => {
+                if !n.is_finite() {
+                    // JSON has no NaN/Inf; reports never produce them.
+                    f.write_str("null")
+                } else if n.fract() == 0.0 && n.abs() <= 9_007_199_254_740_992.0 {
+                    write!(f, "{}", *n as i64)
+                } else {
+                    // `{:?}` prints the shortest digits that round-trip.
+                    write!(f, "{n:?}")
+                }
+            }
+            Value::Str(s) => {
+                let mut buf = String::new();
+                write_string(&mut buf, s);
+                f.write_str(&buf)
+            }
+            Value::Arr(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Obj(pairs) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    let mut key = String::new();
+                    write_string(&mut key, k);
+                    write!(f, "{key}:{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+/// Error from [`Value::parse`]: what went wrong and where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset into the input.
+    pub offset: usize,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Nesting bound for the recursive-descent parser: one recursion per
+/// level, so unbounded nesting in a corrupt/adversarial artifact would
+/// abort with a stack overflow instead of a clean error. Telemetry
+/// documents nest ~4 deep; 128 is generous.
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: &str) -> JsonError {
+        JsonError {
+            message: message.to_string(),
+            offset: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, JsonError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn enter(&mut self) -> Result<(), JsonError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err("nesting deeper than 128 levels"));
+        }
+        Ok(())
+    }
+
+    fn array(&mut self) -> Result<Value, JsonError> {
+        self.enter()?;
+        let r = self.array_inner();
+        self.depth -= 1;
+        r
+    }
+
+    fn array_inner(&mut self) -> Result<Value, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, JsonError> {
+        self.enter()?;
+        let r = self.object_inner();
+        self.depth -= 1;
+        r
+    }
+
+    fn object_inner(&mut self) -> Result<Value, JsonError> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(pairs));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: expect a \uXXXX low
+                                // half, and reject anything outside the
+                                // low-surrogate range instead of
+                                // silently mis-decoding.
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let lo = self.hex4()?;
+                                    if (0xDC00..0xE000).contains(&lo) {
+                                        char::from_u32(
+                                            0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00),
+                                        )
+                                    } else {
+                                        None
+                                    }
+                                } else {
+                                    None
+                                }
+                            } else {
+                                char::from_u32(hi)
+                            };
+                            out.push(c.ok_or_else(|| self.err("invalid \\u escape"))?);
+                            // hex4 advanced past the digits; compensate
+                            // for the shared `pos += 1` below.
+                            self.pos -= 1;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so the
+                    // byte stream is valid UTF-8).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = s.chars().next().ok_or_else(|| self.err("unterminated string"))?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let d = match self.peek() {
+                Some(b @ b'0'..=b'9') => u32::from(b - b'0'),
+                Some(b @ b'a'..=b'f') => u32::from(b - b'a') + 10,
+                Some(b @ b'A'..=b'F') => u32::from(b - b'A') + 10,
+                _ => return Err(self.err("expected four hex digits")),
+            };
+            v = (v << 4) | d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        text.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(v: &Value) {
+        let compact = v.to_string();
+        assert_eq!(&Value::parse(&compact).unwrap(), v, "compact: {compact}");
+        let pretty = v.to_string_pretty();
+        assert_eq!(&Value::parse(&pretty).unwrap(), v, "pretty: {pretty}");
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        round_trip(&Value::Null);
+        round_trip(&Value::Bool(true));
+        round_trip(&Value::Bool(false));
+        round_trip(&Value::Num(0.0));
+        round_trip(&Value::Num(-17.0));
+        round_trip(&Value::Num(0.1));
+        round_trip(&Value::Num(1.5e-12));
+        round_trip(&Value::Num(9_007_199_254_740_992.0));
+        round_trip(&Value::Str("plain".into()));
+        round_trip(&Value::Str("quotes \" and \\ and\nnewlines\tтабы 🎉".into()));
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        round_trip(&Value::Arr(vec![]));
+        round_trip(&Value::Obj(vec![]));
+        round_trip(&Value::obj(vec![
+            ("a", Value::Num(1.0)),
+            ("b", Value::Arr(vec![Value::Null, Value::Bool(false)])),
+            (
+                "nested",
+                Value::obj(vec![("x", Value::Str("y".into()))]),
+            ),
+        ]));
+    }
+
+    #[test]
+    fn integers_print_without_fraction() {
+        assert_eq!(Value::Num(42.0).to_string(), "42");
+        assert_eq!(Value::Num(-3.0).to_string(), "-3");
+        assert_eq!(Value::Num(2.5).to_string(), "2.5");
+    }
+
+    #[test]
+    fn parses_standard_escapes_and_unicode() {
+        let v = Value::parse(r#""a\"b\\c\/dAé🎉""#).unwrap();
+        assert_eq!(v.as_str().unwrap(), "a\"b\\c/dAé🎉");
+        // Explicit \u escapes, including a surrogate pair (🎉).
+        let v = Value::parse("\"\\u0041\\ud83c\\udf89\"").unwrap();
+        assert_eq!(v.as_str().unwrap(), "A🎉");
+    }
+
+    #[test]
+    fn invalid_surrogate_pairs_are_rejected() {
+        // High surrogate followed by a non-low-surrogate escape.
+        assert!(Value::parse(r#""\ud800A""#).is_err());
+        // High surrogate followed by a plain character.
+        assert!(Value::parse(r#""\ud800x""#).is_err());
+        // Lone low surrogate.
+        assert!(Value::parse(r#""\udc00""#).is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let v = Value::obj(vec![
+            ("n", Value::Num(7.0)),
+            ("s", Value::Str("x".into())),
+            ("b", Value::Bool(true)),
+            ("a", Value::Arr(vec![Value::Num(1.0)])),
+        ]);
+        assert_eq!(v.get("n").unwrap().as_u64(), Some(7));
+        assert_eq!(v.get("n").unwrap().as_f64(), Some(7.0));
+        assert_eq!(v.get("s").unwrap().as_str(), Some("x"));
+        assert_eq!(v.get("b").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 1);
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(Value::Num(2.5).as_u64(), None);
+        assert_eq!(Value::Num(-1.0).as_u64(), None);
+    }
+
+    #[test]
+    fn malformed_inputs_error_with_offsets() {
+        for bad in [
+            "", "{", "[1,", "{\"a\" 1}", "tru", "\"unterminated", "01a", "[1] garbage",
+            "{\"a\":}", "nul", "\"bad \\q escape\"",
+        ] {
+            let e = Value::parse(bad).unwrap_err();
+            assert!(!e.message.is_empty(), "{bad:?} -> {e}");
+        }
+    }
+
+    #[test]
+    fn pathological_nesting_errors_instead_of_overflowing() {
+        let deep = "[".repeat(2_000_000);
+        let e = Value::parse(&deep).unwrap_err();
+        assert!(e.message.contains("nesting"), "{e}");
+        // A document at a sane depth still parses.
+        let ok = format!("{}1{}", "[".repeat(100), "]".repeat(100));
+        assert!(Value::parse(&ok).is_ok());
+        let too_deep = format!("{}1{}", "[".repeat(200), "]".repeat(200));
+        assert!(Value::parse(&too_deep).is_err());
+    }
+
+    #[test]
+    fn whitespace_is_tolerated() {
+        let v = Value::parse(" {\n \"a\" : [ 1 , 2 ] \t}\r\n").unwrap();
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn non_finite_numbers_serialize_as_null() {
+        assert_eq!(Value::Num(f64::NAN).to_string(), "null");
+        assert_eq!(Value::Num(f64::INFINITY).to_string(), "null");
+    }
+}

@@ -1,0 +1,413 @@
+//! The aggregated run report and its JSON persistence.
+
+use crate::json::{JsonError, Value};
+
+/// Per-worker (or machine-stream) aggregate counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WorkerTelemetry {
+    /// Successful steals performed by this worker.
+    pub steals: u64,
+    /// Steal attempts that found the victim's deque empty (starvation).
+    pub empty_steals: u64,
+    /// Steal attempts that lost a race for present work (contention).
+    pub lost_race_steals: u64,
+    /// Tempo transitions of this worker, by kind.
+    pub transitions: TransitionMix,
+    /// DVFS actuations applied for this worker.
+    pub actuations: u64,
+    /// Energy attributed to this worker, joules.
+    pub energy_j: f64,
+}
+
+impl WorkerTelemetry {
+    /// All steal attempts, successful or not.
+    #[must_use]
+    pub fn steal_attempts(&self) -> u64 {
+        self.steals + self.empty_steals + self.lost_race_steals
+    }
+}
+
+/// Counts of tempo transitions by kind — the "tempo-transition mix" the
+/// sim/rt cross-validation compares.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransitionMix {
+    /// Thief procrastinations.
+    pub path_downs: u64,
+    /// Immediacy-relay raises.
+    pub relay_ups: u64,
+    /// Workload threshold raises.
+    pub workload_ups: u64,
+    /// Workload threshold lowerings.
+    pub workload_downs: u64,
+}
+
+impl TransitionMix {
+    /// Total transitions of any kind.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.path_downs + self.relay_ups + self.workload_ups + self.workload_downs
+    }
+
+    /// The mix as fractions of the total, in
+    /// [`TransitionKind::all`](hermes_core::TransitionKind::all) order;
+    /// all zeros when no transitions occurred.
+    #[must_use]
+    pub fn fractions(&self) -> [f64; 4] {
+        let total = self.total();
+        if total == 0 {
+            return [0.0; 4];
+        }
+        let t = total as f64;
+        [
+            self.path_downs as f64 / t,
+            self.relay_ups as f64 / t,
+            self.workload_ups as f64 / t,
+            self.workload_downs as f64 / t,
+        ]
+    }
+
+    /// Largest absolute difference between the two mixes' fractions.
+    #[must_use]
+    pub fn max_fraction_distance(&self, other: &TransitionMix) -> f64 {
+        self.fractions()
+            .iter()
+            .zip(other.fractions())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    fn add(&mut self, other: &TransitionMix) {
+        self.path_downs += other.path_downs;
+        self.relay_ups += other.relay_ups;
+        self.workload_ups += other.workload_ups;
+        self.workload_downs += other.workload_downs;
+    }
+}
+
+/// The schema-stable aggregate of one run, identical whether produced by
+/// the simulator or the real-thread runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Schema identifier ([`RunReport::SCHEMA`]).
+    pub schema: String,
+    /// Free-form run label (workload, policy, worker count…).
+    pub label: String,
+    /// Which execution layer produced the report (`"sim"` or `"rt"`).
+    pub executor: String,
+    /// Number of workers.
+    pub workers: usize,
+    /// Wall-clock (rt) or virtual (sim) run time, seconds.
+    pub elapsed_s: f64,
+    /// Total energy from the host's authoritative model, joules.
+    pub energy_j: f64,
+    /// Energy folded from machine-stream samples (the simulated supply
+    /// meter), joules; 0 when the host has no machine-level meter.
+    pub machine_energy_j: f64,
+    /// Per-worker aggregates, indexed by worker id.
+    pub per_worker: Vec<WorkerTelemetry>,
+    /// `steal_matrix[thief][victim]` = successful steals.
+    pub steal_matrix: Vec<Vec<u64>>,
+}
+
+impl RunReport {
+    /// The schema identifier written into every report.
+    pub const SCHEMA: &'static str = "hermes-run-report/v1";
+
+    /// Sum of the per-worker aggregates.
+    #[must_use]
+    pub fn totals(&self) -> WorkerTelemetry {
+        let mut t = WorkerTelemetry::default();
+        for w in &self.per_worker {
+            t.steals += w.steals;
+            t.empty_steals += w.empty_steals;
+            t.lost_race_steals += w.lost_race_steals;
+            t.transitions.add(&w.transitions);
+            t.actuations += w.actuations;
+            t.energy_j += w.energy_j;
+        }
+        t
+    }
+
+    /// The whole-run tempo-transition mix.
+    #[must_use]
+    pub fn transition_mix(&self) -> TransitionMix {
+        self.totals().transitions
+    }
+
+    /// Serialize to pretty-printed JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        self.to_value().to_string_pretty()
+    }
+
+    /// The report as a [`Value`] tree (for embedding into larger
+    /// artifacts like the bench baseline).
+    #[must_use]
+    pub fn to_value(&self) -> Value {
+        Value::obj(vec![
+            ("schema", Value::Str(self.schema.clone())),
+            ("label", Value::Str(self.label.clone())),
+            ("executor", Value::Str(self.executor.clone())),
+            ("workers", Value::Num(self.workers as f64)),
+            ("elapsed_s", Value::Num(self.elapsed_s)),
+            ("energy_j", Value::Num(self.energy_j)),
+            ("machine_energy_j", Value::Num(self.machine_energy_j)),
+            (
+                "per_worker",
+                Value::Arr(self.per_worker.iter().map(worker_to_value).collect()),
+            ),
+            (
+                "steal_matrix",
+                Value::Arr(
+                    self.steal_matrix
+                        .iter()
+                        .map(|row| {
+                            Value::Arr(row.iter().map(|&n| Value::Num(n as f64)).collect())
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parse a report serialized by [`to_json`](Self::to_json).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] on malformed JSON, a wrong schema tag, or
+    /// shape mismatches (worker count vs. array lengths).
+    pub fn from_json(text: &str) -> Result<RunReport, JsonError> {
+        Self::from_value(&Value::parse(text)?)
+    }
+
+    /// Extract a report from a parsed [`Value`] tree.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`from_json`](Self::from_json).
+    pub fn from_value(v: &Value) -> Result<RunReport, JsonError> {
+        let field = |key: &str| {
+            v.get(key).ok_or(JsonError {
+                message: format!("missing field '{key}'"),
+                offset: 0,
+            })
+        };
+        let bad = |what: &str| JsonError {
+            message: format!("invalid field '{what}'"),
+            offset: 0,
+        };
+        let schema = field("schema")?.as_str().ok_or_else(|| bad("schema"))?;
+        if schema != Self::SCHEMA {
+            return Err(JsonError {
+                message: format!("unsupported schema '{schema}' (expected '{}')", Self::SCHEMA),
+                offset: 0,
+            });
+        }
+        let workers = field("workers")?.as_u64().ok_or_else(|| bad("workers"))? as usize;
+        let per_worker: Vec<WorkerTelemetry> = field("per_worker")?
+            .as_arr()
+            .ok_or_else(|| bad("per_worker"))?
+            .iter()
+            .map(worker_from_value)
+            .collect::<Result<_, _>>()?;
+        let steal_matrix: Vec<Vec<u64>> = field("steal_matrix")?
+            .as_arr()
+            .ok_or_else(|| bad("steal_matrix"))?
+            .iter()
+            .map(|row| {
+                row.as_arr()
+                    .ok_or_else(|| bad("steal_matrix row"))?
+                    .iter()
+                    .map(|n| n.as_u64().ok_or_else(|| bad("steal_matrix entry")))
+                    .collect::<Result<Vec<u64>, _>>()
+            })
+            .collect::<Result<_, _>>()?;
+        if per_worker.len() != workers
+            || steal_matrix.len() != workers
+            || steal_matrix.iter().any(|row| row.len() != workers)
+        {
+            return Err(JsonError {
+                message: format!("report shape disagrees with workers={workers}"),
+                offset: 0,
+            });
+        }
+        Ok(RunReport {
+            schema: schema.to_string(),
+            label: field("label")?.as_str().ok_or_else(|| bad("label"))?.to_string(),
+            executor: field("executor")?
+                .as_str()
+                .ok_or_else(|| bad("executor"))?
+                .to_string(),
+            workers,
+            elapsed_s: field("elapsed_s")?.as_f64().ok_or_else(|| bad("elapsed_s"))?,
+            energy_j: field("energy_j")?.as_f64().ok_or_else(|| bad("energy_j"))?,
+            machine_energy_j: field("machine_energy_j")?
+                .as_f64()
+                .ok_or_else(|| bad("machine_energy_j"))?,
+            per_worker,
+            steal_matrix,
+        })
+    }
+}
+
+fn worker_to_value(w: &WorkerTelemetry) -> Value {
+    Value::obj(vec![
+        ("steals", Value::Num(w.steals as f64)),
+        ("empty_steals", Value::Num(w.empty_steals as f64)),
+        ("lost_race_steals", Value::Num(w.lost_race_steals as f64)),
+        ("path_downs", Value::Num(w.transitions.path_downs as f64)),
+        ("relay_ups", Value::Num(w.transitions.relay_ups as f64)),
+        ("workload_ups", Value::Num(w.transitions.workload_ups as f64)),
+        (
+            "workload_downs",
+            Value::Num(w.transitions.workload_downs as f64),
+        ),
+        ("actuations", Value::Num(w.actuations as f64)),
+        ("energy_j", Value::Num(w.energy_j)),
+    ])
+}
+
+fn worker_from_value(v: &Value) -> Result<WorkerTelemetry, JsonError> {
+    let num = |key: &str| {
+        v.get(key).and_then(Value::as_u64).ok_or(JsonError {
+            message: format!("invalid worker field '{key}'"),
+            offset: 0,
+        })
+    };
+    Ok(WorkerTelemetry {
+        steals: num("steals")?,
+        empty_steals: num("empty_steals")?,
+        lost_race_steals: num("lost_race_steals")?,
+        transitions: TransitionMix {
+            path_downs: num("path_downs")?,
+            relay_ups: num("relay_ups")?,
+            workload_ups: num("workload_ups")?,
+            workload_downs: num("workload_downs")?,
+        },
+        actuations: num("actuations")?,
+        energy_j: v.get("energy_j").and_then(Value::as_f64).ok_or(JsonError {
+            message: "invalid worker field 'energy_j'".to_string(),
+            offset: 0,
+        })?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunReport {
+        RunReport {
+            schema: RunReport::SCHEMA.to_string(),
+            label: "sort/B/w4/unified".to_string(),
+            executor: "sim".to_string(),
+            workers: 2,
+            elapsed_s: 1.2345,
+            energy_j: 42.125,
+            machine_energy_j: 41.9,
+            per_worker: vec![
+                WorkerTelemetry {
+                    steals: 10,
+                    empty_steals: 3,
+                    lost_race_steals: 1,
+                    transitions: TransitionMix {
+                        path_downs: 10,
+                        relay_ups: 4,
+                        workload_ups: 7,
+                        workload_downs: 8,
+                    },
+                    actuations: 12,
+                    energy_j: 21.0,
+                },
+                WorkerTelemetry {
+                    steals: 5,
+                    empty_steals: 0,
+                    lost_race_steals: 2,
+                    transitions: TransitionMix {
+                        path_downs: 5,
+                        relay_ups: 1,
+                        workload_ups: 2,
+                        workload_downs: 3,
+                    },
+                    actuations: 6,
+                    energy_j: 21.125,
+                },
+            ],
+            steal_matrix: vec![vec![0, 10], vec![5, 0]],
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let report = sample();
+        let json = report.to_json();
+        let parsed = RunReport::from_json(&json).unwrap();
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn totals_and_mix_aggregate_workers() {
+        let report = sample();
+        let totals = report.totals();
+        assert_eq!(totals.steals, 15);
+        assert_eq!(totals.empty_steals, 3);
+        assert_eq!(totals.lost_race_steals, 3);
+        assert_eq!(totals.steal_attempts(), 21);
+        assert_eq!(totals.actuations, 18);
+        assert!((totals.energy_j - 42.125).abs() < 1e-12);
+        let mix = report.transition_mix();
+        assert_eq!(mix.total(), 40);
+        assert_eq!(
+            mix,
+            TransitionMix {
+                path_downs: 15,
+                relay_ups: 5,
+                workload_ups: 9,
+                workload_downs: 11,
+            }
+        );
+        let fr = mix.fractions();
+        assert!((fr.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((fr[0] - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mix_distance_is_symmetric_and_zero_on_self() {
+        let a = sample().transition_mix();
+        let b = TransitionMix {
+            path_downs: 1,
+            relay_ups: 0,
+            workload_ups: 0,
+            workload_downs: 0,
+        };
+        assert_eq!(a.max_fraction_distance(&a), 0.0);
+        assert!((a.max_fraction_distance(&b) - b.max_fraction_distance(&a)).abs() < 1e-12);
+        assert!(a.max_fraction_distance(&b) > 0.5);
+        assert_eq!(TransitionMix::default().fractions(), [0.0; 4]);
+    }
+
+    #[test]
+    fn wrong_schema_is_rejected() {
+        let mut report = sample();
+        report.schema = "something-else/v9".to_string();
+        let err = RunReport::from_json(&report.to_json()).unwrap_err();
+        assert!(err.message.contains("unsupported schema"), "{err}");
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let mut report = sample();
+        report.steal_matrix[0].push(7);
+        let err = RunReport::from_json(&report.to_json()).unwrap_err();
+        assert!(err.message.contains("shape"), "{err}");
+        let mut report = sample();
+        report.per_worker.pop();
+        assert!(RunReport::from_json(&report.to_json()).is_err());
+    }
+
+    #[test]
+    fn missing_fields_are_reported_by_name() {
+        let err = RunReport::from_json("{}").unwrap_err();
+        assert!(err.message.contains("schema"), "{err}");
+    }
+}

@@ -1,0 +1,436 @@
+//! Sinks: where hosts put events.
+
+use crate::ring::DEFAULT_RING_CAPACITY;
+use crate::{Event, EventRing, RunReport, StealOutcome, TransitionMix, WorkerTelemetry};
+use hermes_core::TransitionKind;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Stream index for machine-level events (the simulated supply-rail
+/// meter) that belong to no single worker.
+pub const MACHINE_STREAM: usize = usize::MAX;
+
+/// Destination for telemetry events.
+///
+/// Hosts (the rt pool, the sim engine, the power meter) call
+/// [`record`](Self::record) from their hot paths; implementations must be
+/// lock-free or free of work entirely. `worker` is the stream the event
+/// belongs to — the dense worker index, or [`MACHINE_STREAM`]. `at_ns` is
+/// host time: virtual nanoseconds in the simulator, nanoseconds since
+/// pool start in the runtime.
+pub trait TelemetrySink: Send + Sync + std::fmt::Debug {
+    /// Record one event on `worker`'s stream.
+    fn record(&self, worker: usize, at_ns: u64, event: Event);
+
+    /// Record a controller [`TransitionRecord`] — the single home of
+    /// the record-to-event conversion, shared by every host draining
+    /// [`TempoController::drain_transitions`]
+    /// (hermes_core::TempoController::drain_transitions), so sim and rt
+    /// cannot silently diverge on the mapping.
+    fn record_transition(&self, at_ns: u64, record: hermes_core::TransitionRecord) {
+        self.record(
+            record.worker.0,
+            at_ns,
+            Event::TempoTransition {
+                kind: record.kind,
+                level: record.level.0 as u32,
+            },
+        );
+    }
+
+    /// Whether this sink discards everything. Hosts use this to skip
+    /// instrumentation entirely (timestamps, controller tracing) when
+    /// handed a [`NullSink`], making the null default zero-cost rather
+    /// than merely cheap.
+    fn is_null(&self) -> bool {
+        false
+    }
+}
+
+/// A sink that drops everything: the default when telemetry is off.
+///
+/// `record` compiles to an empty body, so a host that always funnels
+/// events through a sink reference pays one virtual call and nothing
+/// else; hosts in this workspace go further and hold `Option<Arc<dyn
+/// TelemetrySink>>`, skipping even the call (and the timestamp read)
+/// when no sink is attached.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TelemetrySink for NullSink {
+    #[inline]
+    fn record(&self, _worker: usize, _at_ns: u64, _event: Event) {}
+
+    fn is_null(&self) -> bool {
+        true
+    }
+}
+
+/// Exact per-stream aggregates, maintained lock-free alongside the ring.
+///
+/// Rings are bounded and overwrite on wraparound, so they cannot back
+/// exact totals; the tally keeps monotone counters updated with relaxed
+/// `fetch_add` on every record, which is what
+/// [`RingSink::report`] folds into a [`RunReport`].
+#[derive(Debug)]
+struct Tally {
+    steal_success: AtomicU64,
+    steal_empty: AtomicU64,
+    steal_lost_race: AtomicU64,
+    /// Successful steals by victim index (the steal-matrix row).
+    victims: Box<[AtomicU64]>,
+    path_downs: AtomicU64,
+    relay_ups: AtomicU64,
+    workload_ups: AtomicU64,
+    workload_downs: AtomicU64,
+    actuations: AtomicU64,
+    energy_uj: AtomicU64,
+}
+
+impl Tally {
+    fn new(workers: usize) -> Self {
+        Tally {
+            steal_success: AtomicU64::new(0),
+            steal_empty: AtomicU64::new(0),
+            steal_lost_race: AtomicU64::new(0),
+            victims: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            path_downs: AtomicU64::new(0),
+            relay_ups: AtomicU64::new(0),
+            workload_ups: AtomicU64::new(0),
+            workload_downs: AtomicU64::new(0),
+            actuations: AtomicU64::new(0),
+            energy_uj: AtomicU64::new(0),
+        }
+    }
+
+    fn apply(&self, event: Event) {
+        match event {
+            Event::StealAttempt { victim, outcome } => match outcome {
+                StealOutcome::Success => {
+                    self.steal_success.fetch_add(1, Ordering::Relaxed);
+                    if let Some(slot) = self.victims.get(victim as usize) {
+                        slot.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                StealOutcome::Empty => {
+                    self.steal_empty.fetch_add(1, Ordering::Relaxed);
+                }
+                StealOutcome::LostRace => {
+                    self.steal_lost_race.fetch_add(1, Ordering::Relaxed);
+                }
+            },
+            Event::TempoTransition { kind, .. } => {
+                let counter = match kind {
+                    TransitionKind::PathDown => &self.path_downs,
+                    TransitionKind::RelayUp => &self.relay_ups,
+                    TransitionKind::WorkloadUp => &self.workload_ups,
+                    TransitionKind::WorkloadDown => &self.workload_downs,
+                };
+                counter.fetch_add(1, Ordering::Relaxed);
+            }
+            Event::DvfsActuation { .. } => {
+                self.actuations.fetch_add(1, Ordering::Relaxed);
+            }
+            Event::EnergySample { microjoules } => {
+                self.energy_uj.fetch_add(microjoules, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn worker_telemetry(&self) -> WorkerTelemetry {
+        WorkerTelemetry {
+            steals: self.steal_success.load(Ordering::Relaxed),
+            empty_steals: self.steal_empty.load(Ordering::Relaxed),
+            lost_race_steals: self.steal_lost_race.load(Ordering::Relaxed),
+            transitions: TransitionMix {
+                path_downs: self.path_downs.load(Ordering::Relaxed),
+                relay_ups: self.relay_ups.load(Ordering::Relaxed),
+                workload_ups: self.workload_ups.load(Ordering::Relaxed),
+                workload_downs: self.workload_downs.load(Ordering::Relaxed),
+            },
+            actuations: self.actuations.load(Ordering::Relaxed),
+            energy_j: self.energy_uj.load(Ordering::Relaxed) as f64 / 1e6,
+        }
+    }
+}
+
+struct Stream {
+    ring: EventRing,
+    tally: Tally,
+}
+
+/// The standard sink: one bounded [`EventRing`] plus exact tallies per
+/// worker stream, and one extra stream for machine-level events.
+///
+/// ```
+/// use hermes_telemetry::{Event, RingSink, StealOutcome, TelemetrySink};
+/// let sink = RingSink::new(2);
+/// sink.record(0, 10, Event::StealAttempt { victim: 1, outcome: StealOutcome::Success });
+/// sink.record(0, 20, Event::StealAttempt { victim: 1, outcome: StealOutcome::Empty });
+/// let report = sink.report("demo", "doc", 0.5, 1.25);
+/// assert_eq!(report.per_worker[0].steals, 1);
+/// assert_eq!(report.per_worker[0].empty_steals, 1);
+/// assert_eq!(report.steal_matrix[0][1], 1);
+/// ```
+pub struct RingSink {
+    streams: Vec<Stream>,
+    workers: usize,
+}
+
+impl std::fmt::Debug for RingSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RingSink")
+            .field("workers", &self.workers)
+            .field("ring_capacity", &self.streams[0].ring.capacity())
+            .finish()
+    }
+}
+
+impl RingSink {
+    /// A sink for `workers` worker streams with the default per-stream
+    /// ring capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is 0.
+    #[must_use]
+    pub fn new(workers: usize) -> Self {
+        Self::with_ring_capacity(workers, DEFAULT_RING_CAPACITY)
+    }
+
+    /// A sink with an explicit per-stream ring capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` or `ring_capacity` is 0.
+    #[must_use]
+    pub fn with_ring_capacity(workers: usize, ring_capacity: usize) -> Self {
+        assert!(workers > 0, "at least one worker stream is required");
+        RingSink {
+            // workers + 1: the last stream is MACHINE_STREAM.
+            streams: (0..=workers)
+                .map(|_| Stream {
+                    ring: EventRing::new(ring_capacity),
+                    tally: Tally::new(workers),
+                })
+                .collect(),
+            workers,
+        }
+    }
+
+    /// Number of worker streams (excluding the machine stream).
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Map a stream id to its slot: worker ids below `workers`, or
+    /// [`MACHINE_STREAM`] onto the extra machine slot. Anything else is
+    /// a caller indexing bug; `None` lets `record` drop the event
+    /// instead of silently misattributing it to another stream.
+    fn stream_index(&self, worker: usize) -> Option<usize> {
+        if worker == MACHINE_STREAM {
+            Some(self.workers)
+        } else if worker < self.workers {
+            Some(worker)
+        } else {
+            None
+        }
+    }
+
+    /// The event ring of `worker`'s stream (or [`MACHINE_STREAM`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker` is neither a valid worker index nor
+    /// [`MACHINE_STREAM`].
+    #[must_use]
+    pub fn ring(&self, worker: usize) -> &EventRing {
+        let idx = self
+            .stream_index(worker)
+            .expect("ring(): unknown stream id");
+        &self.streams[idx].ring
+    }
+
+    /// Fold the tallies into a [`RunReport`].
+    ///
+    /// `elapsed_s` and `energy_j` come from the host's authoritative
+    /// clock and energy model (the simulator's integrator, the pool's
+    /// emulated-DVFS accountant); per-worker energies and the machine
+    /// stream's metered energy come from the recorded
+    /// [`Event::EnergySample`]s.
+    #[must_use]
+    pub fn report(&self, label: &str, executor: &str, elapsed_s: f64, energy_j: f64) -> RunReport {
+        let per_worker: Vec<WorkerTelemetry> = self.streams[..self.workers]
+            .iter()
+            .map(|s| s.tally.worker_telemetry())
+            .collect();
+        let steal_matrix = self.streams[..self.workers]
+            .iter()
+            .map(|s| {
+                s.tally
+                    .victims
+                    .iter()
+                    .map(|v| v.load(Ordering::Relaxed))
+                    .collect()
+            })
+            .collect();
+        let machine = self.streams[self.workers].tally.worker_telemetry();
+        RunReport {
+            schema: RunReport::SCHEMA.to_string(),
+            label: label.to_string(),
+            executor: executor.to_string(),
+            workers: self.workers,
+            elapsed_s,
+            energy_j,
+            machine_energy_j: machine.energy_j,
+            per_worker,
+            steal_matrix,
+        }
+    }
+}
+
+impl TelemetrySink for RingSink {
+    fn record(&self, worker: usize, at_ns: u64, event: Event) {
+        // Out-of-range stream ids (a caller indexing bug) drop the
+        // event rather than corrupting another stream's telemetry.
+        let Some(idx) = self.stream_index(worker) else {
+            return;
+        };
+        let stream = &self.streams[idx];
+        stream.tally.apply(event);
+        stream.ring.record(at_ns, event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_sink_is_inert() {
+        let sink = NullSink;
+        sink.record(
+            3,
+            1,
+            Event::StealAttempt {
+                victim: 0,
+                outcome: StealOutcome::Success,
+            },
+        );
+        assert!(sink.is_null(), "hosts key off this to skip instrumentation");
+        assert!(!RingSink::new(1).is_null());
+    }
+
+    #[test]
+    fn tallies_fold_into_report() {
+        let sink = RingSink::new(3);
+        // Worker 0 steals twice from 1, once from 2, loses one race,
+        // sees one empty deque.
+        for victim in [1, 1, 2] {
+            sink.record(
+                0,
+                0,
+                Event::StealAttempt {
+                    victim,
+                    outcome: StealOutcome::Success,
+                },
+            );
+        }
+        sink.record(
+            0,
+            0,
+            Event::StealAttempt {
+                victim: 2,
+                outcome: StealOutcome::LostRace,
+            },
+        );
+        sink.record(
+            0,
+            0,
+            Event::StealAttempt {
+                victim: 1,
+                outcome: StealOutcome::Empty,
+            },
+        );
+        sink.record(
+            0,
+            0,
+            Event::TempoTransition {
+                kind: TransitionKind::PathDown,
+                level: 1,
+            },
+        );
+        sink.record(
+            1,
+            0,
+            Event::TempoTransition {
+                kind: TransitionKind::RelayUp,
+                level: 0,
+            },
+        );
+        sink.record(1, 0, Event::DvfsActuation { freq_khz: 1_600_000 });
+        sink.record(2, 0, Event::EnergySample { microjoules: 2_500_000 });
+        sink.record(
+            MACHINE_STREAM,
+            0,
+            Event::EnergySample { microjoules: 7_000_000 },
+        );
+
+        let report = sink.report("unit", "test", 1.0, 9.5);
+        assert_eq!(report.workers, 3);
+        assert_eq!(report.per_worker[0].steals, 3);
+        assert_eq!(report.per_worker[0].empty_steals, 1);
+        assert_eq!(report.per_worker[0].lost_race_steals, 1);
+        assert_eq!(report.per_worker[0].transitions.path_downs, 1);
+        assert_eq!(report.per_worker[1].transitions.relay_ups, 1);
+        assert_eq!(report.per_worker[1].actuations, 1);
+        assert!((report.per_worker[2].energy_j - 2.5).abs() < 1e-9);
+        assert!((report.machine_energy_j - 7.0).abs() < 1e-9);
+        assert_eq!(report.steal_matrix[0], vec![0, 2, 1]);
+        assert_eq!(report.steal_matrix[1], vec![0, 0, 0]);
+        let totals = report.totals();
+        assert_eq!(totals.steals, 3);
+        assert_eq!(totals.transitions.total(), 2);
+    }
+
+    #[test]
+    fn energy_from_joules_lands_on_worker_streams() {
+        let sink = RingSink::new(2);
+        sink.record(0, 5, Event::energy_from_joules(1.5));
+        sink.record(1, 5, Event::energy_from_joules(0.25));
+        sink.record(1, 6, Event::energy_from_joules(-3.0)); // clamped
+        let r = sink.report("e", "test", 0.0, 0.0);
+        assert!((r.per_worker[0].energy_j - 1.5).abs() < 1e-9);
+        assert!((r.per_worker[1].energy_j - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn out_of_range_victims_do_not_panic() {
+        let sink = RingSink::new(2);
+        sink.record(
+            0,
+            0,
+            Event::StealAttempt {
+                victim: 99,
+                outcome: StealOutcome::Success,
+            },
+        );
+        let r = sink.report("oob", "test", 0.0, 0.0);
+        assert_eq!(r.per_worker[0].steals, 1);
+        assert_eq!(r.steal_matrix[0], vec![0, 0]);
+    }
+
+    #[test]
+    fn out_of_range_worker_streams_drop_events() {
+        // Worker id 2 on a 2-worker sink is a caller bug, NOT the
+        // machine stream: the event must vanish, not corrupt
+        // machine-level telemetry.
+        let sink = RingSink::new(2);
+        sink.record(2, 0, Event::energy_from_joules(7.0));
+        sink.record(usize::MAX - 1, 0, Event::energy_from_joules(7.0));
+        let r = sink.report("drop", "test", 0.0, 0.0);
+        assert_eq!(r.machine_energy_j, 0.0);
+        assert!(r.per_worker.iter().all(|w| w.energy_j == 0.0));
+        assert_eq!(sink.ring(MACHINE_STREAM).recorded(), 0);
+    }
+}

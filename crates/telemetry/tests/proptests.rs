@@ -1,0 +1,158 @@
+//! Property tests for the telemetry subsystem: ring wraparound against a
+//! sequential model, concurrent writers, and report JSON round-trips.
+
+use hermes_telemetry::{
+    Event, EventRing, RingSink, RunReport, StealOutcome, TelemetrySink, TransitionKind,
+    TransitionMix, WorkerTelemetry,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn arb_event() -> impl Strategy<Value = Event> {
+    prop_oneof![
+        (any::<u32>(), 0u8..3).prop_map(|(victim, o)| Event::StealAttempt {
+            victim,
+            outcome: match o {
+                0 => StealOutcome::Success,
+                1 => StealOutcome::Empty,
+                _ => StealOutcome::LostRace,
+            },
+        }),
+        (0u8..4, any::<u32>()).prop_map(|(k, level)| Event::TempoTransition {
+            kind: match k {
+                0 => TransitionKind::PathDown,
+                1 => TransitionKind::RelayUp,
+                2 => TransitionKind::WorkloadUp,
+                _ => TransitionKind::WorkloadDown,
+            },
+            level,
+        }),
+        (1u64..10_000_000).prop_map(|khz| Event::DvfsActuation { freq_khz: khz }),
+        (0u64..1_000_000_000_000).prop_map(|uj| Event::EnergySample { microjoules: uj }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Encoding is lossless for every representable event.
+    #[test]
+    fn event_encoding_round_trips(ev in arb_event()) {
+        prop_assert_eq!(Event::decode(ev.encode()), Some(ev));
+    }
+
+    /// A ring behaves like "keep the last `capacity` of the sequence":
+    /// wraparound drops exactly the oldest events, in order.
+    #[test]
+    fn ring_wraparound_matches_sequential_model(
+        events in proptest::collection::vec(arb_event(), 0..300),
+        cap in 1usize..64,
+    ) {
+        let ring = EventRing::new(cap);
+        for (i, ev) in events.iter().enumerate() {
+            ring.record(i as u64, *ev);
+        }
+        let cap = ring.capacity();
+        prop_assert_eq!(ring.recorded(), events.len() as u64);
+        prop_assert_eq!(ring.len(), events.len().min(cap));
+        prop_assert_eq!(
+            ring.dropped(),
+            events.len().saturating_sub(cap) as u64
+        );
+        let expected: Vec<(u64, Event)> = events
+            .iter()
+            .enumerate()
+            .skip(events.len().saturating_sub(cap))
+            .map(|(i, &ev)| (i as u64, ev))
+            .collect();
+        prop_assert_eq!(ring.snapshot(), expected);
+    }
+
+    /// Concurrent writers (beyond the usual one-writer-per-stream
+    /// discipline) never corrupt the sink: totals are exact and every
+    /// retained slot decodes.
+    #[test]
+    fn concurrent_writers_keep_tallies_exact(
+        per_thread in 1usize..400,
+        threads in 2usize..5,
+        cap in 1usize..64,
+    ) {
+        let sink = Arc::new(RingSink::with_ring_capacity(2, cap));
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let sink = Arc::clone(&sink);
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        sink.record(
+                            0,
+                            i as u64,
+                            Event::StealAttempt {
+                                victim: 1,
+                                outcome: if (i + t) % 3 == 0 {
+                                    StealOutcome::Empty
+                                } else {
+                                    StealOutcome::Success
+                                },
+                            },
+                        );
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total = (threads * per_thread) as u64;
+        let report = sink.report("stress", "test", 0.0, 0.0);
+        prop_assert_eq!(
+            report.per_worker[0].steals + report.per_worker[0].empty_steals,
+            total
+        );
+        prop_assert_eq!(report.per_worker[0].steals, report.steal_matrix[0][1]);
+        prop_assert_eq!(sink.ring(0).recorded(), total);
+        for (_, ev) in sink.ring(0).snapshot() {
+            prop_assert!(matches!(ev, Event::StealAttempt { victim: 1, .. }));
+        }
+    }
+
+    /// RunReport JSON persistence is lossless for arbitrary counter
+    /// values (within exact-integer JSON range).
+    #[test]
+    fn run_report_json_round_trips(
+        steals in proptest::collection::vec(0u64..1_000_000, 1..5),
+        elapsed in 0.0f64..1e6,
+        energy in 0.0f64..1e9,
+    ) {
+        let workers = steals.len();
+        let report = RunReport {
+            schema: RunReport::SCHEMA.to_string(),
+            label: "prop \"label\" with\nescapes".to_string(),
+            executor: "rt".to_string(),
+            workers,
+            elapsed_s: elapsed,
+            energy_j: energy,
+            machine_energy_j: energy / 2.0,
+            per_worker: steals
+                .iter()
+                .map(|&s| WorkerTelemetry {
+                    steals: s,
+                    empty_steals: s / 2,
+                    lost_race_steals: s / 3,
+                    transitions: TransitionMix {
+                        path_downs: s,
+                        relay_ups: s / 4,
+                        workload_ups: s / 5,
+                        workload_downs: s / 6,
+                    },
+                    actuations: s / 7,
+                    energy_j: energy / workers as f64,
+                })
+                .collect(),
+            steal_matrix: (0..workers)
+                .map(|i| (0..workers).map(|j| if i == j { 0 } else { steals[j] }).collect())
+                .collect(),
+        };
+        let parsed = RunReport::from_json(&report.to_json()).unwrap();
+        prop_assert_eq!(parsed, report);
+    }
+}

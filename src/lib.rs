@@ -16,6 +16,7 @@
 //! | [`sim`] | `hermes-sim` | Discrete-event multicore/DVFS/power simulator |
 //! | [`rt`] | `hermes-rt` | Real-thread work-stealing pool with tempo hooks |
 //! | [`workloads`] | `hermes-workloads` | The five PBBS-style benchmarks |
+//! | [`telemetry`] | `hermes-telemetry` | Event rings, `RunReport` aggregation, JSON artifacts |
 //!
 //! ## Two ways to run
 //!
@@ -63,4 +64,5 @@ pub use hermes_core as core;
 pub use hermes_deque as deque;
 pub use hermes_rt as rt;
 pub use hermes_sim as sim;
+pub use hermes_telemetry as telemetry;
 pub use hermes_workloads as workloads;

@@ -1,0 +1,157 @@
+//! Sim/rt cross-validation (ROADMAP item): the real-thread pool with
+//! emulated DVFS and the discrete-event simulator drive the *same*
+//! `hermes-core` controller, so an equivalent workload must produce
+//! structurally equivalent telemetry on both. This test runs an
+//! imbalanced parallel-for on each executor, folds both into the shared
+//! `RunReport` schema, and checks:
+//!
+//! 1. **Exact controller invariants** on both sides — under the unified
+//!    policy every successful steal procrastinates its thief exactly
+//!    once, so `path_downs == steals`; the steal matrix partitions each
+//!    thief's count with an empty diagonal.
+//! 2. **Tempo-transition mix agreement** — the fractions of
+//!    path-down / relay-up / workload-up / workload-down transitions
+//!    must agree within `MIX_TOLERANCE` (documented in DESIGN.md). The
+//!    tolerance is wide because the executors schedule differently (the
+//!    sim runs true parallelism; the rt pool may sit on one oversubscribed
+//!    host core), but it is far tighter than the failure modes it guards
+//!    against: a hook that stops firing zeroes its fraction, pushing the
+//!    others apart by ~0.3+.
+//! 3. **Schema identity** — both reports serialize and re-parse under
+//!    the same JSON schema.
+//!
+//! Semantic drift this catches: an executor dropping `on_pop`/`on_push`
+//! wiring (workload fractions collapse), double-counting steals
+//! (`path_downs != steals`), or diverging report schemas.
+
+use hermes::core::{Frequency, Policy, TempoConfig};
+use hermes::rt::{parallel_for, Pool};
+use hermes::sim::{DagSpec, MachineSpec, SimConfig};
+use hermes::telemetry::{RingSink, RunReport, TelemetrySink};
+use std::sync::Arc;
+
+/// Documented tolerance on transition-mix fractions (see DESIGN.md
+/// §Telemetry): |fraction_sim − fraction_rt| ≤ 0.35 per kind.
+const MIX_TOLERANCE: f64 = 0.35;
+
+fn tempo(workers: usize) -> TempoConfig {
+    TempoConfig::builder()
+        .policy(Policy::Unified)
+        .frequencies(vec![Frequency::from_mhz(2400), Frequency::from_mhz(1600)])
+        .workers(workers)
+        .build()
+}
+
+/// Imbalanced per-element work, heavy enough that a region spans many OS
+/// scheduler ticks (steals on single-core hosts come from preemption).
+fn spin_work(x: &mut u64) {
+    let mut acc = *x;
+    for _ in 0..2_000 {
+        acc = std::hint::black_box(acc.wrapping_mul(2654435761).rotate_left(7));
+    }
+    *x = acc;
+}
+
+/// Run the rt pool until it has accumulated a meaningful steal sample.
+fn rt_report(workers: usize) -> RunReport {
+    let sink = Arc::new(RingSink::new(workers));
+    let mut pool = Pool::builder()
+        .workers(workers)
+        .tempo(tempo(workers))
+        .emulated_dvfs(Frequency::from_mhz(2400), 8.0)
+        .telemetry(Arc::clone(&sink) as Arc<dyn TelemetrySink>)
+        .build();
+    for _ in 0..60 {
+        let mut v: Vec<u64> = (0..20_000).collect();
+        pool.install(|| parallel_for(&mut v, 64, spin_work));
+        if pool.stats().steals >= 30 {
+            break;
+        }
+    }
+    // Join the workers so the sink is frozen before folding the report.
+    pool.stop();
+    pool.flush_energy_telemetry();
+    let elapsed = pool.elapsed_ns() as f64 / 1e9;
+    let energy = pool.total_energy().unwrap_or(0.0);
+    sink.report("cross-validation", "rt", elapsed, energy)
+}
+
+/// The matching workload in the simulator: `parallel_for` on the rt
+/// side splits recursively (`parallel_chunks`), so the matching DAG is
+/// the divide-and-conquer shape — depth 8 gives 256 leaves against the
+/// rt side's ~313 chunks, with comparable per-leaf imbalance.
+fn sim_report(workers: usize) -> RunReport {
+    let sink = Arc::new(RingSink::new(workers));
+    let dag = DagSpec::divide_and_conquer(8, 10_000, |i| 200_000 + (i as u64 % 9) * 50_000);
+    let cfg = SimConfig::new(MachineSpec::system_a(), tempo(workers))
+        .with_telemetry(Arc::clone(&sink) as Arc<dyn TelemetrySink>);
+    let r = hermes::sim::run(&dag, &cfg).expect("valid sim config");
+    sink.report("cross-validation", "sim", r.elapsed.seconds(), r.energy_j)
+}
+
+/// The invariants either executor must uphold on its own.
+fn check_internal_consistency(report: &RunReport, who: &str) {
+    let totals = report.totals();
+    assert!(totals.steals > 0, "{who}: workload must steal: {totals:?}");
+    let mix = report.transition_mix();
+    assert_eq!(
+        mix.path_downs, totals.steals,
+        "{who}: unified policy procrastinates exactly once per steal"
+    );
+    assert!(
+        mix.workload_ups > 0 && mix.workload_downs > 0,
+        "{who}: deque growth and drain must cross thresholds: {mix:?}"
+    );
+    for (w, row) in report.steal_matrix.iter().enumerate() {
+        assert_eq!(row[w], 0, "{who}: no self-steals");
+        assert_eq!(
+            row.iter().sum::<u64>(),
+            report.per_worker[w].steals,
+            "{who}: matrix row partitions worker {w}'s steals"
+        );
+    }
+    // Reports survive their own codec.
+    let parsed = RunReport::from_json(&report.to_json()).expect("round trip");
+    assert_eq!(&parsed, report);
+}
+
+#[test]
+fn sim_and_rt_reports_agree_within_tolerance() {
+    let workers = 4;
+    let sim = sim_report(workers);
+    let rt = rt_report(workers);
+
+    assert_eq!(sim.executor, "sim");
+    assert_eq!(rt.executor, "rt");
+    assert_eq!(sim.workers, rt.workers);
+    check_internal_consistency(&sim, "sim");
+    check_internal_consistency(&rt, "rt");
+
+    let sim_mix = sim.transition_mix();
+    let rt_mix = rt.transition_mix();
+    let distance = sim_mix.max_fraction_distance(&rt_mix);
+    eprintln!(
+        "cross-validation: sim mix {:?} vs rt mix {:?} -> max |Δfraction| = {distance:.3} (tolerance {MIX_TOLERANCE})",
+        sim_mix.fractions(),
+        rt_mix.fractions(),
+    );
+    assert!(
+        distance <= MIX_TOLERANCE,
+        "tempo-transition mixes diverge: sim {:?} {:?} vs rt {:?} {:?} (max |Δfraction| = {distance:.3} > {MIX_TOLERANCE})",
+        sim_mix,
+        sim_mix.fractions(),
+        rt_mix,
+        rt_mix.fractions(),
+    );
+
+    // Both executors attribute energy: nonzero totals and per-worker
+    // samples that sum close to the total the executor reported
+    // (rt: exact emulated energy; sim: total minus package-static).
+    assert!(sim.energy_j > 0.0 && rt.energy_j > 0.0);
+    let rt_worker_sum: f64 = rt.per_worker.iter().map(|w| w.energy_j).sum();
+    assert!(
+        (rt_worker_sum - rt.energy_j).abs() <= rt.energy_j * 0.01 + 1e-6,
+        "rt worker energies {rt_worker_sum} vs total {}",
+        rt.energy_j
+    );
+}
