@@ -63,7 +63,11 @@ fn ablate_threshold_scale() {
     );
     println!("{:>6} {:>14} {:>12}", "scale", "energy-saving", "time-loss");
     for s in [0.4, 0.55, 0.7, 0.85, 1.0, 1.3] {
-        let h = averaged(Benchmark::Sort, &machine, &tempo_a(Policy::Unified, 16, 2, s));
+        let h = averaged(
+            Benchmark::Sort,
+            &machine,
+            &tempo_a(Policy::Unified, 16, 2, s),
+        );
         println!(
             "{:>6.2} {:>13.1}% {:>11.1}%",
             s,
@@ -114,7 +118,10 @@ fn ablate_dvfs_latency() {
     let mut machine = MachineSpec::system_a();
     let base_tempo = tempo_a(Policy::Baseline, 16, 2, 1.0);
     let uni_tempo = tempo_a(Policy::Unified, 16, 2, threshold_scale(System::A));
-    println!("{:>10} {:>14} {:>12}", "latency", "energy-saving", "time-loss");
+    println!(
+        "{:>10} {:>14} {:>12}",
+        "latency", "energy-saving", "time-loss"
+    );
     for latency_us in [0u64, 10, 50, 200, 1000] {
         machine.dvfs_latency_ns = latency_us * 1000;
         let base = averaged(Benchmark::Knn, &machine, &base_tempo);

@@ -48,8 +48,7 @@ fn main() {
     ] {
         println!("\n--- {fig}: {bench}, {workers} workers ---");
         for mapping in [Mapping::Static, Mapping::dynamic_default()] {
-            let cell = Cell::new(bench, System::A, workers, Policy::Unified)
-                .with_mapping(mapping);
+            let cell = Cell::new(bench, System::A, workers, Policy::Unified).with_mapping(mapping);
             let report = run_trial(&cell, 5);
             let series = &report.power_series;
             let mean = report.mean_power_w;

@@ -50,7 +50,7 @@ fn bench_steal_contention(c: &mut Criterion) {
                 std::thread::spawn(move || {
                     let mut got = 0u64;
                     while !stop.load(std::sync::atomic::Ordering::Relaxed) {
-                        if let Steal::Success(_) = dq.steal() {
+                        if let Steal::Success { .. } = dq.steal() {
                             got += 1;
                         }
                     }
@@ -121,15 +121,11 @@ fn bench_sim_throughput(c: &mut Criterion) {
             BenchmarkId::from_parameter(workers),
             &workers,
             |b, &workers| {
-                let dag = DagSpec::divide_and_conquer(10, 10_000, |i| {
-                    200_000 + (i as u64 % 7) * 40_000
-                });
+                let dag =
+                    DagSpec::divide_and_conquer(10, 10_000, |i| 200_000 + (i as u64 % 7) * 40_000);
                 let tempo = TempoConfig::builder()
                     .policy(Policy::Unified)
-                    .frequencies(vec![
-                        Frequency::from_mhz(2400),
-                        Frequency::from_mhz(1600),
-                    ])
+                    .frequencies(vec![Frequency::from_mhz(2400), Frequency::from_mhz(1600)])
                     .workers(workers)
                     .build();
                 let cfg = SimConfig::new(MachineSpec::system_a(), tempo);

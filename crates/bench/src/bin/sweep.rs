@@ -1,10 +1,14 @@
 //! `sweep`: run the paper's figure matrix, persist the results as a
-//! machine-readable baseline artifact, and diff artifacts against each
-//! other within tolerances.
+//! machine-readable baseline artifact, diff artifacts against each
+//! other within tolerances, and ablate the victim-selection policy.
 //!
 //! ```text
-//! sweep [--smoke] [--out PATH]        record an artifact (default BENCH_baseline.json)
+//! sweep --smoke [--out PATH]          record the smoke artifact (default BENCH_baseline.json)
+//! sweep --full  [--out PATH]          record the full fig06-fig18 artifact (default BENCH_full.json)
 //! sweep --diff BASE NEW [tolerances]  compare two artifacts; non-zero exit on drift
+//! sweep --ablate-victim [--smoke] [--baseline PATH]
+//!                                     run the three victim policies; non-zero exit when the
+//!                                     locality gate or the baseline tolerances fail
 //!
 //! Tolerances (percentage points unless noted):
 //!   --tol-headline PTS   headline energy/time drift        (default 1.0)
@@ -16,21 +20,35 @@
 //! `--smoke` pins `HERMES_TRIALS=3` / `HERMES_SCALE=0.05` and runs the
 //! System B overall + EDP figures only, so the run is deterministic,
 //! CI-sized, and directly diffable against the committed
-//! `BENCH_baseline.json`. Without `--smoke` the full fig06–fig18 matrix
-//! runs at the ambient trial count and scale (long — tens of minutes).
+//! `BENCH_baseline.json`. `--full` runs the whole fig06–fig18 matrix at
+//! the ambient trial count and scale (long — tens of minutes); its
+//! protocol is documented in DESIGN.md next to the smoke protocol.
 //! Diffing across modes compares the figure rows both artifacts share;
 //! the headline gate only applies between artifacts of the same mode
 //! (smoke and full headlines average different figure families).
 //!
-//! The artifact also embeds one telemetry [`RunReport`] from a
-//! sink-instrumented simulator run, so the baseline pins the report
-//! schema alongside the headline numbers.
+//! `--ablate-victim` reruns the smoke figure family under each
+//! `VictimPolicy` and probes steal locality with a dense-placement
+//! telemetry run per system shape (dense, because under the paper's
+//! distinct-domain placement no victim *can* share the thief's clock
+//! domain). It exits non-zero unless (a) the distance-weighted policy
+//! moves a strictly higher fraction of successful steals to same-domain
+//! victims than uniform-random on the System A shape, and (b) every
+//! policy's figure rows stay within the standard `--diff` tolerances of
+//! the committed baseline.
+//!
+//! Recorded artifacts also embed one telemetry [`RunReport`] from a
+//! sink-instrumented simulator run (now including the steal-distance
+//! histogram), so the baseline pins the report schema alongside the
+//! headline numbers.
 
 use hermes_bench::figures;
-use hermes_bench::{Cell, System};
+use hermes_bench::{cell_config, trials, Cell, System};
 use hermes_core::Policy;
+use hermes_sim::WorkerPlacement;
 use hermes_telemetry::json::Value;
 use hermes_telemetry::{RingSink, RunReport, TelemetrySink};
+use hermes_topology::VictimPolicy;
 use hermes_workloads::Benchmark;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -44,12 +62,16 @@ const DEFAULT_FULL_OUT: &str = "BENCH_full.json";
 /// Flags that take a value (the next argument).
 const VALUE_FLAGS: &[&str] = &[
     "--out",
+    "--baseline",
     "--tol-headline",
     "--tol-headline-edp",
     "--tol-row",
     "--tol-row-edp",
     "--tol-row-ratio",
 ];
+
+/// Flags that stand alone.
+const MODE_FLAGS: &[&str] = &["--smoke", "--full", "--diff", "--ablate-victim"];
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -63,7 +85,7 @@ fn main() -> ExitCode {
     let mut i = 0;
     while i < args.len() {
         let a = &args[i];
-        if a == "--smoke" || a == "--diff" {
+        if MODE_FLAGS.contains(&a.as_str()) {
             i += 1;
         } else if VALUE_FLAGS.contains(&a.as_str()) {
             if args.get(i + 1).is_none_or(|v| v.starts_with("--")) {
@@ -81,7 +103,19 @@ fn main() -> ExitCode {
             i += 1;
         }
     }
-    if args.iter().any(|a| a == "--diff") {
+    let has = |flag: &str| args.iter().any(|a| a == flag);
+    let (smoke, full, diff, ablate) = (
+        has("--smoke"),
+        has("--full"),
+        has("--diff"),
+        has("--ablate-victim"),
+    );
+    if diff {
+        if smoke || full || ablate {
+            eprintln!("sweep: --diff does not combine with recording modes");
+            print_usage();
+            return ExitCode::from(2);
+        }
         if positionals != 2 {
             eprintln!("sweep: --diff needs exactly two artifact paths");
             print_usage();
@@ -94,14 +128,48 @@ fn main() -> ExitCode {
         print_usage();
         return ExitCode::from(2);
     }
-    record_main(&args)
+    if ablate {
+        if full {
+            eprintln!("sweep: --ablate-victim runs its own protocol; combine with --smoke only");
+            print_usage();
+            return ExitCode::from(2);
+        }
+        if smoke {
+            pin_smoke_protocol();
+        }
+        return ablate_main(&args, smoke);
+    }
+    // Recording requires an explicit mode: the full matrix runs for tens
+    // of minutes, far too expensive to be a default nobody asked for.
+    match (smoke, full) {
+        (true, false) => {
+            pin_smoke_protocol();
+            record_main(&args, true)
+        }
+        (false, true) => record_main(&args, false),
+        _ => {
+            eprintln!("sweep: pick exactly one of --smoke or --full");
+            print_usage();
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Pin the smoke protocol so smoke artifacts are comparable across
+/// machines and CI runs: the simulator is deterministic, so the same
+/// trials × scale reproduce bit-identical figures.
+fn pin_smoke_protocol() {
+    std::env::set_var("HERMES_TRIALS", "3");
+    std::env::set_var("HERMES_SCALE", "0.05");
 }
 
 fn print_usage() {
-    eprintln!("usage: sweep [--smoke] [--out PATH]");
+    eprintln!("usage: sweep --smoke [--out PATH]");
+    eprintln!("       sweep --full  [--out PATH]");
     eprintln!("       sweep --diff BASE NEW [--tol-headline PTS] [--tol-headline-edp X]");
     eprintln!("                             [--tol-row PTS] [--tol-row-edp X] [--tol-row-ratio X]");
-    eprintln!("default output: {DEFAULT_SMOKE_OUT} with --smoke, {DEFAULT_FULL_OUT} without");
+    eprintln!("       sweep --ablate-victim [--smoke] [--baseline PATH] [tolerances]");
+    eprintln!("default output: {DEFAULT_SMOKE_OUT} with --smoke, {DEFAULT_FULL_OUT} with --full");
 }
 
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
@@ -128,17 +196,13 @@ fn tolerance(args: &[String], flag: &str, default: f64) -> Result<f64, String> {
 // ---------------------------------------------------------------------
 // Recording
 
-fn record_main(args: &[String]) -> ExitCode {
-    let smoke = args.iter().any(|a| a == "--smoke");
-    let default_out = if smoke { DEFAULT_SMOKE_OUT } else { DEFAULT_FULL_OUT };
+fn record_main(args: &[String], smoke: bool) -> ExitCode {
+    let default_out = if smoke {
+        DEFAULT_SMOKE_OUT
+    } else {
+        DEFAULT_FULL_OUT
+    };
     let out_path = flag_value(args, "--out").unwrap_or_else(|| default_out.to_string());
-    if smoke {
-        // Pin the protocol so smoke artifacts are comparable across
-        // machines and CI runs: the simulator is deterministic, so the
-        // same trials × scale reproduce bit-identical figures.
-        std::env::set_var("HERMES_TRIALS", "3");
-        std::env::set_var("HERMES_SCALE", "0.05");
-    }
     let artifact = record(smoke);
     let json = artifact.to_string_pretty();
     if let Err(e) = std::fs::write(&out_path, &json) {
@@ -173,15 +237,16 @@ fn edp_rows(rows: Vec<(Benchmark, usize, f64)>) -> Value {
     Value::Arr(
         rows.into_iter()
             .map(|(bench, workers, edp)| {
-                row(format!("{}/w{workers}", bench.label()), vec![("norm_edp", edp)])
+                row(
+                    format!("{}/w{workers}", bench.label()),
+                    vec![("norm_edp", edp)],
+                )
             })
             .collect(),
     )
 }
 
-fn saving_loss_rows<K: std::fmt::Display>(
-    rows: Vec<(Benchmark, K, f64, f64)>,
-) -> Value {
+fn saving_loss_rows<K: std::fmt::Display>(rows: Vec<(Benchmark, K, f64, f64)>) -> Value {
     Value::Arr(
         rows.into_iter()
             .map(|(bench, k, saving, loss)| {
@@ -217,11 +282,13 @@ fn record(smoke: bool) -> Value {
     let mut edp_sum = 0.0;
     let mut edp_n = 0.0;
 
-    let run_overall = |id: &str, name: &str, system: System,
-                           figures_out: &mut Vec<(String, Value)>,
-                           saving_sum: &mut f64,
-                           loss_sum: &mut f64,
-                           overall_n: &mut f64| {
+    let run_overall = |id: &str,
+                       name: &str,
+                       system: System,
+                       figures_out: &mut Vec<(String, Value)>,
+                       saving_sum: &mut f64,
+                       loss_sum: &mut f64,
+                       overall_n: &mut f64| {
         let rows = figures::overall(id, system);
         for &(_, _, saving, loss) in &rows {
             *saving_sum += saving;
@@ -230,10 +297,12 @@ fn record(smoke: bool) -> Value {
         }
         figures_out.push((name.to_string(), overall_rows(rows)));
     };
-    let run_edp = |id: &str, name: &str, system: System,
-                       figures_out: &mut Vec<(String, Value)>,
-                       edp_sum: &mut f64,
-                       edp_n: &mut f64| {
+    let run_edp = |id: &str,
+                   name: &str,
+                   system: System,
+                   figures_out: &mut Vec<(String, Value)>,
+                   edp_sum: &mut f64,
+                   edp_n: &mut f64| {
         let rows = figures::edp(id, system);
         for &(_, _, e) in &rows {
             *edp_sum += e;
@@ -244,18 +313,42 @@ fn record(smoke: bool) -> Value {
 
     if !smoke {
         run_overall(
-            "Figure 6", "fig06_overall_a", System::A, &mut figures_out,
-            &mut saving_sum, &mut loss_sum, &mut overall_n,
+            "Figure 6",
+            "fig06_overall_a",
+            System::A,
+            &mut figures_out,
+            &mut saving_sum,
+            &mut loss_sum,
+            &mut overall_n,
         );
     }
     run_overall(
-        "Figure 7", "fig07_overall_b", System::B, &mut figures_out,
-        &mut saving_sum, &mut loss_sum, &mut overall_n,
+        "Figure 7",
+        "fig07_overall_b",
+        System::B,
+        &mut figures_out,
+        &mut saving_sum,
+        &mut loss_sum,
+        &mut overall_n,
     );
     if !smoke {
-        run_edp("Figure 8", "fig08_edp_a", System::A, &mut figures_out, &mut edp_sum, &mut edp_n);
+        run_edp(
+            "Figure 8",
+            "fig08_edp_a",
+            System::A,
+            &mut figures_out,
+            &mut edp_sum,
+            &mut edp_n,
+        );
     }
-    run_edp("Figure 9", "fig09_edp_b", System::B, &mut figures_out, &mut edp_sum, &mut edp_n);
+    run_edp(
+        "Figure 9",
+        "fig09_edp_b",
+        System::B,
+        &mut figures_out,
+        &mut edp_sum,
+        &mut edp_n,
+    );
 
     if !smoke {
         figures_out.push((
@@ -338,7 +431,10 @@ fn record(smoke: bool) -> Value {
     }
 
     let headline = Value::obj(vec![
-        ("energy_saving_pct", Value::Num(saving_sum / overall_n.max(1.0))),
+        (
+            "energy_saving_pct",
+            Value::Num(saving_sum / overall_n.max(1.0)),
+        ),
         ("time_loss_pct", Value::Num(loss_sum / overall_n.max(1.0))),
         ("norm_edp", Value::Num(edp_sum / edp_n.max(1.0))),
     ]);
@@ -351,7 +447,10 @@ fn record(smoke: bool) -> Value {
 
     Value::obj(vec![
         ("schema", Value::Str(ARTIFACT_SCHEMA.to_string())),
-        ("mode", Value::Str(if smoke { "smoke" } else { "full" }.to_string())),
+        (
+            "mode",
+            Value::Str(if smoke { "smoke" } else { "full" }.to_string()),
+        ),
         ("trials", Value::Num(hermes_bench::trials() as f64)),
         ("scale", Value::Num(hermes_bench::scale())),
         ("headline", headline),
@@ -362,18 +461,14 @@ fn record(smoke: bool) -> Value {
 
 /// One telemetry-instrumented simulator run, embedded so the baseline
 /// pins the RunReport schema next to the figures (and exercises the sink
-/// wiring end to end on every sweep).
+/// wiring — including the steal-distance histogram — end to end on
+/// every sweep).
 fn sample_run_report() -> RunReport {
     let cell = Cell::new(Benchmark::Sort, System::B, 4, Policy::Unified);
     let sink = Arc::new(RingSink::new(cell.workers));
     let dag = cell.bench.dag_scaled(0, hermes_bench::scale());
-    let tempo = hermes_core::TempoConfig::builder()
-        .policy(cell.policy)
-        .frequencies(cell.freqs.clone())
-        .workers(cell.workers)
-        .threshold_scale(hermes_bench::threshold_scale(cell.system))
-        .build();
-    let config = hermes_sim::SimConfig::new(cell.system.machine(), tempo)
+    let config = cell_config(&cell, 0)
+        .with_seed(42)
         .with_telemetry(Arc::clone(&sink) as Arc<dyn TelemetrySink>);
     let report = hermes_sim::run(&dag, &config).expect("harness presets are consistent");
     sink.report(
@@ -382,6 +477,191 @@ fn sample_run_report() -> RunReport {
         report.elapsed.seconds(),
         report.energy_j,
     )
+    .with_steal_distances(&config.worker_distances().expect("consistent placement"))
+}
+
+// ---------------------------------------------------------------------
+// Victim-selection ablation
+
+/// Worker counts for the dense locality probe: enough workers that
+/// several clock domains are fully populated on each system shape.
+fn probe_workers(system: System) -> usize {
+    match system {
+        System::A => 8,
+        System::B => 4,
+    }
+}
+
+/// Run `sort` on `system` with workers packed densely onto cores (domain
+/// siblings adjacent) under `victim`, and fold all trials into one
+/// telemetry report. Returns the same-domain steal fraction and the
+/// full steal-distance histogram.
+///
+/// Dense placement is deliberate: under the paper's distinct-domain
+/// placement every victim is at distance ≥ 2, so "same-domain steals"
+/// would be identically zero no matter the policy.
+fn locality_probe(system: System, victim: VictimPolicy) -> (f64, Vec<u64>) {
+    let workers = probe_workers(system);
+    let cell = Cell::new(Benchmark::Sort, system, workers, Policy::Unified)
+        .with_victim(victim)
+        .with_placement(WorkerPlacement::Dense);
+    let sink = Arc::new(RingSink::new(workers));
+    let mut elapsed = 0.0;
+    let mut energy = 0.0;
+    for trial in 0..trials() as u64 {
+        let dag = cell.bench.dag_scaled(trial, hermes_bench::scale());
+        let cfg =
+            cell_config(&cell, trial).with_telemetry(Arc::clone(&sink) as Arc<dyn TelemetrySink>);
+        let r = hermes_sim::run(&dag, &cfg).expect("harness presets are consistent");
+        elapsed += r.elapsed.seconds();
+        energy += r.energy_j;
+    }
+    let distances = cell_config(&cell, 0)
+        .worker_distances()
+        .expect("dense probe fits the machine");
+    let report = sink
+        .report(
+            &format!("sort/{}/dense/{victim}", system.label()),
+            "sim",
+            elapsed,
+            energy,
+        )
+        .with_steal_distances(&distances);
+    (
+        report.same_domain_steal_fraction().unwrap_or(0.0),
+        report.steal_distance_hist,
+    )
+}
+
+fn ablate_main(args: &[String], smoke: bool) -> ExitCode {
+    let tol = match parse_tolerances(args) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("sweep: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let baseline_path =
+        flag_value(args, "--baseline").unwrap_or_else(|| DEFAULT_SMOKE_OUT.to_string());
+    // The figure rows are only comparable to the committed baseline when
+    // both ran the same protocol.
+    let baseline = if smoke {
+        match std::fs::read_to_string(&baseline_path) {
+            Ok(text) => match Value::parse(&text) {
+                Ok(v) => Some(v),
+                Err(e) => {
+                    eprintln!("sweep: {baseline_path}: {e}");
+                    return ExitCode::from(2);
+                }
+            },
+            Err(e) => {
+                eprintln!("sweep: no baseline at {baseline_path} ({e}); skipping the drift gate");
+                None
+            }
+        }
+    } else {
+        None
+    };
+
+    let mode = if smoke { "smoke" } else { "full" };
+    // Only the drift gate embeds a sample report (diff validates it on
+    // both sides); without a baseline, skip that simulator run entirely.
+    let sample = baseline.as_ref().map(|_| sample_run_report().to_value());
+    let mut drift_violations = 0;
+    let mut rows = Vec::new();
+    for policy in VictimPolicy::all() {
+        let overall =
+            figures::overall_victim(&format!("Ablation[{policy}] Figure 7"), System::B, policy);
+        let edp = figures::edp_victim(&format!("Ablation[{policy}] Figure 9"), System::B, policy);
+        let n = overall.len() as f64;
+        let saving = overall.iter().map(|&(_, _, s, _)| s).sum::<f64>() / n;
+        let loss = overall.iter().map(|&(_, _, _, l)| l).sum::<f64>() / n;
+        let nedp = edp.iter().map(|&(_, _, e)| e).sum::<f64>() / edp.len() as f64;
+        let (frac_a, hist_a) = locality_probe(System::A, policy);
+        let (frac_b, hist_b) = locality_probe(System::B, policy);
+        // The policy's figure rows as a diffable artifact, gated against
+        // the committed baseline with the standard tolerances.
+        if let Some(base) = &baseline {
+            let artifact = Value::obj(vec![
+                ("schema", Value::Str(ARTIFACT_SCHEMA.to_string())),
+                ("mode", Value::Str(mode.to_string())),
+                (
+                    "headline",
+                    Value::obj(vec![
+                        ("energy_saving_pct", Value::Num(saving)),
+                        ("time_loss_pct", Value::Num(loss)),
+                        ("norm_edp", Value::Num(nedp)),
+                    ]),
+                ),
+                (
+                    "figures",
+                    Value::obj(vec![
+                        ("fig07_overall_b", overall_rows(overall)),
+                        ("fig09_edp_b", edp_rows(edp)),
+                    ]),
+                ),
+                (
+                    "sample_run_report",
+                    sample.clone().expect("gate implies a sample"),
+                ),
+            ]);
+            println!("\n--- {policy}: drift vs {baseline_path} ---");
+            drift_violations += diff(base, &artifact, &tol);
+        }
+        rows.push((policy, saving, loss, nedp, frac_a, frac_b, hist_a, hist_b));
+    }
+
+    println!("\n=== victim-selection ablation ===");
+    println!(
+        "{:<18} {:>13} {:>10} {:>9} {:>13} {:>13}",
+        "policy", "energy-saving", "time-loss", "norm-EDP", "same-domain A", "same-domain B"
+    );
+    for (policy, saving, loss, nedp, frac_a, frac_b, _, _) in &rows {
+        println!(
+            "{:<18} {:>12.2}% {:>9.2}% {:>9.3} {:>13.3} {:>13.3}",
+            policy.label(),
+            saving,
+            loss,
+            nedp,
+            frac_a,
+            frac_b
+        );
+    }
+    for (policy, _, _, _, _, _, hist_a, hist_b) in &rows {
+        println!(
+            "{:<18} steal-distance hist  A {:?}  B {:?}",
+            policy.label(),
+            hist_a,
+            hist_b
+        );
+    }
+
+    // Locality gate: on the System A shape the distance-weighted policy
+    // must move strictly more successful steals into the thief's own
+    // clock domain than uniform random does.
+    let frac_of = |p: VictimPolicy| {
+        rows.iter()
+            .find(|r| r.0 == p)
+            .map(|r| r.4)
+            .expect("all policies ran")
+    };
+    let uniform_a = frac_of(VictimPolicy::UniformRandom);
+    let weighted_a = frac_of(VictimPolicy::DistanceWeighted);
+    let locality_ok = weighted_a > uniform_a;
+    println!(
+        "\nlocality gate (System A): distance-weighted {weighted_a:.3} > uniform-random {uniform_a:.3} -> {}",
+        if locality_ok { "ok" } else { "FAIL" }
+    );
+    if drift_violations > 0 {
+        eprintln!(
+            "sweep: {drift_violations} ablation metric(s) drifted beyond baseline tolerances"
+        );
+    }
+    if locality_ok && drift_violations == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -393,6 +673,16 @@ struct Tolerances {
     row_pct: f64,
     row_edp: f64,
     row_ratio: f64,
+}
+
+fn parse_tolerances(args: &[String]) -> Result<Tolerances, String> {
+    Ok(Tolerances {
+        headline_pct: tolerance(args, "--tol-headline", 1.0)?,
+        headline_edp: tolerance(args, "--tol-headline-edp", 0.02)?,
+        row_pct: tolerance(args, "--tol-row", 5.0)?,
+        row_edp: tolerance(args, "--tol-row-edp", 0.10)?,
+        row_ratio: tolerance(args, "--tol-row-ratio", 0.25)?,
+    })
 }
 
 fn diff_main(args: &[String]) -> ExitCode {
@@ -412,15 +702,7 @@ fn diff_main(args: &[String]) -> ExitCode {
         }
     }
     let (base_path, new_path) = (&paths[0], &paths[1]);
-    let tol = match (|| -> Result<Tolerances, String> {
-        Ok(Tolerances {
-            headline_pct: tolerance(args, "--tol-headline", 1.0)?,
-            headline_edp: tolerance(args, "--tol-headline-edp", 0.02)?,
-            row_pct: tolerance(args, "--tol-row", 5.0)?,
-            row_edp: tolerance(args, "--tol-row-edp", 0.10)?,
-            row_ratio: tolerance(args, "--tol-row-ratio", 0.25)?,
-        })
-    })() {
+    let tol = match parse_tolerances(args) {
         Ok(t) => t,
         Err(e) => {
             eprintln!("sweep: {e}");
@@ -493,10 +775,19 @@ fn diff(base: &Value, new: &Value, tol: &Tolerances) -> usize {
         );
         &[]
     };
-    println!("{:<34} {:>10} {:>10} {:>8} {:>8}", "metric", "base", "new", "drift", "tol");
+    println!(
+        "{:<34} {:>10} {:>10} {:>8} {:>8}",
+        "metric", "base", "new", "drift", "tol"
+    );
     for &(field, t) in headline_gate {
-        let b = base.get("headline").and_then(|h| h.get(field)).and_then(Value::as_f64);
-        let n = new.get("headline").and_then(|h| h.get(field)).and_then(Value::as_f64);
+        let b = base
+            .get("headline")
+            .and_then(|h| h.get(field))
+            .and_then(Value::as_f64);
+        let n = new
+            .get("headline")
+            .and_then(|h| h.get(field))
+            .and_then(Value::as_f64);
         match (b, n) {
             (Some(b), Some(n)) => {
                 let drift = (n - b).abs();
@@ -554,10 +845,9 @@ fn diff(base: &Value, new: &Value, tol: &Tolerances) -> usize {
                     if field == "key" {
                         continue;
                     }
-                    let (Some(b), Some(n)) = (
-                        bval.as_f64(),
-                        nrow.get(field).and_then(Value::as_f64),
-                    ) else {
+                    let (Some(b), Some(n)) =
+                        (bval.as_f64(), nrow.get(field).and_then(Value::as_f64))
+                    else {
                         violations += 1;
                         continue;
                     };

@@ -2,22 +2,33 @@
 //! per-figure bench targets.
 
 use crate::{
-    energy_saving_pct, figure_header, measure, normalized_edp, time_loss_pct, Cell, Summary,
-    System,
+    energy_saving_pct, figure_header, measure, normalized_edp, time_loss_pct, Cell, Summary, System,
 };
 use hermes_core::Policy;
 use hermes_sim::Mapping;
+use hermes_topology::VictimPolicy;
 use hermes_workloads::Benchmark;
 
 /// Figs. 6/7: overall energy savings (blue) and time loss (red) of the
 /// unified algorithm versus the unmodified baseline, per benchmark and
 /// worker count. Returns `(bench, workers, saving, loss)` rows.
 pub fn overall(id: &str, system: System) -> Vec<(Benchmark, usize, f64, f64)> {
+    overall_victim(id, system, VictimPolicy::UniformRandom)
+}
+
+/// [`overall`] with an explicit victim-selection policy (the victim
+/// ablation reruns the figure family under each policy).
+pub fn overall_victim(
+    id: &str,
+    system: System,
+    victim: VictimPolicy,
+) -> Vec<(Benchmark, usize, f64, f64)> {
     figure_header(
         id,
         "Normalized Energy Savings and Time Loss of HERMES w.r.t. baseline",
         Some(system),
     );
+    println!("victim selection: {victim}");
     println!(
         "{:<9} {:>7} {:>14} {:>12}",
         "bench", "workers", "energy-saving", "time-loss"
@@ -27,8 +38,10 @@ pub fn overall(id: &str, system: System) -> Vec<(Benchmark, usize, f64, f64)> {
     let mut sum_loss = 0.0;
     for bench in Benchmark::all() {
         for &workers in system.worker_counts() {
-            let base = measure(&Cell::new(bench, system, workers, Policy::Baseline));
-            let hermes = measure(&Cell::new(bench, system, workers, Policy::Unified));
+            let base =
+                measure(&Cell::new(bench, system, workers, Policy::Baseline).with_victim(victim));
+            let hermes =
+                measure(&Cell::new(bench, system, workers, Policy::Unified).with_victim(victim));
             let saving = energy_saving_pct(&base, &hermes);
             let loss = time_loss_pct(&base, &hermes);
             println!(
@@ -56,14 +69,26 @@ pub fn overall(id: &str, system: System) -> Vec<(Benchmark, usize, f64, f64)> {
 
 /// Figs. 8/9: normalized EDP per benchmark and worker count.
 pub fn edp(id: &str, system: System) -> Vec<(Benchmark, usize, f64)> {
-    figure_header(id, "Normalized Energy-Delay Product (HERMES / baseline)", Some(system));
+    edp_victim(id, system, VictimPolicy::UniformRandom)
+}
+
+/// [`edp`] with an explicit victim-selection policy.
+pub fn edp_victim(id: &str, system: System, victim: VictimPolicy) -> Vec<(Benchmark, usize, f64)> {
+    figure_header(
+        id,
+        "Normalized Energy-Delay Product (HERMES / baseline)",
+        Some(system),
+    );
+    println!("victim selection: {victim}");
     println!("{:<9} {:>7} {:>10}", "bench", "workers", "norm-EDP");
     let mut rows = Vec::new();
     let mut sum = 0.0;
     for bench in Benchmark::all() {
         for &workers in system.worker_counts() {
-            let base = measure(&Cell::new(bench, system, workers, Policy::Baseline));
-            let hermes = measure(&Cell::new(bench, system, workers, Policy::Unified));
+            let base =
+                measure(&Cell::new(bench, system, workers, Policy::Baseline).with_victim(victim));
+            let hermes =
+                measure(&Cell::new(bench, system, workers, Policy::Unified).with_victim(victim));
             let e = normalized_edp(&base, &hermes);
             println!("{:<9} {:>7} {:>10.3}", bench.label(), workers, e);
             sum += e;
@@ -120,7 +145,13 @@ pub fn strategy_relative(
             };
             let wp = rel(Policy::WorkpathOnly);
             let wl = rel(Policy::WorkloadOnly);
-            println!("{:<9} {:>7} {:>14.2} {:>14.2}", bench.label(), workers, wp, wl);
+            println!(
+                "{:<9} {:>7} {:>14.2} {:>14.2}",
+                bench.label(),
+                workers,
+                wp,
+                wl
+            );
             rows.push((bench, workers, wp, wl));
         }
     }
@@ -155,8 +186,7 @@ pub fn freq_selection(
     for bench in Benchmark::all() {
         let base = measure(&Cell::new(bench, system, workers, Policy::Baseline));
         for &(fast, slow) in pairs {
-            let cell = Cell::new(bench, system, workers, Policy::Unified)
-                .with_freqs(&[fast, slow]);
+            let cell = Cell::new(bench, system, workers, Policy::Unified).with_freqs(&[fast, slow]);
             let hermes = measure(&cell);
             let saving = energy_saving_pct(&base, &hermes);
             let loss = time_loss_pct(&base, &hermes);
@@ -178,11 +208,7 @@ pub fn freq_selection(
 
 /// Figs. 16/17: 2-frequency vs 3-frequency tempo control. `combos` lists
 /// frequency ladders in MHz. Returns `(bench, combo index, saving, loss)`.
-pub fn nfreq(
-    id: &str,
-    system: System,
-    combos: &[&[u64]],
-) -> Vec<(Benchmark, usize, f64, f64)> {
+pub fn nfreq(id: &str, system: System, combos: &[&[u64]]) -> Vec<(Benchmark, usize, f64, f64)> {
     figure_header(id, "N-Frequency Tempo Control", Some(system));
     let workers = *system.worker_counts().last().expect("non-empty");
     println!("workers = {workers}");
@@ -231,12 +257,10 @@ pub fn scheduling(id: &str, system: System) -> Vec<(Benchmark, &'static str, f64
     let mut rows = Vec::new();
     for bench in Benchmark::all() {
         for mapping in [Mapping::Static, Mapping::dynamic_default()] {
-            let base = measure(
-                &Cell::new(bench, system, workers, Policy::Baseline).with_mapping(mapping),
-            );
-            let hermes = measure(
-                &Cell::new(bench, system, workers, Policy::Unified).with_mapping(mapping),
-            );
+            let base =
+                measure(&Cell::new(bench, system, workers, Policy::Baseline).with_mapping(mapping));
+            let hermes =
+                measure(&Cell::new(bench, system, workers, Policy::Unified).with_mapping(mapping));
             let saving = energy_saving_pct(&base, &hermes);
             let loss = time_loss_pct(&base, &hermes);
             println!(

@@ -16,7 +16,8 @@
 pub mod figures;
 
 use hermes_core::{Frequency, Policy, TempoConfig};
-use hermes_sim::{DagSpec, MachineSpec, Mapping, SimConfig, SimReport};
+use hermes_sim::{DagSpec, MachineSpec, Mapping, SimConfig, SimReport, WorkerPlacement};
+use hermes_topology::VictimPolicy;
 use hermes_workloads::Benchmark;
 
 /// The two evaluation machines (paper §4.1).
@@ -83,6 +84,10 @@ pub struct Cell {
     pub freqs: Vec<Frequency>,
     /// Worker-core mapping.
     pub mapping: Mapping,
+    /// Victim-selection policy.
+    pub victim: VictimPolicy,
+    /// Initial worker-to-core placement.
+    pub placement: WorkerPlacement,
 }
 
 impl Cell {
@@ -97,6 +102,8 @@ impl Cell {
             policy,
             freqs: system.default_pair(),
             mapping: Mapping::Static,
+            victim: VictimPolicy::UniformRandom,
+            placement: WorkerPlacement::DistinctDomains,
         }
     }
 
@@ -111,6 +118,20 @@ impl Cell {
     #[must_use]
     pub fn with_mapping(mut self, mapping: Mapping) -> Cell {
         self.mapping = mapping;
+        self
+    }
+
+    /// Replace the victim-selection policy.
+    #[must_use]
+    pub fn with_victim(mut self, victim: VictimPolicy) -> Cell {
+        self.victim = victim;
+        self
+    }
+
+    /// Replace the worker placement.
+    #[must_use]
+    pub fn with_placement(mut self, placement: WorkerPlacement) -> Cell {
+        self.placement = placement;
         self
     }
 }
@@ -226,16 +247,28 @@ pub fn threshold_scale(system: System) -> f64 {
 #[must_use]
 pub fn run_trial(cell: &Cell, seed: u64) -> SimReport {
     let dag: DagSpec = cell.bench.dag_scaled(seed, scale());
+    hermes_sim::run(&dag, &cell_config(cell, seed)).expect("harness presets are consistent")
+}
+
+/// The [`SimConfig`] a cell runs under (shared with telemetry-probing
+/// callers that need the placement's distance matrix).
+///
+/// # Panics
+///
+/// Panics if the cell's presets are inconsistent (they never are).
+#[must_use]
+pub fn cell_config(cell: &Cell, seed: u64) -> SimConfig {
     let tempo = TempoConfig::builder()
         .policy(cell.policy)
         .frequencies(cell.freqs.clone())
         .workers(cell.workers)
         .threshold_scale(threshold_scale(cell.system))
         .build();
-    let config = SimConfig::new(cell.system.machine(), tempo)
+    SimConfig::new(cell.system.machine(), tempo)
         .with_mapping(cell.mapping)
-        .with_seed(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1));
-    hermes_sim::run(&dag, &config).expect("harness presets are consistent")
+        .with_victim_policy(cell.victim)
+        .with_placement(cell.placement)
+        .with_seed(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1))
 }
 
 /// Percentage of energy HERMES saves relative to `baseline`
@@ -269,7 +302,7 @@ pub fn figure_header(id: &str, title: &str, system: Option<System>) {
             "{} — {} | {} cores, {} clock domains, freqs {}",
             s.label(),
             m.name,
-            m.cores,
+            m.cores(),
             m.domains(),
             m.freq_table
                 .iter()

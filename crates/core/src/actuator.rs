@@ -123,7 +123,10 @@ mod tests {
         rec.apply(mk(1, 2, 1400));
         rec.apply(mk(0, 0, 2400));
         assert_eq!(rec.last_level(WorkerId(0)), Some(TempoLevel(0)));
-        assert_eq!(rec.last_frequency(WorkerId(0)), Some(Frequency::from_mhz(2400)));
+        assert_eq!(
+            rec.last_frequency(WorkerId(0)),
+            Some(Frequency::from_mhz(2400))
+        );
         assert_eq!(rec.last_level(WorkerId(1)), Some(TempoLevel(2)));
         assert_eq!(rec.last_level(WorkerId(9)), None);
         assert_eq!(rec.changes().len(), 3);

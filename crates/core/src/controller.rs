@@ -123,7 +123,11 @@ impl TempoConfigBuilder {
         let freq_map = FreqMap::new(self.frequencies).expect("invalid frequency list");
         let num_workers = self.workers.expect("worker count is required");
         assert!(num_workers > 0, "at least one worker is required");
-        let k = if self.k_thresholds == 0 { 2 } else { self.k_thresholds };
+        let k = if self.k_thresholds == 0 {
+            2
+        } else {
+            self.k_thresholds
+        };
         let initial_avg = self.initial_avg.unwrap_or(8.0);
         let profiler = self.profiler.unwrap_or_default();
         let initial_thresholds =
@@ -369,7 +373,8 @@ impl TempoController {
             // procrastinated thief never regain speed through deque
             // growth.
             self.bands[thief.0] = 0;
-            self.virtuals[thief.0] = self.clamp_virtual(self.virtuals[thief.0].max(self.floor(thief)));
+            self.virtuals[thief.0] =
+                self.clamp_virtual(self.virtuals[thief.0].max(self.floor(thief)));
             self.refresh(thief, actuator);
         }
         if self.config.policy.workpath() {
@@ -484,12 +489,7 @@ impl TempoController {
     /// paper's Figs. 10–13. The guard only exists when workpath
     /// sensitivity participates; in workload-only mode there is no list
     /// to consult.
-    fn workload_lower<A: FrequencyActuator>(
-        &mut self,
-        w: WorkerId,
-        len: usize,
-        actuator: &mut A,
-    ) {
+    fn workload_lower<A: FrequencyActuator>(&mut self, w: WorkerId, len: usize, actuator: &mut A) {
         if !self.table.should_lower(len, self.bands[w.0]) {
             return;
         }
@@ -529,7 +529,12 @@ mod tests {
         let all = [2400u64, 1900, 1600, 1400, 1200];
         TempoConfig::builder()
             .policy(policy)
-            .frequencies(all[..nfreq].iter().map(|&m| Frequency::from_mhz(m)).collect())
+            .frequencies(
+                all[..nfreq]
+                    .iter()
+                    .map(|&m| Frequency::from_mhz(m))
+                    .collect(),
+            )
             .workers(workers)
             .k_thresholds(2)
             .initial_average(4.0)
@@ -609,7 +614,10 @@ mod tests {
         ctl.on_out_of_work(w(1), &mut act);
         assert_eq!(ctl.level(w(2)), TempoLevel(1));
         assert_eq!(ctl.level(w(3)), TempoLevel(2));
-        assert!(ctl.level(w(3)) > ctl.level(w(2)), "relative order preserved");
+        assert!(
+            ctl.level(w(3)) > ctl.level(w(2)),
+            "relative order preserved"
+        );
     }
 
     #[test]
@@ -777,7 +785,10 @@ mod tests {
         assert_eq!(ctl.level(w(1)), TempoLevel(1));
         // A relay then removes the procrastination remainder.
         ctl.on_out_of_work(w(0), &mut act);
-        assert_eq!(ctl.level(w(1)), TempoLevel(0).max(TempoLevel(ctl.virtual_level(w(1)).max(0) as usize)));
+        assert_eq!(
+            ctl.level(w(1)),
+            TempoLevel(0).max(TempoLevel(ctl.virtual_level(w(1)).max(0) as usize))
+        );
         assert!(ctl.level(w(1)) <= TempoLevel(1));
     }
 
@@ -878,14 +889,26 @@ mod tests {
             records.push(r);
         });
         let stats = ctl.stats();
-        assert_eq!(counts.get(&TransitionKind::PathDown).copied().unwrap_or(0), stats.path_downs);
-        assert_eq!(counts.get(&TransitionKind::RelayUp).copied().unwrap_or(0), stats.relay_ups);
         assert_eq!(
-            counts.get(&TransitionKind::WorkloadUp).copied().unwrap_or(0),
+            counts.get(&TransitionKind::PathDown).copied().unwrap_or(0),
+            stats.path_downs
+        );
+        assert_eq!(
+            counts.get(&TransitionKind::RelayUp).copied().unwrap_or(0),
+            stats.relay_ups
+        );
+        assert_eq!(
+            counts
+                .get(&TransitionKind::WorkloadUp)
+                .copied()
+                .unwrap_or(0),
             stats.workload_ups
         );
         assert_eq!(
-            counts.get(&TransitionKind::WorkloadDown).copied().unwrap_or(0),
+            counts
+                .get(&TransitionKind::WorkloadDown)
+                .copied()
+                .unwrap_or(0),
             stats.workload_downs
         );
         assert_eq!(records.len() as u64, stats.total_transitions());

@@ -79,9 +79,14 @@ pub enum InvalidFreqMapError {
 impl std::fmt::Display for InvalidFreqMapError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            InvalidFreqMapError::Empty => write!(f, "frequency map requires at least one frequency"),
+            InvalidFreqMapError::Empty => {
+                write!(f, "frequency map requires at least one frequency")
+            }
             InvalidFreqMapError::NotDescending { index } => {
-                write!(f, "frequencies must be strictly descending (entry {index} is not)")
+                write!(
+                    f,
+                    "frequencies must be strictly descending (entry {index} is not)"
+                )
             }
         }
     }

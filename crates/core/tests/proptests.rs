@@ -9,11 +9,25 @@ use proptest::prelude::*;
 /// Arbitrary scheduler events a host could feed the controller.
 #[derive(Debug, Clone)]
 enum Event {
-    Push { w: usize, len: usize },
-    Pop { w: usize, len: usize },
-    Steal { thief: usize, victim: usize, len: usize },
-    OutOfWork { w: usize },
-    Sample { len: usize },
+    Push {
+        w: usize,
+        len: usize,
+    },
+    Pop {
+        w: usize,
+        len: usize,
+    },
+    Steal {
+        thief: usize,
+        victim: usize,
+        len: usize,
+    },
+    OutOfWork {
+        w: usize,
+    },
+    Sample {
+        len: usize,
+    },
     Recompute,
 }
 
@@ -21,8 +35,11 @@ fn event_strategy(workers: usize) -> impl Strategy<Value = Event> {
     prop_oneof![
         (0..workers, 0usize..64).prop_map(|(w, len)| Event::Push { w, len }),
         (0..workers, 0usize..64).prop_map(|(w, len)| Event::Pop { w, len }),
-        (0..workers, 0..workers, 0usize..64)
-            .prop_map(|(thief, victim, len)| Event::Steal { thief, victim, len }),
+        (0..workers, 0..workers, 0usize..64).prop_map(|(thief, victim, len)| Event::Steal {
+            thief,
+            victim,
+            len
+        }),
         (0..workers).prop_map(|w| Event::OutOfWork { w }),
         (0usize..64).prop_map(|len| Event::Sample { len }),
         Just(Event::Recompute),
@@ -34,7 +51,12 @@ fn controller(policy: Policy, workers: usize, nfreq: usize) -> TempoController {
     TempoController::new(
         TempoConfig::builder()
             .policy(policy)
-            .frequencies(freqs[..nfreq].iter().map(|&m| Frequency::from_mhz(m)).collect())
+            .frequencies(
+                freqs[..nfreq]
+                    .iter()
+                    .map(|&m| Frequency::from_mhz(m))
+                    .collect(),
+            )
             .workers(workers)
             .k_thresholds(2)
             .build(),
@@ -69,7 +91,10 @@ fn drive(ctl: &mut TempoController, events: &[Event], workers: usize) {
             // The public level is the floored virtual level.
             assert_eq!(ctl.level(w).0 as i64, ctl.virtual_level(w).max(0));
             // Frequency always matches the level under the map.
-            assert_eq!(ctl.frequency(w), ctl.config().freq_map.frequency(ctl.level(w)));
+            assert_eq!(
+                ctl.frequency(w),
+                ctl.config().freq_map.frequency(ctl.level(w))
+            );
         }
     }
 }

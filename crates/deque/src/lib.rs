@@ -33,8 +33,9 @@
 //! let dq = TheDeque::with_capacity(8);
 //! dq.push(1).unwrap();
 //! dq.push(2).unwrap();
-//! assert_eq!(dq.steal(), Steal::Success(1)); // head: least immediate
-//! assert_eq!(dq.pop(), Some(2));             // tail: most immediate
+//! // head: least immediate; one task was left behind at commit time.
+//! assert_eq!(dq.steal(), Steal::Success { task: 1, victim_len: 1 });
+//! assert_eq!(dq.pop(), Some(2)); // tail: most immediate
 //! assert_eq!(dq.pop(), None);
 //! ```
 
@@ -58,7 +59,16 @@ pub use the_deque::TheDeque;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Steal<T> {
     /// A task was stolen from the head of the victim's deque.
-    Success(T),
+    Success {
+        /// The stolen task.
+        task: T,
+        /// Tasks remaining in the victim's deque at the instant this
+        /// steal committed. Schedulers that feed a victim's length to a
+        /// controller (HERMES `on_steal`) must use this snapshot: a
+        /// separate `len()` read after the fact can observe later pushes,
+        /// pops, or other thieves' steals and mis-drive the controller.
+        victim_len: usize,
+    },
     /// The victim's deque was empty before the thief committed.
     Empty,
     /// The victim had work, but the thief lost the race for it to the
@@ -71,7 +81,7 @@ impl<T> Steal<T> {
     #[must_use]
     pub fn success(self) -> Option<T> {
         match self {
-            Steal::Success(t) => Some(t),
+            Steal::Success { task, .. } => Some(task),
             Steal::Empty | Steal::Retry => None,
         }
     }
@@ -79,7 +89,7 @@ impl<T> Steal<T> {
     /// Whether the steal succeeded.
     #[must_use]
     pub fn is_success(&self) -> bool {
-        matches!(self, Steal::Success(_))
+        matches!(self, Steal::Success { .. })
     }
 
     /// Whether the attempt failed to a lost race (contention, not
@@ -139,10 +149,14 @@ mod tests {
 
     #[test]
     fn steal_enum_conversions() {
-        assert_eq!(Steal::Success(7).success(), Some(7));
+        let hit = Steal::Success {
+            task: 7,
+            victim_len: 3,
+        };
+        assert_eq!(hit.success(), Some(7));
         assert_eq!(Steal::<i32>::Empty.success(), None);
         assert_eq!(Steal::<i32>::Retry.success(), None);
-        assert!(Steal::Success(1).is_success());
+        assert!(hit.is_success());
         assert!(!Steal::<i32>::Empty.is_success());
         assert!(!Steal::<i32>::Retry.is_success());
         assert!(Steal::<i32>::Retry.is_retry());

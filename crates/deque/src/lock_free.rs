@@ -22,7 +22,7 @@ use std::sync::atomic::{AtomicUsize, Ordering::SeqCst};
 /// let dq = LockFreeDeque::with_capacity(4);
 /// dq.push("a").unwrap();
 /// dq.push("b").unwrap();
-/// assert_eq!(dq.steal(), Steal::Success("a"));
+/// assert_eq!(dq.steal(), Steal::Success { task: "a", victim_len: 1 });
 /// assert_eq!(dq.pop(), Some("b"));
 /// ```
 pub struct LockFreeDeque<T> {
@@ -136,8 +136,17 @@ impl<T: Send> TaskDeque<T> for LockFreeDeque<T> {
         // owner's reuse of the ring position blocks on this guard.
         let mut slot = self.slot(t).lock();
         if self.top.compare_exchange(t, t + 1, SeqCst, SeqCst).is_ok() {
-            let task = slot.take().expect("deque protocol violation: slot already consumed");
-            return Steal::Success(task);
+            let task = slot
+                .take()
+                .expect("deque protocol violation: slot already consumed");
+            // Length snapshot at the commit point: `top` is now t + 1 and
+            // `bottom` is re-read after the CAS. Concurrent owner pops can
+            // still move `bottom`, but this is the tightest length any
+            // steal-outcome consumer can observe without a deque-wide
+            // lock — and unlike a post-hoc `len()` it can never count the
+            // stolen task itself.
+            let victim_len = self.bottom.load(SeqCst).saturating_sub(t + 1);
+            return Steal::Success { task, victim_len };
         }
         // Lost the race for visible work to another thief (or the
         // owner's last-item pop). Reporting the lost race — instead of
@@ -147,7 +156,9 @@ impl<T: Send> TaskDeque<T> for LockFreeDeque<T> {
     }
 
     fn len(&self) -> usize {
-        self.bottom.load(SeqCst).saturating_sub(self.top.load(SeqCst))
+        self.bottom
+            .load(SeqCst)
+            .saturating_sub(self.top.load(SeqCst))
     }
 
     fn capacity(&self) -> usize {
@@ -177,9 +188,21 @@ mod tests {
             dq.push(i).unwrap();
         }
         assert_eq!(dq.pop(), Some(3));
-        assert_eq!(dq.steal(), Steal::Success(0));
+        assert_eq!(
+            dq.steal(),
+            Steal::Success {
+                task: 0,
+                victim_len: 2
+            }
+        );
         assert_eq!(dq.pop(), Some(2));
-        assert_eq!(dq.steal(), Steal::Success(1));
+        assert_eq!(
+            dq.steal(),
+            Steal::Success {
+                task: 1,
+                victim_len: 0
+            }
+        );
         assert_eq!(dq.steal(), Steal::Empty);
         assert_eq!(dq.pop(), None);
     }
@@ -222,7 +245,7 @@ mod tests {
                     let mut misses = 0;
                     while misses < 10_000 {
                         match dq.steal() {
-                            Steal::Success(v) => {
+                            Steal::Success { task: v, .. } => {
                                 got.push(v);
                                 misses = 0;
                             }

@@ -24,7 +24,7 @@ use std::sync::atomic::{AtomicUsize, Ordering::SeqCst};
 /// dq.push(10).unwrap();
 /// dq.push(20).unwrap();
 /// assert_eq!(dq.len(), 2);
-/// assert_eq!(dq.steal(), Steal::Success(10));
+/// assert_eq!(dq.steal(), Steal::Success { task: 10, victim_len: 1 });
 /// assert_eq!(dq.pop(), Some(20));
 /// assert_eq!(dq.steal(), Steal::Empty);
 /// ```
@@ -153,16 +153,24 @@ impl<T: Send> TaskDeque<T> for TheDeque<T> {
         let _guard = self.lock.lock();
         let h = self.head.load(SeqCst);
         self.head.store(h + 1, SeqCst);
-        if h + 1 > self.tail.load(SeqCst) {
+        let t = self.tail.load(SeqCst);
+        if h + 1 > t {
             self.head.store(h, SeqCst);
             return if saw_work { Steal::Retry } else { Steal::Empty };
         }
-        Steal::Success(self.take_slot(h))
+        // The remaining length is exact here: `head` is frozen by the THE
+        // lock we hold and `t` was read after our commit.
+        Steal::Success {
+            task: self.take_slot(h),
+            victim_len: t - (h + 1),
+        }
     }
 
     fn len(&self) -> usize {
         // `tail` can transiently sit below `head` mid-pop; saturate.
-        self.tail.load(SeqCst).saturating_sub(self.head.load(SeqCst))
+        self.tail
+            .load(SeqCst)
+            .saturating_sub(self.head.load(SeqCst))
     }
 
     fn capacity(&self) -> usize {
@@ -193,9 +201,22 @@ mod tests {
         }
         // Owner pops the most immediate (LIFO).
         assert_eq!(dq.pop(), Some(3));
-        // Thief steals the least immediate (FIFO).
-        assert_eq!(dq.steal(), Steal::Success(0));
-        assert_eq!(dq.steal(), Steal::Success(1));
+        // Thief steals the least immediate (FIFO), seeing the remaining
+        // length at each commit.
+        assert_eq!(
+            dq.steal(),
+            Steal::Success {
+                task: 0,
+                victim_len: 2
+            }
+        );
+        assert_eq!(
+            dq.steal(),
+            Steal::Success {
+                task: 1,
+                victim_len: 1
+            }
+        );
         assert_eq!(dq.pop(), Some(2));
         assert_eq!(dq.pop(), None);
         assert_eq!(dq.steal(), Steal::Empty);
@@ -209,7 +230,13 @@ mod tests {
         dq.push(2).unwrap();
         assert_eq!(dq.push(3), Err(DequeFullError(3)));
         // Consuming one frees a slot (ring reuse).
-        assert_eq!(dq.steal(), Steal::Success(1));
+        assert_eq!(
+            dq.steal(),
+            Steal::Success {
+                task: 1,
+                victim_len: 1
+            }
+        );
         dq.push(3).unwrap();
         assert_eq!(dq.pop(), Some(3));
         assert_eq!(dq.pop(), Some(2));
@@ -221,7 +248,13 @@ mod tests {
         for round in 0..100 {
             dq.push(round * 2).unwrap();
             dq.push(round * 2 + 1).unwrap();
-            assert_eq!(dq.steal(), Steal::Success(round * 2));
+            assert_eq!(
+                dq.steal(),
+                Steal::Success {
+                    task: round * 2,
+                    victim_len: 1
+                }
+            );
             assert_eq!(dq.pop(), Some(round * 2 + 1));
         }
         assert!(dq.is_empty());
@@ -259,7 +292,7 @@ mod tests {
                     let mut misses = 0;
                     while misses < 10_000 {
                         match dq.steal() {
-                            Steal::Success(v) => {
+                            Steal::Success { task: v, .. } => {
                                 got.push(v);
                                 misses = 0;
                             }

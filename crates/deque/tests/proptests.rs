@@ -88,7 +88,7 @@ fn conserve<D: TaskDeque<usize> + Send + Sync + 'static>(
                 let mut got = Vec::new();
                 loop {
                     match dq.steal() {
-                        Steal::Success(v) => got.push(v),
+                        Steal::Success { task: v, .. } => got.push(v),
                         // A lost race means work was present: retry at
                         // once without consulting the exit condition.
                         Steal::Retry => std::hint::spin_loop(),

@@ -103,7 +103,9 @@ impl EmulatedDvfs {
     pub fn new(workers: usize, fastest: Frequency, busy_watts_fast: f64) -> Self {
         EmulatedDvfs {
             fastest,
-            freqs_khz: (0..workers).map(|_| AtomicU64::new(fastest.khz())).collect(),
+            freqs_khz: (0..workers)
+                .map(|_| AtomicU64::new(fastest.khz()))
+                .collect(),
             energy_nj: (0..workers).map(|_| AtomicU64::new(0)).collect(),
             busy_watts_fast,
         }

@@ -57,9 +57,9 @@ mod sysfs;
 pub use driver::{DriverError, EmulatedDvfs, FrequencyDriver, NullDriver};
 pub use latch::Latch;
 pub use pool::{
-    join, parallel_chunks, parallel_for, parallel_map_reduce, DequeKind, Pool, PoolBuilder,
-    RtStats,
+    join, parallel_chunks, parallel_for, parallel_map_reduce, DequeKind, Pool, PoolBuilder, RtStats,
 };
-pub use sysfs::{
-    parse_available_frequencies, parse_energy_uj, RaplProbe, SysfsCpufreqDriver,
-};
+pub use sysfs::{parse_available_frequencies, parse_energy_uj, RaplProbe, SysfsCpufreqDriver};
+// The shared topology model the pool's locality-aware victim selection
+// is configured with (see `PoolBuilder::topology`).
+pub use hermes_topology::{discover as discover_topology, Topology, VictimPolicy};

@@ -8,9 +8,10 @@ use hermes_core::{
 };
 use hermes_deque::{LockFreeDeque, Steal, TaskDeque, TheDeque};
 use hermes_telemetry::{Event, StealOutcome, TelemetrySink};
+use hermes_topology::{CoreId, Topology, VictimPolicy, VictimSelector};
 use parking_lot::{Condvar, Mutex};
 use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
@@ -94,6 +95,8 @@ pub struct PoolBuilder {
     driver: Option<Arc<dyn FrequencyDriver>>,
     emulated: Option<(Frequency, f64)>,
     telemetry: Option<Arc<dyn TelemetrySink>>,
+    topology: Option<Topology>,
+    victim: VictimPolicy,
 }
 
 impl std::fmt::Debug for PoolBuilder {
@@ -101,6 +104,7 @@ impl std::fmt::Debug for PoolBuilder {
         f.debug_struct("PoolBuilder")
             .field("workers", &self.workers)
             .field("deque", &self.deque)
+            .field("victim", &self.victim)
             .finish()
     }
 }
@@ -163,17 +167,42 @@ impl PoolBuilder {
         self
     }
 
+    /// Describe the machine the pool runs on (default:
+    /// [`Topology::flat`], where every worker is its own clock domain in
+    /// one package). Workers are placed on distinct clock domains when
+    /// the topology has enough of them — the paper's placement — and
+    /// densely over cores `0..workers` otherwise.
+    ///
+    /// Combine with [`victim_policy`](Self::victim_policy): the topology
+    /// defines steal distances, the policy decides how they bias victim
+    /// selection. Use [`hermes_topology::discover`] to describe the real
+    /// host.
+    #[must_use]
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.topology = Some(topology);
+        self
+    }
+
+    /// Victim-selection policy for the steal path (default
+    /// [`VictimPolicy::UniformRandom`], the classic random ring sweep).
+    #[must_use]
+    pub fn victim_policy(mut self, victim: VictimPolicy) -> Self {
+        self.victim = victim;
+        self
+    }
+
     /// Build and start the pool.
     ///
     /// # Panics
     ///
     /// Panics if the tempo configuration's worker count disagrees with the
-    /// pool's worker count, or if a worker thread cannot be spawned.
+    /// pool's worker count, if the topology has fewer cores than the pool
+    /// has workers, or if a worker thread cannot be spawned.
     #[must_use]
     pub fn build(self) -> Pool {
-        let workers = self.workers.unwrap_or_else(|| {
-            std::thread::available_parallelism().map_or(4, usize::from)
-        });
+        let workers = self
+            .workers
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, usize::from));
         let tempo = self.tempo.unwrap_or_else(|| {
             TempoConfig::builder()
                 .policy(Policy::Baseline)
@@ -206,6 +235,29 @@ impl PoolBuilder {
             })
             .collect();
 
+        // Place workers on the topology (distinct clock domains when
+        // possible, the paper's protocol) and instantiate the victim
+        // selector over the resulting steal-distance matrix.
+        let topology = self.topology.unwrap_or_else(|| Topology::flat(workers));
+        if let Err(e) = topology.validate() {
+            panic!("invalid pool topology: {e}");
+        }
+        assert!(
+            topology.cores() >= workers,
+            "topology has {} cores but the pool has {workers} workers",
+            topology.cores()
+        );
+        // Gate on *populated* domains, not the declared domain count: a
+        // hand-built topology may declare domains no core belongs to.
+        let distinct = topology.distinct_domain_cores();
+        let placement: Vec<CoreId> = if distinct.len() >= workers {
+            distinct[..workers].to_vec()
+        } else {
+            (0..workers).map(CoreId).collect()
+        };
+        let distances = topology.worker_distances(&placement);
+        let selector = self.victim.selector(&distances);
+
         let profile_period_ns = tempo.profiler.period_ns;
         // A NullSink is equivalent to no sink: drop it here so the event
         // paths (timestamps, controller tracing) stay fully dormant.
@@ -228,6 +280,8 @@ impl PoolBuilder {
             last_profile_ns: AtomicU64::new(0),
             profile_period_ns,
             sink: telemetry,
+            selector,
+            distances,
         });
 
         // Bootstrap tempo: everyone at the fastest frequency.
@@ -386,6 +440,21 @@ impl Pool {
         self.inner.driver.name()
     }
 
+    /// The active victim-selection policy's name.
+    #[must_use]
+    pub fn victim_policy_name(&self) -> &'static str {
+        self.inner.selector.name()
+    }
+
+    /// The worker-to-worker steal-distance matrix induced by the pool's
+    /// topology and placement — feed it to
+    /// [`RunReport::with_steal_distances`](hermes_telemetry::RunReport::with_steal_distances)
+    /// to bucket this pool's steal matrix by distance.
+    #[must_use]
+    pub fn worker_distances(&self) -> Vec<Vec<u32>> {
+        self.inner.distances.clone()
+    }
+
     /// Stop the workers and join their threads.
     ///
     /// Dropping the pool does the same; this explicit form exists so
@@ -443,6 +512,10 @@ struct PoolInner {
     profile_period_ns: u64,
     /// Telemetry destination; `None` keeps every event path dormant.
     sink: Option<Arc<dyn TelemetrySink>>,
+    /// Victim-selection policy instantiated for this pool's placement.
+    selector: Box<dyn VictimSelector>,
+    /// Worker-to-worker steal distances under the configured topology.
+    distances: Vec<Vec<u32>>,
 }
 
 /// Forwards controller actuations to the frequency driver; failures are
@@ -547,23 +620,21 @@ impl PoolInner {
         ctl.recompute_thresholds();
     }
 
-    fn steal_job(&self, w: usize, rng: &mut SmallRng) -> Option<JobRef> {
+    /// `order` is the caller's reusable sweep buffer (each worker loop
+    /// owns one, so the hot path never allocates).
+    fn steal_job(&self, w: usize, rng: &mut SmallRng, order: &mut Vec<usize>) -> Option<JobRef> {
         self.maybe_profile();
         self.with_controller(|ctl, act| ctl.on_out_of_work(WorkerId(w), act));
         let n = self.deques.len();
         if n <= 1 {
             return None;
         }
-        let start = rng.gen_range(0..n);
-        for i in 0..n {
-            let v = (start + i) % n;
-            if v == w {
-                continue;
-            }
+        self.selector.sweep(w, rng, order);
+        for &v in order.iter() {
             let outcome = self.deques[v].steal();
             if let Some(sink) = self.sink.as_deref() {
                 let telemetry_outcome = match &outcome {
-                    Steal::Success(_) => StealOutcome::Success,
+                    Steal::Success { .. } => StealOutcome::Success,
                     Steal::Empty => StealOutcome::Empty,
                     Steal::Retry => StealOutcome::LostRace,
                 };
@@ -577,9 +648,17 @@ impl PoolInner {
                 );
             }
             match outcome {
-                Steal::Success(job) => {
+                Steal::Success {
+                    task: job,
+                    victim_len,
+                } => {
                     self.stats.steals.fetch_add(1, Ordering::Relaxed);
-                    let victim_len = self.deques[v].len();
+                    // The controller sees the victim length captured at
+                    // the steal's commit point. Re-reading the deque here
+                    // would race: another thief (or the owner) may have
+                    // moved the indices in between, feeding the workload
+                    // algorithm a length the victim never had when this
+                    // steal happened.
                     self.with_controller(|ctl, act| {
                         ctl.on_steal(WorkerId(w), WorkerId(v), victim_len, act);
                     });
@@ -637,6 +716,7 @@ impl PoolInner {
         let ra = a();
         // Resolve b: pop back (fast path), help with other work, or steal.
         let mut rng = SmallRng::seed_from_u64(w as u64 ^ 0x9e37_79b9);
+        let mut order = Vec::new();
         loop {
             if job_b.latch.probe() {
                 // SAFETY: latch set implies the thief wrote the result.
@@ -655,7 +735,7 @@ impl PoolInner {
                 continue;
             }
             // Own deque empty: leapfrog by stealing.
-            if let Some(job) = self.steal_job(w, &mut rng) {
+            if let Some(job) = self.steal_job(w, &mut rng, &mut order) {
                 // SAFETY: stolen jobs are executed exactly once.
                 unsafe { self.execute(w, job) };
             } else {
@@ -668,6 +748,7 @@ impl PoolInner {
 fn worker_main(inner: &Arc<PoolInner>, index: usize) {
     set_current_worker(inner, index);
     let mut rng = SmallRng::seed_from_u64(index as u64 ^ 0x5851_f42d);
+    let mut order = Vec::new();
     let mut idle_spins = 0u32;
     loop {
         if let Some(job) = inner.pop_job(index) {
@@ -676,7 +757,7 @@ fn worker_main(inner: &Arc<PoolInner>, index: usize) {
             idle_spins = 0;
             continue;
         }
-        if let Some(job) = inner.steal_job(index, &mut rng) {
+        if let Some(job) = inner.steal_job(index, &mut rng, &mut order) {
             // SAFETY: stolen jobs execute exactly once.
             unsafe { inner.execute(index, job) };
             idle_spins = 0;
@@ -792,7 +873,10 @@ where
     }
     let mid = data.len() / 2;
     let (left, right) = data.split_at_mut(mid);
-    join(|| parallel_chunks(left, grain, f), || parallel_chunks(right, grain, f));
+    join(
+        || parallel_chunks(left, grain, f),
+        || parallel_chunks(right, grain, f),
+    );
 }
 
 /// Compute `f(i)` for `i` in `0..n` in parallel and reduce the results
@@ -884,9 +968,8 @@ mod tests {
     #[test]
     fn parallel_map_reduce_sums() {
         let pool = Pool::new(4);
-        let total = pool.install(|| {
-            parallel_map_reduce(1001, 32, 0u64, &|i| i as u64, &|a, b| a + b)
-        });
+        let total =
+            pool.install(|| parallel_map_reduce(1001, 32, 0u64, &|i| i as u64, &|a, b| a + b));
         assert_eq!(total, 500_500);
     }
 
@@ -1025,8 +1108,7 @@ mod tests {
             "one bootstrap actuation per worker plus level changes"
         );
         // And the report survives its own JSON codec.
-        let parsed =
-            hermes_telemetry::RunReport::from_json(&report.to_json()).expect("round trip");
+        let parsed = hermes_telemetry::RunReport::from_json(&report.to_json()).expect("round trip");
         assert_eq!(parsed, report);
     }
 
@@ -1040,7 +1122,10 @@ mod tests {
 
     #[test]
     fn lock_free_deque_pool_works() {
-        let pool = Pool::builder().workers(4).deque(DequeKind::LockFree).build();
+        let pool = Pool::builder()
+            .workers(4)
+            .deque(DequeKind::LockFree)
+            .build();
         let mut v = vec![0u8; 50_000];
         pool.install(|| parallel_for(&mut v, 64, |x| *x = 1));
         assert!(v.iter().all(|&x| x == 1));
@@ -1071,6 +1156,46 @@ mod tests {
         assert_eq!(out, 2);
         // Nested install through the public API would need a second pool;
         // the same-pool fast path is exercised via join + install inside.
+    }
+
+    #[test]
+    fn topology_and_victim_policy_are_configurable() {
+        for victim in VictimPolicy::all() {
+            let pool = Pool::builder()
+                .workers(4)
+                .topology(Topology::system_b())
+                .victim_policy(victim)
+                .build();
+            assert_eq!(pool.victim_policy_name(), victim.label());
+            // 4 workers on System B sit on distinct clock domains: the
+            // distance matrix is 0 on the diagonal, 2 elsewhere.
+            let d = pool.worker_distances();
+            for (i, row) in d.iter().enumerate() {
+                for (j, &dist) in row.iter().enumerate() {
+                    assert_eq!(dist, if i == j { 0 } else { 2 });
+                }
+            }
+            let mut v = vec![1u64; 20_000];
+            pool.install(|| parallel_for(&mut v, 64, |x| *x += 1));
+            assert!(v.iter().all(|&x| x == 2), "{victim} pool computes");
+        }
+        // 8 workers exceed System B's 4 domains: dense placement, domain
+        // siblings at distance 1.
+        let pool = Pool::builder()
+            .workers(8)
+            .topology(Topology::system_b())
+            .build();
+        assert_eq!(pool.worker_distances()[0][1], 1);
+        assert_eq!(pool.worker_distances()[0][2], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "topology has 2 cores")]
+    fn too_small_topology_panics() {
+        let _ = Pool::builder()
+            .workers(4)
+            .topology(Topology::flat(2))
+            .build();
     }
 
     #[test]

@@ -104,9 +104,7 @@ impl FrequencyDriver for SysfsCpufreqDriver {
             .cpus
             .get(worker)
             .ok_or_else(|| DriverError::new(format!("worker {worker} out of range")))?;
-        let path = self
-            .root
-            .join(format!("cpu{cpu}/cpufreq/scaling_setspeed"));
+        let path = self.root.join(format!("cpu{cpu}/cpufreq/scaling_setspeed"));
         std::fs::write(&path, format!("{}\n", freq.khz()))
             .map_err(|e| DriverError::new(format!("cannot write {}: {e}", path.display())))?;
         self.current_khz[worker].store(freq.khz(), Ordering::Relaxed);

@@ -1,0 +1,127 @@
+//! Steal-matrix and steal-distance-histogram invariants of the rt pool,
+//! for both deque implementations (ISSUE 3 satellite).
+//!
+//! The telemetry steal matrix is the ground truth the locality ablation
+//! reads, so its bookkeeping must partition exactly:
+//!
+//! * each thief's matrix row sums to that worker's `steals` counter,
+//! * the diagonal is zero (no self-steals),
+//! * the steal-distance histogram derived from the matrix totals the
+//!   same number of steals (the histogram is a re-bucketing, never a
+//!   re-count),
+//! * event-folded totals equal the scheduler's atomic counters.
+
+use hermes_core::{Frequency, Policy, TempoConfig};
+use hermes_rt::{parallel_for, DequeKind, Pool, RtStats, Topology, VictimPolicy};
+use hermes_telemetry::{RingSink, RunReport, TelemetrySink};
+use std::sync::Arc;
+
+/// Per-element work slow enough that a parallel region spans many OS
+/// scheduler ticks, so thieves get a chance even on single-core hosts.
+fn spin_work(x: &mut u64) {
+    let mut acc = *x;
+    for _ in 0..2_000 {
+        acc = std::hint::black_box(acc.wrapping_mul(2654435761).rotate_left(7));
+    }
+    *x = acc;
+}
+
+fn run_and_report(deque: DequeKind, victim: VictimPolicy) -> (RunReport, RtStats) {
+    const WORKERS: usize = 4;
+    let sink = Arc::new(RingSink::new(WORKERS));
+    let tempo = TempoConfig::builder()
+        .policy(Policy::Unified)
+        .frequencies(vec![Frequency::from_mhz(2400), Frequency::from_mhz(1600)])
+        .workers(WORKERS)
+        .build();
+    let mut pool = Pool::builder()
+        .workers(WORKERS)
+        .tempo(tempo)
+        .deque(deque)
+        // Dense placement: 4 workers over 4 cores in 2 clock domains, so
+        // the histogram has both distance-1 and distance-2 mass to
+        // bucket.
+        .topology(Topology::uniform(4, 2, 2))
+        .victim_policy(victim)
+        .emulated_dvfs(Frequency::from_mhz(2400), 8.0)
+        .telemetry(Arc::clone(&sink) as Arc<dyn TelemetrySink>)
+        .build();
+    for _ in 0..40 {
+        let mut v: Vec<u64> = (0..20_000).collect();
+        pool.install(|| parallel_for(&mut v, 64, spin_work));
+        if pool.stats().steals >= 20 {
+            break;
+        }
+    }
+    // Freeze the pool so counters and the sink stop moving before the
+    // fold (idle workers otherwise keep recording empty sweeps).
+    pool.stop();
+    pool.flush_energy_telemetry();
+    let stats = pool.stats();
+    let report = sink
+        .report("steal-matrix", "rt", pool.elapsed_ns() as f64 / 1e9, 0.0)
+        .with_steal_distances(&pool.worker_distances());
+    (report, stats)
+}
+
+fn check_invariants(report: &RunReport, stats: &RtStats, who: &str) {
+    let totals = report.totals();
+    assert!(totals.steals > 0, "{who}: the workload must steal");
+    // Event totals agree with the scheduler's atomic counters.
+    assert_eq!(totals.steals, stats.steals, "{who}: steals");
+    assert_eq!(totals.empty_steals, stats.empty_steals, "{who}: empty");
+    assert_eq!(
+        totals.lost_race_steals, stats.lost_race_steals,
+        "{who}: lost races"
+    );
+    // Matrix rows partition each thief's steals; diagonal empty.
+    let mut matrix_total = 0u64;
+    for (w, row) in report.steal_matrix.iter().enumerate() {
+        assert_eq!(row[w], 0, "{who}: no self-steals (worker {w})");
+        let row_sum: u64 = row.iter().sum();
+        assert_eq!(
+            row_sum, report.per_worker[w].steals,
+            "{who}: row {w} sums to its steals counter"
+        );
+        matrix_total += row_sum;
+    }
+    assert_eq!(
+        matrix_total, totals.steals,
+        "{who}: matrix partitions steals"
+    );
+    // The distance histogram re-buckets the matrix exactly.
+    assert_eq!(
+        report.steal_distance_total(),
+        totals.steals,
+        "{who}: histogram total == steals"
+    );
+    assert!(
+        report.same_domain_steal_fraction().is_some(),
+        "{who}: fraction defined once steals exist"
+    );
+    // And everything survives the JSON codec.
+    let parsed = RunReport::from_json(&report.to_json()).expect("round trip");
+    assert_eq!(&parsed, report);
+}
+
+#[test]
+fn the_deque_matrix_and_histogram_invariants() {
+    let (report, stats) = run_and_report(DequeKind::The, VictimPolicy::UniformRandom);
+    check_invariants(&report, &stats, "THE/uniform");
+}
+
+#[test]
+fn lock_free_deque_matrix_and_histogram_invariants() {
+    let (report, stats) = run_and_report(DequeKind::LockFree, VictimPolicy::UniformRandom);
+    check_invariants(&report, &stats, "lock-free/uniform");
+}
+
+#[test]
+fn locality_policies_keep_the_invariants() {
+    for victim in [VictimPolicy::NearestFirst, VictimPolicy::DistanceWeighted] {
+        for deque in [DequeKind::The, DequeKind::LockFree] {
+            let (report, stats) = run_and_report(deque, victim);
+            check_invariants(&report, &stats, victim.label());
+        }
+    }
+}

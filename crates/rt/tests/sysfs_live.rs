@@ -58,11 +58,8 @@ fn live_cpufreq_driver_round_trips_or_skips() {
         eprintln!("skipping: no writable userspace cpufreq on this host");
         return;
     }
-    let freqs = SysfsCpufreqDriver::available_frequencies(
-        Path::new("/sys/devices/system/cpu"),
-        0,
-    )
-    .expect("advertised table readable on cpufreq hosts");
+    let freqs = SysfsCpufreqDriver::available_frequencies(Path::new("/sys/devices/system/cpu"), 0)
+        .expect("advertised table readable on cpufreq hosts");
     assert!(!freqs.is_empty());
     let _guard = SetspeedGuard::capture().expect("current setpoint readable");
     let driver = SysfsCpufreqDriver::new(vec![0]).expect("constructible with userspace governor");
@@ -70,7 +67,11 @@ fn live_cpufreq_driver_round_trips_or_skips() {
     driver
         .set_frequency(0, fastest)
         .expect("set_frequency writable");
-    assert_eq!(driver.frequency(0), Some(fastest), "driver tracks its write");
+    assert_eq!(
+        driver.frequency(0),
+        Some(fastest),
+        "driver tracks its write"
+    );
     // Round-trip through the kernel, not the driver's cache: the setpoint
     // file must hold exactly what was requested (the kernel clamps values
     // outside the advertised table).

@@ -1,8 +1,9 @@
 //! Simulation configuration and run reports.
 
-use crate::{MachineSpec, SimTime};
+use crate::{MachineSpec, SimError, SimTime};
 use hermes_core::{Frequency, TempoConfig, TempoStats};
 use hermes_telemetry::TelemetrySink;
+use hermes_topology::{CoreId, VictimPolicy};
 use std::sync::Arc;
 
 /// Worker-to-core mapping strategy (paper §3.4).
@@ -36,6 +37,34 @@ impl Mapping {
     }
 }
 
+/// Which cores the workers are pinned to (before any dynamic
+/// migration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WorkerPlacement {
+    /// One worker on the first core of each clock domain — the paper's
+    /// protocol ("experiments are performed over cores with distinct
+    /// clock domains"), avoiding DVFS interference between workers.
+    #[default]
+    DistinctDomains,
+    /// Workers on cores `0..workers` in order, so neighbouring workers
+    /// share clock domains. DVFS interference is real here (domain
+    /// siblings drag each other's frequency); the victim-selection
+    /// ablation uses this placement because it is the one where steal
+    /// distance varies.
+    Dense,
+}
+
+impl WorkerPlacement {
+    /// Short label for tables.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            WorkerPlacement::DistinctDomains => "distinct-domains",
+            WorkerPlacement::Dense => "dense",
+        }
+    }
+}
+
 /// Full configuration of one simulation run.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -46,6 +75,10 @@ pub struct SimConfig {
     pub tempo: TempoConfig,
     /// Worker-to-core mapping strategy.
     pub mapping: Mapping,
+    /// Which cores workers are initially pinned to.
+    pub placement: WorkerPlacement,
+    /// Victim-selection policy for the steal path.
+    pub victim: VictimPolicy,
     /// Seed for victim selection and migration choices.
     pub seed: u64,
     /// Base delay before a worker retries after a failed steal (YIELD).
@@ -73,6 +106,8 @@ impl SimConfig {
             machine,
             tempo,
             mapping: Mapping::Static,
+            placement: WorkerPlacement::DistinctDomains,
+            victim: VictimPolicy::UniformRandom,
             seed: 42,
             yield_ns: 2_000,
             yield_max_ns: 64_000,
@@ -101,6 +136,72 @@ impl SimConfig {
     pub fn with_telemetry(mut self, sink: Arc<dyn TelemetrySink>) -> Self {
         self.telemetry = Some(sink);
         self
+    }
+
+    /// Replace the victim-selection policy (default
+    /// [`VictimPolicy::UniformRandom`], the paper's behaviour).
+    #[must_use]
+    pub fn with_victim_policy(mut self, victim: VictimPolicy) -> Self {
+        self.victim = victim;
+        self
+    }
+
+    /// Replace the worker placement (default
+    /// [`WorkerPlacement::DistinctDomains`], the paper's protocol).
+    #[must_use]
+    pub fn with_placement(mut self, placement: WorkerPlacement) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// The cores this configuration pins its workers to — the single
+    /// source of truth shared by the engine and by hosts attaching
+    /// steal-distance matrices to reports.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::TooManyWorkers`] when the placement cannot
+    /// seat every worker (more workers than clock domains under
+    /// [`WorkerPlacement::DistinctDomains`]; more workers than cores
+    /// under [`WorkerPlacement::Dense`]).
+    pub fn worker_cores(&self) -> Result<Vec<CoreId>, SimError> {
+        let workers = self.tempo.num_workers;
+        match self.placement {
+            WorkerPlacement::DistinctDomains => {
+                let domain_cores = self.machine.distinct_domain_cores();
+                if workers > domain_cores.len() {
+                    return Err(SimError::TooManyWorkers {
+                        workers,
+                        domains: domain_cores.len(),
+                    });
+                }
+                Ok(domain_cores[..workers].to_vec())
+            }
+            WorkerPlacement::Dense => {
+                if workers > self.machine.cores() {
+                    return Err(SimError::TooManyWorkers {
+                        workers,
+                        domains: self.machine.cores(),
+                    });
+                }
+                Ok((0..workers).map(CoreId).collect())
+            }
+        }
+    }
+
+    /// The worker-to-worker steal-distance matrix induced by this
+    /// configuration's placement — what
+    /// [`RunReport::with_steal_distances`](hermes_telemetry::RunReport::with_steal_distances)
+    /// consumes.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`worker_cores`](Self::worker_cores).
+    pub fn worker_distances(&self) -> Result<Vec<Vec<u32>>, SimError> {
+        Ok(self
+            .machine
+            .topology
+            .worker_distances(&self.worker_cores()?))
     }
 }
 

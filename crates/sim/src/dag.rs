@@ -144,9 +144,15 @@ impl DagSpec {
     ///
     /// This is the DAG shape of PBBS-style `parallel_for` benchmarks.
     #[must_use]
-    pub fn parallel_for(tasks: usize, root_cycles: u64, mut cycles: impl FnMut(usize) -> u64) -> DagSpec {
+    pub fn parallel_for(
+        tasks: usize,
+        root_cycles: u64,
+        mut cycles: impl FnMut(usize) -> u64,
+    ) -> DagSpec {
         let mut b = DagBuilder::new();
-        let children: Vec<NodeId> = (0..tasks).map(|i| b.node(vec![Action::Work(cycles(i))])).collect();
+        let children: Vec<NodeId> = (0..tasks)
+            .map(|i| b.node(vec![Action::Work(cycles(i))]))
+            .collect();
         let mut actions = Vec::with_capacity(tasks + 2);
         actions.push(Action::Work(root_cycles));
         for c in children {
@@ -170,7 +176,13 @@ impl DagSpec {
     ) -> DagSpec {
         let mut b = DagBuilder::new();
         let mut leaf_index = 0usize;
-        let root = Self::dnc_node(&mut b, depth, split_cycles, &mut leaf_cycles, &mut leaf_index);
+        let root = Self::dnc_node(
+            &mut b,
+            depth,
+            split_cycles,
+            &mut leaf_cycles,
+            &mut leaf_index,
+        );
         b.build(root)
     }
 

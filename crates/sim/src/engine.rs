@@ -2,28 +2,30 @@
 //! scheduler over virtual cores with per-domain DVFS and a power meter.
 
 use crate::{
-    Action, CoreId, DagSpec, Mapping, NodeId, PowerMeter, SchedStats, SimConfig, SimReport,
-    SimTime,
+    Action, CoreId, DagSpec, Mapping, NodeId, PowerMeter, SchedStats, SimConfig, SimReport, SimTime,
 };
 use hermes_core::{Frequency, FrequencyActuator, TempoChange, TempoController, WorkerId};
 use hermes_telemetry::{Event, StealOutcome, TelemetrySink};
+use hermes_topology::VictimSelector;
 use rand::rngs::SmallRng;
-use std::sync::Arc;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
+use std::sync::Arc;
 
 /// Error returned by [`run`] for inconsistent configurations.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
     /// The machine spec failed validation.
     BadMachine(String),
-    /// More workers than independent clock domains (the paper places at
-    /// most one worker per domain to avoid DVFS interference).
+    /// The placement cannot seat every worker: more workers than clock
+    /// domains under the paper's distinct-domain placement (at most one
+    /// worker per domain to avoid DVFS interference), or more workers
+    /// than cores under dense placement.
     TooManyWorkers {
         /// Requested workers.
         workers: usize,
-        /// Available clock domains.
+        /// Available seats (clock domains or cores, by placement).
         domains: usize,
     },
     /// A tempo frequency is not in the machine's table.
@@ -71,7 +73,11 @@ enum EvKind {
     /// A yielded worker wakes to retry pop/steal.
     Wake { w: usize, gen: u64 },
     /// A clock domain finishes settling on a new operating point.
-    FreqSettle { domain: usize, freq: Frequency, gen: u64 },
+    FreqSettle {
+        domain: usize,
+        freq: Frequency,
+        gen: u64,
+    },
     /// Meter sampling tick.
     Meter,
     /// Online-profiler tick.
@@ -189,6 +195,11 @@ struct Engine<'a> {
     meter: PowerMeter,
     rng: SmallRng,
     stats: SchedStats,
+    /// Victim-selection policy instantiated for this run's placement.
+    selector: Box<dyn VictimSelector>,
+    /// Scratch buffer for steal-sweep victim orders (reused across
+    /// sweeps so the hot loop does not allocate).
+    victim_order: Vec<usize>,
     done: bool,
     /// The configured telemetry sink, with null sinks already filtered
     /// out so event paths stay dormant unless someone is listening.
@@ -199,13 +210,10 @@ impl<'a> Engine<'a> {
     fn new(spec: &'a DagSpec, cfg: &'a SimConfig) -> Result<Self, SimError> {
         cfg.machine.validate().map_err(SimError::BadMachine)?;
         let workers = cfg.tempo.num_workers;
-        let domain_cores = cfg.machine.distinct_domain_cores();
-        if workers > domain_cores.len() {
-            return Err(SimError::TooManyWorkers {
-                workers,
-                domains: domain_cores.len(),
-            });
-        }
+        let worker_cores = cfg.worker_cores()?;
+        let selector = cfg
+            .victim
+            .selector(&cfg.machine.topology.worker_distances(&worker_cores));
         for &f in cfg.tempo.freq_map.frequencies() {
             if !cfg.machine.supports(f) {
                 return Err(SimError::UnsupportedFrequency(f));
@@ -221,10 +229,10 @@ impl<'a> Engine<'a> {
         }
 
         let fastest = cfg.tempo.freq_map.fastest();
-        let mut occupant = vec![None; cfg.machine.cores];
+        let mut occupant = vec![None; cfg.machine.cores()];
         let worker_states: Vec<WorkerState> = (0..workers)
             .map(|w| {
-                let core = domain_cores[w].0;
+                let core = worker_cores[w].0;
                 occupant[core] = Some(w);
                 WorkerState {
                     core,
@@ -235,7 +243,7 @@ impl<'a> Engine<'a> {
                 }
             })
             .collect();
-        let cores = (0..cfg.machine.cores)
+        let cores = (0..cfg.machine.cores())
             .map(|c| CoreState {
                 freq: fastest,
                 activity: if occupant[c].is_some() {
@@ -266,6 +274,8 @@ impl<'a> Engine<'a> {
             meter,
             rng: SmallRng::seed_from_u64(cfg.seed),
             stats: SchedStats::default(),
+            selector,
+            victim_order: Vec::new(),
             done: false,
             sink,
         })
@@ -409,7 +419,9 @@ impl<'a> Engine<'a> {
     }
 
     fn rail_power(&self) -> f64 {
-        (0..self.cores.len()).map(|c| self.core_power(c)).sum::<f64>()
+        (0..self.cores.len())
+            .map(|c| self.core_power(c))
+            .sum::<f64>()
             + self.cfg.machine.power.package_static
     }
 
@@ -471,7 +483,8 @@ impl<'a> Engine<'a> {
         }
         if let Some(sink) = self.sink.as_deref() {
             let at_ns = self.now.ns();
-            self.ctl.drain_transitions(|t| sink.record_transition(at_ns, t));
+            self.ctl
+                .drain_transitions(|t| sink.record_transition(at_ns, t));
         }
     }
 
@@ -714,34 +727,38 @@ impl<'a> Engine<'a> {
         // Out of work: immediacy relay + leave the list (Fig. 5 ll. 5-14).
         self.ctl.on_out_of_work(WorkerId(w), &mut self.pending);
         self.apply_pending();
-        // SELECT random victims and STEAL from the first non-empty head.
-        // Like Cilk's scheduler loop, a worker re-SELECTs immediately
-        // after an empty victim and only yields once a full sweep failed.
+        // SELECT victims in the configured policy's order and STEAL from
+        // the first non-empty head. Like Cilk's scheduler loop, a worker
+        // re-SELECTs immediately after an empty victim and only yields
+        // once a full sweep failed.
         let n = self.workers.len();
         if n > 1 {
-            let start = self.rng.gen_range(0..n);
-            for i in 0..n {
-                let v = (start + i) % n;
-                if v == w {
-                    continue;
-                }
+            let mut order = std::mem::take(&mut self.victim_order);
+            self.selector.sweep(w, &mut self.rng, &mut order);
+            let mut stolen = None;
+            for &v in &order {
                 if let Some(fidx) = self.workers[v].deque.pop_front() {
-                    self.stats.steals += 1;
-                    self.stats.tasks_executed += 1;
-                    self.record_steal(w, v, StealOutcome::Success);
-                    let victim_len = self.workers[v].deque.len();
-                    self.ctl
-                        .on_steal(WorkerId(w), WorkerId(v), victim_len, &mut self.pending);
-                    self.apply_pending();
-                    self.workers[w].consecutive_fails = 0;
-                    self.begin_work(w, fidx, self.cfg.steal_cost_ns);
-                    return;
+                    stolen = Some((v, fidx));
+                    break;
                 }
                 // The engine serialises thieves, so every failure is a
                 // genuinely empty victim — lost races cannot happen here
                 // (unlike the real-thread pool).
                 self.stats.failed_steals += 1;
                 self.record_steal(w, v, StealOutcome::Empty);
+            }
+            self.victim_order = order;
+            if let Some((v, fidx)) = stolen {
+                self.stats.steals += 1;
+                self.stats.tasks_executed += 1;
+                self.record_steal(w, v, StealOutcome::Success);
+                let victim_len = self.workers[v].deque.len();
+                self.ctl
+                    .on_steal(WorkerId(w), WorkerId(v), victim_len, &mut self.pending);
+                self.apply_pending();
+                self.workers[w].consecutive_fails = 0;
+                self.begin_work(w, fidx, self.cfg.steal_cost_ns);
+                return;
             }
         }
         // YIELD with capped exponential backoff.
@@ -913,13 +930,17 @@ mod tests {
         // An imbalanced flat loop on several workers: thieves do most of
         // the work; HERMES should cut energy vs baseline with a small
         // time penalty.
-        let dag = DagSpec::parallel_for(256, 10_000, |i| {
-            if i % 16 == 0 {
-                4_000_000
-            } else {
-                150_000
-            }
-        });
+        let dag = DagSpec::parallel_for(
+            256,
+            10_000,
+            |i| {
+                if i % 16 == 0 {
+                    4_000_000
+                } else {
+                    150_000
+                }
+            },
+        );
         let base = run(
             &dag,
             &SimConfig::new(MachineSpec::system_a(), tempo(Policy::Baseline, 8)),
@@ -1000,8 +1021,7 @@ mod tests {
         // Worker samples sum to the integrated core energy (total minus
         // package-static, which belongs to no worker).
         let core_energy: f64 = report.per_worker.iter().map(|w| w.energy_j).sum();
-        let static_j =
-            MachineSpec::system_b().power.package_static * r.elapsed.seconds();
+        let static_j = MachineSpec::system_b().power.package_static * r.elapsed.seconds();
         assert!(
             (core_energy + static_j - r.energy_j).abs() < r.energy_j * 0.02,
             "workers {core_energy} + static {static_j} vs total {}",
@@ -1026,6 +1046,106 @@ mod tests {
         assert_eq!(a.elapsed, b.elapsed, "observation must not change the run");
         assert_eq!(a.sched, b.sched);
         assert_eq!(a.tempo, b.tempo);
+    }
+
+    #[test]
+    fn victim_policies_conserve_work_and_uniform_is_unchanged() {
+        use crate::{VictimPolicy, WorkerPlacement};
+        let dag = quick_dag();
+        let base_cfg = SimConfig::new(MachineSpec::system_b(), tempo_b(Policy::Unified, 4));
+        let uniform = run(&dag, &base_cfg).unwrap();
+        // The explicit-uniform spelling is the exact same run: the
+        // selector reproduces the old inline sweep bit for bit.
+        let explicit = run(
+            &dag,
+            &base_cfg
+                .clone()
+                .with_victim_policy(VictimPolicy::UniformRandom),
+        )
+        .unwrap();
+        assert_eq!(uniform.elapsed, explicit.elapsed);
+        assert_eq!(uniform.sched, explicit.sched);
+        assert_eq!(uniform.tempo, explicit.tempo);
+        // The locality-aware policies run different (but complete and
+        // deterministic) schedules.
+        for victim in [VictimPolicy::NearestFirst, VictimPolicy::DistanceWeighted] {
+            for placement in [WorkerPlacement::DistinctDomains, WorkerPlacement::Dense] {
+                let cfg = base_cfg
+                    .clone()
+                    .with_victim_policy(victim)
+                    .with_placement(placement);
+                let a = run(&dag, &cfg).unwrap();
+                assert_eq!(a.sched.cycles, dag.total_cycles(), "{victim}/{placement:?}");
+                let b = run(&dag, &cfg).unwrap();
+                assert_eq!(a.elapsed, b.elapsed, "{victim}/{placement:?} determinism");
+                assert_eq!(a.sched, b.sched);
+            }
+        }
+    }
+
+    #[test]
+    fn dense_placement_moves_steals_into_shared_domains() {
+        use crate::{VictimPolicy, WorkerPlacement};
+        use hermes_telemetry::{RingSink, TelemetrySink};
+        use std::sync::Arc;
+        let dag = quick_dag();
+        let fraction = |victim: VictimPolicy| -> f64 {
+            let sink = Arc::new(RingSink::new(4));
+            let cfg = SimConfig::new(MachineSpec::system_b(), tempo_b(Policy::Unified, 4))
+                .with_placement(WorkerPlacement::Dense)
+                .with_victim_policy(victim)
+                .with_telemetry(Arc::clone(&sink) as Arc<dyn TelemetrySink>);
+            let r = run(&dag, &cfg).unwrap();
+            let report = sink
+                .report("dense", "sim", r.elapsed.seconds(), r.energy_j)
+                .with_steal_distances(&cfg.worker_distances().unwrap());
+            assert_eq!(report.steal_distance_total(), r.sched.steals);
+            report.same_domain_steal_fraction().unwrap()
+        };
+        // Dense System B: workers (0,1) and (2,3) share clock domains.
+        // Nearest-first always probes the sibling before anyone else, so
+        // it must land at least as many same-domain steals as uniform.
+        let uniform = fraction(VictimPolicy::UniformRandom);
+        let nearest = fraction(VictimPolicy::NearestFirst);
+        assert!(
+            nearest >= uniform,
+            "nearest-first {nearest:.3} vs uniform {uniform:.3}"
+        );
+        assert!(
+            nearest > 0.0,
+            "sibling steals must occur under nearest-first"
+        );
+    }
+
+    #[test]
+    fn dense_placement_rejects_more_workers_than_cores() {
+        use crate::WorkerPlacement;
+        let dag = quick_dag();
+        let tempo = TempoConfig::builder()
+            .policy(Policy::Baseline)
+            .frequencies(vec![Frequency::from_mhz(3600), Frequency::from_mhz(2700)])
+            .workers(9)
+            .build();
+        let cfg =
+            SimConfig::new(MachineSpec::system_b(), tempo).with_placement(WorkerPlacement::Dense);
+        assert_eq!(
+            run(&dag, &cfg).unwrap_err(),
+            SimError::TooManyWorkers {
+                workers: 9,
+                domains: 8
+            }
+        );
+        // Dense placement seats up to one worker per core — more than
+        // the distinct-domain limit of 4.
+        let tempo = TempoConfig::builder()
+            .policy(Policy::Baseline)
+            .frequencies(vec![Frequency::from_mhz(3600), Frequency::from_mhz(2700)])
+            .workers(8)
+            .build();
+        let cfg =
+            SimConfig::new(MachineSpec::system_b(), tempo).with_placement(WorkerPlacement::Dense);
+        let r = run(&dag, &cfg).unwrap();
+        assert_eq!(r.sched.cycles, dag.total_cycles());
     }
 
     #[test]

@@ -43,10 +43,13 @@ mod meter;
 mod power;
 mod time;
 
-pub use config::{Mapping, SchedStats, SimConfig, SimReport};
+pub use config::{Mapping, SchedStats, SimConfig, SimReport, WorkerPlacement};
 pub use dag::{Action, DagBuilder, DagSpec, NodeId};
 pub use engine::{run, SimError};
-pub use machine::{CoreId, MachineSpec};
+pub use machine::MachineSpec;
+// The topology model is shared with the real-thread runtime; re-export
+// the pieces sim configurations are written in terms of.
+pub use hermes_topology::{CoreId, Topology, VictimPolicy};
 pub use meter::{MeterSample, PowerMeter, SUPPLY_VOLTS};
 pub use power::PowerModel;
 pub use time::SimTime;

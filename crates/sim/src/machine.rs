@@ -1,33 +1,28 @@
-//! Simulated machine topology: cores, clock domains, frequency tables.
+//! Simulated machine description: shared topology plus frequency tables
+//! and the power model.
 
 use crate::PowerModel;
 use hermes_core::Frequency;
-
-/// Identifier of a physical core in a simulated machine.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct CoreId(pub usize);
-
-impl std::fmt::Display for CoreId {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "c{}", self.0)
-    }
-}
+use hermes_topology::{CoreId, Topology};
 
 /// Static description of a simulated machine.
 ///
-/// Mirrors the paper's two testbeds: cores grouped into clock domains
-/// (on Piledriver/Bulldozer every two cores share one domain — setting
-/// the frequency of one core sets its sibling's too), a discrete table of
-/// supported frequencies, a DVFS transition latency in the tens of
-/// microseconds, and a power model for the meter.
+/// Mirrors the paper's two testbeds: a [`Topology`] (cores grouped into
+/// clock domains — on Piledriver/Bulldozer every two cores share one
+/// domain, so setting the frequency of one core sets its sibling's too —
+/// and domains grouped into packages), a discrete table of supported
+/// frequencies, a DVFS transition latency in the tens of microseconds,
+/// and a power model for the meter.
+///
+/// The topology is the *shared* model from `hermes-topology`: the same
+/// structure the real-thread pool's locality-aware victim selection
+/// consumes, so sim and rt agree on what "near" means.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MachineSpec {
     /// Human-readable name, printed by the bench harness headers.
     pub name: String,
-    /// Total physical cores.
-    pub cores: usize,
-    /// Cores per clock domain (2 on both of the paper's systems).
-    pub cores_per_domain: usize,
+    /// Core / clock-domain / package structure.
+    pub topology: Topology,
     /// Supported frequencies, fastest first.
     pub freq_table: Vec<Frequency>,
     /// Time for a domain to settle on a new operating point; the core
@@ -40,14 +35,13 @@ pub struct MachineSpec {
 
 impl MachineSpec {
     /// The paper's **System A**: 2× 16-core AMD Opteron 6378 (Piledriver),
-    /// 32 cores in 16 independent clock domains, frequencies
-    /// 1.4/1.6/1.9/2.2/2.4 GHz.
+    /// 32 cores in 16 independent clock domains over two sockets,
+    /// frequencies 1.4/1.6/1.9/2.2/2.4 GHz.
     #[must_use]
     pub fn system_a() -> Self {
         MachineSpec {
             name: "System A (2x AMD Opteron 6378, Piledriver)".to_owned(),
-            cores: 32,
-            cores_per_domain: 2,
+            topology: Topology::system_a(),
             freq_table: [2400u64, 2200, 1900, 1600, 1400]
                 .iter()
                 .map(|&m| Frequency::from_mhz(m))
@@ -70,13 +64,12 @@ impl MachineSpec {
     }
 
     /// The paper's **System B**: 8-core AMD FX-8150 (Bulldozer), 4 clock
-    /// domains, frequencies 1.4/2.1/2.7/3.3/3.6 GHz.
+    /// domains in one socket, frequencies 1.4/2.1/2.7/3.3/3.6 GHz.
     #[must_use]
     pub fn system_b() -> Self {
         MachineSpec {
             name: "System B (AMD FX-8150, Bulldozer)".to_owned(),
-            cores: 8,
-            cores_per_domain: 2,
+            topology: Topology::system_b(),
             freq_table: [3600u64, 3300, 2700, 2100, 1400]
                 .iter()
                 .map(|&m| Frequency::from_mhz(m))
@@ -96,25 +89,28 @@ impl MachineSpec {
         }
     }
 
+    /// Total physical cores.
+    #[must_use]
+    pub fn cores(&self) -> usize {
+        self.topology.cores()
+    }
+
     /// Number of independent clock domains.
     #[must_use]
     pub fn domains(&self) -> usize {
-        self.cores.div_ceil(self.cores_per_domain)
+        self.topology.domains()
     }
 
     /// The clock domain of `core`.
     #[must_use]
     pub fn domain_of(&self, core: CoreId) -> usize {
-        core.0 / self.cores_per_domain
+        self.topology.domain_of(core)
     }
 
     /// All cores in clock domain `d`.
     #[must_use]
     pub fn cores_in_domain(&self, d: usize) -> Vec<CoreId> {
-        (0..self.cores)
-            .filter(|&c| c / self.cores_per_domain == d)
-            .map(CoreId)
-            .collect()
+        self.topology.cores_in_domain(d)
     }
 
     /// The first core of each clock domain — the placement the paper uses
@@ -123,9 +119,7 @@ impl MachineSpec {
     /// with distinct clock domains").
     #[must_use]
     pub fn distinct_domain_cores(&self) -> Vec<CoreId> {
-        (0..self.domains())
-            .map(|d| CoreId(d * self.cores_per_domain))
-            .collect()
+        self.topology.distinct_domain_cores()
     }
 
     /// Fastest supported frequency.
@@ -146,12 +140,7 @@ impl MachineSpec {
     ///
     /// Returns a description of the first problem found.
     pub fn validate(&self) -> Result<(), String> {
-        if self.cores == 0 {
-            return Err("machine must have at least one core".into());
-        }
-        if self.cores_per_domain == 0 {
-            return Err("cores_per_domain must be positive".into());
-        }
+        self.topology.validate()?;
         if self.freq_table.is_empty() {
             return Err("frequency table must not be empty".into());
         }
@@ -169,8 +158,9 @@ mod tests {
     #[test]
     fn system_a_matches_paper() {
         let a = MachineSpec::system_a();
-        assert_eq!(a.cores, 32);
+        assert_eq!(a.cores(), 32);
         assert_eq!(a.domains(), 16);
+        assert_eq!(a.topology.packages(), 2, "two Opteron sockets");
         assert_eq!(a.freq_table.len(), 5);
         assert_eq!(a.fastest(), Frequency::from_mhz(2400));
         assert!(a.supports(Frequency::from_mhz(1900)));
@@ -183,8 +173,9 @@ mod tests {
     #[test]
     fn system_b_matches_paper() {
         let b = MachineSpec::system_b();
-        assert_eq!(b.cores, 8);
+        assert_eq!(b.cores(), 8);
         assert_eq!(b.domains(), 4);
+        assert_eq!(b.topology.packages(), 1, "one FX-8150 socket");
         assert_eq!(b.fastest(), Frequency::from_mhz(3600));
         assert_eq!(b.distinct_domain_cores().len(), 4);
         b.validate().unwrap();
@@ -216,7 +207,7 @@ mod tests {
         m.freq_table.clear();
         assert!(m.validate().is_err());
         let mut m2 = MachineSpec::system_a();
-        m2.cores = 0;
+        m2.topology = hermes_topology::Topology::from_parts(vec![], vec![]);
         assert!(m2.validate().is_err());
     }
 
@@ -225,7 +216,7 @@ mod tests {
         // Keep the calibration honest: full-load power within a sane band
         // around the real parts' TDP.
         let a = MachineSpec::system_a();
-        let full_a: f64 = (0..a.cores)
+        let full_a: f64 = (0..a.cores())
             .map(|_| a.power.busy_power(a.fastest()))
             .sum::<f64>()
             + a.power.package_static;
@@ -234,7 +225,7 @@ mod tests {
             "System A full load {full_a:.0} W (2 sockets x 115 W TDP ballpark)"
         );
         let b = MachineSpec::system_b();
-        let full_b: f64 = (0..b.cores)
+        let full_b: f64 = (0..b.cores())
             .map(|_| b.power.busy_power(b.fastest()))
             .sum::<f64>()
             + b.power.package_static;

@@ -106,7 +106,10 @@ impl PowerMeter {
     #[must_use]
     pub fn energy_joules(&self) -> f64 {
         let dt = self.period.seconds();
-        self.samples.iter().map(|s| s.amps * SUPPLY_VOLTS * dt).sum()
+        self.samples
+            .iter()
+            .map(|s| s.amps * SUPPLY_VOLTS * dt)
+            .sum()
     }
 
     /// Mean rail power over the recording, watts.

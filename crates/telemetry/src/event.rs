@@ -124,9 +124,7 @@ impl Event {
             Event::TempoTransition { kind, level } => {
                 (TAG_TEMPO << TAG_SHIFT) | (kind_code(kind) << 32) | u64::from(level)
             }
-            Event::DvfsActuation { freq_khz } => {
-                (TAG_DVFS << TAG_SHIFT) | freq_khz.min(FREQ_MASK)
-            }
+            Event::DvfsActuation { freq_khz } => (TAG_DVFS << TAG_SHIFT) | freq_khz.min(FREQ_MASK),
             Event::EnergySample { microjoules } => {
                 (TAG_ENERGY << TAG_SHIFT) | microjoules.min(PAYLOAD_MASK)
             }
@@ -165,7 +163,9 @@ impl Event {
                 })
             }
             TAG_DVFS => Some(Event::DvfsActuation { freq_khz: payload }),
-            TAG_ENERGY => Some(Event::EnergySample { microjoules: payload }),
+            TAG_ENERGY => Some(Event::EnergySample {
+                microjoules: payload,
+            }),
             _ => None,
         }
     }
@@ -206,8 +206,12 @@ mod tests {
                 kind: TransitionKind::WorkloadDown,
                 level: 1,
             },
-            Event::DvfsActuation { freq_khz: 2_400_000 },
-            Event::EnergySample { microjoules: 123_456_789 },
+            Event::DvfsActuation {
+                freq_khz: 2_400_000,
+            },
+            Event::EnergySample {
+                microjoules: 123_456_789,
+            },
         ];
         for ev in events {
             assert_eq!(Event::decode(ev.encode()), Some(ev), "{ev:?}");
@@ -233,7 +237,12 @@ mod tests {
                 other => panic!("unexpected {other:?}"),
             }
         }
-        match Event::decode(Event::EnergySample { microjoules: u64::MAX }.encode()) {
+        match Event::decode(
+            Event::EnergySample {
+                microjoules: u64::MAX,
+            }
+            .encode(),
+        ) {
             Some(Event::EnergySample { microjoules }) => assert_eq!(microjoules, PAYLOAD_MASK),
             other => panic!("unexpected {other:?}"),
         }

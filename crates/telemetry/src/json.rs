@@ -445,7 +445,10 @@ impl Parser<'_> {
                     // byte stream is valid UTF-8).
                     let rest = &self.bytes[self.pos..];
                     let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
-                    let c = s.chars().next().ok_or_else(|| self.err("unterminated string"))?;
+                    let c = s
+                        .chars()
+                        .next()
+                        .ok_or_else(|| self.err("unterminated string"))?;
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -521,7 +524,9 @@ mod tests {
         round_trip(&Value::Num(1.5e-12));
         round_trip(&Value::Num(9_007_199_254_740_992.0));
         round_trip(&Value::Str("plain".into()));
-        round_trip(&Value::Str("quotes \" and \\ and\nnewlines\tтабы 🎉".into()));
+        round_trip(&Value::Str(
+            "quotes \" and \\ and\nnewlines\tтабы 🎉".into(),
+        ));
     }
 
     #[test]
@@ -531,10 +536,7 @@ mod tests {
         round_trip(&Value::obj(vec![
             ("a", Value::Num(1.0)),
             ("b", Value::Arr(vec![Value::Null, Value::Bool(false)])),
-            (
-                "nested",
-                Value::obj(vec![("x", Value::Str("y".into()))]),
-            ),
+            ("nested", Value::obj(vec![("x", Value::Str("y".into()))])),
         ]));
     }
 
@@ -585,8 +587,17 @@ mod tests {
     #[test]
     fn malformed_inputs_error_with_offsets() {
         for bad in [
-            "", "{", "[1,", "{\"a\" 1}", "tru", "\"unterminated", "01a", "[1] garbage",
-            "{\"a\":}", "nul", "\"bad \\q escape\"",
+            "",
+            "{",
+            "[1,",
+            "{\"a\" 1}",
+            "tru",
+            "\"unterminated",
+            "01a",
+            "[1] garbage",
+            "{\"a\":}",
+            "nul",
+            "\"bad \\q escape\"",
         ] {
             let e = Value::parse(bad).unwrap_err();
             assert!(!e.message.is_empty(), "{bad:?} -> {e}");

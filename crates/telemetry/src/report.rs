@@ -107,6 +107,13 @@ pub struct RunReport {
     pub per_worker: Vec<WorkerTelemetry>,
     /// `steal_matrix[thief][victim]` = successful steals.
     pub steal_matrix: Vec<Vec<u64>>,
+    /// Successful steals bucketed by steal distance:
+    /// `steal_distance_hist[d]` counts the steals whose thief/victim pair
+    /// sits at distance `d` (hermes-topology metric: 0 = same core,
+    /// 1 = same clock domain, 2 = same package, 3 = cross-package).
+    /// Empty when the host attached no topology — see
+    /// [`with_steal_distances`](Self::with_steal_distances).
+    pub steal_distance_hist: Vec<u64>,
 }
 
 impl RunReport {
@@ -132,6 +139,65 @@ impl RunReport {
     #[must_use]
     pub fn transition_mix(&self) -> TransitionMix {
         self.totals().transitions
+    }
+
+    /// Derive [`steal_distance_hist`](Self::steal_distance_hist) from the
+    /// steal matrix and a worker-to-worker distance matrix (see
+    /// `hermes_topology::Topology::worker_distances`). The histogram
+    /// always partitions the matrix exactly: its total equals the total
+    /// successful steals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `distances` is not a `workers × workers` square — the
+    /// host attached a matrix for a different worker layout.
+    #[must_use]
+    pub fn with_steal_distances(mut self, distances: &[Vec<u32>]) -> Self {
+        assert_eq!(
+            distances.len(),
+            self.workers,
+            "distance matrix is for {} workers, report has {}",
+            distances.len(),
+            self.workers
+        );
+        let max_d = distances
+            .iter()
+            .inspect(|row| {
+                assert_eq!(row.len(), self.workers, "distance matrix must be square");
+            })
+            .flatten()
+            .copied()
+            .max()
+            .unwrap_or(0) as usize;
+        let mut hist = vec![0u64; max_d + 1];
+        for (t, row) in self.steal_matrix.iter().enumerate() {
+            for (v, &count) in row.iter().enumerate() {
+                hist[distances[t][v] as usize] += count;
+            }
+        }
+        self.steal_distance_hist = hist;
+        self
+    }
+
+    /// Total steals in the distance histogram (equals total successful
+    /// steals once [`with_steal_distances`](Self::with_steal_distances)
+    /// ran).
+    #[must_use]
+    pub fn steal_distance_total(&self) -> u64 {
+        self.steal_distance_hist.iter().sum()
+    }
+
+    /// Fraction of successful steals whose victim shared the thief's
+    /// clock domain (steal distance ≤ 1). `None` without a distance
+    /// histogram or without any successful steal.
+    #[must_use]
+    pub fn same_domain_steal_fraction(&self) -> Option<f64> {
+        let total = self.steal_distance_total();
+        if self.steal_distance_hist.is_empty() || total == 0 {
+            return None;
+        }
+        let near: u64 = self.steal_distance_hist.iter().take(2).sum();
+        Some(near as f64 / total as f64)
     }
 
     /// Serialize to pretty-printed JSON.
@@ -161,9 +227,16 @@ impl RunReport {
                 Value::Arr(
                     self.steal_matrix
                         .iter()
-                        .map(|row| {
-                            Value::Arr(row.iter().map(|&n| Value::Num(n as f64)).collect())
-                        })
+                        .map(|row| Value::Arr(row.iter().map(|&n| Value::Num(n as f64)).collect()))
+                        .collect(),
+                ),
+            ),
+            (
+                "steal_distance_hist",
+                Value::Arr(
+                    self.steal_distance_hist
+                        .iter()
+                        .map(|&n| Value::Num(n as f64))
                         .collect(),
                 ),
             ),
@@ -199,7 +272,10 @@ impl RunReport {
         let schema = field("schema")?.as_str().ok_or_else(|| bad("schema"))?;
         if schema != Self::SCHEMA {
             return Err(JsonError {
-                message: format!("unsupported schema '{schema}' (expected '{}')", Self::SCHEMA),
+                message: format!(
+                    "unsupported schema '{schema}' (expected '{}')",
+                    Self::SCHEMA
+                ),
                 offset: 0,
             });
         }
@@ -222,6 +298,17 @@ impl RunReport {
                     .collect::<Result<Vec<u64>, _>>()
             })
             .collect::<Result<_, _>>()?;
+        // Absent in pre-topology artifacts (the field arrived after
+        // hermes-run-report/v1 shipped): default to "no histogram".
+        let steal_distance_hist: Vec<u64> = match v.get("steal_distance_hist") {
+            None => Vec::new(),
+            Some(h) => h
+                .as_arr()
+                .ok_or_else(|| bad("steal_distance_hist"))?
+                .iter()
+                .map(|n| n.as_u64().ok_or_else(|| bad("steal_distance_hist entry")))
+                .collect::<Result<_, _>>()?,
+        };
         if per_worker.len() != workers
             || steal_matrix.len() != workers
             || steal_matrix.iter().any(|row| row.len() != workers)
@@ -233,19 +320,25 @@ impl RunReport {
         }
         Ok(RunReport {
             schema: schema.to_string(),
-            label: field("label")?.as_str().ok_or_else(|| bad("label"))?.to_string(),
+            label: field("label")?
+                .as_str()
+                .ok_or_else(|| bad("label"))?
+                .to_string(),
             executor: field("executor")?
                 .as_str()
                 .ok_or_else(|| bad("executor"))?
                 .to_string(),
             workers,
-            elapsed_s: field("elapsed_s")?.as_f64().ok_or_else(|| bad("elapsed_s"))?,
+            elapsed_s: field("elapsed_s")?
+                .as_f64()
+                .ok_or_else(|| bad("elapsed_s"))?,
             energy_j: field("energy_j")?.as_f64().ok_or_else(|| bad("energy_j"))?,
             machine_energy_j: field("machine_energy_j")?
                 .as_f64()
                 .ok_or_else(|| bad("machine_energy_j"))?,
             per_worker,
             steal_matrix,
+            steal_distance_hist,
         })
     }
 }
@@ -257,7 +350,10 @@ fn worker_to_value(w: &WorkerTelemetry) -> Value {
         ("lost_race_steals", Value::Num(w.lost_race_steals as f64)),
         ("path_downs", Value::Num(w.transitions.path_downs as f64)),
         ("relay_ups", Value::Num(w.transitions.relay_ups as f64)),
-        ("workload_ups", Value::Num(w.transitions.workload_ups as f64)),
+        (
+            "workload_ups",
+            Value::Num(w.transitions.workload_ups as f64),
+        ),
         (
             "workload_downs",
             Value::Num(w.transitions.workload_downs as f64),
@@ -334,6 +430,7 @@ mod tests {
                 },
             ],
             steal_matrix: vec![vec![0, 10], vec![5, 0]],
+            steal_distance_hist: Vec::new(),
         }
     }
 
@@ -384,6 +481,51 @@ mod tests {
         assert!((a.max_fraction_distance(&b) - b.max_fraction_distance(&a)).abs() < 1e-12);
         assert!(a.max_fraction_distance(&b) > 0.5);
         assert_eq!(TransitionMix::default().fractions(), [0.0; 4]);
+    }
+
+    #[test]
+    fn distance_histogram_partitions_the_matrix() {
+        // sample(): worker 0 stole 10 from 1, worker 1 stole 5 from 0.
+        // Same-domain layout (distance 1 both ways):
+        let near = vec![vec![0, 1], vec![1, 0]];
+        let r = sample().with_steal_distances(&near);
+        assert_eq!(r.steal_distance_hist, vec![0, 15]);
+        assert_eq!(r.steal_distance_total(), r.totals().steals);
+        assert_eq!(r.same_domain_steal_fraction(), Some(1.0));
+        // Cross-package layout: everything lands in bucket 3.
+        let far = vec![vec![0, 3], vec![3, 0]];
+        let r = sample().with_steal_distances(&far);
+        assert_eq!(r.steal_distance_hist, vec![0, 0, 0, 15]);
+        assert_eq!(r.same_domain_steal_fraction(), Some(0.0));
+        // The histogram survives the JSON codec.
+        let parsed = RunReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn missing_histogram_defaults_to_empty() {
+        // Pre-topology artifacts have no steal_distance_hist field.
+        let Value::Obj(pairs) = sample().to_value() else {
+            panic!("reports serialize as objects");
+        };
+        let stripped = Value::Obj(
+            pairs
+                .into_iter()
+                .filter(|(k, _)| k != "steal_distance_hist")
+                .collect(),
+        );
+        let json = stripped.to_string_pretty();
+        assert!(!json.contains("steal_distance_hist"));
+        let parsed = RunReport::from_json(&json).unwrap();
+        assert!(parsed.steal_distance_hist.is_empty());
+        assert_eq!(parsed.same_domain_steal_fraction(), None);
+        assert_eq!(parsed.steal_distance_total(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "distance matrix")]
+    fn wrong_shape_distance_matrix_panics() {
+        let _ = sample().with_steal_distances(&[vec![0, 1, 2]]);
     }
 
     #[test]

@@ -285,6 +285,7 @@ impl RingSink {
             machine_energy_j: machine.energy_j,
             per_worker,
             steal_matrix,
+            steal_distance_hist: Vec::new(),
         }
     }
 }
@@ -368,12 +369,26 @@ mod tests {
                 level: 0,
             },
         );
-        sink.record(1, 0, Event::DvfsActuation { freq_khz: 1_600_000 });
-        sink.record(2, 0, Event::EnergySample { microjoules: 2_500_000 });
+        sink.record(
+            1,
+            0,
+            Event::DvfsActuation {
+                freq_khz: 1_600_000,
+            },
+        );
+        sink.record(
+            2,
+            0,
+            Event::EnergySample {
+                microjoules: 2_500_000,
+            },
+        );
         sink.record(
             MACHINE_STREAM,
             0,
-            Event::EnergySample { microjoules: 7_000_000 },
+            Event::EnergySample {
+                microjoules: 7_000_000,
+            },
         );
 
         let report = sink.report("unit", "test", 1.0, 9.5);

@@ -151,6 +151,7 @@ proptest! {
             steal_matrix: (0..workers)
                 .map(|i| (0..workers).map(|j| if i == j { 0 } else { steals[j] }).collect())
                 .collect(),
+            steal_distance_hist: steals.iter().map(|&s| s % 97).collect(),
         };
         let parsed = RunReport::from_json(&report.to_json()).unwrap();
         prop_assert_eq!(parsed, report);

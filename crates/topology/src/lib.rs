@@ -1,0 +1,415 @@
+//! # hermes-topology
+//!
+//! The shared machine-topology model of the HERMES reproduction.
+//!
+//! Both execution layers care about *where* workers sit: the simulator
+//! models the paper's two AMD testbeds (cores paired into clock domains,
+//! domains grouped into packages), and the real-thread pool wants to
+//! prefer *nearby* victims when it steals (PAPERS.md: *On the Efficiency
+//! of Localized Work Stealing*, Suksompong, Leiserson & Schardl). Before
+//! this crate existed only the simulator knew about domains; this is the
+//! single model both layers now share.
+//!
+//! Three pieces:
+//!
+//! * [`Topology`] — cores grouped into clock domains, domains into
+//!   packages, with an integer **steal distance** between any two cores
+//!   (0 = same core, 1 = same clock domain, 2 = same package,
+//!   3 = cross-package).
+//! * [`VictimSelector`] — the pluggable steal-order policy, with three
+//!   implementations: [`UniformRandom`] (the classic random ring sweep,
+//!   bit-for-bit identical to the pre-topology schedulers under a fixed
+//!   seed), [`NearestFirst`] (ring sweep by ascending distance), and
+//!   [`DistanceWeighted`] (probabilistic, victims drawn with probability
+//!   decaying geometrically in distance, per the localized-work-stealing
+//!   model).
+//! * [`discover`] — sysfs-backed discovery of the host machine's
+//!   topology from `/sys/devices/system/cpu/cpu*/topology`, testable
+//!   against fake roots like the runtime's cpufreq driver.
+//!
+//! ```
+//! use hermes_topology::{CoreId, Topology};
+//! let b = Topology::system_b();
+//! assert_eq!(b.cores(), 8);
+//! assert_eq!(b.domains(), 4);
+//! assert_eq!(b.distance(CoreId(0), CoreId(1)), 1); // siblings share a domain
+//! assert_eq!(b.distance(CoreId(0), CoreId(2)), 2); // same package
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod select;
+mod sysfs;
+
+pub use select::{
+    DistanceWeighted, NearestFirst, UniformRandom, VictimPolicy, VictimSelector, DEFAULT_DECAY,
+};
+pub use sysfs::{discover, discover_with_root, TopologyError};
+
+/// Identifier of a physical core in a machine topology.
+///
+/// (Previously defined by `hermes-sim`; it moved here so the runtime and
+/// the simulator agree on what a core is.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CoreId(pub usize);
+
+impl std::fmt::Display for CoreId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// The maximum value [`Topology::distance`] can return. Steal-distance
+/// histograms have at most `MAX_DISTANCE + 1` buckets — hosts size them
+/// to the largest distance their placement can actually produce (a
+/// single-package machine tops out at distance 2), so index by the
+/// histogram's own length, not by this constant.
+pub const MAX_DISTANCE: u32 = 3;
+
+/// Static description of a machine's core/domain/package structure.
+///
+/// * A **clock domain** is the unit of DVFS: setting the frequency of one
+///   core in a domain sets its siblings' too (two cores per domain on
+///   both of the paper's AMD systems).
+/// * A **package** is a socket: stealing across packages crosses the
+///   interconnect and is the most expensive distance class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    /// Clock-domain id of each core, indexed by core id.
+    core_domain: Vec<usize>,
+    /// Package id of each clock domain, indexed by domain id.
+    domain_package: Vec<usize>,
+}
+
+impl Topology {
+    /// A regular topology: `cores` cores filled into domains of
+    /// `cores_per_domain`, domains filled into packages of
+    /// `domains_per_package` (the last domain/package may be partial).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any argument is zero.
+    #[must_use]
+    pub fn uniform(cores: usize, cores_per_domain: usize, domains_per_package: usize) -> Self {
+        assert!(cores > 0, "a machine has at least one core");
+        assert!(cores_per_domain > 0, "cores_per_domain must be positive");
+        assert!(
+            domains_per_package > 0,
+            "domains_per_package must be positive"
+        );
+        let core_domain: Vec<usize> = (0..cores).map(|c| c / cores_per_domain).collect();
+        let domains = cores.div_ceil(cores_per_domain);
+        let domain_package = (0..domains).map(|d| d / domains_per_package).collect();
+        Topology {
+            core_domain,
+            domain_package,
+        }
+    }
+
+    /// A degenerate topology where every core is its own clock domain and
+    /// all cores share one package — the neutral default for hosts that
+    /// know nothing about their machine (everything is distance 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    #[must_use]
+    pub fn flat(cores: usize) -> Self {
+        Topology::uniform(cores, 1, cores)
+    }
+
+    /// Build from explicit per-core domain ids and per-domain package
+    /// ids. Unlike [`uniform`](Self::uniform) this accepts inconsistent
+    /// shapes, which [`validate`](Self::validate) then reports — the
+    /// constructor for loaders and tests.
+    #[must_use]
+    pub fn from_parts(core_domain: Vec<usize>, domain_package: Vec<usize>) -> Self {
+        Topology {
+            core_domain,
+            domain_package,
+        }
+    }
+
+    /// The paper's **System A** shape: 2× 16-core AMD Opteron 6378
+    /// (Piledriver) — 32 cores, 2 per clock domain, 8 domains per socket.
+    #[must_use]
+    pub fn system_a() -> Self {
+        Topology::uniform(32, 2, 8)
+    }
+
+    /// The paper's **System B** shape: AMD FX-8150 (Bulldozer) — 8 cores,
+    /// 2 per clock domain, one socket.
+    #[must_use]
+    pub fn system_b() -> Self {
+        Topology::uniform(8, 2, 4)
+    }
+
+    /// Total physical cores.
+    #[must_use]
+    pub fn cores(&self) -> usize {
+        self.core_domain.len()
+    }
+
+    /// Number of independent clock domains.
+    #[must_use]
+    pub fn domains(&self) -> usize {
+        self.domain_package.len()
+    }
+
+    /// Number of distinct packages (sockets). Package ids need not be
+    /// dense ([`from_parts`](Self::from_parts) loaders may carry raw
+    /// sysfs ids), so this counts distinct values, not `max + 1`.
+    #[must_use]
+    pub fn packages(&self) -> usize {
+        let mut ids: Vec<usize> = self.domain_package.clone();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.len()
+    }
+
+    /// The clock domain of `core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    #[must_use]
+    pub fn domain_of(&self, core: CoreId) -> usize {
+        self.core_domain[core.0]
+    }
+
+    /// The package of `core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    #[must_use]
+    pub fn package_of(&self, core: CoreId) -> usize {
+        self.domain_package[self.core_domain[core.0]]
+    }
+
+    /// All cores in clock domain `d`, ascending.
+    #[must_use]
+    pub fn cores_in_domain(&self, d: usize) -> Vec<CoreId> {
+        (0..self.cores())
+            .filter(|&c| self.core_domain[c] == d)
+            .map(CoreId)
+            .collect()
+    }
+
+    /// The first core of each clock domain — the placement the paper uses
+    /// so no two workers share a domain ("all our experiments are
+    /// performed over cores with distinct clock domains").
+    #[must_use]
+    pub fn distinct_domain_cores(&self) -> Vec<CoreId> {
+        let mut seen = vec![false; self.domains()];
+        let mut picked = Vec::with_capacity(self.domains());
+        for c in 0..self.cores() {
+            let d = self.core_domain[c];
+            if !seen[d] {
+                seen[d] = true;
+                picked.push(CoreId(c));
+            }
+        }
+        picked
+    }
+
+    /// The **steal distance** between two cores: 0 on the same core, 1
+    /// within a clock domain, 2 within a package, [`MAX_DISTANCE`] across
+    /// packages. The integer metric every [`VictimSelector`] and every
+    /// steal-distance histogram is expressed in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either core is out of range.
+    #[must_use]
+    pub fn distance(&self, a: CoreId, b: CoreId) -> u32 {
+        if a == b {
+            return 0;
+        }
+        let (da, db) = (self.core_domain[a.0], self.core_domain[b.0]);
+        if da == db {
+            return 1;
+        }
+        if self.domain_package[da] == self.domain_package[db] {
+            return 2;
+        }
+        MAX_DISTANCE
+    }
+
+    /// The worker-to-worker distance matrix induced by placing worker `i`
+    /// on `placement[i]` — what the victim selectors and the telemetry
+    /// histogram consume.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any placed core is out of range.
+    #[must_use]
+    pub fn worker_distances(&self, placement: &[CoreId]) -> Vec<Vec<u32>> {
+        placement
+            .iter()
+            .map(|&a| placement.iter().map(|&b| self.distance(a, b)).collect())
+            .collect()
+    }
+
+    /// One-line shape summary (`"8 cores / 4 domains / 1 package"`).
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "{} cores / {} domains / {} package{}",
+            self.cores(),
+            self.domains(),
+            self.packages(),
+            if self.packages() == 1 { "" } else { "s" }
+        )
+    }
+
+    /// Validate internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first problem found: no cores, a core
+    /// pointing at a nonexistent domain, or an empty domain table.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.core_domain.is_empty() {
+            return Err("machine must have at least one core".into());
+        }
+        if self.domain_package.is_empty() {
+            return Err("machine must have at least one clock domain".into());
+        }
+        for (c, &d) in self.core_domain.iter().enumerate() {
+            if d >= self.domain_package.len() {
+                return Err(format!(
+                    "core {c} is in domain {d}, but only {} domains exist",
+                    self.domain_package.len()
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_shapes_match_paper() {
+        let a = Topology::system_a();
+        assert_eq!(a.cores(), 32);
+        assert_eq!(a.domains(), 16);
+        assert_eq!(a.packages(), 2);
+        assert_eq!(a.distinct_domain_cores().len(), 16);
+        a.validate().unwrap();
+        let b = Topology::system_b();
+        assert_eq!(b.cores(), 8);
+        assert_eq!(b.domains(), 4);
+        assert_eq!(b.packages(), 1);
+        b.validate().unwrap();
+        assert_eq!(b.summary(), "8 cores / 4 domains / 1 package");
+    }
+
+    #[test]
+    fn distance_metric_classes() {
+        let a = Topology::system_a();
+        assert_eq!(a.distance(CoreId(0), CoreId(0)), 0);
+        assert_eq!(a.distance(CoreId(0), CoreId(1)), 1, "domain siblings");
+        assert_eq!(a.distance(CoreId(0), CoreId(2)), 2, "same package");
+        assert_eq!(a.distance(CoreId(0), CoreId(16)), 3, "cross package");
+        // Symmetry.
+        for x in [0usize, 1, 5, 17, 31] {
+            for y in [0usize, 2, 16, 30] {
+                assert_eq!(
+                    a.distance(CoreId(x), CoreId(y)),
+                    a.distance(CoreId(y), CoreId(x))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn flat_topology_is_all_distance_two() {
+        let t = Topology::flat(4);
+        assert_eq!(t.domains(), 4);
+        assert_eq!(t.packages(), 1);
+        for i in 0..4 {
+            for j in 0..4 {
+                let expect = if i == j { 0 } else { 2 };
+                assert_eq!(t.distance(CoreId(i), CoreId(j)), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn domain_and_package_lookup() {
+        let b = Topology::system_b();
+        assert_eq!(b.domain_of(CoreId(0)), 0);
+        assert_eq!(b.domain_of(CoreId(1)), 0);
+        assert_eq!(b.domain_of(CoreId(2)), 1);
+        assert_eq!(b.package_of(CoreId(7)), 0);
+        assert_eq!(b.cores_in_domain(1), vec![CoreId(2), CoreId(3)]);
+        let a = Topology::system_a();
+        assert_eq!(a.package_of(CoreId(15)), 0);
+        assert_eq!(a.package_of(CoreId(16)), 1);
+    }
+
+    #[test]
+    fn distinct_domain_cores_share_no_domain() {
+        let a = Topology::system_a();
+        let picked = a.distinct_domain_cores();
+        let mut domains: Vec<_> = picked.iter().map(|&c| a.domain_of(c)).collect();
+        domains.dedup();
+        assert_eq!(domains.len(), picked.len());
+    }
+
+    #[test]
+    fn worker_distance_matrix_follows_placement() {
+        let b = Topology::system_b();
+        // Distinct-domain placement: no pair shares a domain.
+        let distinct = b.distinct_domain_cores();
+        let m = b.worker_distances(&distinct[..4]);
+        for (i, row) in m.iter().enumerate() {
+            for (j, &d) in row.iter().enumerate() {
+                assert_eq!(d, if i == j { 0 } else { 2 });
+            }
+        }
+        // Dense placement: adjacent pairs are domain siblings.
+        let dense: Vec<CoreId> = (0..4).map(CoreId).collect();
+        let m = b.worker_distances(&dense);
+        assert_eq!(m[0][1], 1);
+        assert_eq!(m[0][2], 2);
+        assert_eq!(m[2][3], 1);
+    }
+
+    #[test]
+    fn validate_catches_bad_shapes() {
+        assert!(Topology::from_parts(vec![], vec![]).validate().is_err());
+        assert!(Topology::from_parts(vec![0], vec![]).validate().is_err());
+        assert!(Topology::from_parts(vec![0, 5], vec![0])
+            .validate()
+            .is_err());
+        Topology::from_parts(vec![0, 0, 1], vec![0, 0])
+            .validate()
+            .unwrap();
+    }
+
+    #[test]
+    fn sparse_package_ids_count_distinct() {
+        // Raw (non-dense) package ids, as a loader might carry them.
+        let t = Topology::from_parts(vec![0, 0, 1, 1], vec![2, 7]);
+        t.validate().unwrap();
+        assert_eq!(t.packages(), 2);
+        assert_eq!(t.distance(CoreId(0), CoreId(2)), 3, "different packages");
+    }
+
+    #[test]
+    fn partial_trailing_groups_are_allowed() {
+        // 5 cores, 2 per domain -> 3 domains, the last with one core.
+        let t = Topology::uniform(5, 2, 2);
+        assert_eq!(t.domains(), 3);
+        assert_eq!(t.packages(), 2);
+        assert_eq!(t.cores_in_domain(2), vec![CoreId(4)]);
+        t.validate().unwrap();
+    }
+}

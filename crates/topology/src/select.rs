@@ -1,0 +1,439 @@
+//! Victim selection: the order a thief sweeps its victims in.
+//!
+//! The schedulers (the rt pool's `steal_job`, the sim engine's
+//! `next_task`) used to hard-code one policy — pick a uniformly random
+//! start and walk the worker ring. This module makes the policy
+//! pluggable behind [`VictimSelector`] while keeping the old behaviour
+//! available, unchanged to the bit, as [`UniformRandom`].
+//!
+//! All selectors produce a *full* sweep order over every other worker:
+//! whatever the bias, a thief that keeps failing eventually probes
+//! everyone, so work can never hide from a starving thief behind a
+//! locality preference.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Default geometric decay of [`DistanceWeighted`]: a victim at steal
+/// distance `d` carries weight `DECAY^-d`, so a domain sibling
+/// (distance 1) is 4× likelier to be probed first than a same-package
+/// victim (distance 2) and 16× likelier than a cross-package one.
+pub const DEFAULT_DECAY: f64 = 4.0;
+
+/// A steal-order policy over a fixed set of workers.
+///
+/// Selectors are immutable and shared across worker threads; all
+/// per-sweep randomness comes from the caller's RNG so deterministic
+/// hosts (the simulator) stay deterministic.
+pub trait VictimSelector: Send + Sync + std::fmt::Debug {
+    /// Clear `order` and fill it with the victims thief `thief` should
+    /// probe this sweep, in order, excluding `thief` itself. Called only
+    /// when there are at least two workers.
+    fn sweep(&self, thief: usize, rng: &mut SmallRng, order: &mut Vec<usize>);
+
+    /// Short policy label for reports and tables.
+    fn name(&self) -> &'static str;
+}
+
+/// Which victim-selection policy a scheduler should use — the
+/// configuration-level handle the executors and the bench harness
+/// thread through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VictimPolicy {
+    /// Uniformly random ring sweep (the pre-topology default).
+    #[default]
+    UniformRandom,
+    /// Ring sweep by ascending steal distance.
+    NearestFirst,
+    /// Probabilistic sweep, victims drawn ∝ `DECAY^-distance`.
+    DistanceWeighted,
+}
+
+impl VictimPolicy {
+    /// All policies, in ablation-table order.
+    #[must_use]
+    pub fn all() -> [VictimPolicy; 3] {
+        [
+            VictimPolicy::UniformRandom,
+            VictimPolicy::NearestFirst,
+            VictimPolicy::DistanceWeighted,
+        ]
+    }
+
+    /// Stable label for tables and artifact keys.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            VictimPolicy::UniformRandom => "uniform-random",
+            VictimPolicy::NearestFirst => "nearest-first",
+            VictimPolicy::DistanceWeighted => "distance-weighted",
+        }
+    }
+
+    /// Parse a [`label`](Self::label) back into a policy.
+    #[must_use]
+    pub fn from_label(label: &str) -> Option<VictimPolicy> {
+        VictimPolicy::all().into_iter().find(|p| p.label() == label)
+    }
+
+    /// Build the selector for a concrete worker layout, given the
+    /// worker-to-worker distance matrix (see
+    /// [`Topology::worker_distances`](crate::Topology::worker_distances)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `distances` is not square.
+    #[must_use]
+    pub fn selector(self, distances: &[Vec<u32>]) -> Box<dyn VictimSelector> {
+        match self {
+            VictimPolicy::UniformRandom => Box::new(UniformRandom::new(distances.len())),
+            VictimPolicy::NearestFirst => Box::new(NearestFirst::new(distances)),
+            VictimPolicy::DistanceWeighted => {
+                Box::new(DistanceWeighted::new(distances, DEFAULT_DECAY))
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for VictimPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The classic policy: pick a uniformly random ring start, walk the ring
+/// once, skip yourself.
+///
+/// Reproduces the schedulers' historical behaviour **bit for bit**: one
+/// `gen_range(0..n)` per sweep and the same resulting victim order, so a
+/// seeded run before and after the topology refactor produces identical
+/// schedules (the `sweep --smoke` baseline artifact is the proof).
+#[derive(Debug)]
+pub struct UniformRandom {
+    workers: usize,
+}
+
+impl UniformRandom {
+    /// Selector for `workers` workers.
+    #[must_use]
+    pub fn new(workers: usize) -> Self {
+        UniformRandom { workers }
+    }
+}
+
+impl VictimSelector for UniformRandom {
+    fn sweep(&self, thief: usize, rng: &mut SmallRng, order: &mut Vec<usize>) {
+        order.clear();
+        let n = self.workers;
+        let start = rng.gen_range(0..n);
+        for i in 0..n {
+            let v = (start + i) % n;
+            if v != thief {
+                order.push(v);
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "uniform-random"
+    }
+}
+
+/// Ring-by-distance: victims grouped into rings of equal steal distance,
+/// nearest ring first; within a ring the sweep starts at a random
+/// rotation (so equidistant victims still share the load uniformly).
+#[derive(Debug)]
+pub struct NearestFirst {
+    /// `rings[thief]` = non-empty victim groups, ascending distance.
+    rings: Vec<Vec<Vec<usize>>>,
+}
+
+impl NearestFirst {
+    /// Selector for the given worker distance matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `distances` is not square.
+    #[must_use]
+    pub fn new(distances: &[Vec<u32>]) -> Self {
+        let n = distances.len();
+        let rings = (0..n)
+            .map(|t| {
+                assert_eq!(distances[t].len(), n, "distance matrix must be square");
+                let mut by_distance: Vec<(u32, usize)> = (0..n)
+                    .filter(|&v| v != t)
+                    .map(|v| (distances[t][v], v))
+                    .collect();
+                by_distance.sort_unstable();
+                let mut rings: Vec<Vec<usize>> = Vec::new();
+                let mut last = None;
+                for (d, v) in by_distance {
+                    if last != Some(d) {
+                        rings.push(Vec::new());
+                        last = Some(d);
+                    }
+                    rings.last_mut().expect("just pushed").push(v);
+                }
+                rings
+            })
+            .collect();
+        NearestFirst { rings }
+    }
+}
+
+impl VictimSelector for NearestFirst {
+    fn sweep(&self, thief: usize, rng: &mut SmallRng, order: &mut Vec<usize>) {
+        order.clear();
+        for ring in &self.rings[thief] {
+            let start = rng.gen_range(0..ring.len());
+            for i in 0..ring.len() {
+                order.push(ring[(start + i) % ring.len()]);
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "nearest-first"
+    }
+}
+
+/// Probabilistic distance-weighted selection, after the localized
+/// work-stealing model: each sweep is a weighted draw *without
+/// replacement* where a victim at distance `d` has weight `decay^-d`.
+/// Near victims are probed first most of the time, yet every victim
+/// keeps a nonzero chance of an early probe — the stochastic analogue of
+/// the model's biased steal distribution, and unlike [`NearestFirst`] it
+/// cannot synchronize thieves onto the same nearest victim.
+#[derive(Debug)]
+pub struct DistanceWeighted {
+    /// `candidates[thief]` = (victim, weight) pairs.
+    candidates: Vec<Vec<(usize, f64)>>,
+    /// Total weight per thief (so a sweep starts without a scan).
+    totals: Vec<f64>,
+}
+
+impl DistanceWeighted {
+    /// Selector for the given worker distance matrix and geometric decay
+    /// (see [`DEFAULT_DECAY`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `distances` is not square or `decay` is not a positive
+    /// finite number.
+    #[must_use]
+    pub fn new(distances: &[Vec<u32>], decay: f64) -> Self {
+        assert!(decay.is_finite() && decay > 0.0, "decay must be positive");
+        let n = distances.len();
+        let candidates: Vec<Vec<(usize, f64)>> = (0..n)
+            .map(|t| {
+                assert_eq!(distances[t].len(), n, "distance matrix must be square");
+                (0..n)
+                    .filter(|&v| v != t)
+                    .map(|v| (v, decay.powi(-(distances[t][v] as i32))))
+                    .collect()
+            })
+            .collect();
+        let totals = candidates
+            .iter()
+            .map(|c| c.iter().map(|&(_, w)| w).sum())
+            .collect();
+        DistanceWeighted { candidates, totals }
+    }
+}
+
+impl VictimSelector for DistanceWeighted {
+    /// Weighted draw without replacement. Zero-allocation like the
+    /// other selectors (the callers reuse `order` across sweeps):
+    /// already-drawn victims are skipped by membership in `order`
+    /// itself, an O(n³) worst case that is cheap at realistic worker
+    /// counts and keeps the steal path free of malloc traffic.
+    fn sweep(&self, thief: usize, rng: &mut SmallRng, order: &mut Vec<usize>) {
+        order.clear();
+        let candidates = &self.candidates[thief];
+        let mut total = self.totals[thief];
+        // Draw all but the last position; the final victim is forced.
+        for _ in 1..candidates.len() {
+            let mut draw = rng.gen::<f64>() * total;
+            let mut picked = None;
+            for &(v, w) in candidates {
+                if order.contains(&v) {
+                    continue;
+                }
+                if draw < w {
+                    picked = Some((v, w));
+                    break;
+                }
+                draw -= w;
+            }
+            // Float drift can push `draw` past the last unused weight;
+            // fall back to the last unused candidate.
+            let (v, w) = picked.unwrap_or_else(|| {
+                candidates
+                    .iter()
+                    .rev()
+                    .find(|(v, _)| !order.contains(v))
+                    .copied()
+                    .expect("an unused candidate remains")
+            });
+            order.push(v);
+            total -= w;
+        }
+        if let Some(&(v, _)) = candidates.iter().find(|(v, _)| !order.contains(v)) {
+            order.push(v);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "distance-weighted"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CoreId, Topology};
+    use rand::SeedableRng;
+
+    fn dense_b(workers: usize) -> Vec<Vec<u32>> {
+        let topo = Topology::system_b();
+        let placement: Vec<CoreId> = (0..workers).map(CoreId).collect();
+        topo.worker_distances(&placement)
+    }
+
+    /// The exact loop the schedulers used before the selector existed.
+    fn legacy_sweep(thief: usize, n: usize, rng: &mut SmallRng) -> Vec<usize> {
+        let start = rng.gen_range(0..n);
+        (0..n)
+            .map(|i| (start + i) % n)
+            .filter(|&v| v != thief)
+            .collect()
+    }
+
+    #[test]
+    fn uniform_random_matches_legacy_bit_for_bit() {
+        for seed in 0..50u64 {
+            let mut a = SmallRng::seed_from_u64(seed);
+            let mut b = SmallRng::seed_from_u64(seed);
+            let sel = UniformRandom::new(8);
+            let mut order = Vec::new();
+            for thief in [0usize, 3, 7] {
+                sel.sweep(thief, &mut a, &mut order);
+                assert_eq!(order, legacy_sweep(thief, 8, &mut b), "seed {seed}");
+                // And the RNG streams stay in lockstep afterwards.
+                assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+            }
+        }
+    }
+
+    fn assert_full_permutation(order: &[usize], thief: usize, n: usize) {
+        assert_eq!(order.len(), n - 1);
+        let mut seen = vec![false; n];
+        for &v in order {
+            assert!(v != thief, "selector must not pick the thief");
+            assert!(!seen[v], "victim {v} listed twice");
+            seen[v] = true;
+        }
+    }
+
+    #[test]
+    fn every_policy_sweeps_every_victim_exactly_once() {
+        let dist = dense_b(6);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut order = Vec::new();
+        for policy in VictimPolicy::all() {
+            let sel = policy.selector(&dist);
+            for thief in 0..6 {
+                for _ in 0..20 {
+                    sel.sweep(thief, &mut rng, &mut order);
+                    assert_full_permutation(&order, thief, 6);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_first_orders_by_distance() {
+        let dist = dense_b(6);
+        let sel = NearestFirst::new(&dist);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut order = Vec::new();
+        for (thief, drow) in dist.iter().enumerate() {
+            sel.sweep(thief, &mut rng, &mut order);
+            let ds: Vec<u32> = order.iter().map(|&v| drow[v]).collect();
+            assert!(ds.windows(2).all(|w| w[0] <= w[1]), "{thief}: {ds:?}");
+            // The domain sibling always comes first.
+            assert_eq!(ds[0], 1);
+        }
+    }
+
+    #[test]
+    fn distance_weighted_prefers_near_victims() {
+        // System B dense, thief 0: victim 1 is the only distance-1
+        // victim among 5 distance-2 ones. Uniform would put it first
+        // 1/6 ≈ 17% of the time; decay-4 weighting should roughly triple
+        // that.
+        let dist = dense_b(6);
+        let sel = DistanceWeighted::new(&dist, DEFAULT_DECAY);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut order = Vec::new();
+        let mut sibling_first = 0;
+        let trials = 4000;
+        for _ in 0..trials {
+            sel.sweep(0, &mut rng, &mut order);
+            if order[0] == 1 {
+                sibling_first += 1;
+            }
+        }
+        let p = sibling_first as f64 / trials as f64;
+        // weight(1)=0.25 vs 5 × weight(2)=0.0625 -> P(first = sibling) ≈ 0.44.
+        assert!(p > 0.3, "sibling probed first with p = {p:.3}");
+        assert!(p < 0.6, "bias should stay probabilistic, p = {p:.3}");
+    }
+
+    #[test]
+    fn distance_weighted_on_flat_topology_is_unbiased() {
+        let topo = Topology::flat(5);
+        let placement: Vec<CoreId> = (0..5).map(CoreId).collect();
+        let dist = topo.worker_distances(&placement);
+        let sel = DistanceWeighted::new(&dist, DEFAULT_DECAY);
+        let mut rng = SmallRng::seed_from_u64(13);
+        let mut order = Vec::new();
+        let mut first_counts = [0u32; 5];
+        for _ in 0..4000 {
+            sel.sweep(2, &mut rng, &mut order);
+            first_counts[order[0]] += 1;
+        }
+        assert_eq!(first_counts[2], 0);
+        for (v, &c) in first_counts.iter().enumerate() {
+            if v != 2 {
+                let p = c as f64 / 4000.0;
+                assert!((p - 0.25).abs() < 0.05, "victim {v}: p = {p:.3}");
+            }
+        }
+    }
+
+    #[test]
+    fn policy_labels_round_trip() {
+        for policy in VictimPolicy::all() {
+            assert_eq!(VictimPolicy::from_label(policy.label()), Some(policy));
+            assert_eq!(policy.selector(&dense_b(4)).name(), policy.label());
+            assert_eq!(policy.to_string(), policy.label());
+        }
+        assert_eq!(VictimPolicy::from_label("nope"), None);
+        assert_eq!(VictimPolicy::default(), VictimPolicy::UniformRandom);
+    }
+
+    #[test]
+    fn two_worker_machines_always_pick_the_other() {
+        let dist = dense_b(2);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut order = Vec::new();
+        for policy in VictimPolicy::all() {
+            let sel = policy.selector(&dist);
+            sel.sweep(0, &mut rng, &mut order);
+            assert_eq!(order, vec![1]);
+            sel.sweep(1, &mut rng, &mut order);
+            assert_eq!(order, vec![0]);
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! Sysfs-backed topology discovery.
+//!
+//! Linux exposes each CPU's placement under
+//! `/sys/devices/system/cpu/cpuN/topology/`: `physical_package_id` is
+//! the socket and `core_id` the physical core within it. Logical CPUs
+//! that share a `(package, core)` pair are siblings of one physical core
+//! (SMT threads, or the paired cores of an AMD Bulldozer/Piledriver
+//! module) — exactly the unit that shares a clock domain on the paper's
+//! testbeds, so discovery maps each distinct `(package, core)` pair to
+//! one clock domain.
+//!
+//! Like the runtime's `SysfsCpufreqDriver`, everything takes an explicit
+//! root so the parser is testable against fake directory trees in
+//! containers and CI.
+
+use crate::Topology;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Error discovering or parsing a sysfs topology tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopologyError {
+    message: String,
+}
+
+impl TopologyError {
+    fn new(message: impl Into<String>) -> Self {
+        TopologyError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "topology discovery failed: {}", self.message)
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// Discover the host machine's topology from the standard sysfs root.
+///
+/// # Errors
+///
+/// Returns [`TopologyError`] when sysfs is absent or unparseable (normal
+/// in minimal containers); callers fall back to an emulated
+/// [`Topology`] preset.
+pub fn discover() -> Result<Topology, TopologyError> {
+    discover_with_root(Path::new("/sys/devices/system/cpu"))
+}
+
+/// Like [`discover`] with an explicit sysfs root (testable).
+///
+/// # Errors
+///
+/// Same conditions as [`discover`].
+pub fn discover_with_root(root: &Path) -> Result<Topology, TopologyError> {
+    let entries = std::fs::read_dir(root)
+        .map_err(|e| TopologyError::new(format!("cannot read {}: {e}", root.display())))?;
+    // Map cpu index -> (package_id, core_id); BTreeMap so core ids come
+    // out dense and ascending regardless of directory iteration order.
+    let mut cpus: BTreeMap<usize, (u64, u64)> = BTreeMap::new();
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let name = name.to_string_lossy().into_owned();
+        let Some(index) = parse_cpu_dir_name(&name) else {
+            continue; // cpufreq/, cpuidle/, online, ...
+        };
+        let topo_dir = entry.path().join("topology");
+        if !topo_dir.is_dir() {
+            // Present on real kernels for every possible CPU; a cpu dir
+            // without it (e.g. an offline stub in a fake root) is skipped
+            // rather than treated as a machine with holes.
+            continue;
+        }
+        let package = read_id(&topo_dir.join("physical_package_id"))?;
+        let core = read_id(&topo_dir.join("core_id"))?;
+        cpus.insert(index, (package, core));
+    }
+    if cpus.is_empty() {
+        return Err(TopologyError::new(format!(
+            "no cpu*/topology entries under {}",
+            root.display()
+        )));
+    }
+
+    // Assign dense domain ids per distinct (package, core) pair and
+    // dense package ids per distinct package, in order of first
+    // appearance over ascending cpu index.
+    let mut domain_ids: BTreeMap<(u64, u64), usize> = BTreeMap::new();
+    let mut package_ids: BTreeMap<u64, usize> = BTreeMap::new();
+    let mut core_domain = Vec::with_capacity(cpus.len());
+    let mut domain_package = Vec::new();
+    for (&_cpu, &(package, core)) in &cpus {
+        let next_package = package_ids.len();
+        let package_idx = *package_ids.entry(package).or_insert(next_package);
+        let next_domain = domain_ids.len();
+        let domain_idx = *domain_ids.entry((package, core)).or_insert(next_domain);
+        if domain_idx == domain_package.len() {
+            domain_package.push(package_idx);
+        }
+        core_domain.push(domain_idx);
+    }
+    let topo = Topology::from_parts(core_domain, domain_package);
+    topo.validate().map_err(TopologyError::new)?;
+    Ok(topo)
+}
+
+/// `"cpu12"` -> `Some(12)`; anything else (including `"cpufreq"`) -> `None`.
+fn parse_cpu_dir_name(name: &str) -> Option<usize> {
+    let digits = name.strip_prefix("cpu")?;
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// Read a sysfs id file (one decimal integer). `physical_package_id` is
+/// `-1` on some platforms that do not expose sockets; fold that to 0.
+fn read_id(path: &Path) -> Result<u64, TopologyError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| TopologyError::new(format!("cannot read {}: {e}", path.display())))?;
+    let trimmed = text.trim();
+    if trimmed == "-1" {
+        return Ok(0);
+    }
+    trimmed
+        .parse::<u64>()
+        .map_err(|e| TopologyError::new(format!("bad id in {}: {e}", path.display())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CoreId;
+
+    struct FakeRoot(std::path::PathBuf);
+
+    impl FakeRoot {
+        fn new(tag: &str) -> Self {
+            let dir =
+                std::env::temp_dir().join(format!("hermes-topo-{tag}-{}", std::process::id()));
+            std::fs::create_dir_all(&dir).unwrap();
+            FakeRoot(dir)
+        }
+
+        fn cpu(&self, index: usize, package: i64, core: u64) {
+            let topo = self.0.join(format!("cpu{index}/topology"));
+            std::fs::create_dir_all(&topo).unwrap();
+            std::fs::write(topo.join("physical_package_id"), format!("{package}\n")).unwrap();
+            std::fs::write(topo.join("core_id"), format!("{core}\n")).unwrap();
+        }
+    }
+
+    impl Drop for FakeRoot {
+        fn drop(&mut self) {
+            std::fs::remove_dir_all(&self.0).ok();
+        }
+    }
+
+    #[test]
+    fn discovers_a_system_b_shaped_root() {
+        // FX-8150: 8 cpus, pairs sharing a core_id, one package.
+        let root = FakeRoot::new("sysb");
+        for cpu in 0..8 {
+            root.cpu(cpu, 0, (cpu / 2) as u64);
+        }
+        let topo = discover_with_root(&root.0).unwrap();
+        assert_eq!(topo, Topology::system_b());
+    }
+
+    #[test]
+    fn discovers_two_packages_with_sparse_ids() {
+        // Non-dense sysfs ids (packages 0/3, core ids 4/9) must map onto
+        // dense domain/package indices.
+        let root = FakeRoot::new("sparse");
+        root.cpu(0, 0, 4);
+        root.cpu(1, 0, 4);
+        root.cpu(2, 3, 9);
+        root.cpu(3, 3, 9);
+        let topo = discover_with_root(&root.0).unwrap();
+        assert_eq!(topo.cores(), 4);
+        assert_eq!(topo.domains(), 2);
+        assert_eq!(topo.packages(), 2);
+        assert_eq!(topo.distance(CoreId(0), CoreId(1)), 1);
+        assert_eq!(topo.distance(CoreId(0), CoreId(2)), 3);
+    }
+
+    #[test]
+    fn ignores_non_cpu_entries_and_missing_topology_dirs() {
+        let root = FakeRoot::new("noise");
+        root.cpu(0, 0, 0);
+        root.cpu(1, 0, 0);
+        std::fs::create_dir_all(root.0.join("cpufreq")).unwrap();
+        std::fs::create_dir_all(root.0.join("cpu7")).unwrap(); // no topology/
+        std::fs::write(root.0.join("online"), "0-1\n").unwrap();
+        let topo = discover_with_root(&root.0).unwrap();
+        assert_eq!(topo.cores(), 2);
+        assert_eq!(topo.domains(), 1);
+    }
+
+    #[test]
+    fn package_id_minus_one_folds_to_zero() {
+        let root = FakeRoot::new("pkg-1");
+        root.cpu(0, -1, 0);
+        root.cpu(1, -1, 1);
+        let topo = discover_with_root(&root.0).unwrap();
+        assert_eq!(topo.packages(), 1);
+        assert_eq!(topo.distance(CoreId(0), CoreId(1)), 2);
+    }
+
+    #[test]
+    fn empty_or_missing_roots_error() {
+        let err = discover_with_root(Path::new("/definitely/not/here")).unwrap_err();
+        assert!(err.to_string().contains("cannot read"), "{err}");
+        let root = FakeRoot::new("empty");
+        let err = discover_with_root(&root.0).unwrap_err();
+        assert!(err.to_string().contains("no cpu"), "{err}");
+    }
+
+    #[test]
+    fn malformed_id_files_error() {
+        let root = FakeRoot::new("bad");
+        let topo = root.0.join("cpu0/topology");
+        std::fs::create_dir_all(&topo).unwrap();
+        std::fs::write(topo.join("physical_package_id"), "zero\n").unwrap();
+        std::fs::write(topo.join("core_id"), "0\n").unwrap();
+        assert!(discover_with_root(&root.0).is_err());
+    }
+
+    #[test]
+    fn cpu_dir_name_parser() {
+        assert_eq!(parse_cpu_dir_name("cpu0"), Some(0));
+        assert_eq!(parse_cpu_dir_name("cpu31"), Some(31));
+        assert_eq!(parse_cpu_dir_name("cpufreq"), None);
+        assert_eq!(parse_cpu_dir_name("cpu"), None);
+        assert_eq!(parse_cpu_dir_name("cpuidle"), None);
+        assert_eq!(parse_cpu_dir_name("node0"), None);
+    }
+}

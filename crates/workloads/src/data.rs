@@ -293,8 +293,16 @@ mod tests {
         let a = Point2 { x: 0.0, y: 0.0 };
         let b = Point2 { x: 3.0, y: 4.0 };
         assert!((a.dist(&b) - 5.0).abs() < 1e-12);
-        let x = Point3 { x: 1.0, y: 0.0, z: 0.0 };
-        let y = Point3 { x: 0.0, y: 1.0, z: 0.0 };
+        let x = Point3 {
+            x: 1.0,
+            y: 0.0,
+            z: 0.0,
+        };
+        let y = Point3 {
+            x: 0.0,
+            y: 1.0,
+            z: 0.0,
+        };
         let z = x.cross(&y);
         assert!((z.z - 1.0).abs() < 1e-12 && z.x.abs() < 1e-12);
         assert!(x.dot(&y).abs() < 1e-12);

@@ -153,8 +153,7 @@ pub fn convex_hull_oracle(points: &[Point2]) -> Vec<Point2> {
     }
     let mut lower: Vec<Point2> = Vec::new();
     for &p in &pts {
-        while lower.len() >= 2
-            && cross(&lower[lower.len() - 2], &lower[lower.len() - 1], &p) <= EPS
+        while lower.len() >= 2 && cross(&lower[lower.len() - 2], &lower[lower.len() - 1], &p) <= EPS
         {
             lower.pop();
         }
@@ -162,8 +161,7 @@ pub fn convex_hull_oracle(points: &[Point2]) -> Vec<Point2> {
     }
     let mut upper: Vec<Point2> = Vec::new();
     for &p in pts.iter().rev() {
-        while upper.len() >= 2
-            && cross(&upper[upper.len() - 2], &upper[upper.len() - 1], &p) <= EPS
+        while upper.len() >= 2 && cross(&upper[upper.len() - 2], &upper[upper.len() - 1], &p) <= EPS
         {
             upper.pop();
         }

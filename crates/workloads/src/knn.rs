@@ -88,16 +88,15 @@ fn build_node(points: &mut [Labeled], depth: u32) -> Option<Box<KdNode>> {
     let dim = (depth % 2) as u8;
     let mid = points.len() / 2;
     points.select_nth_unstable_by(mid, |a, b| {
-        key(a, dim).partial_cmp(&key(b, dim)).expect("finite coords")
+        key(a, dim)
+            .partial_cmp(&key(b, dim))
+            .expect("finite coords")
     });
     let item = points[mid];
     let (lo, rest) = points.split_at_mut(mid);
     let hi = &mut rest[1..];
     let (left, right) = if points_len(lo) + points_len(hi) >= BUILD_CUTOFF {
-        join(
-            || build_node(lo, depth + 1),
-            || build_node(hi, depth + 1),
-        )
+        join(|| build_node(lo, depth + 1), || build_node(hi, depth + 1))
     } else {
         (build_node(lo, depth + 1), build_node(hi, depth + 1))
     };
@@ -236,7 +235,9 @@ mod tests {
             let expect = snapshot
                 .iter()
                 .min_by(|a, b| {
-                    q.dist2(&a.point).partial_cmp(&q.dist2(&b.point)).expect("finite")
+                    q.dist2(&a.point)
+                        .partial_cmp(&q.dist2(&b.point))
+                        .expect("finite")
                 })
                 .expect("non-empty");
             assert_eq!(q.dist2(&best.point), q.dist2(&expect.point));

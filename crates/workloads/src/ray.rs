@@ -191,7 +191,9 @@ fn build_node(tris: &[Triangle], indices: &mut [usize]) -> BvhNode {
     };
     let mid = indices.len() / 2;
     indices.select_nth_unstable_by(mid, |&a, &b| {
-        centroid(a).partial_cmp(&centroid(b)).expect("finite coords")
+        centroid(a)
+            .partial_cmp(&centroid(b))
+            .expect("finite coords")
     });
     let (lo, hi) = indices.split_at_mut(mid);
     let (left, right) = if lo.len() + hi.len() >= BUILD_CUTOFF {
@@ -312,20 +314,48 @@ mod tests {
     fn direct_hit_geometry() {
         // A triangle squarely in front of a +z ray.
         let tri = Triangle {
-            a: Point3 { x: -1.0, y: -1.0, z: 1.0 },
-            b: Point3 { x: 1.0, y: -1.0, z: 1.0 },
-            c: Point3 { x: 0.0, y: 1.0, z: 1.0 },
+            a: Point3 {
+                x: -1.0,
+                y: -1.0,
+                z: 1.0,
+            },
+            b: Point3 {
+                x: 1.0,
+                y: -1.0,
+                z: 1.0,
+            },
+            c: Point3 {
+                x: 0.0,
+                y: 1.0,
+                z: 1.0,
+            },
         };
         let ray = Ray {
-            origin: Point3 { x: 0.0, y: 0.0, z: 0.0 },
-            dir: Point3 { x: 0.0, y: 0.0, z: 1.0 },
+            origin: Point3 {
+                x: 0.0,
+                y: 0.0,
+                z: 0.0,
+            },
+            dir: Point3 {
+                x: 0.0,
+                y: 0.0,
+                z: 1.0,
+            },
         };
         let t = intersect(&tri, &ray).expect("must hit");
         assert!((t - 1.0).abs() < 1e-9);
         // Behind the origin: no hit.
         let back = Ray {
-            origin: Point3 { x: 0.0, y: 0.0, z: 2.0 },
-            dir: Point3 { x: 0.0, y: 0.0, z: 1.0 },
+            origin: Point3 {
+                x: 0.0,
+                y: 0.0,
+                z: 2.0,
+            },
+            dir: Point3 {
+                x: 0.0,
+                y: 0.0,
+                z: 1.0,
+            },
         };
         assert_eq!(intersect(&tri, &back), None);
     }
@@ -333,20 +363,52 @@ mod tests {
     #[test]
     fn nearest_of_two_stacked_triangles_wins() {
         let near = Triangle {
-            a: Point3 { x: -1.0, y: -1.0, z: 1.0 },
-            b: Point3 { x: 1.0, y: -1.0, z: 1.0 },
-            c: Point3 { x: 0.0, y: 1.0, z: 1.0 },
+            a: Point3 {
+                x: -1.0,
+                y: -1.0,
+                z: 1.0,
+            },
+            b: Point3 {
+                x: 1.0,
+                y: -1.0,
+                z: 1.0,
+            },
+            c: Point3 {
+                x: 0.0,
+                y: 1.0,
+                z: 1.0,
+            },
         };
         let far = Triangle {
-            a: Point3 { x: -1.0, y: -1.0, z: 2.0 },
-            b: Point3 { x: 1.0, y: -1.0, z: 2.0 },
-            c: Point3 { x: 0.0, y: 1.0, z: 2.0 },
+            a: Point3 {
+                x: -1.0,
+                y: -1.0,
+                z: 2.0,
+            },
+            b: Point3 {
+                x: 1.0,
+                y: -1.0,
+                z: 2.0,
+            },
+            c: Point3 {
+                x: 0.0,
+                y: 1.0,
+                z: 2.0,
+            },
         };
         let tris = vec![far, near];
         let bvh = Bvh::build(&tris);
         let ray = Ray {
-            origin: Point3 { x: 0.0, y: 0.0, z: 0.0 },
-            dir: Point3 { x: 0.0, y: 0.0, z: 1.0 },
+            origin: Point3 {
+                x: 0.0,
+                y: 0.0,
+                z: 0.0,
+            },
+            dir: Point3 {
+                x: 0.0,
+                y: 0.0,
+                z: 1.0,
+            },
         };
         let (idx, t) = bvh.first_hit(&tris, &ray).expect("hits");
         assert_eq!(idx, 1, "the nearer triangle");
@@ -357,15 +419,31 @@ mod tests {
     fn empty_scene_and_missing_rays() {
         let bvh = Bvh::build(&[]);
         let ray = Ray {
-            origin: Point3 { x: 0.0, y: 0.0, z: 0.0 },
-            dir: Point3 { x: 0.0, y: 0.0, z: 1.0 },
+            origin: Point3 {
+                x: 0.0,
+                y: 0.0,
+                z: 0.0,
+            },
+            dir: Point3 {
+                x: 0.0,
+                y: 0.0,
+                z: 1.0,
+            },
         };
         assert_eq!(bvh.first_hit(&[], &ray), None);
 
         let tris = triangle_soup(100, 0.1, 72);
         let away = Ray {
-            origin: Point3 { x: 0.5, y: 0.5, z: -1.0 },
-            dir: Point3 { x: 0.0, y: 0.0, z: -1.0 },
+            origin: Point3 {
+                x: 0.5,
+                y: 0.5,
+                z: -1.0,
+            },
+            dir: Point3 {
+                x: 0.0,
+                y: 0.0,
+                z: -1.0,
+            },
         };
         let bvh = Bvh::build(&tris);
         assert_eq!(bvh.first_hit(&tris, &away), None);
@@ -374,16 +452,40 @@ mod tests {
     #[test]
     fn aabb_slab_test() {
         let b = Aabb::empty()
-            .grown(Point3 { x: 0.0, y: 0.0, z: 0.0 })
-            .grown(Point3 { x: 1.0, y: 1.0, z: 1.0 });
+            .grown(Point3 {
+                x: 0.0,
+                y: 0.0,
+                z: 0.0,
+            })
+            .grown(Point3 {
+                x: 1.0,
+                y: 1.0,
+                z: 1.0,
+            });
         let through = Ray {
-            origin: Point3 { x: 0.5, y: 0.5, z: -1.0 },
-            dir: Point3 { x: 0.0, y: 0.0, z: 1.0 },
+            origin: Point3 {
+                x: 0.5,
+                y: 0.5,
+                z: -1.0,
+            },
+            dir: Point3 {
+                x: 0.0,
+                y: 0.0,
+                z: 1.0,
+            },
         };
         assert!(b.hit(&through, f64::INFINITY));
         let miss = Ray {
-            origin: Point3 { x: 5.0, y: 5.0, z: -1.0 },
-            dir: Point3 { x: 0.0, y: 0.0, z: 1.0 },
+            origin: Point3 {
+                x: 5.0,
+                y: 5.0,
+                z: -1.0,
+            },
+            dir: Point3 {
+                x: 0.0,
+                y: 0.0,
+                z: 1.0,
+            },
         };
         assert!(!b.hit(&miss, f64::INFINITY));
         // t_max short of the box: treated as a miss.

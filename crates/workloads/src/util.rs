@@ -124,7 +124,11 @@ mod tests {
         let pool = Pool::new(4);
         let total = AtomicU64::new(0);
         let items: Vec<u64> = (1..=100).collect();
-        pool.install(|| par_consume(items, &|x| { total.fetch_add(x, Ordering::SeqCst); }));
+        pool.install(|| {
+            par_consume(items, &|x| {
+                total.fetch_add(x, Ordering::SeqCst);
+            })
+        });
         assert_eq!(total.load(Ordering::SeqCst), 5050);
     }
 }
@@ -187,9 +191,8 @@ where
     let parts = split_by_sizes(dst, &sizes);
 
     // Phase 3: transpose ownership to per-chunk slice sets.
-    let mut per_chunk: Vec<Vec<&mut [T]>> = (0..nchunks)
-        .map(|_| Vec::with_capacity(nbuckets))
-        .collect();
+    let mut per_chunk: Vec<Vec<&mut [T]>> =
+        (0..nchunks).map(|_| Vec::with_capacity(nbuckets)).collect();
     for (i, part) in parts.into_iter().enumerate() {
         per_chunk[i % nchunks].push(part);
     }
@@ -217,9 +220,8 @@ mod scatter_tests {
         let pool = Pool::new(4);
         let src: Vec<u32> = (0..10_000).rev().collect();
         let mut dst = vec![0u32; src.len()];
-        let sizes = pool.install(|| {
-            parallel_scatter(&src, &mut dst, 4, 512, &|&x| (x % 4) as usize)
-        });
+        let sizes =
+            pool.install(|| parallel_scatter(&src, &mut dst, 4, 512, &|&x| (x % 4) as usize));
         assert_eq!(sizes.iter().sum::<usize>(), src.len());
         // Every element within a bucket region has the right class.
         let mut start = 0;

@@ -8,9 +8,7 @@
 
 use hermes::core::{Frequency, Policy, TempoConfig};
 use hermes::rt::Pool;
-use hermes::workloads::{
-    knn_classify, knn_classify_oracle, labeled_points, uniform_points2,
-};
+use hermes::workloads::{knn_classify, knn_classify_oracle, labeled_points, uniform_points2};
 
 fn main() {
     let workers = 4;

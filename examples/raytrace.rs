@@ -26,7 +26,11 @@ fn main() {
     let tris = triangle_soup(60_000, 0.12, 21);
     let t0 = std::time::Instant::now();
     let bvh = pool.install(|| Bvh::build(&tris));
-    println!("BVH over {} triangles built in {:?}", tris.len(), t0.elapsed());
+    println!(
+        "BVH over {} triangles built in {:?}",
+        tris.len(),
+        t0.elapsed()
+    );
 
     // A 60x30 image plane in front of the cube, one ray per cell.
     let (cols, rows) = (60usize, 30usize);
@@ -39,7 +43,11 @@ fn main() {
                     y: r as f64 / rows as f64,
                     z: -1.0,
                 },
-                dir: Point3 { x: 0.0, y: 0.0, z: 1.0 },
+                dir: Point3 {
+                    x: 0.0,
+                    y: 0.0,
+                    z: 1.0,
+                },
             }
         })
         .collect();
@@ -70,5 +78,9 @@ fn main() {
     let hit_count = hits.iter().filter(|h| h.is_some()).count();
     println!("cast {} rays in {cast:?} — {hit_count} hits", rays.len());
     println!("{image}");
-    println!("steals: {}  tempo: {}", pool.stats().steals, pool.tempo_stats());
+    println!(
+        "steals: {}  tempo: {}",
+        pool.stats().steals,
+        pool.tempo_stats()
+    );
 }

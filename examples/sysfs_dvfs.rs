@@ -57,7 +57,10 @@ fn main() {
     );
     println!("scheduler: {:?}", pool.stats());
     println!("tempo:     {}", pool.tempo_stats());
-    match (energy_before, rapl.as_ref().and_then(|p| p.read_joules().ok())) {
+    match (
+        energy_before,
+        rapl.as_ref().and_then(|p| p.read_joules().ok()),
+    ) {
         (Some(a), Some(b)) => println!("RAPL package energy: {:.3} J", b - a),
         _ if live => println!("RAPL unavailable; no measured energy"),
         _ => {

@@ -1,0 +1,99 @@
+//! Topology probe: discover the host machine's core/domain/package
+//! structure from sysfs (falling back to an emulated System B), then run
+//! a short workload under each victim-selection policy and print the
+//! steal-distance histogram each one produces.
+//!
+//! ```sh
+//! cargo run --release --example topology_probe
+//! ```
+
+use hermes::core::{Frequency, Policy, TempoConfig};
+use hermes::rt::{parallel_for, Pool};
+use hermes::telemetry::{RingSink, TelemetrySink};
+use hermes::topology::{self, Topology, VictimPolicy};
+use std::sync::Arc;
+
+/// Per-element work heavy enough that thieves see stealable chunks even
+/// on small hosts.
+fn spin_work(x: &mut u64) {
+    let mut acc = *x;
+    for _ in 0..2_000 {
+        acc = std::hint::black_box(acc.wrapping_mul(2654435761).rotate_left(7));
+    }
+    *x = acc;
+}
+
+fn main() {
+    // ── 1. Discover (or emulate) the machine topology. ───────────────
+    let topo = match topology::discover() {
+        Ok(t) if t.cores() >= 2 => {
+            println!("discovered host topology from sysfs: {}", t.summary());
+            t
+        }
+        Ok(t) => {
+            println!(
+                "discovered host topology ({}) is too small to steal on",
+                t.summary()
+            );
+            println!("falling back to an emulated System B (AMD FX-8150)");
+            Topology::system_b()
+        }
+        Err(e) => {
+            println!("{e}");
+            println!("falling back to an emulated System B (AMD FX-8150)");
+            Topology::system_b()
+        }
+    };
+    // Pack enough workers that clock domains are shared when the
+    // topology pairs cores — that is where victim policies differ.
+    let workers = topo.cores().clamp(2, 8);
+    println!("running {workers} workers on {}\n", topo.summary());
+
+    // ── 2. One short run per victim policy. ──────────────────────────
+    println!(
+        "{:<18} {:>8} {:>13} steal-distance histogram",
+        "policy", "steals", "same-domain"
+    );
+    for victim in VictimPolicy::all() {
+        let sink = Arc::new(RingSink::new(workers));
+        let tempo = TempoConfig::builder()
+            .policy(Policy::Unified)
+            .frequencies(vec![Frequency::from_mhz(2400), Frequency::from_mhz(1600)])
+            .workers(workers)
+            .build();
+        let mut pool = Pool::builder()
+            .workers(workers)
+            .tempo(tempo)
+            .topology(topo.clone())
+            .victim_policy(victim)
+            .emulated_dvfs(Frequency::from_mhz(2400), 8.0)
+            .telemetry(Arc::clone(&sink) as Arc<dyn TelemetrySink>)
+            .build();
+        for _ in 0..10 {
+            let mut v: Vec<u64> = (0..20_000).collect();
+            pool.install(|| parallel_for(&mut v, 64, spin_work));
+            if pool.stats().steals >= 50 {
+                break;
+            }
+        }
+        // Freeze the pool before folding so counters and events agree.
+        pool.stop();
+        pool.flush_energy_telemetry();
+        let report = sink
+            .report(victim.label(), "rt", pool.elapsed_ns() as f64 / 1e9, 0.0)
+            .with_steal_distances(&pool.worker_distances());
+        let same_domain = report
+            .same_domain_steal_fraction()
+            .map_or("n/a".to_string(), |f| format!("{f:.3}"));
+        println!(
+            "{:<18} {:>8} {:>13} {:?}",
+            victim.label(),
+            report.totals().steals,
+            same_domain,
+            report.steal_distance_hist
+        );
+    }
+    println!(
+        "\n(distance 0 = same core, 1 = same clock domain, 2 = same package, 3 = cross-package)"
+    );
+}

@@ -13,6 +13,7 @@
 //! |---|---|---|
 //! | [`core`] | `hermes-core` | The tempo-control algorithms (the paper's contribution) |
 //! | [`deque`] | `hermes-deque` | THE-protocol and Chase–Lev-style work-stealing deques |
+//! | [`topology`] | `hermes-topology` | Machine topology (cores/domains/packages), steal distances, victim selection |
 //! | [`sim`] | `hermes-sim` | Discrete-event multicore/DVFS/power simulator |
 //! | [`rt`] | `hermes-rt` | Real-thread work-stealing pool with tempo hooks |
 //! | [`workloads`] | `hermes-workloads` | The five PBBS-style benchmarks |
@@ -65,4 +66,5 @@ pub use hermes_deque as deque;
 pub use hermes_rt as rt;
 pub use hermes_sim as sim;
 pub use hermes_telemetry as telemetry;
+pub use hermes_topology as topology;
 pub use hermes_workloads as workloads;

@@ -74,6 +74,7 @@ fn rt_report(workers: usize) -> RunReport {
     let elapsed = pool.elapsed_ns() as f64 / 1e9;
     let energy = pool.total_energy().unwrap_or(0.0);
     sink.report("cross-validation", "rt", elapsed, energy)
+        .with_steal_distances(&pool.worker_distances())
 }
 
 /// The matching workload in the simulator: `parallel_for` on the rt
@@ -87,6 +88,7 @@ fn sim_report(workers: usize) -> RunReport {
         .with_telemetry(Arc::clone(&sink) as Arc<dyn TelemetrySink>);
     let r = hermes::sim::run(&dag, &cfg).expect("valid sim config");
     sink.report("cross-validation", "sim", r.elapsed.seconds(), r.energy_j)
+        .with_steal_distances(&cfg.worker_distances().expect("valid placement"))
 }
 
 /// The invariants either executor must uphold on its own.
@@ -110,6 +112,13 @@ fn check_internal_consistency(report: &RunReport, who: &str) {
             "{who}: matrix row partitions worker {w}'s steals"
         );
     }
+    // Both hosts attach their topology: the steal-distance histogram is
+    // a re-bucketing of the matrix, so it must total the same steals.
+    assert_eq!(
+        report.steal_distance_total(),
+        totals.steals,
+        "{who}: distance histogram partitions the steal matrix"
+    );
     // Reports survive their own codec.
     let parsed = RunReport::from_json(&report.to_json()).expect("round trip");
     assert_eq!(&parsed, report);

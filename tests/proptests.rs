@@ -4,7 +4,7 @@
 use hermes::core::{Frequency, Policy, TempoConfig};
 use hermes::rt::{join, parallel_for, Pool};
 use hermes::sim::{Action, DagBuilder, MachineSpec, NodeId, SimConfig};
-use hermes::workloads::{quickhull, convex_hull_oracle, radix_sort, sample_sort, Point2};
+use hermes::workloads::{convex_hull_oracle, quickhull, radix_sort, sample_sort, Point2};
 use proptest::prelude::*;
 
 proptest! {
