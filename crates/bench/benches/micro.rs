@@ -38,7 +38,8 @@ fn bench_deque_ops(c: &mut Criterion) {
 
 fn bench_steal_contention(c: &mut Criterion) {
     // The paper's THE lock vs lockless CAS under thieves hammering one
-    // victim: the `ablate_deque` comparison at the microbenchmark level.
+    // victim: the `sweep --ablate-deque` comparison at the
+    // microbenchmark level.
     let mut group = c.benchmark_group("deque/contended_steal");
     group.throughput(Throughput::Elements(4096));
     fn contend<D: TaskDeque<u64> + 'static>(dq: Arc<D>) {

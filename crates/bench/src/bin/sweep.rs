@@ -9,6 +9,10 @@
 //! sweep --ablate-victim [--smoke] [--baseline PATH]
 //!                                     run the three victim policies; non-zero exit when the
 //!                                     locality gate or the baseline tolerances fail
+//! sweep --ablate-deque [--smoke] [--baseline PATH] [--out PATH] [--min-steal-ratio X]
+//!                                     THE vs. atomics-only deque: contended-steal throughput,
+//!                                     empty/lost-race split, figure drift; non-zero exit when
+//!                                     the lock-free deque loses or the figures drift
 //!
 //! Tolerances (percentage points unless noted):
 //!   --tol-headline PTS   headline energy/time drift        (default 1.0)
@@ -26,6 +30,24 @@
 //! Diffing across modes compares the figure rows both artifacts share;
 //! the headline gate only applies between artifacts of the same mode
 //! (smoke and full headlines average different figure families).
+//!
+//! `--ablate-deque` compares the paper's THE deque against the
+//! atomics-only Chase–Lev deque on the two axes where the deque can
+//! matter: a raw contended-steal throughput probe (one owner, three
+//! thieves hammering a single deque — the `micro`
+//! `deque/contended_steal` scenario, measured rather than
+//! criterion-sampled) and a telemetry-instrumented `hermes-rt` pool run
+//! whose `RunReport` carries the `empty_steals`/`lost_race_steals`
+//! split (contention vs. starvation; see DESIGN.md §Deque). The paper
+//! figures come from the simulator, whose steal path is modelled, not
+//! executed — so the figure family is recorded once and gated against
+//! the committed baseline to pin down that the deque swap cannot move
+//! energy/time/EDP. Exits non-zero unless (a) the atomics-only deque's
+//! contended-steal throughput is at least `--min-steal-ratio` (default
+//! 1.0) times THE's, and (b) with `--smoke`, the figure rows stay
+//! within the standard `--diff` tolerances of the committed baseline.
+//! The measurements land in `BENCH_deque_ablation.json` (override with
+//! `--out`).
 //!
 //! `--ablate-victim` reruns the smoke figure family under each
 //! `VictimPolicy` and probes steal locality with a dense-placement
@@ -45,24 +67,35 @@
 use hermes_bench::figures;
 use hermes_bench::{cell_config, trials, Cell, System};
 use hermes_core::Policy;
+use hermes_deque::{LockFreeDeque, Steal, TaskDeque, TheDeque};
+use hermes_rt::{parallel_for, DequeKind, Pool};
 use hermes_sim::WorkerPlacement;
 use hermes_telemetry::json::Value;
 use hermes_telemetry::{RingSink, RunReport, TelemetrySink};
 use hermes_topology::VictimPolicy;
 use hermes_workloads::Benchmark;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 const ARTIFACT_SCHEMA: &str = "hermes-bench-baseline/v1";
 /// Default outputs differ by mode so a full run cannot silently clobber
 /// the committed smoke baseline.
 const DEFAULT_SMOKE_OUT: &str = "BENCH_baseline.json";
 const DEFAULT_FULL_OUT: &str = "BENCH_full.json";
+/// Where `--ablate-deque` records its measurements.
+const DEFAULT_DEQUE_OUT: &str = "BENCH_deque_ablation.json";
+/// Schema tag of the deque-ablation artifact (not `--diff`-comparable
+/// with the figure baselines: most of its numbers are wall-clock
+/// measurements of this host, not deterministic simulator output).
+const DEQUE_ARTIFACT_SCHEMA: &str = "hermes-deque-ablation/v1";
 
 /// Flags that take a value (the next argument).
 const VALUE_FLAGS: &[&str] = &[
     "--out",
     "--baseline",
+    "--min-steal-ratio",
     "--tol-headline",
     "--tol-headline-edp",
     "--tol-row",
@@ -71,7 +104,13 @@ const VALUE_FLAGS: &[&str] = &[
 ];
 
 /// Flags that stand alone.
-const MODE_FLAGS: &[&str] = &["--smoke", "--full", "--diff", "--ablate-victim"];
+const MODE_FLAGS: &[&str] = &[
+    "--smoke",
+    "--full",
+    "--diff",
+    "--ablate-victim",
+    "--ablate-deque",
+];
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -104,14 +143,15 @@ fn main() -> ExitCode {
         }
     }
     let has = |flag: &str| args.iter().any(|a| a == flag);
-    let (smoke, full, diff, ablate) = (
+    let (smoke, full, diff, ablate, ablate_deque) = (
         has("--smoke"),
         has("--full"),
         has("--diff"),
         has("--ablate-victim"),
+        has("--ablate-deque"),
     );
     if diff {
-        if smoke || full || ablate {
+        if smoke || full || ablate || ablate_deque {
             eprintln!("sweep: --diff does not combine with recording modes");
             print_usage();
             return ExitCode::from(2);
@@ -128,16 +168,25 @@ fn main() -> ExitCode {
         print_usage();
         return ExitCode::from(2);
     }
-    if ablate {
+    if ablate && ablate_deque {
+        eprintln!("sweep: pick one ablation at a time");
+        print_usage();
+        return ExitCode::from(2);
+    }
+    if ablate || ablate_deque {
         if full {
-            eprintln!("sweep: --ablate-victim runs its own protocol; combine with --smoke only");
+            eprintln!("sweep: ablations run their own protocol; combine with --smoke only");
             print_usage();
             return ExitCode::from(2);
         }
         if smoke {
             pin_smoke_protocol();
         }
-        return ablate_main(&args, smoke);
+        return if ablate {
+            ablate_main(&args, smoke)
+        } else {
+            ablate_deque_main(&args, smoke)
+        };
     }
     // Recording requires an explicit mode: the full matrix runs for tens
     // of minutes, far too expensive to be a default nobody asked for.
@@ -169,7 +218,10 @@ fn print_usage() {
     eprintln!("       sweep --diff BASE NEW [--tol-headline PTS] [--tol-headline-edp X]");
     eprintln!("                             [--tol-row PTS] [--tol-row-edp X] [--tol-row-ratio X]");
     eprintln!("       sweep --ablate-victim [--smoke] [--baseline PATH] [tolerances]");
-    eprintln!("default output: {DEFAULT_SMOKE_OUT} with --smoke, {DEFAULT_FULL_OUT} with --full");
+    eprintln!("       sweep --ablate-deque  [--smoke] [--baseline PATH] [--out PATH]");
+    eprintln!("                             [--min-steal-ratio X] [tolerances]");
+    eprintln!("default output: {DEFAULT_SMOKE_OUT} with --smoke, {DEFAULT_FULL_OUT} with --full,");
+    eprintln!("                {DEFAULT_DEQUE_OUT} with --ablate-deque");
 }
 
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
@@ -658,6 +710,387 @@ fn ablate_main(args: &[String], smoke: bool) -> ExitCode {
         );
     }
     if locality_ok && drift_violations == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deque ablation
+
+/// Thief-side tallies of one contended-steal run.
+#[derive(Debug, Clone, Copy, Default)]
+struct StealProbe {
+    /// Successful steals per second of steal-busy time — the headline.
+    throughput: f64,
+    stolen: u64,
+    empty: u64,
+    lost_races: u64,
+    /// Wall-clock of the whole run (window + drain).
+    elapsed_s: f64,
+    /// Summed thief time inside steal trains (see below).
+    busy_s: f64,
+}
+
+/// One owner feeding a single deque for a fixed wall-clock window
+/// (yielding when it is full so thieves get supply) while three thieves
+/// hammer `steal()` — the `deque/contended_steal` scenario as a
+/// measured run.
+///
+/// Two measurement decisions keep the number about the *deque* instead
+/// of the host scheduler (both matter on small CI hosts, where a fast
+/// owner can finish an item quota before a thief is ever scheduled):
+///
+/// * the run is **time-boxed** across many scheduler quanta, behind a
+///   start barrier, so both deques get identical thief overlap;
+/// * each thief accumulates **steal-train time** — spans of
+///   consecutive non-`Empty` outcomes — and the throughput is
+///   successful steals per second of train time. `Empty` (starvation)
+///   closes a train: waiting for the owner to refill is a supply
+///   property, not a steal-path cost. `Retry` (contention) stays
+///   *inside* the train: losing a race and re-arming is exactly the
+///   cost the THE-vs-atomics comparison is after.
+///
+/// The driver is byte-for-byte the same for both deques.
+fn contended_steal_run<D: TaskDeque<u64> + 'static>(
+    dq: Arc<D>,
+    window: std::time::Duration,
+) -> StealProbe {
+    const THIEVES: usize = 3;
+    let stop = Arc::new(AtomicBool::new(false));
+    let barrier = Arc::new(std::sync::Barrier::new(THIEVES + 1));
+    let handles: Vec<_> = (0..THIEVES)
+        .map(|_| {
+            let dq = Arc::clone(&dq);
+            let stop = Arc::clone(&stop);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                let (mut stolen, mut empty, mut lost) = (0u64, 0u64, 0u64);
+                let mut busy = std::time::Duration::ZERO;
+                let mut train: Option<Instant> = None;
+                while !stop.load(Ordering::Relaxed) {
+                    match dq.steal() {
+                        Steal::Success { .. } => {
+                            train.get_or_insert_with(Instant::now);
+                            stolen += 1;
+                        }
+                        Steal::Empty => {
+                            if let Some(t0) = train.take() {
+                                busy += t0.elapsed();
+                            }
+                            empty += 1;
+                            // Starvation: hand the core back so the
+                            // owner can refill.
+                            std::thread::yield_now();
+                        }
+                        // Contention: stay hot and keep the clock
+                        // running — the lost race is steal-path cost.
+                        Steal::Retry => {
+                            train.get_or_insert_with(Instant::now);
+                            lost += 1;
+                        }
+                    }
+                }
+                if let Some(t0) = train.take() {
+                    busy += t0.elapsed();
+                }
+                (stolen, empty, lost, busy)
+            })
+        })
+        .collect();
+    barrier.wait();
+    let start = Instant::now();
+    let mut i = 0u64;
+    while start.elapsed() < window {
+        // Re-check the clock only every batch; the batch is small enough
+        // that the window overshoot stays in the noise.
+        for _ in 0..256 {
+            if dq.push(i).is_err() {
+                // Full: supply is ahead of the thieves; give them the
+                // core instead of fighting them for the head.
+                std::thread::yield_now();
+            } else {
+                i += 1;
+            }
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+    let elapsed_s = start.elapsed().as_secs_f64();
+    let mut probe = StealProbe {
+        elapsed_s,
+        ..StealProbe::default()
+    };
+    for h in handles {
+        let (s, e, l, b) = h.join().expect("thief panicked");
+        probe.stolen += s;
+        probe.empty += e;
+        probe.lost_races += l;
+        probe.busy_s += b.as_secs_f64();
+    }
+    while dq.pop().is_some() {}
+    probe.throughput = probe.stolen as f64 / probe.busy_s.max(1e-9);
+    probe
+}
+
+/// Best-of-`rounds` contended-steal probe for one deque kind; the max
+/// suppresses scheduler noise (a descheduled owner starves every thief
+/// regardless of deque protocol).
+fn contended_steal_probe(
+    kind: DequeKind,
+    window: std::time::Duration,
+    rounds: usize,
+) -> StealProbe {
+    let mut best = StealProbe::default();
+    for _ in 0..rounds {
+        let probe = match kind {
+            DequeKind::The => {
+                contended_steal_run(Arc::new(TheDeque::<u64>::with_capacity(8192)), window)
+            }
+            DequeKind::LockFree => {
+                contended_steal_run(Arc::new(LockFreeDeque::<u64>::with_capacity(8192)), window)
+            }
+        };
+        if probe.throughput > best.throughput {
+            best = probe;
+        }
+    }
+    best
+}
+
+/// Per-element work slow enough that a parallel region spans many OS
+/// scheduler ticks, so thieves get a chance even on single-core hosts
+/// (the steal_matrix.rs pattern).
+fn spin_work(x: &mut u64) {
+    let mut acc = *x;
+    for _ in 0..2_000 {
+        acc = std::hint::black_box(acc.wrapping_mul(2654435761).rotate_left(7));
+    }
+    *x = acc;
+}
+
+/// A real `hermes-rt` pool on `kind` deques under a steal-heavy
+/// fork-join workload, with the telemetry sink folding the
+/// `empty_steals`/`lost_race_steals` split into a [`RunReport`].
+fn rt_pool_probe(kind: DequeKind, smoke: bool) -> (hermes_rt::RtStats, RunReport) {
+    const WORKERS: usize = 4;
+    let sink = Arc::new(RingSink::new(WORKERS));
+    let mut pool = Pool::builder()
+        .workers(WORKERS)
+        .deque(kind)
+        .telemetry(Arc::clone(&sink) as Arc<dyn TelemetrySink>)
+        .build();
+    let elems: u64 = if smoke { 20_000 } else { 100_000 };
+    // Steals depend on preemption timing on small hosts: retry a few
+    // regions until the report has steal mass to split.
+    for _ in 0..40 {
+        let mut v: Vec<u64> = (0..elems).collect();
+        pool.install(|| parallel_for(&mut v, 64, spin_work));
+        if pool.stats().steals >= 20 {
+            break;
+        }
+    }
+    // Freeze the pool so counters and the sink stop moving before the
+    // fold (idle workers otherwise keep recording empty sweeps).
+    pool.stop();
+    let stats = pool.stats();
+    let elapsed = pool.elapsed_ns() as f64 / 1e9;
+    let label = match kind {
+        DequeKind::The => "deque-ablation/the",
+        DequeKind::LockFree => "deque-ablation/lock-free",
+    };
+    (stats, sink.report(label, "rt", elapsed, 0.0))
+}
+
+fn deque_section(probe: &StealProbe, stats: &hermes_rt::RtStats, report: &RunReport) -> Value {
+    Value::obj(vec![
+        (
+            "contended_steal_per_s",
+            Value::Num((probe.throughput * 10.0).round() / 10.0),
+        ),
+        ("probe_stolen", Value::Num(probe.stolen as f64)),
+        ("probe_empty_steals", Value::Num(probe.empty as f64)),
+        (
+            "probe_lost_race_steals",
+            Value::Num(probe.lost_races as f64),
+        ),
+        ("probe_elapsed_s", Value::Num(probe.elapsed_s)),
+        ("probe_steal_busy_s", Value::Num(probe.busy_s)),
+        ("rt_steals", Value::Num(stats.steals as f64)),
+        ("rt_empty_steals", Value::Num(stats.empty_steals as f64)),
+        (
+            "rt_lost_race_steals",
+            Value::Num(stats.lost_race_steals as f64),
+        ),
+        (
+            "rt_inline_fallbacks",
+            Value::Num(stats.inline_fallbacks as f64),
+        ),
+        ("rt_run_report", report.to_value()),
+    ])
+}
+
+fn ablate_deque_main(args: &[String], smoke: bool) -> ExitCode {
+    let tol = match parse_tolerances(args) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("sweep: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let min_ratio = match tolerance(args, "--min-steal-ratio", 1.0) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sweep: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let out_path = flag_value(args, "--out").unwrap_or_else(|| DEFAULT_DEQUE_OUT.to_string());
+    let baseline_path =
+        flag_value(args, "--baseline").unwrap_or_else(|| DEFAULT_SMOKE_OUT.to_string());
+    let baseline = if smoke {
+        match std::fs::read_to_string(&baseline_path) {
+            Ok(text) => match Value::parse(&text) {
+                Ok(v) => Some(v),
+                Err(e) => {
+                    eprintln!("sweep: {baseline_path}: {e}");
+                    return ExitCode::from(2);
+                }
+            },
+            Err(e) => {
+                eprintln!("sweep: no baseline at {baseline_path} ({e}); skipping the drift gate");
+                None
+            }
+        }
+    } else {
+        None
+    };
+    let mode = if smoke { "smoke" } else { "full" };
+
+    // Figure family + drift gate. The simulator *models* the steal path
+    // (its scheduler has no executable deque), so these rows cannot
+    // depend on the deque under test — recording them once and gating
+    // against the committed baseline pins exactly that: the deque swap
+    // moves steal throughput, never the paper's energy/time/EDP story.
+    let overall = figures::overall("Deque ablation: Figure 7", System::B);
+    let edp = figures::edp("Deque ablation: Figure 9", System::B);
+    let n = overall.len() as f64;
+    let saving = overall.iter().map(|&(_, _, s, _)| s).sum::<f64>() / n;
+    let loss = overall.iter().map(|&(_, _, _, l)| l).sum::<f64>() / n;
+    let nedp = edp.iter().map(|&(_, _, e)| e).sum::<f64>() / edp.len() as f64;
+    let headline = Value::obj(vec![
+        ("energy_saving_pct", Value::Num(saving)),
+        ("time_loss_pct", Value::Num(loss)),
+        ("norm_edp", Value::Num(nedp)),
+    ]);
+    let figures_value = Value::obj(vec![
+        ("fig07_overall_b", overall_rows(overall)),
+        ("fig09_edp_b", edp_rows(edp)),
+    ]);
+    let mut drift_violations = 0;
+    let sample = sample_run_report().to_value();
+    if let Some(base) = &baseline {
+        let comparable = Value::obj(vec![
+            ("schema", Value::Str(ARTIFACT_SCHEMA.to_string())),
+            ("mode", Value::Str(mode.to_string())),
+            ("headline", headline.clone()),
+            ("figures", figures_value.clone()),
+            ("sample_run_report", sample.clone()),
+        ]);
+        println!("\n--- deque ablation: figure drift vs {baseline_path} ---");
+        drift_violations = diff(base, &comparable, &tol);
+    }
+
+    // The measured halves: raw contended-steal throughput and the rt
+    // pool's contention/starvation split, per deque kind.
+    let (window_ms, rounds) = if smoke { (250, 3) } else { (1_000, 5) };
+    let window = std::time::Duration::from_millis(window_ms);
+    println!(
+        "\n--- contended-steal probe ({window_ms} ms window, 3 thieves, best of {rounds}) ---"
+    );
+    let the_probe = contended_steal_probe(DequeKind::The, window, rounds);
+    let lf_probe = contended_steal_probe(DequeKind::LockFree, window, rounds);
+    let (the_stats, the_report) = rt_pool_probe(DequeKind::The, smoke);
+    let (lf_stats, lf_report) = rt_pool_probe(DequeKind::LockFree, smoke);
+
+    println!(
+        "{:<12} {:>14} {:>9} {:>12} {:>12} {:>10} {:>12} {:>12}",
+        "deque",
+        "steals/s",
+        "stolen",
+        "empty",
+        "lost-race",
+        "rt-steals",
+        "rt-empty",
+        "rt-lost-race"
+    );
+    for (label, probe, stats) in [
+        ("the", &the_probe, &the_stats),
+        ("lock-free", &lf_probe, &lf_stats),
+    ] {
+        println!(
+            "{:<12} {:>14.0} {:>9} {:>12} {:>12} {:>10} {:>12} {:>12}",
+            label,
+            probe.throughput,
+            probe.stolen,
+            probe.empty,
+            probe.lost_races,
+            stats.steals,
+            stats.empty_steals,
+            stats.lost_race_steals
+        );
+    }
+
+    let ratio = lf_probe.throughput / the_probe.throughput.max(1e-9);
+    let throughput_ok = ratio >= min_ratio;
+    println!(
+        "\nthroughput gate: lock-free/THE = {ratio:.2} (need >= {min_ratio:.2}) -> {}",
+        if throughput_ok { "ok" } else { "FAIL" }
+    );
+
+    let artifact = Value::obj(vec![
+        ("schema", Value::Str(DEQUE_ARTIFACT_SCHEMA.to_string())),
+        ("mode", Value::Str(mode.to_string())),
+        ("trials", Value::Num(hermes_bench::trials() as f64)),
+        ("scale", Value::Num(hermes_bench::scale())),
+        ("headline", headline),
+        ("figures", figures_value),
+        ("sample_run_report", sample),
+        (
+            "deques",
+            Value::obj(vec![
+                ("the", deque_section(&the_probe, &the_stats, &the_report)),
+                ("lock_free", deque_section(&lf_probe, &lf_stats, &lf_report)),
+            ]),
+        ),
+        (
+            "gate",
+            Value::obj(vec![
+                (
+                    "throughput_ratio",
+                    Value::Num((ratio * 1000.0).round() / 1000.0),
+                ),
+                ("min_steal_ratio", Value::Num(min_ratio)),
+                ("throughput_ok", Value::Bool(throughput_ok)),
+                (
+                    "figure_drift_violations",
+                    Value::Num(drift_violations as f64),
+                ),
+            ]),
+        ),
+    ]);
+    let json = artifact.to_string_pretty();
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("sweep: cannot write {out_path}: {e}");
+        return ExitCode::from(2);
+    }
+    println!("sweep: wrote {out_path} ({} bytes)", json.len());
+
+    if drift_violations > 0 {
+        eprintln!("sweep: {drift_violations} figure metric(s) drifted beyond baseline tolerances");
+    }
+    if throughput_ok && drift_violations == 0 {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

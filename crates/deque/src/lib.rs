@@ -11,11 +11,13 @@
 //!   in the paper's Fig. 2: head/tail indices over a ring buffer, a
 //!   deque-wide lock taken by every steal and by pop only on potential
 //!   conflict (optimistic locking).
-//! * [`LockFreeDeque`] — Chase–Lev-style indices where steals race on an
-//!   atomic `top` counter instead of a lock. Per-slot guards keep the
-//!   implementation 100 % safe Rust; the contention profile (no
-//!   deque-wide lock on steal) is what the `ablate_deque` benchmark
-//!   compares.
+//! * [`LockFreeDeque`] — an atomics-only Chase–Lev deque: an
+//!   `UnsafeCell`/`MaybeUninit` ring indexed by `top`/`bottom`, steals
+//!   racing on a CAS over `top`, with the published acquire/release +
+//!   explicit-fence orderings for weak memory models (see the module
+//!   docs for the per-access inventory). No lock anywhere on the
+//!   push/pop/steal paths — the contention profile the
+//!   `sweep --ablate-deque` comparison measures against THE.
 //!
 //! Both deques are **bounded** (like Cilk's spawn-depth-bounded deque):
 //! [`TaskDeque::push`] reports overflow instead of reallocating, so a
@@ -24,9 +26,14 @@
 //! ## Ownership discipline
 //!
 //! `push` and `pop` must only be called by the deque's owning worker;
-//! `steal` and `len` may be called from any thread. Violating the
-//! discipline is a logic error (results may be arbitrary task orderings)
-//! but never memory-unsafe — this crate forbids `unsafe` code.
+//! `steal` and `len` may be called from any thread. For [`TheDeque`]
+//! (whose slots sit behind per-slot guards) violating the discipline is
+//! a logic error only; for [`LockFreeDeque`] it is undefined behaviour
+//! — concurrent owners would race on the unguarded ring. Debug builds
+//! of [`LockFreeDeque`] assert the single-owner rule by thread id, and
+//! the runtime upholds it structurally (one deque per worker). All
+//! `unsafe` in this crate is confined to the `lock_free` module and
+//! documented access by access; everything else is `deny(unsafe_code)`.
 //!
 //! ```
 //! use hermes_deque::{TaskDeque, TheDeque, Steal};
@@ -39,7 +46,7 @@
 //! assert_eq!(dq.pop(), None);
 //! ```
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -23,7 +23,8 @@ pub enum DequeKind {
     /// The paper's THE-protocol deque (locked steals).
     #[default]
     The,
-    /// Chase–Lev-style deque (lockless steals); for the deque ablation.
+    /// Atomics-only Chase–Lev deque (steals race on a CAS; no lock on
+    /// any path); for the `sweep --ablate-deque` comparison.
     LockFree,
 }
 
