@@ -13,6 +13,14 @@
 //!                                     THE vs. atomics-only deque: contended-steal throughput,
 //!                                     empty/lost-race split, figure drift; non-zero exit when
 //!                                     the lock-free deque loses or the figures drift
+//! sweep --serve [--smoke] [--baseline PATH] [--out PATH]
+//!               [--serve-p99-factor X] [--serve-p99-floor-ms MS]
+//!                                     energy-under-load ablation: utilization × tempo × parking
+//!                                     over an open-loop Poisson-served grid; non-zero exit when
+//!                                     tempo+parking fails to beat tempo-off/parking-off on
+//!                                     energy at the lowest utilization, when its p99 exceeds
+//!                                     tolerance, or when the arrival schedule diverges from
+//!                                     the committed baseline
 //!
 //! Tolerances (percentage points unless noted):
 //!   --tol-headline PTS   headline energy/time drift        (default 1.0)
@@ -49,6 +57,20 @@
 //! The measurements land in `BENCH_deque_ablation.json` (override with
 //! `--out`).
 //!
+//! `--serve` measures what no closed fork-join scenario can: the energy
+//! a server burns *between* requests. A [`hermes_serve::Server`] on the
+//! rt pool is driven open-loop with deterministic seeded Poisson
+//! arrivals at 10/30/60/90 % offered utilization, across the four
+//! {tempo on/off} × {parking on/off} corners (16 cells). Each cell
+//! records emulated energy (busy + idle-spin + parked), the
+//! log-bucketed latency percentiles (p50/p99/p999), and park counters.
+//! Gates: at the lowest utilization, tempo+parking energy must be
+//! strictly below tempo-off/parking-off while its p99 stays within
+//! `--serve-p99-factor` × the off/off p99 plus `--serve-p99-floor-ms`;
+//! and the per-utilization arrival-schedule fingerprints must match the
+//! committed `BENCH_serve.json` (the deterministic, host-independent
+//! part of the artifact). See DESIGN.md §Serve for the protocol.
+//!
 //! `--ablate-victim` reruns the smoke figure family under each
 //! `VictimPolicy` and probes steal locality with a dense-placement
 //! telemetry run per system shape (dense, because under the paper's
@@ -66,9 +88,10 @@
 
 use hermes_bench::figures;
 use hermes_bench::{cell_config, trials, Cell, System};
-use hermes_core::Policy;
+use hermes_core::{Frequency, Policy, TempoConfig};
 use hermes_deque::{LockFreeDeque, Steal, TaskDeque, TheDeque};
 use hermes_rt::{parallel_for, DequeKind, Pool};
+use hermes_serve::{run_open_loop, PoissonSchedule, Server};
 use hermes_sim::WorkerPlacement;
 use hermes_telemetry::json::Value;
 use hermes_telemetry::{RingSink, RunReport, TelemetrySink};
@@ -90,12 +113,22 @@ const DEFAULT_DEQUE_OUT: &str = "BENCH_deque_ablation.json";
 /// with the figure baselines: most of its numbers are wall-clock
 /// measurements of this host, not deterministic simulator output).
 const DEQUE_ARTIFACT_SCHEMA: &str = "hermes-deque-ablation/v1";
+/// Where `--serve` records its measurements.
+const DEFAULT_SERVE_OUT: &str = "BENCH_serve.json";
+/// Schema tag of the serving ablation artifact. Like the deque
+/// ablation, its energy/latency numbers are wall-clock measurements of
+/// this host; the *deterministic* part — the seeded Poisson arrival
+/// schedule, fingerprinted per utilization point — is what the
+/// reproducibility gate compares against the committed baseline.
+const SERVE_ARTIFACT_SCHEMA: &str = "hermes-serve-ablation/v1";
 
 /// Flags that take a value (the next argument).
 const VALUE_FLAGS: &[&str] = &[
     "--out",
     "--baseline",
     "--min-steal-ratio",
+    "--serve-p99-factor",
+    "--serve-p99-floor-ms",
     "--tol-headline",
     "--tol-headline-edp",
     "--tol-row",
@@ -110,6 +143,7 @@ const MODE_FLAGS: &[&str] = &[
     "--diff",
     "--ablate-victim",
     "--ablate-deque",
+    "--serve",
 ];
 
 fn main() -> ExitCode {
@@ -143,15 +177,16 @@ fn main() -> ExitCode {
         }
     }
     let has = |flag: &str| args.iter().any(|a| a == flag);
-    let (smoke, full, diff, ablate, ablate_deque) = (
+    let (smoke, full, diff, ablate, ablate_deque, serve) = (
         has("--smoke"),
         has("--full"),
         has("--diff"),
         has("--ablate-victim"),
         has("--ablate-deque"),
+        has("--serve"),
     );
     if diff {
-        if smoke || full || ablate || ablate_deque {
+        if smoke || full || ablate || ablate_deque || serve {
             eprintln!("sweep: --diff does not combine with recording modes");
             print_usage();
             return ExitCode::from(2);
@@ -168,10 +203,18 @@ fn main() -> ExitCode {
         print_usage();
         return ExitCode::from(2);
     }
-    if ablate && ablate_deque {
+    if [ablate, ablate_deque, serve].iter().filter(|&&m| m).count() > 1 {
         eprintln!("sweep: pick one ablation at a time");
         print_usage();
         return ExitCode::from(2);
+    }
+    if serve {
+        if full {
+            eprintln!("sweep: --serve runs its own protocol; combine with --smoke only");
+            print_usage();
+            return ExitCode::from(2);
+        }
+        return serve_main(&args, smoke);
     }
     if ablate || ablate_deque {
         if full {
@@ -220,8 +263,12 @@ fn print_usage() {
     eprintln!("       sweep --ablate-victim [--smoke] [--baseline PATH] [tolerances]");
     eprintln!("       sweep --ablate-deque  [--smoke] [--baseline PATH] [--out PATH]");
     eprintln!("                             [--min-steal-ratio X] [tolerances]");
+    eprintln!("       sweep --serve [--smoke] [--baseline PATH] [--out PATH]");
+    eprintln!("                     [--serve-p99-factor X] [--serve-p99-floor-ms MS]");
     eprintln!("default output: {DEFAULT_SMOKE_OUT} with --smoke, {DEFAULT_FULL_OUT} with --full,");
-    eprintln!("                {DEFAULT_DEQUE_OUT} with --ablate-deque");
+    eprintln!(
+        "                {DEFAULT_DEQUE_OUT} with --ablate-deque, {DEFAULT_SERVE_OUT} with --serve"
+    );
 }
 
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
@@ -1091,6 +1138,403 @@ fn ablate_deque_main(args: &[String], smoke: bool) -> ExitCode {
         eprintln!("sweep: {drift_violations} figure metric(s) drifted beyond baseline tolerances");
     }
     if throughput_ok && drift_violations == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+// ---------------------------------------------------------------------
+// Serving ablation (energy under open-loop load)
+
+/// Workers in every serving cell.
+const SERVE_WORKERS: usize = 4;
+/// Offered utilizations swept, lowest first (the gate anchors on the
+/// first entry).
+const SERVE_UTILS: &[f64] = &[0.10, 0.30, 0.60, 0.90];
+/// Base seed of the per-utilization arrival schedules; utilization
+/// index is added so each point draws an independent (but fixed)
+/// process shared by all four tempo/parking corners.
+const SERVE_SEED: u64 = 0x5EED_CAFE;
+/// Elements and grain of the per-request fork-join kernel: 8 leaf
+/// chunks, enough join structure that tempo hooks fire inside requests.
+const SERVE_KERNEL_ELEMS: usize = 1024;
+const SERVE_KERNEL_GRAIN: usize = 128;
+
+/// Per-element work of the request kernel (~150 ns): multiplicative
+/// hashing, opaque to the optimizer.
+fn serve_kernel_elem(x: &mut u64) {
+    let mut acc = *x;
+    for _ in 0..300 {
+        acc = std::hint::black_box(acc.wrapping_mul(2654435761).rotate_left(7));
+    }
+    *x = acc;
+}
+
+/// One serving request: a small fork-join kernel over a scratch buffer,
+/// so requests spawn/steal internally and the tempo controller sees the
+/// full hook traffic.
+fn serve_request() {
+    let mut v: Vec<u64> = (0..SERVE_KERNEL_ELEMS as u64).collect();
+    parallel_for(&mut v, SERVE_KERNEL_GRAIN, serve_kernel_elem);
+    std::hint::black_box(&v);
+}
+
+/// Mean sequential service time of one request, measured on the
+/// calling thread (outside any pool, `join` degrades to sequential).
+/// Calibrates the offered-load rates to this host; the *schedule shape*
+/// stays the seeded deterministic draw.
+fn calibrate_service_time() -> f64 {
+    for _ in 0..5 {
+        serve_request(); // warmup
+    }
+    let rounds = 20;
+    let t0 = Instant::now();
+    for _ in 0..rounds {
+        serve_request();
+    }
+    t0.elapsed().as_secs_f64() / rounds as f64
+}
+
+/// One cell of the serving grid.
+struct ServeCell {
+    util: f64,
+    tempo: bool,
+    parking: bool,
+    offered_rate_hz: f64,
+    achieved_rate_hz: f64,
+    elapsed_s: f64,
+    energy_j: f64,
+    p50_ns: u64,
+    p99_ns: u64,
+    p999_ns: u64,
+    parks: u64,
+    parked_ns: u64,
+    injector_pops: u64,
+    late_submissions: usize,
+}
+
+fn serve_cell_key(util: f64, tempo: bool, parking: bool) -> String {
+    format!(
+        "u{:02.0}/tempo-{}/park-{}",
+        util * 100.0,
+        if tempo { "on" } else { "off" },
+        if parking { "on" } else { "off" }
+    )
+}
+
+/// Run one cell: a fresh server per corner so energy accounting starts
+/// from zero, the same seeded schedule per utilization across corners.
+fn run_serve_cell(
+    util: f64,
+    tempo: bool,
+    parking: bool,
+    schedule: &PoissonSchedule,
+    service_s: f64,
+) -> ServeCell {
+    let policy = if tempo {
+        Policy::Unified
+    } else {
+        Policy::Baseline
+    };
+    // Both arms elect the same frequencies so the bootstrap operating
+    // point (and thus the busy-power anchor) is identical; Baseline
+    // simply never leaves it.
+    let tempo_config = TempoConfig::builder()
+        .policy(policy)
+        .frequencies(vec![Frequency::from_mhz(2400), Frequency::from_mhz(1600)])
+        .workers(SERVE_WORKERS)
+        .build();
+    let mut server = Server::builder()
+        .workers(SERVE_WORKERS)
+        .tempo(tempo_config)
+        .parking(parking)
+        .emulated_dvfs(Frequency::from_mhz(2400), 8.0)
+        .build();
+    let offered_rate_hz = util * serve_effective_cores() as f64 / service_s;
+    let offsets = schedule.offsets(offered_rate_hz);
+    let run = run_open_loop(&server, &offsets, |_| serve_request);
+    server.stop();
+    let elapsed_s = server.pool().elapsed_ns() as f64 / 1e9;
+    let stats = server.pool().stats();
+    let hist = server.latency();
+    ServeCell {
+        util,
+        tempo,
+        parking,
+        offered_rate_hz,
+        achieved_rate_hz: schedule.len() as f64 / elapsed_s.max(1e-9),
+        elapsed_s,
+        energy_j: server.pool().total_energy().unwrap_or(0.0),
+        p50_ns: hist.p50().unwrap_or(0),
+        p99_ns: hist.p99().unwrap_or(0),
+        p999_ns: hist.p999().unwrap_or(0),
+        parks: stats.parks,
+        parked_ns: stats.parked_ns,
+        injector_pops: stats.injector_pops,
+        late_submissions: run.late_submissions,
+    }
+}
+
+fn serve_cell_value(c: &ServeCell) -> Value {
+    Value::obj(vec![
+        (
+            "key",
+            Value::Str(serve_cell_key(c.util, c.tempo, c.parking)),
+        ),
+        ("util", Value::Num(c.util)),
+        ("tempo", Value::Bool(c.tempo)),
+        ("parking", Value::Bool(c.parking)),
+        ("offered_rate_hz", Value::Num(c.offered_rate_hz)),
+        ("achieved_rate_hz", Value::Num(c.achieved_rate_hz)),
+        ("elapsed_s", Value::Num(c.elapsed_s)),
+        ("energy_j", Value::Num(c.energy_j)),
+        ("p50_ns", Value::Num(c.p50_ns as f64)),
+        ("p99_ns", Value::Num(c.p99_ns as f64)),
+        ("p999_ns", Value::Num(c.p999_ns as f64)),
+        ("parks", Value::Num(c.parks as f64)),
+        ("parked_ns", Value::Num(c.parked_ns as f64)),
+        ("injector_pops", Value::Num(c.injector_pops as f64)),
+        ("late_submissions", Value::Num(c.late_submissions as f64)),
+    ])
+}
+
+/// Cores the served pool can actually occupy: offered "utilization" is
+/// relative to real capacity, so a 2-core CI host running 4 workers is
+/// calibrated against 2 cores — 90 % offered load must stay below
+/// saturation everywhere, or the latency columns measure queue growth
+/// instead of service.
+fn serve_effective_cores() -> usize {
+    std::thread::available_parallelism()
+        .map_or(1, usize::from)
+        .min(SERVE_WORKERS)
+}
+
+fn serve_main(args: &[String], smoke: bool) -> ExitCode {
+    let p99_factor = match tolerance(args, "--serve-p99-factor", 5.0) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("sweep: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let p99_floor_ms = match tolerance(args, "--serve-p99-floor-ms", 10.0) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("sweep: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let out_path = flag_value(args, "--out").unwrap_or_else(|| DEFAULT_SERVE_OUT.to_string());
+    let baseline_path =
+        flag_value(args, "--baseline").unwrap_or_else(|| DEFAULT_SERVE_OUT.to_string());
+    let requests = if smoke { 200 } else { 800 };
+    let mode = if smoke { "smoke" } else { "full" };
+
+    let service_s = calibrate_service_time();
+    println!(
+        "serve ablation: {SERVE_WORKERS} workers on {} effective core(s), \
+         {requests} requests/cell, calibrated service time {:.1} µs",
+        serve_effective_cores(),
+        service_s * 1e6
+    );
+
+    // One seeded schedule per utilization point, shared by all four
+    // tempo/parking corners so every corner replays the identical
+    // arrival process.
+    let schedules: Vec<PoissonSchedule> = (0..SERVE_UTILS.len())
+        .map(|i| PoissonSchedule::unit(SERVE_SEED + i as u64, requests))
+        .collect();
+
+    let mut cells: Vec<ServeCell> = Vec::new();
+    for (i, &util) in SERVE_UTILS.iter().enumerate() {
+        for tempo in [false, true] {
+            for parking in [false, true] {
+                cells.push(run_serve_cell(
+                    util,
+                    tempo,
+                    parking,
+                    &schedules[i],
+                    service_s,
+                ));
+            }
+        }
+    }
+
+    println!(
+        "\n{:<22} {:>9} {:>9} {:>9} {:>9} {:>9} {:>7} {:>10}",
+        "cell", "energy J", "p50 µs", "p99 µs", "p999 µs", "rate/s", "parks", "parked ms"
+    );
+    for c in &cells {
+        println!(
+            "{:<22} {:>9.3} {:>9.1} {:>9.1} {:>9.1} {:>9.0} {:>7} {:>10.1}",
+            serve_cell_key(c.util, c.tempo, c.parking),
+            c.energy_j,
+            c.p50_ns as f64 / 1e3,
+            c.p99_ns as f64 / 1e3,
+            c.p999_ns as f64 / 1e3,
+            c.achieved_rate_hz,
+            c.parks,
+            c.parked_ns as f64 / 1e6,
+        );
+    }
+
+    // --- Gates -------------------------------------------------------
+    let lowest = SERVE_UTILS[0];
+    let cell = |tempo: bool, parking: bool| {
+        cells
+            .iter()
+            .find(|c| c.util == lowest && c.tempo == tempo && c.parking == parking)
+            .expect("grid is complete")
+    };
+    let on_on = cell(true, true);
+    let off_off = cell(false, false);
+
+    // Gate 1: the controller's low-utilization energy win. Everything
+    // thief-side idles most of the wall clock at 10 % utilization, so
+    // tempo (slow spins) + parking (no spins) must beat the stock
+    // configuration outright.
+    let energy_ok = on_on.energy_j < off_off.energy_j;
+    println!(
+        "\nenergy gate (u{:02.0}): tempo+parking {:.3} J < off/off {:.3} J -> {}",
+        lowest * 100.0,
+        on_on.energy_j,
+        off_off.energy_j,
+        if energy_ok { "ok" } else { "FAIL" }
+    );
+
+    // Gate 2: the energy win may not be bought with the tail. Parking
+    // adds a wakeup to cold requests and tempo slows thieves, so the
+    // bound is a factor plus an absolute floor (CI hosts are noisy and
+    // oversubscribed; see DESIGN.md §Serve for the tolerance rationale).
+    let p99_bound_ns = off_off.p99_ns as f64 * p99_factor + p99_floor_ms * 1e6;
+    let p99_ok = (on_on.p99_ns as f64) <= p99_bound_ns;
+    println!(
+        "p99 gate (u{:02.0}): tempo+parking {:.1} µs <= {:.1} µs ({}x off/off {:.1} µs + {} ms) -> {}",
+        lowest * 100.0,
+        on_on.p99_ns as f64 / 1e3,
+        p99_bound_ns / 1e3,
+        p99_factor,
+        off_off.p99_ns as f64 / 1e3,
+        p99_floor_ms,
+        if p99_ok { "ok" } else { "FAIL" }
+    );
+
+    // Gate 3: reproducibility of the deterministic half — the arrival
+    // schedules must fingerprint-match the committed artifact (same
+    // seeds, same draws, same request counts).
+    let mut schedule_ok = true;
+    match std::fs::read_to_string(&baseline_path) {
+        Err(e) => {
+            println!("schedule gate: no baseline at {baseline_path} ({e}); skipping");
+        }
+        Ok(text) => match Value::parse(&text) {
+            Err(e) => {
+                eprintln!("sweep: {baseline_path}: {e}");
+                return ExitCode::from(2);
+            }
+            Ok(base) => {
+                if base.get("schema").and_then(Value::as_str) != Some(SERVE_ARTIFACT_SCHEMA) {
+                    eprintln!("sweep: {baseline_path}: not a serve-ablation artifact");
+                    return ExitCode::from(2);
+                }
+                let base_mode = base.get("mode").and_then(Value::as_str).unwrap_or("?");
+                if base_mode != mode {
+                    println!(
+                        "schedule gate skipped: baseline mode {base_mode} != {mode} \
+                         (different request counts draw different schedules)"
+                    );
+                } else {
+                    let empty = Vec::new();
+                    let base_scheds = base
+                        .get("schedules")
+                        .and_then(Value::as_arr)
+                        .unwrap_or(&empty);
+                    for (i, sched) in schedules.iter().enumerate() {
+                        let expect = base_scheds
+                            .iter()
+                            .find(|s| s.get("util").and_then(Value::as_f64) == Some(SERVE_UTILS[i]))
+                            .and_then(|s| s.get("fingerprint").and_then(Value::as_str))
+                            .map(str::to_string);
+                        let got = format!("{:016x}", sched.fingerprint());
+                        if expect.as_deref() != Some(got.as_str()) {
+                            schedule_ok = false;
+                            println!(
+                                "schedule gate: u{:02.0} fingerprint {got} != baseline {:?}",
+                                SERVE_UTILS[i] * 100.0,
+                                expect
+                            );
+                        }
+                    }
+                    println!(
+                        "schedule gate: arrival fingerprints vs {baseline_path} -> {}",
+                        if schedule_ok { "ok" } else { "FAIL" }
+                    );
+                }
+            }
+        },
+    }
+
+    let artifact = Value::obj(vec![
+        ("schema", Value::Str(SERVE_ARTIFACT_SCHEMA.to_string())),
+        ("mode", Value::Str(mode.to_string())),
+        ("workers", Value::Num(SERVE_WORKERS as f64)),
+        (
+            "effective_cores",
+            Value::Num(serve_effective_cores() as f64),
+        ),
+        ("requests_per_cell", Value::Num(requests as f64)),
+        ("service_time_s", Value::Num(service_s)),
+        (
+            "schedules",
+            Value::Arr(
+                SERVE_UTILS
+                    .iter()
+                    .zip(&schedules)
+                    .map(|(&util, s)| {
+                        Value::obj(vec![
+                            ("util", Value::Num(util)),
+                            ("seed", Value::Num(s.seed() as f64)),
+                            (
+                                "fingerprint",
+                                Value::Str(format!("{:016x}", s.fingerprint())),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "grid",
+            Value::Arr(cells.iter().map(serve_cell_value).collect()),
+        ),
+        (
+            "gate",
+            Value::obj(vec![
+                ("energy_ok", Value::Bool(energy_ok)),
+                (
+                    "energy_on_on_j",
+                    Value::Num((on_on.energy_j * 1e6).round() / 1e6),
+                ),
+                (
+                    "energy_off_off_j",
+                    Value::Num((off_off.energy_j * 1e6).round() / 1e6),
+                ),
+                ("p99_ok", Value::Bool(p99_ok)),
+                ("p99_factor", Value::Num(p99_factor)),
+                ("p99_floor_ms", Value::Num(p99_floor_ms)),
+                ("schedule_ok", Value::Bool(schedule_ok)),
+            ]),
+        ),
+    ]);
+    let json = artifact.to_string_pretty();
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("sweep: cannot write {out_path}: {e}");
+        return ExitCode::from(2);
+    }
+    println!("sweep: wrote {out_path} ({} bytes)", json.len());
+
+    if energy_ok && p99_ok && schedule_ok {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

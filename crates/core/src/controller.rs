@@ -206,6 +206,11 @@ pub struct TempoController {
     list: ImmediacyList,
     table: ThresholdTable,
     profiler: OnlineProfiler,
+    /// Whether each worker is currently parked (see
+    /// [`on_park`](Self::on_park)): while set, actuations for that
+    /// worker are deferred — its core is pinned at the slowest elected
+    /// frequency until [`on_unpark`](Self::on_unpark).
+    parked: Vec<bool>,
     stats: TempoStats,
     /// When true, every tempo transition is appended to `trace_buf` for
     /// the host to drain (see [`drain_transitions`](Self::drain_transitions)).
@@ -234,6 +239,7 @@ impl TempoController {
             list: ImmediacyList::new(n),
             table,
             profiler,
+            parked: vec![false; n],
             config,
             stats: TempoStats::default(),
             tracing: false,
@@ -437,6 +443,73 @@ impl TempoController {
         self.workload_lower(w, len, actuator);
     }
 
+    /// Hook: `w` exhausted its bounded idle spin and is about to park on
+    /// the host's idle primitive (condvar, futex…).
+    ///
+    /// A parked worker executes nothing, so under any non-baseline
+    /// policy its core is pinned at the **slowest elected frequency** —
+    /// the deepest tempo the paper's controller can express — without
+    /// disturbing the worker's logical level: parking is a scheduler
+    /// state, not a tempo transition, and the level must survive the nap
+    /// so the first steal after waking is procrastinated relative to the
+    /// right baseline. While parked, level changes (immediacy relays
+    /// from other workers) are tracked but not actuated;
+    /// [`on_unpark`](Self::on_unpark) actuates the then-current level.
+    ///
+    /// Idempotent per episode: a second `on_park` without an intervening
+    /// unpark is a host bug and is ignored.
+    pub fn on_park<A: FrequencyActuator>(&mut self, w: WorkerId, actuator: &mut A) {
+        if self.parked[w.0] {
+            return;
+        }
+        self.parked[w.0] = true;
+        self.stats.parks += 1;
+        if !self.config.policy.is_enabled() {
+            return;
+        }
+        let slowest = self.config.freq_map.slowest();
+        if self.config.freq_map.frequency(self.applied[w.0]) != slowest {
+            self.stats.actuations += 1;
+            actuator.apply(TempoChange {
+                worker: w,
+                level: self.level(w),
+                frequency: slowest,
+            });
+        }
+    }
+
+    /// Hook: `w` woke from a park episode. Re-actuates the frequency of
+    /// the worker's current tempo level if it differs from the parked
+    /// (slowest) frequency the core was pinned at.
+    pub fn on_unpark<A: FrequencyActuator>(&mut self, w: WorkerId, actuator: &mut A) {
+        if !self.parked[w.0] {
+            return;
+        }
+        self.parked[w.0] = false;
+        if !self.config.policy.is_enabled() {
+            return;
+        }
+        // The level may have moved while parked (relays); actuate
+        // whatever is current now.
+        self.applied[w.0] = self.level(w);
+        let freq = self.config.freq_map.frequency(self.applied[w.0]);
+        if freq != self.config.freq_map.slowest() {
+            self.stats.actuations += 1;
+            actuator.apply(TempoChange {
+                worker: w,
+                level: self.applied[w.0],
+                frequency: freq,
+            });
+        }
+    }
+
+    /// Whether `w` is currently parked (between
+    /// [`on_park`](Self::on_park) and [`on_unpark`](Self::on_unpark)).
+    #[must_use]
+    pub fn is_parked(&self, w: WorkerId) -> bool {
+        self.parked[w.0]
+    }
+
     /// Record one deque-size sample for the online profiler. Hosts call
     /// this for every worker once per profiler period.
     pub fn record_deque_sample(&mut self, deque_len: usize) {
@@ -511,6 +584,11 @@ impl TempoController {
             return;
         }
         self.applied[w.0] = level;
+        // A parked worker's core is pinned at the slowest frequency;
+        // defer the actuation to on_unpark (which reads `applied`).
+        if self.parked[w.0] {
+            return;
+        }
         self.stats.actuations += 1;
         actuator.apply(TempoChange {
             worker: w,
@@ -932,6 +1010,71 @@ mod tests {
         ctl.drain_transitions(|_| n += 1);
         assert_eq!(n, 0);
         assert!(!ctl.tracing());
+    }
+
+    #[test]
+    fn park_pins_slowest_and_unpark_restores_level() {
+        let mut ctl = TempoController::new(config(Policy::WorkpathOnly, 2, 3));
+        let mut act = RecordingActuator::new();
+        // Worker 0 runs allegro; parking pins its core at the slowest
+        // elected frequency without touching the logical level.
+        ctl.on_park(w(0), &mut act);
+        assert!(ctl.is_parked(w(0)));
+        assert_eq!(act.last_frequency(w(0)), Some(Frequency::from_mhz(1600)));
+        assert_eq!(ctl.level(w(0)), TempoLevel::FASTEST, "level survives");
+        assert_eq!(ctl.stats().parks, 1);
+        // Double-park is a host bug and a no-op.
+        let before = act.changes().len();
+        ctl.on_park(w(0), &mut act);
+        assert_eq!(act.changes().len(), before);
+        assert_eq!(ctl.stats().parks, 1);
+        // Unpark restores the level frequency.
+        ctl.on_unpark(w(0), &mut act);
+        assert!(!ctl.is_parked(w(0)));
+        assert_eq!(act.last_frequency(w(0)), Some(Frequency::from_mhz(2400)));
+        // Every park/unpark apply was counted as an actuation.
+        assert_eq!(ctl.stats().actuations, act.changes().len() as u64);
+    }
+
+    #[test]
+    fn park_at_slowest_level_does_not_actuate() {
+        // A deeply procrastinated thief already sits at the slowest
+        // frequency: parking must not produce a redundant actuation.
+        let mut ctl = TempoController::new(config(Policy::WorkpathOnly, 2, 2));
+        let mut act = RecordingActuator::new();
+        ctl.on_steal(w(1), w(0), 2, &mut act); // w1 -> level 1 = slowest of 2
+        let before = act.changes().len();
+        ctl.on_park(w(1), &mut act);
+        ctl.on_unpark(w(1), &mut act);
+        assert_eq!(act.changes().len(), before, "no redundant actuations");
+    }
+
+    #[test]
+    fn relay_while_parked_defers_actuation_to_unpark() {
+        let mut ctl = TempoController::new(config(Policy::WorkpathOnly, 3, 3));
+        let mut act = RecordingActuator::new();
+        // w1 steals from w0 (level 1), then parks at the slowest pin.
+        ctl.on_steal(w(1), w(0), 2, &mut act);
+        ctl.on_park(w(1), &mut act);
+        assert_eq!(act.last_frequency(w(1)), Some(Frequency::from_mhz(1600)));
+        // w0 runs dry: the relay raises parked w1 back to level 0, but
+        // the actuation is deferred — the core stays pinned.
+        ctl.on_out_of_work(w(0), &mut act);
+        assert_eq!(ctl.level(w(1)), TempoLevel(0));
+        assert_eq!(act.last_frequency(w(1)), Some(Frequency::from_mhz(1600)));
+        // Unpark actuates the relayed level.
+        ctl.on_unpark(w(1), &mut act);
+        assert_eq!(act.last_frequency(w(1)), Some(Frequency::from_mhz(2400)));
+    }
+
+    #[test]
+    fn baseline_policy_parks_without_actuating() {
+        let mut ctl = TempoController::new(config(Policy::Baseline, 2, 2));
+        let mut act = RecordingActuator::new();
+        ctl.on_park(w(0), &mut act);
+        ctl.on_unpark(w(0), &mut act);
+        assert!(act.changes().is_empty(), "baseline never actuates");
+        assert_eq!(ctl.stats().parks, 1, "parks still counted for reports");
     }
 
     #[test]

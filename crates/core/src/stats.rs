@@ -26,6 +26,9 @@ pub struct TempoStats {
     /// Actuations forwarded to the frequency actuator (level actually
     /// changed).
     pub actuations: u64,
+    /// Park episodes reported by the host's idle loop (bounded spin
+    /// exhausted; the worker slept on the pool's idle primitive).
+    pub parks: u64,
 }
 
 impl TempoStats {
@@ -40,7 +43,7 @@ impl std::fmt::Display for TempoStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "steals={} relays={} relay_ups={} path_downs={} wl_ups={} wl_downs={} guard={} thld_updates={} actuations={}",
+            "steals={} relays={} relay_ups={} path_downs={} wl_ups={} wl_downs={} guard={} thld_updates={} actuations={} parks={}",
             self.steals,
             self.relays,
             self.relay_ups,
@@ -49,7 +52,8 @@ impl std::fmt::Display for TempoStats {
             self.workload_downs,
             self.guard_suppressions,
             self.threshold_updates,
-            self.actuations
+            self.actuations,
+            self.parks
         )
     }
 }

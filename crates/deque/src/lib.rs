@@ -23,6 +23,12 @@
 //! [`TaskDeque::push`] reports overflow instead of reallocating, so a
 //! runtime can fall back to inline execution.
 //!
+//! The crate also provides the [`Injector`], a lock-free bounded MPMC
+//! queue (Vyukov's bounded queue) that serves as the pool's *front
+//! door*: external producer threads push tasks in, and every worker
+//! polls it between its local pop and its steal sweep. Unlike the
+//! deques it has no owner — any thread may push or pop.
+//!
 //! ## Ownership discipline
 //!
 //! `push` and `pop` must only be called by the deque's owning worker;
@@ -32,8 +38,9 @@
 //! — concurrent owners would race on the unguarded ring. Debug builds
 //! of [`LockFreeDeque`] assert the single-owner rule by thread id, and
 //! the runtime upholds it structurally (one deque per worker). All
-//! `unsafe` in this crate is confined to the `lock_free` module and
-//! documented access by access; everything else is `deny(unsafe_code)`.
+//! `unsafe` in this crate is confined to the `lock_free` and `injector`
+//! modules and documented access by access; everything else is
+//! `deny(unsafe_code)`.
 //!
 //! ```
 //! use hermes_deque::{TaskDeque, TheDeque, Steal};
@@ -50,9 +57,11 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod injector;
 mod lock_free;
 mod the_deque;
 
+pub use injector::{Injector, InjectorFullError};
 pub use lock_free::LockFreeDeque;
 pub use the_deque::TheDeque;
 

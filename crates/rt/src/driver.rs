@@ -71,6 +71,15 @@ impl FrequencyDriver for NullDriver {
     }
 }
 
+/// Fraction of the fastest busy power a *parked* core draws under the
+/// emulated power model: deep C-state residency is a few percent of
+/// active power on the machines the paper measures. This is what makes
+/// the serving ablation's parking axis visible in virtual energy — a
+/// spinning idle worker burns `busy_watts(f)` (a spin loop executes at
+/// full tilt at its core's current frequency), a parked one burns only
+/// this fraction of `busy_watts_fast`.
+pub const PARK_WATTS_FRACTION: f64 = 0.05;
+
 /// Emulated DVFS by timing dilation.
 ///
 /// Real DVFS makes a task take `f_max / f` times longer; the emulation
@@ -142,6 +151,32 @@ impl EmulatedDvfs {
                 std::hint::spin_loop();
             }
         }
+    }
+
+    /// Account wall-clock time a worker spent *spinning idle* (failed
+    /// pop/steal/injector sweeps plus yields): charged at the busy
+    /// power of the worker's current frequency — a spin loop executes
+    /// at full tilt — with no dilation, since idle time is real time,
+    /// not dilated task time. Callers charge one short slice per idle
+    /// iteration, so a tempo actuation landing mid-idle moves the
+    /// billed power within one sweep+yield of the frequency change.
+    /// This is the energy the tempo controller recovers by
+    /// procrastinating thieves, and the parking subsystem recovers by
+    /// not spinning at all.
+    pub(crate) fn account_idle_spin(&self, worker: usize, real: Duration) {
+        let khz = self.freqs_khz[worker].load(Ordering::Relaxed);
+        let freq = Frequency::from_khz(khz);
+        let nj = self.busy_watts(freq) * real.as_secs_f64() * 1e9;
+        self.energy_nj[worker].fetch_add(nj as u64, Ordering::Relaxed);
+    }
+
+    /// Account a completed park episode: charged at
+    /// [`PARK_WATTS_FRACTION`] of the fastest busy power, independent
+    /// of the core's DVFS operating point (a sleeping core's clock is
+    /// gated either way).
+    pub(crate) fn account_parked(&self, worker: usize, real: Duration) {
+        let nj = self.busy_watts_fast * PARK_WATTS_FRACTION * real.as_secs_f64() * 1e9;
+        self.energy_nj[worker].fetch_add(nj as u64, Ordering::Relaxed);
     }
 
     /// Virtual joules consumed so far, per worker.
@@ -219,6 +254,37 @@ mod tests {
         let d = EmulatedDvfs::new(1, Frequency::from_mhz(2400), 8.0);
         let half = d.busy_watts(Frequency::from_mhz(1200));
         assert!((half - 1.0).abs() < 1e-9, "8 W × (1/2)³ = 1 W, got {half}");
+    }
+
+    #[test]
+    fn idle_spin_charges_current_frequency_power() {
+        let d = EmulatedDvfs::new(1, Frequency::from_mhz(2400), 8.0);
+        // Full tilt: 8 W × 10 ms = 80 mJ.
+        d.account_idle_spin(0, Duration::from_millis(10));
+        let fast = d.total_energy();
+        assert!((fast - 0.080).abs() < 1e-6, "fast spin {fast} J");
+        // Half frequency: 1 W × 10 ms = 10 mJ more.
+        d.set_frequency(0, Frequency::from_mhz(1200)).unwrap();
+        d.account_idle_spin(0, Duration::from_millis(10));
+        let total = d.total_energy();
+        assert!(
+            (total - 0.090).abs() < 1e-6,
+            "slow spin adds 10 mJ: {total} J"
+        );
+    }
+
+    #[test]
+    fn parked_time_charges_the_park_fraction() {
+        let d = EmulatedDvfs::new(1, Frequency::from_mhz(2400), 8.0);
+        d.account_parked(0, Duration::from_millis(100));
+        let e = d.total_energy();
+        // 8 W × 0.05 × 100 ms = 40 mJ.
+        let expect = 8.0 * PARK_WATTS_FRACTION * 0.1;
+        assert!((e - expect).abs() < 1e-6, "parked energy {e} J");
+        // Parking must be far cheaper than spinning the same time.
+        let spin = EmulatedDvfs::new(1, Frequency::from_mhz(2400), 8.0);
+        spin.account_idle_spin(0, Duration::from_millis(100));
+        assert!(e < spin.total_energy() / 10.0);
     }
 
     #[test]

@@ -54,10 +54,11 @@ mod latch;
 mod pool;
 mod sysfs;
 
-pub use driver::{DriverError, EmulatedDvfs, FrequencyDriver, NullDriver};
+pub use driver::{DriverError, EmulatedDvfs, FrequencyDriver, NullDriver, PARK_WATTS_FRACTION};
 pub use latch::Latch;
 pub use pool::{
-    join, parallel_chunks, parallel_for, parallel_map_reduce, DequeKind, Pool, PoolBuilder, RtStats,
+    current_worker_index, join, parallel_chunks, parallel_for, parallel_map_reduce, DequeKind,
+    Pool, PoolBuilder, RtStats,
 };
 pub use sysfs::{parse_available_frequencies, parse_energy_uj, RaplProbe, SysfsCpufreqDriver};
 // The shared topology model the pool's locality-aware victim selection

@@ -6,16 +6,32 @@ use hermes_core::{
     Frequency, FrequencyActuator, Policy, TempoChange, TempoConfig, TempoController, TempoStats,
     WorkerId,
 };
-use hermes_deque::{LockFreeDeque, Steal, TaskDeque, TheDeque};
+use hermes_deque::{Injector, LockFreeDeque, Steal, TaskDeque, TheDeque};
 use hermes_telemetry::{Event, StealOutcome, TelemetrySink};
 use hermes_topology::{CoreId, Topology, VictimPolicy, VictimSelector};
 use parking_lot::{Condvar, Mutex};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
+
+/// Idle-spin iterations before a worker parks, unless overridden by
+/// [`PoolBuilder::spin_budget`]. Short enough that an idle worker stops
+/// burning its core within microseconds, long enough that a worker
+/// whose next task is one push away never touches the condvar.
+const DEFAULT_SPIN_BUDGET: u32 = 16;
+
+/// Default capacity of the pool's MPMC injector (external submission
+/// queue); [`PoolBuilder::injector_capacity`] overrides.
+const DEFAULT_INJECTOR_CAPACITY: usize = 64 * 1024;
+
+/// Parked workers re-check for work at this interval even without a
+/// wakeup — a safety net against (theoretical, see DESIGN.md §Serve)
+/// lost notifies on weakly-ordered hardware, cheap enough (an O(workers)
+/// scan per tick) to be invisible in both energy and latency.
+const PARK_RECHECK: Duration = Duration::from_millis(1);
 
 /// Which deque implementation the pool's workers use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -45,6 +61,13 @@ pub struct RtStats {
     pub lost_race_steals: u64,
     /// Tasks executed inline because a deque was full.
     pub inline_fallbacks: u64,
+    /// Tasks taken from the external-submission injector.
+    pub injector_pops: u64,
+    /// Completed park episodes (a worker exhausted its spin budget and
+    /// slept on the pool's condvar until work or termination).
+    pub parks: u64,
+    /// Total nanoseconds workers spent parked.
+    pub parked_ns: u64,
 }
 
 impl RtStats {
@@ -63,6 +86,9 @@ struct AtomicStats {
     empty_steals: AtomicU64,
     lost_race_steals: AtomicU64,
     inline_fallbacks: AtomicU64,
+    injector_pops: AtomicU64,
+    parks: AtomicU64,
+    parked_ns: AtomicU64,
 }
 
 impl AtomicStats {
@@ -74,6 +100,9 @@ impl AtomicStats {
             empty_steals: self.empty_steals.load(Ordering::Relaxed),
             lost_race_steals: self.lost_race_steals.load(Ordering::Relaxed),
             inline_fallbacks: self.inline_fallbacks.load(Ordering::Relaxed),
+            injector_pops: self.injector_pops.load(Ordering::Relaxed),
+            parks: self.parks.load(Ordering::Relaxed),
+            parked_ns: self.parked_ns.load(Ordering::Relaxed),
         }
     }
 }
@@ -98,6 +127,9 @@ pub struct PoolBuilder {
     telemetry: Option<Arc<dyn TelemetrySink>>,
     topology: Option<Topology>,
     victim: VictimPolicy,
+    spin_budget: Option<u32>,
+    parking: Option<bool>,
+    injector_capacity: Option<usize>,
 }
 
 impl std::fmt::Debug for PoolBuilder {
@@ -192,6 +224,38 @@ impl PoolBuilder {
         self
     }
 
+    /// Idle-spin iterations (yielding sweeps over pop → injector →
+    /// steal) a worker performs before parking (default 16, the
+    /// previously hard-wired constant). Larger budgets trade idle
+    /// energy for wakeup latency; `0` parks on the first empty sweep.
+    /// Ignored when [`parking`](Self::parking) is disabled — the worker
+    /// then spins indefinitely.
+    #[must_use]
+    pub fn spin_budget(mut self, budget: u32) -> Self {
+        self.spin_budget = Some(budget);
+        self
+    }
+
+    /// Enable or disable worker parking (default: enabled). With
+    /// parking off, idle workers yield-spin until work appears — the
+    /// paper's original idle behaviour, kept as the energy-hungry arm
+    /// of the `sweep --serve` ablation.
+    #[must_use]
+    pub fn parking(mut self, on: bool) -> Self {
+        self.parking = Some(on);
+        self
+    }
+
+    /// Capacity of the external-submission injector queue (default
+    /// 65536, rounded up to a power of two). Producers pushing into a
+    /// full injector back off and retry, so this bounds memory, not
+    /// correctness.
+    #[must_use]
+    pub fn injector_capacity(mut self, capacity: usize) -> Self {
+        self.injector_capacity = Some(capacity);
+        self
+    }
+
     /// Build and start the pool.
     ///
     /// # Panics
@@ -269,13 +333,18 @@ impl PoolBuilder {
         }
         let inner = Arc::new(PoolInner {
             deques,
-            injector: Mutex::new(std::collections::VecDeque::new()),
+            injector: Injector::with_capacity(
+                self.injector_capacity.unwrap_or(DEFAULT_INJECTOR_CAPACITY),
+            ),
             controller: Mutex::new(controller),
             driver,
             emu,
             terminate: AtomicBool::new(false),
             sleep_lock: Mutex::new(()),
             sleep_cond: Condvar::new(),
+            parked_workers: AtomicUsize::new(0),
+            spin_budget: self.spin_budget.unwrap_or(DEFAULT_SPIN_BUDGET),
+            parking: self.parking.unwrap_or(true),
             stats: AtomicStats::default(),
             epoch: Instant::now(),
             last_profile_ns: AtomicU64::new(0),
@@ -479,6 +548,10 @@ impl Pool {
 
     fn shutdown_impl(&mut self) {
         self.inner.terminate.store(true, Ordering::SeqCst);
+        // Lock bridge (see PoolInner::notify_parked): a worker between
+        // its pre-park terminate check and its wait either sees the
+        // store above or receives this notify.
+        drop(self.inner.sleep_lock.lock());
         self.inner.sleep_cond.notify_all();
         if let Some(handles) = self.handles.take() {
             for h in handles {
@@ -498,13 +571,25 @@ impl Drop for Pool {
 
 struct PoolInner {
     deques: Vec<Arc<dyn TaskDeque<JobRef>>>,
-    injector: Mutex<std::collections::VecDeque<JobRef>>,
+    /// External-submission queue (lock-free bounded MPMC): `install`,
+    /// `spawn`, and the serving layer push here; workers poll it
+    /// between their local pop and the steal sweep.
+    injector: Injector<JobRef>,
     controller: Mutex<TempoController>,
     driver: Arc<dyn FrequencyDriver>,
     emu: Option<Arc<EmulatedDvfs>>,
     terminate: AtomicBool,
     sleep_lock: Mutex<()>,
     sleep_cond: Condvar,
+    /// Workers currently inside a park episode. Producers skip the
+    /// notify path entirely while this is zero (the common saturated
+    /// case); see `notify_parked` for the lost-wakeup argument.
+    parked_workers: AtomicUsize,
+    /// Idle-spin iterations before parking (see
+    /// [`PoolBuilder::spin_budget`]).
+    spin_budget: u32,
+    /// Whether idle workers park at all (see [`PoolBuilder::parking`]).
+    parking: bool,
     stats: AtomicStats,
     /// Pool start time and nanoseconds of the last profiler tick since
     /// then; any worker on the steal path advances it.
@@ -545,9 +630,132 @@ impl FrequencyActuator for DriverActuator<'_> {
 }
 
 impl PoolInner {
-    fn inject(&self, job: JobRef) {
-        self.injector.lock().push_back(job);
-        self.sleep_cond.notify_all();
+    fn inject(self: &Arc<Self>, job: JobRef) {
+        // The injector is bounded: on overflow, back off and retry.
+        // Workers drain the injector on every idle sweep, so space
+        // frees as long as the pool is alive; this is backpressure on
+        // the producer, by design (an unbounded queue under open-loop
+        // overload grows without limit and hides the overload in
+        // queueing latency instead).
+        let mut job = job;
+        loop {
+            match self.injector.push(job) {
+                Ok(()) => break,
+                Err(e) => {
+                    job = e.0;
+                    // A terminated pool never runs submitted tasks (the
+                    // documented `stop()` contract) and has no workers
+                    // to drain the ring: retrying would spin forever.
+                    if self.terminate.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    // A worker of THIS pool must not wait for space: if
+                    // every worker were in here (tasks fanning out via
+                    // `spawn` onto a small injector), nobody would be
+                    // left to drain the ring — deadlock. Make progress
+                    // ourselves instead: run one injected job inline
+                    // (the overflow fallback the deques handle with
+                    // inline execution).
+                    if let Some((pool, w)) = current_worker() {
+                        if Arc::ptr_eq(&pool, self) {
+                            if let Some(stolen) = self.injector.pop() {
+                                self.stats.injector_pops.fetch_add(1, Ordering::Relaxed);
+                                // SAFETY: the injector hands each job
+                                // to exactly one popper.
+                                unsafe { self.execute(w, stolen) };
+                            }
+                            continue;
+                        }
+                    }
+                    std::thread::yield_now();
+                }
+            }
+        }
+        self.notify_parked();
+    }
+
+    /// Wake a parked worker after making work visible.
+    ///
+    /// No-lost-wakeup argument (DESIGN.md §Serve). Producer: (1) make
+    /// work visible, (2) `SeqCst` fence, (3) read `parked_workers`.
+    /// Parker, under `sleep_lock`: (1) increment `parked_workers`, (2)
+    /// `SeqCst` fence, (3) re-check for work, and only then wait. The
+    /// fences resolve the store-buffering race ([atomics.fences]): one
+    /// of them is first in the total fence order, so either the
+    /// producer's work write is visible to the parker's re-check (it
+    /// never sleeps), or the parker's increment is visible to the
+    /// producer's read — which then routes through the lock bridge
+    /// below, landing by mutual exclusion either before the parker's
+    /// re-check (which then sees the work) or after the parker
+    /// released the lock into its wait (which the notify wakes).
+    /// Parked waits are additionally timed (`PARK_RECHECK`) as
+    /// defense in depth.
+    fn notify_parked(&self) {
+        std::sync::atomic::fence(Ordering::SeqCst);
+        if self.parked_workers.load(Ordering::SeqCst) > 0 {
+            drop(self.sleep_lock.lock());
+            self.sleep_cond.notify_one();
+        }
+    }
+
+    /// Work a parked worker could acquire: injected tasks or anything
+    /// stealable. (Its own deque cannot fill while it sleeps — only the
+    /// owner pushes there.)
+    fn has_claimable_work(&self) -> bool {
+        !self.injector.is_empty() || self.deques.iter().any(|d| !d.is_empty())
+    }
+
+    /// Park worker `w` until work may be available or the pool shuts
+    /// down. Records the park/unpark telemetry bracket, attributes the
+    /// parked time to the energy model, and runs the controller's
+    /// park hooks (which pin the core at the slowest frequency for the
+    /// duration).
+    fn park(&self, w: usize) {
+        // Lock-free pre-check: the common abort case (work appeared
+        // during the last spin) never touches the lock or the
+        // controller.
+        if self.terminate.load(Ordering::SeqCst) || self.has_claimable_work() {
+            return;
+        }
+        // Record the park bracket and pin the frequency BEFORE taking
+        // `sleep_lock`: producers' `notify_parked` serializes on that
+        // lock, so nothing slow (controller mutex, a DVFS write in
+        // `on_park`'s actuation, sink records) may happen under it —
+        // only the parked_workers handshake, the final re-check, and
+        // the wait itself.
+        let t0 = Instant::now();
+        if let Some(sink) = self.sink.as_deref() {
+            sink.record(w, self.epoch.elapsed().as_nanos() as u64, Event::WorkerPark);
+        }
+        self.with_controller(|ctl, act| ctl.on_park(WorkerId(w), act));
+        {
+            let mut guard = self.sleep_lock.lock();
+            // Declare the park *before* the under-lock work re-check,
+            // with a SeqCst fence between increment and re-check: see
+            // `notify_parked` for why this order (fence against fence)
+            // closes the sleep/notify race.
+            self.parked_workers.fetch_add(1, Ordering::SeqCst);
+            std::sync::atomic::fence(Ordering::SeqCst);
+            while !(self.terminate.load(Ordering::SeqCst) || self.has_claimable_work()) {
+                let _ = self.sleep_cond.wait_for(&mut guard, PARK_RECHECK);
+            }
+            self.parked_workers.fetch_sub(1, Ordering::SeqCst);
+        }
+        let parked = t0.elapsed();
+        let parked_ns = parked.as_nanos() as u64;
+        self.stats.parks.fetch_add(1, Ordering::Relaxed);
+        self.stats.parked_ns.fetch_add(parked_ns, Ordering::Relaxed);
+        if let Some(emu) = &self.emu {
+            emu.account_parked(w, parked);
+        }
+        if let Some(sink) = self.sink.as_deref() {
+            sink.record(
+                w,
+                self.epoch.elapsed().as_nanos() as u64,
+                Event::WorkerUnpark { parked_ns },
+            );
+        }
+        self.with_controller(|ctl, act| ctl.on_unpark(WorkerId(w), act));
     }
 
     fn with_controller(&self, f: impl FnOnce(&mut TempoController, &mut DriverActuator<'_>)) {
@@ -575,7 +783,7 @@ impl PoolInner {
                 self.stats.pushes.fetch_add(1, Ordering::Relaxed);
                 let len = self.deques[w].len();
                 self.with_controller(|ctl, act| ctl.on_push(WorkerId(w), len, act));
-                self.sleep_cond.notify_one();
+                self.notify_parked();
                 Ok(())
             }
             Err(e) => {
@@ -746,27 +954,47 @@ impl PoolInner {
     }
 }
 
+/// Close an idle-spin accounting segment: charge the span since
+/// `idle_since` to the energy model as spinning time.
+fn charge_idle_spin(inner: &PoolInner, index: usize, idle_since: &mut Option<Instant>) {
+    if let (Some(t0), Some(emu)) = (idle_since.take(), inner.emu.as_ref()) {
+        emu.account_idle_spin(index, t0.elapsed());
+    }
+}
+
 fn worker_main(inner: &Arc<PoolInner>, index: usize) {
     set_current_worker(inner, index);
     let mut rng = SmallRng::seed_from_u64(index as u64 ^ 0x5851_f42d);
     let mut order = Vec::new();
     let mut idle_spins = 0u32;
+    // Start of the current idle-spin segment, for energy attribution
+    // (tracked only when the pool runs the emulated power model).
+    let mut idle_since: Option<Instant> = None;
     loop {
+        // Local work first — the work-first discipline of §2.
         if let Some(job) = inner.pop_job(index) {
+            charge_idle_spin(inner, index, &mut idle_since);
             // SAFETY: popped jobs execute exactly once.
             unsafe { inner.execute(index, job) };
             idle_spins = 0;
             continue;
         }
-        if let Some(job) = inner.steal_job(index, &mut rng, &mut order) {
-            // SAFETY: stolen jobs execute exactly once.
+        // External admission next: the injector sits between the local
+        // pop and the steal sweep, so a worker prefers fresh requests
+        // over raiding a peer's deque (stealing moves work that a busy
+        // worker would have run anyway; an injected task has no other
+        // path in) while never starving its own subtree.
+        if let Some(job) = inner.injector.pop() {
+            inner.stats.injector_pops.fetch_add(1, Ordering::Relaxed);
+            charge_idle_spin(inner, index, &mut idle_since);
+            // SAFETY: the injector hands each job to exactly one popper.
             unsafe { inner.execute(index, job) };
             idle_spins = 0;
             continue;
         }
-        let injected = inner.injector.lock().pop_front();
-        if let Some(job) = injected {
-            // SAFETY: injected jobs execute exactly once.
+        if let Some(job) = inner.steal_job(index, &mut rng, &mut order) {
+            charge_idle_spin(inner, index, &mut idle_since);
+            // SAFETY: stolen jobs execute exactly once.
             unsafe { inner.execute(index, job) };
             idle_spins = 0;
             continue;
@@ -774,16 +1002,33 @@ fn worker_main(inner: &Arc<PoolInner>, index: usize) {
         if inner.terminate.load(Ordering::SeqCst) {
             break;
         }
-        idle_spins += 1;
-        if idle_spins < 16 {
+        // Close the previous idle slice and open a new one every
+        // iteration: tempo actuations (relays, procrastinations) move
+        // this worker's frequency *while it spins*, and spin power
+        // follows the frequency in force during the slice, not the one
+        // sampled when work finally arrives. Per-iteration slices bound
+        // the attribution error to a single sweep+yield.
+        if let Some(emu) = inner.emu.as_ref() {
+            let now = Instant::now();
+            if let Some(t0) = idle_since.replace(now) {
+                emu.account_idle_spin(index, now.duration_since(t0));
+            }
+        }
+        // Saturate: with parking disabled the counter is never reset
+        // while idle, and a long-idle debug build must not overflow.
+        idle_spins = idle_spins.saturating_add(1);
+        if !inner.parking || idle_spins < inner.spin_budget.max(1) {
             std::thread::yield_now();
         } else {
-            let mut guard = inner.sleep_lock.lock();
-            inner
-                .sleep_cond
-                .wait_for(&mut guard, Duration::from_micros(500));
+            // Spin budget exhausted: account the spin segment, then
+            // sleep until work or termination (parked time is accounted
+            // separately, at park watts).
+            charge_idle_spin(inner, index, &mut idle_since);
+            inner.park(index);
+            idle_spins = 0;
         }
     }
+    charge_idle_spin(inner, index, &mut idle_since);
     clear_current_worker();
 }
 
@@ -808,6 +1053,16 @@ fn current_worker() -> Option<(Arc<PoolInner>, usize)> {
             .as_ref()
             .and_then(|(weak, idx)| weak.upgrade().map(|p| (p, *idx)))
     })
+}
+
+/// Index of the calling thread within its pool, if the caller is a
+/// worker thread. Serving layers use this to attribute per-request
+/// telemetry (e.g. completion latencies) to the worker stream that ran
+/// the request; non-worker threads get `None` and attribute to the
+/// machine stream.
+#[must_use]
+pub fn current_worker_index() -> Option<usize> {
+    current_worker().map(|(_, idx)| idx)
 }
 
 // ---------------------------------------------------------------------
@@ -1197,6 +1452,108 @@ mod tests {
             .workers(4)
             .topology(Topology::flat(2))
             .build();
+    }
+
+    #[test]
+    fn spin_budget_controls_time_to_park() {
+        // A tiny spin budget parks an idle worker almost immediately…
+        let mut eager = Pool::builder().workers(2).spin_budget(1).build();
+        std::thread::sleep(Duration::from_millis(40));
+        eager.stop();
+        assert!(eager.stats().parks > 0, "{:?}", eager.stats());
+        assert!(eager.stats().parked_ns > 0);
+        // …while an effectively unbounded budget never parks within the
+        // same window (4 billion yields do not fit in 40 ms).
+        let mut reluctant = Pool::builder().workers(2).spin_budget(u32::MAX).build();
+        std::thread::sleep(Duration::from_millis(40));
+        reluctant.stop();
+        assert_eq!(reluctant.stats().parks, 0, "{:?}", reluctant.stats());
+    }
+
+    #[test]
+    fn parking_disabled_spins_forever() {
+        let mut pool = Pool::builder()
+            .workers(2)
+            .parking(false)
+            .spin_budget(1)
+            .build();
+        std::thread::sleep(Duration::from_millis(40));
+        pool.stop();
+        assert_eq!(pool.stats().parks, 0);
+        assert_eq!(pool.stats().parked_ns, 0);
+    }
+
+    #[test]
+    fn parked_workers_wake_for_submitted_work() {
+        use std::sync::atomic::AtomicU32;
+        let pool = Pool::builder().workers(2).spin_budget(1).build();
+        // Let both workers park.
+        std::thread::sleep(Duration::from_millis(30));
+        let hits = Arc::new(AtomicU32::new(0));
+        for _ in 0..8 {
+            let hits = Arc::clone(&hits);
+            pool.spawn(move || {
+                hits.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while hits.load(Ordering::SeqCst) != 8 && Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert_eq!(hits.load(Ordering::SeqCst), 8, "parked pool must wake");
+        // And a blocking install still round-trips through the injector.
+        assert_eq!(pool.install(|| 6 * 7), 42);
+    }
+
+    #[test]
+    fn tiny_injector_applies_backpressure_without_loss() {
+        use std::sync::atomic::AtomicU32;
+        let pool = Pool::builder()
+            .workers(2)
+            .spin_budget(1)
+            .injector_capacity(2)
+            .build();
+        let hits = Arc::new(AtomicU32::new(0));
+        for _ in 0..50 {
+            let hits = Arc::clone(&hits);
+            // Each spawn may have to wait for the 2-slot injector to
+            // drain; none may be dropped.
+            pool.spawn(move || {
+                hits.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while hits.load(Ordering::SeqCst) != 50 && Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert_eq!(hits.load(Ordering::SeqCst), 50);
+        assert!(pool.stats().injector_pops >= 50);
+    }
+
+    #[test]
+    fn park_telemetry_matches_scheduler_counters() {
+        use hermes_telemetry::RingSink;
+        let sink = Arc::new(RingSink::new(2));
+        let mut pool = Pool::builder()
+            .workers(2)
+            .spin_budget(1)
+            .emulated_dvfs(Frequency::from_mhz(2400), 8.0)
+            .telemetry(Arc::clone(&sink) as Arc<dyn TelemetrySink>)
+            .build();
+        pool.install(|| ());
+        // Idle long enough for several park episodes.
+        std::thread::sleep(Duration::from_millis(50));
+        pool.stop();
+        let stats = pool.stats();
+        assert!(stats.parks > 0, "{stats:?}");
+        let report = sink.report("park-unit", "rt", pool.elapsed_ns() as f64 / 1e9, 0.0);
+        let totals = report.totals();
+        assert_eq!(totals.parks, stats.parks, "park events == counters");
+        assert_eq!(totals.parked_ns, stats.parked_ns);
+        // Idle time (spin before the budget, then parked) was charged
+        // to the virtual energy model even though no task ran for most
+        // of the window.
+        assert!(pool.total_energy().unwrap() > 0.0);
     }
 
     #[test]

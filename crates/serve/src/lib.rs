@@ -1,0 +1,59 @@
+//! # hermes-serve
+//!
+//! The open-loop request-serving layer of the HERMES reproduction: the
+//! subsystem that takes the runtime from "closed, saturated fork-join
+//! jobs" to the ROADMAP's production-shaped regime — independent
+//! requests arriving at a configurable offered load, with per-request
+//! latency accounting and attributable idle energy.
+//!
+//! Why this matters for the paper's claim: in a closed fork-join run
+//! thieves are rarely idle for long, so the energy the tempo controller
+//! recovers is the energy of *briefly* spinning thieves. Under open-loop
+//! arrival at low utilization, workers spend most of their time with
+//! nothing to run — and what they do during that time (spin at full
+//! frequency, spin procrastinated, or park) dominates the energy bill.
+//! The `sweep --serve` ablation in `hermes-bench` measures exactly that
+//! grid: utilization × tempo × parking.
+//!
+//! Three pieces:
+//!
+//! * [`Server`] — request admission over the rt pool's lock-free MPMC
+//!   injector: [`Server::submit`] from any thread, completion through a
+//!   latch-backed [`Ticket`], panic isolation, graceful
+//!   [`drain`](Server::drain)/[`shutdown`](Server::shutdown), and one
+//!   [`RequestLatency`](hermes_telemetry::Event::RequestLatency) event
+//!   per completion.
+//! * [`PoissonSchedule`] / [`run_open_loop`] — deterministic Poisson
+//!   arrival schedules (seeded, fingerprintable) driven open-loop
+//!   against a server.
+//! * Latency accounting — per-request latencies land in a log-bucketed
+//!   [`LatencyHistogram`](hermes_telemetry::LatencyHistogram)
+//!   (p50/p99/p999, mergeable across workers, persisted in
+//!   [`RunReport`](hermes_telemetry::RunReport)s).
+//!
+//! ```
+//! use hermes_serve::{run_open_loop, PoissonSchedule, Server};
+//!
+//! let server = Server::builder().workers(2).build();
+//! let offsets = PoissonSchedule::unit(42, 20).offsets(5_000.0);
+//! let run = run_open_loop(&server, &offsets, |i| move || i + 1);
+//! server.drain();
+//! assert_eq!(server.completed(), 20);
+//! let hist = server.latency();
+//! assert_eq!(hist.count(), 20);
+//! assert!(hist.p99().is_some());
+//! # for t in run.tickets { t.wait(); }
+//! server.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod loadgen;
+mod server;
+mod ticket;
+
+pub use loadgen::{run_open_loop, OpenLoopRun, PoissonSchedule};
+pub use server::{Server, ServerBuilder};
+pub use ticket::Ticket;

@@ -1,0 +1,220 @@
+//! Deterministic open-loop load generation.
+//!
+//! An *open-loop* generator submits requests at externally scheduled
+//! arrival instants, never waiting for completions — the regime of a
+//! service behind independent clients, and the one where queueing
+//! delay, idle-thief energy, and parking behaviour actually show up (a
+//! closed loop self-throttles and hides all three).
+//!
+//! Arrivals are Poisson: inter-arrival gaps are exponential draws from
+//! the vendored deterministic `rand` shim, so the *shape* of a schedule
+//! is a pure function of its seed and length. The schedule is generated
+//! in **unit-mean** gaps and scaled to a target rate at use time — the
+//! bench harness pins the seeded unit schedule (hashable, reproducible
+//! across hosts) while calibrating the rate to the host's measured
+//! service time.
+
+use crate::{Server, Ticket};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// A deterministic Poisson arrival schedule in unit-mean inter-arrival
+/// gaps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoissonSchedule {
+    gaps: Vec<f64>,
+    seed: u64,
+}
+
+impl PoissonSchedule {
+    /// `n` exponential unit-mean gaps drawn deterministically from
+    /// `seed`.
+    #[must_use]
+    pub fn unit(seed: u64, n: usize) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let gaps = (0..n)
+            .map(|_| {
+                // u ∈ [0, 1) ⇒ 1 − u ∈ (0, 1]: the log argument is
+                // never zero.
+                let u: f64 = rng.gen();
+                -(1.0 - u).ln()
+            })
+            .collect();
+        PoissonSchedule { gaps, seed }
+    }
+
+    /// The seed this schedule was drawn from.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of arrivals in the schedule.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.gaps.len()
+    }
+
+    /// Whether the schedule is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.gaps.is_empty()
+    }
+
+    /// Cumulative arrival offsets from the start of the run at
+    /// `rate_hz` requests per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `rate_hz` is positive and finite.
+    #[must_use]
+    pub fn offsets(&self, rate_hz: f64) -> Vec<Duration> {
+        assert!(
+            rate_hz > 0.0 && rate_hz.is_finite(),
+            "arrival rate must be positive and finite, got {rate_hz}"
+        );
+        let mut t = 0.0f64;
+        self.gaps
+            .iter()
+            .map(|gap| {
+                t += gap / rate_hz;
+                Duration::from_secs_f64(t)
+            })
+            .collect()
+    }
+
+    /// FNV-1a hash of the schedule's exact gap bit patterns — the
+    /// reproducibility fingerprint the bench artifact commits, so CI
+    /// can prove it replayed the identical arrival process.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for gap in &self.gaps {
+            for byte in gap.to_bits().to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        h
+    }
+}
+
+/// Outcome of one open-loop run (see [`run_open_loop`]).
+#[derive(Debug)]
+pub struct OpenLoopRun<R> {
+    /// One ticket per submitted request, in arrival order.
+    pub tickets: Vec<Ticket<R>>,
+    /// Wall-clock from the first scheduled instant to the last
+    /// submission returning.
+    pub submit_elapsed: Duration,
+    /// Submissions that fell behind their scheduled instant by more
+    /// than one millisecond (generator overload — the schedule, not the
+    /// server, was the bottleneck for these).
+    pub late_submissions: usize,
+}
+
+/// Drive `server` open-loop: submit `make_request(i)` at each offset of
+/// `offsets`, sleeping between arrivals and never waiting on
+/// completions. Returns the tickets plus generator-side health
+/// counters; call [`Server::drain`] afterwards to wait for the tail.
+pub fn run_open_loop<R, F, Req>(
+    server: &Server,
+    offsets: &[Duration],
+    mut make_request: F,
+) -> OpenLoopRun<R>
+where
+    F: FnMut(usize) -> Req,
+    Req: FnOnce() -> R + Send + 'static,
+    R: Send + 'static,
+{
+    // OS sleep granularity is coarse (hundreds of µs to ms in
+    // containers) while open-loop inter-arrival gaps are often shorter:
+    // sleep until close to the instant, then yield-spin the residue —
+    // yielding, not busy-spinning, so a one-core host's workers still
+    // run while the generator waits.
+    const SPIN_RESIDUE: Duration = Duration::from_micros(500);
+    let start = Instant::now();
+    let mut tickets = Vec::with_capacity(offsets.len());
+    let mut late = 0usize;
+    for (i, &at) in offsets.iter().enumerate() {
+        let now = start.elapsed();
+        if at > now + SPIN_RESIDUE {
+            std::thread::sleep(at - now - SPIN_RESIDUE);
+        }
+        while start.elapsed() < at {
+            std::thread::yield_now();
+        }
+        if start.elapsed().saturating_sub(at) > Duration::from_millis(1) {
+            late += 1;
+        }
+        tickets.push(server.submit(make_request(i)));
+    }
+    OpenLoopRun {
+        tickets,
+        submit_elapsed: start.elapsed(),
+        late_submissions: late,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedules_are_deterministic_per_seed() {
+        let a = PoissonSchedule::unit(7, 500);
+        let b = PoissonSchedule::unit(7, 500);
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let c = PoissonSchedule::unit(8, 500);
+        assert_ne!(a.fingerprint(), c.fingerprint(), "seed changes the draw");
+        assert_ne!(
+            a.fingerprint(),
+            PoissonSchedule::unit(7, 499).fingerprint(),
+            "length changes the fingerprint"
+        );
+    }
+
+    #[test]
+    fn unit_gaps_have_roughly_unit_mean() {
+        let s = PoissonSchedule::unit(42, 20_000);
+        let mean = s.gaps.iter().sum::<f64>() / s.len() as f64;
+        assert!((mean - 1.0).abs() < 0.05, "exponential mean ≈ 1: {mean}");
+        assert!(s.gaps.iter().all(|&g| g >= 0.0 && g.is_finite()));
+    }
+
+    #[test]
+    fn offsets_scale_with_rate() {
+        let s = PoissonSchedule::unit(1, 100);
+        let slow = s.offsets(10.0);
+        let fast = s.offsets(1000.0);
+        assert_eq!(slow.len(), 100);
+        // Offsets are cumulative (sorted) and scale inversely with rate.
+        assert!(slow.windows(2).all(|w| w[0] <= w[1]));
+        let ratio = slow[99].as_secs_f64() / fast[99].as_secs_f64();
+        assert!((ratio - 100.0).abs() < 1.0, "rate ratio preserved: {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_panics() {
+        let _ = PoissonSchedule::unit(1, 4).offsets(0.0);
+    }
+
+    #[test]
+    fn open_loop_submits_every_request() {
+        let server = Server::builder().workers(2).build();
+        // ~2000 req/s for 50 requests: a ~25 ms run.
+        let offsets = PoissonSchedule::unit(3, 50).offsets(2_000.0);
+        let run = run_open_loop(&server, &offsets, |i| move || i as u64 * 2);
+        assert_eq!(run.tickets.len(), 50);
+        server.drain();
+        assert_eq!(server.completed(), 50);
+        for (i, t) in run.tickets.into_iter().enumerate() {
+            assert_eq!(t.wait(), i as u64 * 2);
+        }
+        assert_eq!(server.latency().count(), 50);
+        server.shutdown();
+    }
+}

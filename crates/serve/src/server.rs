@@ -1,0 +1,407 @@
+//! The [`Server`]: external request admission over the rt [`Pool`].
+
+use crate::ticket::Ticket;
+use hermes_core::TempoConfig;
+use hermes_rt::{current_worker_index, DequeKind, Pool, PoolBuilder};
+use hermes_telemetry::{Event, LatencyHistogram, LatencyRecorder, TelemetrySink, MACHINE_STREAM};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// State shared between the server handle and every in-flight request
+/// closure.
+struct ServeShared {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    in_flight: AtomicU64,
+    latency: LatencyRecorder,
+    /// Telemetry destination for [`Event::RequestLatency`]; `None`
+    /// keeps the completion path free of event work.
+    sink: Option<Arc<dyn TelemetrySink>>,
+    /// Timestamp base for latency events (established at server build,
+    /// a hair after the pool's own epoch).
+    epoch: Instant,
+}
+
+/// Builder for [`Server`]; a thin veneer over [`PoolBuilder`] exposing
+/// the knobs the serving ablation sweeps, plus serving-only state.
+#[derive(Default)]
+pub struct ServerBuilder {
+    workers: Option<usize>,
+    tempo: Option<TempoConfig>,
+    parking: Option<bool>,
+    spin_budget: Option<u32>,
+    injector_capacity: Option<usize>,
+    deque: DequeKind,
+    emulated: Option<(hermes_core::Frequency, f64)>,
+    telemetry: Option<Arc<dyn TelemetrySink>>,
+}
+
+impl std::fmt::Debug for ServerBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerBuilder")
+            .field("workers", &self.workers)
+            .field("parking", &self.parking)
+            .field("spin_budget", &self.spin_budget)
+            .finish()
+    }
+}
+
+impl ServerBuilder {
+    /// Number of worker threads (default: available parallelism).
+    #[must_use]
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = Some(n);
+        self
+    }
+
+    /// Tempo-control configuration (default: baseline, no tempo
+    /// control). Its worker count must match the server's.
+    #[must_use]
+    pub fn tempo(mut self, tempo: TempoConfig) -> Self {
+        self.tempo = Some(tempo);
+        self
+    }
+
+    /// Enable or disable worker parking (default: enabled). See
+    /// [`PoolBuilder::parking`].
+    #[must_use]
+    pub fn parking(mut self, on: bool) -> Self {
+        self.parking = Some(on);
+        self
+    }
+
+    /// Idle-spin budget before parking. See
+    /// [`PoolBuilder::spin_budget`].
+    #[must_use]
+    pub fn spin_budget(mut self, budget: u32) -> Self {
+        self.spin_budget = Some(budget);
+        self
+    }
+
+    /// Capacity of the pool's submission injector. See
+    /// [`PoolBuilder::injector_capacity`].
+    #[must_use]
+    pub fn injector_capacity(mut self, capacity: usize) -> Self {
+        self.injector_capacity = Some(capacity);
+        self
+    }
+
+    /// Deque implementation for the pool's workers.
+    #[must_use]
+    pub fn deque(mut self, kind: DequeKind) -> Self {
+        self.deque = kind;
+        self
+    }
+
+    /// Run the pool under emulated DVFS (timing dilation plus the
+    /// virtual power model) so the server reports energy. See
+    /// [`PoolBuilder::emulated_dvfs`].
+    #[must_use]
+    pub fn emulated_dvfs(mut self, fastest: hermes_core::Frequency, busy_watts_fast: f64) -> Self {
+        self.emulated = Some((fastest, busy_watts_fast));
+        self
+    }
+
+    /// Attach a telemetry sink: the pool emits its scheduler events
+    /// into it as usual, and the server adds one
+    /// [`Event::RequestLatency`] per completed request on the
+    /// completing worker's stream.
+    #[must_use]
+    pub fn telemetry(mut self, sink: Arc<dyn TelemetrySink>) -> Self {
+        self.telemetry = Some(sink);
+        self
+    }
+
+    /// Build the server (and its pool) and start serving.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`PoolBuilder::build`].
+    #[must_use]
+    pub fn build(self) -> Server {
+        let mut pool: PoolBuilder = Pool::builder().deque(self.deque);
+        if let Some(n) = self.workers {
+            pool = pool.workers(n);
+        }
+        if let Some(t) = self.tempo {
+            pool = pool.tempo(t);
+        }
+        if let Some(p) = self.parking {
+            pool = pool.parking(p);
+        }
+        if let Some(b) = self.spin_budget {
+            pool = pool.spin_budget(b);
+        }
+        if let Some(c) = self.injector_capacity {
+            pool = pool.injector_capacity(c);
+        }
+        if let Some((fastest, watts)) = self.emulated {
+            pool = pool.emulated_dvfs(fastest, watts);
+        }
+        if let Some(sink) = &self.telemetry {
+            pool = pool.telemetry(Arc::clone(sink));
+        }
+        Server {
+            pool: pool.build(),
+            shared: Arc::new(ServeShared {
+                submitted: AtomicU64::new(0),
+                completed: AtomicU64::new(0),
+                in_flight: AtomicU64::new(0),
+                latency: LatencyRecorder::new(),
+                sink: self.telemetry.filter(|s| !s.is_null()),
+                epoch: Instant::now(),
+            }),
+        }
+    }
+}
+
+/// An open-loop request server over a HERMES work-stealing [`Pool`].
+///
+/// Requests enter through [`submit`](Self::submit) from any thread (the
+/// pool's lock-free injector is the admission queue), run on the pool's
+/// workers — free to use [`join`](hermes_rt::join) and friends
+/// internally for parallelism — and resolve a [`Ticket`] through the
+/// runtime's latch machinery. Per-request latency is recorded into a
+/// log-bucketed [`LatencyHistogram`] (and, when a sink is attached, as
+/// [`Event::RequestLatency`] telemetry on the completing worker's
+/// stream).
+///
+/// ```
+/// use hermes_serve::Server;
+/// let server = Server::builder().workers(2).build();
+/// let ticket = server.submit(|| 6 * 7);
+/// assert_eq!(ticket.wait(), 42);
+/// server.shutdown();
+/// ```
+pub struct Server {
+    pool: Pool,
+    shared: Arc<ServeShared>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("workers", &self.pool.workers())
+            .field("in_flight", &self.in_flight())
+            .field("completed", &self.completed())
+            .finish()
+    }
+}
+
+impl Server {
+    /// Start configuring a server.
+    #[must_use]
+    pub fn builder() -> ServerBuilder {
+        ServerBuilder::default()
+    }
+
+    /// Submit one request; returns immediately with a [`Ticket`] for
+    /// the result (open-loop admission: the caller never waits for
+    /// execution).
+    ///
+    /// A panicking request never takes down a worker: the panic is
+    /// caught, the request counts as completed (so
+    /// [`drain`](Self::drain) terminates), and the payload re-raises on
+    /// whoever redeems the ticket.
+    pub fn submit<R, F>(&self, request: F) -> Ticket<R>
+    where
+        F: FnOnce() -> R + Send + 'static,
+        R: Send + 'static,
+    {
+        let shared = Arc::clone(&self.shared);
+        shared.submitted.fetch_add(1, Ordering::Relaxed);
+        shared.in_flight.fetch_add(1, Ordering::SeqCst);
+        let (ticket, inner) = Ticket::new();
+        let t0 = Instant::now();
+        self.pool.spawn(move || {
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(request));
+            let ns = t0.elapsed().as_nanos() as u64;
+            shared.latency.record(ns);
+            if let Some(sink) = &shared.sink {
+                // Attribute to the worker that completed the request;
+                // MACHINE_STREAM cannot occur in practice (requests run
+                // on workers) but keeps the fallback total-preserving.
+                sink.record(
+                    current_worker_index().unwrap_or(MACHINE_STREAM),
+                    shared.epoch.elapsed().as_nanos() as u64,
+                    Event::RequestLatency { ns },
+                );
+            }
+            inner.complete(outcome);
+            shared.completed.fetch_add(1, Ordering::Relaxed);
+            shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+        });
+        ticket
+    }
+
+    /// Requests submitted so far.
+    #[must_use]
+    pub fn submitted(&self) -> u64 {
+        self.shared.submitted.load(Ordering::Relaxed)
+    }
+
+    /// Requests completed so far (including panicked ones).
+    #[must_use]
+    pub fn completed(&self) -> u64 {
+        self.shared.completed.load(Ordering::Relaxed)
+    }
+
+    /// Requests currently admitted but not yet completed.
+    #[must_use]
+    pub fn in_flight(&self) -> u64 {
+        self.shared.in_flight.load(Ordering::SeqCst)
+    }
+
+    /// Snapshot of the per-request latency histogram so far.
+    #[must_use]
+    pub fn latency(&self) -> LatencyHistogram {
+        self.shared.latency.snapshot()
+    }
+
+    /// The pool underneath, for scheduler statistics, energy totals,
+    /// and fork-join use from non-request code.
+    #[must_use]
+    pub fn pool(&self) -> &Pool {
+        &self.pool
+    }
+
+    /// Block until every submitted request has completed (graceful
+    /// drain). New submissions during a drain extend it.
+    pub fn drain(&self) {
+        let drained = self.drain_for(Duration::MAX);
+        debug_assert!(drained, "unbounded drain cannot time out");
+    }
+
+    /// Like [`drain`](Self::drain) with a deadline; returns whether the
+    /// server fully drained within `timeout`.
+    ///
+    /// Polls with a short-spin-then-sleep cadence (the `Latch::wait`
+    /// pattern): a drain waiting out a tail of long requests must not
+    /// burn a core the workers could be finishing those requests on.
+    #[must_use]
+    pub fn drain_for(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now().checked_add(timeout);
+        let mut spins = 0u32;
+        while self.in_flight() > 0 {
+            if let Some(d) = deadline {
+                if Instant::now() >= d {
+                    return self.in_flight() == 0;
+                }
+            }
+            if spins < 64 {
+                spins += 1;
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        }
+        true
+    }
+
+    /// Drain, then stop and join the pool's workers, keeping the server
+    /// for post-run inspection (statistics, latency snapshot, energy) —
+    /// the serving analogue of [`Pool::stop`].
+    pub fn stop(&mut self) {
+        self.drain();
+        self.pool.stop();
+    }
+
+    /// Drain and shut the pool down.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submit_and_wait_round_trips() {
+        let server = Server::builder().workers(2).build();
+        let t = server.submit(|| 21 * 2);
+        assert_eq!(t.wait(), 42);
+        assert_eq!(server.submitted(), 1);
+        server.drain();
+        assert_eq!(server.completed(), 1);
+        assert_eq!(server.in_flight(), 0);
+        assert_eq!(server.latency().count(), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn requests_may_fork_join_internally() {
+        fn fib(n: u64) -> u64 {
+            if n < 2 {
+                return n;
+            }
+            let (a, b) = hermes_rt::join(|| fib(n - 1), || fib(n - 2));
+            a + b
+        }
+        let server = Server::builder().workers(4).build();
+        let tickets: Vec<_> = (0..8).map(|_| server.submit(|| fib(16))).collect();
+        for t in tickets {
+            assert_eq!(t.wait(), 987);
+        }
+        assert!(server.pool().stats().pushes > 0, "requests forked");
+        server.shutdown();
+    }
+
+    #[test]
+    fn dropped_tickets_still_complete_and_drain() {
+        let server = Server::builder().workers(2).build();
+        for i in 0..64u64 {
+            drop(server.submit(move || i * i));
+        }
+        server.drain();
+        assert_eq!(server.completed(), 64);
+        assert_eq!(server.latency().count(), 64);
+        server.shutdown();
+    }
+
+    #[test]
+    fn panicking_request_is_isolated() {
+        let server = Server::builder().workers(2).build();
+        let bad = server.submit(|| panic!("bad request"));
+        let good = server.submit(|| "still serving");
+        assert!(
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || bad.wait())).is_err()
+        );
+        assert_eq!(good.wait(), "still serving");
+        server.drain();
+        assert_eq!(server.completed(), 2, "panicked request still completed");
+        server.shutdown();
+    }
+
+    #[test]
+    fn drain_for_times_out_honestly() {
+        let server = Server::builder().workers(1).build();
+        let t = server.submit(|| std::thread::sleep(Duration::from_millis(300)));
+        assert!(!server.drain_for(Duration::from_millis(10)));
+        assert!(server.drain_for(Duration::from_secs(10)));
+        t.wait();
+        server.shutdown();
+    }
+
+    #[test]
+    fn latency_events_reach_the_sink() {
+        use hermes_telemetry::RingSink;
+        let workers = 2;
+        let sink = Arc::new(RingSink::new(workers));
+        let mut server = Server::builder()
+            .workers(workers)
+            .telemetry(Arc::clone(&sink) as Arc<dyn TelemetrySink>)
+            .build();
+        for _ in 0..32 {
+            drop(server.submit(|| std::hint::black_box(3 + 4)));
+        }
+        server.stop();
+        let report = sink.report("serve-unit", "rt", 0.1, 0.0);
+        assert_eq!(report.latency_hist.count(), 32, "one event per request");
+        assert_eq!(server.latency().count(), 32);
+        // The sink's merged histogram and the server's own recorder saw
+        // the same samples (bucket-for-bucket).
+        assert_eq!(report.latency_hist, server.latency());
+    }
+}

@@ -1,0 +1,123 @@
+//! Completion tickets handed out by [`Server::submit`](crate::Server::submit).
+
+use hermes_rt::Latch;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// What a request left behind: its value, or the payload of the panic
+/// that killed it.
+type Outcome<R> = std::thread::Result<R>;
+
+pub(crate) struct TicketInner<R> {
+    latch: Latch,
+    outcome: Mutex<Option<Outcome<R>>>,
+}
+
+impl<R> TicketInner<R> {
+    pub(crate) fn new() -> Self {
+        TicketInner {
+            latch: Latch::new(),
+            outcome: Mutex::new(None),
+        }
+    }
+
+    /// Publish the request's outcome and release the waiter. Write
+    /// first, then set the latch: the waiter's acquire-probe of the
+    /// latch orders the outcome read after this write.
+    pub(crate) fn complete(&self, outcome: Outcome<R>) {
+        *self.outcome.lock() = Some(outcome);
+        self.latch.set();
+    }
+}
+
+/// A handle to one submitted request: redeem it with
+/// [`wait`](Ticket::wait) for the request's return value, or poll
+/// [`is_done`](Ticket::is_done). Dropping the ticket is fine — the
+/// request still runs to completion and still counts toward
+/// [`Server::drain`](crate::Server::drain); only the return value is
+/// discarded (fire-and-forget submission).
+pub struct Ticket<R> {
+    inner: Arc<TicketInner<R>>,
+}
+
+impl<R> Ticket<R> {
+    pub(crate) fn new() -> (Ticket<R>, Arc<TicketInner<R>>) {
+        let inner = Arc::new(TicketInner::new());
+        (
+            Ticket {
+                inner: Arc::clone(&inner),
+            },
+            inner,
+        )
+    }
+
+    /// Whether the request has completed (non-blocking).
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.inner.latch.probe()
+    }
+
+    /// Block until the request completes and return its value.
+    ///
+    /// # Panics
+    ///
+    /// If the request closure panicked, the panic is resumed here, on
+    /// the waiter — the worker that ran the request has already moved
+    /// on (the pool isolates request panics; see
+    /// [`Server::submit`](crate::Server::submit)).
+    pub fn wait(self) -> R {
+        self.inner.latch.wait();
+        let outcome = self
+            .inner
+            .outcome
+            .lock()
+            .take()
+            .expect("latch set implies the outcome was written");
+        match outcome {
+            Ok(value) => value,
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+}
+
+impl<R> std::fmt::Debug for Ticket<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ticket")
+            .field("done", &self.is_done())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticket_resolves_after_complete() {
+        let (ticket, inner) = Ticket::new();
+        assert!(!ticket.is_done());
+        inner.complete(Ok(41 + 1));
+        assert!(ticket.is_done());
+        assert_eq!(ticket.wait(), 42);
+    }
+
+    #[test]
+    fn ticket_wait_blocks_until_cross_thread_completion() {
+        let (ticket, inner) = Ticket::new();
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(15));
+            inner.complete(Ok("served"));
+        });
+        assert_eq!(ticket.wait(), "served");
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn panicked_request_resumes_on_the_waiter() {
+        let (ticket, inner) = Ticket::<()>::new();
+        inner.complete(Err(Box::new("request blew up")));
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || ticket.wait()))
+            .unwrap_err();
+        assert_eq!(*err.downcast_ref::<&str>().unwrap(), "request blew up");
+    }
+}

@@ -1,0 +1,94 @@
+//! End-to-end: a tempo-controlled, parking server under deterministic
+//! open-loop Poisson load, with the full telemetry story — parks,
+//! latency histogram, energy — folded into one `RunReport`.
+
+use hermes_core::{Frequency, Policy, TempoConfig};
+use hermes_serve::{run_open_loop, PoissonSchedule, Server};
+use hermes_telemetry::{RingSink, TelemetrySink};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn spin_for(d: Duration) {
+    let deadline = std::time::Instant::now() + d;
+    while std::time::Instant::now() < deadline {
+        std::hint::black_box(0u64);
+        std::hint::spin_loop();
+    }
+}
+
+#[test]
+fn low_utilization_serving_parks_and_reports() {
+    const WORKERS: usize = 2;
+    const REQUESTS: usize = 60;
+    let sink = Arc::new(RingSink::new(WORKERS));
+    let tempo = TempoConfig::builder()
+        .policy(Policy::Unified)
+        .frequencies(vec![Frequency::from_mhz(2400), Frequency::from_mhz(1600)])
+        .workers(WORKERS)
+        .build();
+    let mut server = Server::builder()
+        .workers(WORKERS)
+        .tempo(tempo)
+        .parking(true)
+        .spin_budget(4)
+        .emulated_dvfs(Frequency::from_mhz(2400), 8.0)
+        .telemetry(Arc::clone(&sink) as Arc<dyn TelemetrySink>)
+        .build();
+
+    // ~200 µs of service per request at ~10 % utilization on 2 workers:
+    // rate = 0.1 × 2 / 200 µs = 1000 req/s — a ~60 ms run, mostly idle.
+    let offsets = PoissonSchedule::unit(11, REQUESTS).offsets(1_000.0);
+    let run = run_open_loop(&server, &offsets, |_| {
+        || spin_for(Duration::from_micros(200))
+    });
+    assert_eq!(run.tickets.len(), REQUESTS);
+    server.stop();
+
+    assert_eq!(server.completed(), REQUESTS as u64);
+    assert_eq!(server.in_flight(), 0);
+
+    // Latency: every request measured; the histogram is sane.
+    let hist = server.latency();
+    assert_eq!(hist.count(), REQUESTS as u64);
+    let p50 = hist.p50().unwrap();
+    let p99 = hist.p99().unwrap();
+    assert!(p50 >= 150_000, "p50 at least near the service time: {p50}");
+    assert!(p99 >= p50, "quantiles are ordered");
+
+    // Parking: at ~10 % utilization the workers must actually park.
+    let stats = server.pool().stats();
+    assert!(stats.parks > 0, "low utilization must park: {stats:?}");
+    assert!(stats.parked_ns > 0);
+    // Requests entered through the injector, not the deques.
+    assert!(stats.injector_pops >= REQUESTS as u64);
+
+    // Energy: idle + parked + busy time all accounted.
+    let energy = server.pool().total_energy().unwrap();
+    assert!(energy > 0.0);
+
+    // The folded report carries the same story.
+    let report = sink.report(
+        "serve-e2e",
+        "rt",
+        server.pool().elapsed_ns() as f64 / 1e9,
+        energy,
+    );
+    let totals = report.totals();
+    assert_eq!(report.latency_hist.count(), REQUESTS as u64);
+    assert_eq!(report.latency_hist, hist);
+    assert_eq!(totals.parks, stats.parks);
+    assert_eq!(totals.parked_ns, stats.parked_ns);
+    // And it survives its own JSON codec with the histogram intact.
+    let parsed = hermes_telemetry::RunReport::from_json(&report.to_json()).unwrap();
+    assert_eq!(parsed, report);
+}
+
+#[test]
+fn same_seed_same_schedule_across_servers() {
+    // The deterministic half of the `--serve` ablation's protocol: two
+    // runs of the same seed produce the identical arrival process.
+    let a = PoissonSchedule::unit(0x5EED, 200);
+    let b = PoissonSchedule::unit(0x5EED, 200);
+    assert_eq!(a.fingerprint(), b.fingerprint());
+    assert_eq!(a.offsets(5_000.0), b.offsets(5_000.0));
+}

@@ -35,10 +35,12 @@ impl StealOutcome {
 /// One telemetry event, attributed by the recording host to a worker
 /// stream (or the machine stream) and a host-defined timestamp.
 ///
-/// The four variants are exactly the signals the perf roadmap needs:
-/// steal outcomes per victim (deque ablation, locality-aware victim
+/// The variants are exactly the signals the perf roadmap needs: steal
+/// outcomes per victim (deque ablation, locality-aware victim
 /// selection), tempo transitions (controller semantics), DVFS actuations
-/// (transition overhead), and energy samples (headline metric).
+/// (transition overhead), energy samples (headline metric), worker
+/// park/unpark brackets (idle-energy attribution under open-loop load),
+/// and per-request latencies (the serving tail).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Event {
     /// A steal attempt against `victim` and how it ended.
@@ -68,6 +70,22 @@ pub enum Event {
         /// Energy contributed since the previous sample, µJ.
         microjoules: u64,
     },
+    /// The stream's worker gave up its bounded idle spin and parked on
+    /// the pool's condvar. Paired with [`Event::WorkerUnpark`]; the
+    /// park/unpark bracket is what makes idle-thief energy attributable
+    /// (a parked worker burns park watts, a spinning one burns busy
+    /// watts at its tempo frequency).
+    WorkerPark,
+    /// The stream's worker woke from a park episode.
+    WorkerUnpark {
+        /// Length of the completed park episode, ns.
+        parked_ns: u64,
+    },
+    /// One serving request completed on the stream's worker.
+    RequestLatency {
+        /// Submit-to-completion latency, ns.
+        ns: u64,
+    },
 }
 
 impl Event {
@@ -88,6 +106,9 @@ const TAG_STEAL: u64 = 1;
 const TAG_TEMPO: u64 = 2;
 const TAG_DVFS: u64 = 3;
 const TAG_ENERGY: u64 = 4;
+const TAG_PARK: u64 = 5;
+const TAG_UNPARK: u64 = 6;
+const TAG_LATENCY: u64 = 7;
 
 const PAYLOAD_MASK: u64 = (1 << TAG_SHIFT) - 1;
 const FREQ_MASK: u64 = (1 << 48) - 1;
@@ -128,6 +149,11 @@ impl Event {
             Event::EnergySample { microjoules } => {
                 (TAG_ENERGY << TAG_SHIFT) | microjoules.min(PAYLOAD_MASK)
             }
+            Event::WorkerPark => TAG_PARK << TAG_SHIFT,
+            Event::WorkerUnpark { parked_ns } => {
+                (TAG_UNPARK << TAG_SHIFT) | parked_ns.min(PAYLOAD_MASK)
+            }
+            Event::RequestLatency { ns } => (TAG_LATENCY << TAG_SHIFT) | ns.min(PAYLOAD_MASK),
         }
     }
 
@@ -166,6 +192,9 @@ impl Event {
             TAG_ENERGY => Some(Event::EnergySample {
                 microjoules: payload,
             }),
+            TAG_PARK if payload == 0 => Some(Event::WorkerPark),
+            TAG_UNPARK => Some(Event::WorkerUnpark { parked_ns: payload }),
+            TAG_LATENCY => Some(Event::RequestLatency { ns: payload }),
             _ => None,
         }
     }
@@ -212,6 +241,11 @@ mod tests {
             Event::EnergySample {
                 microjoules: 123_456_789,
             },
+            Event::WorkerPark,
+            Event::WorkerUnpark {
+                parked_ns: 1_500_000,
+            },
+            Event::RequestLatency { ns: 42_000 },
         ];
         for ev in events {
             assert_eq!(Event::decode(ev.encode()), Some(ev), "{ev:?}");
@@ -246,6 +280,21 @@ mod tests {
             Some(Event::EnergySample { microjoules }) => assert_eq!(microjoules, PAYLOAD_MASK),
             other => panic!("unexpected {other:?}"),
         }
+        match Event::decode(
+            Event::WorkerUnpark {
+                parked_ns: u64::MAX,
+            }
+            .encode(),
+        ) {
+            Some(Event::WorkerUnpark { parked_ns }) => assert_eq!(parked_ns, PAYLOAD_MASK),
+            other => panic!("unexpected {other:?}"),
+        }
+        match Event::decode(Event::RequestLatency { ns: u64::MAX }.encode()) {
+            Some(Event::RequestLatency { ns }) => assert_eq!(ns, PAYLOAD_MASK),
+            other => panic!("unexpected {other:?}"),
+        }
+        // A park word with payload bits set is malformed, not a park.
+        assert_eq!(Event::decode((TAG_PARK << TAG_SHIFT) | 1), None);
     }
 
     #[test]

@@ -1,0 +1,456 @@
+//! Log-bucketed latency histograms for the request-serving path.
+//!
+//! The serving layer records one latency sample per completed request;
+//! at millions of requests that must be O(1) per sample, fixed-memory,
+//! and mergeable across workers. The classic answer is a log-linear
+//! histogram (the HDR-histogram layout): values bucket by their power
+//! of two (the *octave*), with each octave split into 16 linear
+//! sub-buckets — four significant bits of resolution, a worst-case
+//! relative error of 1/16 ≈ 6.25 %.
+//!
+//! Concretely, for a value `v` in nanoseconds:
+//!
+//! * `v < 16` → bucket `v` (exact);
+//! * otherwise, with `o = floor(log2 v)` and
+//!   `sub = (v >> (o - 4)) & 15`, the bucket is `(o - 3) * 16 + sub`.
+//!
+//! This yields [`NUM_BUCKETS`] = 976 buckets covering the full `u64`
+//! range with no configuration, so two histograms are always mergeable
+//! by adding counts — there is exactly one bucketing scheme
+//! (`hermes-latency-hist/v1`, the tag the JSON codec checks).
+//!
+//! Two types share the scheme: [`LatencyHistogram`] is the plain,
+//! serializable aggregate embedded in a
+//! [`RunReport`](crate::RunReport); [`LatencyRecorder`] is its
+//! lock-free sibling that hot paths record into concurrently, folded
+//! down with [`LatencyRecorder::snapshot`].
+
+use crate::json::{JsonError, Value};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets of the fixed log-linear scheme (octaves 4..=63 of
+/// 16 sub-buckets each, plus the 16 exact buckets below 16 ns).
+pub const NUM_BUCKETS: usize = 16 + 60 * 16;
+
+/// Sub-bucket resolution: values resolve to 4 significant bits, a
+/// worst-case relative error of 6.25 %.
+const SUB_BITS: u32 = 4;
+
+/// Bucket index of a nanosecond value under the fixed scheme.
+#[must_use]
+pub fn bucket_index(ns: u64) -> usize {
+    if ns < 16 {
+        return ns as usize;
+    }
+    let octave = 63 - ns.leading_zeros();
+    let sub = ((ns >> (octave - SUB_BITS)) & 0xF) as usize;
+    (octave as usize - 3) * 16 + sub
+}
+
+/// Lowest nanosecond value mapping to `bucket` (the value reported for
+/// every sample in the bucket; quantiles are thus under-estimates by at
+/// most the 6.25 % bucket width).
+///
+/// # Panics
+///
+/// Panics if `bucket >= NUM_BUCKETS`.
+#[must_use]
+pub fn bucket_lower_bound(bucket: usize) -> u64 {
+    assert!(bucket < NUM_BUCKETS, "bucket {bucket} out of range");
+    if bucket < 16 {
+        return bucket as u64;
+    }
+    let octave = (bucket / 16 + 3) as u32;
+    let sub = (bucket % 16) as u64;
+    (16 + sub) << (octave - SUB_BITS)
+}
+
+/// A plain log-bucketed latency histogram: the serializable aggregate
+/// form (see the module docs for the bucketing scheme).
+///
+/// ```
+/// use hermes_telemetry::LatencyHistogram;
+/// let mut h = LatencyHistogram::new();
+/// for ns in [100, 200, 300, 400, 50_000] {
+///     h.record(ns);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert!(h.p50().unwrap() >= 200 && h.p50().unwrap() <= 300);
+/// assert!(h.p99().unwrap() >= 46_000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    count: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Scheme tag written into the JSON form; parsing rejects other
+    /// schemes instead of silently mis-bucketing.
+    pub const SCHEME: &'static str = "hermes-latency-hist/v1";
+
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: vec![0; NUM_BUCKETS],
+            count: 0,
+        }
+    }
+
+    /// Record one sample of `ns` nanoseconds.
+    pub fn record(&mut self, ns: u64) {
+        self.counts[bucket_index(ns)] += 1;
+        self.count += 1;
+    }
+
+    /// Total samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no sample has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Add every bucket of `other` into `self` (the scheme is fixed, so
+    /// any two histograms merge).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+    }
+
+    /// The value at quantile `q` (0.0 ..= 1.0): the lower bound of the
+    /// bucket holding the sample of rank `ceil(q × count)`. `None` when
+    /// the histogram is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not within `0.0 ..= 1.0`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(bucket_lower_bound(i));
+            }
+        }
+        None // unreachable: seen ends at self.count >= rank
+    }
+
+    /// Median latency, ns.
+    #[must_use]
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile(0.50)
+    }
+
+    /// 99th-percentile latency, ns.
+    #[must_use]
+    pub fn p99(&self) -> Option<u64> {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th-percentile latency, ns.
+    #[must_use]
+    pub fn p999(&self) -> Option<u64> {
+        self.quantile(0.999)
+    }
+
+    /// Serialize as a JSON value: the scheme tag plus the non-zero
+    /// buckets as `[index, count]` pairs (the 976-bucket array is
+    /// almost entirely zeros).
+    #[must_use]
+    pub fn to_value(&self) -> Value {
+        let buckets = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| Value::Arr(vec![Value::Num(i as f64), Value::Num(c as f64)]))
+            .collect();
+        Value::obj(vec![
+            ("scheme", Value::Str(Self::SCHEME.to_string())),
+            ("buckets", Value::Arr(buckets)),
+        ])
+    }
+
+    /// Parse a histogram serialized by [`to_value`](Self::to_value).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] on an unknown scheme tag, an out-of-range
+    /// bucket index, or a malformed bucket list.
+    pub fn from_value(v: &Value) -> Result<LatencyHistogram, JsonError> {
+        let bad = |what: &str| JsonError {
+            message: format!("invalid latency histogram: {what}"),
+            offset: 0,
+        };
+        let scheme = v
+            .get("scheme")
+            .and_then(Value::as_str)
+            .ok_or_else(|| bad("missing scheme"))?;
+        if scheme != Self::SCHEME {
+            return Err(bad(&format!("unsupported scheme '{scheme}'")));
+        }
+        let mut hist = LatencyHistogram::new();
+        for pair in v
+            .get("buckets")
+            .and_then(Value::as_arr)
+            .ok_or_else(|| bad("missing buckets"))?
+        {
+            let pair = pair.as_arr().ok_or_else(|| bad("bucket entry"))?;
+            let (idx, count) = match pair {
+                [i, c] => (
+                    i.as_u64().ok_or_else(|| bad("bucket index"))? as usize,
+                    c.as_u64().ok_or_else(|| bad("bucket count"))?,
+                ),
+                _ => return Err(bad("bucket entry shape")),
+            };
+            if idx >= NUM_BUCKETS {
+                return Err(bad(&format!("bucket index {idx} out of range")));
+            }
+            hist.counts[idx] += count;
+            hist.count += count;
+        }
+        Ok(hist)
+    }
+}
+
+/// Lock-free concurrent recorder over the same bucketing scheme:
+/// workers `record` into it from completion paths; hosts fold it down
+/// with [`snapshot`](Self::snapshot) when building a report.
+pub struct LatencyRecorder {
+    counts: Box<[AtomicU64]>,
+}
+
+impl Default for LatencyRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyRecorder {
+    /// An empty recorder.
+    #[must_use]
+    pub fn new() -> Self {
+        LatencyRecorder {
+            counts: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Record one sample of `ns` nanoseconds (any thread; one relaxed
+    /// `fetch_add`).
+    pub fn record(&self, ns: u64) {
+        self.counts[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Fold the current counts into a plain [`LatencyHistogram`].
+    #[must_use]
+    pub fn snapshot(&self) -> LatencyHistogram {
+        let counts: Vec<u64> = self
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let count = counts.iter().sum();
+        LatencyHistogram { counts, count }
+    }
+}
+
+impl std::fmt::Debug for LatencyRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatencyRecorder")
+            .field("count", &self.count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        for v in 0..16 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_lower_bound(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_are_monotone_and_self_consistent() {
+        let mut prev = None;
+        for b in 0..NUM_BUCKETS {
+            let lo = bucket_lower_bound(b);
+            if let Some(p) = prev {
+                assert!(lo > p, "bounds must strictly increase at {b}");
+            }
+            prev = Some(lo);
+            // The lower bound of a bucket lands in that bucket.
+            assert_eq!(bucket_index(lo), b, "lower bound of {b} maps back");
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        for v in [
+            17u64,
+            100,
+            999,
+            12_345,
+            1_000_000,
+            987_654_321,
+            u64::MAX / 3,
+            u64::MAX,
+        ] {
+            let lo = bucket_lower_bound(bucket_index(v));
+            assert!(lo <= v);
+            let err = (v - lo) as f64 / v as f64;
+            assert!(err <= 1.0 / 16.0 + 1e-12, "{v}: error {err}");
+        }
+    }
+
+    #[test]
+    fn quantiles_walk_the_distribution() {
+        let mut h = LatencyHistogram::new();
+        // 99 samples at ~1 µs, one at ~1 ms.
+        for _ in 0..99 {
+            h.record(1_000);
+        }
+        h.record(1_000_000);
+        assert_eq!(h.count(), 100);
+        let p50 = h.p50().unwrap();
+        assert!((960..=1_000).contains(&p50), "p50 {p50}");
+        let p99 = h.p99().unwrap();
+        assert!(p99 <= 1_000, "rank 99 is still the 1 µs mass: {p99}");
+        let p999 = h.p999().unwrap();
+        assert!(p999 >= 900_000, "rank 100 is the outlier: {p999}");
+        assert!(h.quantile(0.0).unwrap() <= p50);
+        assert_eq!(h.quantile(1.0), h.p999());
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.p50(), None);
+        assert_eq!(h.p99(), None);
+        assert_eq!(h.p999(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_quantile_panics() {
+        let _ = LatencyHistogram::new().quantile(1.5);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for ns in [10, 100, 1_000] {
+            a.record(ns);
+        }
+        for ns in [10, 10_000] {
+            b.record(ns);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 5);
+        let mut c = LatencyHistogram::new();
+        for ns in [10, 100, 1_000, 10, 10_000] {
+            c.record(ns);
+        }
+        assert_eq!(a, c, "merge == recording the union");
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let mut h = LatencyHistogram::new();
+        for ns in [0, 5, 16, 31, 100, 40_000, 1_000_000_000, u64::MAX] {
+            h.record(ns);
+        }
+        let parsed = LatencyHistogram::from_value(&h.to_value()).unwrap();
+        assert_eq!(parsed, h);
+        // Empty stays empty.
+        let empty = LatencyHistogram::new();
+        let parsed = LatencyHistogram::from_value(&empty.to_value()).unwrap();
+        assert!(parsed.is_empty());
+    }
+
+    #[test]
+    fn json_rejects_foreign_schemes_and_bad_buckets() {
+        let mut h = LatencyHistogram::new();
+        h.record(100);
+        let Value::Obj(mut pairs) = h.to_value() else {
+            panic!("histograms serialize as objects");
+        };
+        pairs[0].1 = Value::Str("someone-elses-hist/v7".to_string());
+        assert!(LatencyHistogram::from_value(&Value::Obj(pairs)).is_err());
+        let bad = Value::obj(vec![
+            ("scheme", Value::Str(LatencyHistogram::SCHEME.to_string())),
+            (
+                "buckets",
+                Value::Arr(vec![Value::Arr(vec![
+                    Value::Num(NUM_BUCKETS as f64),
+                    Value::Num(1.0),
+                ])]),
+            ),
+        ]);
+        assert!(LatencyHistogram::from_value(&bad).is_err());
+    }
+
+    #[test]
+    fn recorder_snapshot_matches_plain_recording() {
+        let rec = LatencyRecorder::new();
+        let mut plain = LatencyHistogram::new();
+        for ns in [1u64, 20, 300, 4_000, 50_000, 50_000] {
+            rec.record(ns);
+            plain.record(ns);
+        }
+        assert_eq!(rec.count(), 6);
+        assert_eq!(rec.snapshot(), plain);
+    }
+
+    #[test]
+    fn recorder_is_concurrent() {
+        use std::sync::Arc;
+        let rec = Arc::new(LatencyRecorder::new());
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let rec = Arc::clone(&rec);
+                std::thread::spawn(move || {
+                    for i in 0..1_000u64 {
+                        rec.record(t * 1_000 + i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(rec.snapshot().count(), 4_000);
+    }
+}

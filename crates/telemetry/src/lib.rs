@@ -3,9 +3,10 @@
 //! The unified event-trace and baseline-artifact subsystem of the HERMES
 //! reproduction. Every execution layer — the `hermes-core` tempo
 //! controller, the `hermes-rt` thread pool, and the `hermes-sim`
-//! discrete-event engine — emits the same four event kinds
+//! discrete-event engine — emits the same event kinds
 //! ([`Event`]: steal attempts with per-victim outcomes, tempo
-//! transitions, DVFS actuations, energy samples) into a
+//! transitions, DVFS actuations, energy samples, worker park/unpark
+//! brackets, and per-request serving latencies) into a
 //! [`TelemetrySink`], so simulated and real runs produce
 //! **schema-identical** [`RunReport`]s that can be diffed against each
 //! other and against persisted baselines.
@@ -41,11 +42,15 @@
 
 mod event;
 pub mod json;
+mod latency;
 mod report;
 mod ring;
 mod sink;
 
 pub use event::{Event, StealOutcome};
+pub use latency::{
+    bucket_index, bucket_lower_bound, LatencyHistogram, LatencyRecorder, NUM_BUCKETS,
+};
 pub use report::{RunReport, TransitionMix, WorkerTelemetry};
 pub use ring::{EventRing, DEFAULT_RING_CAPACITY};
 pub use sink::{NullSink, RingSink, TelemetrySink, MACHINE_STREAM};

@@ -1,6 +1,7 @@
 //! The aggregated run report and its JSON persistence.
 
 use crate::json::{JsonError, Value};
+use crate::latency::LatencyHistogram;
 
 /// Per-worker (or machine-stream) aggregate counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -17,6 +18,11 @@ pub struct WorkerTelemetry {
     pub actuations: u64,
     /// Energy attributed to this worker, joules.
     pub energy_j: f64,
+    /// Park episodes this worker completed (bounded idle spin gave way
+    /// to a condvar park).
+    pub parks: u64,
+    /// Total nanoseconds this worker spent parked.
+    pub parked_ns: u64,
 }
 
 impl WorkerTelemetry {
@@ -114,6 +120,11 @@ pub struct RunReport {
     /// Empty when the host attached no topology — see
     /// [`with_steal_distances`](Self::with_steal_distances).
     pub steal_distance_hist: Vec<u64>,
+    /// Per-request serving latencies, merged across all worker streams
+    /// (log-bucketed; see [`LatencyHistogram`]). Empty for closed
+    /// fork-join runs that serve no requests, and when parsing
+    /// artifacts written before the serving subsystem existed.
+    pub latency_hist: LatencyHistogram,
 }
 
 impl RunReport {
@@ -131,6 +142,8 @@ impl RunReport {
             t.transitions.add(&w.transitions);
             t.actuations += w.actuations;
             t.energy_j += w.energy_j;
+            t.parks += w.parks;
+            t.parked_ns += w.parked_ns;
         }
         t
     }
@@ -240,6 +253,7 @@ impl RunReport {
                         .collect(),
                 ),
             ),
+            ("latency_hist", self.latency_hist.to_value()),
         ])
     }
 
@@ -309,6 +323,13 @@ impl RunReport {
                 .map(|n| n.as_u64().ok_or_else(|| bad("steal_distance_hist entry")))
                 .collect::<Result<_, _>>()?,
         };
+        // Absent in artifacts written before the serving subsystem (the
+        // same back-compat posture as steal_distance_hist): default to
+        // an empty histogram.
+        let latency_hist = match v.get("latency_hist") {
+            None => LatencyHistogram::new(),
+            Some(h) => LatencyHistogram::from_value(h)?,
+        };
         if per_worker.len() != workers
             || steal_matrix.len() != workers
             || steal_matrix.iter().any(|row| row.len() != workers)
@@ -339,6 +360,7 @@ impl RunReport {
             per_worker,
             steal_matrix,
             steal_distance_hist,
+            latency_hist,
         })
     }
 }
@@ -360,6 +382,8 @@ fn worker_to_value(w: &WorkerTelemetry) -> Value {
         ),
         ("actuations", Value::Num(w.actuations as f64)),
         ("energy_j", Value::Num(w.energy_j)),
+        ("parks", Value::Num(w.parks as f64)),
+        ("parked_ns", Value::Num(w.parked_ns as f64)),
     ])
 }
 
@@ -370,6 +394,9 @@ fn worker_from_value(v: &Value) -> Result<WorkerTelemetry, JsonError> {
             offset: 0,
         })
     };
+    // Fields added after hermes-run-report/v1 shipped: absent means an
+    // artifact from before the parking subsystem, i.e. zero.
+    let num_or_zero = |key: &str| v.get(key).and_then(Value::as_u64).unwrap_or(0);
     Ok(WorkerTelemetry {
         steals: num("steals")?,
         empty_steals: num("empty_steals")?,
@@ -385,6 +412,8 @@ fn worker_from_value(v: &Value) -> Result<WorkerTelemetry, JsonError> {
             message: "invalid worker field 'energy_j'".to_string(),
             offset: 0,
         })?,
+        parks: num_or_zero("parks"),
+        parked_ns: num_or_zero("parked_ns"),
     })
 }
 
@@ -414,6 +443,8 @@ mod tests {
                     },
                     actuations: 12,
                     energy_j: 21.0,
+                    parks: 4,
+                    parked_ns: 2_500_000,
                 },
                 WorkerTelemetry {
                     steals: 5,
@@ -427,10 +458,19 @@ mod tests {
                     },
                     actuations: 6,
                     energy_j: 21.125,
+                    parks: 1,
+                    parked_ns: 700_000,
                 },
             ],
             steal_matrix: vec![vec![0, 10], vec![5, 0]],
             steal_distance_hist: Vec::new(),
+            latency_hist: {
+                let mut h = LatencyHistogram::new();
+                for ns in [40_000, 55_000, 900_000] {
+                    h.record(ns);
+                }
+                h
+            },
         }
     }
 
@@ -451,6 +491,8 @@ mod tests {
         assert_eq!(totals.lost_race_steals, 3);
         assert_eq!(totals.steal_attempts(), 21);
         assert_eq!(totals.actuations, 18);
+        assert_eq!(totals.parks, 5);
+        assert_eq!(totals.parked_ns, 3_200_000);
         assert!((totals.energy_j - 42.125).abs() < 1e-12);
         let mix = report.transition_mix();
         assert_eq!(mix.total(), 40);
@@ -520,6 +562,73 @@ mod tests {
         assert!(parsed.steal_distance_hist.is_empty());
         assert_eq!(parsed.same_domain_steal_fraction(), None);
         assert_eq!(parsed.steal_distance_total(), 0);
+    }
+
+    #[test]
+    fn pre_serve_artifacts_parse_with_empty_latency_and_zero_parks() {
+        // A report serialized before the serving subsystem has no
+        // latency_hist field and no per-worker park counters; it must
+        // parse to an empty histogram and zero parks (the same pattern
+        // as steal_distance_hist above).
+        let Value::Obj(pairs) = sample().to_value() else {
+            panic!("reports serialize as objects");
+        };
+        let stripped = Value::Obj(
+            pairs
+                .into_iter()
+                .filter(|(k, _)| k != "latency_hist")
+                .map(|(k, v)| {
+                    if k != "per_worker" {
+                        return (k, v);
+                    }
+                    let Value::Arr(workers) = v else {
+                        panic!("per_worker serializes as an array");
+                    };
+                    let workers = workers
+                        .into_iter()
+                        .map(|w| {
+                            let Value::Obj(fields) = w else {
+                                panic!("worker entries serialize as objects");
+                            };
+                            Value::Obj(
+                                fields
+                                    .into_iter()
+                                    .filter(|(k, _)| k != "parks" && k != "parked_ns")
+                                    .collect(),
+                            )
+                        })
+                        .collect();
+                    (k, Value::Arr(workers))
+                })
+                .collect(),
+        );
+        let json = stripped.to_string_pretty();
+        assert!(!json.contains("latency_hist") && !json.contains("parks"));
+        let parsed = RunReport::from_json(&json).unwrap();
+        assert!(parsed.latency_hist.is_empty());
+        assert_eq!(parsed.latency_hist.p99(), None);
+        assert_eq!(parsed.totals().parks, 0);
+        assert_eq!(parsed.totals().parked_ns, 0);
+        // Everything that was present still round-trips.
+        assert_eq!(parsed.totals().steals, sample().totals().steals);
+    }
+
+    #[test]
+    fn latency_histogram_survives_report_json() {
+        let report = sample();
+        let parsed = RunReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(parsed.latency_hist, report.latency_hist);
+        assert_eq!(parsed.latency_hist.count(), 3);
+        // A malformed histogram is a parse error, not a silent default.
+        let Value::Obj(mut pairs) = report.to_value() else {
+            panic!("reports serialize as objects");
+        };
+        for (k, v) in &mut pairs {
+            if k == "latency_hist" {
+                *v = Value::Str("not a histogram".to_string());
+            }
+        }
+        assert!(RunReport::from_value(&Value::Obj(pairs)).is_err());
     }
 
     #[test]

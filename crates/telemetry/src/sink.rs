@@ -1,7 +1,10 @@
 //! Sinks: where hosts put events.
 
+use crate::latency::LatencyRecorder;
 use crate::ring::DEFAULT_RING_CAPACITY;
-use crate::{Event, EventRing, RunReport, StealOutcome, TransitionMix, WorkerTelemetry};
+use crate::{
+    Event, EventRing, LatencyHistogram, RunReport, StealOutcome, TransitionMix, WorkerTelemetry,
+};
 use hermes_core::TransitionKind;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -84,6 +87,11 @@ struct Tally {
     workload_downs: AtomicU64,
     actuations: AtomicU64,
     energy_uj: AtomicU64,
+    parks: AtomicU64,
+    parked_ns: AtomicU64,
+    /// Request latencies completed on this stream (merged across
+    /// streams into [`RunReport::latency_hist`] at fold time).
+    latency: LatencyRecorder,
 }
 
 impl Tally {
@@ -99,6 +107,9 @@ impl Tally {
             workload_downs: AtomicU64::new(0),
             actuations: AtomicU64::new(0),
             energy_uj: AtomicU64::new(0),
+            parks: AtomicU64::new(0),
+            parked_ns: AtomicU64::new(0),
+            latency: LatencyRecorder::new(),
         }
     }
 
@@ -133,6 +144,15 @@ impl Tally {
             Event::EnergySample { microjoules } => {
                 self.energy_uj.fetch_add(microjoules, Ordering::Relaxed);
             }
+            Event::WorkerPark => {
+                self.parks.fetch_add(1, Ordering::Relaxed);
+            }
+            Event::WorkerUnpark { parked_ns } => {
+                self.parked_ns.fetch_add(parked_ns, Ordering::Relaxed);
+            }
+            Event::RequestLatency { ns } => {
+                self.latency.record(ns);
+            }
         }
     }
 
@@ -149,6 +169,8 @@ impl Tally {
             },
             actuations: self.actuations.load(Ordering::Relaxed),
             energy_j: self.energy_uj.load(Ordering::Relaxed) as f64 / 1e6,
+            parks: self.parks.load(Ordering::Relaxed),
+            parked_ns: self.parked_ns.load(Ordering::Relaxed),
         }
     }
 }
@@ -275,6 +297,12 @@ impl RingSink {
             })
             .collect();
         let machine = self.streams[self.workers].tally.worker_telemetry();
+        // Request latencies merge across every stream (workers plus the
+        // machine stream, where hosts without a worker context record).
+        let mut latency_hist = LatencyHistogram::new();
+        for s in &self.streams {
+            latency_hist.merge(&s.tally.latency.snapshot());
+        }
         RunReport {
             schema: RunReport::SCHEMA.to_string(),
             label: label.to_string(),
@@ -286,6 +314,7 @@ impl RingSink {
             per_worker,
             steal_matrix,
             steal_distance_hist: Vec::new(),
+            latency_hist,
         }
     }
 }

@@ -2,8 +2,8 @@
 //! sequential model, concurrent writers, and report JSON round-trips.
 
 use hermes_telemetry::{
-    Event, EventRing, RingSink, RunReport, StealOutcome, TelemetrySink, TransitionKind,
-    TransitionMix, WorkerTelemetry,
+    Event, EventRing, LatencyHistogram, RingSink, RunReport, StealOutcome, TelemetrySink,
+    TransitionKind, TransitionMix, WorkerTelemetry,
 };
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -146,14 +146,50 @@ proptest! {
                     },
                     actuations: s / 7,
                     energy_j: energy / workers as f64,
+                    parks: s / 8,
+                    parked_ns: s.wrapping_mul(1_000),
                 })
                 .collect(),
             steal_matrix: (0..workers)
                 .map(|i| (0..workers).map(|j| if i == j { 0 } else { steals[j] }).collect())
                 .collect(),
             steal_distance_hist: steals.iter().map(|&s| s % 97).collect(),
+            latency_hist: {
+                let mut h = LatencyHistogram::new();
+                for &s in &steals {
+                    h.record(s.wrapping_mul(41));
+                }
+                h
+            },
         };
         let parsed = RunReport::from_json(&report.to_json()).unwrap();
         prop_assert_eq!(parsed, report);
+    }
+
+    /// The log-bucketed histogram's quantiles bracket the true
+    /// percentiles from below, within the documented 1/16 relative
+    /// bucket width.
+    #[test]
+    fn latency_quantiles_bound_true_percentiles(
+        samples in proptest::collection::vec(0u64..10_000_000_000, 1..200),
+    ) {
+        let mut h = LatencyHistogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for q in [0.5, 0.99, 0.999] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let truth = sorted[rank - 1];
+            let est = h.quantile(q).unwrap();
+            prop_assert!(est <= truth, "estimate {} above truth {}", est, truth);
+            prop_assert!(
+                truth - est <= truth / 16 + 1,
+                "estimate {} too far below truth {}",
+                est,
+                truth
+            );
+        }
     }
 }

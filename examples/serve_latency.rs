@@ -1,0 +1,110 @@
+//! Serve an open-loop Poisson request stream and read the latency tail.
+//!
+//! Builds a tempo-controlled, parking [`Server`] over the HERMES pool,
+//! drives it at a moderate offered load with deterministic Poisson
+//! arrivals, and prints the latency percentiles, park accounting, and
+//! virtual energy — the per-run view of what `sweep --serve` sweeps as
+//! a grid.
+//!
+//! ```sh
+//! cargo run --release --example serve_latency
+//! ```
+
+use hermes::core::{Frequency, Policy, TempoConfig};
+use hermes::serve::{run_open_loop, PoissonSchedule, Server};
+use hermes::telemetry::{RingSink, TelemetrySink};
+use std::sync::Arc;
+
+/// One request: a small fork-join kernel, so requests parallelize
+/// inside the pool and the tempo controller sees real hook traffic.
+fn request() -> u64 {
+    let mut v: Vec<u64> = (0..2_048).collect();
+    hermes::rt::parallel_for(&mut v, 256, |x| {
+        let mut acc = *x;
+        for _ in 0..200 {
+            acc = std::hint::black_box(acc.wrapping_mul(2654435761).rotate_left(7));
+        }
+        *x = acc;
+    });
+    v.iter().fold(0u64, |a, &b| a ^ b)
+}
+
+fn main() {
+    let workers = 4;
+    let requests = 300;
+    let sink = Arc::new(RingSink::new(workers));
+    let tempo = TempoConfig::builder()
+        .policy(Policy::Unified)
+        .frequencies(vec![Frequency::from_mhz(2400), Frequency::from_mhz(1600)])
+        .workers(workers)
+        .build();
+    let mut server = Server::builder()
+        .workers(workers)
+        .tempo(tempo)
+        .parking(true)
+        .emulated_dvfs(Frequency::from_mhz(2400), 8.0)
+        .telemetry(Arc::clone(&sink) as Arc<dyn TelemetrySink>)
+        .build();
+
+    // Calibrate the offered load to ~25 % of one core so the run is
+    // visibly idle-dominated (the regime the parking subsystem exists
+    // for).
+    let t0 = std::time::Instant::now();
+    for _ in 0..10 {
+        std::hint::black_box(request());
+    }
+    let service_s = t0.elapsed().as_secs_f64() / 10.0;
+    let rate_hz = 0.25 / service_s;
+    println!(
+        "serving {requests} requests at {rate_hz:.0}/s \
+         (service ≈ {:.0} µs, {workers} workers)…",
+        service_s * 1e6
+    );
+
+    let offsets = PoissonSchedule::unit(42, requests).offsets(rate_hz);
+    let run = run_open_loop(&server, &offsets, |_| request);
+    server.stop();
+
+    let hist = server.latency();
+    println!(
+        "completed {} requests in {:.2} s ({} submissions late)",
+        server.completed(),
+        server.pool().elapsed_ns() as f64 / 1e9,
+        run.late_submissions
+    );
+    println!(
+        "latency: p50 {:>8.1} µs | p99 {:>8.1} µs | p99.9 {:>8.1} µs",
+        hist.p50().unwrap_or(0) as f64 / 1e3,
+        hist.p99().unwrap_or(0) as f64 / 1e3,
+        hist.p999().unwrap_or(0) as f64 / 1e3,
+    );
+    let stats = server.pool().stats();
+    println!(
+        "parking: {} episodes, {:.1} ms parked; injector pops: {}",
+        stats.parks,
+        stats.parked_ns as f64 / 1e6,
+        stats.injector_pops
+    );
+    if let Some(energy) = server.pool().total_energy() {
+        println!("virtual energy (busy + spin + parked): {energy:.3} J");
+    }
+
+    // The folded RunReport carries the same latency histogram.
+    let report = sink.report(
+        "serve-latency-example",
+        "rt",
+        server.pool().elapsed_ns() as f64 / 1e9,
+        server.pool().total_energy().unwrap_or(0.0),
+    );
+    assert_eq!(report.latency_hist.count(), requests as u64);
+    println!(
+        "telemetry: {} latency samples, {} parks in the RunReport",
+        report.latency_hist.count(),
+        report.totals().parks
+    );
+    let tickets = run.tickets.len();
+    for t in run.tickets {
+        std::hint::black_box(t.wait());
+    }
+    println!("all {tickets} tickets redeemed");
+}

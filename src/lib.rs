@@ -16,6 +16,7 @@
 //! | [`topology`] | `hermes-topology` | Machine topology (cores/domains/packages), steal distances, victim selection |
 //! | [`sim`] | `hermes-sim` | Discrete-event multicore/DVFS/power simulator |
 //! | [`rt`] | `hermes-rt` | Real-thread work-stealing pool with tempo hooks |
+//! | [`serve`] | `hermes-serve` | Open-loop request serving: submission tickets, Poisson load, latency telemetry |
 //! | [`workloads`] | `hermes-workloads` | The five PBBS-style benchmarks |
 //! | [`telemetry`] | `hermes-telemetry` | Event rings, `RunReport` aggregation, JSON artifacts |
 //!
@@ -64,6 +65,7 @@
 pub use hermes_core as core;
 pub use hermes_deque as deque;
 pub use hermes_rt as rt;
+pub use hermes_serve as serve;
 pub use hermes_sim as sim;
 pub use hermes_telemetry as telemetry;
 pub use hermes_topology as topology;
