@@ -69,7 +69,12 @@
 //! `--serve-p99-factor` × the off/off p99 plus `--serve-p99-floor-ms`;
 //! and the per-utilization arrival-schedule fingerprints must match the
 //! committed `BENCH_serve.json` (the deterministic, host-independent
-//! part of the artifact). See DESIGN.md §Serve for the protocol.
+//! part of the artifact). An *async corner* re-runs the lowest
+//! utilization through [`Server::submit_async`] (four more cells, keys
+//! suffixed `/async`) and applies the same energy and p99 gates there —
+//! the energy claim must survive the request path switching from
+//! run-once closures to refcounted polled futures. See DESIGN.md §Serve
+//! and §Async for the protocol.
 //!
 //! `--ablate-victim` reruns the smoke figure family under each
 //! `VictimPolicy` and probes steal locality with a dense-placement
@@ -91,7 +96,7 @@ use hermes_bench::{cell_config, trials, Cell, System};
 use hermes_core::{Frequency, Policy, TempoConfig};
 use hermes_deque::{LockFreeDeque, Steal, TaskDeque, TheDeque};
 use hermes_rt::{parallel_for, DequeKind, Pool};
-use hermes_serve::{run_open_loop, PoissonSchedule, Server};
+use hermes_serve::{run_open_loop, run_open_loop_async, PoissonSchedule, Server};
 use hermes_sim::WorkerPlacement;
 use hermes_telemetry::json::Value;
 use hermes_telemetry::{RingSink, RunReport, TelemetrySink};
@@ -1201,6 +1206,9 @@ struct ServeCell {
     util: f64,
     tempo: bool,
     parking: bool,
+    /// Submitted through [`Server::submit_async`] (the refcounted
+    /// future-task path) instead of run-once closures.
+    is_async: bool,
     offered_rate_hz: f64,
     achieved_rate_hz: f64,
     elapsed_s: f64,
@@ -1211,15 +1219,19 @@ struct ServeCell {
     parks: u64,
     parked_ns: u64,
     injector_pops: u64,
+    future_polls: u64,
+    future_wakes: u64,
+    future_repushes: u64,
     late_submissions: usize,
 }
 
-fn serve_cell_key(util: f64, tempo: bool, parking: bool) -> String {
+fn serve_cell_key(util: f64, tempo: bool, parking: bool, is_async: bool) -> String {
     format!(
-        "u{:02.0}/tempo-{}/park-{}",
+        "u{:02.0}/tempo-{}/park-{}{}",
         util * 100.0,
         if tempo { "on" } else { "off" },
-        if parking { "on" } else { "off" }
+        if parking { "on" } else { "off" },
+        if is_async { "/async" } else { "" }
     )
 }
 
@@ -1229,6 +1241,7 @@ fn run_serve_cell(
     util: f64,
     tempo: bool,
     parking: bool,
+    is_async: bool,
     schedule: &PoissonSchedule,
     service_s: f64,
 ) -> ServeCell {
@@ -1253,7 +1266,11 @@ fn run_serve_cell(
         .build();
     let offered_rate_hz = util * serve_effective_cores() as f64 / service_s;
     let offsets = schedule.offsets(offered_rate_hz);
-    let run = run_open_loop(&server, &offsets, |_| serve_request);
+    let run = if is_async {
+        run_open_loop_async(&server, &offsets, |_| async { serve_request() })
+    } else {
+        run_open_loop(&server, &offsets, |_| serve_request)
+    };
     server.stop();
     let elapsed_s = server.pool().elapsed_ns() as f64 / 1e9;
     let stats = server.pool().stats();
@@ -1262,6 +1279,7 @@ fn run_serve_cell(
         util,
         tempo,
         parking,
+        is_async,
         offered_rate_hz,
         achieved_rate_hz: schedule.len() as f64 / elapsed_s.max(1e-9),
         elapsed_s,
@@ -1272,6 +1290,9 @@ fn run_serve_cell(
         parks: stats.parks,
         parked_ns: stats.parked_ns,
         injector_pops: stats.injector_pops,
+        future_polls: stats.future_polls,
+        future_wakes: stats.future_wakes,
+        future_repushes: stats.future_repushes,
         late_submissions: run.late_submissions,
     }
 }
@@ -1280,11 +1301,12 @@ fn serve_cell_value(c: &ServeCell) -> Value {
     Value::obj(vec![
         (
             "key",
-            Value::Str(serve_cell_key(c.util, c.tempo, c.parking)),
+            Value::Str(serve_cell_key(c.util, c.tempo, c.parking, c.is_async)),
         ),
         ("util", Value::Num(c.util)),
         ("tempo", Value::Bool(c.tempo)),
         ("parking", Value::Bool(c.parking)),
+        ("async", Value::Bool(c.is_async)),
         ("offered_rate_hz", Value::Num(c.offered_rate_hz)),
         ("achieved_rate_hz", Value::Num(c.achieved_rate_hz)),
         ("elapsed_s", Value::Num(c.elapsed_s)),
@@ -1295,6 +1317,9 @@ fn serve_cell_value(c: &ServeCell) -> Value {
         ("parks", Value::Num(c.parks as f64)),
         ("parked_ns", Value::Num(c.parked_ns as f64)),
         ("injector_pops", Value::Num(c.injector_pops as f64)),
+        ("future_polls", Value::Num(c.future_polls as f64)),
+        ("future_wakes", Value::Num(c.future_wakes as f64)),
+        ("future_repushes", Value::Num(c.future_repushes as f64)),
         ("late_submissions", Value::Num(c.late_submissions as f64)),
     ])
 }
@@ -1354,21 +1379,40 @@ fn serve_main(args: &[String], smoke: bool) -> ExitCode {
                     util,
                     tempo,
                     parking,
+                    false,
                     &schedules[i],
                     service_s,
                 ));
             }
         }
     }
+    // The async corner: the lowest-utilization point re-run through
+    // `submit_async` (refcounted future tasks, wake-driven re-queues)
+    // on the same seeded schedule, all four tempo/parking corners. The
+    // paper's energy claim must survive the request path changing from
+    // run-once closures to polled futures.
+    let async_util = SERVE_UTILS[0];
+    for tempo in [false, true] {
+        for parking in [false, true] {
+            cells.push(run_serve_cell(
+                async_util,
+                tempo,
+                parking,
+                true,
+                &schedules[0],
+                service_s,
+            ));
+        }
+    }
 
     println!(
-        "\n{:<22} {:>9} {:>9} {:>9} {:>9} {:>9} {:>7} {:>10}",
+        "\n{:<28} {:>9} {:>9} {:>9} {:>9} {:>9} {:>7} {:>10}",
         "cell", "energy J", "p50 µs", "p99 µs", "p999 µs", "rate/s", "parks", "parked ms"
     );
     for c in &cells {
         println!(
-            "{:<22} {:>9.3} {:>9.1} {:>9.1} {:>9.1} {:>9.0} {:>7} {:>10.1}",
-            serve_cell_key(c.util, c.tempo, c.parking),
+            "{:<28} {:>9.3} {:>9.1} {:>9.1} {:>9.1} {:>9.0} {:>7} {:>10.1}",
+            serve_cell_key(c.util, c.tempo, c.parking, c.is_async),
             c.energy_j,
             c.p50_ns as f64 / 1e3,
             c.p99_ns as f64 / 1e3,
@@ -1381,14 +1425,19 @@ fn serve_main(args: &[String], smoke: bool) -> ExitCode {
 
     // --- Gates -------------------------------------------------------
     let lowest = SERVE_UTILS[0];
-    let cell = |tempo: bool, parking: bool| {
+    let cell = |tempo: bool, parking: bool, is_async: bool| {
         cells
             .iter()
-            .find(|c| c.util == lowest && c.tempo == tempo && c.parking == parking)
+            .find(|c| {
+                c.util == lowest
+                    && c.tempo == tempo
+                    && c.parking == parking
+                    && c.is_async == is_async
+            })
             .expect("grid is complete")
     };
-    let on_on = cell(true, true);
-    let off_off = cell(false, false);
+    let on_on = cell(true, true, false);
+    let off_off = cell(false, false, false);
 
     // Gate 1: the controller's low-utilization energy win. Everything
     // thief-side idles most of the wall clock at 10 % utilization, so
@@ -1418,6 +1467,48 @@ fn serve_main(args: &[String], smoke: bool) -> ExitCode {
         off_off.p99_ns as f64 / 1e3,
         p99_floor_ms,
         if p99_ok { "ok" } else { "FAIL" }
+    );
+
+    // Gates 1'/2', async corner: the same energy and tail bounds, but
+    // with every request a polled future. The future-task layer adds a
+    // poll dispatch and a refcount per request; it must not erase the
+    // tempo+parking energy win nor blow the tail bound.
+    let a_on_on = cell(true, true, true);
+    let a_off_off = cell(false, false, true);
+    let async_energy_ok = a_on_on.energy_j < a_off_off.energy_j;
+    println!(
+        "async energy gate (u{:02.0}): tempo+parking {:.3} J < off/off {:.3} J -> {}",
+        lowest * 100.0,
+        a_on_on.energy_j,
+        a_off_off.energy_j,
+        if async_energy_ok { "ok" } else { "FAIL" }
+    );
+    let async_p99_bound_ns = a_off_off.p99_ns as f64 * p99_factor + p99_floor_ms * 1e6;
+    let async_p99_ok = (a_on_on.p99_ns as f64) <= async_p99_bound_ns;
+    println!(
+        "async p99 gate (u{:02.0}): tempo+parking {:.1} µs <= {:.1} µs \
+         ({}x off/off {:.1} µs + {} ms) -> {}",
+        lowest * 100.0,
+        a_on_on.p99_ns as f64 / 1e3,
+        async_p99_bound_ns / 1e3,
+        p99_factor,
+        a_off_off.p99_ns as f64 / 1e3,
+        p99_floor_ms,
+        if async_p99_ok { "ok" } else { "FAIL" }
+    );
+    // Sanity, not a perf gate: the async cells actually exercised the
+    // future path (one poll per request at minimum), and the sync cells
+    // never touched it.
+    let future_path_ok = cells.iter().all(|c| {
+        if c.is_async {
+            c.future_polls >= requests as u64
+        } else {
+            c.future_polls == 0
+        }
+    });
+    println!(
+        "future-path gate: async cells polled futures, sync cells never did -> {}",
+        if future_path_ok { "ok" } else { "FAIL" }
     );
 
     // Gate 3: reproducibility of the deterministic half — the arrival
@@ -1523,6 +1614,9 @@ fn serve_main(args: &[String], smoke: bool) -> ExitCode {
                 ("p99_ok", Value::Bool(p99_ok)),
                 ("p99_factor", Value::Num(p99_factor)),
                 ("p99_floor_ms", Value::Num(p99_floor_ms)),
+                ("async_energy_ok", Value::Bool(async_energy_ok)),
+                ("async_p99_ok", Value::Bool(async_p99_ok)),
+                ("future_path_ok", Value::Bool(future_path_ok)),
                 ("schedule_ok", Value::Bool(schedule_ok)),
             ]),
         ),
@@ -1534,7 +1628,7 @@ fn serve_main(args: &[String], smoke: bool) -> ExitCode {
     }
     println!("sweep: wrote {out_path} ({} bytes)", json.len());
 
-    if energy_ok && p99_ok && schedule_ok {
+    if energy_ok && p99_ok && async_energy_ok && async_p99_ok && future_path_ok && schedule_ok {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

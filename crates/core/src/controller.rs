@@ -486,6 +486,7 @@ impl TempoController {
             return;
         }
         self.parked[w.0] = false;
+        self.stats.unparks += 1;
         if !self.config.policy.is_enabled() {
             return;
         }
@@ -1032,6 +1033,11 @@ mod tests {
         ctl.on_unpark(w(0), &mut act);
         assert!(!ctl.is_parked(w(0)));
         assert_eq!(act.last_frequency(w(0)), Some(Frequency::from_mhz(2400)));
+        // Every completed park came back through on_unpark, and a
+        // double-unpark (host bug) is a no-op on the counter too.
+        assert_eq!(ctl.stats().unparks, 1);
+        ctl.on_unpark(w(0), &mut act);
+        assert_eq!(ctl.stats().unparks, 1);
         // Every park/unpark apply was counted as an actuation.
         assert_eq!(ctl.stats().actuations, act.changes().len() as u64);
     }

@@ -29,6 +29,13 @@ pub struct TempoStats {
     /// Park episodes reported by the host's idle loop (bounded spin
     /// exhausted; the worker slept on the pool's idle primitive).
     pub parks: u64,
+    /// Unpark episodes reported by the host — each one is a wakeup the
+    /// controller re-actuated a frequency for. Under wake-driven load
+    /// (future-task wakers re-pushing work into a parked pool) this is
+    /// how the controller's view of the wake path is audited: every
+    /// completed park must come back through
+    /// [`on_unpark`](crate::TempoController::on_unpark).
+    pub unparks: u64,
 }
 
 impl TempoStats {
@@ -43,7 +50,7 @@ impl std::fmt::Display for TempoStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "steals={} relays={} relay_ups={} path_downs={} wl_ups={} wl_downs={} guard={} thld_updates={} actuations={} parks={}",
+            "steals={} relays={} relay_ups={} path_downs={} wl_ups={} wl_downs={} guard={} thld_updates={} actuations={} parks={} unparks={}",
             self.steals,
             self.relays,
             self.relay_ups,
@@ -53,7 +60,8 @@ impl std::fmt::Display for TempoStats {
             self.guard_suppressions,
             self.threshold_updates,
             self.actuations,
-            self.parks
+            self.parks,
+            self.unparks
         )
     }
 }

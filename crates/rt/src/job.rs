@@ -19,6 +19,7 @@ use std::cell::UnsafeCell;
 pub(crate) struct JobRef {
     pointer: *const (),
     execute_fn: unsafe fn(*const ()),
+    release_fn: unsafe fn(*const ()),
 }
 
 impl PartialEq for JobRef {
@@ -37,11 +38,17 @@ unsafe impl Send for JobRef {}
 impl JobRef {
     /// # Safety
     ///
-    /// `pointer` must stay valid until `execute` is called exactly once.
-    pub(crate) unsafe fn new(pointer: *const (), execute_fn: unsafe fn(*const ())) -> JobRef {
+    /// `pointer` must stay valid until exactly one of `execute` or
+    /// `release` is called, exactly once.
+    pub(crate) unsafe fn new(
+        pointer: *const (),
+        execute_fn: unsafe fn(*const ()),
+        release_fn: unsafe fn(*const ()),
+    ) -> JobRef {
         JobRef {
             pointer,
             execute_fn,
+            release_fn,
         }
     }
 
@@ -50,7 +57,26 @@ impl JobRef {
         // SAFETY: contract forwarded to the constructor's caller.
         unsafe { (self.execute_fn)(self.pointer) }
     }
+
+    /// Free the job *without* running it.
+    ///
+    /// This is the shutdown path: a terminated pool drains its queues and
+    /// releases whatever is still parked there. Heap jobs free their
+    /// allocation, future tasks drop the queue's task reference, stack
+    /// jobs do nothing (the owning `join`/`install` frame still owns the
+    /// payload and will observe an unset latch).
+    ///
+    /// # Safety
+    ///
+    /// Consumes the ref: the job must not be executed or released again.
+    pub(crate) unsafe fn release(self) {
+        // SAFETY: contract forwarded to the constructor's caller.
+        unsafe { (self.release_fn)(self.pointer) }
+    }
 }
+
+/// `release` for jobs that own no heap state of their own ([`StackJob`]).
+unsafe fn release_noop(_: *const ()) {}
 
 impl std::fmt::Debug for JobRef {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -93,6 +119,7 @@ where
             JobRef::new(
                 self as *const StackJob<F, R> as *const (),
                 Self::execute_erased,
+                release_noop,
             )
         }
     }
@@ -162,8 +189,8 @@ impl HeapJob {
     pub(crate) fn into_job_ref(self: Box<Self>) -> JobRef {
         let pointer = Box::into_raw(self) as *const ();
         // SAFETY: the pointer came from Box::into_raw and is reclaimed in
-        // execute_erased exactly once.
-        unsafe { JobRef::new(pointer, Self::execute_erased) }
+        // execute_erased or release_erased exactly once.
+        unsafe { JobRef::new(pointer, Self::execute_erased, Self::release_erased) }
     }
 
     unsafe fn execute_erased(this: *const ()) {
@@ -171,6 +198,11 @@ impl HeapJob {
         // reclaimed exactly once.
         let this = unsafe { Box::from_raw(this as *mut HeapJob) };
         (this.f)();
+    }
+
+    unsafe fn release_erased(this: *const ()) {
+        // SAFETY: as in execute_erased; the closure is dropped unrun.
+        drop(unsafe { Box::from_raw(this as *mut HeapJob) });
     }
 }
 
@@ -209,6 +241,41 @@ mod tests {
         }));
         unsafe { job.into_job_ref().execute() };
         assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn heap_job_release_frees_without_running() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        use std::sync::Arc;
+        struct DropProbe(Arc<AtomicU32>);
+        impl Drop for DropProbe {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let drops = Arc::new(AtomicU32::new(0));
+        let ran = Arc::new(AtomicU32::new(0));
+        let probe = DropProbe(Arc::clone(&drops));
+        let r2 = Arc::clone(&ran);
+        let job = HeapJob::new(Box::new(move || {
+            let _keep = &probe;
+            r2.fetch_add(1, Ordering::SeqCst);
+        }));
+        unsafe { job.into_job_ref().release() };
+        assert_eq!(ran.load(Ordering::SeqCst), 0, "released job must not run");
+        assert_eq!(drops.load(Ordering::SeqCst), 1, "closure must be freed");
+    }
+
+    #[test]
+    fn stack_job_release_leaves_latch_unset() {
+        let job = StackJob::new(|| 7);
+        unsafe {
+            let job_ref = job.as_job_ref();
+            job_ref.release();
+        }
+        assert!(!job.latch.probe());
+        // The frame still owns the job; run it for real afterwards.
+        assert_eq!(unsafe { job.run_inline() }, 7);
     }
 
     #[test]

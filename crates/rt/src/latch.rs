@@ -1,6 +1,8 @@
 //! Completion latches used to coordinate fork-join tasks.
 
+use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::task::Waker;
 
 /// A one-shot completion flag.
 ///
@@ -72,6 +74,93 @@ impl Latch {
     }
 }
 
+/// A one-shot completion flag with a waker slot, for *heap-shared*
+/// completion objects (serving tickets, async latches).
+///
+/// [`Latch`]'s contract makes `set` a single release store because stack
+/// waiters free the latch the instant they observe the flag. A
+/// `WakerLatch` lives in shared ownership (an `Arc` held by both setter
+/// and waiter), so `set` may do more after publishing the flag: it takes
+/// the registered [`Waker`], if any, and wakes it. That post-store access
+/// is exactly what `Latch` forbids, which is why this is a separate type
+/// rather than a slot grown onto `Latch`.
+///
+/// The register/set race loses no wakeups: `register` stores the waker
+/// under the lock and then re-probes the flag, so either `set`'s take
+/// (under the same lock) sees the waker, or the registering thread's
+/// re-probe sees the flag and wakes itself.
+#[derive(Debug, Default)]
+pub struct WakerLatch {
+    set: AtomicBool,
+    waker: Mutex<Option<Waker>>,
+}
+
+impl WakerLatch {
+    /// A fresh, unset latch.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the latch has been set (non-blocking).
+    #[must_use]
+    pub fn probe(&self) -> bool {
+        self.set.load(Ordering::Acquire)
+    }
+
+    /// Set the latch and wake the registered waker, if any.
+    pub fn set(&self) {
+        self.set.store(true, Ordering::Release);
+        let waker = self.waker.lock().take();
+        if let Some(w) = waker {
+            w.wake();
+        }
+    }
+
+    /// Register `waker` to be woken by [`set`](Self::set), replacing any
+    /// previous registration. Returns `true` if the latch is already set
+    /// (the waker is then woken immediately instead of stored).
+    pub fn register(&self, waker: &Waker) -> bool {
+        {
+            let mut slot = self.waker.lock();
+            if self.probe() {
+                // Set won before we stored; don't leave a stale waker.
+                drop(slot.take());
+                waker.wake_by_ref();
+                return true;
+            }
+            *slot = Some(waker.clone());
+        }
+        // `set` may have raced between our probe and the store above; its
+        // take runs under the lock we just released, so it either saw our
+        // waker (and wakes it) or we see the flag here and wake ourselves.
+        if self.probe() {
+            if let Some(w) = self.waker.lock().take() {
+                w.wake();
+            }
+            return true;
+        }
+        false
+    }
+
+    /// Block the calling thread until the latch is set, by polling (same
+    /// cadence as [`Latch::wait`]).
+    pub fn wait(&self) {
+        let mut spins = 0u32;
+        while !self.probe() {
+            if spins < 64 {
+                spins += 1;
+                std::hint::spin_loop();
+            } else if spins < 128 {
+                spins += 1;
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(std::time::Duration::from_micros(50));
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -109,5 +198,71 @@ mod tests {
         l.set();
         l.set();
         assert!(l.probe());
+    }
+
+    use std::sync::atomic::{AtomicU32, Ordering as AtomOrd};
+
+    struct CountingWake(AtomicU32);
+
+    impl std::task::Wake for CountingWake {
+        fn wake(self: Arc<Self>) {
+            self.0.fetch_add(1, AtomOrd::SeqCst);
+        }
+    }
+
+    fn counting_waker() -> (Arc<CountingWake>, Waker) {
+        let cw = Arc::new(CountingWake(AtomicU32::new(0)));
+        let waker = Waker::from(Arc::clone(&cw));
+        (cw, waker)
+    }
+
+    #[test]
+    fn waker_latch_set_wakes_registered_waker() {
+        let (cw, waker) = counting_waker();
+        let l = WakerLatch::new();
+        assert!(!l.register(&waker));
+        assert_eq!(cw.0.load(AtomOrd::SeqCst), 0);
+        l.set();
+        assert!(l.probe());
+        assert_eq!(cw.0.load(AtomOrd::SeqCst), 1);
+        // Setting again finds an empty slot: no double wake.
+        l.set();
+        assert_eq!(cw.0.load(AtomOrd::SeqCst), 1);
+    }
+
+    #[test]
+    fn waker_latch_register_after_set_wakes_immediately() {
+        let (cw, waker) = counting_waker();
+        let l = WakerLatch::new();
+        l.set();
+        assert!(l.register(&waker));
+        assert_eq!(cw.0.load(AtomOrd::SeqCst), 1);
+    }
+
+    #[test]
+    fn waker_latch_reregistration_replaces_previous_waker() {
+        let (cw1, w1) = counting_waker();
+        let (cw2, w2) = counting_waker();
+        let l = WakerLatch::new();
+        assert!(!l.register(&w1));
+        assert!(!l.register(&w2));
+        l.set();
+        assert_eq!(cw1.0.load(AtomOrd::SeqCst), 0);
+        assert_eq!(cw2.0.load(AtomOrd::SeqCst), 1);
+    }
+
+    #[test]
+    fn waker_latch_cross_thread_set_wakes() {
+        let l = Arc::new(WakerLatch::new());
+        let (cw, waker) = counting_waker();
+        assert!(!l.register(&waker));
+        let l2 = Arc::clone(&l);
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            l2.set();
+        });
+        l.wait();
+        h.join().unwrap();
+        assert_eq!(cw.0.load(AtomOrd::SeqCst), 1);
     }
 }

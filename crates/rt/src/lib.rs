@@ -53,9 +53,10 @@ mod job;
 mod latch;
 mod pool;
 mod sysfs;
+mod task;
 
 pub use driver::{DriverError, EmulatedDvfs, FrequencyDriver, NullDriver, PARK_WATTS_FRACTION};
-pub use latch::Latch;
+pub use latch::{Latch, WakerLatch};
 pub use pool::{
     current_worker_index, join, parallel_chunks, parallel_for, parallel_map_reduce, DequeKind,
     Pool, PoolBuilder, RtStats,

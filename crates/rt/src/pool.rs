@@ -2,12 +2,13 @@
 
 use crate::driver::{EmulatedDvfs, FrequencyDriver, NullDriver};
 use crate::job::{HeapJob, JobRef, StackJob};
+use crate::task::FutureTask;
 use hermes_core::{
     Frequency, FrequencyActuator, Policy, TempoChange, TempoConfig, TempoController, TempoStats,
     WorkerId,
 };
 use hermes_deque::{Injector, LockFreeDeque, Steal, TaskDeque, TheDeque};
-use hermes_telemetry::{Event, StealOutcome, TelemetrySink};
+use hermes_telemetry::{Event, StealOutcome, TelemetrySink, MACHINE_STREAM};
 use hermes_topology::{CoreId, Topology, VictimPolicy, VictimSelector};
 use parking_lot::{Condvar, Mutex};
 use rand::rngs::SmallRng;
@@ -68,6 +69,16 @@ pub struct RtStats {
     pub parks: u64,
     /// Total nanoseconds workers spent parked.
     pub parked_ns: u64,
+    /// Future-task polls executed (each is one `Future::poll` of a task
+    /// spawned via [`Pool::spawn_future`]).
+    pub future_polls: u64,
+    /// Future-task waker invocations, including no-op wakes of tasks
+    /// that were already scheduled or complete.
+    pub future_wakes: u64,
+    /// Future tasks re-queued by a wake (idle → scheduled transitions;
+    /// at most one per wake, at least one fewer than `future_polls`
+    /// per task).
+    pub future_repushes: u64,
 }
 
 impl RtStats {
@@ -89,6 +100,9 @@ struct AtomicStats {
     injector_pops: AtomicU64,
     parks: AtomicU64,
     parked_ns: AtomicU64,
+    future_polls: AtomicU64,
+    future_wakes: AtomicU64,
+    future_repushes: AtomicU64,
 }
 
 impl AtomicStats {
@@ -103,6 +117,9 @@ impl AtomicStats {
             injector_pops: self.injector_pops.load(Ordering::Relaxed),
             parks: self.parks.load(Ordering::Relaxed),
             parked_ns: self.parked_ns.load(Ordering::Relaxed),
+            future_polls: self.future_polls.load(Ordering::Relaxed),
+            future_wakes: self.future_wakes.load(Ordering::Relaxed),
+            future_repushes: self.future_repushes.load(Ordering::Relaxed),
         }
     }
 }
@@ -458,6 +475,29 @@ impl Pool {
         self.inner.inject(HeapJob::new(Box::new(f)).into_job_ref());
     }
 
+    /// Spawn a future onto the pool, fire-and-forget.
+    ///
+    /// The future is polled on a worker thread; between polls it costs
+    /// nothing — no worker is pinned waiting on it. Its waker re-queues
+    /// the task onto the waking worker's own deque (when woken from
+    /// inside this pool) or through the external-submission injector,
+    /// and both paths drive the parked-worker handshake, so a wake
+    /// aimed at a fully parked pool always restarts a worker
+    /// (DESIGN.md §Async).
+    ///
+    /// Completion signalling is the future's own business — resolve a
+    /// [`WakerLatch`](crate::WakerLatch), a serving ticket, a channel.
+    /// A future that panics is dropped at the offending poll and the
+    /// panic resumes on the worker thread, like a panicking
+    /// [`spawn`](Self::spawn) closure; callers needing isolation catch
+    /// panics inside the future (the serving layer does).
+    pub fn spawn_future<F>(&self, future: F)
+    where
+        F: std::future::Future<Output = ()> + Send + 'static,
+    {
+        FutureTask::spawn(&self.inner, future);
+    }
+
     /// Controller statistics so far.
     #[must_use]
     pub fn tempo_stats(&self) -> TempoStats {
@@ -558,6 +598,33 @@ impl Pool {
                 let _ = h.join();
             }
         }
+        // With the workers gone, anything still queued will never run —
+        // the documented `stop()` contract. Release it so heap closures
+        // and future tasks are freed rather than leaked (stack jobs
+        // release to a no-op; their owning frames hold the payload).
+        // This also catches tasks injected between `stop()` and drop:
+        // both calls drain, and the queues are empty the second time.
+        while let Some(job) = self.inner.injector.pop() {
+            // SAFETY: the injector hands each job to exactly one popper,
+            // and a released job is never executed.
+            unsafe { job.release() };
+        }
+        for dq in &self.inner.deques {
+            // Drain via `steal`, not `pop`: this thread is not the
+            // deque's owner, and `steal` is the one entry point a
+            // foreign thread may use.
+            loop {
+                match dq.steal() {
+                    Steal::Success { task, .. } => {
+                        // SAFETY: a successful steal transfers sole
+                        // ownership of the job to this thread.
+                        unsafe { task.release() };
+                    }
+                    Steal::Empty => break,
+                    Steal::Retry => std::hint::spin_loop(),
+                }
+            }
+        }
     }
 }
 
@@ -569,7 +636,7 @@ impl Drop for Pool {
 
 // ---------------------------------------------------------------------
 
-struct PoolInner {
+pub(crate) struct PoolInner {
     deques: Vec<Arc<dyn TaskDeque<JobRef>>>,
     /// External-submission queue (lock-free bounded MPMC): `install`,
     /// `spawn`, and the serving layer push here; workers poll it
@@ -630,7 +697,16 @@ impl FrequencyActuator for DriverActuator<'_> {
 }
 
 impl PoolInner {
-    fn inject(self: &Arc<Self>, job: JobRef) {
+    pub(crate) fn inject(self: &Arc<Self>, job: JobRef) {
+        // A terminated pool never runs submitted tasks (the documented
+        // `stop()` contract): free the job now rather than queueing it
+        // until drop. (A terminate racing in after this check just means
+        // the job waits in the ring for the drop-time drain.)
+        if self.terminate.load(Ordering::SeqCst) {
+            // SAFETY: we hold the sole ref; released jobs never execute.
+            unsafe { job.release() };
+            return;
+        }
         // The injector is bounded: on overflow, back off and retry.
         // Workers drain the injector on every idle sweep, so space
         // frees as long as the pool is alive; this is backpressure on
@@ -646,7 +722,11 @@ impl PoolInner {
                     // A terminated pool never runs submitted tasks (the
                     // documented `stop()` contract) and has no workers
                     // to drain the ring: retrying would spin forever.
+                    // Release the job so it is freed, not leaked.
                     if self.terminate.load(Ordering::SeqCst) {
+                        // SAFETY: the push failed, so we still hold the
+                        // sole ref; a released job is never executed.
+                        unsafe { job.release() };
                         return;
                     }
                     // A worker of THIS pool must not wait for space: if
@@ -703,6 +783,59 @@ impl PoolInner {
     /// owner pushes there.)
     fn has_claimable_work(&self) -> bool {
         !self.injector.is_empty() || self.deques.iter().any(|d| !d.is_empty())
+    }
+
+    /// Record a task-lifecycle event on the calling thread's stream: the
+    /// worker's own stream when the caller is a worker of this pool, the
+    /// machine stream otherwise (wakes arriving from external threads).
+    fn record_task_event(self: &Arc<Self>, event: Event) {
+        if let Some(sink) = self.sink.as_deref() {
+            let stream = match current_worker() {
+                Some((pool, w)) if Arc::ptr_eq(&pool, self) => w,
+                _ => MACHINE_STREAM,
+            };
+            sink.record(stream, self.epoch.elapsed().as_nanos() as u64, event);
+        }
+    }
+
+    /// Count one future-task poll (see [`RtStats::future_polls`]).
+    pub(crate) fn task_polled(self: &Arc<Self>) {
+        self.stats.future_polls.fetch_add(1, Ordering::Relaxed);
+        self.record_task_event(Event::TaskPoll);
+    }
+
+    /// Count one future-task wake (see [`RtStats::future_wakes`]).
+    pub(crate) fn task_woken(self: &Arc<Self>) {
+        self.stats.future_wakes.fetch_add(1, Ordering::Relaxed);
+        self.record_task_event(Event::TaskWake);
+    }
+
+    /// Re-queue a woken future task: onto the waking worker's own deque
+    /// when the waker fired on a worker of this pool (the wake usually
+    /// happens where the readiness was produced, so the task stays
+    /// local), through the injector otherwise. Both paths end in
+    /// `notify_parked`, so the no-lost-wakeup argument on that method
+    /// covers re-pushes exactly as it covers fresh submissions.
+    pub(crate) fn repush(self: &Arc<Self>, job: JobRef) {
+        self.stats.future_repushes.fetch_add(1, Ordering::Relaxed);
+        self.record_task_event(Event::TaskRepush);
+        if let Some((pool, w)) = current_worker() {
+            if Arc::ptr_eq(&pool, self) {
+                return match self.deques[w].push(job) {
+                    Ok(()) => {
+                        self.stats.pushes.fetch_add(1, Ordering::Relaxed);
+                        let len = self.deques[w].len();
+                        self.with_controller(|ctl, act| ctl.on_push(WorkerId(w), len, act));
+                        self.notify_parked();
+                    }
+                    // Deque full: overflow to the injector rather than
+                    // executing inline — a wake must not nest a poll
+                    // inside whatever job is currently running.
+                    Err(e) => self.inject(e.0),
+                };
+            }
+        }
+        self.inject(job);
     }
 
     /// Park worker `w` until work may be available or the pool shuts
@@ -1252,6 +1385,176 @@ mod tests {
             std::thread::yield_now();
         }
         assert_eq!(hits.load(Ordering::SeqCst), 16);
+    }
+
+    use crate::latch::WakerLatch;
+    use std::future::Future;
+    use std::pin::Pin;
+    use std::task::{Context, Poll, Waker};
+
+    /// Self-wakes on its first `yields` polls (exercising the
+    /// RUNNING→NOTIFIED→re-queue path), then completes `latch`.
+    struct YieldThenSet {
+        yields: u32,
+        latch: Arc<WakerLatch>,
+    }
+
+    impl Future for YieldThenSet {
+        type Output = ();
+        fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+            if self.yields > 0 {
+                self.yields -= 1;
+                cx.waker().wake_by_ref();
+                return Poll::Pending;
+            }
+            self.latch.set();
+            Poll::Ready(())
+        }
+    }
+
+    #[test]
+    fn spawn_future_completes_ready_future() {
+        let pool = Pool::new(2);
+        let latch = Arc::new(WakerLatch::new());
+        pool.spawn_future(YieldThenSet {
+            yields: 0,
+            latch: Arc::clone(&latch),
+        });
+        latch.wait();
+        assert_eq!(pool.stats().future_polls, 1);
+    }
+
+    #[test]
+    fn self_waking_futures_are_repolled_not_lost() {
+        let pool = Pool::new(2);
+        let latches: Vec<_> = (0..64).map(|_| Arc::new(WakerLatch::new())).collect();
+        for l in &latches {
+            pool.spawn_future(YieldThenSet {
+                yields: 3,
+                latch: Arc::clone(l),
+            });
+        }
+        for l in &latches {
+            l.wait();
+        }
+        let stats = pool.stats();
+        // Each task: 4 polls (3 yields + completion), and each yield is
+        // a wake that re-queues.
+        assert_eq!(stats.future_polls, 64 * 4, "{stats:?}");
+        assert_eq!(stats.future_repushes, 64 * 3, "{stats:?}");
+        assert_eq!(stats.future_wakes, 64 * 3, "{stats:?}");
+    }
+
+    /// Parks its waker in a shared slot on the first poll; completes on
+    /// the second.
+    struct ExternalEvent {
+        slot: Arc<parking_lot::Mutex<Option<Waker>>>,
+        fired: Arc<AtomicBool>,
+        latch: Arc<WakerLatch>,
+    }
+
+    impl Future for ExternalEvent {
+        type Output = ();
+        fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+            if self.fired.load(Ordering::SeqCst) {
+                self.latch.set();
+                return Poll::Ready(());
+            }
+            *self.slot.lock() = Some(cx.waker().clone());
+            // Decide-then-re-check: the event may have fired between the
+            // load above and the waker store (the standard register/
+            // re-probe pattern); without this, that wake is lost.
+            if self.fired.load(Ordering::SeqCst) {
+                self.latch.set();
+                return Poll::Ready(());
+            }
+            Poll::Pending
+        }
+    }
+
+    #[test]
+    fn external_wake_restarts_a_parked_pool() {
+        let pool = Pool::new(2);
+        let slot = Arc::new(parking_lot::Mutex::new(None));
+        let fired = Arc::new(AtomicBool::new(false));
+        let latch = Arc::new(WakerLatch::new());
+        pool.spawn_future(ExternalEvent {
+            slot: Arc::clone(&slot),
+            fired: Arc::clone(&fired),
+            latch: Arc::clone(&latch),
+        });
+        // Wait until the first poll parked the waker, then let the pool
+        // go fully idle (everyone parked) before firing the event from
+        // this external thread.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while slot.lock().is_none() && Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        std::thread::sleep(Duration::from_millis(30));
+        fired.store(true, Ordering::SeqCst);
+        slot.lock()
+            .take()
+            .expect("first poll parked a waker")
+            .wake();
+        latch.wait();
+        let stats = pool.stats();
+        assert_eq!(stats.future_polls, 2, "{stats:?}");
+        assert_eq!(stats.future_repushes, 1, "{stats:?}");
+    }
+
+    #[test]
+    fn spawn_future_on_stopped_pool_releases_the_task() {
+        struct DropFlag(Arc<AtomicBool>);
+        impl Drop for DropFlag {
+            fn drop(&mut self) {
+                self.0.store(true, Ordering::SeqCst);
+            }
+        }
+        let mut pool = Pool::new(1);
+        pool.stop();
+        let dropped = Arc::new(AtomicBool::new(false));
+        let flag = DropFlag(Arc::clone(&dropped));
+        let polled = Arc::new(AtomicBool::new(false));
+        let polled2 = Arc::clone(&polled);
+        pool.spawn_future(async move {
+            let _keep = &flag;
+            polled2.store(true, Ordering::SeqCst);
+        });
+        assert!(dropped.load(Ordering::SeqCst), "task freed, not leaked");
+        assert!(
+            !polled.load(Ordering::SeqCst),
+            "stopped pools never run tasks"
+        );
+    }
+
+    #[test]
+    fn future_telemetry_agrees_with_counters() {
+        use hermes_telemetry::RingSink;
+        let sink = Arc::new(RingSink::new(2));
+        let mut pool = Pool::builder()
+            .workers(2)
+            .telemetry(Arc::clone(&sink) as Arc<dyn TelemetrySink>)
+            .build();
+        let latches: Vec<_> = (0..32).map(|_| Arc::new(WakerLatch::new())).collect();
+        for l in &latches {
+            pool.spawn_future(YieldThenSet {
+                yields: 2,
+                latch: Arc::clone(l),
+            });
+        }
+        for l in &latches {
+            l.wait();
+        }
+        pool.stop();
+        let stats = pool.stats();
+        let report = sink.report("rt-async-unit", "rt", 0.0, 0.0);
+        let totals = report.totals();
+        // Self-wakes all happen on worker threads, so every event lands
+        // on a worker stream and the report must agree exactly.
+        assert_eq!(totals.future_polls, stats.future_polls, "{stats:?}");
+        assert_eq!(totals.future_wakes, stats.future_wakes, "{stats:?}");
+        assert_eq!(totals.future_repushes, stats.future_repushes, "{stats:?}");
+        assert_eq!(stats.future_polls, 32 * 3);
     }
 
     /// Per-element work slow enough that a parallel region spans many OS

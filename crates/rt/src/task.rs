@@ -1,0 +1,381 @@
+//! Heap-allocated future tasks polled on pool workers.
+//!
+//! A [`FutureTask`] is the async sibling of `HeapJob`: a refcounted
+//! header (`Arc`) around a future, type-erased into the same [`JobRef`]
+//! currency the deques and injector already move. Executing the ref
+//! polls the future once, in place; the task's [`Waker`] re-queues it
+//! through [`PoolInner::repush`], so between polls a pending task costs
+//! nothing — no worker is pinned waiting on it.
+//!
+//! ## State machine
+//!
+//! One `AtomicU8` serializes pollers against wakers (the rayon/tokio
+//! task-header discipline, with `SeqCst` throughout — these are
+//! per-wake cold-path transitions, not per-steal hot-path ones):
+//!
+//! ```text
+//!            spawn                    poll -> Pending
+//!   (new) ────────▶ SCHEDULED ──▶ RUNNING ─────────────▶ IDLE
+//!                       ▲           │  ▲ │                 │
+//!                       │   wake    │  │ └──▶ COMPLETE     │ wake
+//!                       │  during   ▼  │    (poll Ready    │
+//!                       │   poll  NOTIFIED    or panic)    │
+//!                       └───────────┘ └────────────────────┘
+//!                        re-queued after the poll returns
+//! ```
+//!
+//! Invariants the `unsafe` below leans on:
+//!
+//! - Exactly one `JobRef` per `SCHEDULED` episode exists in the queues,
+//!   and queues hand each ref to exactly one executor — so at most one
+//!   poller runs at a time, and only the poller touches the future
+//!   cell. Wakers touch nothing but `state`.
+//! - A wake that finds the task `RUNNING` parks as `NOTIFIED`; the
+//!   poller converts that into a fresh `SCHEDULED` episode after its
+//!   poll returns `Pending`, so readiness that races with the poll is
+//!   never lost.
+//! - `COMPLETE` is terminal: the future is dropped in place (the cell
+//!   is emptied) before the state is published, and late wakes no-op.
+//!
+//! Reference counting: the queue's `JobRef` holds one strong count
+//! (`Arc::into_raw` at enqueue, `Arc::from_raw` at execute/release),
+//! and every `Waker` clone holds one. A task whose future returns
+//! `Pending` without stashing its waker anywhere is therefore freed on
+//! the spot — leaked-task bugs decay into dropped futures, not lost
+//! memory.
+
+use crate::job::JobRef;
+use crate::pool::PoolInner;
+use std::cell::UnsafeCell;
+use std::future::Future;
+use std::panic::AssertUnwindSafe;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, Weak};
+use std::task::{Context, Poll, Wake, Waker};
+
+/// Not queued, not running: only a wake can revive the task.
+const IDLE: u8 = 0;
+/// A `JobRef` for the task sits in a deque or the injector.
+const SCHEDULED: u8 = 1;
+/// A worker is inside `poll`.
+const RUNNING: u8 = 2;
+/// A wake landed during `poll`; re-queue when the poll returns.
+const NOTIFIED: u8 = 3;
+/// The future finished (or panicked, or its pool died) and was dropped.
+const COMPLETE: u8 = 4;
+
+/// A spawned future and its scheduling header (see module docs).
+pub(crate) struct FutureTask<F> {
+    state: AtomicU8,
+    /// Weak: tasks must not keep a shut-down pool alive, and a wake
+    /// arriving after the pool died completes the task in place.
+    pool: Weak<PoolInner>,
+    /// `None` once complete; see the module invariants for why the
+    /// state machine makes the cell data-race-free.
+    future: UnsafeCell<Option<F>>,
+}
+
+// SAFETY: the future cell is only ever accessed by the unique holder of
+// the RUNNING transition (or the exclusive SCHEDULED claim in
+// `reschedule`'s dead-pool arm); every other thread only touches the
+// atomic `state`. `F: Send` makes moving that exclusive access across
+// threads sound.
+unsafe impl<F: Send> Sync for FutureTask<F> {}
+
+impl<F> FutureTask<F>
+where
+    F: Future<Output = ()> + Send + 'static,
+{
+    /// Queue `future` on `pool` as a freshly scheduled task.
+    pub(crate) fn spawn(pool: &Arc<PoolInner>, future: F) {
+        let task = Arc::new(FutureTask {
+            state: AtomicU8::new(SCHEDULED),
+            pool: Arc::downgrade(pool),
+            future: UnsafeCell::new(Some(future)),
+        });
+        pool.inject(task.into_job_ref());
+    }
+
+    /// Type-erase one strong reference into the deques' job currency.
+    fn into_job_ref(self: Arc<Self>) -> JobRef {
+        let pointer = Arc::into_raw(self) as *const ();
+        // SAFETY: the pointer came from Arc::into_raw and is reclaimed
+        // by exactly one of poll_erased/release_erased.
+        unsafe { JobRef::new(pointer, Self::poll_erased, Self::release_erased) }
+    }
+
+    unsafe fn poll_erased(this: *const ()) {
+        // SAFETY: `this` came from Arc::into_raw in into_job_ref; the
+        // queue hands the ref to exactly one executor.
+        let task = unsafe { Arc::from_raw(this as *const Self) };
+        task.poll_once();
+    }
+
+    unsafe fn release_erased(this: *const ()) {
+        // SAFETY: as in poll_erased; dropping the strong count without
+        // polling is exactly what release means. The future itself is
+        // dropped when the last reference (possibly a waker held
+        // elsewhere) goes away.
+        drop(unsafe { Arc::from_raw(this as *const Self) });
+    }
+
+    /// Run one poll episode: SCHEDULED → RUNNING → {IDLE, SCHEDULED,
+    /// COMPLETE}.
+    fn poll_once(self: Arc<Self>) {
+        let prev = self.state.swap(RUNNING, Ordering::SeqCst);
+        debug_assert_eq!(prev, SCHEDULED, "queued task polled while not scheduled");
+        if let Some(pool) = self.pool.upgrade() {
+            pool.task_polled();
+        }
+        let waker = Waker::from(Arc::clone(&self));
+        let mut cx = Context::from_waker(&waker);
+        // SAFETY: we hold the unique SCHEDULED→RUNNING transition, so no
+        // other thread touches the cell (module invariants).
+        let slot = unsafe { &mut *self.future.get() };
+        let fut = slot.as_mut().expect("completed task was rescheduled");
+        // SAFETY: the future lives inside the Arc and is never moved:
+        // polled in place here, dropped in place by the `None` stores.
+        let pinned = unsafe { Pin::new_unchecked(fut) };
+        match std::panic::catch_unwind(AssertUnwindSafe(|| pinned.poll(&mut cx))) {
+            Ok(Poll::Ready(())) => {
+                // Drop the future in place *before* publishing COMPLETE;
+                // late wakes observe COMPLETE and no-op.
+                *slot = None;
+                self.state.store(COMPLETE, Ordering::SeqCst);
+            }
+            Ok(Poll::Pending) => {
+                // Park the task unless a wake landed during the poll, in
+                // which case it goes straight back to the queue: the
+                // wake may have raced with the future's own readiness
+                // registration, so it must buy another poll.
+                if self
+                    .state
+                    .compare_exchange(RUNNING, IDLE, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_err()
+                {
+                    debug_assert_eq!(self.state.load(Ordering::SeqCst), NOTIFIED);
+                    self.state.store(SCHEDULED, Ordering::SeqCst);
+                    self.reschedule();
+                }
+            }
+            Err(payload) => {
+                // A panicking future is dead: free it, then resume the
+                // panic on the worker like a panicking spawn closure.
+                *slot = None;
+                self.state.store(COMPLETE, Ordering::SeqCst);
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+
+    /// The waker body: buy the task another poll, at most one queue
+    /// entry at a time.
+    fn wake_impl(self: &Arc<Self>) {
+        if let Some(pool) = self.pool.upgrade() {
+            pool.task_woken();
+        }
+        loop {
+            match self.state.load(Ordering::SeqCst) {
+                IDLE => {
+                    if self
+                        .state
+                        .compare_exchange(IDLE, SCHEDULED, Ordering::SeqCst, Ordering::SeqCst)
+                        .is_ok()
+                    {
+                        return self.reschedule();
+                    }
+                }
+                RUNNING => {
+                    if self
+                        .state
+                        .compare_exchange(RUNNING, NOTIFIED, Ordering::SeqCst, Ordering::SeqCst)
+                        .is_ok()
+                    {
+                        return;
+                    }
+                }
+                // SCHEDULED / NOTIFIED: a poll is already owed, and it
+                // will observe any readiness published before this
+                // wake. COMPLETE: late wake, no-op.
+                _ => return,
+            }
+        }
+    }
+
+    /// Hand a freshly SCHEDULED task back to the pool's queues.
+    fn reschedule(self: &Arc<Self>) {
+        match self.pool.upgrade() {
+            Some(pool) => pool.repush(Arc::clone(self).into_job_ref()),
+            None => {
+                // The pool is gone: no worker will ever poll again.
+                // SAFETY: we hold the exclusive SCHEDULED claim with no
+                // queue entry outstanding, so no other thread touches
+                // the cell; drop the future now so waker clones held by
+                // dead event sources don't keep it alive.
+                unsafe { *self.future.get() = None };
+                self.state.store(COMPLETE, Ordering::SeqCst);
+            }
+        }
+    }
+}
+
+impl<F> Wake for FutureTask<F>
+where
+    F: Future<Output = ()> + Send + 'static,
+{
+    fn wake(self: Arc<Self>) {
+        self.wake_impl();
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.wake_impl();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+    use std::sync::Mutex;
+
+    /// A future that reports its drop and can be told to stay pending,
+    /// parking its waker in a shared slot.
+    struct Probe {
+        polls: Arc<AtomicU32>,
+        drops: Arc<AtomicU32>,
+        ready_after: u32,
+        waker_slot: Arc<Mutex<Option<Waker>>>,
+    }
+
+    impl Future for Probe {
+        type Output = ();
+        fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+            let polls = self.polls.fetch_add(1, Ordering::SeqCst) + 1;
+            if polls >= self.ready_after {
+                Poll::Ready(())
+            } else {
+                *self.waker_slot.lock().unwrap() = Some(cx.waker().clone());
+                Poll::Pending
+            }
+        }
+    }
+
+    impl Drop for Probe {
+        fn drop(&mut self) {
+            self.drops.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    struct Rig {
+        polls: Arc<AtomicU32>,
+        drops: Arc<AtomicU32>,
+        waker_slot: Arc<Mutex<Option<Waker>>>,
+        task: Arc<FutureTask<Probe>>,
+    }
+
+    /// A scheduled task with a dead pool handle, as if its pool had
+    /// been dropped while the task sat in a queue.
+    fn orphan_task(ready_after: u32) -> Rig {
+        let polls = Arc::new(AtomicU32::new(0));
+        let drops = Arc::new(AtomicU32::new(0));
+        let waker_slot = Arc::new(Mutex::new(None));
+        let task = Arc::new(FutureTask {
+            state: AtomicU8::new(SCHEDULED),
+            pool: Weak::new(),
+            future: UnsafeCell::new(Some(Probe {
+                polls: Arc::clone(&polls),
+                drops: Arc::clone(&drops),
+                ready_after,
+                waker_slot: Arc::clone(&waker_slot),
+            })),
+        });
+        Rig {
+            polls,
+            drops,
+            waker_slot,
+            task,
+        }
+    }
+
+    #[test]
+    fn ready_future_completes_and_frees() {
+        let rig = orphan_task(1);
+        let job = Arc::clone(&rig.task).into_job_ref();
+        // SAFETY: the ref is executed exactly once.
+        unsafe { job.execute() };
+        assert_eq!(rig.polls.load(Ordering::SeqCst), 1);
+        assert_eq!(
+            rig.drops.load(Ordering::SeqCst),
+            1,
+            "future dropped in place"
+        );
+        assert_eq!(rig.task.state.load(Ordering::SeqCst), COMPLETE);
+    }
+
+    #[test]
+    fn release_frees_without_polling() {
+        let rig = orphan_task(1);
+        let job = Arc::clone(&rig.task).into_job_ref();
+        // SAFETY: the ref is released exactly once and never executed.
+        unsafe { job.release() };
+        assert_eq!(rig.polls.load(Ordering::SeqCst), 0, "released, not run");
+        drop(rig.task);
+        assert_eq!(
+            rig.drops.load(Ordering::SeqCst),
+            1,
+            "freed with the last ref"
+        );
+    }
+
+    #[test]
+    fn wake_after_pool_death_completes_in_place() {
+        let rig = orphan_task(u32::MAX);
+        let job = Arc::clone(&rig.task).into_job_ref();
+        // SAFETY: the ref is executed exactly once.
+        unsafe { job.execute() };
+        assert_eq!(rig.task.state.load(Ordering::SeqCst), IDLE);
+        let waker = rig
+            .waker_slot
+            .lock()
+            .unwrap()
+            .take()
+            .expect("waker stashed");
+        waker.wake();
+        // No pool to re-queue on: the wake itself retired the task.
+        assert_eq!(rig.task.state.load(Ordering::SeqCst), COMPLETE);
+        assert_eq!(rig.drops.load(Ordering::SeqCst), 1);
+        assert_eq!(rig.polls.load(Ordering::SeqCst), 1, "never polled again");
+    }
+
+    #[test]
+    fn wake_after_completion_is_noop() {
+        let rig = orphan_task(1);
+        let external = Waker::from(Arc::clone(&rig.task));
+        let job = Arc::clone(&rig.task).into_job_ref();
+        // SAFETY: the ref is executed exactly once.
+        unsafe { job.execute() };
+        assert_eq!(rig.task.state.load(Ordering::SeqCst), COMPLETE);
+        external.wake_by_ref();
+        external.wake();
+        assert_eq!(rig.task.state.load(Ordering::SeqCst), COMPLETE);
+        assert_eq!(rig.polls.load(Ordering::SeqCst), 1);
+        assert_eq!(rig.drops.load(Ordering::SeqCst), 1, "not resurrected");
+    }
+
+    #[test]
+    fn unstashed_waker_means_refcount_frees_pending_future() {
+        // A future that returns Pending without registering its waker
+        // anywhere: once the queue's ref is consumed, nothing keeps the
+        // task alive and the future is freed, not leaked.
+        let rig = orphan_task(u32::MAX);
+        let job = Arc::clone(&rig.task).into_job_ref();
+        // SAFETY: the ref is executed exactly once.
+        unsafe { job.execute() };
+        // Drop the stashed waker (the only outside reference besides
+        // ours) and then our handle.
+        rig.waker_slot.lock().unwrap().take();
+        drop(rig.task);
+        assert_eq!(rig.drops.load(Ordering::SeqCst), 1);
+    }
+}

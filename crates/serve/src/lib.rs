@@ -30,6 +30,13 @@
 //!   [`LatencyHistogram`](hermes_telemetry::LatencyHistogram)
 //!   (p50/p99/p999, mergeable across workers, persisted in
 //!   [`RunReport`](hermes_telemetry::RunReport)s).
+//! * Non-blocking requests — [`Server::submit_async`] accepts a
+//!   *future* and runs it on the pool's refcounted task layer: a
+//!   pending request (a [`VirtualTimer`] sleep, an `.await` on another
+//!   request's [`Ticket`]) occupies **no worker**, so a ≤4-worker pool
+//!   sustains 100k+ concurrent slow requests. `Ticket` itself is a
+//!   [`Future`](std::future::Future), and [`run_open_loop_async`]
+//!   paces future-shaped arrivals.
 //!
 //! ```
 //! use hermes_serve::{run_open_loop, PoissonSchedule, Server};
@@ -53,7 +60,9 @@
 mod loadgen;
 mod server;
 mod ticket;
+mod timer;
 
-pub use loadgen::{run_open_loop, OpenLoopRun, PoissonSchedule};
+pub use loadgen::{run_open_loop, run_open_loop_async, OpenLoopRun, PoissonSchedule};
 pub use server::{Server, ServerBuilder};
 pub use ticket::Ticket;
+pub use timer::{TimerSleep, VirtualTimer};

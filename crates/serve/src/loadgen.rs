@@ -114,20 +114,12 @@ pub struct OpenLoopRun<R> {
     pub late_submissions: usize,
 }
 
-/// Drive `server` open-loop: submit `make_request(i)` at each offset of
-/// `offsets`, sleeping between arrivals and never waiting on
-/// completions. Returns the tickets plus generator-side health
-/// counters; call [`Server::drain`] afterwards to wait for the tail.
-pub fn run_open_loop<R, F, Req>(
-    server: &Server,
+/// The shared pacing loop: hold each submission to its scheduled
+/// instant, then hand the index to `submit`.
+fn run_paced<R>(
     offsets: &[Duration],
-    mut make_request: F,
-) -> OpenLoopRun<R>
-where
-    F: FnMut(usize) -> Req,
-    Req: FnOnce() -> R + Send + 'static,
-    R: Send + 'static,
-{
+    mut submit: impl FnMut(usize) -> Ticket<R>,
+) -> OpenLoopRun<R> {
     // OS sleep granularity is coarse (hundreds of µs to ms in
     // containers) while open-loop inter-arrival gaps are often shorter:
     // sleep until close to the instant, then yield-spin the residue —
@@ -148,13 +140,49 @@ where
         if start.elapsed().saturating_sub(at) > Duration::from_millis(1) {
             late += 1;
         }
-        tickets.push(server.submit(make_request(i)));
+        tickets.push(submit(i));
     }
     OpenLoopRun {
         tickets,
         submit_elapsed: start.elapsed(),
         late_submissions: late,
     }
+}
+
+/// Drive `server` open-loop: submit `make_request(i)` at each offset of
+/// `offsets`, sleeping between arrivals and never waiting on
+/// completions. Returns the tickets plus generator-side health
+/// counters; call [`Server::drain`] afterwards to wait for the tail.
+pub fn run_open_loop<R, F, Req>(
+    server: &Server,
+    offsets: &[Duration],
+    mut make_request: F,
+) -> OpenLoopRun<R>
+where
+    F: FnMut(usize) -> Req,
+    Req: FnOnce() -> R + Send + 'static,
+    R: Send + 'static,
+{
+    run_paced(offsets, |i| server.submit(make_request(i)))
+}
+
+/// The async sibling of [`run_open_loop`]: each arrival submits a
+/// *future* via [`Server::submit_async`], so pending requests (timer
+/// waits, awaited sub-requests) occupy no worker. The generator still
+/// paces admissions in real time; requests that sleep on a
+/// [`VirtualTimer`](crate::VirtualTimer) additionally need the caller
+/// to advance virtual time before [`Server::drain`] can finish.
+pub fn run_open_loop_async<R, F, Fut>(
+    server: &Server,
+    offsets: &[Duration],
+    mut make_request: F,
+) -> OpenLoopRun<R>
+where
+    F: FnMut(usize) -> Fut,
+    Fut: std::future::Future<Output = R> + Send + 'static,
+    R: Send + 'static,
+{
+    run_paced(offsets, |i| server.submit_async(make_request(i)))
 }
 
 #[cfg(test)]
@@ -215,6 +243,20 @@ mod tests {
             assert_eq!(t.wait(), i as u64 * 2);
         }
         assert_eq!(server.latency().count(), 50);
+        server.shutdown();
+    }
+
+    #[test]
+    fn open_loop_async_submits_every_request() {
+        let server = Server::builder().workers(2).build();
+        let offsets = PoissonSchedule::unit(9, 40).offsets(4_000.0);
+        let run = run_open_loop_async(&server, &offsets, |i| async move { i as u64 + 1 });
+        assert_eq!(run.tickets.len(), 40);
+        server.drain();
+        assert_eq!(server.completed(), 40);
+        for (i, t) in run.tickets.into_iter().enumerate() {
+            assert_eq!(t.wait(), i as u64 + 1);
+        }
         server.shutdown();
     }
 }

@@ -1,15 +1,18 @@
 //! The [`Server`]: external request admission over the rt [`Pool`].
 
-use crate::ticket::Ticket;
+use crate::ticket::{Ticket, TicketInner};
 use hermes_core::TempoConfig;
 use hermes_rt::{current_worker_index, DequeKind, Pool, PoolBuilder};
 use hermes_telemetry::{Event, LatencyHistogram, LatencyRecorder, TelemetrySink, MACHINE_STREAM};
+use std::future::Future;
+use std::pin::Pin;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::task::{Context, Poll};
 use std::time::{Duration, Instant};
 
 /// State shared between the server handle and every in-flight request
-/// closure.
+/// closure or future.
 struct ServeShared {
     submitted: AtomicU64,
     completed: AtomicU64,
@@ -235,6 +238,38 @@ impl Server {
         ticket
     }
 
+    /// Submit one *non-blocking* request: the future is polled on pool
+    /// workers and, while pending, pins no worker — ten thousand
+    /// requests sleeping on timers or awaiting other tickets occupy
+    /// queue slots and heap, never threads. Returns immediately with a
+    /// [`Ticket`], which is itself a [`Future`]: request futures
+    /// compose by `.await`ing the tickets of requests they fan out.
+    ///
+    /// Latency accounting matches [`submit`](Self::submit): the clock
+    /// starts at admission, so a request that spends its life awaiting
+    /// a timer reports the full admission-to-completion span.
+    ///
+    /// A panicking poll never takes down a worker: the panic is caught,
+    /// the request counts as completed (so [`drain`](Self::drain)
+    /// terminates), and the payload re-raises on whoever redeems the
+    /// ticket.
+    pub fn submit_async<R, F>(&self, request: F) -> Ticket<R>
+    where
+        F: Future<Output = R> + Send + 'static,
+        R: Send + 'static,
+    {
+        let shared = Arc::clone(&self.shared);
+        shared.submitted.fetch_add(1, Ordering::Relaxed);
+        shared.in_flight.fetch_add(1, Ordering::SeqCst);
+        let (ticket, inner) = Ticket::new();
+        let t0 = Instant::now();
+        self.pool.spawn_future(RequestFuture {
+            request: Box::pin(request),
+            done: Some((shared, inner, t0)),
+        });
+        ticket
+    }
+
     /// Requests submitted so far.
     #[must_use]
     pub fn submitted(&self) -> u64 {
@@ -310,6 +345,57 @@ impl Server {
     /// Drain and shut the pool down.
     pub fn shutdown(mut self) {
         self.stop();
+    }
+}
+
+/// Adapter polled by the pool's future tasks: drives one request
+/// future, then runs the same completion tail as [`Server::submit`]
+/// (latency record, telemetry event, ticket resolution, counters).
+///
+/// Boxed-and-pinned inside (`Pin<Box<dyn Future>>` is `Unpin`), so this
+/// whole type stays in safe code under the crate's `forbid(unsafe_code)`
+/// — no pin projection needed.
+struct RequestFuture<R> {
+    request: Pin<Box<dyn Future<Output = R> + Send>>,
+    /// Completion context, taken exactly once at the final poll. If the
+    /// task is dropped unpolled (pool shut down), this drops too and
+    /// the ticket's latch stays unset — exactly like a `submit` closure
+    /// released from a terminated pool's queues.
+    done: Option<(Arc<ServeShared>, Arc<TicketInner<R>>, Instant)>,
+}
+
+impl<R> Future for RequestFuture<R> {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let this = self.get_mut();
+        let outcome = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            this.request.as_mut().poll(cx)
+        })) {
+            Ok(Poll::Pending) => return Poll::Pending,
+            Ok(Poll::Ready(value)) => Ok(value),
+            Err(payload) => Err(payload),
+        };
+        let (shared, inner, t0) = this
+            .done
+            .take()
+            .expect("request future polled again after completion");
+        let ns = t0.elapsed().as_nanos() as u64;
+        shared.latency.record(ns);
+        if let Some(sink) = &shared.sink {
+            // Attribute to the worker whose poll completed the request;
+            // MACHINE_STREAM cannot occur in practice (polls run on
+            // workers) but keeps the fallback total-preserving.
+            sink.record(
+                current_worker_index().unwrap_or(MACHINE_STREAM),
+                shared.epoch.elapsed().as_nanos() as u64,
+                Event::RequestLatency { ns },
+            );
+        }
+        inner.complete(outcome);
+        shared.completed.fetch_add(1, Ordering::Relaxed);
+        shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+        Poll::Ready(())
     }
 }
 
@@ -403,5 +489,100 @@ mod tests {
         // The sink's merged histogram and the server's own recorder saw
         // the same samples (bucket-for-bucket).
         assert_eq!(report.latency_hist, server.latency());
+    }
+
+    #[test]
+    fn submit_async_round_trips() {
+        let server = Server::builder().workers(2).build();
+        let t = server.submit_async(async { 21 * 2 });
+        assert_eq!(t.wait(), 42);
+        server.drain();
+        assert_eq!(server.completed(), 1);
+        assert_eq!(server.in_flight(), 0);
+        assert_eq!(server.latency().count(), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn async_requests_compose_by_awaiting_tickets() {
+        // One worker: if awaiting the inner ticket *blocked* the worker,
+        // nothing could ever run the inner request and this would hang.
+        // Awaiting parks the outer future instead, freeing the worker.
+        let server = Arc::new(Server::builder().workers(1).build());
+        let inner_server = Arc::clone(&server);
+        let outer = server.submit_async(async move {
+            let inner = inner_server.submit(|| 21u64);
+            inner.await * 2
+        });
+        assert_eq!(outer.wait(), 42);
+        server.drain();
+        assert_eq!(server.completed(), 2);
+        assert_eq!(server.in_flight(), 0);
+    }
+
+    #[test]
+    fn waiting_on_a_ticket_inside_a_worker_panics_instead_of_deadlocking() {
+        // Regression: `Ticket::wait()` from a pool worker used to be a
+        // silent deadlock on a 1-worker pool (the waiting worker is the
+        // only thread that could run the inner request). It must panic
+        // with a diagnosis instead.
+        let server = Arc::new(Server::builder().workers(1).build());
+        let inner_server = Arc::clone(&server);
+        let outer = server.submit(move || {
+            let inner = inner_server.submit(|| 1u32);
+            inner.wait()
+        });
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || outer.wait()))
+            .unwrap_err();
+        let msg = err
+            .downcast_ref::<String>()
+            .expect("guard panics with a formatted message");
+        assert!(
+            msg.contains("deadlock"),
+            "diagnosis names the hazard: {msg}"
+        );
+        assert!(msg.contains("submit_async"), "and the remedy: {msg}");
+        // The inner request is still queued and still completes; the
+        // panicked outer request completed (as a panic outcome) too.
+        server.drain();
+        assert_eq!(server.completed(), 2);
+    }
+
+    #[test]
+    fn timer_backed_requests_occupy_no_worker() {
+        use crate::VirtualTimer;
+        const N: usize = 4_096;
+        let timer = VirtualTimer::new();
+        let server = Server::builder().workers(2).build();
+        let tickets: Vec<_> = (0..N)
+            .map(|i| {
+                let t = timer.clone();
+                server.submit_async(async move {
+                    t.sleep(1_000).await;
+                    i as u64
+                })
+            })
+            .collect();
+        // Two workers drain 4096 first-polls; every one parks on the
+        // timer without holding a worker.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while timer.pending() < N {
+            assert!(
+                Instant::now() < deadline,
+                "stalled with {} of {N} sleepers parked",
+                timer.pending()
+            );
+            std::thread::yield_now();
+        }
+        assert_eq!(server.in_flight(), N as u64);
+        assert_eq!(server.completed(), 0);
+        assert_eq!(timer.advance(1_000), N, "one advance wakes the cohort");
+        server.drain();
+        assert_eq!(server.completed(), N as u64);
+        assert_eq!(server.latency().count(), N as u64);
+        for (i, t) in tickets.into_iter().enumerate() {
+            assert_eq!(t.wait(), i as u64);
+        }
+        server.shutdown();
     }
 }

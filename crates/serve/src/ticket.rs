@@ -1,29 +1,35 @@
-//! Completion tickets handed out by [`Server::submit`](crate::Server::submit).
+//! Completion tickets handed out by [`Server::submit`](crate::Server::submit)
+//! and [`Server::submit_async`](crate::Server::submit_async).
 
-use hermes_rt::Latch;
+use hermes_rt::{current_worker_index, WakerLatch};
 use parking_lot::Mutex;
+use std::future::Future;
+use std::pin::Pin;
 use std::sync::Arc;
+use std::task::{Context, Poll};
 
 /// What a request left behind: its value, or the payload of the panic
 /// that killed it.
 type Outcome<R> = std::thread::Result<R>;
 
 pub(crate) struct TicketInner<R> {
-    latch: Latch,
+    latch: WakerLatch,
     outcome: Mutex<Option<Outcome<R>>>,
 }
 
 impl<R> TicketInner<R> {
     pub(crate) fn new() -> Self {
         TicketInner {
-            latch: Latch::new(),
+            latch: WakerLatch::new(),
             outcome: Mutex::new(None),
         }
     }
 
     /// Publish the request's outcome and release the waiter. Write
     /// first, then set the latch: the waiter's acquire-probe of the
-    /// latch orders the outcome read after this write.
+    /// latch orders the outcome read after this write. Setting the
+    /// latch also wakes a registered waker, if the ticket is being
+    /// awaited rather than waited on.
     pub(crate) fn complete(&self, outcome: Outcome<R>) {
         *self.outcome.lock() = Some(outcome);
         self.latch.set();
@@ -31,11 +37,11 @@ impl<R> TicketInner<R> {
 }
 
 /// A handle to one submitted request: redeem it with
-/// [`wait`](Ticket::wait) for the request's return value, or poll
-/// [`is_done`](Ticket::is_done). Dropping the ticket is fine — the
-/// request still runs to completion and still counts toward
-/// [`Server::drain`](crate::Server::drain); only the return value is
-/// discarded (fire-and-forget submission).
+/// [`wait`](Ticket::wait) for the request's return value, `.await` it
+/// (a `Ticket` is a [`Future`]), or poll [`is_done`](Ticket::is_done).
+/// Dropping the ticket is fine — the request still runs to completion
+/// and still counts toward [`Server::drain`](crate::Server::drain);
+/// only the return value is discarded (fire-and-forget submission).
 pub struct Ticket<R> {
     inner: Arc<TicketInner<R>>,
 }
@@ -61,22 +67,61 @@ impl<R> Ticket<R> {
     ///
     /// # Panics
     ///
+    /// Panics immediately if called from inside a pool worker thread:
+    /// blocking a worker on a ticket can deadlock the pool (on a
+    /// 1-worker pool the waiting worker *is* the only thread that could
+    /// run the awaited request). Request code composes on tickets by
+    /// `.await`ing them inside [`submit_async`](crate::Server::submit_async)
+    /// futures, or polls [`is_done`](Self::is_done).
+    ///
     /// If the request closure panicked, the panic is resumed here, on
     /// the waiter — the worker that ran the request has already moved
     /// on (the pool isolates request panics; see
     /// [`Server::submit`](crate::Server::submit)).
     pub fn wait(self) -> R {
+        if let Some(w) = current_worker_index() {
+            panic!(
+                "Ticket::wait() called on pool worker {w}: blocking a worker \
+                 on another request can deadlock the pool (the waited-on \
+                 request may be queued behind this very thread). `.await` the \
+                 ticket inside a submit_async future, or poll is_done()."
+            );
+        }
         self.inner.latch.wait();
+        self.take_outcome()
+    }
+
+    /// Take the written outcome, resuming the request's panic if it
+    /// died. Only call after the latch was observed set.
+    fn take_outcome(&self) -> R {
         let outcome = self
             .inner
             .outcome
             .lock()
             .take()
-            .expect("latch set implies the outcome was written");
+            .expect("latch set implies the outcome was written (tickets redeem once)");
         match outcome {
             Ok(value) => value,
             Err(payload) => std::panic::resume_unwind(payload),
         }
+    }
+}
+
+/// Awaiting a ticket parks the enclosing future until the request
+/// completes — the non-blocking sibling of [`wait`](Ticket::wait),
+/// safe on pool workers: the worker moves on to other tasks while the
+/// ticket is pending.
+impl<R> Future for Ticket<R> {
+    type Output = R;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<R> {
+        // Probe, then register-and-re-probe: `WakerLatch::register`
+        // returns true when the latch was set concurrently, so a
+        // completion racing this poll is never missed.
+        if self.inner.latch.probe() || self.inner.latch.register(cx.waker()) {
+            return Poll::Ready(self.take_outcome());
+        }
+        Poll::Pending
     }
 }
 
@@ -119,5 +164,26 @@ mod tests {
         let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || ticket.wait()))
             .unwrap_err();
         assert_eq!(*err.downcast_ref::<&str>().unwrap(), "request blew up");
+    }
+
+    #[test]
+    fn awaiting_a_completed_ticket_is_ready_immediately() {
+        let (ticket, inner) = Ticket::new();
+        inner.complete(Ok(7u32));
+        let waker = std::task::Waker::noop();
+        let mut cx = Context::from_waker(waker);
+        let mut ticket = Box::pin(ticket);
+        assert_eq!(ticket.as_mut().poll(&mut cx), Poll::Ready(7));
+    }
+
+    #[test]
+    fn pending_ticket_registers_and_is_woken_by_complete() {
+        let (ticket, inner) = Ticket::new();
+        let waker = std::task::Waker::noop();
+        let mut cx = Context::from_waker(waker);
+        let mut ticket = Box::pin(ticket);
+        assert_eq!(ticket.as_mut().poll(&mut cx), Poll::Pending);
+        inner.complete(Ok("async"));
+        assert_eq!(ticket.as_mut().poll(&mut cx), Poll::Ready("async"));
     }
 }

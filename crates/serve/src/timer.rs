@@ -1,0 +1,286 @@
+//! A deterministic virtual-time source for timer-backed requests.
+//!
+//! Real timers make a 100k-concurrent-slow-request experiment both slow
+//! (wall-clock seconds of actual sleeping) and irreproducible (wakeup
+//! order depends on OS timer slack). A [`VirtualTimer`] replaces the
+//! clock with a number: futures sleep until a virtual deadline, and the
+//! test or load generator *advances* time explicitly. Advancing wakes
+//! every due sleeper through the normal waker path — re-queue onto the
+//! pool, unpark workers — so the scheduler work is exactly what a real
+//! timer wheel would drive, minus the nondeterminism and the waiting.
+//!
+//! Lost-wakeup freedom: a sleep's decisive "is it due?" check and the
+//! clock write in [`advance`](VirtualTimer::advance) happen under the
+//! same lock, so a poll either observes the advanced clock (completes)
+//! or registers its waker before the advance drains the heap (gets
+//! woken). Wakers are invoked *outside* the lock: a wake can re-queue
+//! the task and run arbitrary scheduler code (including injector
+//! backpressure that executes jobs inline, whose polls re-lock this
+//! timer), so holding the lock across wakes would deadlock.
+
+use parking_lot::Mutex;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::Arc;
+use std::task::{Context, Poll, Waker};
+
+/// One parked sleep registration, ordered by `(deadline_ns, seq)` so
+/// wake order is deterministic (FIFO among equal deadlines).
+struct Sleeper {
+    deadline_ns: u64,
+    seq: u64,
+    waker: Waker,
+}
+
+impl PartialEq for Sleeper {
+    fn eq(&self, other: &Self) -> bool {
+        (self.deadline_ns, self.seq) == (other.deadline_ns, other.seq)
+    }
+}
+
+impl Eq for Sleeper {}
+
+impl PartialOrd for Sleeper {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Sleeper {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.deadline_ns, self.seq).cmp(&(other.deadline_ns, other.seq))
+    }
+}
+
+struct TimerState {
+    now_ns: u64,
+    next_seq: u64,
+    sleepers: BinaryHeap<Reverse<Sleeper>>,
+}
+
+/// A shared, manually advanced clock; see the module docs. Cloning is
+/// cheap and every clone is the same clock.
+#[derive(Clone)]
+pub struct VirtualTimer {
+    state: Arc<Mutex<TimerState>>,
+}
+
+impl Default for VirtualTimer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl VirtualTimer {
+    /// A fresh clock at `now == 0` with no sleepers.
+    #[must_use]
+    pub fn new() -> Self {
+        VirtualTimer {
+            state: Arc::new(Mutex::new(TimerState {
+                now_ns: 0,
+                next_seq: 0,
+                sleepers: BinaryHeap::new(),
+            })),
+        }
+    }
+
+    /// The current virtual time in nanoseconds.
+    #[must_use]
+    pub fn now_ns(&self) -> u64 {
+        self.state.lock().now_ns
+    }
+
+    /// Sleep registrations currently parked (one per pending poll of a
+    /// not-yet-due sleep).
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.state.lock().sleepers.len()
+    }
+
+    /// The earliest parked deadline, if any sleeper is parked.
+    #[must_use]
+    pub fn next_deadline_ns(&self) -> Option<u64> {
+        self.state
+            .lock()
+            .sleepers
+            .peek()
+            .map(|Reverse(s)| s.deadline_ns)
+    }
+
+    /// A future that completes once virtual time reaches
+    /// `deadline_ns` (absolute). Already-passed deadlines complete on
+    /// their first poll.
+    #[must_use]
+    pub fn sleep_until(&self, deadline_ns: u64) -> TimerSleep {
+        TimerSleep {
+            state: Arc::clone(&self.state),
+            deadline_ns,
+        }
+    }
+
+    /// A future that completes `duration_ns` after *now* (a relative
+    /// [`sleep_until`](Self::sleep_until)).
+    #[must_use]
+    pub fn sleep(&self, duration_ns: u64) -> TimerSleep {
+        let deadline_ns = self.state.lock().now_ns.saturating_add(duration_ns);
+        self.sleep_until(deadline_ns)
+    }
+
+    /// Advance the clock by `delta_ns`, waking every sleeper whose
+    /// deadline was reached. Returns how many sleepers woke.
+    pub fn advance(&self, delta_ns: u64) -> usize {
+        let due: Vec<Waker> = {
+            let mut st = self.state.lock();
+            st.now_ns = st.now_ns.saturating_add(delta_ns);
+            let mut due = Vec::new();
+            while let Some(Reverse(head)) = st.sleepers.peek() {
+                if head.deadline_ns > st.now_ns {
+                    break;
+                }
+                let Reverse(sleeper) = st.sleepers.pop().expect("peeked");
+                due.push(sleeper.waker);
+            }
+            due
+        };
+        // Wake outside the lock (see module docs): each wake may run
+        // scheduler code that polls other sleeps of this same timer.
+        let woken = due.len();
+        for waker in due {
+            waker.wake();
+        }
+        woken
+    }
+
+    /// Advance exactly to the earliest parked deadline and wake its
+    /// cohort; returns how many sleepers woke (`0` when none are
+    /// parked). The deterministic event-loop step for drains:
+    /// `while timer.advance_to_next() > 0 {}`.
+    pub fn advance_to_next(&self) -> usize {
+        let Some(deadline) = self.next_deadline_ns() else {
+            return 0;
+        };
+        let now = self.now_ns();
+        self.advance(deadline.saturating_sub(now))
+    }
+}
+
+impl std::fmt::Debug for VirtualTimer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.state.lock();
+        f.debug_struct("VirtualTimer")
+            .field("now_ns", &st.now_ns)
+            .field("pending", &st.sleepers.len())
+            .finish()
+    }
+}
+
+/// Future returned by [`VirtualTimer::sleep`] /
+/// [`VirtualTimer::sleep_until`].
+pub struct TimerSleep {
+    state: Arc<Mutex<TimerState>>,
+    deadline_ns: u64,
+}
+
+impl Future for TimerSleep {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let mut st = self.state.lock();
+        // Decisive read: under the same lock `advance` writes `now_ns`,
+        // so this either sees the advanced clock or the registration
+        // below lands before the advance drains the heap.
+        if st.now_ns >= self.deadline_ns {
+            return Poll::Ready(());
+        }
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        st.sleepers.push(Reverse(Sleeper {
+            deadline_ns: self.deadline_ns,
+            seq,
+            waker: cx.waker().clone(),
+        }));
+        Poll::Pending
+    }
+}
+
+impl std::fmt::Debug for TimerSleep {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TimerSleep")
+            .field("deadline_ns", &self.deadline_ns)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn poll_once(fut: &mut TimerSleep) -> Poll<()> {
+        let waker = Waker::noop();
+        let mut cx = Context::from_waker(waker);
+        Pin::new(fut).poll(&mut cx)
+    }
+
+    #[test]
+    fn due_sleeps_complete_without_registering() {
+        let timer = VirtualTimer::new();
+        let mut s = timer.sleep_until(0);
+        assert_eq!(poll_once(&mut s), Poll::Ready(()));
+        assert_eq!(timer.pending(), 0);
+    }
+
+    #[test]
+    fn advance_wakes_in_deadline_order() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        struct NoteWake(Arc<AtomicU32>, u32);
+        impl std::task::Wake for NoteWake {
+            fn wake(self: Arc<Self>) {
+                // Record the wave each sleeper woke in (1-indexed by
+                // the stored marker).
+                self.0.fetch_add(self.1, Ordering::SeqCst);
+            }
+        }
+        let timer = VirtualTimer::new();
+        let tally = Arc::new(AtomicU32::new(0));
+        for (deadline, marker) in [(100u64, 1u32), (200, 100), (300, 10_000)] {
+            let mut s = timer.sleep_until(deadline);
+            let waker = Waker::from(Arc::new(NoteWake(Arc::clone(&tally), marker)));
+            let mut cx = Context::from_waker(&waker);
+            assert_eq!(Pin::new(&mut s).poll(&mut cx), Poll::Pending);
+        }
+        assert_eq!(timer.pending(), 3);
+        assert_eq!(timer.next_deadline_ns(), Some(100));
+        assert_eq!(timer.advance(150), 1);
+        assert_eq!(tally.load(Ordering::SeqCst), 1, "only the 100ns sleeper");
+        assert_eq!(timer.advance(50), 1);
+        assert_eq!(tally.load(Ordering::SeqCst), 101);
+        assert_eq!(timer.advance_to_next(), 1);
+        assert_eq!(tally.load(Ordering::SeqCst), 10_101);
+        assert_eq!(timer.now_ns(), 300);
+        assert_eq!(timer.pending(), 0);
+        assert_eq!(timer.advance_to_next(), 0, "nothing left");
+    }
+
+    #[test]
+    fn relative_sleep_is_anchored_at_now() {
+        let timer = VirtualTimer::new();
+        timer.advance(1_000);
+        let mut s = timer.sleep(500);
+        assert_eq!(poll_once(&mut s), Poll::Pending);
+        timer.advance(499);
+        assert_eq!(timer.pending(), 1);
+        timer.advance(1);
+        assert_eq!(timer.pending(), 0);
+        assert_eq!(poll_once(&mut s), Poll::Ready(()));
+    }
+
+    #[test]
+    fn clones_share_the_clock() {
+        let a = VirtualTimer::new();
+        let b = a.clone();
+        a.advance(42);
+        assert_eq!(b.now_ns(), 42);
+    }
+}

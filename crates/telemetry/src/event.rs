@@ -86,6 +86,18 @@ pub enum Event {
         /// Submit-to-completion latency, ns.
         ns: u64,
     },
+    /// The stream's worker polled a future task once (the poll may have
+    /// returned `Ready` or `Pending`; completion is visible as the
+    /// absence of further polls).
+    TaskPoll,
+    /// A future task's waker fired on this stream (a worker stream when
+    /// the waking code ran on a pool worker, the machine stream for
+    /// external wakers such as timer drivers).
+    TaskWake,
+    /// A future task was re-enqueued for another poll — by its waker
+    /// (wake while idle) or by the poller itself (wake raced with the
+    /// poll). Recorded on the stream that performed the re-push.
+    TaskRepush,
 }
 
 impl Event {
@@ -109,6 +121,9 @@ const TAG_ENERGY: u64 = 4;
 const TAG_PARK: u64 = 5;
 const TAG_UNPARK: u64 = 6;
 const TAG_LATENCY: u64 = 7;
+const TAG_TASK_POLL: u64 = 8;
+const TAG_TASK_WAKE: u64 = 9;
+const TAG_TASK_REPUSH: u64 = 10;
 
 const PAYLOAD_MASK: u64 = (1 << TAG_SHIFT) - 1;
 const FREQ_MASK: u64 = (1 << 48) - 1;
@@ -154,6 +169,9 @@ impl Event {
                 (TAG_UNPARK << TAG_SHIFT) | parked_ns.min(PAYLOAD_MASK)
             }
             Event::RequestLatency { ns } => (TAG_LATENCY << TAG_SHIFT) | ns.min(PAYLOAD_MASK),
+            Event::TaskPoll => TAG_TASK_POLL << TAG_SHIFT,
+            Event::TaskWake => TAG_TASK_WAKE << TAG_SHIFT,
+            Event::TaskRepush => TAG_TASK_REPUSH << TAG_SHIFT,
         }
     }
 
@@ -195,6 +213,9 @@ impl Event {
             TAG_PARK if payload == 0 => Some(Event::WorkerPark),
             TAG_UNPARK => Some(Event::WorkerUnpark { parked_ns: payload }),
             TAG_LATENCY => Some(Event::RequestLatency { ns: payload }),
+            TAG_TASK_POLL if payload == 0 => Some(Event::TaskPoll),
+            TAG_TASK_WAKE if payload == 0 => Some(Event::TaskWake),
+            TAG_TASK_REPUSH if payload == 0 => Some(Event::TaskRepush),
             _ => None,
         }
     }
@@ -246,6 +267,9 @@ mod tests {
                 parked_ns: 1_500_000,
             },
             Event::RequestLatency { ns: 42_000 },
+            Event::TaskPoll,
+            Event::TaskWake,
+            Event::TaskRepush,
         ];
         for ev in events {
             assert_eq!(Event::decode(ev.encode()), Some(ev), "{ev:?}");
@@ -256,7 +280,7 @@ mod tests {
     fn vacant_sentinel_decodes_to_none() {
         assert_eq!(Event::decode(0), None);
         // Unknown tag.
-        assert_eq!(Event::decode(9 << TAG_SHIFT), None);
+        assert_eq!(Event::decode(11 << TAG_SHIFT), None);
         // Steal with an invalid outcome code.
         assert_eq!(Event::decode((TAG_STEAL << TAG_SHIFT) | (3 << 32)), None);
     }
@@ -295,6 +319,10 @@ mod tests {
         }
         // A park word with payload bits set is malformed, not a park.
         assert_eq!(Event::decode((TAG_PARK << TAG_SHIFT) | 1), None);
+        // Same for the payload-free task events.
+        assert_eq!(Event::decode((TAG_TASK_POLL << TAG_SHIFT) | 1), None);
+        assert_eq!(Event::decode((TAG_TASK_WAKE << TAG_SHIFT) | 1), None);
+        assert_eq!(Event::decode((TAG_TASK_REPUSH << TAG_SHIFT) | 1), None);
     }
 
     #[test]

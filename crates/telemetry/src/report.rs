@@ -23,6 +23,13 @@ pub struct WorkerTelemetry {
     pub parks: u64,
     /// Total nanoseconds this worker spent parked.
     pub parked_ns: u64,
+    /// Future-task polls executed on this worker.
+    pub future_polls: u64,
+    /// Future-task waker firings on this stream.
+    pub future_wakes: u64,
+    /// Future tasks re-enqueued from this stream (wake while idle, or a
+    /// wake that raced with the poll).
+    pub future_repushes: u64,
 }
 
 impl WorkerTelemetry {
@@ -144,6 +151,9 @@ impl RunReport {
             t.energy_j += w.energy_j;
             t.parks += w.parks;
             t.parked_ns += w.parked_ns;
+            t.future_polls += w.future_polls;
+            t.future_wakes += w.future_wakes;
+            t.future_repushes += w.future_repushes;
         }
         t
     }
@@ -384,6 +394,9 @@ fn worker_to_value(w: &WorkerTelemetry) -> Value {
         ("energy_j", Value::Num(w.energy_j)),
         ("parks", Value::Num(w.parks as f64)),
         ("parked_ns", Value::Num(w.parked_ns as f64)),
+        ("future_polls", Value::Num(w.future_polls as f64)),
+        ("future_wakes", Value::Num(w.future_wakes as f64)),
+        ("future_repushes", Value::Num(w.future_repushes as f64)),
     ])
 }
 
@@ -414,6 +427,9 @@ fn worker_from_value(v: &Value) -> Result<WorkerTelemetry, JsonError> {
         })?,
         parks: num_or_zero("parks"),
         parked_ns: num_or_zero("parked_ns"),
+        future_polls: num_or_zero("future_polls"),
+        future_wakes: num_or_zero("future_wakes"),
+        future_repushes: num_or_zero("future_repushes"),
     })
 }
 
@@ -445,6 +461,9 @@ mod tests {
                     energy_j: 21.0,
                     parks: 4,
                     parked_ns: 2_500_000,
+                    future_polls: 9,
+                    future_wakes: 6,
+                    future_repushes: 5,
                 },
                 WorkerTelemetry {
                     steals: 5,
@@ -460,6 +479,9 @@ mod tests {
                     energy_j: 21.125,
                     parks: 1,
                     parked_ns: 700_000,
+                    future_polls: 2,
+                    future_wakes: 1,
+                    future_repushes: 0,
                 },
             ],
             steal_matrix: vec![vec![0, 10], vec![5, 0]],
@@ -611,6 +633,59 @@ mod tests {
         assert_eq!(parsed.totals().parked_ns, 0);
         // Everything that was present still round-trips.
         assert_eq!(parsed.totals().steals, sample().totals().steals);
+    }
+
+    #[test]
+    fn pre_async_artifacts_parse_with_zero_future_counters() {
+        // A report serialized before the futures-native task layer has
+        // no per-worker poll/wake/re-push counters; absent means zero
+        // (the steal_distance_hist posture: additive fields never break
+        // old artifacts).
+        let Value::Obj(pairs) = sample().to_value() else {
+            panic!("reports serialize as objects");
+        };
+        let stripped = Value::Obj(
+            pairs
+                .into_iter()
+                .map(|(k, v)| {
+                    if k != "per_worker" {
+                        return (k, v);
+                    }
+                    let Value::Arr(workers) = v else {
+                        panic!("per_worker serializes as an array");
+                    };
+                    let workers = workers
+                        .into_iter()
+                        .map(|w| {
+                            let Value::Obj(fields) = w else {
+                                panic!("worker entries serialize as objects");
+                            };
+                            Value::Obj(
+                                fields
+                                    .into_iter()
+                                    .filter(|(k, _)| !k.starts_with("future_"))
+                                    .collect(),
+                            )
+                        })
+                        .collect();
+                    (k, Value::Arr(workers))
+                })
+                .collect(),
+        );
+        let json = stripped.to_string_pretty();
+        assert!(!json.contains("future_"));
+        let parsed = RunReport::from_json(&json).unwrap();
+        assert_eq!(parsed.totals().future_polls, 0);
+        assert_eq!(parsed.totals().future_wakes, 0);
+        assert_eq!(parsed.totals().future_repushes, 0);
+        // Pre-existing counters are untouched by the defaulting.
+        assert_eq!(parsed.totals().steals, sample().totals().steals);
+        assert_eq!(parsed.totals().parks, sample().totals().parks);
+        // And a modern round trip preserves the new counters exactly.
+        let full = RunReport::from_json(&sample().to_json()).unwrap();
+        assert_eq!(full.totals().future_polls, 11);
+        assert_eq!(full.totals().future_wakes, 7);
+        assert_eq!(full.totals().future_repushes, 5);
     }
 
     #[test]

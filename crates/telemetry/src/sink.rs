@@ -89,6 +89,9 @@ struct Tally {
     energy_uj: AtomicU64,
     parks: AtomicU64,
     parked_ns: AtomicU64,
+    future_polls: AtomicU64,
+    future_wakes: AtomicU64,
+    future_repushes: AtomicU64,
     /// Request latencies completed on this stream (merged across
     /// streams into [`RunReport::latency_hist`] at fold time).
     latency: LatencyRecorder,
@@ -109,6 +112,9 @@ impl Tally {
             energy_uj: AtomicU64::new(0),
             parks: AtomicU64::new(0),
             parked_ns: AtomicU64::new(0),
+            future_polls: AtomicU64::new(0),
+            future_wakes: AtomicU64::new(0),
+            future_repushes: AtomicU64::new(0),
             latency: LatencyRecorder::new(),
         }
     }
@@ -153,6 +159,15 @@ impl Tally {
             Event::RequestLatency { ns } => {
                 self.latency.record(ns);
             }
+            Event::TaskPoll => {
+                self.future_polls.fetch_add(1, Ordering::Relaxed);
+            }
+            Event::TaskWake => {
+                self.future_wakes.fetch_add(1, Ordering::Relaxed);
+            }
+            Event::TaskRepush => {
+                self.future_repushes.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 
@@ -171,6 +186,9 @@ impl Tally {
             energy_j: self.energy_uj.load(Ordering::Relaxed) as f64 / 1e6,
             parks: self.parks.load(Ordering::Relaxed),
             parked_ns: self.parked_ns.load(Ordering::Relaxed),
+            future_polls: self.future_polls.load(Ordering::Relaxed),
+            future_wakes: self.future_wakes.load(Ordering::Relaxed),
+            future_repushes: self.future_repushes.load(Ordering::Relaxed),
         }
     }
 }

@@ -148,6 +148,9 @@ proptest! {
                     energy_j: energy / workers as f64,
                     parks: s / 8,
                     parked_ns: s.wrapping_mul(1_000),
+                    future_polls: s / 9,
+                    future_wakes: s / 10,
+                    future_repushes: s / 11,
                 })
                 .collect(),
             steal_matrix: (0..workers)

@@ -1,0 +1,105 @@
+//! 100,000 concurrent slow requests on a 4-worker pool.
+//!
+//! The demonstration `submit_async` exists for: every request sleeps on
+//! a deterministic [`VirtualTimer`], so at the peak all 100k requests
+//! are in flight *simultaneously* — something run-once closures could
+//! never do, since each blocked request would pin a worker and the pool
+//! has only four. A pending future occupies no worker: it parks its
+//! waker on the timer and the task's heap header (a few hundred bytes)
+//! is the entire footprint. Advancing virtual time wakes the whole
+//! cohort through the normal waker path — re-queue onto the pool,
+//! unpark workers — and the pool drains 100k completions.
+//!
+//! ```sh
+//! cargo run --release --example async_serve
+//! ```
+
+use hermes::serve::{Server, VirtualTimer};
+use std::time::Instant;
+
+/// Resident set size in KiB, read from /proc (Linux); `None` elsewhere.
+fn rss_kib() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmRSS:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+fn main() {
+    const WORKERS: usize = 4;
+    const REQUESTS: usize = 100_000;
+    const SLEEP_NS: u64 = 1_000_000; // 1 ms of virtual time per request
+
+    let timer = VirtualTimer::new();
+    let server = Server::builder().workers(WORKERS).parking(true).build();
+    let rss_before = rss_kib();
+
+    // Admit all 100k requests. Each one's first poll runs on a worker,
+    // parks on the timer, and frees that worker for the next — so four
+    // workers happily "hold" 100k open requests.
+    let t0 = Instant::now();
+    let tickets: Vec<_> = (0..REQUESTS)
+        .map(|i| {
+            let t = timer.clone();
+            server.submit_async(async move {
+                t.sleep(SLEEP_NS).await;
+                i as u64
+            })
+        })
+        .collect();
+    let submit_s = t0.elapsed().as_secs_f64();
+
+    // Wait for the workers to finish the first-poll wave: every request
+    // parked on the timer, none completed, all in flight at once.
+    let deadline = Instant::now() + std::time::Duration::from_secs(120);
+    while timer.pending() < REQUESTS {
+        assert!(
+            Instant::now() < deadline,
+            "stalled with {} of {REQUESTS} sleepers parked",
+            timer.pending()
+        );
+        std::thread::yield_now();
+    }
+    assert_eq!(server.in_flight(), REQUESTS as u64);
+    assert_eq!(server.completed(), 0);
+    let rss_peak = rss_kib();
+    println!(
+        "{REQUESTS} requests in flight on {WORKERS} workers \
+         (submitted in {submit_s:.2} s, {} sleepers parked)",
+        timer.pending()
+    );
+    if let (Some(before), Some(peak)) = (rss_before, rss_peak) {
+        let delta_mib = peak.saturating_sub(before) as f64 / 1024.0;
+        println!(
+            "memory: {delta_mib:.1} MiB for the open requests \
+             (~{:.0} bytes/request)",
+            delta_mib * 1024.0 * 1024.0 / REQUESTS as f64
+        );
+        assert!(
+            delta_mib < 1024.0,
+            "100k open requests must fit in well under a GiB, used {delta_mib:.1} MiB"
+        );
+    }
+
+    // One clock tick wakes the entire cohort; the pool drains it.
+    let t1 = Instant::now();
+    let woken = timer.advance(SLEEP_NS);
+    assert_eq!(woken, REQUESTS, "one advance wakes every sleeper");
+    server.drain();
+    let drain_s = t1.elapsed().as_secs_f64();
+    assert_eq!(server.completed(), REQUESTS as u64);
+    assert_eq!(server.in_flight(), 0);
+
+    let stats = server.pool().stats();
+    println!(
+        "drained {REQUESTS} completions in {drain_s:.2} s: \
+         {} polls, {} wakes, {} re-pushes",
+        stats.future_polls, stats.future_wakes, stats.future_repushes
+    );
+    assert_eq!(stats.future_polls, 2 * REQUESTS as u64, "park + completion");
+    assert_eq!(stats.future_repushes, REQUESTS as u64);
+
+    for (i, t) in tickets.into_iter().enumerate() {
+        assert_eq!(t.wait(), i as u64);
+    }
+    println!("all {REQUESTS} tickets redeemed");
+}
