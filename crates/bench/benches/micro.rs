@@ -214,12 +214,48 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_request_span_overhead(c: &mut Criterion) {
+    use hermes_serve::Server;
+    use hermes_telemetry::{NullSink, RingSink, TelemetrySink};
+
+    // The serve-layer sibling of `telemetry/steal_path`: the same
+    // request batch through an untraced server, a NullSink server (the
+    // builder filters null sinks out, so this must price identically to
+    // untraced), and a RingSink server paying for request spans plus
+    // latency events. The `sweep --gate-overhead` CI gate bounds the
+    // third-vs-first ratio; this bench is its drill-down.
+    fn drive(server: &Server) {
+        let tickets: Vec<_> = (0..256u64)
+            .map(|i| server.submit(move || std::hint::black_box(i.wrapping_mul(i))))
+            .collect();
+        for t in tickets {
+            t.wait();
+        }
+    }
+    let mut group = c.benchmark_group("serve/request_span_path");
+    group.throughput(Throughput::Elements(256));
+    let untraced = Server::builder().workers(2).build();
+    group.bench_function("untraced", |b| b.iter(|| drive(&untraced)));
+    let null = Server::builder()
+        .workers(2)
+        .telemetry(Arc::new(NullSink) as Arc<dyn TelemetrySink>)
+        .build();
+    group.bench_function("null_sink", |b| b.iter(|| drive(&null)));
+    let traced = Server::builder()
+        .workers(2)
+        .telemetry(Arc::new(RingSink::with_ring_capacity(2, 1 << 12)) as Arc<dyn TelemetrySink>)
+        .build();
+    group.bench_function("ring_sink_spans", |b| b.iter(|| drive(&traced)));
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_deque_ops,
     bench_steal_contention,
     bench_join_overhead,
     bench_sim_throughput,
-    bench_telemetry_overhead
+    bench_telemetry_overhead,
+    bench_request_span_overhead
 );
 criterion_main!(benches);

@@ -131,6 +131,7 @@ const SERVE_ARTIFACT_SCHEMA: &str = "hermes-serve-ablation/v1";
 const VALUE_FLAGS: &[&str] = &[
     "--out",
     "--baseline",
+    "--max-overhead",
     "--min-steal-ratio",
     "--serve-p99-factor",
     "--serve-p99-floor-ms",
@@ -149,6 +150,7 @@ const MODE_FLAGS: &[&str] = &[
     "--ablate-victim",
     "--ablate-deque",
     "--serve",
+    "--gate-overhead",
 ];
 
 fn main() -> ExitCode {
@@ -182,16 +184,17 @@ fn main() -> ExitCode {
         }
     }
     let has = |flag: &str| args.iter().any(|a| a == flag);
-    let (smoke, full, diff, ablate, ablate_deque, serve) = (
+    let (smoke, full, diff, ablate, ablate_deque, serve, gate_overhead) = (
         has("--smoke"),
         has("--full"),
         has("--diff"),
         has("--ablate-victim"),
         has("--ablate-deque"),
         has("--serve"),
+        has("--gate-overhead"),
     );
     if diff {
-        if smoke || full || ablate || ablate_deque || serve {
+        if smoke || full || ablate || ablate_deque || serve || gate_overhead {
             eprintln!("sweep: --diff does not combine with recording modes");
             print_usage();
             return ExitCode::from(2);
@@ -212,6 +215,14 @@ fn main() -> ExitCode {
         eprintln!("sweep: pick one ablation at a time");
         print_usage();
         return ExitCode::from(2);
+    }
+    if gate_overhead {
+        if smoke || full || ablate || ablate_deque || serve {
+            eprintln!("sweep: --gate-overhead runs alone (it times this host, not the simulator)");
+            print_usage();
+            return ExitCode::from(2);
+        }
+        return gate_overhead_main(&args);
     }
     if serve {
         if full {
@@ -270,6 +281,7 @@ fn print_usage() {
     eprintln!("                             [--min-steal-ratio X] [tolerances]");
     eprintln!("       sweep --serve [--smoke] [--baseline PATH] [--out PATH]");
     eprintln!("                     [--serve-p99-factor X] [--serve-p99-floor-ms MS]");
+    eprintln!("       sweep --gate-overhead [--max-overhead RATIO]");
     eprintln!("default output: {DEFAULT_SMOKE_OUT} with --smoke, {DEFAULT_FULL_OUT} with --full,");
     eprintln!(
         "                {DEFAULT_DEQUE_OUT} with --ablate-deque, {DEFAULT_SERVE_OUT} with --serve"
@@ -559,29 +571,160 @@ fn record(smoke: bool) -> Value {
         ("scale", Value::Num(hermes_bench::scale())),
         ("headline", headline),
         ("figures", Value::Obj(figures_out.into_iter().collect())),
-        ("sample_run_report", sample_run_report().to_value()),
+        ("sample_run_report", sample_run_report(smoke).to_value()),
     ])
 }
+
+/// Ring capacity per stream for the smoke sample run: sized so the
+/// smoke-scale sort run — span events included — retains every event,
+/// making the zero-drop assertion below meaningful.
+const SMOKE_SAMPLE_RING_CAPACITY: usize = 1 << 18;
 
 /// One telemetry-instrumented simulator run, embedded so the baseline
 /// pins the RunReport schema next to the figures (and exercises the sink
 /// wiring — including the steal-distance histogram — end to end on
 /// every sweep).
-fn sample_run_report() -> RunReport {
+///
+/// Under the smoke protocol this run doubles as the overflow gate: the
+/// rings are sized to hold the whole event stream and the report must
+/// come back with zero dropped events, so any unaccounted EventRing
+/// overwrite (or an event-volume regression that silently truncates
+/// traces) fails the sweep instead of shipping a lossy baseline.
+fn sample_run_report(smoke: bool) -> RunReport {
     let cell = Cell::new(Benchmark::Sort, System::B, 4, Policy::Unified);
-    let sink = Arc::new(RingSink::new(cell.workers));
+    let sink = if smoke {
+        Arc::new(RingSink::with_ring_capacity(
+            cell.workers,
+            SMOKE_SAMPLE_RING_CAPACITY,
+        ))
+    } else {
+        // Full-scale runs emit far more events than any sane ring
+        // retains; drops are expected there and exactly accounted.
+        Arc::new(RingSink::new(cell.workers))
+    };
     let dag = cell.bench.dag_scaled(0, hermes_bench::scale());
     let config = cell_config(&cell, 0)
         .with_seed(42)
         .with_telemetry(Arc::clone(&sink) as Arc<dyn TelemetrySink>);
     let report = hermes_sim::run(&dag, &config).expect("harness presets are consistent");
-    sink.report(
-        "sort/B/w4/unified",
-        "sim",
-        report.elapsed.seconds(),
-        report.energy_j,
-    )
-    .with_steal_distances(&config.worker_distances().expect("consistent placement"))
+    let report = sink
+        .report(
+            "sort/B/w4/unified",
+            "sim",
+            report.elapsed.seconds(),
+            report.energy_j,
+        )
+        .with_steal_distances(&config.worker_distances().expect("consistent placement"));
+    if smoke {
+        assert_eq!(
+            report.totals().dropped_events,
+            0,
+            "smoke sample run overflowed its event rings; grow SMOKE_SAMPLE_RING_CAPACITY"
+        );
+    }
+    report
+}
+
+// ---------------------------------------------------------------------
+// Span-tracing overhead gate
+
+/// Requests per timed pass of the overhead gate.
+const GATE_REQUESTS: usize = 1_000;
+/// Timed passes per configuration; the *minimum* is compared — noise
+/// (preemption, thermal drift) only ever slows a pass down, so the min
+/// is the cleanest estimate of the true cost.
+const GATE_REPS: usize = 5;
+/// Iterations of the per-request spin: a serially-dependent multiply
+/// chain the optimizer cannot collapse, sized to the tens-of-µs
+/// request class so the gate prices tracing against realistic request
+/// bodies rather than empty closures (where the fixed ~µs per-request
+/// event cost would dominate and the ratio would measure nothing but
+/// the closure being empty).
+const GATE_SPIN: u64 = 1 << 17;
+
+/// Deterministic CPU work standing in for a request body.
+fn gate_request_body(seed: u64) -> u64 {
+    let mut x = seed | 1;
+    for _ in 0..GATE_SPIN {
+        x = x
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+    }
+    std::hint::black_box(x)
+}
+
+/// One timed pass: build a 2-worker server (traced or not), push
+/// [`GATE_REQUESTS`] through `submit`, redeem every ticket, and return
+/// the elapsed seconds. Server construction and teardown sit outside
+/// the timed window.
+fn gate_pass(traced: bool) -> f64 {
+    let mut builder = Server::builder().workers(2);
+    if traced {
+        // Big enough that no ring wraps: the gate prices the *recording*
+        // path, and wrapped rings would price a subtly different one.
+        builder =
+            builder.telemetry(
+                Arc::new(RingSink::with_ring_capacity(2, 1 << 15)) as Arc<dyn TelemetrySink>
+            );
+    }
+    let server = builder.build();
+    let t0 = Instant::now();
+    let tickets: Vec<_> = (0..GATE_REQUESTS)
+        .map(|i| server.submit(move || gate_request_body(i as u64)))
+        .collect();
+    for t in tickets {
+        t.wait();
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    server.shutdown();
+    elapsed
+}
+
+/// `--gate-overhead`: measure what request-span tracing costs on the
+/// real serve path — an untraced server vs. one recording spans into a
+/// `RingSink` — and fail if the ratio exceeds the budget (default
+/// 1.05, i.e. ≤5%). The structural claim that a null/absent sink is
+/// *exactly* free is a compile-shape test in `hermes-rt`; this gate
+/// bounds the price of tracing when it is actually on.
+fn gate_overhead_main(args: &[String]) -> ExitCode {
+    let max_ratio = match tolerance(args, "--max-overhead", 1.05) {
+        Ok(t) if t >= 1.0 => t,
+        Ok(t) => {
+            eprintln!("sweep: --max-overhead is a slowdown ratio and must be >= 1.0, got {t}");
+            return ExitCode::from(2);
+        }
+        Err(e) => {
+            eprintln!("sweep: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    // Warm both shapes (thread spawn, allocator, branch predictors)
+    // before any timed pass.
+    gate_pass(false);
+    gate_pass(true);
+    let mut untraced = f64::INFINITY;
+    let mut traced = f64::INFINITY;
+    // Interleave the reps so slow drift on the host hits both
+    // configurations alike instead of biasing whichever ran last.
+    for _ in 0..GATE_REPS {
+        untraced = untraced.min(gate_pass(false));
+        traced = traced.min(gate_pass(true));
+    }
+    let ratio = traced / untraced.max(1e-12);
+    println!("=== span-tracing overhead gate ===");
+    println!("{GATE_REQUESTS} requests/pass, 2 workers, min of {GATE_REPS} interleaved passes");
+    println!("untraced {:>9.3} ms", untraced * 1e3);
+    println!(
+        "traced   {:>9.3} ms  (RingSink + request spans + latency events)",
+        traced * 1e3
+    );
+    println!("ratio    {ratio:>9.3}  (budget {max_ratio:.3})");
+    if ratio > max_ratio {
+        eprintln!("sweep: span tracing exceeds the {max_ratio:.3}x overhead budget");
+        return ExitCode::from(1);
+    }
+    println!("overhead gate: ok");
+    ExitCode::SUCCESS
 }
 
 // ---------------------------------------------------------------------
@@ -670,7 +813,9 @@ fn ablate_main(args: &[String], smoke: bool) -> ExitCode {
     let mode = if smoke { "smoke" } else { "full" };
     // Only the drift gate embeds a sample report (diff validates it on
     // both sides); without a baseline, skip that simulator run entirely.
-    let sample = baseline.as_ref().map(|_| sample_run_report().to_value());
+    let sample = baseline
+        .as_ref()
+        .map(|_| sample_run_report(smoke).to_value());
     let mut drift_violations = 0;
     let mut rows = Vec::new();
     for policy in VictimPolicy::all() {
@@ -1041,7 +1186,7 @@ fn ablate_deque_main(args: &[String], smoke: bool) -> ExitCode {
         ("fig09_edp_b", edp_rows(edp)),
     ]);
     let mut drift_violations = 0;
-    let sample = sample_run_report().to_value();
+    let sample = sample_run_report(smoke).to_value();
     if let Some(base) = &baseline {
         let comparable = Value::obj(vec![
             ("schema", Value::Str(ARTIFACT_SCHEMA.to_string())),

@@ -1,0 +1,195 @@
+//! Always-on flight recorder: a bounded event ring you can afford to
+//! leave attached, plus a one-call dump for post-mortems.
+//!
+//! [`FlightRecorder`] is a [`TelemetrySink`] that delegates to an inner
+//! [`RingSink`] — attach it (or wrap an existing sink) and the last
+//! `capacity` events per stream are always available. When something
+//! goes wrong (a deadlock panic in `Ticket::wait`, a p99 budget
+//! breach), [`dump`](FlightRecorder::dump) interleaves every stream
+//! into one time-ordered [`FlightDump`] suitable for a panic message or
+//! a log line — no exporter, no file, no quiescing.
+
+use hermes_telemetry::{Event, RingSink, TelemetrySink, MACHINE_STREAM};
+use std::fmt;
+use std::sync::Arc;
+
+/// Default per-stream capacity: small enough to stay resident, large
+/// enough to cover the last few scheduling round-trips per worker.
+pub const FLIGHT_RING_CAPACITY: usize = 512;
+
+/// A delegating sink that keeps the tail of every event stream.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    inner: Arc<RingSink>,
+}
+
+impl FlightRecorder {
+    /// A recorder with its own rings of [`FLIGHT_RING_CAPACITY`].
+    #[must_use]
+    pub fn new(workers: usize) -> Self {
+        Self::with_capacity(workers, FLIGHT_RING_CAPACITY)
+    }
+
+    /// A recorder with its own rings of `capacity` events per stream.
+    #[must_use]
+    pub fn with_capacity(workers: usize, capacity: usize) -> Self {
+        FlightRecorder {
+            inner: Arc::new(RingSink::with_ring_capacity(workers, capacity)),
+        }
+    }
+
+    /// Wrap an existing sink: the recorder and other consumers (report
+    /// folding, trace export) then share one set of rings.
+    #[must_use]
+    pub fn around(sink: Arc<RingSink>) -> Self {
+        FlightRecorder { inner: sink }
+    }
+
+    /// The wrapped sink, for report folding or trace export.
+    #[must_use]
+    pub fn sink(&self) -> &Arc<RingSink> {
+        &self.inner
+    }
+
+    /// Interleave every stream's retained tail into one time-ordered
+    /// dump. Cheap enough to call from a panic path.
+    #[must_use]
+    pub fn dump(&self) -> FlightDump {
+        let mut entries = Vec::new();
+        let mut dropped = 0;
+        for stream in (0..self.inner.workers()).chain([MACHINE_STREAM]) {
+            let ring = self.inner.ring(stream);
+            dropped += ring.dropped();
+            for (at_ns, event) in ring.snapshot() {
+                entries.push(FlightEntry {
+                    stream,
+                    at_ns,
+                    event,
+                });
+            }
+        }
+        entries.sort_by_key(|e| (e.at_ns, e.stream));
+        FlightDump { entries, dropped }
+    }
+}
+
+impl TelemetrySink for FlightRecorder {
+    fn record(&self, worker: usize, at_ns: u64, event: Event) {
+        self.inner.record(worker, at_ns, event);
+    }
+}
+
+/// One retained event: stream, timestamp, payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlightEntry {
+    /// Worker index, or [`MACHINE_STREAM`].
+    pub stream: usize,
+    /// Host timestamp, ns.
+    pub at_ns: u64,
+    /// The event.
+    pub event: Event,
+}
+
+impl fmt::Display for FlightEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.stream == MACHINE_STREAM {
+            write!(f, "[{:>12} ns] machine    {:?}", self.at_ns, self.event)
+        } else {
+            write!(
+                f,
+                "[{:>12} ns] worker {:<3} {:?}",
+                self.at_ns, self.stream, self.event
+            )
+        }
+    }
+}
+
+/// A time-ordered interleaving of every stream's retained tail.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FlightDump {
+    /// Retained events, ascending by `(at_ns, stream)`.
+    pub entries: Vec<FlightEntry>,
+    /// Events the rings overwrote before the dump — nonzero means the
+    /// timeline's head is truncated, not that counters are wrong.
+    pub dropped: u64,
+}
+
+impl FlightDump {
+    /// The last `n` entries (the most recent history).
+    #[must_use]
+    pub fn tail(&self, n: usize) -> &[FlightEntry] {
+        let start = self.entries.len().saturating_sub(n);
+        &self.entries[start..]
+    }
+
+    /// Number of retained entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing was retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl fmt::Display for FlightDump {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "flight recorder: {} events retained, {} overwritten",
+            self.entries.len(),
+            self.dropped
+        )?;
+        for entry in &self.entries {
+            writeln!(f, "  {entry}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dump_interleaves_streams_in_time_order() {
+        let rec = FlightRecorder::with_capacity(2, 8);
+        rec.record(1, 30, Event::TaskPoll);
+        rec.record(0, 10, Event::TaskWake);
+        rec.record(MACHINE_STREAM, 20, Event::TaskRepush);
+        let dump = rec.dump();
+        assert_eq!(dump.len(), 3);
+        assert_eq!(dump.dropped, 0);
+        let order: Vec<u64> = dump.entries.iter().map(|e| e.at_ns).collect();
+        assert_eq!(order, vec![10, 20, 30]);
+        assert_eq!(dump.tail(1)[0].event, Event::TaskPoll);
+        let text = dump.to_string();
+        assert!(text.contains("machine"));
+        assert!(text.contains("worker 1"));
+        assert!(text.contains("3 events retained"));
+    }
+
+    #[test]
+    fn bounded_rings_overwrite_and_report_truncation() {
+        let rec = FlightRecorder::with_capacity(1, 4);
+        for i in 0..10 {
+            rec.record(0, i, Event::TaskPoll);
+        }
+        let dump = rec.dump();
+        assert_eq!(dump.len(), 4, "ring keeps the tail");
+        assert_eq!(dump.dropped, 6);
+        assert_eq!(dump.entries.first().unwrap().at_ns, 6);
+    }
+
+    #[test]
+    fn around_shares_rings_with_the_wrapped_sink() {
+        let sink = Arc::new(RingSink::new(1));
+        let rec = FlightRecorder::around(Arc::clone(&sink));
+        rec.record(0, 5, Event::TaskPoll);
+        assert_eq!(sink.ring(0).recorded(), 1);
+        assert!(Arc::ptr_eq(rec.sink(), &sink));
+    }
+}

@@ -1,0 +1,46 @@
+//! # hermes-obs
+//!
+//! The observability layer over `hermes-telemetry`: turns the raw
+//! per-worker event streams the hosts already record into artifacts a
+//! human can act on.
+//!
+//! Four pieces, each usable alone:
+//!
+//! - [`SpanForest`] — stitches the causal [`SpanBegin`](hermes_telemetry::Event::SpanBegin)/
+//!   [`SpanEnd`](hermes_telemetry::Event::SpanEnd) edges scattered
+//!   across worker streams back into per-request span trees, including
+//!   the cross-worker hops (steal-moved queue episodes, remote wakes),
+//!   with a deterministic [`fingerprint`](SpanForest::fingerprint) for
+//!   replay testing on the sim executor.
+//! - [`chrome_trace`] / [`chrome_trace_json`] — export a
+//!   [`RingSink`](hermes_telemetry::RingSink) as Chrome trace-event
+//!   JSON loadable in `chrome://tracing` or Perfetto: one track per
+//!   worker with span and park slices, tempo/DVFS instants, and flow
+//!   arrows for steals and wakes. [`validate_chrome_trace`] checks the
+//!   schema and returns [`TraceStats`] for count reconciliation.
+//! - [`prometheus_text`] — render a live
+//!   [`MetricsSnapshot`](hermes_telemetry::MetricsSnapshot) (from
+//!   `Pool::metrics()` / `Server::metrics()`) in the Prometheus text
+//!   exposition format.
+//! - [`FlightRecorder`] — an always-on bounded sink whose
+//!   [`dump`](FlightRecorder::dump) interleaves the retained tail of
+//!   every stream for deadlock panics and budget-breach callbacks.
+//!
+//! Everything here is read-side: the crate adds no recording cost. The
+//! hot-path story stays the one `hermes-telemetry` tells — two relaxed
+//! stores per metrics update, one wait-free ring record per event, and
+//! structurally zero with no sink attached.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod flight;
+mod prom;
+mod span;
+mod trace;
+
+pub use flight::{FlightDump, FlightEntry, FlightRecorder, FLIGHT_RING_CAPACITY};
+pub use prom::prometheus_text;
+pub use span::{collect_span_events, PhaseInterval, Span, SpanEvent, SpanForest};
+pub use trace::{chrome_trace, chrome_trace_json, validate_chrome_trace, TraceStats};

@@ -1,0 +1,182 @@
+//! Prometheus-style text exposition of a [`MetricsSnapshot`].
+//!
+//! Renders the live counters [`Pool::metrics`](hermes_telemetry::MetricsSnapshot)
+//! samples into the plain-text exposition format (version 0.0.4): one
+//! `# TYPE`-annotated family per counter, per-worker series labelled
+//! `worker="N"`, and gauges for the instantaneous pool state. Seconds
+//! are the unit convention for time, so nanosecond counters are scaled.
+
+use hermes_telemetry::MetricsSnapshot;
+use std::fmt::Write as _;
+
+fn seconds(ns: u64) -> f64 {
+    ns as f64 / 1e9
+}
+
+/// Render `snapshot` in the Prometheus text exposition format. Every
+/// metric name is prefixed with `prefix` followed by an underscore
+/// (pass `"hermes"` for `hermes_worker_busy_seconds_total` etc.).
+#[must_use]
+pub fn prometheus_text(snapshot: &MetricsSnapshot, prefix: &str) -> String {
+    fn family(out: &mut String, prefix: &str, name: &str, help: &str, kind: &str) -> String {
+        let _ = writeln!(out, "# HELP {prefix}_{name} {help}");
+        let _ = writeln!(out, "# TYPE {prefix}_{name} {kind}");
+        format!("{prefix}_{name}")
+    }
+
+    let mut out = String::new();
+    let busy = family(
+        &mut out,
+        prefix,
+        "worker_busy_seconds_total",
+        "Time each worker spent executing jobs.",
+        "counter",
+    );
+    for (w, s) in snapshot.workers.iter().enumerate() {
+        let _ = writeln!(out, "{busy}{{worker=\"{w}\"}} {}", seconds(s.busy_ns));
+    }
+
+    let steal = family(
+        &mut out,
+        prefix,
+        "worker_steal_seconds_total",
+        "Time each worker spent in the steal path.",
+        "counter",
+    );
+    for (w, s) in snapshot.workers.iter().enumerate() {
+        let _ = writeln!(out, "{steal}{{worker=\"{w}\"}} {}", seconds(s.steal_ns));
+    }
+
+    let parked = family(
+        &mut out,
+        prefix,
+        "worker_parked_seconds_total",
+        "Time each worker spent parked on the pool condvar.",
+        "counter",
+    );
+    for (w, s) in snapshot.workers.iter().enumerate() {
+        let _ = writeln!(out, "{parked}{{worker=\"{w}\"}} {}", seconds(s.parked_ns));
+    }
+
+    let tasks = family(
+        &mut out,
+        prefix,
+        "worker_tasks_total",
+        "Jobs executed to completion per worker.",
+        "counter",
+    );
+    for (w, s) in snapshot.workers.iter().enumerate() {
+        let _ = writeln!(out, "{tasks}{{worker=\"{w}\"}} {}", s.tasks);
+    }
+
+    let depth = family(
+        &mut out,
+        prefix,
+        "injector_depth",
+        "Jobs waiting in the global injector queue.",
+        "gauge",
+    );
+    let _ = writeln!(out, "{depth} {}", snapshot.injector_depth);
+
+    let in_flight = family(
+        &mut out,
+        prefix,
+        "requests_in_flight",
+        "Requests submitted but not yet completed.",
+        "gauge",
+    );
+    let _ = writeln!(out, "{in_flight} {}", snapshot.in_flight);
+
+    let util = family(
+        &mut out,
+        prefix,
+        "pool_utilization_ratio",
+        "Busy time over wall time across workers, 0 to 1.",
+        "gauge",
+    );
+    let _ = writeln!(out, "{util} {}", snapshot.utilization());
+
+    let uptime = family(
+        &mut out,
+        prefix,
+        "pool_uptime_seconds",
+        "Time since the pool epoch at the snapshot instant.",
+        "gauge",
+    );
+    let _ = writeln!(out, "{uptime} {}", seconds(snapshot.at_ns));
+
+    for (name, help, value) in [
+        (
+            "request_latency_p50_seconds",
+            "Rolling median request latency.",
+            snapshot.latency_p50_ns,
+        ),
+        (
+            "request_latency_p99_seconds",
+            "Rolling 99th-percentile request latency.",
+            snapshot.latency_p99_ns,
+        ),
+    ] {
+        if let Some(ns) = value {
+            let q = family(&mut out, prefix, name, help, "gauge");
+            let _ = writeln!(out, "{q} {}", seconds(ns));
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_telemetry::WorkerMetricsSample;
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        MetricsSnapshot {
+            at_ns: 2_000_000_000,
+            workers: vec![
+                WorkerMetricsSample {
+                    busy_ns: 1_000_000_000,
+                    steal_ns: 250_000_000,
+                    parked_ns: 500_000_000,
+                    tasks: 42,
+                },
+                WorkerMetricsSample {
+                    busy_ns: 3_000_000_000,
+                    steal_ns: 0,
+                    parked_ns: 0,
+                    tasks: 7,
+                },
+            ],
+            injector_depth: 3,
+            in_flight: 11,
+            latency_p50_ns: Some(1_500_000),
+            latency_p99_ns: None,
+        }
+    }
+
+    #[test]
+    fn exposition_has_typed_families_and_labelled_series() {
+        let text = prometheus_text(&sample_snapshot(), "hermes");
+        assert!(text.contains("# TYPE hermes_worker_busy_seconds_total counter"));
+        assert!(text.contains("hermes_worker_busy_seconds_total{worker=\"0\"} 1"));
+        assert!(text.contains("hermes_worker_busy_seconds_total{worker=\"1\"} 3"));
+        assert!(text.contains("hermes_worker_tasks_total{worker=\"0\"} 42"));
+        assert!(text.contains("# TYPE hermes_injector_depth gauge"));
+        assert!(text.contains("hermes_injector_depth 3"));
+        assert!(text.contains("hermes_requests_in_flight 11"));
+        assert!(text.contains("hermes_pool_utilization_ratio 1"));
+        assert!(text.contains("hermes_request_latency_p50_seconds 0.0015"));
+        assert!(
+            !text.contains("p99"),
+            "absent quantiles are omitted, not zero-filled"
+        );
+        // Every non-comment line is "name[{labels}] value".
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let mut parts = line.rsplitn(2, ' ');
+            let value = parts.next().unwrap();
+            assert!(value.parse::<f64>().is_ok(), "bad value in line: {line}");
+            assert!(parts.next().unwrap().starts_with("hermes_"));
+        }
+    }
+}

@@ -1,0 +1,402 @@
+//! Stitching causal spans back out of the event stream.
+//!
+//! Hosts record [`Event::SpanBegin`]/[`Event::SpanEnd`] pairs carrying a
+//! request/task id and a [`SpanPhase`] on whatever stream the edge
+//! happened on — the span of one request therefore scatters across
+//! worker streams as the task is injected, stolen, polled, parked, and
+//! woken. This module gathers every span edge out of a [`RingSink`],
+//! groups them by id, and pairs begins with ends per phase, producing a
+//! [`SpanForest`] the exporters and tests consume.
+
+use hermes_telemetry::{Event, RingSink, SpanPhase, MACHINE_STREAM};
+
+/// One span edge, as recorded: which stream, when, which span, which
+/// phase, and whether it opens or closes the phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Stream the edge was recorded on (worker index or
+    /// [`MACHINE_STREAM`]).
+    pub stream: usize,
+    /// Host timestamp, nanoseconds since the host's epoch.
+    pub at_ns: u64,
+    /// Span id (request/task identity), nonzero.
+    pub id: u64,
+    /// Lifecycle phase this edge belongs to.
+    pub phase: SpanPhase,
+    /// `true` for [`Event::SpanBegin`], `false` for [`Event::SpanEnd`].
+    pub begin: bool,
+}
+
+/// One paired phase episode of a span: `[begin_ns, end_ns]` on
+/// `begin_stream`, closed from `end_stream` (a differing end stream is
+/// the cross-worker hop — e.g. a wake closing a park-wait from the
+/// thread that produced the readiness).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseInterval {
+    /// The phase.
+    pub phase: SpanPhase,
+    /// When and where the phase opened.
+    pub begin_ns: u64,
+    /// Stream the begin edge was recorded on.
+    pub begin_stream: usize,
+    /// When the phase closed; `None` for a still-open (or truncated by
+    /// ring overflow) phase.
+    pub end_ns: Option<u64>,
+    /// Stream the end edge was recorded on, when closed.
+    pub end_stream: Option<usize>,
+}
+
+impl PhaseInterval {
+    /// Episode duration; 0 while open or when cross-thread clock skew
+    /// ordered the edges backwards.
+    #[must_use]
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns
+            .map_or(0, |end| end.saturating_sub(self.begin_ns))
+    }
+
+    /// Whether the end edge was recorded on a different stream than the
+    /// begin — the signature of a cross-worker hop.
+    #[must_use]
+    pub fn crosses_streams(&self) -> bool {
+        matches!(self.end_stream, Some(end) if end != self.begin_stream)
+    }
+}
+
+/// All phase episodes of one span id, in begin-time order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// The span id.
+    pub id: u64,
+    /// Paired phase episodes, ordered by begin time.
+    pub intervals: Vec<PhaseInterval>,
+    /// The terminal [`SpanPhase::Complete`] instant, when recorded: a
+    /// bare `SpanEnd` with no matching begin (see the event docs).
+    pub completed_at: Option<(u64, usize)>,
+    /// End edges with no matching begin (begin lost to ring overflow,
+    /// or a zero-length race ordered end-first); kept so nothing is
+    /// silently discarded.
+    pub orphan_ends: Vec<SpanEvent>,
+}
+
+impl Span {
+    /// The episodes of one phase, in order.
+    #[must_use]
+    pub fn phase_intervals(&self, phase: SpanPhase) -> Vec<&PhaseInterval> {
+        self.intervals.iter().filter(|i| i.phase == phase).collect()
+    }
+
+    /// First begin timestamp of the span.
+    #[must_use]
+    pub fn start_ns(&self) -> Option<u64> {
+        self.intervals.first().map(|i| i.begin_ns)
+    }
+
+    /// Latest end timestamp across episodes.
+    #[must_use]
+    pub fn last_end_ns(&self) -> Option<u64> {
+        self.intervals.iter().filter_map(|i| i.end_ns).max()
+    }
+}
+
+/// Every span stitched out of one sink, ordered by id.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpanForest {
+    /// The spans, ascending by id.
+    pub spans: Vec<Span>,
+}
+
+/// Pull every span edge out of `sink`'s rings (worker streams first,
+/// then the machine stream), in a deterministic order: sorted by
+/// `(at_ns, stream, id, phase, end-before-begin)`. Ends sort before
+/// begins at equal timestamps so a zero-length episode closes before
+/// the next one opens.
+#[must_use]
+pub fn collect_span_events(sink: &RingSink) -> Vec<SpanEvent> {
+    let mut events = Vec::new();
+    let streams = (0..sink.workers()).chain([MACHINE_STREAM]);
+    for stream in streams {
+        for (at_ns, event) in sink.ring(stream).snapshot() {
+            let (id, phase, begin) = match event {
+                Event::SpanBegin { id, phase } => (id, phase, true),
+                Event::SpanEnd { id, phase } => (id, phase, false),
+                _ => continue,
+            };
+            events.push(SpanEvent {
+                stream,
+                at_ns,
+                id,
+                phase,
+                begin,
+            });
+        }
+    }
+    events.sort_by_key(|e| (e.at_ns, e.stream, e.id, e.phase as u8, e.begin));
+    events
+}
+
+impl SpanForest {
+    /// Stitch the spans recorded in `sink`.
+    #[must_use]
+    pub fn from_sink(sink: &RingSink) -> SpanForest {
+        SpanForest::from_events(&collect_span_events(sink))
+    }
+
+    /// Stitch spans from pre-collected edges (any order).
+    #[must_use]
+    pub fn from_events(events: &[SpanEvent]) -> SpanForest {
+        let mut sorted: Vec<SpanEvent> = events.to_vec();
+        sorted.sort_by_key(|e| (e.id, e.at_ns, e.phase as u8, e.begin, e.stream));
+        let mut spans: Vec<Span> = Vec::new();
+        for ev in sorted {
+            if spans.last().map(|s| s.id) != Some(ev.id) {
+                spans.push(Span {
+                    id: ev.id,
+                    intervals: Vec::new(),
+                    completed_at: None,
+                    orphan_ends: Vec::new(),
+                });
+            }
+            let span = spans.last_mut().expect("span pushed above");
+            if !ev.begin && ev.phase == SpanPhase::Complete {
+                // Terminal instant: a bare end, by protocol.
+                span.completed_at = Some((ev.at_ns, ev.stream));
+                continue;
+            }
+            if ev.begin {
+                span.intervals.push(PhaseInterval {
+                    phase: ev.phase,
+                    begin_ns: ev.at_ns,
+                    begin_stream: ev.stream,
+                    end_ns: None,
+                    end_stream: None,
+                });
+            } else {
+                // Close the oldest open episode of this phase: begins
+                // and ends of one (id, phase) pair up in order.
+                match span
+                    .intervals
+                    .iter_mut()
+                    .find(|i| i.phase == ev.phase && i.end_ns.is_none())
+                {
+                    Some(interval) => {
+                        interval.end_ns = Some(ev.at_ns);
+                        interval.end_stream = Some(ev.stream);
+                    }
+                    None => span.orphan_ends.push(ev),
+                }
+            }
+        }
+        SpanForest { spans }
+    }
+
+    /// Number of spans.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether no spans were recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// The span with `id`, if present.
+    #[must_use]
+    pub fn span(&self, id: u64) -> Option<&Span> {
+        self.spans
+            .binary_search_by_key(&id, |s| s.id)
+            .ok()
+            .map(|i| &self.spans[i])
+    }
+
+    /// Total paired phase episodes across spans.
+    #[must_use]
+    pub fn intervals(&self) -> usize {
+        self.spans.iter().map(|s| s.intervals.len()).sum()
+    }
+
+    /// Cross-stream hops (steals, remote wakes) across spans.
+    #[must_use]
+    pub fn cross_stream_hops(&self) -> usize {
+        self.spans
+            .iter()
+            .flat_map(|s| &s.intervals)
+            .filter(|i| i.crosses_streams())
+            .count()
+    }
+
+    /// A content fingerprint of the whole forest: FNV-1a over every
+    /// stitched interval and orphan, in the forest's canonical order.
+    /// Two runs with identical span timelines (e.g. the sim executor
+    /// replaying one seed) hash identically; any divergence in ids,
+    /// phases, streams, or timestamps changes the digest.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |x: u64| {
+            for byte in x.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        for span in &self.spans {
+            eat(span.id);
+            let (done_ns, done_stream) = span
+                .completed_at
+                .map_or((u64::MAX, u64::MAX), |(ns, s)| (ns, s as u64));
+            eat(done_ns);
+            eat(done_stream);
+            for i in &span.intervals {
+                eat(i.phase as u64);
+                eat(i.begin_ns);
+                eat(i.begin_stream as u64);
+                eat(i.end_ns.map_or(u64::MAX, |e| e));
+                eat(i.end_stream.map_or(u64::MAX, |s| s as u64));
+            }
+            for o in &span.orphan_ends {
+                eat(o.phase as u64);
+                eat(o.at_ns);
+                eat(o.stream as u64);
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_telemetry::TelemetrySink;
+
+    fn begin(stream: usize, at_ns: u64, id: u64, phase: SpanPhase) -> SpanEvent {
+        SpanEvent {
+            stream,
+            at_ns,
+            id,
+            phase,
+            begin: true,
+        }
+    }
+
+    fn end(stream: usize, at_ns: u64, id: u64, phase: SpanPhase) -> SpanEvent {
+        SpanEvent {
+            stream,
+            at_ns,
+            id,
+            phase,
+            begin: false,
+        }
+    }
+
+    #[test]
+    fn pairs_phases_in_order_and_detects_hops() {
+        // Span 7: queued on the machine stream, steal-closed on worker
+        // 1, polled there; a second queued episode after a wake.
+        let events = vec![
+            begin(MACHINE_STREAM, 10, 7, SpanPhase::Queued),
+            end(1, 25, 7, SpanPhase::Queued),
+            begin(1, 25, 7, SpanPhase::Poll),
+            end(1, 40, 7, SpanPhase::Poll),
+            begin(1, 40, 7, SpanPhase::ParkWait),
+            end(0, 90, 7, SpanPhase::ParkWait), // woken from worker 0
+            begin(0, 90, 7, SpanPhase::Queued),
+            end(0, 95, 7, SpanPhase::Queued),
+            end(0, 99, 7, SpanPhase::Complete), // terminal instant
+        ];
+        let forest = SpanForest::from_events(&events);
+        assert_eq!(forest.len(), 1);
+        let span = forest.span(7).unwrap();
+        assert_eq!(span.intervals.len(), 4);
+        assert!(span.orphan_ends.is_empty());
+        assert_eq!(
+            span.completed_at,
+            Some((99, 0)),
+            "terminal instant, not an orphan"
+        );
+        let queued = span.phase_intervals(SpanPhase::Queued);
+        assert_eq!(queued.len(), 2);
+        assert_eq!(queued[0].duration_ns(), 15);
+        assert!(queued[0].crosses_streams(), "machine → worker 1");
+        assert!(!queued[1].crosses_streams());
+        let park = span.phase_intervals(SpanPhase::ParkWait)[0];
+        assert_eq!(park.duration_ns(), 50);
+        assert!(park.crosses_streams(), "the wake hop");
+        assert_eq!(forest.cross_stream_hops(), 2);
+        assert_eq!(span.start_ns(), Some(10));
+        assert_eq!(span.last_end_ns(), Some(95));
+    }
+
+    #[test]
+    fn orphan_ends_are_kept_not_dropped() {
+        let events = vec![end(0, 5, 3, SpanPhase::Poll)];
+        let forest = SpanForest::from_events(&events);
+        let span = forest.span(3).unwrap();
+        assert!(span.intervals.is_empty());
+        assert_eq!(span.orphan_ends.len(), 1);
+    }
+
+    #[test]
+    fn fingerprint_is_order_insensitive_but_content_sensitive() {
+        let a = vec![
+            begin(0, 1, 1, SpanPhase::Queued),
+            end(0, 2, 1, SpanPhase::Queued),
+            begin(1, 3, 2, SpanPhase::Poll),
+            end(1, 4, 2, SpanPhase::Poll),
+        ];
+        let mut shuffled = a.clone();
+        shuffled.reverse();
+        assert_eq!(
+            SpanForest::from_events(&a).fingerprint(),
+            SpanForest::from_events(&shuffled).fingerprint(),
+            "collection order must not matter"
+        );
+        let mut moved = a.clone();
+        moved[3].at_ns = 5;
+        assert_ne!(
+            SpanForest::from_events(&a).fingerprint(),
+            SpanForest::from_events(&moved).fingerprint(),
+            "a timestamp shift must change the digest"
+        );
+        assert_ne!(SpanForest::default().fingerprint(), 0);
+    }
+
+    #[test]
+    fn collect_reads_worker_and_machine_streams() {
+        let sink = RingSink::new(2);
+        sink.record(
+            0,
+            10,
+            Event::SpanBegin {
+                id: 1,
+                phase: SpanPhase::Poll,
+            },
+        );
+        sink.record(
+            MACHINE_STREAM,
+            5,
+            Event::SpanBegin {
+                id: 2,
+                phase: SpanPhase::Inject,
+            },
+        );
+        sink.record(0, 20, Event::TaskPoll); // not a span edge
+        sink.record(
+            1,
+            15,
+            Event::SpanEnd {
+                id: 1,
+                phase: SpanPhase::Poll,
+            },
+        );
+        let events = collect_span_events(&sink);
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].at_ns, 5, "sorted by time");
+        let forest = SpanForest::from_sink(&sink);
+        assert_eq!(forest.len(), 2);
+        assert!(forest.span(1).unwrap().intervals[0].crosses_streams());
+    }
+}

@@ -1,0 +1,387 @@
+//! Chrome trace-event (Perfetto) export.
+//!
+//! Renders a [`RingSink`]'s event streams as the Trace Event Format
+//! that `chrome://tracing` and [ui.perfetto.dev](https://ui.perfetto.dev)
+//! load directly: one track per worker (plus one for off-pool threads)
+//! carrying complete (`"X"`) slices for span phases and park episodes,
+//! instant (`"i"`) markers for tempo transitions, DVFS actuations, and
+//! request completions, and flow (`"s"`/`"f"`) arrows for the two
+//! cross-worker edges — a successful steal (victim → thief) and a
+//! remote wake closing a park-wait from another thread.
+//!
+//! Timestamps in the format are microseconds; the sink records
+//! nanoseconds, so slices keep sub-microsecond precision as fractional
+//! `ts`/`dur` values (both viewers accept doubles).
+
+use crate::span::SpanForest;
+use hermes_telemetry::json::Value;
+use hermes_telemetry::{Event, RingSink, StealOutcome, MACHINE_STREAM};
+
+/// The `pid` every track is parented under — the trace models one
+/// process (the pool).
+const TRACE_PID: u64 = 1;
+
+fn us(ns: u64) -> Value {
+    Value::Num(ns as f64 / 1_000.0)
+}
+
+/// The `tid` a stream renders as. Worker streams keep their index; the
+/// machine stream (recorded as [`MACHINE_STREAM`] = `usize::MAX`, not
+/// representable in JSON) becomes the track after the last worker.
+fn tid_of(stream: usize, workers: usize) -> u64 {
+    if stream == MACHINE_STREAM {
+        workers as u64
+    } else {
+        stream as u64
+    }
+}
+
+fn event_obj(ph: &str, name: &str, tid: u64, at_ns: u64) -> Vec<(&'static str, Value)> {
+    vec![
+        ("name", Value::Str(name.to_string())),
+        ("ph", Value::Str(ph.to_string())),
+        ("ts", us(at_ns)),
+        ("pid", Value::Num(TRACE_PID as f64)),
+        ("tid", Value::Num(tid as f64)),
+    ]
+}
+
+fn push_obj(out: &mut Vec<Value>, fields: Vec<(&str, Value)>) {
+    out.push(Value::obj(fields));
+}
+
+/// Build the Chrome trace-event document for `sink` as a JSON value:
+/// `{"traceEvents": [...], "displayTimeUnit": "ms"}`.
+#[must_use]
+pub fn chrome_trace(sink: &RingSink) -> Value {
+    let workers = sink.workers();
+    let forest = SpanForest::from_sink(sink);
+    let mut events: Vec<Value> = Vec::new();
+
+    // Track names, so the viewer shows "worker 0..n" and "machine"
+    // instead of bare tids.
+    for stream in (0..workers).chain([MACHINE_STREAM]) {
+        let tid = tid_of(stream, workers);
+        let name = if stream == MACHINE_STREAM {
+            "machine".to_string()
+        } else {
+            format!("worker {stream}")
+        };
+        let mut fields = event_obj("M", "thread_name", tid, 0);
+        fields.push(("args", Value::obj(vec![("name", Value::Str(name))])));
+        push_obj(&mut events, fields);
+    }
+
+    // Span phase slices and the completion instants, plus a flow arrow
+    // for every interval whose end landed on a different stream than
+    // its begin (steal-moved queue episodes, remote wakes).
+    let mut flow_id: u64 = 0;
+    for span in &forest.spans {
+        for interval in &span.intervals {
+            let tid = tid_of(interval.begin_stream, workers);
+            let name = format!("span:{}", interval.phase.label());
+            let mut fields = event_obj("X", &name, tid, interval.begin_ns);
+            fields.push(("dur", Value::Num(interval.duration_ns() as f64 / 1_000.0)));
+            fields.push((
+                "args",
+                Value::obj(vec![("span_id", Value::Num(span.id as f64))]),
+            ));
+            push_obj(&mut events, fields);
+
+            if interval.crosses_streams() {
+                let (end_ns, end_stream) = (
+                    interval.end_ns.expect("crossing interval is closed"),
+                    interval.end_stream.expect("crossing interval is closed"),
+                );
+                flow_id += 1;
+                let mut s = event_obj("s", "hop", tid, interval.begin_ns);
+                s.push(("id", Value::Num(flow_id as f64)));
+                push_obj(&mut events, s);
+                let mut f = event_obj("f", "hop", tid_of(end_stream, workers), end_ns);
+                f.push(("id", Value::Num(flow_id as f64)));
+                f.push(("bp", Value::Str("e".to_string())));
+                push_obj(&mut events, f);
+            }
+        }
+        if let Some((at_ns, stream)) = span.completed_at {
+            let tid = tid_of(stream, workers);
+            let mut fields = event_obj("i", "span:complete", tid, at_ns);
+            fields.push(("s", Value::Str("t".to_string())));
+            fields.push((
+                "args",
+                Value::obj(vec![("span_id", Value::Num(span.id as f64))]),
+            ));
+            push_obj(&mut events, fields);
+        }
+    }
+
+    // Non-span machinery: park brackets, tempo/DVFS instants, and steal
+    // flow arrows, straight off the rings.
+    for stream in (0..workers).chain([MACHINE_STREAM]) {
+        let tid = tid_of(stream, workers);
+        for (at_ns, event) in sink.ring(stream).snapshot() {
+            match event {
+                Event::WorkerUnpark { parked_ns } => {
+                    // The unpark instant closes the bracket; the slice
+                    // starts where the park began.
+                    let begin_ns = at_ns.saturating_sub(parked_ns);
+                    let mut fields = event_obj("X", "park", tid, begin_ns);
+                    fields.push(("dur", Value::Num(parked_ns as f64 / 1_000.0)));
+                    push_obj(&mut events, fields);
+                }
+                Event::TempoTransition { kind, level } => {
+                    let name = format!("tempo:{}", kind.label());
+                    let mut fields = event_obj("i", &name, tid, at_ns);
+                    fields.push(("s", Value::Str("t".to_string())));
+                    fields.push((
+                        "args",
+                        Value::obj(vec![("level", Value::Num(f64::from(level)))]),
+                    ));
+                    push_obj(&mut events, fields);
+                }
+                Event::DvfsActuation { freq_khz } => {
+                    let mut fields = event_obj("i", "dvfs", tid, at_ns);
+                    fields.push(("s", Value::Str("t".to_string())));
+                    fields.push((
+                        "args",
+                        Value::obj(vec![("freq_khz", Value::Num(freq_khz as f64))]),
+                    ));
+                    push_obj(&mut events, fields);
+                }
+                Event::StealAttempt {
+                    victim,
+                    outcome: StealOutcome::Success,
+                } => {
+                    // Arrow from the victim's track to the thief's.
+                    flow_id += 1;
+                    let mut s = event_obj("s", "steal", u64::from(victim), at_ns);
+                    s.push(("id", Value::Num(flow_id as f64)));
+                    push_obj(&mut events, s);
+                    let mut f = event_obj("f", "steal", tid, at_ns);
+                    f.push(("id", Value::Num(flow_id as f64)));
+                    f.push(("bp", Value::Str("e".to_string())));
+                    push_obj(&mut events, f);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    Value::obj(vec![
+        ("traceEvents", Value::Arr(events)),
+        ("displayTimeUnit", Value::Str("ms".to_string())),
+    ])
+}
+
+/// [`chrome_trace`] serialized as pretty-printed JSON, ready to write
+/// to a `.json` file and load in Perfetto.
+#[must_use]
+pub fn chrome_trace_json(sink: &RingSink) -> String {
+    chrome_trace(sink).to_string_pretty()
+}
+
+/// What [`validate_chrome_trace`] counted, for reconciliation against
+/// [`RunReport`](hermes_telemetry::RunReport) counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Total entries in `traceEvents`.
+    pub events: usize,
+    /// Complete (`"X"`) slices.
+    pub slices: usize,
+    /// Complete slices whose name starts with `span:`.
+    pub span_slices: usize,
+    /// Instant (`"i"`) markers.
+    pub instants: usize,
+    /// Flow begin (`"s"`) arrows.
+    pub flow_begins: usize,
+    /// Flow end (`"f"`) arrows.
+    pub flow_ends: usize,
+    /// Metadata (`"M"`) entries.
+    pub metadata: usize,
+}
+
+/// Parse `text` as a Chrome trace-event document and check the schema
+/// every consumer relies on: a top-level `traceEvents` array whose
+/// entries all carry `name`/`ph`/`ts`/`pid`/`tid`, with `dur` on `"X"`
+/// slices and `id` on `"s"`/`"f"` flows, and flow begins balancing flow
+/// ends. Returns counts by kind, or the first violation.
+pub fn validate_chrome_trace(text: &str) -> Result<TraceStats, String> {
+    let doc = Value::parse(text).map_err(|e| format!("not valid JSON: {e:?}"))?;
+    let trace_events = doc
+        .get("traceEvents")
+        .ok_or("missing top-level \"traceEvents\"")?;
+    let entries = trace_events
+        .as_arr()
+        .ok_or("\"traceEvents\" is not an array")?;
+    let mut stats = TraceStats::default();
+    for (i, entry) in entries.iter().enumerate() {
+        let at = |msg: &str| format!("traceEvents[{i}]: {msg}");
+        let ph = entry
+            .get("ph")
+            .and_then(Value::as_str)
+            .ok_or_else(|| at("missing \"ph\""))?;
+        let name = entry
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| at("missing \"name\""))?;
+        entry
+            .get("ts")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| at("missing numeric \"ts\""))?;
+        entry
+            .get("pid")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| at("missing numeric \"pid\""))?;
+        entry
+            .get("tid")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| at("missing numeric \"tid\""))?;
+        stats.events += 1;
+        match ph {
+            "X" => {
+                let dur = entry
+                    .get("dur")
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| at("\"X\" slice missing numeric \"dur\""))?;
+                if dur < 0.0 {
+                    return Err(at("negative \"dur\""));
+                }
+                stats.slices += 1;
+                if name.starts_with("span:") {
+                    stats.span_slices += 1;
+                }
+            }
+            "i" => stats.instants += 1,
+            "s" | "f" => {
+                entry
+                    .get("id")
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| at("flow event missing \"id\""))?;
+                if ph == "s" {
+                    stats.flow_begins += 1;
+                } else {
+                    stats.flow_ends += 1;
+                }
+            }
+            "M" => stats.metadata += 1,
+            other => return Err(at(&format!("unknown phase {other:?}"))),
+        }
+    }
+    if stats.flow_begins != stats.flow_ends {
+        return Err(format!(
+            "unbalanced flows: {} begins vs {} ends",
+            stats.flow_begins, stats.flow_ends
+        ));
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_telemetry::{SpanPhase, TelemetrySink, TransitionKind};
+
+    fn span_begin(id: u64, phase: SpanPhase) -> Event {
+        Event::SpanBegin { id, phase }
+    }
+
+    fn span_end(id: u64, phase: SpanPhase) -> Event {
+        Event::SpanEnd { id, phase }
+    }
+
+    fn scenario_sink() -> RingSink {
+        let sink = RingSink::new(2);
+        // Request 1: injected off-pool, queued, stolen to worker 1,
+        // polled there, completed.
+        sink.record(MACHINE_STREAM, 100, span_begin(1, SpanPhase::Queued));
+        sink.record(
+            1,
+            400,
+            Event::StealAttempt {
+                victim: 0,
+                outcome: StealOutcome::Success,
+            },
+        );
+        sink.record(1, 400, span_end(1, SpanPhase::Queued));
+        sink.record(1, 410, span_begin(1, SpanPhase::Poll));
+        sink.record(1, 900, span_end(1, SpanPhase::Poll));
+        sink.record(1, 900, span_end(1, SpanPhase::Complete));
+        // Worker 0 parks, a tempo step and a DVFS actuation land.
+        sink.record(0, 300, Event::WorkerPark);
+        sink.record(0, 800, Event::WorkerUnpark { parked_ns: 500 });
+        sink.record(
+            0,
+            850,
+            Event::TempoTransition {
+                kind: TransitionKind::WorkloadDown,
+                level: 2,
+            },
+        );
+        sink.record(
+            0,
+            860,
+            Event::DvfsActuation {
+                freq_khz: 1_600_000,
+            },
+        );
+        sink
+    }
+
+    #[test]
+    fn trace_round_trips_through_its_own_validator() {
+        let sink = scenario_sink();
+        let text = chrome_trace_json(&sink);
+        let stats = validate_chrome_trace(&text).expect("trace must validate");
+        // 3 tracks named (2 workers + machine).
+        assert_eq!(stats.metadata, 3);
+        // Two span slices (queued, poll) + one park slice.
+        assert_eq!(stats.span_slices, 2);
+        assert_eq!(stats.slices, 3);
+        // Instants: complete + tempo + dvfs.
+        assert_eq!(stats.instants, 3);
+        // Flows: the steal arrow and the machine→worker-1 queue hop.
+        assert_eq!(stats.flow_begins, 2);
+        assert_eq!(stats.flow_ends, 2);
+        assert_eq!(
+            stats.events,
+            stats.metadata + stats.slices + stats.instants + stats.flow_begins + stats.flow_ends
+        );
+    }
+
+    #[test]
+    fn machine_stream_maps_to_the_track_after_the_last_worker() {
+        let sink = scenario_sink();
+        let doc = chrome_trace(&sink);
+        let entries = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let queued = entries
+            .iter()
+            .find(|e| e.get("name").and_then(Value::as_str) == Some("span:queued"))
+            .expect("queued slice present");
+        assert_eq!(queued.get("tid").unwrap().as_f64(), Some(2.0));
+        assert_eq!(
+            queued.get("ts").unwrap().as_f64(),
+            Some(0.1),
+            "100 ns = 0.1 µs"
+        );
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        assert!(validate_chrome_trace("not json").is_err());
+        assert!(validate_chrome_trace("{\"other\": 1}")
+            .unwrap_err()
+            .contains("traceEvents"));
+        let missing_dur = r#"{"traceEvents": [
+            {"name": "x", "ph": "X", "ts": 0, "pid": 1, "tid": 0}
+        ]}"#;
+        assert!(validate_chrome_trace(missing_dur)
+            .unwrap_err()
+            .contains("dur"));
+        let unbalanced = r#"{"traceEvents": [
+            {"name": "hop", "ph": "s", "ts": 0, "pid": 1, "tid": 0, "id": 1}
+        ]}"#;
+        assert!(validate_chrome_trace(unbalanced)
+            .unwrap_err()
+            .contains("unbalanced"));
+    }
+}

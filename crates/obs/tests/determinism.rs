@@ -1,0 +1,81 @@
+//! Same seed ⇒ identical span timeline, on the sim executor.
+//!
+//! The simulator is deterministic by construction (virtual time, seeded
+//! victim selection), and span recording is pure observation — so the
+//! stitched [`SpanForest`] of a run, cross-worker hops and all, must be
+//! a pure function of `(spec, config, seed)`. The fingerprint is the
+//! regression handle: any change to the engine's event emission or the
+//! stitcher's pairing shows up as a digest change here.
+
+use hermes_core::{Frequency, Policy, TempoConfig};
+use hermes_obs::{chrome_trace_json, validate_chrome_trace, SpanForest};
+use hermes_sim::{run, DagSpec, MachineSpec, SimConfig};
+use hermes_telemetry::{RingSink, TelemetrySink};
+use std::sync::Arc;
+
+fn tempo(workers: usize) -> TempoConfig {
+    TempoConfig::builder()
+        .policy(Policy::Unified)
+        .frequencies(vec![Frequency::from_mhz(2400), Frequency::from_mhz(1600)])
+        .workers(workers)
+        .build()
+}
+
+/// Run a steal-heavy DAG under `seed` and stitch the span forest.
+fn forest_for(seed: u64) -> (SpanForest, Arc<RingSink>) {
+    forest_on(seed, 4)
+}
+
+fn forest_on(seed: u64, workers: usize) -> (SpanForest, Arc<RingSink>) {
+    let dag = DagSpec::parallel_for(48, 5_000, |i| 150_000 + (i as u64 % 5) * 40_000);
+    let sink = Arc::new(RingSink::with_ring_capacity(workers, 1 << 16));
+    let cfg = SimConfig::new(MachineSpec::system_a(), tempo(workers))
+        .with_seed(seed)
+        .with_telemetry(Arc::clone(&sink) as Arc<dyn TelemetrySink>);
+    run(&dag, &cfg).expect("sim run succeeds");
+    (SpanForest::from_sink(&sink), sink)
+}
+
+#[test]
+fn same_seed_yields_identical_span_fingerprints() {
+    let (a, _) = forest_for(42);
+    let (b, _) = forest_for(42);
+    assert!(!a.is_empty(), "the run produced spans");
+    assert_eq!(
+        a.fingerprint(),
+        b.fingerprint(),
+        "replaying a seed must reproduce the span timeline bit-for-bit"
+    );
+    assert_eq!(a, b, "not just the digest: the stitched forests match");
+    assert!(
+        a.cross_stream_hops() > 0,
+        "a 4-worker run steals, so hops are part of what is reproduced"
+    );
+}
+
+#[test]
+fn different_schedules_change_the_fingerprint() {
+    // Different worker counts produce different steal timelines by
+    // construction (a seed change alone may converge to the same
+    // schedule on a regular DAG — determinism cuts both ways).
+    let (a, _) = forest_on(42, 2);
+    let (b, _) = forest_on(42, 4);
+    assert_ne!(
+        a.fingerprint(),
+        b.fingerprint(),
+        "a different schedule must move the digest"
+    );
+}
+
+#[test]
+fn sim_trace_exports_and_validates() {
+    let (forest, sink) = forest_for(7);
+    let text = chrome_trace_json(&sink);
+    let stats = validate_chrome_trace(&text).expect("sim trace validates");
+    assert_eq!(
+        stats.span_slices,
+        forest.intervals(),
+        "one slice per stitched phase episode"
+    );
+    assert!(stats.flow_begins > 0, "steals draw arrows");
+}

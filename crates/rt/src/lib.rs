@@ -62,6 +62,10 @@ pub use pool::{
     Pool, PoolBuilder, RtStats,
 };
 pub use sysfs::{parse_available_frequencies, parse_energy_uj, RaplProbe, SysfsCpufreqDriver};
+// The live-metrics types `Pool::metrics` returns and the span-phase
+// vocabulary `spawn_future_traced` records, re-exported so callers
+// need no separate hermes-telemetry import.
+pub use hermes_telemetry::{MetricsSnapshot, SpanPhase, WorkerMetricsSample};
 // The shared topology model the pool's locality-aware victim selection
 // is configured with (see `PoolBuilder::topology`).
 pub use hermes_topology::{discover as discover_topology, Topology, VictimPolicy};

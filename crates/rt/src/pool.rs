@@ -8,7 +8,9 @@ use hermes_core::{
     WorkerId,
 };
 use hermes_deque::{Injector, LockFreeDeque, Steal, TaskDeque, TheDeque};
-use hermes_telemetry::{Event, StealOutcome, TelemetrySink, MACHINE_STREAM};
+use hermes_telemetry::{
+    Event, MetricsHub, MetricsSnapshot, SpanPhase, StealOutcome, TelemetrySink, MACHINE_STREAM,
+};
 use hermes_topology::{CoreId, Topology, VictimPolicy, VictimSelector};
 use parking_lot::{Condvar, Mutex};
 use rand::rngs::SmallRng;
@@ -348,6 +350,11 @@ impl PoolBuilder {
         if telemetry.is_some() {
             controller.set_tracing(true);
         }
+        // The live-metrics hub exists only alongside a real sink, so the
+        // null path never reads a clock or publishes a counter for it.
+        let metrics = telemetry
+            .is_some()
+            .then(|| Arc::new(MetricsHub::new(workers)));
         let inner = Arc::new(PoolInner {
             deques,
             injector: Injector::with_capacity(
@@ -367,6 +374,7 @@ impl PoolBuilder {
             last_profile_ns: AtomicU64::new(0),
             profile_period_ns,
             sink: telemetry,
+            metrics,
             selector,
             distances,
         });
@@ -495,7 +503,25 @@ impl Pool {
     where
         F: std::future::Future<Output = ()> + Send + 'static,
     {
-        FutureTask::spawn(&self.inner, future);
+        FutureTask::spawn(&self.inner, future, 0);
+    }
+
+    /// [`spawn_future`](Self::spawn_future) with a causal-span id.
+    ///
+    /// When a telemetry sink is attached, every lifecycle edge of the
+    /// task — queued, polled, parked between polls, woken, re-queued —
+    /// is recorded as [`Event::SpanBegin`]/[`Event::SpanEnd`] pairs
+    /// carrying `span`, so the request's full journey (including
+    /// cross-worker wake→re-push hops) can be stitched back together
+    /// from the event stream. `span` must be nonzero (0 means untraced,
+    /// the `spawn_future` default); ids wider than 56 bits are clamped
+    /// by the event encoding. Without a sink this is identical to
+    /// `spawn_future`.
+    pub fn spawn_future_traced<F>(&self, future: F, span: u64)
+    where
+        F: std::future::Future<Output = ()> + Send + 'static,
+    {
+        FutureTask::spawn(&self.inner, future, span);
     }
 
     /// Controller statistics so far.
@@ -508,6 +534,25 @@ impl Pool {
     #[must_use]
     pub fn stats(&self) -> RtStats {
         self.inner.stats.snapshot()
+    }
+
+    /// A live [`MetricsSnapshot`] — per-worker busy/steal/park time and
+    /// task counts (seqlock-published by the workers), plus the current
+    /// injector depth — without quiescing the pool. `None` unless a
+    /// telemetry sink is attached (the hub only exists alongside one;
+    /// see DESIGN.md §Observability). Serving layers wrap this and fill
+    /// in the request-level fields (`in_flight`, latency quantiles).
+    #[must_use]
+    pub fn metrics(&self) -> Option<MetricsSnapshot> {
+        let hub = self.inner.metrics.as_ref()?;
+        Some(MetricsSnapshot {
+            at_ns: self.elapsed_ns(),
+            workers: hub.sample(),
+            injector_depth: self.inner.injector.len(),
+            in_flight: 0,
+            latency_p50_ns: None,
+            latency_p99_ns: None,
+        })
     }
 
     /// Virtual energy consumed per worker, if the pool runs emulated DVFS.
@@ -665,6 +710,9 @@ pub(crate) struct PoolInner {
     profile_period_ns: u64,
     /// Telemetry destination; `None` keeps every event path dormant.
     sink: Option<Arc<dyn TelemetrySink>>,
+    /// Live-metrics hub (seqlock-published per-worker counters); exists
+    /// exactly when `sink` does, so the null path publishes nothing.
+    metrics: Option<Arc<MetricsHub>>,
     /// Victim-selection policy instantiated for this pool's placement.
     selector: Box<dyn VictimSelector>,
     /// Worker-to-worker steal distances under the configured topology.
@@ -785,6 +833,20 @@ impl PoolInner {
         !self.injector.is_empty() || self.deques.iter().any(|d| !d.is_empty())
     }
 
+    /// Record a causal-span edge for task `span` on the calling
+    /// thread's stream. No-op for untraced tasks (`span == 0`) and
+    /// sinkless pools, so the branch is the entire untraced cost.
+    pub(crate) fn record_span(self: &Arc<Self>, span: u64, begin: bool, phase: SpanPhase) {
+        if span == 0 {
+            return;
+        }
+        self.record_task_event(if begin {
+            Event::SpanBegin { id: span, phase }
+        } else {
+            Event::SpanEnd { id: span, phase }
+        });
+    }
+
     /// Record a task-lifecycle event on the calling thread's stream: the
     /// worker's own stream when the caller is a worker of this pool, the
     /// machine stream otherwise (wakes arriving from external threads).
@@ -881,6 +943,9 @@ impl PoolInner {
         if let Some(emu) = &self.emu {
             emu.account_parked(w, parked);
         }
+        if let Some(hub) = &self.metrics {
+            hub.add_parked_ns(w, parked_ns);
+        }
         if let Some(sink) = self.sink.as_deref() {
             sink.record(
                 w,
@@ -965,6 +1030,25 @@ impl PoolInner {
     /// `order` is the caller's reusable sweep buffer (each worker loop
     /// owns one, so the hot path never allocates).
     fn steal_job(&self, w: usize, rng: &mut SmallRng, order: &mut Vec<usize>) -> Option<JobRef> {
+        // Time the sweep only when the live-metrics hub exists; the
+        // sinkless steal path keeps its exact pre-metrics shape.
+        match &self.metrics {
+            None => self.steal_job_inner(w, rng, order),
+            Some(hub) => {
+                let t0 = Instant::now();
+                let job = self.steal_job_inner(w, rng, order);
+                hub.add_steal_ns(w, t0.elapsed().as_nanos() as u64);
+                job
+            }
+        }
+    }
+
+    fn steal_job_inner(
+        &self,
+        w: usize,
+        rng: &mut SmallRng,
+        order: &mut Vec<usize>,
+    ) -> Option<JobRef> {
         self.maybe_profile();
         self.with_controller(|ctl, act| ctl.on_out_of_work(WorkerId(w), act));
         let n = self.deques.len();
@@ -1029,8 +1113,15 @@ impl PoolInner {
         let t0 = Instant::now();
         // SAFETY: single-execution obligation forwarded to the caller.
         unsafe { job.execute() };
-        if let Some(emu) = &self.emu {
-            emu.account_and_dilate(w, t0.elapsed());
+        if self.emu.is_some() || self.metrics.is_some() {
+            let elapsed = t0.elapsed();
+            if let Some(emu) = &self.emu {
+                emu.account_and_dilate(w, elapsed);
+            }
+            if let Some(hub) = &self.metrics {
+                hub.add_busy_ns(w, elapsed.as_nanos() as u64);
+                hub.add_task(w);
+            }
         }
     }
 
@@ -1555,6 +1646,104 @@ mod tests {
         assert_eq!(totals.future_wakes, stats.future_wakes, "{stats:?}");
         assert_eq!(totals.future_repushes, stats.future_repushes, "{stats:?}");
         assert_eq!(stats.future_polls, 32 * 3);
+    }
+
+    #[test]
+    fn traced_futures_emit_balanced_spans() {
+        use hermes_telemetry::RingSink;
+        // Roomy rings: idle workers also record steal sweeps, and the
+        // zero-drop assert below needs the whole timeline retained.
+        let sink = Arc::new(RingSink::with_ring_capacity(2, 1 << 16));
+        let mut pool = Pool::builder()
+            .workers(2)
+            .telemetry(Arc::clone(&sink) as Arc<dyn TelemetrySink>)
+            .build();
+        let latches: Vec<_> = (0..16).map(|_| Arc::new(WakerLatch::new())).collect();
+        for (i, l) in latches.iter().enumerate() {
+            pool.spawn_future_traced(
+                YieldThenSet {
+                    yields: 2,
+                    latch: Arc::clone(l),
+                },
+                i as u64 + 1,
+            );
+        }
+        for l in &latches {
+            l.wait();
+        }
+        pool.stop();
+        let report = sink.report("span-unit", "rt", 0.0, 0.0);
+        let totals = report.totals();
+        // Per task: Queued begin/end per episode (3 episodes), Poll
+        // begin/end per poll (3), ParkWait begin/end per self-wake race
+        // (2) — every begin has exactly one end. The spawn-time Queued
+        // begin is recorded on the submitting thread, which is not a
+        // worker here, so it lands on the machine stream and is missing
+        // from the per-worker totals.
+        assert_eq!(totals.span_ends, 16 * (3 + 3 + 2), "{totals:?}");
+        assert_eq!(totals.span_begins, totals.span_ends - 16, "{totals:?}");
+        let machine_begins = sink
+            .ring(hermes_telemetry::MACHINE_STREAM)
+            .snapshot()
+            .iter()
+            .filter(|(_, e)| matches!(e, Event::SpanBegin { .. }))
+            .count();
+        assert_eq!(machine_begins, 16, "one spawn-time Queued begin per task");
+        assert_eq!(totals.dropped_events, 0, "ring kept the whole trace");
+        // Untraced spawns add no spans at all.
+        let quiet = Arc::new(RingSink::new(2));
+        let mut pool = Pool::builder()
+            .workers(2)
+            .telemetry(Arc::clone(&quiet) as Arc<dyn TelemetrySink>)
+            .build();
+        let latch = Arc::new(WakerLatch::new());
+        pool.spawn_future(YieldThenSet {
+            yields: 1,
+            latch: Arc::clone(&latch),
+        });
+        latch.wait();
+        pool.stop();
+        assert_eq!(quiet.report("q", "rt", 0.0, 0.0).totals().span_begins, 0);
+    }
+
+    #[test]
+    fn metrics_snapshot_is_live_and_gated_on_a_sink() {
+        use hermes_telemetry::{NullSink, RingSink};
+        // Structural "null path is free": no sink (or a NullSink) means
+        // no hub exists, so the hot paths cannot even reach a store.
+        assert!(Pool::new(1).metrics().is_none());
+        assert!(Pool::builder()
+            .workers(1)
+            .telemetry(Arc::new(NullSink) as Arc<dyn TelemetrySink>)
+            .build()
+            .metrics()
+            .is_none());
+        let sink = Arc::new(RingSink::new(2));
+        let pool = Pool::builder()
+            .workers(2)
+            .telemetry(sink as Arc<dyn TelemetrySink>)
+            .build();
+        pool.install(|| {
+            let mut v: Vec<u64> = (0..20_000).collect();
+            parallel_for(&mut v, 64, spin_work);
+        });
+        // Mid-run (the pool is NOT stopped): counters are visible.
+        let snap = pool.metrics().expect("sink attached means a hub");
+        assert_eq!(snap.workers.len(), 2);
+        assert!(snap.tasks() > 0, "{snap:?}");
+        assert!(snap.busy_ns() > 0, "{snap:?}");
+        assert!(snap.at_ns > 0);
+        let util = snap.utilization();
+        assert!((0.0..=1.0).contains(&util), "{util}");
+        // Counters are monotone across snapshots.
+        pool.install(|| {
+            let mut v: Vec<u64> = (0..20_000).collect();
+            parallel_for(&mut v, 64, spin_work);
+        });
+        let later = pool.metrics().unwrap();
+        assert!(later.tasks() >= snap.tasks());
+        assert!(later.busy_ns() >= snap.busy_ns());
+        assert!(later.at_ns > snap.at_ns);
     }
 
     /// Per-element work slow enough that a parallel region spans many OS

@@ -46,6 +46,7 @@
 
 use crate::job::JobRef;
 use crate::pool::PoolInner;
+use hermes_telemetry::SpanPhase;
 use std::cell::UnsafeCell;
 use std::future::Future;
 use std::panic::AssertUnwindSafe;
@@ -74,6 +75,10 @@ pub(crate) struct FutureTask<F> {
     /// `None` once complete; see the module invariants for why the
     /// state machine makes the cell data-race-free.
     future: UnsafeCell<Option<F>>,
+    /// Causal-span id threaded through the telemetry stream at every
+    /// lifecycle edge; 0 means untraced (the cost is one branch per
+    /// edge, see `PoolInner::record_span`).
+    span: u64,
 }
 
 // SAFETY: the future cell is only ever accessed by the unique holder of
@@ -87,13 +92,17 @@ impl<F> FutureTask<F>
 where
     F: Future<Output = ()> + Send + 'static,
 {
-    /// Queue `future` on `pool` as a freshly scheduled task.
-    pub(crate) fn spawn(pool: &Arc<PoolInner>, future: F) {
+    /// Queue `future` on `pool` as a freshly scheduled task. A nonzero
+    /// `span` threads a causal-span id through the event stream (see
+    /// `Pool::spawn_future_traced`); 0 traces nothing.
+    pub(crate) fn spawn(pool: &Arc<PoolInner>, future: F, span: u64) {
         let task = Arc::new(FutureTask {
             state: AtomicU8::new(SCHEDULED),
             pool: Arc::downgrade(pool),
             future: UnsafeCell::new(Some(future)),
+            span,
         });
+        pool.record_span(span, true, SpanPhase::Queued);
         pool.inject(task.into_job_ref());
     }
 
@@ -125,8 +134,11 @@ where
     fn poll_once(self: Arc<Self>) {
         let prev = self.state.swap(RUNNING, Ordering::SeqCst);
         debug_assert_eq!(prev, SCHEDULED, "queued task polled while not scheduled");
-        if let Some(pool) = self.pool.upgrade() {
+        let pool = self.pool.upgrade();
+        if let Some(pool) = &pool {
             pool.task_polled();
+            pool.record_span(self.span, false, SpanPhase::Queued);
+            pool.record_span(self.span, true, SpanPhase::Poll);
         }
         let waker = Waker::from(Arc::clone(&self));
         let mut cx = Context::from_waker(&waker);
@@ -139,12 +151,22 @@ where
         let pinned = unsafe { Pin::new_unchecked(fut) };
         match std::panic::catch_unwind(AssertUnwindSafe(|| pinned.poll(&mut cx))) {
             Ok(Poll::Ready(())) => {
+                if let Some(pool) = &pool {
+                    pool.record_span(self.span, false, SpanPhase::Poll);
+                }
                 // Drop the future in place *before* publishing COMPLETE;
                 // late wakes observe COMPLETE and no-op.
                 *slot = None;
                 self.state.store(COMPLETE, Ordering::SeqCst);
             }
             Ok(Poll::Pending) => {
+                // Open the park-wait span *before* the RUNNING→IDLE CAS:
+                // once IDLE is published a waker may close the span from
+                // its own thread, and the pairing stays begin-then-end.
+                if let Some(pool) = &pool {
+                    pool.record_span(self.span, false, SpanPhase::Poll);
+                    pool.record_span(self.span, true, SpanPhase::ParkWait);
+                }
                 // Park the task unless a wake landed during the poll, in
                 // which case it goes straight back to the queue: the
                 // wake may have raced with the future's own readiness
@@ -155,11 +177,18 @@ where
                     .is_err()
                 {
                     debug_assert_eq!(self.state.load(Ordering::SeqCst), NOTIFIED);
+                    // The wake beat the park: a zero-length park-wait.
+                    if let Some(pool) = &pool {
+                        pool.record_span(self.span, false, SpanPhase::ParkWait);
+                    }
                     self.state.store(SCHEDULED, Ordering::SeqCst);
                     self.reschedule();
                 }
             }
             Err(payload) => {
+                if let Some(pool) = &pool {
+                    pool.record_span(self.span, false, SpanPhase::Poll);
+                }
                 // A panicking future is dead: free it, then resume the
                 // panic on the worker like a panicking spawn closure.
                 *slot = None;
@@ -172,7 +201,8 @@ where
     /// The waker body: buy the task another poll, at most one queue
     /// entry at a time.
     fn wake_impl(self: &Arc<Self>) {
-        if let Some(pool) = self.pool.upgrade() {
+        let pool = self.pool.upgrade();
+        if let Some(pool) = &pool {
             pool.task_woken();
         }
         loop {
@@ -183,6 +213,12 @@ where
                         .compare_exchange(IDLE, SCHEDULED, Ordering::SeqCst, Ordering::SeqCst)
                         .is_ok()
                     {
+                        // Close the park-wait on the *waking* thread's
+                        // stream — this edge is the cross-worker hop the
+                        // trace exporter draws a flow arrow for.
+                        if let Some(pool) = &pool {
+                            pool.record_span(self.span, false, SpanPhase::ParkWait);
+                        }
                         return self.reschedule();
                     }
                 }
@@ -206,7 +242,10 @@ where
     /// Hand a freshly SCHEDULED task back to the pool's queues.
     fn reschedule(self: &Arc<Self>) {
         match self.pool.upgrade() {
-            Some(pool) => pool.repush(Arc::clone(self).into_job_ref()),
+            Some(pool) => {
+                pool.record_span(self.span, true, SpanPhase::Queued);
+                pool.repush(Arc::clone(self).into_job_ref());
+            }
             None => {
                 // The pool is gone: no worker will ever poll again.
                 // SAFETY: we hold the exclusive SCHEDULED claim with no
@@ -289,6 +328,7 @@ mod tests {
                 ready_after,
                 waker_slot: Arc::clone(&waker_slot),
             })),
+            span: 0,
         });
         Rig {
             polls,

@@ -63,6 +63,11 @@ mod ticket;
 mod timer;
 
 pub use loadgen::{run_open_loop, run_open_loop_async, OpenLoopRun, PoissonSchedule};
-pub use server::{Server, ServerBuilder};
+pub use server::{P99Breach, Server, ServerBuilder};
 pub use ticket::Ticket;
 pub use timer::{TimerSleep, VirtualTimer};
+// The observability companions a serving deployment wires in:
+// always-on flight recording ([`ServerBuilder::flight_recorder`]) and
+// the live snapshot type [`Server::metrics`] returns.
+pub use hermes_obs::{FlightDump, FlightRecorder};
+pub use hermes_rt::MetricsSnapshot;

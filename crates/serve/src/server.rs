@@ -2,14 +2,43 @@
 
 use crate::ticket::{Ticket, TicketInner};
 use hermes_core::TempoConfig;
-use hermes_rt::{current_worker_index, DequeKind, Pool, PoolBuilder};
+use hermes_obs::{FlightDump, FlightRecorder};
+use hermes_rt::{current_worker_index, DequeKind, MetricsSnapshot, Pool, PoolBuilder, SpanPhase};
 use hermes_telemetry::{Event, LatencyHistogram, LatencyRecorder, TelemetrySink, MACHINE_STREAM};
 use std::future::Future;
 use std::pin::Pin;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::task::{Context, Poll};
 use std::time::{Duration, Instant};
+
+/// How often the completion tail re-evaluates the rolling p99 against a
+/// configured budget: every this-many completions. Amortizes the
+/// histogram snapshot to noise while still catching a breach within one
+/// batch of its onset.
+const BREACH_CHECK_INTERVAL: u64 = 64;
+
+/// What [`ServerBuilder::p99_budget`] hands the breach callback.
+#[derive(Debug)]
+pub struct P99Breach {
+    /// The rolling 99th-percentile latency that crossed the budget, ns.
+    pub p99_ns: u64,
+    /// The configured budget, ns.
+    pub budget_ns: u64,
+    /// Requests completed when the breach was detected.
+    pub completed: u64,
+    /// The flight recorder's retained event tail at detection, when a
+    /// recorder is attached ([`ServerBuilder::flight_recorder`]) — the
+    /// recent scheduling history leading into the breach.
+    pub dump: Option<FlightDump>,
+}
+
+/// The armed p99-budget watch: budget, one-shot latch, callback.
+struct BreachWatch {
+    budget_ns: u64,
+    fired: AtomicBool,
+    callback: Box<dyn Fn(P99Breach) + Send + Sync>,
+}
 
 /// State shared between the server handle and every in-flight request
 /// closure or future.
@@ -18,12 +47,107 @@ struct ServeShared {
     completed: AtomicU64,
     in_flight: AtomicU64,
     latency: LatencyRecorder,
-    /// Telemetry destination for [`Event::RequestLatency`]; `None`
-    /// keeps the completion path free of event work.
+    /// Telemetry destination for [`Event::RequestLatency`] and the
+    /// request-level span edges; `None` keeps the completion path free
+    /// of event work.
     sink: Option<Arc<dyn TelemetrySink>>,
     /// Timestamp base for latency events (established at server build,
     /// a hair after the pool's own epoch).
     epoch: Instant,
+    /// The pool's clock reading at `epoch`: serve-side events stamp
+    /// `epoch_offset_ns + epoch.elapsed()` so they share the pool's
+    /// timebase and interleave correctly with scheduler events.
+    epoch_offset_ns: u64,
+    /// Next request span id; ids are minted only when a sink is
+    /// attached, starting at 1 (0 means untraced throughout the stack).
+    next_span: AtomicU64,
+    /// The always-on flight recorder, when attached.
+    flight: Option<Arc<FlightRecorder>>,
+    /// The p99 budget watch, when armed.
+    breach: Option<BreachWatch>,
+}
+
+impl ServeShared {
+    /// Now, on the pool's clock.
+    fn pool_now_ns(&self) -> u64 {
+        self.epoch_offset_ns + self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Mint the next request span id, or 0 (untraced) without a sink.
+    fn mint_span(&self) -> u64 {
+        if self.sink.is_some() {
+            self.next_span.fetch_add(1, Ordering::Relaxed) + 1
+        } else {
+            0
+        }
+    }
+
+    /// Record one span edge for request `span` on the calling thread's
+    /// stream (the submitting thread may be off-pool, landing on
+    /// [`MACHINE_STREAM`]). No-op for untraced requests.
+    fn record_span(&self, span: u64, begin: bool, phase: SpanPhase) {
+        if span == 0 {
+            return;
+        }
+        if let Some(sink) = &self.sink {
+            let event = if begin {
+                Event::SpanBegin { id: span, phase }
+            } else {
+                Event::SpanEnd { id: span, phase }
+            };
+            sink.record(
+                current_worker_index().unwrap_or(MACHINE_STREAM),
+                self.pool_now_ns(),
+                event,
+            );
+        }
+    }
+
+    /// First half of the completion tail, run *before* the ticket
+    /// resolves: latency record + telemetry event, terminal span edge.
+    fn record_completion(&self, span: u64, t0: Instant) {
+        let ns = t0.elapsed().as_nanos() as u64;
+        self.latency.record(ns);
+        if let Some(sink) = &self.sink {
+            // Attribute to the worker that completed the request;
+            // MACHINE_STREAM cannot occur in practice (requests run on
+            // workers) but keeps the fallback total-preserving.
+            sink.record(
+                current_worker_index().unwrap_or(MACHINE_STREAM),
+                self.pool_now_ns(),
+                Event::RequestLatency { ns },
+            );
+        }
+        self.record_span(span, false, SpanPhase::Complete);
+    }
+
+    /// Second half, run *after* the ticket resolves: the counters
+    /// `drain` watches, then the budget check.
+    fn count_completion(&self) {
+        let completed = self.completed.fetch_add(1, Ordering::Relaxed) + 1;
+        self.in_flight.fetch_sub(1, Ordering::SeqCst);
+        self.check_breach(completed);
+    }
+
+    /// Every [`BREACH_CHECK_INTERVAL`] completions, compare the rolling
+    /// p99 against the armed budget; fire the callback at most once.
+    fn check_breach(&self, completed: u64) {
+        let Some(watch) = &self.breach else { return };
+        if !completed.is_multiple_of(BREACH_CHECK_INTERVAL) || watch.fired.load(Ordering::Relaxed) {
+            return;
+        }
+        let Some(p99_ns) = self.latency.snapshot().p99() else {
+            return;
+        };
+        if p99_ns > watch.budget_ns && !watch.fired.swap(true, Ordering::SeqCst) {
+            (watch.callback)(P99Breach {
+                p99_ns,
+                budget_ns: watch.budget_ns,
+                completed,
+                dump: self.flight.as_ref().map(|f| f.dump()),
+            });
+        }
+    }
 }
 
 /// Builder for [`Server`]; a thin veneer over [`PoolBuilder`] exposing
@@ -38,6 +162,8 @@ pub struct ServerBuilder {
     deque: DequeKind,
     emulated: Option<(hermes_core::Frequency, f64)>,
     telemetry: Option<Arc<dyn TelemetrySink>>,
+    flight: Option<FlightRecorder>,
+    breach: Option<BreachWatch>,
 }
 
 impl std::fmt::Debug for ServerBuilder {
@@ -116,6 +242,41 @@ impl ServerBuilder {
         self
     }
 
+    /// Attach an always-on [`FlightRecorder`]: it becomes the server's
+    /// telemetry sink (replacing any sink set before it), keeps a
+    /// bounded tail of every worker's events, and its
+    /// [`dump`](FlightRecorder::dump) is wired into the two places a
+    /// post-mortem matters — the `Ticket::wait`-on-worker deadlock
+    /// panic, and the [`p99_budget`](Self::p99_budget) breach callback.
+    /// To also fold full reports or export traces, build the recorder
+    /// with [`FlightRecorder::around`] over your own
+    /// [`RingSink`](hermes_telemetry::RingSink).
+    #[must_use]
+    pub fn flight_recorder(mut self, recorder: FlightRecorder) -> Self {
+        self.telemetry = Some(Arc::new(recorder.clone()) as Arc<dyn TelemetrySink>);
+        self.flight = Some(recorder);
+        self
+    }
+
+    /// Arm a one-shot p99 latency budget: once the server's rolling
+    /// p99 exceeds `budget` (evaluated every few dozen completions),
+    /// `callback` fires exactly once with a [`P99Breach`] — including
+    /// the flight recorder's retained tail when one is attached. The
+    /// callback runs on the worker that completed the triggering
+    /// request, so it must be cheap and must not block.
+    #[must_use]
+    pub fn p99_budget<F>(mut self, budget: Duration, callback: F) -> Self
+    where
+        F: Fn(P99Breach) + Send + Sync + 'static,
+    {
+        self.breach = Some(BreachWatch {
+            budget_ns: budget.as_nanos() as u64,
+            fired: AtomicBool::new(false),
+            callback: Box::new(callback),
+        });
+        self
+    }
+
     /// Build the server (and its pool) and start serving.
     ///
     /// # Panics
@@ -145,15 +306,24 @@ impl ServerBuilder {
         if let Some(sink) = &self.telemetry {
             pool = pool.telemetry(Arc::clone(sink));
         }
+        let pool = pool.build();
+        let epoch = Instant::now();
+        // Read the pool clock at (essentially) the same instant as the
+        // serve epoch so serve-side events share the pool's timebase.
+        let epoch_offset_ns = pool.elapsed_ns();
         Server {
-            pool: pool.build(),
+            pool,
             shared: Arc::new(ServeShared {
                 submitted: AtomicU64::new(0),
                 completed: AtomicU64::new(0),
                 in_flight: AtomicU64::new(0),
                 latency: LatencyRecorder::new(),
                 sink: self.telemetry.filter(|s| !s.is_null()),
-                epoch: Instant::now(),
+                epoch,
+                epoch_offset_ns,
+                next_span: AtomicU64::new(0),
+                flight: self.flight.map(Arc::new),
+                breach: self.breach,
             }),
         }
     }
@@ -215,25 +385,21 @@ impl Server {
         let shared = Arc::clone(&self.shared);
         shared.submitted.fetch_add(1, Ordering::Relaxed);
         shared.in_flight.fetch_add(1, Ordering::SeqCst);
-        let (ticket, inner) = Ticket::new();
+        let (ticket, inner) = Ticket::new(shared.flight.clone());
         let t0 = Instant::now();
+        // Causal span: the inject phase brackets admission → execution
+        // start (queueing in the injector / a deque), then one poll
+        // phase covers the closure body, then the terminal complete.
+        let span = shared.mint_span();
+        shared.record_span(span, true, SpanPhase::Inject);
         self.pool.spawn(move || {
+            shared.record_span(span, false, SpanPhase::Inject);
+            shared.record_span(span, true, SpanPhase::Poll);
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(request));
-            let ns = t0.elapsed().as_nanos() as u64;
-            shared.latency.record(ns);
-            if let Some(sink) = &shared.sink {
-                // Attribute to the worker that completed the request;
-                // MACHINE_STREAM cannot occur in practice (requests run
-                // on workers) but keeps the fallback total-preserving.
-                sink.record(
-                    current_worker_index().unwrap_or(MACHINE_STREAM),
-                    shared.epoch.elapsed().as_nanos() as u64,
-                    Event::RequestLatency { ns },
-                );
-            }
+            shared.record_span(span, false, SpanPhase::Poll);
+            shared.record_completion(span, t0);
             inner.complete(outcome);
-            shared.completed.fetch_add(1, Ordering::Relaxed);
-            shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+            shared.count_completion();
         });
         ticket
     }
@@ -261,12 +427,23 @@ impl Server {
         let shared = Arc::clone(&self.shared);
         shared.submitted.fetch_add(1, Ordering::Relaxed);
         shared.in_flight.fetch_add(1, Ordering::SeqCst);
-        let (ticket, inner) = Ticket::new();
+        let (ticket, inner) = Ticket::new(shared.flight.clone());
         let t0 = Instant::now();
-        self.pool.spawn_future(RequestFuture {
-            request: Box::pin(request),
-            done: Some((shared, inner, t0)),
-        });
+        // Causal span: the serve layer brackets admission → first poll
+        // as the inject phase and marks the terminal complete; the rt
+        // task layer records the queued / poll / park-wait journey in
+        // between under the same id (`spawn_future_traced`).
+        let span = shared.mint_span();
+        shared.record_span(span, true, SpanPhase::Inject);
+        self.pool.spawn_future_traced(
+            RequestFuture {
+                request: Box::pin(request),
+                span,
+                inject_open: span != 0,
+                done: Some((shared, inner, t0)),
+            },
+            span,
+        );
         ticket
     }
 
@@ -292,6 +469,23 @@ impl Server {
     #[must_use]
     pub fn latency(&self) -> LatencyHistogram {
         self.shared.latency.snapshot()
+    }
+
+    /// A live [`MetricsSnapshot`] without quiescing anything:
+    /// [`Pool::metrics`] (per-worker busy/steal/park time, task counts,
+    /// injector depth — seqlock-published by the workers) completed
+    /// with the request-level view only the server has — in-flight
+    /// count and rolling latency quantiles. `None` unless a telemetry
+    /// sink is attached ([`ServerBuilder::telemetry`] or
+    /// [`ServerBuilder::flight_recorder`]).
+    #[must_use]
+    pub fn metrics(&self) -> Option<MetricsSnapshot> {
+        let mut snapshot = self.pool.metrics()?;
+        snapshot.in_flight = self.in_flight();
+        let hist = self.shared.latency.snapshot();
+        snapshot.latency_p50_ns = hist.p50();
+        snapshot.latency_p99_ns = hist.p99();
+        Some(snapshot)
     }
 
     /// The pool underneath, for scheduler statistics, energy totals,
@@ -357,6 +551,11 @@ impl Server {
 /// — no pin projection needed.
 struct RequestFuture<R> {
     request: Pin<Box<dyn Future<Output = R> + Send>>,
+    /// The request's causal span id (0 = untraced).
+    span: u64,
+    /// Whether the inject span is still open: the first poll closes it
+    /// (admission → execution start), whatever the poll returns.
+    inject_open: bool,
     /// Completion context, taken exactly once at the final poll. If the
     /// task is dropped unpolled (pool shut down), this drops too and
     /// the ticket's latch stays unset — exactly like a `submit` closure
@@ -369,6 +568,12 @@ impl<R> Future for RequestFuture<R> {
 
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
         let this = self.get_mut();
+        if this.inject_open {
+            this.inject_open = false;
+            if let Some((shared, _, _)) = &this.done {
+                shared.record_span(this.span, false, SpanPhase::Inject);
+            }
+        }
         let outcome = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             this.request.as_mut().poll(cx)
         })) {
@@ -380,21 +585,9 @@ impl<R> Future for RequestFuture<R> {
             .done
             .take()
             .expect("request future polled again after completion");
-        let ns = t0.elapsed().as_nanos() as u64;
-        shared.latency.record(ns);
-        if let Some(sink) = &shared.sink {
-            // Attribute to the worker whose poll completed the request;
-            // MACHINE_STREAM cannot occur in practice (polls run on
-            // workers) but keeps the fallback total-preserving.
-            sink.record(
-                current_worker_index().unwrap_or(MACHINE_STREAM),
-                shared.epoch.elapsed().as_nanos() as u64,
-                Event::RequestLatency { ns },
-            );
-        }
+        shared.record_completion(this.span, t0);
         inner.complete(outcome);
-        shared.completed.fetch_add(1, Ordering::Relaxed);
-        shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+        shared.count_completion();
         Poll::Ready(())
     }
 }
@@ -546,6 +739,196 @@ mod tests {
         // panicked outer request completed (as a panic outcome) too.
         server.drain();
         assert_eq!(server.completed(), 2);
+    }
+
+    #[test]
+    fn metrics_are_live_and_carry_request_state() {
+        use hermes_telemetry::RingSink;
+        let server = Server::builder().workers(2).build();
+        assert!(
+            server.metrics().is_none(),
+            "no sink, no metrics hub, no snapshot"
+        );
+        server.shutdown();
+
+        let sink = Arc::new(RingSink::new(2));
+        let server = Server::builder()
+            .workers(2)
+            .telemetry(sink as Arc<dyn TelemetrySink>)
+            .build();
+        // A request that holds until we've sampled mid-run metrics.
+        let gate = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let release = Arc::clone(&gate);
+        let slow = server.submit(move || {
+            while !release.load(Ordering::SeqCst) {
+                std::thread::yield_now();
+            }
+        });
+        for _ in 0..16 {
+            drop(server.submit(|| std::hint::black_box(7 * 6)));
+        }
+        // Mid-run: the slow request is admitted and unfinished.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let snapshot = loop {
+            let m = server.metrics().expect("sink attached");
+            if m.in_flight >= 1 && m.at_ns > 0 {
+                break m;
+            }
+            assert!(Instant::now() < deadline, "no live snapshot observed");
+            std::thread::yield_now();
+        };
+        assert!(snapshot.in_flight >= 1, "slow request still in flight");
+        assert_eq!(snapshot.workers.len(), 2);
+        assert!(snapshot.utilization() >= 0.0 && snapshot.utilization() <= 1.0);
+        gate.store(true, Ordering::SeqCst);
+        slow.wait();
+        server.drain();
+        let settled = server.metrics().expect("sink attached");
+        assert_eq!(settled.in_flight, 0);
+        assert!(settled.latency_p50_ns.is_some(), "17 latencies recorded");
+        assert!(settled.latency_p99_ns.is_some());
+        assert!(settled.tasks() >= 17, "every request executed on a worker");
+        let text = hermes_obs::prometheus_text(&settled, "hermes");
+        assert!(text.contains("hermes_requests_in_flight 0"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn request_spans_stitch_and_reconcile_with_counters() {
+        use hermes_obs::SpanForest;
+        use hermes_telemetry::{RingSink, SpanPhase};
+        const SYNC: u64 = 12;
+        const ASYNC: u64 = 9;
+        // Pend once, waking immediately: forces every async request
+        // through a park-wait/wake/re-queue round so the stitched spans
+        // exercise the full task lifecycle.
+        struct YieldOnce(bool);
+        impl Future for YieldOnce {
+            type Output = ();
+            fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+                if self.0 {
+                    Poll::Ready(())
+                } else {
+                    self.0 = true;
+                    cx.waker().wake_by_ref();
+                    Poll::Pending
+                }
+            }
+        }
+        let sink = Arc::new(RingSink::with_ring_capacity(2, 1 << 16));
+        let mut server = Server::builder()
+            .workers(2)
+            .telemetry(Arc::clone(&sink) as Arc<dyn TelemetrySink>)
+            .build();
+        let tickets: Vec<_> = (0..SYNC).map(|i| server.submit(move || i * 2)).collect();
+        let async_tickets: Vec<_> = (0..ASYNC)
+            .map(|i| {
+                server.submit_async(async move {
+                    YieldOnce(false).await;
+                    i * 3
+                })
+            })
+            .collect();
+        for (i, t) in tickets.into_iter().enumerate() {
+            assert_eq!(t.wait(), i as u64 * 2);
+        }
+        for (i, t) in async_tickets.into_iter().enumerate() {
+            assert_eq!(t.wait(), i as u64 * 3);
+        }
+        server.stop();
+
+        let forest = SpanForest::from_sink(&sink);
+        assert_eq!(
+            forest.len() as u64,
+            SYNC + ASYNC,
+            "one span per request, sync and async alike"
+        );
+        let mut completed = 0;
+        for span in &forest.spans {
+            // Every request's journey starts with an inject episode
+            // (admission → execution start) and ends with the terminal
+            // complete instant.
+            assert_eq!(
+                span.phase_intervals(SpanPhase::Inject).len(),
+                1,
+                "span {} inject episodes",
+                span.id
+            );
+            assert!(
+                !span.phase_intervals(SpanPhase::Poll).is_empty(),
+                "span {} was polled/executed",
+                span.id
+            );
+            completed += u64::from(span.completed_at.is_some());
+        }
+        assert_eq!(completed, SYNC + ASYNC, "every span terminated");
+        // Async requests additionally ride the rt task layer: their
+        // queued episodes come from `spawn_future_traced`.
+        let queued_spans = forest
+            .spans
+            .iter()
+            .filter(|s| !s.phase_intervals(SpanPhase::Queued).is_empty())
+            .count() as u64;
+        assert_eq!(queued_spans, ASYNC);
+        // Nothing was lost: zero ring drops, so the reconciliation
+        // above was over the complete record.
+        let report = sink.report("serve-spans", "rt", 0.1, 0.0);
+        assert_eq!(report.totals().dropped_events, 0);
+        assert_eq!(report.latency_hist.count(), SYNC + ASYNC);
+    }
+
+    #[test]
+    fn p99_budget_breach_fires_once_with_flight_dump() {
+        use hermes_obs::FlightRecorder;
+        use parking_lot::Mutex;
+        let breaches: Arc<Mutex<Vec<P99Breach>>> = Arc::new(Mutex::new(Vec::new()));
+        let seen = Arc::clone(&breaches);
+        let mut server = Server::builder()
+            .workers(2)
+            .flight_recorder(FlightRecorder::new(2))
+            // Zero budget: the first check (64 completions in) breaches.
+            .p99_budget(Duration::ZERO, move |b| seen.lock().push(b))
+            .build();
+        for _ in 0..(3 * BREACH_CHECK_INTERVAL) {
+            drop(server.submit(|| std::hint::black_box(1 + 1)));
+        }
+        server.stop();
+        let breaches = breaches.lock();
+        assert_eq!(breaches.len(), 1, "one-shot latch: exactly one callback");
+        let breach = &breaches[0];
+        assert!(breach.p99_ns > 0, "a real quantile crossed the budget");
+        assert_eq!(breach.budget_ns, 0);
+        assert_eq!(breach.completed % BREACH_CHECK_INTERVAL, 0);
+        let dump = breach.dump.as_ref().expect("recorder attached");
+        assert!(!dump.is_empty(), "the dump carries scheduling history");
+    }
+
+    #[test]
+    fn deadlock_panic_carries_the_flight_recorder_tail() {
+        use hermes_obs::FlightRecorder;
+        let server = Arc::new(
+            Server::builder()
+                .workers(1)
+                .flight_recorder(FlightRecorder::new(1))
+                .build(),
+        );
+        let inner_server = Arc::clone(&server);
+        let outer = server.submit(move || {
+            let inner = inner_server.submit(|| 1u32);
+            inner.wait()
+        });
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || outer.wait()))
+            .unwrap_err();
+        let msg = err
+            .downcast_ref::<String>()
+            .expect("guard panics with a formatted message");
+        assert!(msg.contains("deadlock"), "still diagnoses: {msg}");
+        assert!(
+            msg.contains("flight-recorder events"),
+            "and now ships the post-mortem: {msg}"
+        );
+        assert!(msg.contains("worker 0"), "events name their stream: {msg}");
+        server.drain();
     }
 
     #[test]

@@ -1,12 +1,18 @@
 //! Completion tickets handed out by [`Server::submit`](crate::Server::submit)
 //! and [`Server::submit_async`](crate::Server::submit_async).
 
+use hermes_obs::FlightRecorder;
 use hermes_rt::{current_worker_index, WakerLatch};
 use parking_lot::Mutex;
 use std::future::Future;
 use std::pin::Pin;
 use std::sync::Arc;
 use std::task::{Context, Poll};
+
+/// How many flight-recorder entries the deadlock panic appends: enough
+/// recent history to see what every worker was doing, small enough to
+/// stay readable in a panic message.
+const PANIC_DUMP_TAIL: usize = 48;
 
 /// What a request left behind: its value, or the payload of the panic
 /// that killed it.
@@ -44,14 +50,19 @@ impl<R> TicketInner<R> {
 /// only the return value is discarded (fire-and-forget submission).
 pub struct Ticket<R> {
     inner: Arc<TicketInner<R>>,
+    /// The server's flight recorder, when one is attached: the
+    /// deadlock-guard panic in [`wait`](Self::wait) appends its
+    /// retained event tail so the post-mortem ships with the panic.
+    flight: Option<Arc<FlightRecorder>>,
 }
 
 impl<R> Ticket<R> {
-    pub(crate) fn new() -> (Ticket<R>, Arc<TicketInner<R>>) {
+    pub(crate) fn new(flight: Option<Arc<FlightRecorder>>) -> (Ticket<R>, Arc<TicketInner<R>>) {
         let inner = Arc::new(TicketInner::new());
         (
             Ticket {
                 inner: Arc::clone(&inner),
+                flight,
             },
             inner,
         )
@@ -80,12 +91,25 @@ impl<R> Ticket<R> {
     /// [`Server::submit`](crate::Server::submit)).
     pub fn wait(self) -> R {
         if let Some(w) = current_worker_index() {
-            panic!(
+            let mut msg = format!(
                 "Ticket::wait() called on pool worker {w}: blocking a worker \
                  on another request can deadlock the pool (the waited-on \
                  request may be queued behind this very thread). `.await` the \
                  ticket inside a submit_async future, or poll is_done()."
             );
+            if let Some(flight) = &self.flight {
+                let dump = flight.dump();
+                msg.push_str(&format!(
+                    "\nlast {} flight-recorder events ({} retained, {} overwritten):",
+                    PANIC_DUMP_TAIL.min(dump.len()),
+                    dump.len(),
+                    dump.dropped
+                ));
+                for entry in dump.tail(PANIC_DUMP_TAIL) {
+                    msg.push_str(&format!("\n  {entry}"));
+                }
+            }
+            panic!("{msg}");
         }
         self.inner.latch.wait();
         self.take_outcome()
@@ -139,7 +163,7 @@ mod tests {
 
     #[test]
     fn ticket_resolves_after_complete() {
-        let (ticket, inner) = Ticket::new();
+        let (ticket, inner) = Ticket::new(None);
         assert!(!ticket.is_done());
         inner.complete(Ok(41 + 1));
         assert!(ticket.is_done());
@@ -148,7 +172,7 @@ mod tests {
 
     #[test]
     fn ticket_wait_blocks_until_cross_thread_completion() {
-        let (ticket, inner) = Ticket::new();
+        let (ticket, inner) = Ticket::new(None);
         let h = std::thread::spawn(move || {
             std::thread::sleep(std::time::Duration::from_millis(15));
             inner.complete(Ok("served"));
@@ -159,7 +183,7 @@ mod tests {
 
     #[test]
     fn panicked_request_resumes_on_the_waiter() {
-        let (ticket, inner) = Ticket::<()>::new();
+        let (ticket, inner) = Ticket::<()>::new(None);
         inner.complete(Err(Box::new("request blew up")));
         let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || ticket.wait()))
             .unwrap_err();
@@ -168,7 +192,7 @@ mod tests {
 
     #[test]
     fn awaiting_a_completed_ticket_is_ready_immediately() {
-        let (ticket, inner) = Ticket::new();
+        let (ticket, inner) = Ticket::new(None);
         inner.complete(Ok(7u32));
         let waker = std::task::Waker::noop();
         let mut cx = Context::from_waker(waker);
@@ -178,7 +202,7 @@ mod tests {
 
     #[test]
     fn pending_ticket_registers_and_is_woken_by_complete() {
-        let (ticket, inner) = Ticket::new();
+        let (ticket, inner) = Ticket::new(None);
         let waker = std::task::Waker::noop();
         let mut cx = Context::from_waker(waker);
         let mut ticket = Box::pin(ticket);

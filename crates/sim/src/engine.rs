@@ -5,7 +5,7 @@ use crate::{
     Action, CoreId, DagSpec, Mapping, NodeId, PowerMeter, SchedStats, SimConfig, SimReport, SimTime,
 };
 use hermes_core::{Frequency, FrequencyActuator, TempoChange, TempoController, WorkerId};
-use hermes_telemetry::{Event, StealOutcome, TelemetrySink};
+use hermes_telemetry::{Event, SpanPhase, StealOutcome, TelemetrySink};
 use hermes_topology::VictimSelector;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -294,6 +294,7 @@ impl<'a> Engine<'a> {
             stalled_until: SimTime::ZERO,
         });
         self.stats.tasks_executed += 1;
+        self.record_span(0, root, true, SpanPhase::Poll);
         self.run_frame(0);
         for w in 1..self.workers.len() {
             let gen = self.workers[w].gen;
@@ -396,6 +397,28 @@ impl<'a> Engine<'a> {
                 },
             );
         }
+    }
+
+    /// Record one causal-span edge for frame `fidx` on worker `w`'s
+    /// stream at virtual instant `at_ns`. Span ids are `fidx + 1` (0
+    /// means untraced by convention); pure recording, so traced and
+    /// untraced runs schedule identically and the span timeline is a
+    /// deterministic function of the seed.
+    fn record_span_at(&self, w: usize, at_ns: u64, fidx: usize, begin: bool, phase: SpanPhase) {
+        if let Some(sink) = self.sink.as_deref() {
+            let id = fidx as u64 + 1;
+            let event = if begin {
+                Event::SpanBegin { id, phase }
+            } else {
+                Event::SpanEnd { id, phase }
+            };
+            sink.record(w, at_ns, event);
+        }
+    }
+
+    /// [`record_span_at`](Self::record_span_at) at the current instant.
+    fn record_span(&self, w: usize, fidx: usize, begin: bool, phase: SpanPhase) {
+        self.record_span_at(w, self.now.ns(), fidx, begin, phase);
     }
 
     fn push_event(&mut self, at: SimTime, kind: EvKind) {
@@ -607,6 +630,7 @@ impl<'a> Engine<'a> {
                 // Implicit sync before return (fully strict).
                 if self.frames[fidx].pending > 0 {
                     self.frames[fidx].waiting = true;
+                    self.record_span(w, fidx, false, SpanPhase::Poll);
                     self.workers[w].current = None;
                     self.next_task(w);
                     return;
@@ -642,10 +666,16 @@ impl<'a> Engine<'a> {
                     self.frames[fidx].pending += 1;
                     self.workers[w].deque.push_back(fidx);
                     self.stats.pushes += 1;
+                    // The continuation is queued from this instant; the
+                    // frame's own poll span hands over to the child
+                    // (continuation stealing: descending IS the spawn).
+                    self.record_span(w, fidx, true, SpanPhase::Queued);
+                    self.record_span(w, fidx, false, SpanPhase::Poll);
                     let len = self.workers[w].deque.len();
                     self.ctl.on_push(WorkerId(w), len, &mut self.pending);
                     self.apply_pending();
                     let child_frame = self.new_frame(child, Some(fidx));
+                    self.record_span(w, child_frame, true, SpanPhase::Poll);
                     let r = self.workers[w].current.as_mut().expect("running");
                     r.frame = child_frame;
                     continue;
@@ -656,6 +686,7 @@ impl<'a> Engine<'a> {
                         continue;
                     }
                     self.frames[fidx].waiting = true;
+                    self.record_span(w, fidx, false, SpanPhase::Poll);
                     self.workers[w].current = None;
                     self.next_task(w);
                     return;
@@ -683,6 +714,7 @@ impl<'a> Engine<'a> {
     /// waiting parent needed, the completing worker resumes the parent
     /// (the "provably good steal" continuation rule).
     fn complete_frame(&mut self, w: usize, fidx: usize) -> FrameOutcome {
+        self.record_span(w, fidx, false, SpanPhase::Poll);
         match self.frames[fidx].parent {
             None => {
                 // Root done: stop the virtual world.
@@ -695,6 +727,9 @@ impl<'a> Engine<'a> {
                 self.frames[p].pending -= 1;
                 if self.frames[p].waiting && self.frames[p].pending == 0 {
                     self.frames[p].waiting = false;
+                    // The completing worker resumes the parent: a fresh
+                    // poll episode on the adopter's stream.
+                    self.record_span(w, p, true, SpanPhase::Poll);
                     let r = self.workers[w].current.as_mut().expect("running");
                     r.frame = p;
                     // Continue the parent past its sync in the same loop.
@@ -717,6 +752,7 @@ impl<'a> Engine<'a> {
         if let Some(fidx) = self.workers[w].deque.pop_back() {
             self.stats.pops += 1;
             self.stats.tasks_executed += 1;
+            self.record_span(w, fidx, false, SpanPhase::Queued);
             let len = self.workers[w].deque.len();
             self.ctl.on_pop(WorkerId(w), len, &mut self.pending);
             self.apply_pending();
@@ -752,6 +788,19 @@ impl<'a> Engine<'a> {
                 self.stats.steals += 1;
                 self.stats.tasks_executed += 1;
                 self.record_steal(w, v, StealOutcome::Success);
+                // The queue episode ends on the thief's stream (the
+                // cross-worker hop the exporter draws an arrow for),
+                // and the transfer cost gets its own steal bracket over
+                // the acquisition stall begin_work imposes.
+                self.record_span(w, fidx, false, SpanPhase::Queued);
+                self.record_span(w, fidx, true, SpanPhase::Steal);
+                self.record_span_at(
+                    w,
+                    self.now.ns() + self.cfg.steal_cost_ns,
+                    fidx,
+                    false,
+                    SpanPhase::Steal,
+                );
                 let victim_len = self.workers[v].deque.len();
                 self.ctl
                     .on_steal(WorkerId(w), WorkerId(v), victim_len, &mut self.pending);
@@ -778,6 +827,10 @@ impl<'a> Engine<'a> {
             stall += affinity_ns;
             self.migrate(w);
         }
+        // The poll episode opens at acquisition; the stall (steal cost,
+        // migration affinity) is part of the episode — that is exactly
+        // the overhead the steal bracket above makes visible inside it.
+        self.record_span(w, fidx, true, SpanPhase::Poll);
         self.workers[w].current = Some(Running {
             frame: fidx,
             cycles_left: 0.0,
@@ -1029,6 +1082,56 @@ mod tests {
         );
         // Schema round-trip.
         assert_eq!(RunReport::from_json(&report.to_json()).unwrap(), report);
+    }
+
+    #[test]
+    fn span_events_reconcile_with_sched_stats() {
+        use hermes_telemetry::{RingSink, TelemetrySink};
+        use std::sync::Arc;
+        let dag = quick_dag();
+        let workers = 8;
+        let sink = Arc::new(RingSink::with_ring_capacity(workers, 1 << 16));
+        let cfg = SimConfig::new(MachineSpec::system_a(), tempo(Policy::Unified, workers))
+            .with_telemetry(Arc::clone(&sink) as Arc<dyn TelemetrySink>);
+        let r = run(&dag, &cfg).unwrap();
+        let report = sink.report("sim-spans", "sim", r.elapsed.seconds(), r.energy_j);
+        let totals = report.totals();
+        assert_eq!(totals.dropped_events, 0, "nothing truncated: exact record");
+        assert_eq!(
+            totals.span_begins, totals.span_ends,
+            "every phase episode closes (the root completes, so every frame does)"
+        );
+        // Per-phase reconciliation against the scheduler counters.
+        let mut begins = [0u64; 3];
+        let mut ends = [0u64; 3];
+        let phase_slot = |phase: SpanPhase| match phase {
+            SpanPhase::Queued => 0,
+            SpanPhase::Steal => 1,
+            SpanPhase::Poll => 2,
+            other => panic!("sim never records {other:?}"),
+        };
+        for w in 0..workers {
+            for (_, ev) in sink.ring(w).snapshot() {
+                match ev {
+                    Event::SpanBegin { phase, .. } => begins[phase_slot(phase)] += 1,
+                    Event::SpanEnd { phase, .. } => ends[phase_slot(phase)] += 1,
+                    _ => {}
+                }
+            }
+        }
+        assert_eq!(begins[0], r.sched.pushes, "one queue episode per push");
+        assert_eq!(
+            ends[0],
+            r.sched.pops + r.sched.steals,
+            "every queued continuation is popped or stolen"
+        );
+        assert_eq!(begins[1], r.sched.steals, "one steal bracket per steal");
+        assert_eq!(ends[1], r.sched.steals);
+        assert_eq!(begins[2], ends[2], "poll episodes balance");
+        assert!(
+            begins[2] > r.sched.pushes,
+            "pops, children, and adoptions all poll"
+        );
     }
 
     #[test]

@@ -32,6 +32,56 @@ impl StealOutcome {
     }
 }
 
+/// Lifecycle phase of a causal span (`hermes-obs` tracing).
+///
+/// A span id is minted once per request or spawned task; the host then
+/// brackets each phase of that task's life with a
+/// [`Event::SpanBegin`]/[`Event::SpanEnd`] pair carrying the same id.
+/// [`Complete`](SpanPhase::Complete) is terminal and instant-like: only
+/// a `SpanEnd` is recorded for it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SpanPhase {
+    /// Admission: submit-time until the pool accepts the work.
+    Inject,
+    /// Sitting in a deque or the injector waiting for an executor.
+    Queued,
+    /// Being transferred by a thief (simulator: the steal-cost stall).
+    Steal,
+    /// An executor is running the task (one poll episode, or the whole
+    /// closure for run-once requests).
+    Poll,
+    /// Pending off-queue: the task parked its waker and occupies no
+    /// worker; ends on the stream that fired the wake.
+    ParkWait,
+    /// Terminal marker: the request's result was published.
+    Complete,
+}
+
+impl SpanPhase {
+    /// All phases, in code order.
+    pub const ALL: [SpanPhase; 6] = [
+        SpanPhase::Inject,
+        SpanPhase::Queued,
+        SpanPhase::Steal,
+        SpanPhase::Poll,
+        SpanPhase::ParkWait,
+        SpanPhase::Complete,
+    ];
+
+    /// Short label for reports and trace exporters.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            SpanPhase::Inject => "inject",
+            SpanPhase::Queued => "queued",
+            SpanPhase::Steal => "steal",
+            SpanPhase::Poll => "poll",
+            SpanPhase::ParkWait => "park_wait",
+            SpanPhase::Complete => "complete",
+        }
+    }
+}
+
 /// One telemetry event, attributed by the recording host to a worker
 /// stream (or the machine stream) and a host-defined timestamp.
 ///
@@ -98,6 +148,24 @@ pub enum Event {
     /// (wake while idle) or by the poller itself (wake raced with the
     /// poll). Recorded on the stream that performed the re-push.
     TaskRepush,
+    /// A causal span entered `phase` (see [`SpanPhase`]). `id` is the
+    /// request/task identity minted at submit or spawn; 56 bits are
+    /// encoded, so hosts must mint below 2^56 (a monotone counter takes
+    /// two millennia at a billion requests per second).
+    SpanBegin {
+        /// Span identity (request or task id).
+        id: u64,
+        /// The phase being entered.
+        phase: SpanPhase,
+    },
+    /// A causal span left `phase`. For [`SpanPhase::Complete`] this is
+    /// the terminal instant — no matching begin exists.
+    SpanEnd {
+        /// Span identity (request or task id).
+        id: u64,
+        /// The phase being left.
+        phase: SpanPhase,
+    },
 }
 
 impl Event {
@@ -124,9 +192,14 @@ const TAG_LATENCY: u64 = 7;
 const TAG_TASK_POLL: u64 = 8;
 const TAG_TASK_WAKE: u64 = 9;
 const TAG_TASK_REPUSH: u64 = 10;
+const TAG_SPAN_BEGIN: u64 = 11;
+const TAG_SPAN_END: u64 = 12;
 
 const PAYLOAD_MASK: u64 = (1 << TAG_SHIFT) - 1;
 const FREQ_MASK: u64 = (1 << 48) - 1;
+/// Span payload layout: bits 0..56 hold the id, bits 56..59 the phase.
+const SPAN_ID_MASK: u64 = (1 << 56) - 1;
+const SPAN_PHASE_SHIFT: u32 = 56;
 
 fn outcome_code(o: StealOutcome) -> u64 {
     match o {
@@ -143,6 +216,33 @@ fn kind_code(k: TransitionKind) -> u64 {
         TransitionKind::WorkloadUp => 2,
         TransitionKind::WorkloadDown => 3,
     }
+}
+
+fn phase_code(p: SpanPhase) -> u64 {
+    match p {
+        SpanPhase::Inject => 0,
+        SpanPhase::Queued => 1,
+        SpanPhase::Steal => 2,
+        SpanPhase::Poll => 3,
+        SpanPhase::ParkWait => 4,
+        SpanPhase::Complete => 5,
+    }
+}
+
+fn phase_from_code(code: u64) -> Option<SpanPhase> {
+    Some(match code {
+        0 => SpanPhase::Inject,
+        1 => SpanPhase::Queued,
+        2 => SpanPhase::Steal,
+        3 => SpanPhase::Poll,
+        4 => SpanPhase::ParkWait,
+        5 => SpanPhase::Complete,
+        _ => return None,
+    })
+}
+
+fn span_payload(id: u64, phase: SpanPhase) -> u64 {
+    (phase_code(phase) << SPAN_PHASE_SHIFT) | id.min(SPAN_ID_MASK)
 }
 
 impl Event {
@@ -172,6 +272,10 @@ impl Event {
             Event::TaskPoll => TAG_TASK_POLL << TAG_SHIFT,
             Event::TaskWake => TAG_TASK_WAKE << TAG_SHIFT,
             Event::TaskRepush => TAG_TASK_REPUSH << TAG_SHIFT,
+            Event::SpanBegin { id, phase } => {
+                (TAG_SPAN_BEGIN << TAG_SHIFT) | span_payload(id, phase)
+            }
+            Event::SpanEnd { id, phase } => (TAG_SPAN_END << TAG_SHIFT) | span_payload(id, phase),
         }
     }
 
@@ -216,6 +320,14 @@ impl Event {
             TAG_TASK_POLL if payload == 0 => Some(Event::TaskPoll),
             TAG_TASK_WAKE if payload == 0 => Some(Event::TaskWake),
             TAG_TASK_REPUSH if payload == 0 => Some(Event::TaskRepush),
+            TAG_SPAN_BEGIN => Some(Event::SpanBegin {
+                id: payload & SPAN_ID_MASK,
+                phase: phase_from_code(payload >> SPAN_PHASE_SHIFT)?,
+            }),
+            TAG_SPAN_END => Some(Event::SpanEnd {
+                id: payload & SPAN_ID_MASK,
+                phase: phase_from_code(payload >> SPAN_PHASE_SHIFT)?,
+            }),
             _ => None,
         }
     }
@@ -274,15 +386,61 @@ mod tests {
         for ev in events {
             assert_eq!(Event::decode(ev.encode()), Some(ev), "{ev:?}");
         }
+        // Every (phase, begin/end) span combination round-trips too.
+        for phase in SpanPhase::ALL {
+            for id in [0u64, 1, 12_345, SPAN_ID_MASK] {
+                for ev in [Event::SpanBegin { id, phase }, Event::SpanEnd { id, phase }] {
+                    assert_eq!(Event::decode(ev.encode()), Some(ev), "{ev:?}");
+                }
+            }
+        }
     }
 
     #[test]
     fn vacant_sentinel_decodes_to_none() {
         assert_eq!(Event::decode(0), None);
-        // Unknown tag.
-        assert_eq!(Event::decode(11 << TAG_SHIFT), None);
+        // Unknown tags (13-15 are unassigned).
+        assert_eq!(Event::decode(13 << TAG_SHIFT), None);
+        assert_eq!(Event::decode(15 << TAG_SHIFT), None);
         // Steal with an invalid outcome code.
         assert_eq!(Event::decode((TAG_STEAL << TAG_SHIFT) | (3 << 32)), None);
+        // Span words with an invalid phase code (6, 7).
+        assert_eq!(
+            Event::decode((TAG_SPAN_BEGIN << TAG_SHIFT) | (6 << SPAN_PHASE_SHIFT)),
+            None
+        );
+        assert_eq!(
+            Event::decode((TAG_SPAN_END << TAG_SHIFT) | (7 << SPAN_PHASE_SHIFT) | 42),
+            None
+        );
+    }
+
+    #[test]
+    fn span_ids_saturate_at_fifty_six_bits() {
+        // Oversized ids clamp to the field maximum instead of bleeding
+        // into the phase bits or the tag.
+        for id in [u64::MAX, SPAN_ID_MASK + 1] {
+            match Event::decode(
+                Event::SpanBegin {
+                    id,
+                    phase: SpanPhase::Poll,
+                }
+                .encode(),
+            ) {
+                Some(Event::SpanBegin { id, phase }) => {
+                    assert_eq!(id, SPAN_ID_MASK);
+                    assert_eq!(phase, SpanPhase::Poll);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn phase_labels_are_distinct() {
+        let labels: std::collections::HashSet<_> =
+            SpanPhase::ALL.iter().map(|p| p.label()).collect();
+        assert_eq!(labels.len(), SpanPhase::ALL.len());
     }
 
     #[test]

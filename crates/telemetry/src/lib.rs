@@ -43,14 +43,16 @@
 mod event;
 pub mod json;
 mod latency;
+mod metrics;
 mod report;
 mod ring;
 mod sink;
 
-pub use event::{Event, StealOutcome};
+pub use event::{Event, SpanPhase, StealOutcome};
 pub use latency::{
     bucket_index, bucket_lower_bound, LatencyHistogram, LatencyRecorder, NUM_BUCKETS,
 };
+pub use metrics::{MetricsHub, MetricsSnapshot, WorkerMetricsSample};
 pub use report::{RunReport, TransitionMix, WorkerTelemetry};
 pub use ring::{EventRing, DEFAULT_RING_CAPACITY};
 pub use sink::{NullSink, RingSink, TelemetrySink, MACHINE_STREAM};

@@ -30,6 +30,14 @@ pub struct WorkerTelemetry {
     /// Future tasks re-enqueued from this stream (wake while idle, or a
     /// wake that raced with the poll).
     pub future_repushes: u64,
+    /// Causal-span phase openings recorded on this stream.
+    pub span_begins: u64,
+    /// Causal-span phase closings recorded on this stream.
+    pub span_ends: u64,
+    /// Events lost to ring overflow on this stream. Tallied counters
+    /// stay exact regardless; a nonzero value only means the *event
+    /// timeline* (flight recorder, trace export) is truncated.
+    pub dropped_events: u64,
 }
 
 impl WorkerTelemetry {
@@ -154,6 +162,9 @@ impl RunReport {
             t.future_polls += w.future_polls;
             t.future_wakes += w.future_wakes;
             t.future_repushes += w.future_repushes;
+            t.span_begins += w.span_begins;
+            t.span_ends += w.span_ends;
+            t.dropped_events += w.dropped_events;
         }
         t
     }
@@ -397,6 +408,9 @@ fn worker_to_value(w: &WorkerTelemetry) -> Value {
         ("future_polls", Value::Num(w.future_polls as f64)),
         ("future_wakes", Value::Num(w.future_wakes as f64)),
         ("future_repushes", Value::Num(w.future_repushes as f64)),
+        ("span_begins", Value::Num(w.span_begins as f64)),
+        ("span_ends", Value::Num(w.span_ends as f64)),
+        ("dropped_events", Value::Num(w.dropped_events as f64)),
     ])
 }
 
@@ -430,6 +444,9 @@ fn worker_from_value(v: &Value) -> Result<WorkerTelemetry, JsonError> {
         future_polls: num_or_zero("future_polls"),
         future_wakes: num_or_zero("future_wakes"),
         future_repushes: num_or_zero("future_repushes"),
+        span_begins: num_or_zero("span_begins"),
+        span_ends: num_or_zero("span_ends"),
+        dropped_events: num_or_zero("dropped_events"),
     })
 }
 
@@ -464,6 +481,9 @@ mod tests {
                     future_polls: 9,
                     future_wakes: 6,
                     future_repushes: 5,
+                    span_begins: 30,
+                    span_ends: 28,
+                    dropped_events: 2,
                 },
                 WorkerTelemetry {
                     steals: 5,
@@ -482,6 +502,9 @@ mod tests {
                     future_polls: 2,
                     future_wakes: 1,
                     future_repushes: 0,
+                    span_begins: 4,
+                    span_ends: 4,
+                    dropped_events: 0,
                 },
             ],
             steal_matrix: vec![vec![0, 10], vec![5, 0]],
@@ -686,6 +709,61 @@ mod tests {
         assert_eq!(full.totals().future_polls, 11);
         assert_eq!(full.totals().future_wakes, 7);
         assert_eq!(full.totals().future_repushes, 5);
+    }
+
+    #[test]
+    fn pre_span_artifacts_parse_with_zero_span_and_drop_counters() {
+        // A PR 6-shaped report (written before causal spans and
+        // dropped-event accounting) has no span_begins / span_ends /
+        // dropped_events per-worker fields; absent means zero, and every
+        // pre-existing counter is unaffected — the same additive-field
+        // posture as steal_distance_hist and the future_* counters.
+        let Value::Obj(pairs) = sample().to_value() else {
+            panic!("reports serialize as objects");
+        };
+        let stripped = Value::Obj(
+            pairs
+                .into_iter()
+                .map(|(k, v)| {
+                    if k != "per_worker" {
+                        return (k, v);
+                    }
+                    let Value::Arr(workers) = v else {
+                        panic!("per_worker serializes as an array");
+                    };
+                    let workers = workers
+                        .into_iter()
+                        .map(|w| {
+                            let Value::Obj(fields) = w else {
+                                panic!("worker entries serialize as objects");
+                            };
+                            Value::Obj(
+                                fields
+                                    .into_iter()
+                                    .filter(|(k, _)| {
+                                        !k.starts_with("span_") && k != "dropped_events"
+                                    })
+                                    .collect(),
+                            )
+                        })
+                        .collect();
+                    (k, Value::Arr(workers))
+                })
+                .collect(),
+        );
+        let json = stripped.to_string_pretty();
+        assert!(!json.contains("span_") && !json.contains("dropped_events"));
+        let parsed = RunReport::from_json(&json).unwrap();
+        assert_eq!(parsed.totals().span_begins, 0);
+        assert_eq!(parsed.totals().span_ends, 0);
+        assert_eq!(parsed.totals().dropped_events, 0);
+        assert_eq!(parsed.totals().steals, sample().totals().steals);
+        assert_eq!(parsed.totals().future_polls, sample().totals().future_polls);
+        // A modern round trip preserves the new counters exactly.
+        let full = RunReport::from_json(&sample().to_json()).unwrap();
+        assert_eq!(full.totals().span_begins, 34);
+        assert_eq!(full.totals().span_ends, 32);
+        assert_eq!(full.totals().dropped_events, 2);
     }
 
     #[test]

@@ -92,6 +92,8 @@ struct Tally {
     future_polls: AtomicU64,
     future_wakes: AtomicU64,
     future_repushes: AtomicU64,
+    span_begins: AtomicU64,
+    span_ends: AtomicU64,
     /// Request latencies completed on this stream (merged across
     /// streams into [`RunReport::latency_hist`] at fold time).
     latency: LatencyRecorder,
@@ -115,6 +117,8 @@ impl Tally {
             future_polls: AtomicU64::new(0),
             future_wakes: AtomicU64::new(0),
             future_repushes: AtomicU64::new(0),
+            span_begins: AtomicU64::new(0),
+            span_ends: AtomicU64::new(0),
             latency: LatencyRecorder::new(),
         }
     }
@@ -168,6 +172,12 @@ impl Tally {
             Event::TaskRepush => {
                 self.future_repushes.fetch_add(1, Ordering::Relaxed);
             }
+            Event::SpanBegin { .. } => {
+                self.span_begins.fetch_add(1, Ordering::Relaxed);
+            }
+            Event::SpanEnd { .. } => {
+                self.span_ends.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 
@@ -189,6 +199,11 @@ impl Tally {
             future_polls: self.future_polls.load(Ordering::Relaxed),
             future_wakes: self.future_wakes.load(Ordering::Relaxed),
             future_repushes: self.future_repushes.load(Ordering::Relaxed),
+            span_begins: self.span_begins.load(Ordering::Relaxed),
+            span_ends: self.span_ends.load(Ordering::Relaxed),
+            // Ring drops belong to the stream, not the tally; report()
+            // fills this from EventRing::dropped().
+            dropped_events: 0,
         }
     }
 }
@@ -302,7 +317,11 @@ impl RingSink {
     pub fn report(&self, label: &str, executor: &str, elapsed_s: f64, energy_j: f64) -> RunReport {
         let per_worker: Vec<WorkerTelemetry> = self.streams[..self.workers]
             .iter()
-            .map(|s| s.tally.worker_telemetry())
+            .map(|s| {
+                let mut w = s.tally.worker_telemetry();
+                w.dropped_events = s.ring.dropped();
+                w
+            })
             .collect();
         let steal_matrix = self.streams[..self.workers]
             .iter()
@@ -453,6 +472,52 @@ mod tests {
         let totals = report.totals();
         assert_eq!(totals.steals, 3);
         assert_eq!(totals.transitions.total(), 2);
+    }
+
+    #[test]
+    fn span_tallies_and_ring_drops_fold_into_report() {
+        use crate::event::SpanPhase;
+        // A 4-slot ring: 6 events on worker 0 leave 2 dropped, all 6
+        // still tallied exactly.
+        let sink = RingSink::with_ring_capacity(2, 4);
+        for id in 0..3u64 {
+            sink.record(
+                0,
+                id,
+                Event::SpanBegin {
+                    id,
+                    phase: SpanPhase::Queued,
+                },
+            );
+            sink.record(
+                0,
+                id + 10,
+                Event::SpanEnd {
+                    id,
+                    phase: SpanPhase::Queued,
+                },
+            );
+        }
+        let r = sink.report("spans", "test", 0.0, 0.0);
+        assert_eq!(r.per_worker[0].span_begins, 3);
+        assert_eq!(r.per_worker[0].span_ends, 3);
+        assert_eq!(r.per_worker[0].dropped_events, 2);
+        assert_eq!(r.per_worker[1].dropped_events, 0);
+        assert_eq!(r.totals().span_begins, 3);
+        assert_eq!(r.totals().dropped_events, 2);
+        // Default capacity drops nothing at this volume.
+        let roomy = RingSink::new(1);
+        roomy.record(
+            0,
+            0,
+            Event::SpanBegin {
+                id: 1,
+                phase: SpanPhase::Poll,
+            },
+        );
+        let r = roomy.report("spans", "test", 0.0, 0.0);
+        assert_eq!(r.per_worker[0].dropped_events, 0);
+        assert_eq!(r.per_worker[0].span_begins, 1);
     }
 
     #[test]

@@ -151,6 +151,9 @@ proptest! {
                     future_polls: s / 9,
                     future_wakes: s / 10,
                     future_repushes: s / 11,
+                    span_begins: s / 12,
+                    span_ends: s / 13,
+                    dropped_events: s / 14,
                 })
                 .collect(),
             steal_matrix: (0..workers)

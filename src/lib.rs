@@ -19,6 +19,7 @@
 //! | [`serve`] | `hermes-serve` | Open-loop request serving: submission tickets, Poisson load, latency telemetry |
 //! | [`workloads`] | `hermes-workloads` | The five PBBS-style benchmarks |
 //! | [`telemetry`] | `hermes-telemetry` | Event rings, `RunReport` aggregation, JSON artifacts |
+//! | [`obs`] | `hermes-obs` | Span stitching, Chrome/Perfetto trace export, Prometheus text, flight recorder |
 //!
 //! ## Two ways to run
 //!
@@ -64,6 +65,7 @@
 
 pub use hermes_core as core;
 pub use hermes_deque as deque;
+pub use hermes_obs as obs;
 pub use hermes_rt as rt;
 pub use hermes_serve as serve;
 pub use hermes_sim as sim;
