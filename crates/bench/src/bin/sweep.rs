@@ -15,12 +15,24 @@
 //!                                     the lock-free deque loses or the figures drift
 //! sweep --serve [--smoke] [--baseline PATH] [--out PATH]
 //!               [--serve-p99-factor X] [--serve-p99-floor-ms MS]
+//!               [--gate-energy-attr] [--energy-attr-tol X]
 //!                                     energy-under-load ablation: utilization × tempo × parking
 //!                                     over an open-loop Poisson-served grid; non-zero exit when
 //!                                     tempo+parking fails to beat tempo-off/parking-off on
 //!                                     energy at the lowest utilization, when its p99 exceeds
 //!                                     tolerance, or when the arrival schedule diverges from
-//!                                     the committed baseline
+//!                                     the committed baseline. --gate-energy-attr additionally
+//!                                     re-runs the lowest-utilization corners with a telemetry
+//!                                     ring attached and fails unless the EnergyLedger closure
+//!                                     (attributed + idle + unattributed vs. the meter) holds
+//!                                     within --energy-attr-tol (default 0.02)
+//! sweep --energy-trend OLD [...] NEW [--tol-energy-trend X]
+//!                                     diff the energy headline across two or more committed
+//!                                     artifacts (oldest first, all the same schema and mode):
+//!                                     baseline artifacts compare headline.energy_saving_pct
+//!                                     (points), serve artifacts the on/on÷off/off energy
+//!                                     ratio; non-zero exit when any consecutive step regresses
+//!                                     beyond tolerance
 //!
 //! Tolerances (percentage points unless noted):
 //!   --tol-headline PTS   headline energy/time drift        (default 1.0)
@@ -95,6 +107,7 @@ use hermes_bench::figures;
 use hermes_bench::{cell_config, trials, Cell, System};
 use hermes_core::{Frequency, Policy, TempoConfig};
 use hermes_deque::{LockFreeDeque, Steal, TaskDeque, TheDeque};
+use hermes_obs::{EnergyLedger, SpanForest};
 use hermes_rt::{parallel_for, DequeKind, Pool};
 use hermes_serve::{run_open_loop, run_open_loop_async, PoissonSchedule, Server};
 use hermes_sim::WorkerPlacement;
@@ -135,6 +148,8 @@ const VALUE_FLAGS: &[&str] = &[
     "--min-steal-ratio",
     "--serve-p99-factor",
     "--serve-p99-floor-ms",
+    "--energy-attr-tol",
+    "--tol-energy-trend",
     "--tol-headline",
     "--tol-headline-edp",
     "--tol-row",
@@ -151,6 +166,8 @@ const MODE_FLAGS: &[&str] = &[
     "--ablate-deque",
     "--serve",
     "--gate-overhead",
+    "--gate-energy-attr",
+    "--energy-trend",
 ];
 
 fn main() -> ExitCode {
@@ -193,8 +210,9 @@ fn main() -> ExitCode {
         has("--serve"),
         has("--gate-overhead"),
     );
+    let (gate_energy_attr, energy_trend) = (has("--gate-energy-attr"), has("--energy-trend"));
     if diff {
-        if smoke || full || ablate || ablate_deque || serve || gate_overhead {
+        if smoke || full || ablate || ablate_deque || serve || gate_overhead || energy_trend {
             eprintln!("sweep: --diff does not combine with recording modes");
             print_usage();
             return ExitCode::from(2);
@@ -205,6 +223,24 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
         return diff_main(&args);
+    }
+    if energy_trend {
+        if smoke || full || ablate || ablate_deque || serve || gate_overhead {
+            eprintln!("sweep: --energy-trend does not combine with recording modes");
+            print_usage();
+            return ExitCode::from(2);
+        }
+        if positionals < 2 {
+            eprintln!("sweep: --energy-trend needs two or more artifact paths, oldest first");
+            print_usage();
+            return ExitCode::from(2);
+        }
+        return energy_trend_main(&args);
+    }
+    if gate_energy_attr && !serve {
+        eprintln!("sweep: --gate-energy-attr modifies --serve (it probes the serving grid)");
+        print_usage();
+        return ExitCode::from(2);
     }
     if positionals != 0 {
         eprintln!("sweep: unexpected positional arguments");
@@ -281,6 +317,8 @@ fn print_usage() {
     eprintln!("                             [--min-steal-ratio X] [tolerances]");
     eprintln!("       sweep --serve [--smoke] [--baseline PATH] [--out PATH]");
     eprintln!("                     [--serve-p99-factor X] [--serve-p99-floor-ms MS]");
+    eprintln!("                     [--gate-energy-attr] [--energy-attr-tol X]");
+    eprintln!("       sweep --energy-trend OLD [...] NEW [--tol-energy-trend X]");
     eprintln!("       sweep --gate-overhead [--max-overhead RATIO]");
     eprintln!("default output: {DEFAULT_SMOKE_OUT} with --smoke, {DEFAULT_FULL_OUT} with --full,");
     eprintln!(
@@ -1358,6 +1396,12 @@ struct ServeCell {
     achieved_rate_hz: f64,
     elapsed_s: f64,
     energy_j: f64,
+    /// Per-request attributed energy quantiles (µJ) from the server's
+    /// request-energy histogram — the meter delta each request's polls
+    /// consumed, not grid energy ÷ request count (which would smear
+    /// idle burn over requests).
+    req_energy_p50_uj: u64,
+    req_energy_p99_uj: u64,
     p50_ns: u64,
     p99_ns: u64,
     p999_ns: u64,
@@ -1420,6 +1464,7 @@ fn run_serve_cell(
     let elapsed_s = server.pool().elapsed_ns() as f64 / 1e9;
     let stats = server.pool().stats();
     let hist = server.latency();
+    let req_energy = server.request_energy();
     ServeCell {
         util,
         tempo,
@@ -1429,6 +1474,8 @@ fn run_serve_cell(
         achieved_rate_hz: schedule.len() as f64 / elapsed_s.max(1e-9),
         elapsed_s,
         energy_j: server.pool().total_energy().unwrap_or(0.0),
+        req_energy_p50_uj: req_energy.p50().unwrap_or(0),
+        req_energy_p99_uj: req_energy.p99().unwrap_or(0),
         p50_ns: hist.p50().unwrap_or(0),
         p99_ns: hist.p99().unwrap_or(0),
         p999_ns: hist.p999().unwrap_or(0),
@@ -1456,6 +1503,8 @@ fn serve_cell_value(c: &ServeCell) -> Value {
         ("achieved_rate_hz", Value::Num(c.achieved_rate_hz)),
         ("elapsed_s", Value::Num(c.elapsed_s)),
         ("energy_j", Value::Num(c.energy_j)),
+        ("req_energy_p50_uj", Value::Num(c.req_energy_p50_uj as f64)),
+        ("req_energy_p99_uj", Value::Num(c.req_energy_p99_uj as f64)),
         ("p50_ns", Value::Num(c.p50_ns as f64)),
         ("p99_ns", Value::Num(c.p99_ns as f64)),
         ("p999_ns", Value::Num(c.p999_ns as f64)),
@@ -1489,6 +1538,14 @@ fn serve_main(args: &[String], smoke: bool) -> ExitCode {
         }
     };
     let p99_floor_ms = match tolerance(args, "--serve-p99-floor-ms", 10.0) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("sweep: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let gate_energy_attr = args.iter().any(|a| a == "--gate-energy-attr");
+    let energy_attr_tol = match tolerance(args, "--energy-attr-tol", 0.02) {
         Ok(v) => v,
         Err(e) => {
             eprintln!("sweep: {e}");
@@ -1551,14 +1608,25 @@ fn serve_main(args: &[String], smoke: bool) -> ExitCode {
     }
 
     println!(
-        "\n{:<28} {:>9} {:>9} {:>9} {:>9} {:>9} {:>7} {:>10}",
-        "cell", "energy J", "p50 µs", "p99 µs", "p999 µs", "rate/s", "parks", "parked ms"
+        "\n{:<28} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>7} {:>10}",
+        "cell",
+        "energy J",
+        "eµJ/r p50",
+        "eµJ/r p99",
+        "p50 µs",
+        "p99 µs",
+        "p999 µs",
+        "rate/s",
+        "parks",
+        "parked ms"
     );
     for c in &cells {
         println!(
-            "{:<28} {:>9.3} {:>9.1} {:>9.1} {:>9.1} {:>9.0} {:>7} {:>10.1}",
+            "{:<28} {:>9.3} {:>9} {:>9} {:>9.1} {:>9.1} {:>9.1} {:>9.0} {:>7} {:>10.1}",
             serve_cell_key(c.util, c.tempo, c.parking, c.is_async),
             c.energy_j,
+            c.req_energy_p50_uj,
+            c.req_energy_p99_uj,
             c.p50_ns as f64 / 1e3,
             c.p99_ns as f64 / 1e3,
             c.p999_ns as f64 / 1e3,
@@ -1711,6 +1779,60 @@ fn serve_main(args: &[String], smoke: bool) -> ExitCode {
         },
     }
 
+    // Gate 4: per-request energy is being measured at all. Every cell
+    // runs under emulated DVFS and a request burns ~10² µs of busy
+    // power, so a zero p50 means the metering path is broken, not that
+    // requests are cheap.
+    let req_energy_ok = cells.iter().all(|c| c.req_energy_p50_uj > 0);
+    println!(
+        "request-energy gate: every cell's p50 per-request energy > 0 µJ -> {}",
+        if req_energy_ok { "ok" } else { "FAIL" }
+    );
+
+    // Gate 5 (opt-in, --gate-energy-attr): the attribution closure.
+    // The lowest-utilization parking corners re-run with a telemetry
+    // ring attached; the EnergyLedger joins the recorded power
+    // intervals against the request span forest and must rebuild the
+    // pool's own meter total within tolerance. This is the end-to-end
+    // check that "joules per request" is an accounting identity, not an
+    // estimate. Only the park-on corners are probed: a non-parking
+    // thief records one StealAttempt per victim per spin iteration —
+    // millions of events over a second of wall clock, which no
+    // fixed-size ring can retain, and a ledger over a ring that dropped
+    // events cannot certify closure. The parking corners still exercise
+    // every power kind (busy-at-frequency, pre-park spin, parked).
+    let mut energy_attr_ok = true;
+    let mut probes: Vec<EnergyAttrProbe> = Vec::new();
+    if gate_energy_attr {
+        println!(
+            "\nenergy-attribution gate (tol {:.1}%):",
+            energy_attr_tol * 100.0
+        );
+        for tempo in [false, true] {
+            let probe = run_energy_attr_probe(tempo, true, &schedules[0], service_s);
+            let corner_ok = probe.dropped == 0 && probe.closure_err <= energy_attr_tol;
+            energy_attr_ok &= corner_ok;
+            println!(
+                "  {:<28} closure {:>5.2}%  attributed {:.3} J  idle {:.3} J  \
+                 unattributed {:.3} J  meter {:.3} J  spans {}  dropped {} -> {}",
+                probe.key,
+                probe.closure_err * 100.0,
+                probe.attributed_j,
+                probe.idle_j,
+                probe.unattributed_busy_j,
+                probe.meter_j,
+                probe.spans,
+                probe.dropped,
+                if corner_ok { "ok" } else { "FAIL" }
+            );
+            probes.push(probe);
+        }
+        println!(
+            "energy-attribution gate: ledger closes on every corner -> {}",
+            if energy_attr_ok { "ok" } else { "FAIL" }
+        );
+    }
+
     let artifact = Value::obj(vec![
         ("schema", Value::Str(SERVE_ARTIFACT_SCHEMA.to_string())),
         ("mode", Value::Str(mode.to_string())),
@@ -1746,24 +1868,52 @@ fn serve_main(args: &[String], smoke: bool) -> ExitCode {
         ),
         (
             "gate",
-            Value::obj(vec![
-                ("energy_ok", Value::Bool(energy_ok)),
-                (
-                    "energy_on_on_j",
-                    Value::Num((on_on.energy_j * 1e6).round() / 1e6),
-                ),
-                (
-                    "energy_off_off_j",
-                    Value::Num((off_off.energy_j * 1e6).round() / 1e6),
-                ),
-                ("p99_ok", Value::Bool(p99_ok)),
-                ("p99_factor", Value::Num(p99_factor)),
-                ("p99_floor_ms", Value::Num(p99_floor_ms)),
-                ("async_energy_ok", Value::Bool(async_energy_ok)),
-                ("async_p99_ok", Value::Bool(async_p99_ok)),
-                ("future_path_ok", Value::Bool(future_path_ok)),
-                ("schedule_ok", Value::Bool(schedule_ok)),
-            ]),
+            Value::obj({
+                let mut fields = vec![
+                    ("energy_ok", Value::Bool(energy_ok)),
+                    (
+                        "energy_on_on_j",
+                        Value::Num((on_on.energy_j * 1e6).round() / 1e6),
+                    ),
+                    (
+                        "energy_off_off_j",
+                        Value::Num((off_off.energy_j * 1e6).round() / 1e6),
+                    ),
+                    ("p99_ok", Value::Bool(p99_ok)),
+                    ("p99_factor", Value::Num(p99_factor)),
+                    ("p99_floor_ms", Value::Num(p99_floor_ms)),
+                    ("async_energy_ok", Value::Bool(async_energy_ok)),
+                    ("async_p99_ok", Value::Bool(async_p99_ok)),
+                    ("future_path_ok", Value::Bool(future_path_ok)),
+                    ("schedule_ok", Value::Bool(schedule_ok)),
+                    ("req_energy_ok", Value::Bool(req_energy_ok)),
+                ];
+                if gate_energy_attr {
+                    fields.push(("energy_attr_ok", Value::Bool(energy_attr_ok)));
+                    fields.push(("energy_attr_tol", Value::Num(energy_attr_tol)));
+                }
+                fields
+            }),
+        ),
+        (
+            "energy_attr",
+            Value::Arr(
+                probes
+                    .iter()
+                    .map(|p| {
+                        Value::obj(vec![
+                            ("key", Value::Str(p.key.clone())),
+                            ("closure_err", Value::Num(p.closure_err)),
+                            ("attributed_j", Value::Num(p.attributed_j)),
+                            ("idle_j", Value::Num(p.idle_j)),
+                            ("unattributed_busy_j", Value::Num(p.unattributed_busy_j)),
+                            ("meter_j", Value::Num(p.meter_j)),
+                            ("spans", Value::Num(p.spans as f64)),
+                            ("dropped_events", Value::Num(p.dropped as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
         ),
     ]);
     let json = artifact.to_string_pretty();
@@ -1773,9 +1923,278 @@ fn serve_main(args: &[String], smoke: bool) -> ExitCode {
     }
     println!("sweep: wrote {out_path} ({} bytes)", json.len());
 
-    if energy_ok && p99_ok && async_energy_ok && async_p99_ok && future_path_ok && schedule_ok {
+    if energy_ok
+        && p99_ok
+        && async_energy_ok
+        && async_p99_ok
+        && future_path_ok
+        && schedule_ok
+        && req_energy_ok
+        && energy_attr_ok
+    {
         ExitCode::SUCCESS
     } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// One corner of the `--gate-energy-attr` closure probe: the
+/// lowest-utilization serve cell re-run with a telemetry ring attached,
+/// its power intervals joined against the request span forest.
+struct EnergyAttrProbe {
+    key: String,
+    closure_err: f64,
+    attributed_j: f64,
+    idle_j: f64,
+    unattributed_busy_j: f64,
+    meter_j: f64,
+    spans: usize,
+    dropped: u64,
+}
+
+/// Ring capacity per stream for the attribution probe. Power intervals,
+/// span events, and per-request latency/energy events for a few hundred
+/// requests fit with room to spare; the gate fails on any drop because
+/// a truncated ledger cannot certify closure.
+const ENERGY_ATTR_RING_CAPACITY: usize = 1 << 16;
+
+fn run_energy_attr_probe(
+    tempo: bool,
+    parking: bool,
+    schedule: &PoissonSchedule,
+    service_s: f64,
+) -> EnergyAttrProbe {
+    let policy = if tempo {
+        Policy::Unified
+    } else {
+        Policy::Baseline
+    };
+    let tempo_config = TempoConfig::builder()
+        .policy(policy)
+        .frequencies(vec![Frequency::from_mhz(2400), Frequency::from_mhz(1600)])
+        .workers(SERVE_WORKERS)
+        .build();
+    let sink = Arc::new(RingSink::with_ring_capacity(
+        SERVE_WORKERS,
+        ENERGY_ATTR_RING_CAPACITY,
+    ));
+    let mut server = Server::builder()
+        .workers(SERVE_WORKERS)
+        .tempo(tempo_config)
+        .parking(parking)
+        .emulated_dvfs(Frequency::from_mhz(2400), 8.0)
+        .telemetry(Arc::clone(&sink) as Arc<dyn TelemetrySink>)
+        .build();
+    let util = SERVE_UTILS[0];
+    let offered_rate_hz = util * serve_effective_cores() as f64 / service_s;
+    let offsets = schedule.offsets(offered_rate_hz);
+    let _run = run_open_loop(&server, &offsets, |_| serve_request);
+    server.stop();
+    // `total_energy` is the attributable meter (per-worker busy + spin
+    // + parked); the ledger's three buckets must rebuild exactly it.
+    let meter_j = server.pool().total_energy().unwrap_or(0.0);
+    let forest = SpanForest::from_sink(&sink);
+    let ledger = EnergyLedger::from_sink(&sink, &forest, meter_j);
+    EnergyAttrProbe {
+        key: serve_cell_key(util, tempo, parking, false),
+        closure_err: ledger.closure_error(),
+        attributed_j: ledger.attributed_j,
+        idle_j: ledger.idle_j,
+        unattributed_busy_j: ledger.unattributed_busy_j,
+        meter_j,
+        spans: forest.len(),
+        dropped: ledger.dropped_events,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Energy trend
+
+/// The energy headline of one artifact, schema-aware.
+struct EnergyPoint {
+    path: String,
+    mode: String,
+    value: f64,
+}
+
+/// What `--energy-trend` compares for a given artifact schema: the
+/// metric name, whether larger values are better, and the default
+/// step tolerance (override with `--tol-energy-trend`).
+struct TrendMetric {
+    schema: &'static str,
+    metric: &'static str,
+    higher_is_better: bool,
+    default_tol: f64,
+}
+
+const TREND_METRICS: &[TrendMetric] = &[
+    // The paper's headline: % energy saved vs. baseline (points).
+    TrendMetric {
+        schema: ARTIFACT_SCHEMA,
+        metric: "headline.energy_saving_pct",
+        higher_is_better: true,
+        default_tol: 1.0,
+    },
+    // The serving win as a ratio (tempo+parking ÷ off/off energy at
+    // the lowest utilization): dividing out the wall-clock joules makes
+    // the number comparable across hosts of different speeds, which
+    // absolute on_on joules are not.
+    TrendMetric {
+        schema: SERVE_ARTIFACT_SCHEMA,
+        metric: "gate.energy_on_on_j / gate.energy_off_off_j",
+        higher_is_better: false,
+        default_tol: 0.10,
+    },
+];
+
+fn energy_trend_extract(path: &str, v: &Value) -> Result<(&'static TrendMetric, f64), String> {
+    let schema = v
+        .get("schema")
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("{path}: missing schema tag"))?;
+    let metric = TREND_METRICS
+        .iter()
+        .find(|m| m.schema == schema)
+        .ok_or_else(|| format!("{path}: schema '{schema}' has no energy headline to trend"))?;
+    let field = |dotted: &str| -> Result<f64, String> {
+        let mut node = v;
+        for part in dotted.split('.') {
+            node = node
+                .get(part)
+                .ok_or_else(|| format!("{path}: missing {dotted}"))?;
+        }
+        node.as_f64()
+            .ok_or_else(|| format!("{path}: {dotted} is not a number"))
+    };
+    let value = if schema == ARTIFACT_SCHEMA {
+        field("headline.energy_saving_pct")?
+    } else {
+        let on_on = field("gate.energy_on_on_j")?;
+        let off_off = field("gate.energy_off_off_j")?;
+        if off_off <= 0.0 {
+            return Err(format!("{path}: gate.energy_off_off_j is not positive"));
+        }
+        on_on / off_off
+    };
+    Ok((metric, value))
+}
+
+fn energy_trend_main(args: &[String]) -> ExitCode {
+    // Positionals are the artifact paths, oldest first (main already
+    // validated there are at least two).
+    let mut paths = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if VALUE_FLAGS.contains(&a.as_str()) {
+            i += 2;
+        } else if a.starts_with('-') {
+            i += 1;
+        } else {
+            paths.push(a.clone());
+            i += 1;
+        }
+    }
+    let mut metric: Option<&'static TrendMetric> = None;
+    let mut points: Vec<EnergyPoint> = Vec::new();
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("sweep: cannot read {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let v = match Value::parse(&text) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("sweep: {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let (m, value) = match energy_trend_extract(path, &v) {
+            Ok(x) => x,
+            Err(e) => {
+                eprintln!("sweep: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        // One metric per trend: mixing a baseline artifact into a serve
+        // trend (or vice versa) compares incommensurable numbers.
+        if let Some(prev) = metric {
+            if !std::ptr::eq(prev, m) {
+                eprintln!("sweep: {path}: schema differs from earlier artifacts in the trend");
+                return ExitCode::from(2);
+            }
+        }
+        metric = Some(m);
+        points.push(EnergyPoint {
+            path: path.clone(),
+            mode: v
+                .get("mode")
+                .and_then(Value::as_str)
+                .unwrap_or("?")
+                .to_string(),
+            value,
+        });
+    }
+    let metric = metric.expect("at least two artifacts were loaded");
+    // Same-mode requirement: a smoke headline and a full headline
+    // average different figure families (and serve modes draw different
+    // request counts), so a cross-mode step is protocol difference.
+    if points.windows(2).any(|w| w[0].mode != w[1].mode) {
+        eprintln!("sweep: --energy-trend artifacts span different modes; record one mode");
+        return ExitCode::from(2);
+    }
+    let tol = match tolerance(args, "--tol-energy-trend", metric.default_tol) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("sweep: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "energy trend ({}, {} mode): {} ({}; step tolerance {})",
+        metric.schema,
+        points[0].mode,
+        metric.metric,
+        if metric.higher_is_better {
+            "higher is better"
+        } else {
+            "lower is better"
+        },
+        tol
+    );
+    let mut regressions = 0;
+    for (i, p) in points.iter().enumerate() {
+        if i == 0 {
+            println!("  {:<40} {:>10.4} {:>10}", p.path, p.value, "-");
+            continue;
+        }
+        let step = p.value - points[i - 1].value;
+        // Only bad-direction drift beyond tolerance regresses; moves in
+        // the good direction re-baseline the trend at the better value.
+        let bad = if metric.higher_is_better { -step } else { step };
+        let regressed = bad > tol;
+        if regressed {
+            regressions += 1;
+        }
+        println!(
+            "  {:<40} {:>10.4} {:>+10.4}{}",
+            p.path,
+            p.value,
+            step,
+            if regressed { " REGRESSION" } else { "" }
+        );
+    }
+    if regressions == 0 {
+        println!(
+            "sweep: energy headline held across {} artifact(s)",
+            points.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("sweep: {regressions} energy regression step(s) beyond tolerance");
         ExitCode::FAILURE
     }
 }

@@ -1,0 +1,450 @@
+//! Joining power timelines against causal spans: where did the joules go?
+//!
+//! Hosts that run an energy model record per-worker
+//! [`Event::PowerInterval`]s — constant-power segments classified as
+//! busy, spin, or parked — alongside the span edges the
+//! [`SpanForest`](crate::SpanForest) stitches. This module charges each
+//! span the integral of its worker's busy power over the span's poll
+//! episodes, banks spin/park power in an explicit idle bucket, and keeps
+//! whatever busy power fell outside any span (internal subtasks,
+//! scheduler work) visible as a third bucket instead of silently
+//! spreading it around.
+//!
+//! The point of the three-bucket split is the **closure invariant**:
+//!
+//! ```text
+//! attributed + idle + unattributed_busy ≈ meter total
+//! ```
+//!
+//! checked by [`EnergyLedger::closure_error`]. When it holds, the
+//! per-request joule figures are trustworthy — every joule the meter
+//! billed is in exactly one bucket. When it drifts, something is wrong
+//! (ring overflow ate intervals, a host stopped emitting, clocks
+//! skewed), and the sweep's `--gate-energy-attr` gate fails loudly.
+//!
+//! Park power lands in the idle bucket, not on requests: a parked
+//! worker draws its floor power because the *pool* keeps it warm, and
+//! charging that to whichever request happens to complete next would
+//! make per-request joules depend on arrival luck rather than work.
+
+use crate::SpanForest;
+use hermes_telemetry::{Event, PowerKind, RingSink, SpanPhase, TelemetrySink, MACHINE_STREAM};
+
+/// One decoded power segment: `[start_ns, end_ns]` on `stream` at a
+/// constant `milliwatts`, classified by `kind`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PowerSegment {
+    /// Stream the interval was recorded on (worker index or
+    /// [`MACHINE_STREAM`]).
+    pub stream: usize,
+    /// Segment start, host-epoch nanoseconds (recorded end minus
+    /// duration — hosts emit intervals when they close).
+    pub start_ns: u64,
+    /// Segment end (the event's timestamp).
+    pub end_ns: u64,
+    /// Constant power over the segment, milliwatts.
+    pub milliwatts: u64,
+    /// Watts-class of the segment.
+    pub kind: PowerKind,
+}
+
+impl PowerSegment {
+    /// Energy of the whole segment, joules.
+    #[must_use]
+    pub fn energy_j(&self) -> f64 {
+        (self.end_ns - self.start_ns) as f64 * self.milliwatts as f64 * 1e-12
+    }
+}
+
+/// Decode every [`Event::PowerInterval`] retained in `sink`'s rings
+/// (worker streams then machine stream), in stream-then-time order.
+#[must_use]
+pub fn collect_power_segments(sink: &RingSink) -> Vec<PowerSegment> {
+    let mut segments = Vec::new();
+    for stream in (0..sink.workers()).chain([MACHINE_STREAM]) {
+        for (at_ns, event) in sink.ring(stream).snapshot() {
+            if let Event::PowerInterval {
+                kind,
+                duration_ns,
+                milliwatts,
+            } = event
+            {
+                segments.push(PowerSegment {
+                    stream,
+                    start_ns: at_ns.saturating_sub(duration_ns),
+                    end_ns: at_ns,
+                    milliwatts,
+                    kind,
+                });
+            }
+        }
+    }
+    segments
+}
+
+/// Energy attributed to one span.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpanEnergy {
+    /// The span id.
+    pub id: u64,
+    /// Joules of busy power overlapping the span's poll episodes.
+    pub joules: f64,
+}
+
+/// The three-bucket energy attribution for one run. Build with
+/// [`EnergyLedger::from_sink`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyLedger {
+    /// Busy joules charged to spans, one entry per span in the forest
+    /// (ascending id, same order as the forest).
+    pub per_span: Vec<SpanEnergy>,
+    /// Σ busy joules charged to spans.
+    pub attributed_j: f64,
+    /// Spin + parked joules: power the pool spent keeping workers warm,
+    /// deliberately not billed to any request (see the module docs).
+    pub idle_j: f64,
+    /// Busy joules outside every span's poll episodes — scheduler work,
+    /// untraced tasks, internal fork-join subtasks.
+    pub unattributed_busy_j: f64,
+    /// The independent meter total the buckets must rebuild: pass the
+    /// *attributable* total (e.g. `Pool::total_energy()`, or the sim's
+    /// integrated energy minus package-static — uncore draw belongs to
+    /// no worker and no bucket).
+    pub meter_total_j: f64,
+    /// Events the sink dropped while recording. Nonzero means rings
+    /// overflowed and the buckets may under-count; closure catches the
+    /// damage, this field names the cause.
+    pub dropped_events: u64,
+}
+
+impl EnergyLedger {
+    /// Join `sink`'s power intervals against `forest`'s spans and check
+    /// them against `meter_total_j` (see
+    /// [`meter_total_j`](Self::meter_total_j) for what to pass).
+    #[must_use]
+    pub fn from_sink(sink: &RingSink, forest: &SpanForest, meter_total_j: f64) -> EnergyLedger {
+        let mut ledger = EnergyLedger::from_segments(collect_power_segments(sink), forest);
+        ledger.meter_total_j = meter_total_j;
+        ledger.dropped_events = sink.dropped_events();
+        ledger
+    }
+
+    /// [`from_sink`](Self::from_sink) over pre-collected segments, with
+    /// `meter_total_j` and `dropped_events` left at zero for the caller
+    /// to fill.
+    #[must_use]
+    pub fn from_segments(segments: Vec<PowerSegment>, forest: &SpanForest) -> EnergyLedger {
+        // Partition: spin/park → idle; busy → per-stream lists for the
+        // span join below.
+        let mut idle_j = 0.0;
+        let mut busy_total_j = 0.0;
+        let max_stream = segments.iter().map(|s| s.stream).max().unwrap_or(0);
+        let mut busy: Vec<Vec<PowerSegment>> = vec![Vec::new(); max_stream + 1];
+        for seg in segments {
+            match seg.kind {
+                PowerKind::Spin | PowerKind::Parked => idle_j += seg.energy_j(),
+                PowerKind::Busy => {
+                    busy_total_j += seg.energy_j();
+                    busy[seg.stream].push(seg);
+                }
+            }
+        }
+        for list in &mut busy {
+            list.sort_by_key(|s| s.start_ns);
+        }
+
+        // Charge each span the busy-power integral over its closed poll
+        // episodes, on the stream the episode ran on. A worker runs one
+        // task at a time, so episodes of one stream should be disjoint —
+        // but stitching can pair same-timestamp edges imperfectly (a
+        // zero-length episode whose end sorts before its begin leaves an
+        // episode spuriously spanning other spans' time), so the sweep
+        // below charges every stream nanosecond AT MOST ONCE: episodes
+        // are walked in begin order with a per-stream high-water mark,
+        // and only the part past the mark is charged. That keeps the
+        // closure invariant exact (no joule counted twice) at the cost
+        // of misassigning contested time to the earlier-beginning span,
+        // which for well-formed timelines is no cost at all.
+        let mut per_span: Vec<SpanEnergy> = forest
+            .spans
+            .iter()
+            .map(|s| SpanEnergy {
+                id: s.id,
+                joules: 0.0,
+            })
+            .collect();
+        let mut episodes: Vec<(usize, u64, u64, usize)> = Vec::new();
+        for (idx, span) in forest.spans.iter().enumerate() {
+            for iv in &span.intervals {
+                if iv.phase != SpanPhase::Poll {
+                    continue;
+                }
+                if let Some(end) = iv.end_ns {
+                    if end > iv.begin_ns {
+                        episodes.push((iv.begin_stream, iv.begin_ns, end, idx));
+                    }
+                }
+            }
+        }
+        episodes.sort_unstable_by_key(|&(stream, begin, end, _)| (stream, begin, end));
+        let mut attributed_j = 0.0;
+        let mut mark: Option<(usize, u64)> = None;
+        for (stream, begin, end, idx) in episodes {
+            let lo = match mark {
+                Some((s, high)) if s == stream => begin.max(high),
+                _ => begin,
+            };
+            mark = Some((
+                stream,
+                match mark {
+                    Some((s, high)) if s == stream => high.max(end),
+                    _ => end,
+                },
+            ));
+            if lo >= end {
+                continue; // fully inside already-charged time
+            }
+            let Some(list) = busy.get(stream) else {
+                continue;
+            };
+            // First segment that might overlap: the last one starting
+            // at or before the clipped begin.
+            let from = list.partition_point(|s| s.start_ns < lo);
+            let mut joules = 0.0;
+            for seg in &list[from.saturating_sub(1)..] {
+                if seg.start_ns >= end {
+                    break;
+                }
+                let hi = seg.end_ns.min(end);
+                let low = seg.start_ns.max(lo);
+                if hi > low {
+                    joules += (hi - low) as f64 * seg.milliwatts as f64 * 1e-12;
+                }
+            }
+            attributed_j += joules;
+            per_span[idx].joules += joules;
+        }
+
+        EnergyLedger {
+            per_span,
+            attributed_j,
+            idle_j,
+            unattributed_busy_j: (busy_total_j - attributed_j).max(0.0),
+            meter_total_j: 0.0,
+            dropped_events: 0,
+        }
+    }
+
+    /// Joules attributed to span `id`, if it exists in the forest.
+    #[must_use]
+    pub fn span_energy_j(&self, id: u64) -> Option<f64> {
+        self.per_span
+            .binary_search_by_key(&id, |s| s.id)
+            .ok()
+            .map(|i| self.per_span[i].joules)
+    }
+
+    /// Σ of the three buckets — what the meter total is checked against.
+    #[must_use]
+    pub fn accounted_j(&self) -> f64 {
+        self.attributed_j + self.idle_j + self.unattributed_busy_j
+    }
+
+    /// Relative closure error: `|accounted − meter| / meter` (0 when the
+    /// meter read nothing and nothing was accounted).
+    #[must_use]
+    pub fn closure_error(&self) -> f64 {
+        if self.meter_total_j <= 0.0 {
+            return if self.accounted_j() > 0.0 {
+                f64::MAX
+            } else {
+                0.0
+            };
+        }
+        (self.accounted_j() - self.meter_total_j).abs() / self.meter_total_j
+    }
+
+    /// Whether every metered joule landed in a bucket, within `tol`
+    /// (relative; the sweep gate uses 0.02).
+    #[must_use]
+    pub fn closes_within(&self, tol: f64) -> bool {
+        self.closure_error() <= tol
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SpanEvent;
+    use hermes_telemetry::TelemetrySink;
+
+    fn seg(stream: usize, start: u64, end: u64, mw: u64, kind: PowerKind) -> PowerSegment {
+        PowerSegment {
+            stream,
+            start_ns: start,
+            end_ns: end,
+            milliwatts: mw,
+            kind,
+        }
+    }
+
+    fn edge(stream: usize, at_ns: u64, id: u64, begin: bool) -> SpanEvent {
+        SpanEvent {
+            stream,
+            at_ns,
+            id,
+            phase: SpanPhase::Poll,
+            begin,
+        }
+    }
+
+    #[test]
+    fn busy_overlap_splits_into_attributed_and_unattributed() {
+        // Worker 0: busy 8 W over [0, 1000]; span 1 polls [200, 700].
+        // 500 ns of the segment belong to the span, 500 ns do not.
+        let forest = SpanForest::from_events(&[edge(0, 200, 1, true), edge(0, 700, 1, false)]);
+        let ledger =
+            EnergyLedger::from_segments(vec![seg(0, 0, 1000, 8_000, PowerKind::Busy)], &forest);
+        let expect = 500.0 * 8_000.0 * 1e-12;
+        assert!((ledger.attributed_j - expect).abs() < 1e-18);
+        assert!((ledger.unattributed_busy_j - expect).abs() < 1e-18);
+        assert_eq!(ledger.span_energy_j(1), Some(ledger.attributed_j));
+        assert_eq!(ledger.idle_j, 0.0);
+    }
+
+    #[test]
+    fn idle_banks_spin_and_park_and_streams_do_not_cross() {
+        // Span 1 polls on worker 0, but the busy power is on worker 1:
+        // nothing attributes across streams. Spin and park power land
+        // in the idle bucket regardless of span overlap.
+        let forest = SpanForest::from_events(&[edge(0, 0, 1, true), edge(0, 1000, 1, false)]);
+        let ledger = EnergyLedger::from_segments(
+            vec![
+                seg(1, 0, 1000, 8_000, PowerKind::Busy),
+                seg(0, 0, 500, 2_000, PowerKind::Spin),
+                seg(0, 500, 1000, 400, PowerKind::Parked),
+            ],
+            &forest,
+        );
+        assert_eq!(ledger.attributed_j, 0.0);
+        let busy = 1000.0 * 8_000.0 * 1e-12;
+        let idle = (500.0 * 2_000.0 + 500.0 * 400.0) * 1e-12;
+        assert!((ledger.unattributed_busy_j - busy).abs() < 1e-18);
+        assert!((ledger.idle_j - idle).abs() < 1e-18);
+    }
+
+    #[test]
+    fn multiple_episodes_and_segments_tile_exactly() {
+        // Two spans' poll episodes tile a stretch of busy power at two
+        // wattages; everything attributes, closure is exact.
+        let forest = SpanForest::from_events(&[
+            edge(0, 0, 1, true),
+            edge(0, 400, 1, false),
+            edge(0, 400, 2, true),
+            edge(0, 1000, 2, false),
+        ]);
+        let segments = vec![
+            seg(0, 0, 600, 8_000, PowerKind::Busy),
+            seg(0, 600, 1000, 4_000, PowerKind::Busy),
+        ];
+        let total: f64 = segments.iter().map(PowerSegment::energy_j).sum();
+        let mut ledger = EnergyLedger::from_segments(segments, &forest);
+        ledger.meter_total_j = total;
+        assert!((ledger.attributed_j - total).abs() < 1e-18);
+        assert!(ledger.unattributed_busy_j.abs() < 1e-18);
+        let span1 = 400.0 * 8_000.0 * 1e-12;
+        let span2 = (200.0 * 8_000.0 + 400.0 * 4_000.0) * 1e-12;
+        assert!((ledger.span_energy_j(1).unwrap() - span1).abs() < 1e-18);
+        assert!((ledger.span_energy_j(2).unwrap() - span2).abs() < 1e-18);
+        assert!(ledger.closes_within(1e-12));
+        assert_eq!(ledger.closure_error(), 0.0);
+    }
+
+    #[test]
+    fn overlapping_episodes_never_charge_a_nanosecond_twice() {
+        // Span 1's episode [0, 1000] spuriously covers span 2's
+        // [400, 600] (the zero-length-episode stitching artifact): the
+        // sweep charges each nanosecond once, so attributed equals the
+        // busy energy exactly and span 2 gets only uncontested time.
+        let forest = SpanForest::from_events(&[
+            edge(0, 0, 1, true),
+            edge(0, 1000, 1, false),
+            edge(0, 400, 2, true),
+            edge(0, 600, 2, false),
+        ]);
+        let segments = vec![seg(0, 0, 1000, 8_000, PowerKind::Busy)];
+        let total: f64 = segments.iter().map(PowerSegment::energy_j).sum();
+        let ledger = EnergyLedger::from_segments(segments, &forest);
+        assert!((ledger.attributed_j - total).abs() < 1e-18);
+        assert!(ledger.unattributed_busy_j.abs() < 1e-18);
+        assert_eq!(
+            ledger.span_energy_j(2),
+            Some(0.0),
+            "contested time goes once"
+        );
+        assert!((ledger.span_energy_j(1).unwrap() - total).abs() < 1e-18);
+    }
+
+    #[test]
+    fn closure_detects_missing_intervals() {
+        // The meter billed 1 J but only half shows up as intervals
+        // (e.g. a host stopped emitting): the gate must fail.
+        let forest = SpanForest::default();
+        let mut ledger =
+            EnergyLedger::from_segments(vec![seg(0, 0, 1_000_000, 500, PowerKind::Busy)], &forest);
+        ledger.meter_total_j = 1e-3;
+        assert!(!ledger.closes_within(0.02));
+        assert!((ledger.closure_error() - 0.5).abs() < 1e-9);
+        // And a silent-zero ledger against a live meter is the worst
+        // case, not a pass.
+        let empty = EnergyLedger {
+            meter_total_j: 1.0,
+            ..EnergyLedger::from_segments(Vec::new(), &forest)
+        };
+        assert!(!empty.closes_within(0.5));
+    }
+
+    #[test]
+    fn sim_run_closes_end_to_end() {
+        // Full pipeline on the deterministic executor: run a DAG with
+        // spans + power intervals, stitch, join, close against the
+        // integrated energy minus package-static (uncore draw belongs
+        // to no worker). Busy time in the sim always sits inside some
+        // frame's poll episode, so nearly everything attributes.
+        use hermes_sim::{DagSpec, MachineSpec, SimConfig};
+        let dag = DagSpec::parallel_for(64, 10_000, |i| 200_000 + (i as u64 % 9) * 50_000);
+        let sink = std::sync::Arc::new(RingSink::with_ring_capacity(4, 1 << 16));
+        let tempo = hermes_core::TempoConfig::builder()
+            .policy(hermes_core::Policy::Unified)
+            .frequencies(vec![
+                hermes_core::Frequency::from_mhz(3600),
+                hermes_core::Frequency::from_mhz(2700),
+            ])
+            .workers(4)
+            .build();
+        let cfg = SimConfig::new(MachineSpec::system_b(), tempo)
+            .with_telemetry(std::sync::Arc::clone(&sink) as std::sync::Arc<dyn TelemetrySink>);
+        let report = hermes_sim::run(&dag, &cfg).unwrap();
+        let forest = SpanForest::from_sink(&sink);
+        assert!(!forest.is_empty());
+        let attributable = report.energy_j
+            - MachineSpec::system_b().power.package_static * report.elapsed.seconds();
+        let ledger = EnergyLedger::from_sink(&sink, &forest, attributable);
+        assert_eq!(ledger.dropped_events, 0, "capacity sized for the run");
+        assert!(
+            ledger.closes_within(0.02),
+            "closure error {:.4}: attributed {} + idle {} + unattributed {} vs meter {}",
+            ledger.closure_error(),
+            ledger.attributed_j,
+            ledger.idle_j,
+            ledger.unattributed_busy_j,
+            ledger.meter_total_j
+        );
+        // The workload is compute-dominated: most joules attribute to
+        // spans, and every span with a closed poll episode got some.
+        assert!(ledger.attributed_j > ledger.meter_total_j * 0.5);
+        assert!(ledger.attributed_j > ledger.unattributed_busy_j);
+        let charged = ledger.per_span.iter().filter(|s| s.joules > 0.0).count();
+        assert!(charged * 2 > ledger.per_span.len(), "{charged} charged");
+    }
+}

@@ -4,7 +4,7 @@
 //! per-worker event streams the hosts already record into artifacts a
 //! human can act on.
 //!
-//! Four pieces, each usable alone:
+//! Five pieces, each usable alone:
 //!
 //! - [`SpanForest`] — stitches the causal [`SpanBegin`](hermes_telemetry::Event::SpanBegin)/
 //!   [`SpanEnd`](hermes_telemetry::Event::SpanEnd) edges scattered
@@ -12,6 +12,13 @@
 //!   the cross-worker hops (steal-moved queue episodes, remote wakes),
 //!   with a deterministic [`fingerprint`](SpanForest::fingerprint) for
 //!   replay testing on the sim executor.
+//! - [`EnergyLedger`] — joins the hosts'
+//!   [`PowerInterval`](hermes_telemetry::Event::PowerInterval) timelines
+//!   against the span forest: each span is charged the busy-power
+//!   integral over its poll episodes, spin/park power lands in an
+//!   explicit idle bucket, and the three buckets must rebuild the meter
+//!   total (the closure invariant the sweep's `--gate-energy-attr`
+//!   enforces).
 //! - [`chrome_trace`] / [`chrome_trace_json`] — export a
 //!   [`RingSink`](hermes_telemetry::RingSink) as Chrome trace-event
 //!   JSON loadable in `chrome://tracing` or Perfetto: one track per
@@ -35,11 +42,13 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod energy;
 mod flight;
 mod prom;
 mod span;
 mod trace;
 
+pub use energy::{collect_power_segments, EnergyLedger, PowerSegment, SpanEnergy};
 pub use flight::{FlightDump, FlightEntry, FlightRecorder, FLIGHT_RING_CAPACITY};
 pub use prom::prometheus_text;
 pub use span::{collect_span_events, PhaseInterval, Span, SpanEvent, SpanForest};

@@ -123,6 +123,67 @@ pub fn prometheus_text(snapshot: &MetricsSnapshot, prefix: &str) -> String {
         }
     }
 
+    let dropped = family(
+        &mut out,
+        prefix,
+        "events_dropped_total",
+        "Telemetry events evicted by ring overflow (tallies stay exact).",
+        "counter",
+    );
+    let _ = writeln!(out, "{dropped} {}", snapshot.dropped_events);
+
+    // Energy families are emitted only when a host filled the energy
+    // model's columns — a pool without emulated DVFS has no joules to
+    // report, and absent beats a misleading zero.
+    if snapshot.workers.iter().any(|s| s.energy_uj > 0) {
+        let energy = family(
+            &mut out,
+            prefix,
+            "energy_joules_total",
+            "Emulated energy consumed per worker.",
+            "counter",
+        );
+        for (w, s) in snapshot.workers.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "{energy}{{worker=\"{w}\"}} {}",
+                s.energy_uj as f64 / 1e6
+            );
+        }
+        let watts = family(
+            &mut out,
+            prefix,
+            "worker_power_watts",
+            "Mean emulated power per worker over the pool's uptime.",
+            "gauge",
+        );
+        for w in 0..snapshot.workers.len() {
+            let _ = writeln!(
+                out,
+                "{watts}{{worker=\"{w}\"}} {}",
+                snapshot.worker_watts(w)
+            );
+        }
+    }
+
+    for (name, help, value) in [
+        (
+            "request_energy_p50_joules",
+            "Rolling median per-request energy.",
+            snapshot.energy_p50_uj,
+        ),
+        (
+            "request_energy_p99_joules",
+            "Rolling 99th-percentile per-request energy.",
+            snapshot.energy_p99_uj,
+        ),
+    ] {
+        if let Some(uj) = value {
+            let q = family(&mut out, prefix, name, help, "gauge");
+            let _ = writeln!(out, "{q} {}", uj as f64 / 1e6);
+        }
+    }
+
     out
 }
 
@@ -140,18 +201,23 @@ mod tests {
                     steal_ns: 250_000_000,
                     parked_ns: 500_000_000,
                     tasks: 42,
+                    energy_uj: 0,
                 },
                 WorkerMetricsSample {
                     busy_ns: 3_000_000_000,
                     steal_ns: 0,
                     parked_ns: 0,
                     tasks: 7,
+                    energy_uj: 0,
                 },
             ],
             injector_depth: 3,
             in_flight: 11,
             latency_p50_ns: Some(1_500_000),
             latency_p99_ns: None,
+            energy_p50_uj: None,
+            energy_p99_uj: None,
+            dropped_events: 0,
         }
     }
 
@@ -171,11 +237,46 @@ mod tests {
             !text.contains("p99"),
             "absent quantiles are omitted, not zero-filled"
         );
+        assert!(text.contains("# TYPE hermes_events_dropped_total counter"));
+        assert!(text.contains("hermes_events_dropped_total 0"));
+        assert!(
+            !text.contains("energy"),
+            "no energy model, no joule families"
+        );
         // Every non-comment line is "name[{labels}] value".
         for line in text.lines().filter(|l| !l.starts_with('#')) {
             let mut parts = line.rsplitn(2, ' ');
             let value = parts.next().unwrap();
             assert!(value.parse::<f64>().is_ok(), "bad value in line: {line}");
+            assert!(parts.next().unwrap().starts_with("hermes_"));
+        }
+    }
+
+    #[test]
+    fn energy_families_appear_once_a_host_fills_them() {
+        let mut snap = sample_snapshot();
+        snap.workers[0].energy_uj = 16_000_000; // 16 J over 2 s = 8 W
+        snap.workers[1].energy_uj = 4_000_000;
+        snap.energy_p50_uj = Some(2_500);
+        snap.energy_p99_uj = None;
+        snap.dropped_events = 17;
+        let text = prometheus_text(&snap, "hermes");
+        assert!(text.contains("# TYPE hermes_energy_joules_total counter"));
+        assert!(text.contains("hermes_energy_joules_total{worker=\"0\"} 16"));
+        assert!(text.contains("hermes_energy_joules_total{worker=\"1\"} 4"));
+        assert!(text.contains("# TYPE hermes_worker_power_watts gauge"));
+        assert!(text.contains("hermes_worker_power_watts{worker=\"0\"} 8"));
+        assert!(text.contains("hermes_worker_power_watts{worker=\"1\"} 2"));
+        assert!(text.contains("hermes_request_energy_p50_joules 0.0025"));
+        assert!(
+            !text.contains("request_energy_p99"),
+            "absent energy quantiles are omitted"
+        );
+        assert!(text.contains("hermes_events_dropped_total 17"));
+        // The exposition grammar still holds with the new families.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let mut parts = line.rsplitn(2, ' ');
+            assert!(parts.next().unwrap().parse::<f64>().is_ok(), "{line}");
             assert!(parts.next().unwrap().starts_with("hermes_"));
         }
     }

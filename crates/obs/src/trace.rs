@@ -167,6 +167,59 @@ pub fn chrome_trace(sink: &RingSink) -> Value {
         }
     }
 
+    // Counter tracks ("C"): a per-worker watts timeline stepped from
+    // the power intervals (each sample sets the value from its instant
+    // until the next sample; intervals are recorded when they close, so
+    // the sample lands at the interval's *start* and a trailing zero
+    // closes the timeline), and a per-domain frequency timeline from
+    // the DVFS actuations on each worker's stream (one worker per
+    // clock domain under the paper's placement).
+    for stream in (0..workers).chain([MACHINE_STREAM]) {
+        let tid = tid_of(stream, workers);
+        let track = if stream == MACHINE_STREAM {
+            "machine".to_string()
+        } else {
+            format!("worker {stream}")
+        };
+        let mut watts: Vec<(u64, f64)> = Vec::new();
+        let mut freqs: Vec<(u64, f64)> = Vec::new();
+        let mut last_end: Option<u64> = None;
+        for (at_ns, event) in sink.ring(stream).snapshot() {
+            match event {
+                Event::PowerInterval {
+                    duration_ns,
+                    milliwatts,
+                    ..
+                } => {
+                    watts.push((at_ns.saturating_sub(duration_ns), milliwatts as f64 / 1e3));
+                    last_end = Some(last_end.map_or(at_ns, |e| e.max(at_ns)));
+                }
+                Event::DvfsActuation { freq_khz } => {
+                    freqs.push((at_ns, freq_khz as f64 / 1e3));
+                }
+                _ => {}
+            }
+        }
+        // Ring order is close-time order; counter samples sit at open
+        // instants, which adjacent intervals can jitter out of order.
+        watts.sort_by_key(|&(ts, _)| ts);
+        if let Some(end) = last_end {
+            watts.push((end, 0.0));
+        }
+        let watts_name = format!("watts {track}");
+        for (ts, w) in watts {
+            let mut fields = event_obj("C", &watts_name, tid, ts);
+            fields.push(("args", Value::obj(vec![("watts", Value::Num(w))])));
+            push_obj(&mut events, fields);
+        }
+        let freq_name = format!("freq_mhz {track}");
+        for (ts, mhz) in freqs {
+            let mut fields = event_obj("C", &freq_name, tid, ts);
+            fields.push(("args", Value::obj(vec![("mhz", Value::Num(mhz))])));
+            push_obj(&mut events, fields);
+        }
+    }
+
     Value::obj(vec![
         ("traceEvents", Value::Arr(events)),
         ("displayTimeUnit", Value::Str("ms".to_string())),
@@ -198,13 +251,21 @@ pub struct TraceStats {
     pub flow_ends: usize,
     /// Metadata (`"M"`) entries.
     pub metadata: usize,
+    /// Counter (`"C"`) samples.
+    pub counters: usize,
+    /// Distinct counter track names.
+    pub counter_tracks: usize,
 }
 
 /// Parse `text` as a Chrome trace-event document and check the schema
 /// every consumer relies on: a top-level `traceEvents` array whose
 /// entries all carry `name`/`ph`/`ts`/`pid`/`tid`, with `dur` on `"X"`
-/// slices and `id` on `"s"`/`"f"` flows, and flow begins balancing flow
-/// ends. Returns counts by kind, or the first violation.
+/// slices, `id` on `"s"`/`"f"` flows, and flow begins balancing flow
+/// ends. Counter (`"C"`) samples must carry an object `args` of
+/// non-negative numeric values, each counter track's timestamps must be
+/// monotone non-decreasing, and counter track names must not collide
+/// with slice/instant names (a viewer would merge the tracks). Returns
+/// counts by kind, or the first violation.
 pub fn validate_chrome_trace(text: &str) -> Result<TraceStats, String> {
     let doc = Value::parse(text).map_err(|e| format!("not valid JSON: {e:?}"))?;
     let trace_events = doc
@@ -214,6 +275,9 @@ pub fn validate_chrome_trace(text: &str) -> Result<TraceStats, String> {
         .as_arr()
         .ok_or("\"traceEvents\" is not an array")?;
     let mut stats = TraceStats::default();
+    // Counter-track bookkeeping: name → last sample timestamp.
+    let mut counter_last_ts: Vec<(String, f64)> = Vec::new();
+    let mut other_names: Vec<&str> = Vec::new();
     for (i, entry) in entries.iter().enumerate() {
         let at = |msg: &str| format!("traceEvents[{i}]: {msg}");
         let ph = entry
@@ -224,7 +288,7 @@ pub fn validate_chrome_trace(text: &str) -> Result<TraceStats, String> {
             .get("name")
             .and_then(Value::as_str)
             .ok_or_else(|| at("missing \"name\""))?;
-        entry
+        let ts = entry
             .get("ts")
             .and_then(Value::as_f64)
             .ok_or_else(|| at("missing numeric \"ts\""))?;
@@ -237,6 +301,9 @@ pub fn validate_chrome_trace(text: &str) -> Result<TraceStats, String> {
             .and_then(Value::as_f64)
             .ok_or_else(|| at("missing numeric \"tid\""))?;
         stats.events += 1;
+        if ph != "C" && !other_names.contains(&name) {
+            other_names.push(name);
+        }
         match ph {
             "X" => {
                 let dur = entry
@@ -264,6 +331,37 @@ pub fn validate_chrome_trace(text: &str) -> Result<TraceStats, String> {
                 }
             }
             "M" => stats.metadata += 1,
+            "C" => {
+                let args = entry
+                    .get("args")
+                    .ok_or_else(|| at("counter sample missing \"args\""))?;
+                let Value::Obj(pairs) = args else {
+                    return Err(at("counter \"args\" is not an object"));
+                };
+                if pairs.is_empty() {
+                    return Err(at("counter \"args\" is empty"));
+                }
+                for (key, value) in pairs {
+                    let v = value
+                        .as_f64()
+                        .ok_or_else(|| at(&format!("counter value {key:?} not numeric")))?;
+                    if v < 0.0 {
+                        return Err(at(&format!("negative counter value {key:?}")));
+                    }
+                }
+                match counter_last_ts.iter_mut().find(|(n, _)| n == name) {
+                    Some((_, last)) => {
+                        if ts < *last {
+                            return Err(at(&format!(
+                                "counter track {name:?} timestamps go backwards"
+                            )));
+                        }
+                        *last = ts;
+                    }
+                    None => counter_last_ts.push((name.to_string(), ts)),
+                }
+                stats.counters += 1;
+            }
             other => return Err(at(&format!("unknown phase {other:?}"))),
         }
     }
@@ -271,6 +369,15 @@ pub fn validate_chrome_trace(text: &str) -> Result<TraceStats, String> {
         return Err(format!(
             "unbalanced flows: {} begins vs {} ends",
             stats.flow_begins, stats.flow_ends
+        ));
+    }
+    stats.counter_tracks = counter_last_ts.len();
+    if let Some((name, _)) = counter_last_ts
+        .iter()
+        .find(|(n, _)| other_names.contains(&n.as_str()))
+    {
+        return Err(format!(
+            "counter track {name:?} collides with a non-counter event name"
         ));
     }
     Ok(stats)
@@ -342,10 +449,122 @@ mod tests {
         // Flows: the steal arrow and the machine→worker-1 queue hop.
         assert_eq!(stats.flow_begins, 2);
         assert_eq!(stats.flow_ends, 2);
+        // One counter track: the frequency step from the actuation.
+        assert_eq!(stats.counters, 1);
+        assert_eq!(stats.counter_tracks, 1);
         assert_eq!(
             stats.events,
-            stats.metadata + stats.slices + stats.instants + stats.flow_begins + stats.flow_ends
+            stats.metadata
+                + stats.slices
+                + stats.instants
+                + stats.flow_begins
+                + stats.flow_ends
+                + stats.counters
         );
+    }
+
+    #[test]
+    fn counter_tracks_step_watts_and_frequency() {
+        use hermes_telemetry::PowerKind;
+        let sink = RingSink::new(2);
+        // Worker 0: busy 8 W over [100, 1100], spin 2 W over
+        // [1100, 1600] (intervals record at close time).
+        sink.record(
+            0,
+            1_100,
+            Event::PowerInterval {
+                kind: PowerKind::Busy,
+                duration_ns: 1_000,
+                milliwatts: 8_000,
+            },
+        );
+        sink.record(
+            0,
+            1_600,
+            Event::PowerInterval {
+                kind: PowerKind::Spin,
+                duration_ns: 500,
+                milliwatts: 2_000,
+            },
+        );
+        sink.record(
+            1,
+            200,
+            Event::DvfsActuation {
+                freq_khz: 2_400_000,
+            },
+        );
+        sink.record(
+            1,
+            900,
+            Event::DvfsActuation {
+                freq_khz: 1_600_000,
+            },
+        );
+        let text = chrome_trace_json(&sink);
+        let stats = validate_chrome_trace(&text).expect("counter trace validates");
+        // Watts: two samples + the trailing zero; freq: two steps.
+        assert_eq!(stats.counters, 5);
+        assert_eq!(stats.counter_tracks, 2);
+        let doc = chrome_trace(&sink);
+        let entries = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let samples: Vec<(f64, f64)> = entries
+            .iter()
+            .filter(|e| e.get("name").and_then(Value::as_str) == Some("watts worker 0"))
+            .map(|e| {
+                (
+                    e.get("ts").unwrap().as_f64().unwrap(),
+                    e.get("args")
+                        .unwrap()
+                        .get("watts")
+                        .unwrap()
+                        .as_f64()
+                        .unwrap(),
+                )
+            })
+            .collect();
+        // Steps at the interval *starts*, closed by a trailing zero.
+        assert_eq!(samples, vec![(0.1, 8.0), (1.1, 2.0), (1.6, 0.0)]);
+        let mhz: Vec<f64> = entries
+            .iter()
+            .filter(|e| e.get("name").and_then(Value::as_str) == Some("freq_mhz worker 1"))
+            .map(|e| e.get("args").unwrap().get("mhz").unwrap().as_f64().unwrap())
+            .collect();
+        assert_eq!(mhz, vec![2_400.0, 1_600.0]);
+    }
+
+    #[test]
+    fn validator_rejects_bad_counters() {
+        let negative = r#"{"traceEvents": [
+            {"name": "watts worker 0", "ph": "C", "ts": 0, "pid": 1, "tid": 0,
+             "args": {"watts": -1}}
+        ]}"#;
+        assert!(validate_chrome_trace(negative)
+            .unwrap_err()
+            .contains("negative counter"));
+        let backwards = r#"{"traceEvents": [
+            {"name": "watts worker 0", "ph": "C", "ts": 5, "pid": 1, "tid": 0,
+             "args": {"watts": 1}},
+            {"name": "watts worker 0", "ph": "C", "ts": 4, "pid": 1, "tid": 0,
+             "args": {"watts": 2}}
+        ]}"#;
+        assert!(validate_chrome_trace(backwards)
+            .unwrap_err()
+            .contains("backwards"));
+        let missing_args = r#"{"traceEvents": [
+            {"name": "watts worker 0", "ph": "C", "ts": 0, "pid": 1, "tid": 0}
+        ]}"#;
+        assert!(validate_chrome_trace(missing_args)
+            .unwrap_err()
+            .contains("args"));
+        let colliding = r#"{"traceEvents": [
+            {"name": "park", "ph": "X", "ts": 0, "dur": 1, "pid": 1, "tid": 0},
+            {"name": "park", "ph": "C", "ts": 0, "pid": 1, "tid": 0,
+             "args": {"watts": 1}}
+        ]}"#;
+        assert!(validate_chrome_trace(colliding)
+            .unwrap_err()
+            .contains("collides"));
     }
 
     #[test]

@@ -80,6 +80,20 @@ impl FrequencyDriver for NullDriver {
 /// this fraction of `busy_watts_fast`.
 pub const PARK_WATTS_FRACTION: f64 = 0.05;
 
+/// What one accounting call charged: the constant-power slice the pool
+/// turns into an [`Event::PowerInterval`](hermes_telemetry::Event) when
+/// a sink is attached. `milliwatts × duration_ns` picojoules mirrors the
+/// nanojoule meter charge to within milliwatt rounding, so summed
+/// interval energy cross-checks [`EmulatedDvfs::total_energy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct PowerCharge {
+    /// Length of the charged slice, ns (virtual time for dilated task
+    /// slices, real time for idle spin and park episodes).
+    pub duration_ns: u64,
+    /// Power billed over the slice, mW.
+    pub milliwatts: u64,
+}
+
 /// Emulated DVFS by timing dilation.
 ///
 /// Real DVFS makes a task take `f_max / f` times longer; the emulation
@@ -100,10 +114,21 @@ pub struct EmulatedDvfs {
     freqs_khz: Vec<AtomicU64>,
     /// Virtual nanojoules consumed per worker.
     energy_nj: Vec<AtomicU64>,
+    /// Wall-clock start of each worker's in-flight busy slice, ns since
+    /// `epoch` ([`BUSY_IDLE`] when no slice is open). Lets
+    /// [`worker_energy_nj`](Self::worker_energy_nj) price the open
+    /// slice live, so a meter read from *inside* a task sees the energy
+    /// that task has drawn so far rather than a value frozen at the
+    /// last task boundary.
+    busy_since_ns: Vec<AtomicU64>,
+    epoch: std::time::Instant,
     /// Busy power at the fastest frequency, watts (simplified linear-V
     /// model embedded to avoid a dependency on `hermes-sim`).
     busy_watts_fast: f64,
 }
+
+/// `busy_since_ns` sentinel: no busy slice open on this worker.
+const BUSY_IDLE: u64 = u64::MAX;
 
 impl EmulatedDvfs {
     /// An emulator for `workers` workers whose hardware tops out at
@@ -116,6 +141,8 @@ impl EmulatedDvfs {
                 .map(|_| AtomicU64::new(fastest.khz()))
                 .collect(),
             energy_nj: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            busy_since_ns: (0..workers).map(|_| AtomicU64::new(BUSY_IDLE)).collect(),
+            epoch: std::time::Instant::now(),
             busy_watts_fast,
         }
     }
@@ -135,14 +162,25 @@ impl EmulatedDvfs {
         self.fastest.khz() as f64 / khz as f64
     }
 
+    /// Open a busy slice on `worker`: called by the pool just before a
+    /// task body runs, so mid-task meter reads accrue live. Closed (and
+    /// settled exactly, from the pool's own duration measurement) by
+    /// [`account_and_dilate`](Self::account_and_dilate).
+    pub(crate) fn begin_busy(&self, worker: usize) {
+        self.busy_since_ns[worker].store(self.epoch.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+
     /// Account one executed task slice and perform the dilation spin.
-    /// Called by the pool after each task execution.
-    pub(crate) fn account_and_dilate(&self, worker: usize, real: Duration) {
+    /// Called by the pool after each task execution; returns the busy
+    /// slice charged (virtual duration at the current busy power).
+    pub(crate) fn account_and_dilate(&self, worker: usize, real: Duration) -> PowerCharge {
+        self.busy_since_ns[worker].store(BUSY_IDLE, Ordering::Relaxed);
         let khz = self.freqs_khz[worker].load(Ordering::Relaxed);
         let freq = Frequency::from_khz(khz);
         let dilation = self.fastest.khz() as f64 / khz as f64;
         let virtual_time = real.as_secs_f64() * dilation;
-        let nj = self.busy_watts(freq) * virtual_time * 1e9;
+        let watts = self.busy_watts(freq);
+        let nj = watts * virtual_time * 1e9;
         self.energy_nj[worker].fetch_add(nj as u64, Ordering::Relaxed);
         let extra = virtual_time - real.as_secs_f64();
         if extra > 0.0 {
@@ -150,6 +188,10 @@ impl EmulatedDvfs {
             while std::time::Instant::now() < deadline {
                 std::hint::spin_loop();
             }
+        }
+        PowerCharge {
+            duration_ns: (virtual_time * 1e9) as u64,
+            milliwatts: (watts * 1e3).round() as u64,
         }
     }
 
@@ -163,20 +205,54 @@ impl EmulatedDvfs {
     /// This is the energy the tempo controller recovers by
     /// procrastinating thieves, and the parking subsystem recovers by
     /// not spinning at all.
-    pub(crate) fn account_idle_spin(&self, worker: usize, real: Duration) {
+    pub(crate) fn account_idle_spin(&self, worker: usize, real: Duration) -> PowerCharge {
         let khz = self.freqs_khz[worker].load(Ordering::Relaxed);
         let freq = Frequency::from_khz(khz);
-        let nj = self.busy_watts(freq) * real.as_secs_f64() * 1e9;
+        let watts = self.busy_watts(freq);
+        let nj = watts * real.as_secs_f64() * 1e9;
         self.energy_nj[worker].fetch_add(nj as u64, Ordering::Relaxed);
+        PowerCharge {
+            duration_ns: real.as_nanos() as u64,
+            milliwatts: (watts * 1e3).round() as u64,
+        }
     }
 
     /// Account a completed park episode: charged at
     /// [`PARK_WATTS_FRACTION`] of the fastest busy power, independent
     /// of the core's DVFS operating point (a sleeping core's clock is
     /// gated either way).
-    pub(crate) fn account_parked(&self, worker: usize, real: Duration) {
-        let nj = self.busy_watts_fast * PARK_WATTS_FRACTION * real.as_secs_f64() * 1e9;
+    pub(crate) fn account_parked(&self, worker: usize, real: Duration) -> PowerCharge {
+        let watts = self.busy_watts_fast * PARK_WATTS_FRACTION;
+        let nj = watts * real.as_secs_f64() * 1e9;
         self.energy_nj[worker].fetch_add(nj as u64, Ordering::Relaxed);
+        PowerCharge {
+            duration_ns: real.as_nanos() as u64,
+            milliwatts: (watts * 1e3).round() as u64,
+        }
+    }
+
+    /// Virtual nanojoules charged to `worker` so far, *including* a
+    /// live estimate for the busy slice currently open (a task mid-run
+    /// has drawn power the settled counter won't see until the task
+    /// boundary). Cheap enough for the serving layer to read before and
+    /// after every poll episode when attributing energy to requests —
+    /// the delta across a bracket is the energy the bracketed code
+    /// drew. The estimate uses the same `watts × dilated-time` formula
+    /// the settle does, so the running value flows continuously into
+    /// the settled one.
+    #[must_use]
+    pub fn worker_energy_nj(&self, worker: usize) -> u64 {
+        let settled = self.energy_nj[worker].load(Ordering::Relaxed);
+        let since = self.busy_since_ns[worker].load(Ordering::Relaxed);
+        if since == BUSY_IDLE {
+            return settled;
+        }
+        let now = self.epoch.elapsed().as_nanos() as u64;
+        let real = now.saturating_sub(since) as f64 / 1e9;
+        let khz = self.freqs_khz[worker].load(Ordering::Relaxed);
+        let dilation = self.fastest.khz() as f64 / khz as f64;
+        let watts = self.busy_watts(Frequency::from_khz(khz));
+        settled + (watts * real * dilation * 1e9) as u64
     }
 
     /// Virtual joules consumed so far, per worker.
@@ -285,6 +361,49 @@ mod tests {
         let spin = EmulatedDvfs::new(1, Frequency::from_mhz(2400), 8.0);
         spin.account_idle_spin(0, Duration::from_millis(100));
         assert!(e < spin.total_energy() / 10.0);
+    }
+
+    #[test]
+    fn power_charges_mirror_the_nanojoule_meter() {
+        let d = EmulatedDvfs::new(1, Frequency::from_mhz(2400), 8.0);
+        let spin = d.account_idle_spin(0, Duration::from_millis(10));
+        assert_eq!(spin.milliwatts, 8_000);
+        assert_eq!(spin.duration_ns, 10_000_000);
+        let parked = d.account_parked(0, Duration::from_millis(100));
+        assert_eq!(parked.milliwatts, 400);
+        assert_eq!(parked.duration_ns, 100_000_000);
+        assert_eq!(d.worker_energy_nj(0), (d.total_energy() * 1e9) as u64);
+        // The mW × ns picojoule products reproduce the meter to within
+        // milliwatt rounding — the closure cross-check the energy
+        // ledger relies on.
+        let pj =
+            (spin.milliwatts * spin.duration_ns + parked.milliwatts * parked.duration_ns) as f64;
+        let rel = (pj / 1e12 - d.total_energy()).abs() / d.total_energy();
+        assert!(rel < 1e-3, "relative interval-vs-meter error {rel}");
+    }
+
+    #[test]
+    fn open_busy_slices_accrue_on_the_meter_live() {
+        let d = EmulatedDvfs::new(1, Frequency::from_mhz(2400), 8.0);
+        assert_eq!(d.worker_energy_nj(0), 0);
+        d.begin_busy(0);
+        std::thread::sleep(Duration::from_millis(5));
+        let mid = d.worker_energy_nj(0);
+        // 8 W × ≥5 ms ≥ 40 mJ: a mid-task read sees the draw so far.
+        assert!(mid >= 40_000_000, "live estimate {mid} nJ");
+        assert!(
+            d.worker_energy_nj(0) >= mid,
+            "the live meter never runs backwards within a slice"
+        );
+        // Settling replaces the estimate with the measured charge and
+        // closes the slice: the meter is the settled value again.
+        d.account_and_dilate(0, Duration::from_millis(10));
+        let settled = d.worker_energy_nj(0);
+        assert_eq!(settled, (d.total_energy() * 1e9) as u64);
+        assert!(
+            (settled as f64 - 80e6).abs() < 8e6,
+            "8 W × 10 ms = 80 mJ, got {settled} nJ"
+        );
     }
 
     #[test]

@@ -3,7 +3,10 @@
 use crate::ticket::{Ticket, TicketInner};
 use hermes_core::TempoConfig;
 use hermes_obs::{FlightDump, FlightRecorder};
-use hermes_rt::{current_worker_index, DequeKind, MetricsSnapshot, Pool, PoolBuilder, SpanPhase};
+use hermes_rt::{
+    current_worker_energy_nj, current_worker_index, DequeKind, MetricsSnapshot, Pool, PoolBuilder,
+    SpanPhase,
+};
 use hermes_telemetry::{Event, LatencyHistogram, LatencyRecorder, TelemetrySink, MACHINE_STREAM};
 use std::future::Future;
 use std::pin::Pin;
@@ -47,6 +50,9 @@ struct ServeShared {
     completed: AtomicU64,
     in_flight: AtomicU64,
     latency: LatencyRecorder,
+    /// Per-request energy samples, µJ (same log-bucketed recorder as
+    /// latency). Only fed when the pool runs under emulated DVFS.
+    energy: LatencyRecorder,
     /// Telemetry destination for [`Event::RequestLatency`] and the
     /// request-level span edges; `None` keeps the completion path free
     /// of event work.
@@ -104,19 +110,24 @@ impl ServeShared {
     }
 
     /// First half of the completion tail, run *before* the ticket
-    /// resolves: latency record + telemetry event, terminal span edge.
-    fn record_completion(&self, span: u64, t0: Instant) {
+    /// resolves: latency record + telemetry event, the request's energy
+    /// reading when one was measured, terminal span edge.
+    fn record_completion(&self, span: u64, t0: Instant, energy_uj: Option<u64>) {
         let ns = t0.elapsed().as_nanos() as u64;
         self.latency.record(ns);
+        if let Some(uj) = energy_uj {
+            self.energy.record(uj);
+        }
         if let Some(sink) = &self.sink {
             // Attribute to the worker that completed the request;
             // MACHINE_STREAM cannot occur in practice (requests run on
             // workers) but keeps the fallback total-preserving.
-            sink.record(
-                current_worker_index().unwrap_or(MACHINE_STREAM),
-                self.pool_now_ns(),
-                Event::RequestLatency { ns },
-            );
+            let stream = current_worker_index().unwrap_or(MACHINE_STREAM);
+            let now = self.pool_now_ns();
+            sink.record(stream, now, Event::RequestLatency { ns });
+            if let Some(uj) = energy_uj {
+                sink.record(stream, now, Event::RequestEnergy { microjoules: uj });
+            }
         }
         self.record_span(span, false, SpanPhase::Complete);
     }
@@ -318,6 +329,7 @@ impl ServerBuilder {
                 completed: AtomicU64::new(0),
                 in_flight: AtomicU64::new(0),
                 latency: LatencyRecorder::new(),
+                energy: LatencyRecorder::new(),
                 sink: self.telemetry.filter(|s| !s.is_null()),
                 epoch,
                 epoch_offset_ns,
@@ -395,9 +407,19 @@ impl Server {
         self.pool.spawn(move || {
             shared.record_span(span, false, SpanPhase::Inject);
             shared.record_span(span, true, SpanPhase::Poll);
+            // Bracket the request body with the worker's energy meter:
+            // the delta is the joules this request's execution drew
+            // (µJ-rounded). `None` without emulated DVFS.
+            let meter0 = current_worker_energy_nj();
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(request));
+            let energy_uj = meter0.and_then(|e0| {
+                current_worker_energy_nj().map(|e1| (e1.saturating_sub(e0) + 500) / 1_000)
+            });
             shared.record_span(span, false, SpanPhase::Poll);
-            shared.record_completion(span, t0);
+            shared.record_completion(span, t0, energy_uj);
+            if let Some(uj) = energy_uj {
+                inner.set_energy_uj(uj);
+            }
             inner.complete(outcome);
             shared.count_completion();
         });
@@ -440,6 +462,7 @@ impl Server {
                 request: Box::pin(request),
                 span,
                 inject_open: span != 0,
+                energy_nj: None,
                 done: Some((shared, inner, t0)),
             },
             span,
@@ -471,11 +494,21 @@ impl Server {
         self.shared.latency.snapshot()
     }
 
+    /// Snapshot of the per-request *energy* histogram so far (µJ
+    /// values in the same log-bucketed shape as [`latency`](Self::latency)).
+    /// Empty unless the server runs under
+    /// [`emulated_dvfs`](ServerBuilder::emulated_dvfs) — without a
+    /// meter no request is charged anything.
+    #[must_use]
+    pub fn request_energy(&self) -> LatencyHistogram {
+        self.shared.energy.snapshot()
+    }
+
     /// A live [`MetricsSnapshot`] without quiescing anything:
     /// [`Pool::metrics`] (per-worker busy/steal/park time, task counts,
     /// injector depth — seqlock-published by the workers) completed
     /// with the request-level view only the server has — in-flight
-    /// count and rolling latency quantiles. `None` unless a telemetry
+    /// count and rolling latency/energy quantiles. `None` unless a telemetry
     /// sink is attached ([`ServerBuilder::telemetry`] or
     /// [`ServerBuilder::flight_recorder`]).
     #[must_use]
@@ -485,6 +518,9 @@ impl Server {
         let hist = self.shared.latency.snapshot();
         snapshot.latency_p50_ns = hist.p50();
         snapshot.latency_p99_ns = hist.p99();
+        let energy = self.shared.energy.snapshot();
+        snapshot.energy_p50_uj = energy.p50();
+        snapshot.energy_p99_uj = energy.p99();
         Some(snapshot)
     }
 
@@ -556,6 +592,12 @@ struct RequestFuture<R> {
     /// Whether the inject span is still open: the first poll closes it
     /// (admission → execution start), whatever the poll returns.
     inject_open: bool,
+    /// Energy accumulated across this request's polls, nJ: each poll is
+    /// bracketed by two reads of the executing worker's energy meter
+    /// and the deltas sum here — a request that parks for a second
+    /// between polls is charged only what its polls actually drew.
+    /// Stays `None` without emulated DVFS.
+    energy_nj: Option<u64>,
     /// Completion context, taken exactly once at the final poll. If the
     /// task is dropped unpolled (pool shut down), this drops too and
     /// the ticket's latch stays unset — exactly like a `submit` closure
@@ -574,9 +616,14 @@ impl<R> Future for RequestFuture<R> {
                 shared.record_span(this.span, false, SpanPhase::Inject);
             }
         }
-        let outcome = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let meter0 = current_worker_energy_nj();
+        let polled = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             this.request.as_mut().poll(cx)
-        })) {
+        }));
+        if let (Some(e0), Some(e1)) = (meter0, current_worker_energy_nj()) {
+            this.energy_nj = Some(this.energy_nj.unwrap_or(0) + e1.saturating_sub(e0));
+        }
+        let outcome = match polled {
             Ok(Poll::Pending) => return Poll::Pending,
             Ok(Poll::Ready(value)) => Ok(value),
             Err(payload) => Err(payload),
@@ -585,7 +632,11 @@ impl<R> Future for RequestFuture<R> {
             .done
             .take()
             .expect("request future polled again after completion");
-        shared.record_completion(this.span, t0);
+        let energy_uj = this.energy_nj.map(|nj| (nj + 500) / 1_000);
+        shared.record_completion(this.span, t0, energy_uj);
+        if let Some(uj) = energy_uj {
+            inner.set_energy_uj(uj);
+        }
         inner.complete(outcome);
         shared.count_completion();
         Poll::Ready(())
@@ -875,6 +926,73 @@ mod tests {
         let report = sink.report("serve-spans", "rt", 0.1, 0.0);
         assert_eq!(report.totals().dropped_events, 0);
         assert_eq!(report.latency_hist.count(), SYNC + ASYNC);
+    }
+
+    #[test]
+    fn requests_are_charged_joules_under_emulated_dvfs() {
+        use hermes_core::Frequency;
+        use hermes_telemetry::RingSink;
+        const N: u64 = 24;
+        let sink = Arc::new(RingSink::new(2));
+        let mut server = Server::builder()
+            .workers(2)
+            .emulated_dvfs(Frequency::from_mhz(2_400), 8.0)
+            .telemetry(Arc::clone(&sink) as Arc<dyn TelemetrySink>)
+            .build();
+        let spin = || {
+            let t0 = Instant::now();
+            while t0.elapsed() < Duration::from_micros(300) {
+                std::hint::black_box(0u64);
+            }
+        };
+        let sync_tickets: Vec<Ticket<()>> = (0..N / 2).map(|_| server.submit(spin)).collect();
+        let async_tickets: Vec<Ticket<()>> = (0..N / 2)
+            .map(|_| server.submit_async(async move { spin() }))
+            .collect();
+        for t in sync_tickets.into_iter().chain(async_tickets) {
+            while !t.is_done() {
+                std::thread::yield_now();
+            }
+            let uj = t
+                .energy_microjoules()
+                .expect("emulated DVFS meters every request");
+            // 300 µs of busy work at a several-watt draw is on the
+            // order of a millijoule; zero would mean the bracket missed.
+            assert!(uj > 0, "request charged {uj} µJ");
+            t.wait();
+        }
+        // The server-side recorder saw one sample per request, and its
+        // quantiles surface through the metrics snapshot.
+        assert_eq!(server.request_energy().count(), N);
+        let metrics = server.metrics().expect("sink attached");
+        assert!(metrics.energy_p50_uj.is_some());
+        assert!(metrics.energy_p99_uj.is_some());
+        server.stop();
+        // Per-worker meters reached the snapshot, so the prometheus
+        // energy families render.
+        let settled = server.metrics().expect("sink attached");
+        assert!(settled.workers.iter().any(|w| w.energy_uj > 0));
+        let text = hermes_obs::prometheus_text(&settled, "hermes");
+        assert!(text.contains("hermes_energy_joules_total{worker=\"0\"}"));
+        assert!(text.contains("hermes_request_energy_p50_joules"));
+        // One RequestEnergy event per request landed in the sink, and
+        // the folded report's energy histogram matches the recorder.
+        let report = sink.report("serve-energy", "rt", 0.1, 0.0);
+        assert_eq!(report.energy_hist.count(), N);
+        assert_eq!(report.energy_hist, server.request_energy());
+    }
+
+    #[test]
+    fn unmetered_requests_report_no_energy() {
+        let server = Server::builder().workers(2).build();
+        let t = server.submit(|| 2 + 2);
+        while !t.is_done() {
+            std::thread::yield_now();
+        }
+        assert_eq!(t.energy_microjoules(), None, "no meter, no joules");
+        assert_eq!(t.wait(), 4);
+        assert_eq!(server.request_energy().count(), 0);
+        server.shutdown();
     }
 
     #[test]

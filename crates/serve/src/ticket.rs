@@ -6,6 +6,7 @@ use hermes_rt::{current_worker_index, WakerLatch};
 use parking_lot::Mutex;
 use std::future::Future;
 use std::pin::Pin;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::task::{Context, Poll};
 
@@ -18,9 +19,18 @@ const PANIC_DUMP_TAIL: usize = 48;
 /// that killed it.
 type Outcome<R> = std::thread::Result<R>;
 
+/// Sentinel for "no energy measurement": the request ran on a pool
+/// without emulated DVFS (or off-worker), so the ticket reports `None`
+/// rather than a misleading zero.
+const ENERGY_UNMEASURED: u64 = u64::MAX;
+
 pub(crate) struct TicketInner<R> {
     latch: WakerLatch,
     outcome: Mutex<Option<Outcome<R>>>,
+    /// Energy the request's polls consumed on their workers, µJ;
+    /// [`ENERGY_UNMEASURED`] until (and unless) the completion tail
+    /// writes it, always before the latch is set.
+    energy_uj: AtomicU64,
 }
 
 impl<R> TicketInner<R> {
@@ -28,7 +38,16 @@ impl<R> TicketInner<R> {
         TicketInner {
             latch: WakerLatch::new(),
             outcome: Mutex::new(None),
+            energy_uj: AtomicU64::new(ENERGY_UNMEASURED),
         }
+    }
+
+    /// Publish the request's measured energy. Must happen before
+    /// [`complete`](Self::complete): the latch's release/acquire pair is
+    /// what makes this relaxed store visible to the redeeming thread.
+    pub(crate) fn set_energy_uj(&self, uj: u64) {
+        self.energy_uj
+            .store(uj.min(ENERGY_UNMEASURED - 1), Ordering::Relaxed);
     }
 
     /// Publish the request's outcome and release the waiter. Write
@@ -72,6 +91,23 @@ impl<R> Ticket<R> {
     #[must_use]
     pub fn is_done(&self) -> bool {
         self.inner.latch.probe()
+    }
+
+    /// Emulated energy this request's execution consumed, in
+    /// microjoules — the meter delta summed over its polls on pool
+    /// workers. `None` until the request completes, and `None` forever
+    /// when the server runs without
+    /// [`emulated_dvfs`](crate::ServerBuilder::emulated_dvfs) (no meter,
+    /// no joules — absent beats a misleading zero).
+    #[must_use]
+    pub fn energy_microjoules(&self) -> Option<u64> {
+        if !self.is_done() {
+            return None;
+        }
+        match self.inner.energy_uj.load(Ordering::Relaxed) {
+            ENERGY_UNMEASURED => None,
+            uj => Some(uj),
+        }
     }
 
     /// Block until the request completes and return its value.
@@ -168,6 +204,31 @@ mod tests {
         inner.complete(Ok(41 + 1));
         assert!(ticket.is_done());
         assert_eq!(ticket.wait(), 42);
+    }
+
+    #[test]
+    fn energy_is_none_until_measured_and_sticks_once_set() {
+        let (ticket, inner) = Ticket::new(None);
+        assert_eq!(ticket.energy_microjoules(), None, "pending: no reading");
+        inner.set_energy_uj(1_250);
+        assert_eq!(
+            ticket.energy_microjoules(),
+            None,
+            "a reading is only visible once the request completed"
+        );
+        inner.complete(Ok(()));
+        assert_eq!(ticket.energy_microjoules(), Some(1_250));
+
+        // Unmeasured requests (no emulated DVFS) stay None forever.
+        let (ticket, inner) = Ticket::<u8>::new(None);
+        inner.complete(Ok(0));
+        assert_eq!(ticket.energy_microjoules(), None);
+
+        // The sentinel itself is unrepresentable as a measurement.
+        let (ticket, inner) = Ticket::<u8>::new(None);
+        inner.set_energy_uj(u64::MAX);
+        inner.complete(Ok(0));
+        assert_eq!(ticket.energy_microjoules(), Some(u64::MAX - 1));
     }
 
     #[test]

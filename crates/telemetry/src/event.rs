@@ -82,6 +82,41 @@ impl SpanPhase {
     }
 }
 
+/// Watts-class of a [`Event::PowerInterval`]: what the worker was doing
+/// while it drew the interval's power.
+///
+/// The three classes mirror the emulated-DVFS cost model: `Busy` draws
+/// frequency-dependent power while executing, `Spin` draws busy power at
+/// the current operating point while idle-spinning for work, and
+/// `Parked` draws the park fraction. The class is what lets the energy
+/// ledger split "joules doing requests" from "joules keeping cores
+/// warm".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PowerKind {
+    /// Executing a task at some DVFS operating point.
+    Busy,
+    /// Idle-spinning (stealing sweeps, bounded spin before parking) at
+    /// busy power for the current frequency.
+    Spin,
+    /// Parked on the pool's condvar at the park power fraction.
+    Parked,
+}
+
+impl PowerKind {
+    /// All kinds, in code order.
+    pub const ALL: [PowerKind; 3] = [PowerKind::Busy, PowerKind::Spin, PowerKind::Parked];
+
+    /// Short label for reports and trace exporters.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            PowerKind::Busy => "busy",
+            PowerKind::Spin => "spin",
+            PowerKind::Parked => "parked",
+        }
+    }
+}
+
 /// One telemetry event, attributed by the recording host to a worker
 /// stream (or the machine stream) and a host-defined timestamp.
 ///
@@ -166,18 +201,74 @@ pub enum Event {
         /// The phase being left.
         phase: SpanPhase,
     },
+    /// A constant-power interval on the stream's worker. Recorded at the
+    /// interval's **end** (the [`Event::WorkerUnpark`] convention), so
+    /// the interval covers `[at_ns - duration_ns, at_ns]`. The energy it
+    /// represents is exactly `milliwatts × duration_ns` picojoules —
+    /// what the emulated-DVFS accountant (rt) or the engine's per-core
+    /// integrator (sim) charged for the slice — so summing interval
+    /// energy reproduces the cumulative meters, and the
+    /// [`obs` ledger](Event::PowerInterval) can charge each slice to the
+    /// span that was occupying the worker.
+    PowerInterval {
+        /// What the worker was doing (busy / spin / parked).
+        kind: PowerKind,
+        /// Interval length, ns (saturates at 2³⁸ − 1 ≈ 274 s).
+        duration_ns: u64,
+        /// Average power over the interval, mW (saturates at
+        /// 2²⁰ − 1 ≈ 1048 W — far beyond any per-core draw).
+        milliwatts: u64,
+    },
+    /// One serving request completed and this is the energy it was
+    /// charged: the sum of the executing worker's busy-power draw over
+    /// the request's poll episodes. The per-request twin of
+    /// [`Event::RequestLatency`], recorded on the same stream at the
+    /// same completion instant.
+    RequestEnergy {
+        /// Energy attributed to the completed request, µJ.
+        microjoules: u64,
+    },
 }
 
 impl Event {
     /// An [`Event::EnergySample`] from a joule value: clamped at zero
     /// and converted to µJ. The single home of that conversion — every
     /// host (rt energy flush, sim finalizer, supply meter) goes through
-    /// it.
+    /// it. Values above the 60-bit payload saturate on encode; hosts
+    /// that could plausibly exceed it should use
+    /// [`energy_samples_from_joules`](Self::energy_samples_from_joules)
+    /// instead, which splits rather than clamps.
     #[must_use]
     pub fn energy_from_joules(joules: f64) -> Event {
         Event::EnergySample {
             microjoules: (joules.max(0.0) * 1e6) as u64,
         }
+    }
+
+    /// Split an energy contribution into however many
+    /// [`Event::EnergySample`] words the 60-bit payload field needs, so
+    /// no joules are silently clamped away. Streams accumulate samples,
+    /// so emitting the chunks back-to-back is equivalent to one event.
+    /// Always yields at least one event (a zero contribution is a
+    /// recorded heartbeat, matching the single-event helpers).
+    pub fn energy_samples(microjoules: u64) -> impl Iterator<Item = Event> {
+        let mut remaining = microjoules;
+        let mut first = true;
+        std::iter::from_fn(move || {
+            if !first && remaining == 0 {
+                return None;
+            }
+            first = false;
+            let chunk = remaining.min(PAYLOAD_MASK);
+            remaining -= chunk;
+            Some(Event::EnergySample { microjoules: chunk })
+        })
+    }
+
+    /// [`energy_samples`](Self::energy_samples) from a joule value:
+    /// clamped at zero, converted to µJ, split across events as needed.
+    pub fn energy_samples_from_joules(joules: f64) -> impl Iterator<Item = Event> {
+        Self::energy_samples((joules.max(0.0) * 1e6) as u64)
     }
 }
 
@@ -194,12 +285,20 @@ const TAG_TASK_WAKE: u64 = 9;
 const TAG_TASK_REPUSH: u64 = 10;
 const TAG_SPAN_BEGIN: u64 = 11;
 const TAG_SPAN_END: u64 = 12;
+const TAG_POWER: u64 = 13;
+const TAG_REQ_ENERGY: u64 = 14;
 
 const PAYLOAD_MASK: u64 = (1 << TAG_SHIFT) - 1;
 const FREQ_MASK: u64 = (1 << 48) - 1;
 /// Span payload layout: bits 0..56 hold the id, bits 56..59 the phase.
 const SPAN_ID_MASK: u64 = (1 << 56) - 1;
 const SPAN_PHASE_SHIFT: u32 = 56;
+/// Power-interval payload layout: bits 0..38 duration (ns), bits 38..58
+/// milliwatts, bits 58..60 the watts-class.
+const POWER_NS_MASK: u64 = (1 << 38) - 1;
+const POWER_MW_SHIFT: u32 = 38;
+const POWER_MW_MASK: u64 = (1 << 20) - 1;
+const POWER_KIND_SHIFT: u32 = 58;
 
 fn outcome_code(o: StealOutcome) -> u64 {
     match o {
@@ -245,6 +344,23 @@ fn span_payload(id: u64, phase: SpanPhase) -> u64 {
     (phase_code(phase) << SPAN_PHASE_SHIFT) | id.min(SPAN_ID_MASK)
 }
 
+fn power_kind_code(k: PowerKind) -> u64 {
+    match k {
+        PowerKind::Busy => 0,
+        PowerKind::Spin => 1,
+        PowerKind::Parked => 2,
+    }
+}
+
+fn power_kind_from_code(code: u64) -> Option<PowerKind> {
+    Some(match code {
+        0 => PowerKind::Busy,
+        1 => PowerKind::Spin,
+        2 => PowerKind::Parked,
+        _ => return None,
+    })
+}
+
 impl Event {
     /// Pack the event into one word. Oversized payloads saturate at
     /// their field maximum (48 bits for frequencies, 60 bits for
@@ -276,6 +392,19 @@ impl Event {
                 (TAG_SPAN_BEGIN << TAG_SHIFT) | span_payload(id, phase)
             }
             Event::SpanEnd { id, phase } => (TAG_SPAN_END << TAG_SHIFT) | span_payload(id, phase),
+            Event::PowerInterval {
+                kind,
+                duration_ns,
+                milliwatts,
+            } => {
+                (TAG_POWER << TAG_SHIFT)
+                    | (power_kind_code(kind) << POWER_KIND_SHIFT)
+                    | (milliwatts.min(POWER_MW_MASK) << POWER_MW_SHIFT)
+                    | duration_ns.min(POWER_NS_MASK)
+            }
+            Event::RequestEnergy { microjoules } => {
+                (TAG_REQ_ENERGY << TAG_SHIFT) | microjoules.min(PAYLOAD_MASK)
+            }
         }
     }
 
@@ -327,6 +456,14 @@ impl Event {
             TAG_SPAN_END => Some(Event::SpanEnd {
                 id: payload & SPAN_ID_MASK,
                 phase: phase_from_code(payload >> SPAN_PHASE_SHIFT)?,
+            }),
+            TAG_POWER => Some(Event::PowerInterval {
+                kind: power_kind_from_code(payload >> POWER_KIND_SHIFT)?,
+                duration_ns: payload & POWER_NS_MASK,
+                milliwatts: (payload >> POWER_MW_SHIFT) & POWER_MW_MASK,
+            }),
+            TAG_REQ_ENERGY => Some(Event::RequestEnergy {
+                microjoules: payload,
             }),
             _ => None,
         }
@@ -382,6 +519,9 @@ mod tests {
             Event::TaskPoll,
             Event::TaskWake,
             Event::TaskRepush,
+            Event::RequestEnergy {
+                microjoules: 987_654,
+            },
         ];
         for ev in events {
             assert_eq!(Event::decode(ev.encode()), Some(ev), "{ev:?}");
@@ -394,16 +534,36 @@ mod tests {
                 }
             }
         }
+        // Every power-interval kind round-trips with full-width fields.
+        for kind in PowerKind::ALL {
+            for (duration_ns, milliwatts) in [
+                (0u64, 0u64),
+                (1, 1),
+                (1_000_000_000, 8_000),
+                (POWER_NS_MASK, POWER_MW_MASK),
+            ] {
+                let ev = Event::PowerInterval {
+                    kind,
+                    duration_ns,
+                    milliwatts,
+                };
+                assert_eq!(Event::decode(ev.encode()), Some(ev), "{ev:?}");
+            }
+        }
     }
 
     #[test]
     fn vacant_sentinel_decodes_to_none() {
         assert_eq!(Event::decode(0), None);
-        // Unknown tags (13-15 are unassigned).
-        assert_eq!(Event::decode(13 << TAG_SHIFT), None);
+        // Unknown tag (15 is the sole remaining unassigned tag).
         assert_eq!(Event::decode(15 << TAG_SHIFT), None);
         // Steal with an invalid outcome code.
         assert_eq!(Event::decode((TAG_STEAL << TAG_SHIFT) | (3 << 32)), None);
+        // Power interval with the invalid kind code (3).
+        assert_eq!(
+            Event::decode((TAG_POWER << TAG_SHIFT) | (3 << POWER_KIND_SHIFT) | 42),
+            None
+        );
         // Span words with an invalid phase code (6, 7).
         assert_eq!(
             Event::decode((TAG_SPAN_BEGIN << TAG_SHIFT) | (6 << SPAN_PHASE_SHIFT)),
@@ -475,6 +635,36 @@ mod tests {
             Some(Event::RequestLatency { ns }) => assert_eq!(ns, PAYLOAD_MASK),
             other => panic!("unexpected {other:?}"),
         }
+        match Event::decode(
+            Event::RequestEnergy {
+                microjoules: u64::MAX,
+            }
+            .encode(),
+        ) {
+            Some(Event::RequestEnergy { microjoules }) => assert_eq!(microjoules, PAYLOAD_MASK),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Power-interval fields saturate independently without bleeding
+        // into each other or the kind bits.
+        match Event::decode(
+            Event::PowerInterval {
+                kind: PowerKind::Spin,
+                duration_ns: u64::MAX,
+                milliwatts: u64::MAX,
+            }
+            .encode(),
+        ) {
+            Some(Event::PowerInterval {
+                kind,
+                duration_ns,
+                milliwatts,
+            }) => {
+                assert_eq!(kind, PowerKind::Spin);
+                assert_eq!(duration_ns, POWER_NS_MASK);
+                assert_eq!(milliwatts, POWER_MW_MASK);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
         // A park word with payload bits set is malformed, not a park.
         assert_eq!(Event::decode((TAG_PARK << TAG_SHIFT) | 1), None);
         // Same for the payload-free task events.
@@ -488,5 +678,55 @@ mod tests {
         assert_eq!(StealOutcome::Success.label(), "success");
         assert_eq!(StealOutcome::Empty.label(), "empty");
         assert_eq!(StealOutcome::LostRace.label(), "lost_race");
+    }
+
+    #[test]
+    fn power_kind_labels_are_distinct() {
+        let labels: std::collections::HashSet<_> =
+            PowerKind::ALL.iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), PowerKind::ALL.len());
+    }
+
+    #[test]
+    fn energy_splitting_never_clamps_joules_away() {
+        // At the field boundary: exactly one event, the full value.
+        let at_mask: Vec<_> = Event::energy_samples(PAYLOAD_MASK).collect();
+        assert_eq!(
+            at_mask,
+            vec![Event::EnergySample {
+                microjoules: PAYLOAD_MASK
+            }]
+        );
+        // One past the boundary: two events, nothing lost.
+        let past: Vec<_> = Event::energy_samples(PAYLOAD_MASK + 1).collect();
+        assert_eq!(
+            past,
+            vec![
+                Event::EnergySample {
+                    microjoules: PAYLOAD_MASK
+                },
+                Event::EnergySample { microjoules: 1 },
+            ]
+        );
+        // The worst case splits into chunks that sum back exactly, and
+        // every chunk survives its own encode round-trip un-clamped.
+        let mut total = 0u64;
+        for ev in Event::energy_samples(u64::MAX) {
+            assert_eq!(Event::decode(ev.encode()), Some(ev));
+            let Event::EnergySample { microjoules } = ev else {
+                panic!("unexpected {ev:?}");
+            };
+            total += microjoules;
+        }
+        assert_eq!(total, u64::MAX);
+        // Zero still yields the heartbeat sample.
+        assert_eq!(
+            Event::energy_samples(0).collect::<Vec<_>>(),
+            vec![Event::EnergySample { microjoules: 0 }]
+        );
+        // The joule-denominated form agrees with the single-event helper
+        // for in-range values.
+        let single: Vec<_> = Event::energy_samples_from_joules(1.5).collect();
+        assert_eq!(single, vec![Event::energy_from_joules(1.5)]);
     }
 }

@@ -79,6 +79,11 @@ pub struct WorkerMetricsSample {
     pub parked_ns: u64,
     /// Tasks executed.
     pub tasks: u64,
+    /// Energy attributed to this worker so far, µJ. The hub does not
+    /// track energy (the emulated-DVFS accountant is authoritative);
+    /// hosts with an energy model fill this in when composing a
+    /// [`MetricsSnapshot`], others leave it 0.
+    pub energy_uj: u64,
 }
 
 impl MetricsHub {
@@ -158,6 +163,7 @@ impl MetricsHub {
                 steal_ns: cell.steal_ns.load(Ordering::Relaxed),
                 parked_ns: cell.parked_ns.load(Ordering::Relaxed),
                 tasks: cell.tasks.load(Ordering::Relaxed),
+                energy_uj: 0,
             };
             if cell.seq.load(Ordering::Acquire) == s1 {
                 break;
@@ -185,6 +191,14 @@ pub struct MetricsSnapshot {
     pub latency_p50_ns: Option<u64>,
     /// Rolling request-latency 99th percentile, ns (serving hosts only).
     pub latency_p99_ns: Option<u64>,
+    /// Rolling per-request energy median, µJ (serving hosts with an
+    /// energy model only).
+    pub energy_p50_uj: Option<u64>,
+    /// Rolling per-request energy 99th percentile, µJ.
+    pub energy_p99_uj: Option<u64>,
+    /// Telemetry events dropped to ring overflow so far (0 when the
+    /// host has no bounded sink attached).
+    pub dropped_events: u64,
 }
 
 impl MetricsSnapshot {
@@ -216,6 +230,23 @@ impl MetricsSnapshot {
     #[must_use]
     pub fn tasks(&self) -> u64 {
         self.workers.iter().map(|w| w.tasks).sum()
+    }
+
+    /// Total energy attributed across workers, joules.
+    #[must_use]
+    pub fn energy_j(&self) -> f64 {
+        self.workers.iter().map(|w| w.energy_uj).sum::<u64>() as f64 / 1e6
+    }
+
+    /// Average power drawn by worker `w` since the epoch, watts — its
+    /// attributed energy over the snapshot's elapsed time. Zero when no
+    /// time has passed.
+    #[must_use]
+    pub fn worker_watts(&self, w: usize) -> f64 {
+        if self.at_ns == 0 {
+            return 0.0;
+        }
+        (self.workers[w].energy_uj as f64 / 1e6) / (self.at_ns as f64 / 1e9)
     }
 }
 
@@ -299,5 +330,27 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_worker_hub_panics() {
         let _ = MetricsHub::new(0);
+    }
+
+    #[test]
+    fn energy_and_watts_derive_from_host_filled_samples() {
+        let snap = MetricsSnapshot {
+            at_ns: 2_000_000_000, // 2 s
+            workers: vec![
+                WorkerMetricsSample {
+                    energy_uj: 16_000_000, // 16 J → 8 W over 2 s
+                    ..Default::default()
+                },
+                WorkerMetricsSample {
+                    energy_uj: 1_000_000, // 1 J → 0.5 W
+                    ..Default::default()
+                },
+            ],
+            ..Default::default()
+        };
+        assert!((snap.energy_j() - 17.0).abs() < 1e-9);
+        assert!((snap.worker_watts(0) - 8.0).abs() < 1e-9);
+        assert!((snap.worker_watts(1) - 0.5).abs() < 1e-9);
+        assert_eq!(MetricsSnapshot::default().energy_j(), 0.0);
     }
 }

@@ -34,6 +34,21 @@ pub struct WorkerTelemetry {
     pub span_begins: u64,
     /// Causal-span phase closings recorded on this stream.
     pub span_ends: u64,
+    /// Nanoseconds covered by busy-class power intervals (executing at
+    /// some DVFS operating point).
+    pub power_busy_ns: u64,
+    /// Nanoseconds covered by spin-class power intervals (idle-spinning
+    /// at busy power).
+    pub power_spin_ns: u64,
+    /// Nanoseconds covered by parked-class power intervals.
+    pub power_parked_ns: u64,
+    /// Energy of the busy-class intervals, joules (exact per-interval
+    /// mW × ns products; cross-checks `energy_j` minus idle draw).
+    pub power_busy_j: f64,
+    /// Energy of the spin-class intervals, joules.
+    pub power_spin_j: f64,
+    /// Energy of the parked-class intervals, joules.
+    pub power_parked_j: f64,
     /// Events lost to ring overflow on this stream. Tallied counters
     /// stay exact regardless; a nonzero value only means the *event
     /// timeline* (flight recorder, trace export) is truncated.
@@ -140,6 +155,12 @@ pub struct RunReport {
     /// fork-join runs that serve no requests, and when parsing
     /// artifacts written before the serving subsystem existed.
     pub latency_hist: LatencyHistogram,
+    /// Per-request attributed energies in **microjoules**, merged across
+    /// all worker streams (same log-bucketed scheme as `latency_hist` —
+    /// the buckets are unit-agnostic). Empty for runs that serve no
+    /// requests, and when parsing artifacts written before energy
+    /// attribution existed.
+    pub energy_hist: LatencyHistogram,
 }
 
 impl RunReport {
@@ -164,6 +185,12 @@ impl RunReport {
             t.future_repushes += w.future_repushes;
             t.span_begins += w.span_begins;
             t.span_ends += w.span_ends;
+            t.power_busy_ns += w.power_busy_ns;
+            t.power_spin_ns += w.power_spin_ns;
+            t.power_parked_ns += w.power_parked_ns;
+            t.power_busy_j += w.power_busy_j;
+            t.power_spin_j += w.power_spin_j;
+            t.power_parked_j += w.power_parked_j;
             t.dropped_events += w.dropped_events;
         }
         t
@@ -275,6 +302,7 @@ impl RunReport {
                 ),
             ),
             ("latency_hist", self.latency_hist.to_value()),
+            ("energy_hist", self.energy_hist.to_value()),
         ])
     }
 
@@ -351,6 +379,12 @@ impl RunReport {
             None => LatencyHistogram::new(),
             Some(h) => LatencyHistogram::from_value(h)?,
         };
+        // Absent in artifacts written before energy attribution (same
+        // posture again): default to an empty histogram.
+        let energy_hist = match v.get("energy_hist") {
+            None => LatencyHistogram::new(),
+            Some(h) => LatencyHistogram::from_value(h)?,
+        };
         if per_worker.len() != workers
             || steal_matrix.len() != workers
             || steal_matrix.iter().any(|row| row.len() != workers)
@@ -382,6 +416,7 @@ impl RunReport {
             steal_matrix,
             steal_distance_hist,
             latency_hist,
+            energy_hist,
         })
     }
 }
@@ -410,6 +445,12 @@ fn worker_to_value(w: &WorkerTelemetry) -> Value {
         ("future_repushes", Value::Num(w.future_repushes as f64)),
         ("span_begins", Value::Num(w.span_begins as f64)),
         ("span_ends", Value::Num(w.span_ends as f64)),
+        ("power_busy_ns", Value::Num(w.power_busy_ns as f64)),
+        ("power_spin_ns", Value::Num(w.power_spin_ns as f64)),
+        ("power_parked_ns", Value::Num(w.power_parked_ns as f64)),
+        ("power_busy_j", Value::Num(w.power_busy_j)),
+        ("power_spin_j", Value::Num(w.power_spin_j)),
+        ("power_parked_j", Value::Num(w.power_parked_j)),
         ("dropped_events", Value::Num(w.dropped_events as f64)),
     ])
 }
@@ -424,6 +465,7 @@ fn worker_from_value(v: &Value) -> Result<WorkerTelemetry, JsonError> {
     // Fields added after hermes-run-report/v1 shipped: absent means an
     // artifact from before the parking subsystem, i.e. zero.
     let num_or_zero = |key: &str| v.get(key).and_then(Value::as_u64).unwrap_or(0);
+    let f64_or_zero = |key: &str| v.get(key).and_then(Value::as_f64).unwrap_or(0.0);
     Ok(WorkerTelemetry {
         steals: num("steals")?,
         empty_steals: num("empty_steals")?,
@@ -446,6 +488,12 @@ fn worker_from_value(v: &Value) -> Result<WorkerTelemetry, JsonError> {
         future_repushes: num_or_zero("future_repushes"),
         span_begins: num_or_zero("span_begins"),
         span_ends: num_or_zero("span_ends"),
+        power_busy_ns: num_or_zero("power_busy_ns"),
+        power_spin_ns: num_or_zero("power_spin_ns"),
+        power_parked_ns: num_or_zero("power_parked_ns"),
+        power_busy_j: f64_or_zero("power_busy_j"),
+        power_spin_j: f64_or_zero("power_spin_j"),
+        power_parked_j: f64_or_zero("power_parked_j"),
         dropped_events: num_or_zero("dropped_events"),
     })
 }
@@ -483,6 +531,12 @@ mod tests {
                     future_repushes: 5,
                     span_begins: 30,
                     span_ends: 28,
+                    power_busy_ns: 900_000_000,
+                    power_spin_ns: 40_000_000,
+                    power_parked_ns: 2_500_000,
+                    power_busy_j: 20.5,
+                    power_spin_j: 0.49,
+                    power_parked_j: 0.01,
                     dropped_events: 2,
                 },
                 WorkerTelemetry {
@@ -504,6 +558,12 @@ mod tests {
                     future_repushes: 0,
                     span_begins: 4,
                     span_ends: 4,
+                    power_busy_ns: 850_000_000,
+                    power_spin_ns: 100_000_000,
+                    power_parked_ns: 700_000,
+                    power_busy_j: 19.9,
+                    power_spin_j: 1.22,
+                    power_parked_j: 0.005,
                     dropped_events: 0,
                 },
             ],
@@ -513,6 +573,13 @@ mod tests {
                 let mut h = LatencyHistogram::new();
                 for ns in [40_000, 55_000, 900_000] {
                     h.record(ns);
+                }
+                h
+            },
+            energy_hist: {
+                let mut h = LatencyHistogram::new();
+                for uj in [8_000, 9_500, 30_000] {
+                    h.record(uj);
                 }
                 h
             },
@@ -764,6 +831,66 @@ mod tests {
         assert_eq!(full.totals().span_begins, 34);
         assert_eq!(full.totals().span_ends, 32);
         assert_eq!(full.totals().dropped_events, 2);
+    }
+
+    #[test]
+    fn pre_energy_artifacts_parse_with_empty_energy_fields() {
+        // A PR 7-shaped report (written before energy attribution) has
+        // no energy_hist and no per-worker power-interval fields; it
+        // must parse with an empty energy histogram and zero power
+        // counters — the latency_hist posture exactly.
+        let Value::Obj(pairs) = sample().to_value() else {
+            panic!("reports serialize as objects");
+        };
+        let stripped = Value::Obj(
+            pairs
+                .into_iter()
+                .filter(|(k, _)| k != "energy_hist")
+                .map(|(k, v)| {
+                    if k != "per_worker" {
+                        return (k, v);
+                    }
+                    let Value::Arr(workers) = v else {
+                        panic!("per_worker serializes as an array");
+                    };
+                    let workers = workers
+                        .into_iter()
+                        .map(|w| {
+                            let Value::Obj(fields) = w else {
+                                panic!("worker entries serialize as objects");
+                            };
+                            Value::Obj(
+                                fields
+                                    .into_iter()
+                                    .filter(|(k, _)| !k.starts_with("power_"))
+                                    .collect(),
+                            )
+                        })
+                        .collect();
+                    (k, Value::Arr(workers))
+                })
+                .collect(),
+        );
+        let json = stripped.to_string_pretty();
+        assert!(!json.contains("energy_hist") && !json.contains("power_"));
+        let parsed = RunReport::from_json(&json).unwrap();
+        assert!(parsed.energy_hist.is_empty());
+        assert_eq!(parsed.energy_hist.p99(), None);
+        let totals = parsed.totals();
+        assert_eq!(totals.power_busy_ns, 0);
+        assert_eq!(totals.power_spin_ns, 0);
+        assert_eq!(totals.power_parked_ns, 0);
+        assert_eq!(totals.power_busy_j, 0.0);
+        assert_eq!(totals.power_spin_j, 0.0);
+        assert_eq!(totals.power_parked_j, 0.0);
+        // Pre-existing fields are unaffected by the defaulting.
+        assert_eq!(totals.steals, sample().totals().steals);
+        assert_eq!(parsed.latency_hist, sample().latency_hist);
+        // A modern round trip preserves the new fields exactly.
+        let full = RunReport::from_json(&sample().to_json()).unwrap();
+        assert_eq!(full.energy_hist.count(), 3);
+        assert_eq!(full.totals().power_busy_ns, 1_750_000_000);
+        assert!((full.totals().power_busy_j - 40.4).abs() < 1e-9);
     }
 
     #[test]

@@ -3,7 +3,8 @@
 use crate::latency::LatencyRecorder;
 use crate::ring::DEFAULT_RING_CAPACITY;
 use crate::{
-    Event, EventRing, LatencyHistogram, RunReport, StealOutcome, TransitionMix, WorkerTelemetry,
+    Event, EventRing, LatencyHistogram, PowerKind, RunReport, StealOutcome, TransitionMix,
+    WorkerTelemetry,
 };
 use hermes_core::TransitionKind;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -46,6 +47,14 @@ pub trait TelemetrySink: Send + Sync + std::fmt::Debug {
     /// than merely cheap.
     fn is_null(&self) -> bool {
         false
+    }
+
+    /// Events this sink has had to drop (ring overwrites on bounded
+    /// sinks). Hosts surface the total in live metrics so a saturated
+    /// ring is visible before the end-of-run report. Unbounded and
+    /// discarding sinks report 0.
+    fn dropped_events(&self) -> u64 {
+        0
     }
 }
 
@@ -97,6 +106,25 @@ struct Tally {
     /// Request latencies completed on this stream (merged across
     /// streams into [`RunReport::latency_hist`] at fold time).
     latency: LatencyRecorder,
+    /// Per-class power-interval time, ns. Indexed by the
+    /// [`PowerKind`] code order (busy, spin, parked).
+    power_ns: [AtomicU64; 3],
+    /// Per-class power-interval energy, **picojoules** (mW × ns — the
+    /// exact product each interval encodes, so the per-class sum
+    /// reproduces the host's cumulative meter without rounding drift).
+    power_pj: [AtomicU64; 3],
+    /// Per-request attributed energies, µJ (merged across streams into
+    /// [`RunReport::energy_hist`] at fold time; the recorder's buckets
+    /// are unit-agnostic).
+    request_energy: LatencyRecorder,
+}
+
+fn power_kind_slot(kind: PowerKind) -> usize {
+    match kind {
+        PowerKind::Busy => 0,
+        PowerKind::Spin => 1,
+        PowerKind::Parked => 2,
+    }
 }
 
 impl Tally {
@@ -120,6 +148,9 @@ impl Tally {
             span_begins: AtomicU64::new(0),
             span_ends: AtomicU64::new(0),
             latency: LatencyRecorder::new(),
+            power_ns: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
+            power_pj: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
+            request_energy: LatencyRecorder::new(),
         }
     }
 
@@ -178,6 +209,18 @@ impl Tally {
             Event::SpanEnd { .. } => {
                 self.span_ends.fetch_add(1, Ordering::Relaxed);
             }
+            Event::PowerInterval {
+                kind,
+                duration_ns,
+                milliwatts,
+            } => {
+                let slot = power_kind_slot(kind);
+                self.power_ns[slot].fetch_add(duration_ns, Ordering::Relaxed);
+                self.power_pj[slot].fetch_add(duration_ns * milliwatts, Ordering::Relaxed);
+            }
+            Event::RequestEnergy { microjoules } => {
+                self.request_energy.record(microjoules);
+            }
         }
     }
 
@@ -201,6 +244,12 @@ impl Tally {
             future_repushes: self.future_repushes.load(Ordering::Relaxed),
             span_begins: self.span_begins.load(Ordering::Relaxed),
             span_ends: self.span_ends.load(Ordering::Relaxed),
+            power_busy_ns: self.power_ns[0].load(Ordering::Relaxed),
+            power_spin_ns: self.power_ns[1].load(Ordering::Relaxed),
+            power_parked_ns: self.power_ns[2].load(Ordering::Relaxed),
+            power_busy_j: self.power_pj[0].load(Ordering::Relaxed) as f64 / 1e12,
+            power_spin_j: self.power_pj[1].load(Ordering::Relaxed) as f64 / 1e12,
+            power_parked_j: self.power_pj[2].load(Ordering::Relaxed) as f64 / 1e12,
             // Ring drops belong to the stream, not the tally; report()
             // fills this from EventRing::dropped().
             dropped_events: 0,
@@ -336,9 +385,12 @@ impl RingSink {
         let machine = self.streams[self.workers].tally.worker_telemetry();
         // Request latencies merge across every stream (workers plus the
         // machine stream, where hosts without a worker context record).
+        // Per-request energies merge the same way.
         let mut latency_hist = LatencyHistogram::new();
+        let mut energy_hist = LatencyHistogram::new();
         for s in &self.streams {
             latency_hist.merge(&s.tally.latency.snapshot());
+            energy_hist.merge(&s.tally.request_energy.snapshot());
         }
         RunReport {
             schema: RunReport::SCHEMA.to_string(),
@@ -352,6 +404,7 @@ impl RingSink {
             steal_matrix,
             steal_distance_hist: Vec::new(),
             latency_hist,
+            energy_hist,
         }
     }
 }
@@ -366,6 +419,10 @@ impl TelemetrySink for RingSink {
         let stream = &self.streams[idx];
         stream.tally.apply(event);
         stream.ring.record(at_ns, event);
+    }
+
+    fn dropped_events(&self) -> u64 {
+        self.streams.iter().map(|s| s.ring.dropped()).sum()
     }
 }
 
@@ -529,6 +586,70 @@ mod tests {
         let r = sink.report("e", "test", 0.0, 0.0);
         assert!((r.per_worker[0].energy_j - 1.5).abs() < 1e-9);
         assert!((r.per_worker[1].energy_j - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_intervals_and_request_energy_fold_into_report() {
+        let sink = RingSink::new(2);
+        // Worker 0: 1 ms busy at 8 W, 0.5 ms spinning at 2 W, 2 ms
+        // parked at 400 mW. Worker 1: idle the whole time.
+        sink.record(
+            0,
+            1_000_000,
+            Event::PowerInterval {
+                kind: PowerKind::Busy,
+                duration_ns: 1_000_000,
+                milliwatts: 8_000,
+            },
+        );
+        sink.record(
+            0,
+            1_500_000,
+            Event::PowerInterval {
+                kind: PowerKind::Spin,
+                duration_ns: 500_000,
+                milliwatts: 2_000,
+            },
+        );
+        sink.record(
+            0,
+            3_500_000,
+            Event::PowerInterval {
+                kind: PowerKind::Parked,
+                duration_ns: 2_000_000,
+                milliwatts: 400,
+            },
+        );
+        sink.record(0, 3_500_000, Event::RequestEnergy { microjoules: 8_000 });
+        sink.record(0, 3_500_000, Event::RequestEnergy { microjoules: 100 });
+        let r = sink.report("power", "test", 0.0035, 0.0);
+        let w = &r.per_worker[0];
+        assert_eq!(w.power_busy_ns, 1_000_000);
+        assert_eq!(w.power_spin_ns, 500_000);
+        assert_eq!(w.power_parked_ns, 2_000_000);
+        // 8 W × 1 ms = 8 mJ, 2 W × 0.5 ms = 1 mJ, 0.4 W × 2 ms = 0.8 mJ,
+        // each exact in picojoules.
+        assert!((w.power_busy_j - 8e-3).abs() < 1e-15);
+        assert!((w.power_spin_j - 1e-3).abs() < 1e-15);
+        assert!((w.power_parked_j - 0.8e-3).abs() < 1e-15);
+        assert_eq!(r.per_worker[1].power_busy_ns, 0);
+        assert_eq!(r.energy_hist.count(), 2);
+        let totals = r.totals();
+        assert!((totals.power_busy_j - 8e-3).abs() < 1e-15);
+        assert_eq!(totals.power_parked_ns, 2_000_000);
+    }
+
+    #[test]
+    fn sink_dropped_events_totals_across_streams() {
+        let sink = RingSink::with_ring_capacity(2, 4);
+        assert_eq!(TelemetrySink::dropped_events(&sink), 0);
+        for i in 0..6u64 {
+            sink.record(0, i, Event::TaskPoll);
+            sink.record(MACHINE_STREAM, i, Event::TaskWake);
+        }
+        // 6 events into 4 slots on two streams: 2 dropped on each.
+        assert_eq!(TelemetrySink::dropped_events(&sink), 4);
+        assert_eq!(NullSink.dropped_events(), 0);
     }
 
     #[test]

@@ -2,8 +2,8 @@
 //! sequential model, concurrent writers, and report JSON round-trips.
 
 use hermes_telemetry::{
-    Event, EventRing, LatencyHistogram, RingSink, RunReport, StealOutcome, TelemetrySink,
-    TransitionKind, TransitionMix, WorkerTelemetry,
+    Event, EventRing, LatencyHistogram, PowerKind, RingSink, RunReport, StealOutcome,
+    TelemetrySink, TransitionKind, TransitionMix, WorkerTelemetry,
 };
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -29,6 +29,18 @@ fn arb_event() -> impl Strategy<Value = Event> {
         }),
         (1u64..10_000_000).prop_map(|khz| Event::DvfsActuation { freq_khz: khz }),
         (0u64..1_000_000_000_000).prop_map(|uj| Event::EnergySample { microjoules: uj }),
+        (0u8..3, 0u64..(1 << 38), 0u64..(1 << 20)).prop_map(|(k, duration_ns, milliwatts)| {
+            Event::PowerInterval {
+                kind: match k {
+                    0 => PowerKind::Busy,
+                    1 => PowerKind::Spin,
+                    _ => PowerKind::Parked,
+                },
+                duration_ns,
+                milliwatts,
+            }
+        }),
+        (0u64..1_000_000_000_000).prop_map(|uj| Event::RequestEnergy { microjoules: uj }),
     ]
 }
 
@@ -153,6 +165,12 @@ proptest! {
                     future_repushes: s / 11,
                     span_begins: s / 12,
                     span_ends: s / 13,
+                    power_busy_ns: s.wrapping_mul(500),
+                    power_spin_ns: s.wrapping_mul(40),
+                    power_parked_ns: s.wrapping_mul(900),
+                    power_busy_j: energy / (workers as f64 * 2.0),
+                    power_spin_j: energy / (workers as f64 * 32.0),
+                    power_parked_j: energy / (workers as f64 * 64.0),
                     dropped_events: s / 14,
                 })
                 .collect(),
@@ -164,6 +182,13 @@ proptest! {
                 let mut h = LatencyHistogram::new();
                 for &s in &steals {
                     h.record(s.wrapping_mul(41));
+                }
+                h
+            },
+            energy_hist: {
+                let mut h = LatencyHistogram::new();
+                for &s in &steals {
+                    h.record(s.wrapping_mul(23));
                 }
                 h
             },
