@@ -109,7 +109,10 @@ use hermes_core::{Frequency, Policy, TempoConfig};
 use hermes_deque::{LockFreeDeque, Steal, TaskDeque, TheDeque};
 use hermes_obs::{EnergyLedger, SpanForest};
 use hermes_rt::{parallel_for, DequeKind, Pool};
-use hermes_serve::{run_open_loop, run_open_loop_async, PoissonSchedule, Server};
+use hermes_serve::{
+    run_open_loop, run_open_loop_async, run_open_loop_classed, PoissonSchedule, Priority, Server,
+    SubmitOptions,
+};
 use hermes_sim::WorkerPlacement;
 use hermes_telemetry::json::Value;
 use hermes_telemetry::{RingSink, RunReport, TelemetrySink};
@@ -165,6 +168,7 @@ const MODE_FLAGS: &[&str] = &[
     "--ablate-victim",
     "--ablate-deque",
     "--serve",
+    "--serve-classes",
     "--gate-overhead",
     "--gate-energy-attr",
     "--energy-trend",
@@ -242,6 +246,11 @@ fn main() -> ExitCode {
         print_usage();
         return ExitCode::from(2);
     }
+    if has("--serve-classes") && !serve {
+        eprintln!("sweep: --serve-classes modifies --serve (it adds the multi-tenant corner)");
+        print_usage();
+        return ExitCode::from(2);
+    }
     if positionals != 0 {
         eprintln!("sweep: unexpected positional arguments");
         print_usage();
@@ -316,7 +325,8 @@ fn print_usage() {
     eprintln!("       sweep --ablate-deque  [--smoke] [--baseline PATH] [--out PATH]");
     eprintln!("                             [--min-steal-ratio X] [tolerances]");
     eprintln!("       sweep --serve [--smoke] [--baseline PATH] [--out PATH]");
-    eprintln!("                     [--serve-p99-factor X] [--serve-p99-floor-ms MS]");
+    eprintln!("                     [--serve-classes] [--serve-p99-factor X]");
+    eprintln!("                     [--serve-p99-floor-ms MS]");
     eprintln!("                     [--gate-energy-attr] [--energy-attr-tol X]");
     eprintln!("       sweep --energy-trend OLD [...] NEW [--tol-energy-trend X]");
     eprintln!("       sweep --gate-overhead [--max-overhead RATIO]");
@@ -1392,6 +1402,10 @@ struct ServeCell {
     /// Submitted through [`Server::submit_async`] (the refcounted
     /// future-task path) instead of run-once closures.
     is_async: bool,
+    /// Mixed-priority multi-tenant corner: arrivals carry request
+    /// classes (1-in-5 high, 1-in-5 background, rest normal) through
+    /// the classed front door, so admission control is live.
+    classes: bool,
     offered_rate_hz: f64,
     achieved_rate_hz: f64,
     elapsed_s: f64,
@@ -1408,20 +1422,42 @@ struct ServeCell {
     parks: u64,
     parked_ns: u64,
     injector_pops: u64,
+    /// Per-injector-cell pop counters; their sum must reconcile exactly
+    /// with the merged `injector_pops` (the telemetry back-compat
+    /// contract of the sharded front door).
+    injector_cell_pops: Vec<u64>,
+    /// Arrivals refused by admission control (zero unless `classes`).
+    shed: u64,
+    /// High-priority-class p99 (zero unless `classes`): the tail the
+    /// multi-tenant gate protects while background work is sheddable.
+    high_p99_ns: u64,
     future_polls: u64,
     future_wakes: u64,
     future_repushes: u64,
     late_submissions: usize,
 }
 
-fn serve_cell_key(util: f64, tempo: bool, parking: bool, is_async: bool) -> String {
+fn serve_cell_key(util: f64, tempo: bool, parking: bool, is_async: bool, classes: bool) -> String {
     format!(
-        "u{:02.0}/tempo-{}/park-{}{}",
+        "u{:02.0}/tempo-{}/park-{}{}{}",
         util * 100.0,
         if tempo { "on" } else { "off" },
         if parking { "on" } else { "off" },
-        if is_async { "/async" } else { "" }
+        if is_async { "/async" } else { "" },
+        if classes { "/classes" } else { "" }
     )
+}
+
+/// The multi-tenant class mix of the `--serve-classes` corner,
+/// deterministic by arrival index: every fifth request is
+/// latency-critical, every fifth is sheddable background, the rest are
+/// normal. Mirrors `examples/serve_latency.rs`.
+fn serve_class_for(i: usize) -> SubmitOptions {
+    match i % 5 {
+        0 => SubmitOptions::default().priority(Priority::High),
+        4 => SubmitOptions::default().priority(Priority::Background),
+        _ => SubmitOptions::default(),
+    }
 }
 
 /// Run one cell: a fresh server per corner so energy accounting starts
@@ -1431,9 +1467,14 @@ fn run_serve_cell(
     tempo: bool,
     parking: bool,
     is_async: bool,
+    classes: bool,
     schedule: &PoissonSchedule,
     service_s: f64,
 ) -> ServeCell {
+    assert!(
+        !(is_async && classes),
+        "the classes corner drives the sync classed front door"
+    );
     let policy = if tempo {
         Policy::Unified
     } else {
@@ -1457,6 +1498,8 @@ fn run_serve_cell(
     let offsets = schedule.offsets(offered_rate_hz);
     let run = if is_async {
         run_open_loop_async(&server, &offsets, |_| async { serve_request() })
+    } else if classes {
+        run_open_loop_classed(&server, &offsets, |_| serve_request, serve_class_for)
     } else {
         run_open_loop(&server, &offsets, |_| serve_request)
     };
@@ -1470,6 +1513,7 @@ fn run_serve_cell(
         tempo,
         parking,
         is_async,
+        classes,
         offered_rate_hz,
         achieved_rate_hz: schedule.len() as f64 / elapsed_s.max(1e-9),
         elapsed_s,
@@ -1482,6 +1526,13 @@ fn run_serve_cell(
         parks: stats.parks,
         parked_ns: stats.parked_ns,
         injector_pops: stats.injector_pops,
+        injector_cell_pops: server.pool().injector_cell_pops(),
+        shed: server.shed(),
+        high_p99_ns: if classes {
+            server.latency_for(Priority::High).p99().unwrap_or(0)
+        } else {
+            0
+        },
         future_polls: stats.future_polls,
         future_wakes: stats.future_wakes,
         future_repushes: stats.future_repushes,
@@ -1493,12 +1544,15 @@ fn serve_cell_value(c: &ServeCell) -> Value {
     Value::obj(vec![
         (
             "key",
-            Value::Str(serve_cell_key(c.util, c.tempo, c.parking, c.is_async)),
+            Value::Str(serve_cell_key(
+                c.util, c.tempo, c.parking, c.is_async, c.classes,
+            )),
         ),
         ("util", Value::Num(c.util)),
         ("tempo", Value::Bool(c.tempo)),
         ("parking", Value::Bool(c.parking)),
         ("async", Value::Bool(c.is_async)),
+        ("classes", Value::Bool(c.classes)),
         ("offered_rate_hz", Value::Num(c.offered_rate_hz)),
         ("achieved_rate_hz", Value::Num(c.achieved_rate_hz)),
         ("elapsed_s", Value::Num(c.elapsed_s)),
@@ -1511,11 +1565,41 @@ fn serve_cell_value(c: &ServeCell) -> Value {
         ("parks", Value::Num(c.parks as f64)),
         ("parked_ns", Value::Num(c.parked_ns as f64)),
         ("injector_pops", Value::Num(c.injector_pops as f64)),
+        (
+            "injector_cell_pops",
+            Value::Arr(
+                c.injector_cell_pops
+                    .iter()
+                    .map(|&p| Value::Num(p as f64))
+                    .collect(),
+            ),
+        ),
+        ("shed", Value::Num(c.shed as f64)),
+        ("high_p99_ns", Value::Num(c.high_p99_ns as f64)),
         ("future_polls", Value::Num(c.future_polls as f64)),
         ("future_wakes", Value::Num(c.future_wakes as f64)),
         ("future_repushes", Value::Num(c.future_repushes as f64)),
         ("late_submissions", Value::Num(c.late_submissions as f64)),
     ])
+}
+
+/// Per-cell injector pops of a serve-artifact grid cell, tolerant of
+/// artifacts written before the front door was sharded: an absent
+/// `injector_cell_pops` field parses as a single merged cell, so the
+/// reconciliation invariant (per-cell sum == merged counter) holds
+/// trivially for legacy JSON.
+fn serve_cell_pops_of(cell: &Value) -> Vec<u64> {
+    let merged = cell
+        .get("injector_pops")
+        .and_then(Value::as_f64)
+        .unwrap_or(0.0) as u64;
+    match cell.get("injector_cell_pops").and_then(Value::as_arr) {
+        Some(per_cell) => per_cell
+            .iter()
+            .map(|p| p.as_f64().unwrap_or(0.0) as u64)
+            .collect(),
+        None => vec![merged],
+    }
 }
 
 /// Cores the served pool can actually occupy: offered "utilization" is
@@ -1545,6 +1629,7 @@ fn serve_main(args: &[String], smoke: bool) -> ExitCode {
         }
     };
     let gate_energy_attr = args.iter().any(|a| a == "--gate-energy-attr");
+    let classes = args.iter().any(|a| a == "--serve-classes");
     let energy_attr_tol = match tolerance(args, "--energy-attr-tol", 0.02) {
         Ok(v) => v,
         Err(e) => {
@@ -1582,6 +1667,7 @@ fn serve_main(args: &[String], smoke: bool) -> ExitCode {
                     tempo,
                     parking,
                     false,
+                    false,
                     &schedules[i],
                     service_s,
                 ));
@@ -1601,7 +1687,30 @@ fn serve_main(args: &[String], smoke: bool) -> ExitCode {
                 tempo,
                 parking,
                 true,
+                false,
                 &schedules[0],
+                service_s,
+            ));
+        }
+    }
+    // The multi-tenant corner (--serve-classes): the *highest*
+    // utilization point re-run through the classed front door with a
+    // mixed-priority tenant population, on the on/on and off/off
+    // corners. At 90 % offered load admission control is live —
+    // background arrivals are sheddable — and the gate below holds the
+    // high-priority tail to the same factor bound while the energy win
+    // must survive the class machinery.
+    let classes_util_idx = SERVE_UTILS.len() - 1;
+    let classes_util = SERVE_UTILS[classes_util_idx];
+    if classes {
+        for (tempo, parking) in [(false, false), (true, true)] {
+            cells.push(run_serve_cell(
+                classes_util,
+                tempo,
+                parking,
+                false,
+                true,
+                &schedules[classes_util_idx],
                 service_s,
             ));
         }
@@ -1623,7 +1732,7 @@ fn serve_main(args: &[String], smoke: bool) -> ExitCode {
     for c in &cells {
         println!(
             "{:<28} {:>9.3} {:>9} {:>9} {:>9.1} {:>9.1} {:>9.1} {:>9.0} {:>7} {:>10.1}",
-            serve_cell_key(c.util, c.tempo, c.parking, c.is_async),
+            serve_cell_key(c.util, c.tempo, c.parking, c.is_async, c.classes),
             c.energy_j,
             c.req_energy_p50_uj,
             c.req_energy_p99_uj,
@@ -1646,6 +1755,7 @@ fn serve_main(args: &[String], smoke: bool) -> ExitCode {
                     && c.tempo == tempo
                     && c.parking == parking
                     && c.is_async == is_async
+                    && !c.classes
             })
             .expect("grid is complete")
     };
@@ -1724,6 +1834,71 @@ fn serve_main(args: &[String], smoke: bool) -> ExitCode {
         if future_path_ok { "ok" } else { "FAIL" }
     );
 
+    // Gates 1''/2'', multi-tenant corner (--serve-classes): at the
+    // highest offered load with mixed priorities, tempo+parking must
+    // still win on energy, and the *high-priority* tail must stay
+    // within the factor bound of what the identical tempo+parking cell
+    // delivers to an *unclassed* stream — adding classes and admission
+    // control may not cost the protected tenant its tail (in practice
+    // it buys the tail back: background is shed and high drains
+    // first). The unclassed sibling is the reference, not the classed
+    // off/off corner: at 90 % offered load the tempo arm runs
+    // saturated, and the off/off high class (40 samples, microsecond
+    // tail) swings ~10x run to run on an oversubscribed host.
+    let mut classes_energy_ok = true;
+    let mut classes_p99_ok = true;
+    if classes {
+        let c_corner = |tempo: bool| {
+            cells
+                .iter()
+                .find(|c| c.classes && c.tempo == tempo)
+                .expect("classes corners ran")
+        };
+        let c_on = c_corner(true);
+        let c_off = c_corner(false);
+        classes_energy_ok = c_on.energy_j < c_off.energy_j;
+        println!(
+            "classes energy gate (u{:02.0}): tempo+parking {:.3} J < off/off {:.3} J -> {} \
+             [shed: on/on {}, off/off {}]",
+            classes_util * 100.0,
+            c_on.energy_j,
+            c_off.energy_j,
+            if classes_energy_ok { "ok" } else { "FAIL" },
+            c_on.shed,
+            c_off.shed,
+        );
+        let unclassed = cells
+            .iter()
+            .find(|c| c.util == classes_util && c.tempo && c.parking && !c.is_async && !c.classes)
+            .expect("grid is complete");
+        let classes_bound_ns = unclassed.p99_ns as f64 * p99_factor + p99_floor_ms * 1e6;
+        classes_p99_ok = (c_on.high_p99_ns as f64) <= classes_bound_ns;
+        println!(
+            "classes high-p99 gate (u{:02.0}): high class {:.1} µs <= {:.1} µs \
+             ({}x unclassed tempo+parking {:.1} µs + {} ms) -> {}",
+            classes_util * 100.0,
+            c_on.high_p99_ns as f64 / 1e3,
+            classes_bound_ns / 1e3,
+            p99_factor,
+            unclassed.p99_ns as f64 / 1e3,
+            p99_floor_ms,
+            if classes_p99_ok { "ok" } else { "FAIL" },
+        );
+    }
+
+    // Cell-reconciliation gate (always on): in every cell the per-cell
+    // injector pop counters sum *exactly* to the merged legacy counter
+    // — the back-compat contract of the sharded front door. Exact, not
+    // approximate: both sides count the same events at the same site.
+    let mut cell_pops_ok = cells.iter().all(|c| {
+        c.injector_cell_pops.iter().sum::<u64>() == c.injector_pops
+            && !c.injector_cell_pops.is_empty()
+    });
+    println!(
+        "cell-pops gate: per-cell injector pops reconcile with the merged counter -> {}",
+        if cell_pops_ok { "ok" } else { "FAIL" }
+    );
+
     // Gate 3: reproducibility of the deterministic half — the arrival
     // schedules must fingerprint-match the committed artifact (same
     // seeds, same draws, same request counts).
@@ -1773,6 +1948,24 @@ fn serve_main(args: &[String], smoke: bool) -> ExitCode {
                     println!(
                         "schedule gate: arrival fingerprints vs {baseline_path} -> {}",
                         if schedule_ok { "ok" } else { "FAIL" }
+                    );
+                }
+                // The committed baseline's grid must reconcile too,
+                // through the back-compat parse: artifacts written
+                // before the front door was sharded carry no per-cell
+                // field and count as one merged cell.
+                if let Some(grid) = base.get("grid").and_then(Value::as_arr) {
+                    let base_ok = grid.iter().all(|cell| {
+                        let merged = cell
+                            .get("injector_pops")
+                            .and_then(Value::as_f64)
+                            .unwrap_or(0.0) as u64;
+                        serve_cell_pops_of(cell).iter().sum::<u64>() == merged
+                    });
+                    cell_pops_ok &= base_ok;
+                    println!(
+                        "cell-pops gate (baseline grid, back-compat parse) -> {}",
+                        if base_ok { "ok" } else { "FAIL" }
                     );
                 }
             }
@@ -1887,7 +2080,12 @@ fn serve_main(args: &[String], smoke: bool) -> ExitCode {
                     ("future_path_ok", Value::Bool(future_path_ok)),
                     ("schedule_ok", Value::Bool(schedule_ok)),
                     ("req_energy_ok", Value::Bool(req_energy_ok)),
+                    ("cell_pops_ok", Value::Bool(cell_pops_ok)),
                 ];
+                if classes {
+                    fields.push(("classes_energy_ok", Value::Bool(classes_energy_ok)));
+                    fields.push(("classes_high_p99_ok", Value::Bool(classes_p99_ok)));
+                }
                 if gate_energy_attr {
                     fields.push(("energy_attr_ok", Value::Bool(energy_attr_ok)));
                     fields.push(("energy_attr_tol", Value::Num(energy_attr_tol)));
@@ -1928,6 +2126,9 @@ fn serve_main(args: &[String], smoke: bool) -> ExitCode {
         && async_energy_ok
         && async_p99_ok
         && future_path_ok
+        && classes_energy_ok
+        && classes_p99_ok
+        && cell_pops_ok
         && schedule_ok
         && req_energy_ok
         && energy_attr_ok
@@ -1996,7 +2197,7 @@ fn run_energy_attr_probe(
     let forest = SpanForest::from_sink(&sink);
     let ledger = EnergyLedger::from_sink(&sink, &forest, meter_j);
     EnergyAttrProbe {
-        key: serve_cell_key(util, tempo, parking, false),
+        key: serve_cell_key(util, tempo, parking, false, false),
         closure_err: ledger.closure_error(),
         attributed_j: ledger.attributed_j,
         idle_j: ledger.idle_j,
@@ -2423,4 +2624,50 @@ fn diff(base: &Value, new: &Value, tol: &Tolerances) -> usize {
         }
     }
     violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Legacy serve artifacts (pre-sharded front door) have no
+    /// `injector_cell_pops` field; they must parse as one merged cell
+    /// so the reconciliation gate holds trivially across baselines.
+    #[test]
+    fn absent_per_cell_pops_parse_as_a_single_merged_cell() {
+        let legacy = Value::parse(r#"{"key": "u10/tempo-on/park-on", "injector_pops": 42}"#)
+            .expect("legacy cell parses");
+        assert_eq!(serve_cell_pops_of(&legacy), vec![42]);
+
+        let sharded = Value::parse(
+            r#"{"key": "u90/tempo-on/park-on/classes",
+                "injector_pops": 40, "injector_cell_pops": [12, 9, 11, 8]}"#,
+        )
+        .expect("sharded cell parses");
+        let pops = serve_cell_pops_of(&sharded);
+        assert_eq!(pops, vec![12, 9, 11, 8]);
+        assert_eq!(
+            pops.iter().sum::<u64>(),
+            40,
+            "per-cell pops reconcile with the merged counter"
+        );
+    }
+
+    /// The cell key marks every corner axis, so grid rows stay
+    /// self-describing in artifacts and tables.
+    #[test]
+    fn serve_cell_keys_mark_the_async_and_classes_corners() {
+        assert_eq!(
+            serve_cell_key(0.10, true, false, false, false),
+            "u10/tempo-on/park-off"
+        );
+        assert_eq!(
+            serve_cell_key(0.10, false, true, true, false),
+            "u10/tempo-off/park-on/async"
+        );
+        assert_eq!(
+            serve_cell_key(0.90, true, true, false, true),
+            "u90/tempo-on/park-on/classes"
+        );
+    }
 }

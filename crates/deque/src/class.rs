@@ -1,0 +1,214 @@
+//! Class-aware injector cell: priority lanes over Vyukov rings.
+//!
+//! A [`ClassInjector`] is one *cell* of a sharded pool front door: a
+//! small fixed set of [`Injector`] rings (one per request class, plus a
+//! lane for deadline-bearing normal work), drained in strict priority
+//! order. Each lane keeps the underlying ring's guarantees —
+//! exactly-once consumption, FIFO per producer, bounded, non-blocking —
+//! so the cell as a whole is lock-free and never reorders work *within*
+//! a class; it only lets urgent classes overtake patient ones at the
+//! pop.
+//!
+//! Strict priority drain means a saturated high lane starves the lanes
+//! below it. That is deliberate: fairness across classes is admission
+//! control's job (shed or refuse work *before* it queues), not the
+//! queue's. A queue that silently promotes starving work would defeat
+//! the class contract the serving layer sells.
+
+use crate::{Injector, InjectorFullError};
+
+/// Drain lanes of a [`ClassInjector`], most urgent first.
+///
+/// `Deadline` sits between `High` and `Normal`: it holds normal-class
+/// work that was admitted *with* a latency deadline, which the pop
+/// order lets overtake plain normal work without ever displacing the
+/// high class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(usize)]
+pub enum Lane {
+    /// Latency-critical work; drained first, never shed by admission.
+    High = 0,
+    /// Normal-class work carrying a deadline; drained before plain
+    /// normal work.
+    Deadline = 1,
+    /// The default class.
+    Normal = 2,
+    /// Best-effort work; drained last, shed first under load.
+    Background = 3,
+}
+
+/// Number of lanes in every [`ClassInjector`].
+pub const LANE_COUNT: usize = 4;
+
+impl Lane {
+    /// Every lane, in drain (priority) order.
+    pub const ALL: [Lane; LANE_COUNT] =
+        [Lane::High, Lane::Deadline, Lane::Normal, Lane::Background];
+
+    /// Stable lowercase name (artifact/metrics label).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Lane::High => "high",
+            Lane::Deadline => "deadline",
+            Lane::Normal => "normal",
+            Lane::Background => "background",
+        }
+    }
+}
+
+/// One cell of a sharded, class-aware injection front door: a bounded
+/// MPMC queue per [`Lane`], popped in strict priority order.
+///
+/// Like the underlying [`Injector`], any thread may push or pop; there
+/// is no owner.
+#[derive(Debug)]
+pub struct ClassInjector<T> {
+    lanes: [Injector<T>; LANE_COUNT],
+}
+
+impl<T> ClassInjector<T> {
+    /// A cell whose every lane holds up to `capacity` tasks (rounded up
+    /// to a power of two, minimum 2, per the [`Injector`] contract).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        ClassInjector {
+            lanes: std::array::from_fn(|_| Injector::with_capacity(capacity)),
+        }
+    }
+
+    /// Per-lane capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.lanes[0].capacity()
+    }
+
+    /// Push a task into `lane`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InjectorFullError`] with the task if that lane's ring
+    /// is full; callers back off (the lanes are bounded by design).
+    pub fn push(&self, task: T, lane: Lane) -> Result<(), InjectorFullError<T>> {
+        self.lanes[lane as usize].push(task)
+    }
+
+    /// Pop the next task in drain order: the oldest task of the most
+    /// urgent non-empty lane.
+    pub fn pop(&self) -> Option<T> {
+        for lane in &self.lanes {
+            if let Some(task) = lane.pop() {
+                return Some(task);
+            }
+        }
+        None
+    }
+
+    /// Tasks currently queued across all lanes. Racy under concurrent
+    /// pushes/pops, like [`Injector::len`].
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lanes.iter().map(Injector::len).sum()
+    }
+
+    /// Tasks currently queued in one lane.
+    #[must_use]
+    pub fn lane_len(&self, lane: Lane) -> usize {
+        self.lanes[lane as usize].len()
+    }
+
+    /// Whether every lane appears empty (same caveat as [`len`](Self::len)).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lanes.iter().all(Injector::is_empty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_strict_priority_order() {
+        let cell = ClassInjector::with_capacity(8);
+        cell.push("bg", Lane::Background).unwrap();
+        cell.push("norm-1", Lane::Normal).unwrap();
+        cell.push("dl", Lane::Deadline).unwrap();
+        cell.push("hi", Lane::High).unwrap();
+        cell.push("norm-2", Lane::Normal).unwrap();
+        assert_eq!(cell.len(), 5);
+        assert_eq!(cell.pop(), Some("hi"));
+        assert_eq!(cell.pop(), Some("dl"));
+        // FIFO within a lane.
+        assert_eq!(cell.pop(), Some("norm-1"));
+        assert_eq!(cell.pop(), Some("norm-2"));
+        assert_eq!(cell.pop(), Some("bg"));
+        assert_eq!(cell.pop(), None);
+        assert!(cell.is_empty());
+    }
+
+    #[test]
+    fn lanes_are_independently_bounded() {
+        let cell = ClassInjector::with_capacity(2);
+        cell.push(1, Lane::Normal).unwrap();
+        cell.push(2, Lane::Normal).unwrap();
+        // Normal is full; the task comes back…
+        assert_eq!(cell.push(3, Lane::Normal), Err(InjectorFullError(3)));
+        // …but other lanes still accept.
+        cell.push(4, Lane::High).unwrap();
+        assert_eq!(cell.lane_len(Lane::Normal), 2);
+        assert_eq!(cell.lane_len(Lane::High), 1);
+        assert_eq!(cell.pop(), Some(4));
+        assert_eq!(cell.pop(), Some(1));
+    }
+
+    #[test]
+    fn concurrent_producers_one_consumer_exactly_once() {
+        use std::collections::HashSet;
+        use std::sync::Arc;
+        let cell = Arc::new(ClassInjector::with_capacity(1024));
+        let producers = 4;
+        let per = 500;
+        let handles: Vec<_> = (0..producers)
+            .map(|p| {
+                let cell = Arc::clone(&cell);
+                std::thread::spawn(move || {
+                    for i in 0..per {
+                        let lane = Lane::ALL[i % LANE_COUNT];
+                        let mut v = (p * per + i) as u64;
+                        while let Err(e) = cell.push(v, lane) {
+                            v = e.0;
+                            std::thread::yield_now();
+                        }
+                    }
+                })
+            })
+            .collect();
+        let mut seen = HashSet::new();
+        while seen.len() < producers * per {
+            if let Some(v) = cell.pop() {
+                assert!(seen.insert(v), "task {v} delivered twice");
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(cell.pop().is_none());
+    }
+
+    #[test]
+    fn lane_metadata_is_stable() {
+        assert_eq!(Lane::ALL.len(), LANE_COUNT);
+        assert_eq!(Lane::High as usize, 0);
+        assert_eq!(Lane::Background as usize, LANE_COUNT - 1);
+        assert_eq!(Lane::Deadline.name(), "deadline");
+        let cell: ClassInjector<u8> = ClassInjector::with_capacity(3);
+        assert_eq!(cell.capacity(), 4, "ring capacity rounds up to pow2");
+    }
+}

@@ -27,7 +27,11 @@
 //! queue (Vyukov's bounded queue) that serves as the pool's *front
 //! door*: external producer threads push tasks in, and every worker
 //! polls it between its local pop and its steal sweep. Unlike the
-//! deques it has no owner — any thread may push or pop.
+//! deques it has no owner — any thread may push or pop. For sharded,
+//! class-aware front doors the [`ClassInjector`] composes one such ring
+//! per request class ([`Lane`]) and drains them in strict priority
+//! order — the building block of the runtime's per-clock-domain
+//! injector cells.
 //!
 //! ## Ownership discipline
 //!
@@ -57,10 +61,12 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod class;
 mod injector;
 mod lock_free;
 mod the_deque;
 
+pub use class::{ClassInjector, Lane, LANE_COUNT};
 pub use injector::{Injector, InjectorFullError};
 pub use lock_free::LockFreeDeque;
 pub use the_deque::TheDeque;

@@ -73,10 +73,26 @@ pub fn prometheus_text(snapshot: &MetricsSnapshot, prefix: &str) -> String {
         &mut out,
         prefix,
         "injector_depth",
-        "Jobs waiting in the global injector queue.",
+        "Jobs waiting in the injection front door (all cells).",
         "gauge",
     );
     let _ = writeln!(out, "{depth} {}", snapshot.injector_depth);
+
+    // Per-cell depths appear only for hosts whose front door is
+    // sharded into per-clock-domain cells; single-injector snapshots
+    // leave the vector empty and expose just the merged gauge above.
+    if !snapshot.injector_cell_depths.is_empty() {
+        let cell_depth = family(
+            &mut out,
+            prefix,
+            "injector_cell_depth",
+            "Jobs waiting per injector cell (one cell per clock domain).",
+            "gauge",
+        );
+        for (cell, len) in snapshot.injector_cell_depths.iter().enumerate() {
+            let _ = writeln!(out, "{cell_depth}{{cell=\"{cell}\"}} {len}");
+        }
+    }
 
     let in_flight = family(
         &mut out,
@@ -212,6 +228,7 @@ mod tests {
                 },
             ],
             injector_depth: 3,
+            injector_cell_depths: vec![2, 0, 1],
             in_flight: 11,
             latency_p50_ns: Some(1_500_000),
             latency_p99_ns: None,

@@ -10,16 +10,54 @@
 use crate::Latch;
 use std::cell::UnsafeCell;
 
+/// Request class of a submitted task, used by the pool's sharded
+/// injector cells to pick a drain lane (and by serving layers to drive
+/// admission control). Ordered most-urgent-first, so `High < Normal`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Latency-critical: drained before every other class, never shed
+    /// by admission control.
+    High,
+    /// The default class.
+    #[default]
+    Normal,
+    /// Best-effort: drained last, shed first under load.
+    Background,
+}
+
+impl Priority {
+    /// Every priority, most urgent first.
+    pub const ALL: [Priority; 3] = [Priority::High, Priority::Normal, Priority::Background];
+
+    /// Stable lowercase name (artifact/metrics label).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Priority::High => "high",
+            Priority::Normal => "normal",
+            Priority::Background => "background",
+        }
+    }
+}
+
 /// A type-erased, executable job pointer.
 ///
 /// Equality of two `JobRef`s (pointer identity of the job object, not the
 /// function pointer) is how `join` recognises that the task it popped
-/// back is the one it pushed.
+/// back is the one it pushed — the class fields below never participate.
 #[derive(Clone, Copy)]
 pub(crate) struct JobRef {
     pointer: *const (),
     execute_fn: unsafe fn(*const ()),
     release_fn: unsafe fn(*const ()),
+    /// Request class, read by the injector cells for lane selection.
+    /// Irrelevant once the job reaches a worker deque (deques preserve
+    /// fork-join order, not class order).
+    priority: Priority,
+    /// Absolute deadline in pool-epoch nanoseconds (0 = none): routes
+    /// normal-class work into the deadline lane so admitted
+    /// deadline-bearing requests overtake plain normal traffic.
+    deadline_ns: u64,
 }
 
 impl PartialEq for JobRef {
@@ -49,7 +87,29 @@ impl JobRef {
             pointer,
             execute_fn,
             release_fn,
+            priority: Priority::Normal,
+            deadline_ns: 0,
         }
+    }
+
+    /// Attach a request class (and optional absolute deadline, 0 =
+    /// none) to this job; the pool's injector cells read it for lane
+    /// selection.
+    #[must_use]
+    pub(crate) fn with_class(mut self, priority: Priority, deadline_ns: u64) -> JobRef {
+        self.priority = priority;
+        self.deadline_ns = deadline_ns;
+        self
+    }
+
+    /// The job's request class.
+    pub(crate) fn priority(&self) -> Priority {
+        self.priority
+    }
+
+    /// The job's absolute deadline in pool-epoch nanoseconds (0 = none).
+    pub(crate) fn deadline_ns(&self) -> u64 {
+        self.deadline_ns
     }
 
     /// Run the job. Consumes the ref conceptually; calling twice is UB.
@@ -276,6 +336,22 @@ mod tests {
         assert!(!job.latch.probe());
         // The frame still owns the job; run it for real afterwards.
         assert_eq!(unsafe { job.run_inline() }, 7);
+    }
+
+    #[test]
+    fn class_fields_never_affect_identity() {
+        let a = StackJob::new(|| 1);
+        unsafe {
+            let plain = a.as_job_ref();
+            let classed = a.as_job_ref().with_class(Priority::High, 99);
+            assert_eq!(plain, classed, "equality is pointer identity only");
+            assert_eq!(classed.priority(), Priority::High);
+            assert_eq!(classed.deadline_ns(), 99);
+            assert_eq!(plain.priority(), Priority::Normal);
+            assert_eq!(plain.deadline_ns(), 0);
+            // Consume the job through exactly one of the refs.
+            plain.execute();
+        }
     }
 
     #[test]

@@ -56,10 +56,11 @@ mod sysfs;
 mod task;
 
 pub use driver::{DriverError, EmulatedDvfs, FrequencyDriver, NullDriver, PARK_WATTS_FRACTION};
+pub use job::Priority;
 pub use latch::{Latch, WakerLatch};
 pub use pool::{
     current_worker_energy_nj, current_worker_index, join, parallel_chunks, parallel_for,
-    parallel_map_reduce, DequeKind, Pool, PoolBuilder, RtStats,
+    parallel_map_reduce, DequeKind, Pool, PoolBuilder, RtStats, SpawnOptions,
 };
 pub use sysfs::{parse_available_frequencies, parse_energy_uj, RaplProbe, SysfsCpufreqDriver};
 // The live-metrics types `Pool::metrics` returns and the span-phase

@@ -44,8 +44,8 @@
 //! the spot — leaked-task bugs decay into dropped futures, not lost
 //! memory.
 
-use crate::job::JobRef;
-use crate::pool::PoolInner;
+use crate::job::{JobRef, Priority};
+use crate::pool::{PoolInner, SpawnOptions};
 use hermes_telemetry::SpanPhase;
 use std::cell::UnsafeCell;
 use std::future::Future;
@@ -79,6 +79,13 @@ pub(crate) struct FutureTask<F> {
     /// lifecycle edge; 0 means untraced (the cost is one branch per
     /// edge, see `PoolInner::record_span`).
     span: u64,
+    /// Request class, re-attached to every `JobRef` this task mints so
+    /// waker re-queues land in the same injector lane the original
+    /// submission used.
+    priority: Priority,
+    /// Absolute deadline in pool-epoch nanoseconds (0 = none), carried
+    /// alongside the class for lane selection.
+    deadline_ns: u64,
 }
 
 // SAFETY: the future cell is only ever accessed by the unique holder of
@@ -94,24 +101,32 @@ where
 {
     /// Queue `future` on `pool` as a freshly scheduled task. A nonzero
     /// `span` threads a causal-span id through the event stream (see
-    /// `Pool::spawn_future_traced`); 0 traces nothing.
-    pub(crate) fn spawn(pool: &Arc<PoolInner>, future: F, span: u64) {
+    /// `Pool::spawn_future_traced`); 0 traces nothing. `opts` carries
+    /// the request class (kept for the task's whole lifetime, so
+    /// re-queues preserve the lane) and the initial cell hint (used
+    /// only for this first injection; re-queues follow the waking
+    /// worker's locality instead).
+    pub(crate) fn spawn(pool: &Arc<PoolInner>, future: F, span: u64, opts: SpawnOptions) {
         let task = Arc::new(FutureTask {
             state: AtomicU8::new(SCHEDULED),
             pool: Arc::downgrade(pool),
             future: UnsafeCell::new(Some(future)),
             span,
+            priority: opts.priority,
+            deadline_ns: opts.deadline_ns,
         });
         pool.record_span(span, true, SpanPhase::Queued);
-        pool.inject(task.into_job_ref());
+        pool.inject_hinted(task.into_job_ref(), opts.domain_hint);
     }
 
     /// Type-erase one strong reference into the deques' job currency.
     fn into_job_ref(self: Arc<Self>) -> JobRef {
+        let (priority, deadline_ns) = (self.priority, self.deadline_ns);
         let pointer = Arc::into_raw(self) as *const ();
         // SAFETY: the pointer came from Arc::into_raw and is reclaimed
         // by exactly one of poll_erased/release_erased.
         unsafe { JobRef::new(pointer, Self::poll_erased, Self::release_erased) }
+            .with_class(priority, deadline_ns)
     }
 
     unsafe fn poll_erased(this: *const ()) {
@@ -329,6 +344,8 @@ mod tests {
                 waker_slot: Arc::clone(&waker_slot),
             })),
             span: 0,
+            priority: Priority::Normal,
+            deadline_ns: 0,
         });
         Rig {
             polls,

@@ -37,6 +37,13 @@
 //!   sustains 100k+ concurrent slow requests. `Ticket` itself is a
 //!   [`Future`](std::future::Future), and [`run_open_loop_async`]
 //!   paces future-shaped arrivals.
+//! * Request classes and admission control — [`Server::submit_with`]
+//!   takes [`SubmitOptions`] (a [`Priority`] class, an optional
+//!   deadline, an injector-cell hint); the [`AdmissionPolicy`] sheds
+//!   background work under overload and refuses unmeetable deadlines
+//!   up front, resolving the ticket with a typed [`ShedError`]
+//!   (redeem via [`Ticket::wait_result`]) instead of queueing work
+//!   that will miss.
 //!
 //! ```
 //! use hermes_serve::{run_open_loop, PoissonSchedule, Server};
@@ -62,12 +69,16 @@ mod server;
 mod ticket;
 mod timer;
 
-pub use loadgen::{run_open_loop, run_open_loop_async, OpenLoopRun, PoissonSchedule};
-pub use server::{P99Breach, Server, ServerBuilder};
-pub use ticket::Ticket;
+pub use loadgen::{
+    run_open_loop, run_open_loop_async, run_open_loop_classed, OpenLoopRun, PoissonSchedule,
+};
+pub use server::{AdmissionPolicy, P99Breach, Server, ServerBuilder, SubmitOptions};
+pub use ticket::{ShedError, ShedReason, Ticket};
 pub use timer::{TimerSleep, VirtualTimer};
 // The observability companions a serving deployment wires in:
-// always-on flight recording ([`ServerBuilder::flight_recorder`]) and
-// the live snapshot type [`Server::metrics`] returns.
+// always-on flight recording ([`AdmissionPolicy::flight_recorder`])
+// and the live snapshot type [`Server::metrics`] returns.
 pub use hermes_obs::{FlightDump, FlightRecorder};
-pub use hermes_rt::MetricsSnapshot;
+// The request-class vocabulary `SubmitOptions` speaks, re-exported so
+// callers need no separate hermes-rt import.
+pub use hermes_rt::{MetricsSnapshot, Priority};

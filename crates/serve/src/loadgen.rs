@@ -166,6 +166,30 @@ where
     run_paced(offsets, |i| server.submit(make_request(i)))
 }
 
+/// [`run_open_loop`] through the classed front door: `classify` picks
+/// each arrival's [`SubmitOptions`](crate::SubmitOptions) (class,
+/// deadline, cell hint) by request index, and submission goes through
+/// [`Server::submit_with`] — so admission control applies, and arrivals
+/// it refuses come back as already-resolved shed tickets (redeem with
+/// [`Ticket::wait_result`](crate::Ticket::wait_result)). The multi-tenant
+/// smoke corner in `sweep --serve --serve-classes` drives exactly this.
+pub fn run_open_loop_classed<R, F, Req, C>(
+    server: &Server,
+    offsets: &[Duration],
+    mut make_request: F,
+    mut classify: C,
+) -> OpenLoopRun<R>
+where
+    F: FnMut(usize) -> Req,
+    Req: FnOnce() -> R + Send + 'static,
+    R: Send + 'static,
+    C: FnMut(usize) -> crate::SubmitOptions,
+{
+    run_paced(offsets, |i| {
+        server.submit_with(make_request(i), classify(i))
+    })
+}
+
 /// The async sibling of [`run_open_loop`]: each arrival submits a
 /// *future* via [`Server::submit_async`], so pending requests (timer
 /// waits, awaited sub-requests) occupy no worker. The generator still

@@ -1,16 +1,16 @@
 //! The [`Server`]: external request admission over the rt [`Pool`].
 
-use crate::ticket::{Ticket, TicketInner};
+use crate::ticket::{Outcome, ShedError, ShedReason, Ticket, TicketInner};
 use hermes_core::TempoConfig;
 use hermes_obs::{FlightDump, FlightRecorder};
 use hermes_rt::{
     current_worker_energy_nj, current_worker_index, DequeKind, MetricsSnapshot, Pool, PoolBuilder,
-    SpanPhase,
+    Priority, SpanPhase, SpawnOptions,
 };
 use hermes_telemetry::{Event, LatencyHistogram, LatencyRecorder, TelemetrySink, MACHINE_STREAM};
 use std::future::Future;
 use std::pin::Pin;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::task::{Context, Poll};
 use std::time::{Duration, Instant};
@@ -20,6 +20,153 @@ use std::time::{Duration, Instant};
 /// histogram snapshot to noise while still catching a breach within one
 /// batch of its onset.
 const BREACH_CHECK_INTERVAL: u64 = 64;
+
+/// How often the admission path refreshes its cached busy-time
+/// utilization estimate from the pool's metrics hub: every this-many
+/// submissions. Between refreshes admission reads two atomics, so the
+/// hot submit path pays the hub's seqlock sweep only on the interval.
+const ADMISSION_REFRESH_INTERVAL: u64 = 64;
+
+/// Per-request submission options for
+/// [`Server::submit_with`]/[`Server::submit_async_with`]: the request
+/// class, an optional (relative) deadline, and an optional injector-cell
+/// hint. `Default` is exactly the legacy [`Server::submit`] behaviour —
+/// normal class, no deadline, automatic cell selection.
+///
+/// ```
+/// use hermes_serve::{Priority, SubmitOptions};
+/// use std::time::Duration;
+/// let opts = SubmitOptions::default()
+///     .priority(Priority::High)
+///     .deadline(Duration::from_millis(5));
+/// assert_eq!(opts.priority, Priority::High);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SubmitOptions {
+    /// Request class (default [`Priority::Normal`]); decides both the
+    /// admission rule applied and the injector drain lane.
+    pub priority: Priority,
+    /// Relative completion deadline. A deadline on a normal-class
+    /// request routes it into the deadline lane (drained before plain
+    /// normal work) — and lets admission refuse it up front when the
+    /// live p99 says it cannot be met.
+    pub deadline: Option<Duration>,
+    /// Preferred injector cell, as a topology clock-domain index
+    /// (taken modulo the cell count). `None` picks the least-loaded
+    /// cell (or the submitting worker's own, for worker-originated
+    /// submits).
+    pub domain_hint: Option<usize>,
+}
+
+impl SubmitOptions {
+    /// Set the request class.
+    #[must_use]
+    pub fn priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Set a relative completion deadline.
+    #[must_use]
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Prefer a specific injector cell (clock-domain index).
+    #[must_use]
+    pub fn domain_hint(mut self, domain: usize) -> Self {
+        self.domain_hint = Some(domain);
+        self
+    }
+}
+
+/// The server's admission-control policy: the front-door capacity, the
+/// load-shedding rules, and the overload observability hooks (p99
+/// budget watch, flight recorder), grouped so one value describes how
+/// the server behaves at and past saturation.
+///
+/// The shedding protocol itself is fixed (DESIGN.md §Serve): background
+/// requests are refused once the pool's utilization estimate crosses
+/// [`shed_utilization`](Self::shed_utilization); deadline-carrying
+/// normal requests are refused when the rolling p99 already exceeds
+/// their deadline; high-priority requests are *never* refused — their
+/// protection is the [`p99_budget`](Self::p99_budget) watch plus the
+/// shedding of everything below them.
+#[derive(Default)]
+pub struct AdmissionPolicy {
+    injector_capacity: Option<usize>,
+    shed_utilization: Option<f64>,
+    flight: Option<FlightRecorder>,
+    breach: Option<BreachWatch>,
+}
+
+/// Utilization estimate (permille) above which background requests are
+/// shed, unless overridden by [`AdmissionPolicy::shed_utilization`].
+const DEFAULT_SHED_UTILIZATION_PERMILLE: u32 = 900;
+
+impl std::fmt::Debug for AdmissionPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdmissionPolicy")
+            .field("injector_capacity", &self.injector_capacity)
+            .field("shed_utilization", &self.shed_utilization)
+            .field("flight", &self.flight.is_some())
+            .field("p99_budget", &self.breach.is_some())
+            .finish()
+    }
+}
+
+impl AdmissionPolicy {
+    /// Total capacity of the pool's sharded submission front door. See
+    /// [`PoolBuilder::injector_capacity`].
+    #[must_use]
+    pub fn injector_capacity(mut self, capacity: usize) -> Self {
+        self.injector_capacity = Some(capacity);
+        self
+    }
+
+    /// Utilization estimate (0.0–1.0) above which background-class
+    /// requests are shed (default 0.9). Clamped to the unit interval.
+    #[must_use]
+    pub fn shed_utilization(mut self, threshold: f64) -> Self {
+        self.shed_utilization = Some(threshold.clamp(0.0, 1.0));
+        self
+    }
+
+    /// Arm a one-shot p99 latency budget: once the server's rolling
+    /// p99 exceeds `budget` (evaluated every few dozen completions),
+    /// `callback` fires exactly once with a [`P99Breach`] — including
+    /// the flight recorder's retained tail when one is attached. The
+    /// callback runs on the worker that completed the triggering
+    /// request, so it must be cheap and must not block.
+    #[must_use]
+    pub fn p99_budget<F>(mut self, budget: Duration, callback: F) -> Self
+    where
+        F: Fn(P99Breach) + Send + Sync + 'static,
+    {
+        self.breach = Some(BreachWatch {
+            budget_ns: budget.as_nanos() as u64,
+            fired: AtomicBool::new(false),
+            callback: Box::new(callback),
+        });
+        self
+    }
+
+    /// Attach an always-on [`FlightRecorder`]: it becomes the server's
+    /// telemetry sink (replacing any sink set before the policy is
+    /// installed), keeps a bounded tail of every worker's events, and
+    /// its [`dump`](FlightRecorder::dump) is wired into the two places
+    /// a post-mortem matters — the `Ticket::wait`-on-worker deadlock
+    /// panic, and the [`p99_budget`](Self::p99_budget) breach callback.
+    /// To also fold full reports or export traces, build the recorder
+    /// with [`FlightRecorder::around`] over your own
+    /// [`RingSink`](hermes_telemetry::RingSink).
+    #[must_use]
+    pub fn flight_recorder(mut self, recorder: FlightRecorder) -> Self {
+        self.flight = Some(recorder);
+        self
+    }
+}
 
 /// What [`ServerBuilder::p99_budget`] hands the breach callback.
 #[derive(Debug)]
@@ -49,10 +196,27 @@ struct ServeShared {
     submitted: AtomicU64,
     completed: AtomicU64,
     in_flight: AtomicU64,
+    /// Requests refused by admission control (never admitted, never
+    /// counted in `completed` or `in_flight`).
+    shed: AtomicU64,
     latency: LatencyRecorder,
+    /// Per-class latency recorders, indexed by `Priority as usize` —
+    /// the per-tenant view the multi-class gates read (a merged p99
+    /// says nothing about whether the high class held its budget).
+    class_latency: [LatencyRecorder; 3],
     /// Per-request energy samples, µJ (same log-bucketed recorder as
     /// latency). Only fed when the pool runs under emulated DVFS.
     energy: LatencyRecorder,
+    /// Utilization estimate (permille) above which background requests
+    /// are shed.
+    shed_threshold_permille: u32,
+    /// Cached busy-time utilization estimate, permille; refreshed from
+    /// the metrics hub every [`ADMISSION_REFRESH_INTERVAL`] submissions.
+    adm_util_permille: AtomicU32,
+    /// The busy-ns / wall-ns readings at the last refresh, so the
+    /// estimate is windowed (utilization *now*, not since the epoch).
+    adm_last_busy_ns: AtomicU64,
+    adm_last_at_ns: AtomicU64,
     /// Telemetry destination for [`Event::RequestLatency`] and the
     /// request-level span edges; `None` keeps the completion path free
     /// of event work.
@@ -110,11 +274,13 @@ impl ServeShared {
     }
 
     /// First half of the completion tail, run *before* the ticket
-    /// resolves: latency record + telemetry event, the request's energy
-    /// reading when one was measured, terminal span edge.
-    fn record_completion(&self, span: u64, t0: Instant, energy_uj: Option<u64>) {
+    /// resolves: latency record (merged and per-class) + telemetry
+    /// event, the request's energy reading when one was measured,
+    /// terminal span edge.
+    fn record_completion(&self, span: u64, t0: Instant, energy_uj: Option<u64>, class: Priority) {
         let ns = t0.elapsed().as_nanos() as u64;
         self.latency.record(ns);
+        self.class_latency[class as usize].record(ns);
         if let Some(uj) = energy_uj {
             self.energy.record(uj);
         }
@@ -169,12 +335,10 @@ pub struct ServerBuilder {
     tempo: Option<TempoConfig>,
     parking: Option<bool>,
     spin_budget: Option<u32>,
-    injector_capacity: Option<usize>,
     deque: DequeKind,
     emulated: Option<(hermes_core::Frequency, f64)>,
     telemetry: Option<Arc<dyn TelemetrySink>>,
-    flight: Option<FlightRecorder>,
-    breach: Option<BreachWatch>,
+    admission: AdmissionPolicy,
 }
 
 impl std::fmt::Debug for ServerBuilder {
@@ -219,11 +383,30 @@ impl ServerBuilder {
         self
     }
 
+    /// Install the server's [`AdmissionPolicy`]: front-door capacity,
+    /// shed thresholds, p99 budget watch, flight recorder. Replaces any
+    /// previously installed policy wholesale; a flight recorder in the
+    /// policy also becomes the server's telemetry sink (replacing any
+    /// sink set before this call).
+    #[must_use]
+    pub fn admission(mut self, policy: AdmissionPolicy) -> Self {
+        if let Some(recorder) = &policy.flight {
+            self.telemetry = Some(Arc::new(recorder.clone()) as Arc<dyn TelemetrySink>);
+        }
+        self.admission = policy;
+        self
+    }
+
     /// Capacity of the pool's submission injector. See
     /// [`PoolBuilder::injector_capacity`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "regrouped under the admission policy: \
+                `admission(AdmissionPolicy::default().injector_capacity(n))`"
+    )]
     #[must_use]
     pub fn injector_capacity(mut self, capacity: usize) -> Self {
-        self.injector_capacity = Some(capacity);
+        self.admission.injector_capacity = Some(capacity);
         self
     }
 
@@ -253,34 +436,33 @@ impl ServerBuilder {
         self
     }
 
-    /// Attach an always-on [`FlightRecorder`]: it becomes the server's
-    /// telemetry sink (replacing any sink set before it), keeps a
-    /// bounded tail of every worker's events, and its
-    /// [`dump`](FlightRecorder::dump) is wired into the two places a
-    /// post-mortem matters — the `Ticket::wait`-on-worker deadlock
-    /// panic, and the [`p99_budget`](Self::p99_budget) breach callback.
-    /// To also fold full reports or export traces, build the recorder
-    /// with [`FlightRecorder::around`] over your own
-    /// [`RingSink`](hermes_telemetry::RingSink).
+    /// Attach an always-on [`FlightRecorder`]. See
+    /// [`AdmissionPolicy::flight_recorder`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "regrouped under the admission policy: \
+                `admission(AdmissionPolicy::default().flight_recorder(recorder))`"
+    )]
     #[must_use]
     pub fn flight_recorder(mut self, recorder: FlightRecorder) -> Self {
         self.telemetry = Some(Arc::new(recorder.clone()) as Arc<dyn TelemetrySink>);
-        self.flight = Some(recorder);
+        self.admission.flight = Some(recorder);
         self
     }
 
-    /// Arm a one-shot p99 latency budget: once the server's rolling
-    /// p99 exceeds `budget` (evaluated every few dozen completions),
-    /// `callback` fires exactly once with a [`P99Breach`] — including
-    /// the flight recorder's retained tail when one is attached. The
-    /// callback runs on the worker that completed the triggering
-    /// request, so it must be cheap and must not block.
+    /// Arm a one-shot p99 latency budget. See
+    /// [`AdmissionPolicy::p99_budget`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "regrouped under the admission policy: \
+                `admission(AdmissionPolicy::default().p99_budget(budget, callback))`"
+    )]
     #[must_use]
     pub fn p99_budget<F>(mut self, budget: Duration, callback: F) -> Self
     where
         F: Fn(P99Breach) + Send + Sync + 'static,
     {
-        self.breach = Some(BreachWatch {
+        self.admission.breach = Some(BreachWatch {
             budget_ns: budget.as_nanos() as u64,
             fired: AtomicBool::new(false),
             callback: Box::new(callback),
@@ -308,7 +490,7 @@ impl ServerBuilder {
         if let Some(b) = self.spin_budget {
             pool = pool.spin_budget(b);
         }
-        if let Some(c) = self.injector_capacity {
+        if let Some(c) = self.admission.injector_capacity {
             pool = pool.injector_capacity(c);
         }
         if let Some((fastest, watts)) = self.emulated {
@@ -322,20 +504,30 @@ impl ServerBuilder {
         // Read the pool clock at (essentially) the same instant as the
         // serve epoch so serve-side events share the pool's timebase.
         let epoch_offset_ns = pool.elapsed_ns();
+        let shed_threshold_permille = self
+            .admission
+            .shed_utilization
+            .map_or(DEFAULT_SHED_UTILIZATION_PERMILLE, |t| (t * 1000.0) as u32);
         Server {
             pool,
             shared: Arc::new(ServeShared {
                 submitted: AtomicU64::new(0),
                 completed: AtomicU64::new(0),
                 in_flight: AtomicU64::new(0),
+                shed: AtomicU64::new(0),
                 latency: LatencyRecorder::new(),
+                class_latency: std::array::from_fn(|_| LatencyRecorder::new()),
                 energy: LatencyRecorder::new(),
+                shed_threshold_permille,
+                adm_util_permille: AtomicU32::new(0),
+                adm_last_busy_ns: AtomicU64::new(0),
+                adm_last_at_ns: AtomicU64::new(0),
                 sink: self.telemetry.filter(|s| !s.is_null()),
                 epoch,
                 epoch_offset_ns,
                 next_span: AtomicU64::new(0),
-                flight: self.flight.map(Arc::new),
-                breach: self.breach,
+                flight: self.admission.flight.map(Arc::new),
+                breach: self.admission.breach,
             }),
         }
     }
@@ -383,7 +575,9 @@ impl Server {
 
     /// Submit one request; returns immediately with a [`Ticket`] for
     /// the result (open-loop admission: the caller never waits for
-    /// execution).
+    /// execution). Equivalent to [`submit_with`](Self::submit_with)
+    /// with default [`SubmitOptions`] — normal class, no deadline,
+    /// never shed.
     ///
     /// A panicking request never takes down a worker: the panic is
     /// caught, the request counts as completed (so
@@ -394,35 +588,63 @@ impl Server {
         F: FnOnce() -> R + Send + 'static,
         R: Send + 'static,
     {
+        self.submit_with(request, SubmitOptions::default())
+    }
+
+    /// Submit one request with an explicit class, deadline, and cell
+    /// preference ([`SubmitOptions`]); returns immediately with a
+    /// [`Ticket`] for the result.
+    ///
+    /// This is the server's one true front door — [`submit`](Self::submit)
+    /// and [`submit_async`](Self::submit_async) are thin wrappers over
+    /// it and its async sibling. Admission control runs here, before
+    /// any pool work: a refused request resolves its ticket at once
+    /// with the [`Shed`](crate::ShedError) outcome (redeem via
+    /// [`Ticket::wait_result`]), costs no worker time, and records no
+    /// latency or energy sample.
+    pub fn submit_with<R, F>(&self, request: F, opts: SubmitOptions) -> Ticket<R>
+    where
+        F: FnOnce() -> R + Send + 'static,
+        R: Send + 'static,
+    {
         let shared = Arc::clone(&self.shared);
         shared.submitted.fetch_add(1, Ordering::Relaxed);
-        shared.in_flight.fetch_add(1, Ordering::SeqCst);
         let (ticket, inner) = Ticket::new(shared.flight.clone());
+        if let Err(shed) = self.admit(opts) {
+            shared.shed.fetch_add(1, Ordering::Relaxed);
+            inner.complete(Outcome::Shed(shed));
+            return ticket;
+        }
+        shared.in_flight.fetch_add(1, Ordering::SeqCst);
         let t0 = Instant::now();
         // Causal span: the inject phase brackets admission → execution
         // start (queueing in the injector / a deque), then one poll
         // phase covers the closure body, then the terminal complete.
         let span = shared.mint_span();
         shared.record_span(span, true, SpanPhase::Inject);
-        self.pool.spawn(move || {
-            shared.record_span(span, false, SpanPhase::Inject);
-            shared.record_span(span, true, SpanPhase::Poll);
-            // Bracket the request body with the worker's energy meter:
-            // the delta is the joules this request's execution drew
-            // (µJ-rounded). `None` without emulated DVFS.
-            let meter0 = current_worker_energy_nj();
-            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(request));
-            let energy_uj = meter0.and_then(|e0| {
-                current_worker_energy_nj().map(|e1| (e1.saturating_sub(e0) + 500) / 1_000)
-            });
-            shared.record_span(span, false, SpanPhase::Poll);
-            shared.record_completion(span, t0, energy_uj);
-            if let Some(uj) = energy_uj {
-                inner.set_energy_uj(uj);
-            }
-            inner.complete(outcome);
-            shared.count_completion();
-        });
+        let class = opts.priority;
+        self.pool.spawn_with(
+            move || {
+                shared.record_span(span, false, SpanPhase::Inject);
+                shared.record_span(span, true, SpanPhase::Poll);
+                // Bracket the request body with the worker's energy meter:
+                // the delta is the joules this request's execution drew
+                // (µJ-rounded). `None` without emulated DVFS.
+                let meter0 = current_worker_energy_nj();
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(request));
+                let energy_uj = meter0.and_then(|e0| {
+                    current_worker_energy_nj().map(|e1| (e1.saturating_sub(e0) + 500) / 1_000)
+                });
+                shared.record_span(span, false, SpanPhase::Poll);
+                shared.record_completion(span, t0, energy_uj, class);
+                if let Some(uj) = energy_uj {
+                    inner.set_energy_uj(uj);
+                }
+                inner.complete(outcome.into());
+                shared.count_completion();
+            },
+            self.spawn_options(opts),
+        );
         ticket
     }
 
@@ -446,10 +668,30 @@ impl Server {
         F: Future<Output = R> + Send + 'static,
         R: Send + 'static,
     {
+        self.submit_async_with(request, SubmitOptions::default())
+    }
+
+    /// [`submit_async`](Self::submit_async) with an explicit class,
+    /// deadline, and cell preference — the async sibling of
+    /// [`submit_with`](Self::submit_with), with the same admission
+    /// protocol (a shed request's future is dropped unpolled; its
+    /// ticket resolves to the typed [`ShedError`](crate::ShedError)).
+    /// The task keeps its class across waker re-queues: every re-push
+    /// drains in the same priority lane the admission decision chose.
+    pub fn submit_async_with<R, F>(&self, request: F, opts: SubmitOptions) -> Ticket<R>
+    where
+        F: Future<Output = R> + Send + 'static,
+        R: Send + 'static,
+    {
         let shared = Arc::clone(&self.shared);
         shared.submitted.fetch_add(1, Ordering::Relaxed);
-        shared.in_flight.fetch_add(1, Ordering::SeqCst);
         let (ticket, inner) = Ticket::new(shared.flight.clone());
+        if let Err(shed) = self.admit(opts) {
+            shared.shed.fetch_add(1, Ordering::Relaxed);
+            inner.complete(Outcome::Shed(shed));
+            return ticket;
+        }
+        shared.in_flight.fetch_add(1, Ordering::SeqCst);
         let t0 = Instant::now();
         // Causal span: the serve layer brackets admission → first poll
         // as the inject phase and marks the terminal complete; the rt
@@ -457,17 +699,112 @@ impl Server {
         // between under the same id (`spawn_future_traced`).
         let span = shared.mint_span();
         shared.record_span(span, true, SpanPhase::Inject);
-        self.pool.spawn_future_traced(
+        let class = opts.priority;
+        self.pool.spawn_future_traced_with(
             RequestFuture {
                 request: Box::pin(request),
                 span,
                 inject_open: span != 0,
                 energy_nj: None,
+                class,
                 done: Some((shared, inner, t0)),
             },
             span,
+            self.spawn_options(opts),
         );
         ticket
+    }
+
+    /// Translate serve-level [`SubmitOptions`] into the pool's
+    /// [`SpawnOptions`]: the relative deadline becomes an absolute
+    /// instant on the pool's clock.
+    fn spawn_options(&self, opts: SubmitOptions) -> SpawnOptions {
+        let mut spawn = SpawnOptions::default().priority(opts.priority);
+        if let Some(d) = opts.deadline {
+            spawn = spawn.deadline_ns(
+                self.shared
+                    .pool_now_ns()
+                    .saturating_add(d.as_nanos() as u64)
+                    .max(1),
+            );
+        }
+        if let Some(domain) = opts.domain_hint {
+            spawn = spawn.domain_hint(domain);
+        }
+        spawn
+    }
+
+    /// The admission decision (DESIGN.md §Serve): high-class requests
+    /// are always admitted; normal requests are admitted unless they
+    /// carry a deadline the live p99 already exceeds; background
+    /// requests are admitted only below the policy's utilization
+    /// threshold.
+    fn admit(&self, opts: SubmitOptions) -> Result<(), ShedError> {
+        match opts.priority {
+            Priority::High => Ok(()),
+            Priority::Normal => {
+                let Some(deadline) = opts.deadline else {
+                    return Ok(());
+                };
+                let deadline_ns = deadline.as_nanos() as u64;
+                match self.shared.latency.snapshot().p99() {
+                    Some(p99_ns) if p99_ns > deadline_ns => Err(ShedError {
+                        priority: Priority::Normal,
+                        reason: ShedReason::DeadlineUnmeetable {
+                            p99_ns,
+                            deadline_ns,
+                        },
+                    }),
+                    _ => Ok(()),
+                }
+            }
+            Priority::Background => {
+                let utilization_permille = self.utilization_estimate_permille();
+                if utilization_permille >= self.shared.shed_threshold_permille {
+                    Err(ShedError {
+                        priority: Priority::Background,
+                        reason: ShedReason::Overloaded {
+                            utilization_permille,
+                        },
+                    })
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// The pool's live utilization estimate, permille of the unit
+    /// interval. Two signals, take the larger: instantaneous queue
+    /// pressure (in-flight requests over workers — always available,
+    /// reacts within one submission) and windowed busy time from the
+    /// metrics hub when a telemetry sink is attached (refreshed every
+    /// [`ADMISSION_REFRESH_INTERVAL`] submissions; between refreshes
+    /// it is one relaxed load).
+    fn utilization_estimate_permille(&self) -> u32 {
+        let workers = self.pool.workers().max(1) as u64;
+        let queue_pressure = ((self.in_flight() * 1000) / workers).min(1000) as u32;
+        let shared = &self.shared;
+        if shared
+            .submitted
+            .load(Ordering::Relaxed)
+            .is_multiple_of(ADMISSION_REFRESH_INTERVAL)
+        {
+            if let Some(snapshot) = self.pool.metrics() {
+                let busy: u64 = snapshot.workers.iter().map(|w| w.busy_ns).sum();
+                let wall = snapshot.at_ns.saturating_mul(workers);
+                let last_busy = shared.adm_last_busy_ns.swap(busy, Ordering::Relaxed);
+                let last_wall = shared.adm_last_at_ns.swap(wall, Ordering::Relaxed);
+                if wall > last_wall {
+                    let permille =
+                        (busy.saturating_sub(last_busy) * 1000 / (wall - last_wall)).min(1000);
+                    shared
+                        .adm_util_permille
+                        .store(permille as u32, Ordering::Relaxed);
+                }
+            }
+        }
+        queue_pressure.max(shared.adm_util_permille.load(Ordering::Relaxed))
     }
 
     /// Requests submitted so far.
@@ -476,10 +813,18 @@ impl Server {
         self.shared.submitted.load(Ordering::Relaxed)
     }
 
-    /// Requests completed so far (including panicked ones).
+    /// Requests completed so far (including panicked ones; shed
+    /// requests never ran and are counted by [`shed`](Self::shed)
+    /// instead).
     #[must_use]
     pub fn completed(&self) -> u64 {
         self.shared.completed.load(Ordering::Relaxed)
+    }
+
+    /// Requests refused by admission control so far.
+    #[must_use]
+    pub fn shed(&self) -> u64 {
+        self.shared.shed.load(Ordering::Relaxed)
     }
 
     /// Requests currently admitted but not yet completed.
@@ -492,6 +837,14 @@ impl Server {
     #[must_use]
     pub fn latency(&self) -> LatencyHistogram {
         self.shared.latency.snapshot()
+    }
+
+    /// Snapshot of the latency histogram for one request class — the
+    /// per-tenant view a mixed-class deployment gates on (shed requests
+    /// contribute nothing; they never ran).
+    #[must_use]
+    pub fn latency_for(&self, class: Priority) -> LatencyHistogram {
+        self.shared.class_latency[class as usize].snapshot()
     }
 
     /// Snapshot of the per-request *energy* histogram so far (µJ
@@ -598,6 +951,8 @@ struct RequestFuture<R> {
     /// between polls is charged only what its polls actually drew.
     /// Stays `None` without emulated DVFS.
     energy_nj: Option<u64>,
+    /// The request's class, for the per-class latency recorder.
+    class: Priority,
     /// Completion context, taken exactly once at the final poll. If the
     /// task is dropped unpolled (pool shut down), this drops too and
     /// the ticket's latch stays unset — exactly like a `submit` closure
@@ -625,15 +980,15 @@ impl<R> Future for RequestFuture<R> {
         }
         let outcome = match polled {
             Ok(Poll::Pending) => return Poll::Pending,
-            Ok(Poll::Ready(value)) => Ok(value),
-            Err(payload) => Err(payload),
+            Ok(Poll::Ready(value)) => Outcome::Done(value),
+            Err(payload) => Outcome::Panicked(payload),
         };
         let (shared, inner, t0) = this
             .done
             .take()
             .expect("request future polled again after completion");
         let energy_uj = this.energy_nj.map(|nj| (nj + 500) / 1_000);
-        shared.record_completion(this.span, t0, energy_uj);
+        shared.record_completion(this.span, t0, energy_uj, this.class);
         if let Some(uj) = energy_uj {
             inner.set_energy_uj(uj);
         }
@@ -1003,9 +1358,13 @@ mod tests {
         let seen = Arc::clone(&breaches);
         let mut server = Server::builder()
             .workers(2)
-            .flight_recorder(FlightRecorder::new(2))
-            // Zero budget: the first check (64 completions in) breaches.
-            .p99_budget(Duration::ZERO, move |b| seen.lock().push(b))
+            .admission(
+                AdmissionPolicy::default()
+                    .flight_recorder(FlightRecorder::new(2))
+                    // Zero budget: the first check (64 completions in)
+                    // breaches.
+                    .p99_budget(Duration::ZERO, move |b| seen.lock().push(b)),
+            )
             .build();
         for _ in 0..(3 * BREACH_CHECK_INTERVAL) {
             drop(server.submit(|| std::hint::black_box(1 + 1)));
@@ -1027,7 +1386,7 @@ mod tests {
         let server = Arc::new(
             Server::builder()
                 .workers(1)
-                .flight_recorder(FlightRecorder::new(1))
+                .admission(AdmissionPolicy::default().flight_recorder(FlightRecorder::new(1)))
                 .build(),
         );
         let inner_server = Arc::clone(&server);
@@ -1047,6 +1406,165 @@ mod tests {
         );
         assert!(msg.contains("worker 0"), "events name their stream: {msg}");
         server.drain();
+    }
+
+    #[test]
+    fn background_is_shed_under_overload_but_high_never_is() {
+        use std::sync::atomic::AtomicBool;
+        // One worker, held hostage: in-flight / workers == 1.0, well
+        // past the default 0.9 shed threshold.
+        let server = Server::builder().workers(1).build();
+        let gate = Arc::new(AtomicBool::new(false));
+        let release = Arc::clone(&gate);
+        let slow = server.submit(move || {
+            while !release.load(Ordering::SeqCst) {
+                std::thread::yield_now();
+            }
+        });
+        // Background: refused, typed error, nothing ran.
+        let shed = server.submit_with(
+            || 1u32,
+            SubmitOptions::default().priority(Priority::Background),
+        );
+        assert!(shed.is_done(), "shed tickets resolve at submission");
+        assert!(shed.was_shed());
+        let err = shed.shed_error().expect("typed shed error");
+        assert_eq!(err.priority, Priority::Background);
+        assert!(matches!(
+            err.reason,
+            ShedReason::Overloaded {
+                utilization_permille
+            } if utilization_permille >= 900
+        ));
+        // Shed requests have no energy reading and no latency sample.
+        let shed2 = server.submit_with(
+            || 2u32,
+            SubmitOptions::default().priority(Priority::Background),
+        );
+        assert_eq!(shed2.energy_microjoules(), None);
+        assert!(shed2.wait_result().is_err());
+        assert_eq!(server.shed(), 2);
+        assert_eq!(server.latency().count(), 0, "no latency for shed work");
+        assert_eq!(server.latency_for(Priority::Background).count(), 0);
+        // High and plain Normal are admitted even at full utilization.
+        let high = server.submit_with(|| 10u32, SubmitOptions::default().priority(Priority::High));
+        let normal = server.submit_with(|| 20u32, SubmitOptions::default());
+        assert!(!high.is_done() || !high.was_shed());
+        gate.store(true, Ordering::SeqCst);
+        slow.wait();
+        assert_eq!(high.wait_result(), Ok(10));
+        assert_eq!(normal.wait(), 20);
+        server.drain();
+        // Shed requests never inflate the completion counters.
+        assert_eq!(server.completed(), 3);
+        assert_eq!(server.submitted(), 5);
+        assert_eq!(server.latency_for(Priority::High).count(), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn background_is_admitted_again_once_load_clears() {
+        let server = Server::builder().workers(2).build();
+        server.drain();
+        // Idle pool: utilization estimate 0, background sails through.
+        let t = server.submit_with(
+            || "best effort",
+            SubmitOptions::default().priority(Priority::Background),
+        );
+        assert_eq!(t.wait_result(), Ok("best effort"));
+        assert_eq!(server.shed(), 0);
+        assert_eq!(server.latency_for(Priority::Background).count(), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn unmeetable_deadlines_are_refused_up_front() {
+        let server = Server::builder().workers(2).build();
+        // Teach the p99 estimate that requests take ~2 ms.
+        let tickets: Vec<_> = (0..8)
+            .map(|_| server.submit(|| std::thread::sleep(Duration::from_millis(2))))
+            .collect();
+        for t in tickets {
+            t.wait();
+        }
+        let p99 = server.latency().p99().expect("8 samples recorded");
+        assert!(p99 >= 2_000_000);
+        // A normal request demanding completion in 1 µs is hopeless;
+        // admission says so immediately instead of queueing it.
+        let doomed = server.submit_with(
+            || 1u32,
+            SubmitOptions::default().deadline(Duration::from_micros(1)),
+        );
+        let err = doomed.wait_result().expect_err("deadline unmeetable");
+        assert_eq!(err.priority, Priority::Normal);
+        assert!(matches!(
+            err.reason,
+            ShedReason::DeadlineUnmeetable { p99_ns, deadline_ns }
+                if p99_ns == p99 && deadline_ns == 1_000
+        ));
+        // A generous deadline is admitted (and rides the deadline lane).
+        let fine = server.submit_with(
+            || 2u32,
+            SubmitOptions::default().deadline(Duration::from_secs(30)),
+        );
+        assert_eq!(fine.wait_result(), Ok(2));
+        server.shutdown();
+    }
+
+    #[test]
+    fn async_submission_sheds_with_the_same_protocol() {
+        use std::sync::atomic::AtomicBool;
+        let server = Server::builder().workers(1).build();
+        let gate = Arc::new(AtomicBool::new(false));
+        let release = Arc::clone(&gate);
+        let slow = server.submit(move || {
+            while !release.load(Ordering::SeqCst) {
+                std::thread::yield_now();
+            }
+        });
+        let shed = server.submit_async_with(
+            async { 1u32 },
+            SubmitOptions::default().priority(Priority::Background),
+        );
+        assert!(shed.was_shed(), "async background shed under overload");
+        assert_eq!(server.shed(), 1);
+        let high = server.submit_async_with(
+            async { 2u32 },
+            SubmitOptions::default().priority(Priority::High),
+        );
+        gate.store(true, Ordering::SeqCst);
+        slow.wait();
+        assert_eq!(high.wait_result(), Ok(2));
+        server.drain();
+        assert_eq!(server.completed(), 2);
+        server.shutdown();
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_builder_knobs_still_configure_the_policy() {
+        use hermes_obs::FlightRecorder;
+        use parking_lot::Mutex;
+        // The pre-redesign spelling compiles and behaves identically:
+        // the shims forward into the admission policy.
+        let breaches: Arc<Mutex<Vec<P99Breach>>> = Arc::new(Mutex::new(Vec::new()));
+        let seen = Arc::clone(&breaches);
+        let mut server = Server::builder()
+            .workers(2)
+            .injector_capacity(1 << 12)
+            .flight_recorder(FlightRecorder::new(2))
+            .p99_budget(Duration::ZERO, move |b| seen.lock().push(b))
+            .build();
+        for _ in 0..(2 * BREACH_CHECK_INTERVAL) {
+            drop(server.submit(|| std::hint::black_box(1 + 1)));
+        }
+        server.stop();
+        let breaches = breaches.lock();
+        assert_eq!(breaches.len(), 1, "shimmed p99 budget still fires");
+        assert!(
+            breaches[0].dump.is_some(),
+            "shimmed flight recorder still wired into the breach"
+        );
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! and [`Server::submit_async`](crate::Server::submit_async).
 
 use hermes_obs::FlightRecorder;
-use hermes_rt::{current_worker_index, WakerLatch};
+use hermes_rt::{current_worker_index, Priority, WakerLatch};
 use parking_lot::Mutex;
 use std::future::Future;
 use std::pin::Pin;
@@ -15,9 +15,85 @@ use std::task::{Context, Poll};
 /// stay readable in a panic message.
 const PANIC_DUMP_TAIL: usize = 48;
 
-/// What a request left behind: its value, or the payload of the panic
-/// that killed it.
-type Outcome<R> = std::thread::Result<R>;
+/// Why admission control refused a request. Carried by the
+/// [`Shed`](Outcome::Shed) terminal outcome and returned (typed, not
+/// panicked) from [`Ticket::wait_result`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The pool's utilization estimate crossed the policy's shed
+    /// threshold; background work is refused first under overload.
+    Overloaded {
+        /// The utilization estimate at the admission decision, in
+        /// permille (937 = 93.7%).
+        utilization_permille: u32,
+    },
+    /// A deadline-carrying normal request whose deadline the live p99
+    /// says cannot be met — better to refuse now than to queue work
+    /// that will miss.
+    DeadlineUnmeetable {
+        /// The rolling 99th-percentile service latency at the decision, ns.
+        p99_ns: u64,
+        /// The request's relative deadline, ns.
+        deadline_ns: u64,
+    },
+}
+
+/// The typed error a shed request resolves to: the request never ran
+/// (its energy and latency stay unrecorded), and redeeming its ticket
+/// through [`Ticket::wait_result`] yields this instead of a value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShedError {
+    /// The refused request's class.
+    pub priority: Priority,
+    /// Why admission control refused it.
+    pub reason: ShedReason,
+}
+
+impl std::fmt::Display for ShedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.reason {
+            ShedReason::Overloaded {
+                utilization_permille,
+            } => write!(
+                f,
+                "{} request shed: pool at {}.{}% utilization",
+                self.priority.name(),
+                utilization_permille / 10,
+                utilization_permille % 10,
+            ),
+            ShedReason::DeadlineUnmeetable {
+                p99_ns,
+                deadline_ns,
+            } => write!(
+                f,
+                "{} request shed: {deadline_ns} ns deadline unmeetable (p99 {p99_ns} ns)",
+                self.priority.name(),
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ShedError {}
+
+/// What a request left behind: its value, the payload of the panic that
+/// killed it, or the [`ShedError`] admission control refused it with.
+pub(crate) enum Outcome<R> {
+    /// The request ran to completion.
+    Done(R),
+    /// The request panicked; the payload re-raises on redemption.
+    Panicked(Box<dyn std::any::Any + Send + 'static>),
+    /// Admission control refused the request; it never ran.
+    Shed(ShedError),
+}
+
+impl<R> From<std::thread::Result<R>> for Outcome<R> {
+    fn from(result: std::thread::Result<R>) -> Self {
+        match result {
+            Ok(value) => Outcome::Done(value),
+            Err(payload) => Outcome::Panicked(payload),
+        }
+    }
+}
 
 /// Sentinel for "no energy measurement": the request ran on a pool
 /// without emulated DVFS (or off-worker), so the ticket reports `None`
@@ -110,6 +186,47 @@ impl<R> Ticket<R> {
         }
     }
 
+    /// Whether the request was refused by admission control
+    /// (non-blocking; `false` while still pending).
+    #[must_use]
+    pub fn was_shed(&self) -> bool {
+        self.shed_error().is_some()
+    }
+
+    /// The [`ShedError`] this request was refused with, once resolved;
+    /// `None` while pending and for requests that actually ran.
+    #[must_use]
+    pub fn shed_error(&self) -> Option<ShedError> {
+        if !self.is_done() {
+            return None;
+        }
+        match self.inner.outcome.lock().as_ref() {
+            Some(Outcome::Shed(err)) => Some(*err),
+            _ => None,
+        }
+    }
+
+    /// Block until the request resolves; `Ok` with its value, or the
+    /// typed [`ShedError`] when admission control refused it. This is
+    /// the shed-aware redemption path — sheds surface as errors here,
+    /// never as panics.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same worker-thread deadlock guard as
+    /// [`wait`](Self::wait), and re-raises the request's own panic if
+    /// it died executing.
+    pub fn wait_result(self) -> Result<R, ShedError> {
+        self.deadlock_guard();
+        self.inner.latch.wait();
+        let outcome = self.take_written_outcome();
+        match outcome {
+            Outcome::Done(value) => Ok(value),
+            Outcome::Panicked(payload) => std::panic::resume_unwind(payload),
+            Outcome::Shed(err) => Err(err),
+        }
+    }
+
     /// Block until the request completes and return its value.
     ///
     /// # Panics
@@ -124,8 +241,19 @@ impl<R> Ticket<R> {
     /// If the request closure panicked, the panic is resumed here, on
     /// the waiter — the worker that ran the request has already moved
     /// on (the pool isolates request panics; see
-    /// [`Server::submit`](crate::Server::submit)).
+    /// [`Server::submit`](crate::Server::submit)). A request shed by
+    /// admission control also panics here (there is no value to
+    /// return); callers submitting sheddable classes redeem through
+    /// [`wait_result`](Self::wait_result) instead.
     pub fn wait(self) -> R {
+        self.deadlock_guard();
+        self.inner.latch.wait();
+        self.take_outcome()
+    }
+
+    /// The `wait`-on-a-worker deadlock diagnosis, shared by both
+    /// blocking redemption paths.
+    fn deadlock_guard(&self) {
         if let Some(w) = current_worker_index() {
             let mut msg = format!(
                 "Ticket::wait() called on pool worker {w}: blocking a worker \
@@ -147,22 +275,26 @@ impl<R> Ticket<R> {
             }
             panic!("{msg}");
         }
-        self.inner.latch.wait();
-        self.take_outcome()
     }
 
-    /// Take the written outcome, resuming the request's panic if it
-    /// died. Only call after the latch was observed set.
-    fn take_outcome(&self) -> R {
-        let outcome = self
-            .inner
+    /// Take the written outcome. Only call after the latch was
+    /// observed set.
+    fn take_written_outcome(&self) -> Outcome<R> {
+        self.inner
             .outcome
             .lock()
             .take()
-            .expect("latch set implies the outcome was written (tickets redeem once)");
-        match outcome {
-            Ok(value) => value,
-            Err(payload) => std::panic::resume_unwind(payload),
+            .expect("latch set implies the outcome was written (tickets redeem once)")
+    }
+
+    /// Take the written outcome, resuming the request's panic if it
+    /// died and panicking on a shed (value-returning paths have no
+    /// error channel). Only call after the latch was observed set.
+    fn take_outcome(&self) -> R {
+        match self.take_written_outcome() {
+            Outcome::Done(value) => value,
+            Outcome::Panicked(payload) => std::panic::resume_unwind(payload),
+            Outcome::Shed(err) => panic!("redeemed a shed ticket for its value: {err}"),
         }
     }
 }
@@ -201,7 +333,7 @@ mod tests {
     fn ticket_resolves_after_complete() {
         let (ticket, inner) = Ticket::new(None);
         assert!(!ticket.is_done());
-        inner.complete(Ok(41 + 1));
+        inner.complete(Outcome::Done(41 + 1));
         assert!(ticket.is_done());
         assert_eq!(ticket.wait(), 42);
     }
@@ -216,18 +348,18 @@ mod tests {
             None,
             "a reading is only visible once the request completed"
         );
-        inner.complete(Ok(()));
+        inner.complete(Outcome::Done(()));
         assert_eq!(ticket.energy_microjoules(), Some(1_250));
 
         // Unmeasured requests (no emulated DVFS) stay None forever.
         let (ticket, inner) = Ticket::<u8>::new(None);
-        inner.complete(Ok(0));
+        inner.complete(Outcome::Done(0));
         assert_eq!(ticket.energy_microjoules(), None);
 
         // The sentinel itself is unrepresentable as a measurement.
         let (ticket, inner) = Ticket::<u8>::new(None);
         inner.set_energy_uj(u64::MAX);
-        inner.complete(Ok(0));
+        inner.complete(Outcome::Done(0));
         assert_eq!(ticket.energy_microjoules(), Some(u64::MAX - 1));
     }
 
@@ -236,7 +368,7 @@ mod tests {
         let (ticket, inner) = Ticket::new(None);
         let h = std::thread::spawn(move || {
             std::thread::sleep(std::time::Duration::from_millis(15));
-            inner.complete(Ok("served"));
+            inner.complete(Outcome::Done("served"));
         });
         assert_eq!(ticket.wait(), "served");
         h.join().unwrap();
@@ -245,16 +377,84 @@ mod tests {
     #[test]
     fn panicked_request_resumes_on_the_waiter() {
         let (ticket, inner) = Ticket::<()>::new(None);
-        inner.complete(Err(Box::new("request blew up")));
+        inner.complete(Outcome::Panicked(Box::new("request blew up")));
         let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || ticket.wait()))
             .unwrap_err();
         assert_eq!(*err.downcast_ref::<&str>().unwrap(), "request blew up");
     }
 
     #[test]
+    fn shed_ticket_redeems_as_a_typed_error_not_a_panic() {
+        let shed = ShedError {
+            priority: Priority::Background,
+            reason: ShedReason::Overloaded {
+                utilization_permille: 937,
+            },
+        };
+        let (ticket, inner) = Ticket::<u32>::new(None);
+        assert!(!ticket.was_shed(), "pending tickets are not yet shed");
+        inner.complete(Outcome::Shed(shed));
+        assert!(ticket.is_done());
+        assert!(ticket.was_shed());
+        assert_eq!(ticket.shed_error(), Some(shed));
+        // A shed request never ran, so it has no energy reading.
+        assert_eq!(ticket.energy_microjoules(), None);
+        assert_eq!(ticket.wait_result(), Err(shed));
+
+        // The legacy value-returning path has no error channel; there
+        // it is a panic that names the shed.
+        let (ticket, inner) = Ticket::<u32>::new(None);
+        inner.complete(Outcome::Shed(shed));
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || ticket.wait()))
+            .unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("formatted panic");
+        assert!(msg.contains("shed"), "{msg}");
+        assert!(msg.contains("93.7%"), "{msg}");
+    }
+
+    #[test]
+    fn wait_result_returns_values_and_resumes_panics() {
+        let (ticket, inner) = Ticket::new(None);
+        inner.complete(Outcome::Done(7u32));
+        assert_eq!(ticket.wait_result(), Ok(7));
+
+        let (ticket, inner) = Ticket::<u32>::new(None);
+        inner.complete(Outcome::Panicked(Box::new("boom")));
+        let err =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || ticket.wait_result()))
+                .unwrap_err();
+        assert_eq!(*err.downcast_ref::<&str>().unwrap(), "boom");
+    }
+
+    #[test]
+    fn shed_error_displays_both_reasons() {
+        let overload = ShedError {
+            priority: Priority::Background,
+            reason: ShedReason::Overloaded {
+                utilization_permille: 905,
+            },
+        };
+        assert_eq!(
+            overload.to_string(),
+            "background request shed: pool at 90.5% utilization"
+        );
+        let deadline = ShedError {
+            priority: Priority::Normal,
+            reason: ShedReason::DeadlineUnmeetable {
+                p99_ns: 2_000_000,
+                deadline_ns: 1_000_000,
+            },
+        };
+        assert_eq!(
+            deadline.to_string(),
+            "normal request shed: 1000000 ns deadline unmeetable (p99 2000000 ns)"
+        );
+    }
+
+    #[test]
     fn awaiting_a_completed_ticket_is_ready_immediately() {
         let (ticket, inner) = Ticket::new(None);
-        inner.complete(Ok(7u32));
+        inner.complete(Outcome::Done(7u32));
         let waker = std::task::Waker::noop();
         let mut cx = Context::from_waker(waker);
         let mut ticket = Box::pin(ticket);
@@ -268,7 +468,7 @@ mod tests {
         let mut cx = Context::from_waker(waker);
         let mut ticket = Box::pin(ticket);
         assert_eq!(ticket.as_mut().poll(&mut cx), Poll::Pending);
-        inner.complete(Ok("async"));
+        inner.complete(Outcome::Done("async"));
         assert_eq!(ticket.as_mut().poll(&mut cx), Poll::Ready("async"));
     }
 }

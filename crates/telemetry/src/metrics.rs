@@ -183,8 +183,15 @@ pub struct MetricsSnapshot {
     pub at_ns: u64,
     /// Per-worker counters, indexed by worker id.
     pub workers: Vec<WorkerMetricsSample>,
-    /// Tasks waiting in the external-submission injector right now.
+    /// Tasks waiting in the external-submission injector right now,
+    /// summed across every cell of a sharded front door — the merged
+    /// legacy view.
     pub injector_depth: usize,
+    /// Per-cell injector depths, indexed by clock domain, for hosts
+    /// whose front door is sharded. Empty means "single merged cell"
+    /// (pre-sharding hosts and snapshots), and the field always sums
+    /// to `injector_depth` when present — the back-compat contract.
+    pub injector_cell_depths: Vec<usize>,
     /// Requests admitted but not yet completed (0 for bare pools).
     pub in_flight: u64,
     /// Rolling request-latency median, ns (serving hosts only).

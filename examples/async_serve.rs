@@ -14,7 +14,7 @@
 //! cargo run --release --example async_serve
 //! ```
 
-use hermes::serve::{Server, VirtualTimer};
+use hermes::serve::{Server, SubmitOptions, VirtualTimer};
 use std::time::Instant;
 
 /// Resident set size in KiB, read from /proc (Linux); `None` elsewhere.
@@ -33,17 +33,23 @@ fn main() {
     let server = Server::builder().workers(WORKERS).parking(true).build();
     let rss_before = rss_kib();
 
-    // Admit all 100k requests. Each one's first poll runs on a worker,
-    // parks on the timer, and frees that worker for the next — so four
-    // workers happily "hold" 100k open requests.
+    // Admit all 100k requests through the classed front door, striped
+    // across the pool's injector cells by an explicit domain hint. Each
+    // one's first poll runs on a worker, parks on the timer, and frees
+    // that worker for the next — so four workers happily "hold" 100k
+    // open requests.
+    let cells = server.pool().injector_cells();
     let t0 = Instant::now();
     let tickets: Vec<_> = (0..REQUESTS)
         .map(|i| {
             let t = timer.clone();
-            server.submit_async(async move {
-                t.sleep(SLEEP_NS).await;
-                i as u64
-            })
+            server.submit_async_with(
+                async move {
+                    t.sleep(SLEEP_NS).await;
+                    i as u64
+                },
+                SubmitOptions::default().domain_hint(i % cells),
+            )
         })
         .collect();
     let submit_s = t0.elapsed().as_secs_f64();
@@ -97,6 +103,12 @@ fn main() {
     );
     assert_eq!(stats.future_polls, 2 * REQUESTS as u64, "park + completion");
     assert_eq!(stats.future_repushes, REQUESTS as u64);
+    // Submissions were striped across every injector cell, and the
+    // per-cell pop counters reconcile exactly with the merged one.
+    let cell_pops = server.pool().injector_cell_pops();
+    println!("injector cells: {cells}, pops per cell {cell_pops:?}");
+    assert!(cell_pops.iter().all(|&p| p > 0), "every cell saw traffic");
+    assert_eq!(cell_pops.iter().sum::<u64>(), stats.injector_pops);
 
     for (i, t) in tickets.into_iter().enumerate() {
         assert_eq!(t.wait(), i as u64);

@@ -1,17 +1,21 @@
-//! Serve an open-loop Poisson request stream and read the latency tail.
+//! Serve a mixed-class open-loop Poisson request stream and read the
+//! per-class latency tails.
 //!
 //! Builds a tempo-controlled, parking [`Server`] over the HERMES pool,
 //! drives it at a moderate offered load with deterministic Poisson
-//! arrivals, and prints the latency percentiles, park accounting, and
-//! virtual energy — the per-run view of what `sweep --serve` sweeps as
-//! a grid.
+//! arrivals through the classed front door
+//! ([`Server::submit_with`]) — one in five requests is high-priority,
+//! one in five is sheddable background, the rest are normal — and
+//! prints the latency percentiles per class, admission-control
+//! activity, park accounting, and virtual energy: the per-run view of
+//! what `sweep --serve --serve-classes` sweeps as a grid.
 //!
 //! ```sh
 //! cargo run --release --example serve_latency
 //! ```
 
 use hermes::core::{Frequency, Policy, TempoConfig};
-use hermes::serve::{run_open_loop, PoissonSchedule, Server};
+use hermes::serve::{run_open_loop_classed, PoissonSchedule, Priority, Server, SubmitOptions};
 use hermes::telemetry::{RingSink, TelemetrySink};
 use std::sync::Arc;
 
@@ -27,6 +31,17 @@ fn request() -> u64 {
         *x = acc;
     });
     v.iter().fold(0u64, |a, &b| a ^ b)
+}
+
+/// The mixed-tenant class schedule: deterministic by request index so
+/// runs are reproducible. Every fifth request is latency-critical,
+/// every fifth is best-effort, the rest are plain normal.
+fn class_for(i: usize) -> SubmitOptions {
+    match i % 5 {
+        0 => SubmitOptions::default().priority(Priority::High),
+        4 => SubmitOptions::default().priority(Priority::Background),
+        _ => SubmitOptions::default(),
+    }
 }
 
 fn main() {
@@ -57,54 +72,71 @@ fn main() {
     let rate_hz = 0.25 / service_s;
     println!(
         "serving {requests} requests at {rate_hz:.0}/s \
-         (service ≈ {:.0} µs, {workers} workers)…",
+         (service ≈ {:.0} µs, {workers} workers, classes H/N/B)…",
         service_s * 1e6
     );
 
     let offsets = PoissonSchedule::unit(42, requests).offsets(rate_hz);
-    let run = run_open_loop(&server, &offsets, |_| request);
+    let run = run_open_loop_classed(&server, &offsets, |_| request, class_for);
     server.stop();
 
-    let hist = server.latency();
+    let completed = server.completed();
     println!(
-        "completed {} requests in {:.2} s ({} submissions late)",
-        server.completed(),
+        "completed {completed} requests in {:.2} s \
+         ({} submissions late, {} shed by admission control)",
         server.pool().elapsed_ns() as f64 / 1e9,
-        run.late_submissions
+        run.late_submissions,
+        server.shed(),
     );
-    println!(
-        "latency: p50 {:>8.1} µs | p99 {:>8.1} µs | p99.9 {:>8.1} µs",
-        hist.p50().unwrap_or(0) as f64 / 1e3,
-        hist.p99().unwrap_or(0) as f64 / 1e3,
-        hist.p999().unwrap_or(0) as f64 / 1e3,
-    );
+    for class in Priority::ALL {
+        let hist = server.latency_for(class);
+        println!(
+            "{:>10}: {:>4} served | p50 {:>8.1} µs | p99 {:>8.1} µs",
+            class.name(),
+            hist.count(),
+            hist.p50().unwrap_or(0) as f64 / 1e3,
+            hist.p99().unwrap_or(0) as f64 / 1e3,
+        );
+    }
     let stats = server.pool().stats();
+    let cell_pops = server.pool().injector_cell_pops();
     println!(
-        "parking: {} episodes, {:.1} ms parked; injector pops: {}",
+        "parking: {} episodes, {:.1} ms parked; injector pops: {} across {} cells {:?}",
         stats.parks,
         stats.parked_ns as f64 / 1e6,
-        stats.injector_pops
+        stats.injector_pops,
+        cell_pops.len(),
+        cell_pops,
+    );
+    assert_eq!(
+        cell_pops.iter().sum::<u64>(),
+        stats.injector_pops,
+        "per-cell pops reconcile with the merged counter"
     );
     if let Some(energy) = server.pool().total_energy() {
         println!("virtual energy (busy + spin + parked): {energy:.3} J");
     }
 
-    // The folded RunReport carries the same latency histogram.
+    // The folded RunReport carries the same latency histogram: one
+    // sample per *served* request (shed arrivals never ran).
     let report = sink.report(
         "serve-latency-example",
         "rt",
         server.pool().elapsed_ns() as f64 / 1e9,
         server.pool().total_energy().unwrap_or(0.0),
     );
-    assert_eq!(report.latency_hist.count(), requests as u64);
+    assert_eq!(report.latency_hist.count(), completed);
+    assert_eq!(completed + server.shed(), requests as u64);
     println!(
         "telemetry: {} latency samples, {} parks in the RunReport",
         report.latency_hist.count(),
         report.totals().parks
     );
     let tickets = run.tickets.len();
+    let mut redeemed = 0u64;
     for t in run.tickets {
-        std::hint::black_box(t.wait());
+        // Shed tickets redeem as typed errors, not values.
+        redeemed += u64::from(std::hint::black_box(t.wait_result()).is_ok());
     }
-    println!("all {tickets} tickets redeemed");
+    println!("all {tickets} tickets redeemed ({redeemed} with values)");
 }
