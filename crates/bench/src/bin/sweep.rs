@@ -110,8 +110,8 @@ use hermes_deque::{LockFreeDeque, Steal, TaskDeque, TheDeque};
 use hermes_obs::{EnergyLedger, SpanForest};
 use hermes_rt::{parallel_for, DequeKind, Pool};
 use hermes_serve::{
-    run_open_loop, run_open_loop_async, run_open_loop_classed, PoissonSchedule, Priority, Server,
-    SubmitOptions,
+    run_open_loop, run_open_loop_async, run_open_loop_classed, ElasticConfig, PoissonSchedule,
+    Priority, Server, SubmitOptions,
 };
 use hermes_sim::WorkerPlacement;
 use hermes_telemetry::json::Value;
@@ -169,6 +169,7 @@ const MODE_FLAGS: &[&str] = &[
     "--ablate-deque",
     "--serve",
     "--serve-classes",
+    "--serve-elastic",
     "--gate-overhead",
     "--gate-energy-attr",
     "--energy-trend",
@@ -251,6 +252,11 @@ fn main() -> ExitCode {
         print_usage();
         return ExitCode::from(2);
     }
+    if has("--serve-elastic") && !serve {
+        eprintln!("sweep: --serve-elastic modifies --serve (it adds the burst/elastic grid)");
+        print_usage();
+        return ExitCode::from(2);
+    }
     if positionals != 0 {
         eprintln!("sweep: unexpected positional arguments");
         print_usage();
@@ -325,7 +331,7 @@ fn print_usage() {
     eprintln!("       sweep --ablate-deque  [--smoke] [--baseline PATH] [--out PATH]");
     eprintln!("                             [--min-steal-ratio X] [tolerances]");
     eprintln!("       sweep --serve [--smoke] [--baseline PATH] [--out PATH]");
-    eprintln!("                     [--serve-classes] [--serve-p99-factor X]");
+    eprintln!("                     [--serve-classes] [--serve-elastic] [--serve-p99-factor X]");
     eprintln!("                     [--serve-p99-floor-ms MS]");
     eprintln!("                     [--gate-energy-attr] [--energy-attr-tol X]");
     eprintln!("       sweep --energy-trend OLD [...] NEW [--tol-energy-trend X]");
@@ -1358,6 +1364,13 @@ const SERVE_SEED: u64 = 0x5EED_CAFE;
 /// chunks, enough join structure that tempo hooks fire inside requests.
 const SERVE_KERNEL_ELEMS: usize = 1024;
 const SERVE_KERNEL_GRAIN: usize = 128;
+/// Square-wave burst shape of the `--serve-elastic` grid: phases of
+/// `requests / SERVE_BURST_PHASES` arrivals alternating between the
+/// full rate and `SERVE_BURST_OFF_RATIO` of it — on/off load swings
+/// wide enough that an elastic pool should sleep workers through the
+/// lulls and wake them for the bursts.
+const SERVE_BURST_PHASES: usize = 8;
+const SERVE_BURST_OFF_RATIO: f64 = 0.25;
 
 /// Per-element work of the request kernel (~150 ns): multiplicative
 /// hashing, opaque to the optimizer.
@@ -1406,6 +1419,11 @@ struct ServeCell {
     /// classes (1-in-5 high, 1-in-5 background, rest normal) through
     /// the classed front door, so admission control is live.
     classes: bool,
+    /// Driven by the square-wave burst schedule instead of the plain
+    /// Poisson draw (the `--serve-elastic` grid).
+    burst: bool,
+    /// Pool runs under the elastic worker-count policy.
+    elastic: bool,
     offered_rate_hz: f64,
     achieved_rate_hz: f64,
     elapsed_s: f64,
@@ -1435,16 +1453,34 @@ struct ServeCell {
     future_wakes: u64,
     future_repushes: u64,
     late_submissions: usize,
+    /// Arrival accounting for the no-lost-work gate: after a drain,
+    /// `completed == submitted - shed` must hold exactly in every cell.
+    submitted: u64,
+    completed: u64,
+    /// Elastic sleep traffic (zero unless `elastic`).
+    sleeps: u64,
+    slept_ns: u64,
+    wakes: u64,
 }
 
-fn serve_cell_key(util: f64, tempo: bool, parking: bool, is_async: bool, classes: bool) -> String {
+fn serve_cell_key(
+    util: f64,
+    tempo: bool,
+    parking: bool,
+    is_async: bool,
+    classes: bool,
+    burst: bool,
+    elastic: bool,
+) -> String {
     format!(
-        "u{:02.0}/tempo-{}/park-{}{}{}",
+        "u{:02.0}/tempo-{}/park-{}{}{}{}{}",
         util * 100.0,
         if tempo { "on" } else { "off" },
         if parking { "on" } else { "off" },
         if is_async { "/async" } else { "" },
-        if classes { "/classes" } else { "" }
+        if classes { "/classes" } else { "" },
+        if burst { "/burst" } else { "" },
+        if elastic { "/elastic" } else { "" }
     )
 }
 
@@ -1462,12 +1498,17 @@ fn serve_class_for(i: usize) -> SubmitOptions {
 
 /// Run one cell: a fresh server per corner so energy accounting starts
 /// from zero, the same seeded schedule per utilization across corners.
+/// The flag list mirrors the grid axes one-for-one (see
+/// `serve_cell_key`), so positional bools beat an axes struct here.
+#[allow(clippy::too_many_arguments)]
 fn run_serve_cell(
     util: f64,
     tempo: bool,
     parking: bool,
     is_async: bool,
     classes: bool,
+    burst: bool,
+    elastic: bool,
     schedule: &PoissonSchedule,
     service_s: f64,
 ) -> ServeCell {
@@ -1488,12 +1529,15 @@ fn run_serve_cell(
         .frequencies(vec![Frequency::from_mhz(2400), Frequency::from_mhz(1600)])
         .workers(SERVE_WORKERS)
         .build();
-    let mut server = Server::builder()
+    let mut builder = Server::builder()
         .workers(SERVE_WORKERS)
         .tempo(tempo_config)
         .parking(parking)
-        .emulated_dvfs(Frequency::from_mhz(2400), 8.0)
-        .build();
+        .emulated_dvfs(Frequency::from_mhz(2400), 8.0);
+    if elastic {
+        builder = builder.elastic(ElasticConfig::default());
+    }
+    let mut server = builder.build();
     let offered_rate_hz = util * serve_effective_cores() as f64 / service_s;
     let offsets = schedule.offsets(offered_rate_hz);
     let run = if is_async {
@@ -1514,6 +1558,8 @@ fn run_serve_cell(
         parking,
         is_async,
         classes,
+        burst,
+        elastic,
         offered_rate_hz,
         achieved_rate_hz: schedule.len() as f64 / elapsed_s.max(1e-9),
         elapsed_s,
@@ -1537,6 +1583,11 @@ fn run_serve_cell(
         future_wakes: stats.future_wakes,
         future_repushes: stats.future_repushes,
         late_submissions: run.late_submissions,
+        submitted: server.submitted(),
+        completed: server.completed(),
+        sleeps: stats.sleeps,
+        slept_ns: stats.slept_ns,
+        wakes: stats.wakes,
     }
 }
 
@@ -1545,7 +1596,7 @@ fn serve_cell_value(c: &ServeCell) -> Value {
         (
             "key",
             Value::Str(serve_cell_key(
-                c.util, c.tempo, c.parking, c.is_async, c.classes,
+                c.util, c.tempo, c.parking, c.is_async, c.classes, c.burst, c.elastic,
             )),
         ),
         ("util", Value::Num(c.util)),
@@ -1553,6 +1604,8 @@ fn serve_cell_value(c: &ServeCell) -> Value {
         ("parking", Value::Bool(c.parking)),
         ("async", Value::Bool(c.is_async)),
         ("classes", Value::Bool(c.classes)),
+        ("burst", Value::Bool(c.burst)),
+        ("elastic", Value::Bool(c.elastic)),
         ("offered_rate_hz", Value::Num(c.offered_rate_hz)),
         ("achieved_rate_hz", Value::Num(c.achieved_rate_hz)),
         ("elapsed_s", Value::Num(c.elapsed_s)),
@@ -1580,6 +1633,11 @@ fn serve_cell_value(c: &ServeCell) -> Value {
         ("future_wakes", Value::Num(c.future_wakes as f64)),
         ("future_repushes", Value::Num(c.future_repushes as f64)),
         ("late_submissions", Value::Num(c.late_submissions as f64)),
+        ("submitted", Value::Num(c.submitted as f64)),
+        ("completed", Value::Num(c.completed as f64)),
+        ("sleeps", Value::Num(c.sleeps as f64)),
+        ("slept_ns", Value::Num(c.slept_ns as f64)),
+        ("wakes", Value::Num(c.wakes as f64)),
     ])
 }
 
@@ -1630,6 +1688,7 @@ fn serve_main(args: &[String], smoke: bool) -> ExitCode {
     };
     let gate_energy_attr = args.iter().any(|a| a == "--gate-energy-attr");
     let classes = args.iter().any(|a| a == "--serve-classes");
+    let elastic = args.iter().any(|a| a == "--serve-elastic");
     let energy_attr_tol = match tolerance(args, "--energy-attr-tol", 0.02) {
         Ok(v) => v,
         Err(e) => {
@@ -1668,6 +1727,8 @@ fn serve_main(args: &[String], smoke: bool) -> ExitCode {
                     parking,
                     false,
                     false,
+                    false,
+                    false,
                     &schedules[i],
                     service_s,
                 ));
@@ -1687,6 +1748,8 @@ fn serve_main(args: &[String], smoke: bool) -> ExitCode {
                 tempo,
                 parking,
                 true,
+                false,
+                false,
                 false,
                 &schedules[0],
                 service_s,
@@ -1710,9 +1773,47 @@ fn serve_main(args: &[String], smoke: bool) -> ExitCode {
                 parking,
                 false,
                 true,
+                false,
+                false,
                 &schedules[classes_util_idx],
                 service_s,
             ));
+        }
+    }
+    // The elastic grid (--serve-elastic): every utilization point re-run
+    // under the square-wave *burst* schedule — same seeded draw, the
+    // lulls stretched to SERVE_BURST_OFF_RATIO of the base rate — on a
+    // three-way grid: the stock off/off and tempo+parking corners, each
+    // with and without the elastic worker-count policy. Bursty load is
+    // where scaling the worker *count* pays beyond scaling frequency:
+    // through a lull a tempo pool still keeps four thieves alive (slow,
+    // parked-and-rechecking), while an elastic pool sleeps down to the
+    // sentinel and wakes on the next burst's injector depth.
+    let burst_schedules: Vec<PoissonSchedule> = if elastic {
+        schedules
+            .iter()
+            .map(|s| s.square_wave(requests / SERVE_BURST_PHASES, SERVE_BURST_OFF_RATIO))
+            .collect()
+    } else {
+        Vec::new()
+    };
+    if elastic {
+        for (i, &util) in SERVE_UTILS.iter().enumerate() {
+            for (tempo, parking) in [(false, false), (true, true)] {
+                for el in [false, true] {
+                    cells.push(run_serve_cell(
+                        util,
+                        tempo,
+                        parking,
+                        false,
+                        false,
+                        true,
+                        el,
+                        &burst_schedules[i],
+                        service_s,
+                    ));
+                }
+            }
         }
     }
 
@@ -1732,7 +1833,7 @@ fn serve_main(args: &[String], smoke: bool) -> ExitCode {
     for c in &cells {
         println!(
             "{:<28} {:>9.3} {:>9} {:>9} {:>9.1} {:>9.1} {:>9.1} {:>9.0} {:>7} {:>10.1}",
-            serve_cell_key(c.util, c.tempo, c.parking, c.is_async, c.classes),
+            serve_cell_key(c.util, c.tempo, c.parking, c.is_async, c.classes, c.burst, c.elastic),
             c.energy_j,
             c.req_energy_p50_uj,
             c.req_energy_p99_uj,
@@ -1756,6 +1857,7 @@ fn serve_main(args: &[String], smoke: bool) -> ExitCode {
                     && c.parking == parking
                     && c.is_async == is_async
                     && !c.classes
+                    && !c.burst
             })
             .expect("grid is complete")
     };
@@ -1869,7 +1971,14 @@ fn serve_main(args: &[String], smoke: bool) -> ExitCode {
         );
         let unclassed = cells
             .iter()
-            .find(|c| c.util == classes_util && c.tempo && c.parking && !c.is_async && !c.classes)
+            .find(|c| {
+                c.util == classes_util
+                    && c.tempo
+                    && c.parking
+                    && !c.is_async
+                    && !c.classes
+                    && !c.burst
+            })
             .expect("grid is complete");
         let classes_bound_ns = unclassed.p99_ns as f64 * p99_factor + p99_floor_ms * 1e6;
         classes_p99_ok = (c_on.high_p99_ns as f64) <= classes_bound_ns;
@@ -1885,6 +1994,83 @@ fn serve_main(args: &[String], smoke: bool) -> ExitCode {
             if classes_p99_ok { "ok" } else { "FAIL" },
         );
     }
+
+    // Gates 1'''/2''', elastic grid (--serve-elastic): at the
+    // lowest-utilization *burst* corner — long lulls, where sleeping
+    // workers beat merely slow ones — elastic on top of tempo+parking
+    // must strictly beat tempo+parking alone on energy, within the same
+    // tail bound. Plus a sanity pair: the elastic cells actually slept
+    // (and woke as often as they slept), and no non-elastic cell ever
+    // did.
+    let mut elastic_energy_ok = true;
+    let mut elastic_p99_ok = true;
+    let mut sleep_path_ok = true;
+    if elastic {
+        let b_cell = |tempo: bool, parking: bool, el: bool| {
+            cells
+                .iter()
+                .find(|c| {
+                    c.burst
+                        && c.util == lowest
+                        && c.tempo == tempo
+                        && c.parking == parking
+                        && c.elastic == el
+                })
+                .expect("elastic grid is complete")
+        };
+        let e_on = b_cell(true, true, true);
+        let e_off = b_cell(true, true, false);
+        elastic_energy_ok = e_on.energy_j < e_off.energy_j;
+        println!(
+            "elastic energy gate (u{:02.0} burst): elastic+tempo+parking {:.3} J \
+             < tempo+parking {:.3} J -> {} [sleeps {}, slept {:.1} ms]",
+            lowest * 100.0,
+            e_on.energy_j,
+            e_off.energy_j,
+            if elastic_energy_ok { "ok" } else { "FAIL" },
+            e_on.sleeps,
+            e_on.slept_ns as f64 / 1e6,
+        );
+        let elastic_bound_ns = e_off.p99_ns as f64 * p99_factor + p99_floor_ms * 1e6;
+        elastic_p99_ok = (e_on.p99_ns as f64) <= elastic_bound_ns;
+        println!(
+            "elastic p99 gate (u{:02.0} burst): {:.1} µs <= {:.1} µs \
+             ({}x tempo+parking {:.1} µs + {} ms) -> {}",
+            lowest * 100.0,
+            e_on.p99_ns as f64 / 1e3,
+            elastic_bound_ns / 1e3,
+            p99_factor,
+            e_off.p99_ns as f64 / 1e3,
+            p99_floor_ms,
+            if elastic_p99_ok { "ok" } else { "FAIL" }
+        );
+        sleep_path_ok = e_on.sleeps > 0
+            && cells.iter().all(|c| {
+                if c.elastic {
+                    c.wakes == c.sleeps
+                } else {
+                    c.sleeps == 0
+                }
+            });
+        println!(
+            "sleep-path gate: elastic cells slept (every sleep woken), others never -> {}",
+            if sleep_path_ok { "ok" } else { "FAIL" }
+        );
+    }
+
+    // No-lost-work gate (always on): after each cell's drain the arrival
+    // ledger closes exactly — every submitted request either completed
+    // or was shed by admission. This is the invariant the elastic
+    // machinery is most able to break (a task stranded in a sleeping
+    // worker's deque would hang the drain; a lost wakeup would strand
+    // the whole cell), so it is checked on every cell of every grid.
+    let lost_work_ok = cells
+        .iter()
+        .all(|c| c.completed == c.submitted - c.shed && c.submitted == requests as u64);
+    println!(
+        "no-lost-work gate: completed == submitted - shed in every cell -> {}",
+        if lost_work_ok { "ok" } else { "FAIL" }
+    );
 
     // Cell-reconciliation gate (always on): in every cell the per-cell
     // injector pop counters sum *exactly* to the merged legacy counter
@@ -1943,6 +2129,34 @@ fn serve_main(args: &[String], smoke: bool) -> ExitCode {
                                 SERVE_UTILS[i] * 100.0,
                                 expect
                             );
+                        }
+                    }
+                    // The burst (square-wave) schedules are as
+                    // deterministic as the base draws; when both this
+                    // run and the baseline carry them, they must
+                    // fingerprint-match too.
+                    if let (false, Some(base_bursts)) = (
+                        burst_schedules.is_empty(),
+                        base.get("burst_schedules").and_then(Value::as_arr),
+                    ) {
+                        for (i, sched) in burst_schedules.iter().enumerate() {
+                            let expect = base_bursts
+                                .iter()
+                                .find(|s| {
+                                    s.get("util").and_then(Value::as_f64) == Some(SERVE_UTILS[i])
+                                })
+                                .and_then(|s| s.get("fingerprint").and_then(Value::as_str))
+                                .map(str::to_string);
+                            let got = format!("{:016x}", sched.fingerprint());
+                            if expect.as_deref() != Some(got.as_str()) {
+                                schedule_ok = false;
+                                println!(
+                                    "schedule gate: u{:02.0} burst fingerprint {got} \
+                                     != baseline {:?}",
+                                    SERVE_UTILS[i] * 100.0,
+                                    expect
+                                );
+                            }
                         }
                     }
                     println!(
@@ -2056,6 +2270,25 @@ fn serve_main(args: &[String], smoke: bool) -> ExitCode {
             ),
         ),
         (
+            "burst_schedules",
+            Value::Arr(
+                SERVE_UTILS
+                    .iter()
+                    .zip(&burst_schedules)
+                    .map(|(&util, s)| {
+                        Value::obj(vec![
+                            ("util", Value::Num(util)),
+                            ("seed", Value::Num(s.seed() as f64)),
+                            (
+                                "fingerprint",
+                                Value::Str(format!("{:016x}", s.fingerprint())),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
             "grid",
             Value::Arr(cells.iter().map(serve_cell_value).collect()),
         ),
@@ -2081,10 +2314,16 @@ fn serve_main(args: &[String], smoke: bool) -> ExitCode {
                     ("schedule_ok", Value::Bool(schedule_ok)),
                     ("req_energy_ok", Value::Bool(req_energy_ok)),
                     ("cell_pops_ok", Value::Bool(cell_pops_ok)),
+                    ("lost_work_ok", Value::Bool(lost_work_ok)),
                 ];
                 if classes {
                     fields.push(("classes_energy_ok", Value::Bool(classes_energy_ok)));
                     fields.push(("classes_high_p99_ok", Value::Bool(classes_p99_ok)));
+                }
+                if elastic {
+                    fields.push(("elastic_energy_ok", Value::Bool(elastic_energy_ok)));
+                    fields.push(("elastic_p99_ok", Value::Bool(elastic_p99_ok)));
+                    fields.push(("sleep_path_ok", Value::Bool(sleep_path_ok)));
                 }
                 if gate_energy_attr {
                     fields.push(("energy_attr_ok", Value::Bool(energy_attr_ok)));
@@ -2128,6 +2367,10 @@ fn serve_main(args: &[String], smoke: bool) -> ExitCode {
         && future_path_ok
         && classes_energy_ok
         && classes_p99_ok
+        && elastic_energy_ok
+        && elastic_p99_ok
+        && sleep_path_ok
+        && lost_work_ok
         && cell_pops_ok
         && schedule_ok
         && req_energy_ok
@@ -2197,7 +2440,7 @@ fn run_energy_attr_probe(
     let forest = SpanForest::from_sink(&sink);
     let ledger = EnergyLedger::from_sink(&sink, &forest, meter_j);
     EnergyAttrProbe {
-        key: serve_cell_key(util, tempo, parking, false, false),
+        key: serve_cell_key(util, tempo, parking, false, false, false, false),
         closure_err: ledger.closure_error(),
         attributed_j: ledger.attributed_j,
         idle_j: ledger.idle_j,
@@ -2658,16 +2901,24 @@ mod tests {
     #[test]
     fn serve_cell_keys_mark_the_async_and_classes_corners() {
         assert_eq!(
-            serve_cell_key(0.10, true, false, false, false),
+            serve_cell_key(0.10, true, false, false, false, false, false),
             "u10/tempo-on/park-off"
         );
         assert_eq!(
-            serve_cell_key(0.10, false, true, true, false),
+            serve_cell_key(0.10, false, true, true, false, false, false),
             "u10/tempo-off/park-on/async"
         );
         assert_eq!(
-            serve_cell_key(0.90, true, true, false, true),
+            serve_cell_key(0.90, true, true, false, true, false, false),
             "u90/tempo-on/park-on/classes"
+        );
+        assert_eq!(
+            serve_cell_key(0.10, true, true, false, false, true, true),
+            "u10/tempo-on/park-on/burst/elastic"
+        );
+        assert_eq!(
+            serve_cell_key(0.30, false, false, false, false, true, false),
+            "u30/tempo-off/park-off/burst"
         );
     }
 }

@@ -103,6 +103,15 @@ pub fn prometheus_text(snapshot: &MetricsSnapshot, prefix: &str) -> String {
     );
     let _ = writeln!(out, "{in_flight} {}", snapshot.in_flight);
 
+    let active = family(
+        &mut out,
+        prefix,
+        "active_workers",
+        "Workers awake (not in elastic sleep); the full count without an elastic policy.",
+        "gauge",
+    );
+    let _ = writeln!(out, "{active} {}", snapshot.active_workers);
+
     let util = family(
         &mut out,
         prefix,
@@ -230,6 +239,7 @@ mod tests {
             injector_depth: 3,
             injector_cell_depths: vec![2, 0, 1],
             in_flight: 11,
+            active_workers: 2,
             latency_p50_ns: Some(1_500_000),
             latency_p99_ns: None,
             energy_p50_uj: None,
@@ -248,6 +258,8 @@ mod tests {
         assert!(text.contains("# TYPE hermes_injector_depth gauge"));
         assert!(text.contains("hermes_injector_depth 3"));
         assert!(text.contains("hermes_requests_in_flight 11"));
+        assert!(text.contains("# TYPE hermes_active_workers gauge"));
+        assert!(text.contains("hermes_active_workers 2"));
         assert!(text.contains("hermes_pool_utilization_ratio 1"));
         assert!(text.contains("hermes_request_latency_p50_seconds 0.0015"));
         assert!(

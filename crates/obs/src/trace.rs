@@ -3,8 +3,10 @@
 //! Renders a [`RingSink`]'s event streams as the Trace Event Format
 //! that `chrome://tracing` and [ui.perfetto.dev](https://ui.perfetto.dev)
 //! load directly: one track per worker (plus one for off-pool threads)
-//! carrying complete (`"X"`) slices for span phases and park episodes,
-//! instant (`"i"`) markers for tempo transitions, DVFS actuations, and
+//! carrying complete (`"X"`) slices for span phases, park episodes,
+//! and elastic sleep episodes (named `"sleep"`, distinct from
+//! `"park"`), instant (`"i"`) markers for tempo transitions, DVFS
+//! actuations, and
 //! request completions, and flow (`"s"`/`"f"`) arrows for the two
 //! cross-worker edges — a successful steal (victim → thief) and a
 //! remote wake closing a park-wait from another thread.
@@ -16,6 +18,11 @@
 use crate::span::SpanForest;
 use hermes_telemetry::json::Value;
 use hermes_telemetry::{Event, RingSink, StealOutcome, MACHINE_STREAM};
+
+/// Slice name for elastic sleep episodes. Distinct from `"park"` so a
+/// viewer (and [`validate_chrome_trace`]) can tell a 1 ms-recheck park
+/// from an indefinite elastic sleep at a glance.
+const SLEEP_SLICE: &str = "sleep";
 
 /// The `pid` every track is parented under — the trace models one
 /// process (the pool).
@@ -127,6 +134,20 @@ pub fn chrome_trace(sink: &RingSink) -> Value {
                     let begin_ns = at_ns.saturating_sub(parked_ns);
                     let mut fields = event_obj("X", "park", tid, begin_ns);
                     fields.push(("dur", Value::Num(parked_ns as f64 / 1_000.0)));
+                    push_obj(&mut events, fields);
+                }
+                Event::WorkerWake { reason, slept_ns } => {
+                    // Elastic sleeps bracket like parks — the wake
+                    // closes the slice — but render under their own
+                    // name so scaled-down workers read differently
+                    // from parked ones, with the wake reason in args.
+                    let begin_ns = at_ns.saturating_sub(slept_ns);
+                    let mut fields = event_obj("X", SLEEP_SLICE, tid, begin_ns);
+                    fields.push(("dur", Value::Num(slept_ns as f64 / 1_000.0)));
+                    fields.push((
+                        "args",
+                        Value::obj(vec![("reason", Value::Str(reason.label().to_string()))]),
+                    ));
                     push_obj(&mut events, fields);
                 }
                 Event::TempoTransition { kind, level } => {
@@ -243,6 +264,8 @@ pub struct TraceStats {
     pub slices: usize,
     /// Complete slices whose name starts with `span:`.
     pub span_slices: usize,
+    /// Complete `"sleep"` slices (elastic sleep episodes).
+    pub sleep_slices: usize,
     /// Instant (`"i"`) markers.
     pub instants: usize,
     /// Flow begin (`"s"`) arrows.
@@ -260,8 +283,8 @@ pub struct TraceStats {
 /// Parse `text` as a Chrome trace-event document and check the schema
 /// every consumer relies on: a top-level `traceEvents` array whose
 /// entries all carry `name`/`ph`/`ts`/`pid`/`tid`, with `dur` on `"X"`
-/// slices, `id` on `"s"`/`"f"` flows, and flow begins balancing flow
-/// ends. Counter (`"C"`) samples must carry an object `args` of
+/// slices, a string `args.reason` on `"sleep"` slices, `id` on
+/// `"s"`/`"f"` flows, and flow begins balancing flow ends. Counter (`"C"`) samples must carry an object `args` of
 /// non-negative numeric values, each counter track's timestamps must be
 /// monotone non-decreasing, and counter track names must not collide
 /// with slice/instant names (a viewer would merge the tracks). Returns
@@ -316,6 +339,17 @@ pub fn validate_chrome_trace(text: &str) -> Result<TraceStats, String> {
                 stats.slices += 1;
                 if name.starts_with("span:") {
                     stats.span_slices += 1;
+                }
+                if name == SLEEP_SLICE {
+                    // Sleep slices carry the wake reason; a viewer's
+                    // args panel (and reconciliation scripts) rely on
+                    // it to split signal wakes from rotations.
+                    entry
+                        .get("args")
+                        .and_then(|a| a.get("reason"))
+                        .and_then(Value::as_str)
+                        .ok_or_else(|| at("\"sleep\" slice missing string \"args.reason\""))?;
+                    stats.sleep_slices += 1;
                 }
             }
             "i" => stats.instants += 1,
@@ -432,6 +466,63 @@ mod tests {
             },
         );
         sink
+    }
+
+    #[test]
+    fn sleep_slices_are_distinct_from_park_slices() {
+        use hermes_telemetry::WakeReason;
+        let sink = RingSink::new(2);
+        // Worker 0 parks briefly; worker 1 takes an elastic sleep.
+        sink.record(0, 300, Event::WorkerPark);
+        sink.record(0, 800, Event::WorkerUnpark { parked_ns: 500 });
+        sink.record(1, 1_000, Event::WorkerSleep);
+        sink.record(
+            1,
+            5_000,
+            Event::WorkerWake {
+                reason: WakeReason::Signal,
+                slept_ns: 4_000,
+            },
+        );
+        let text = chrome_trace_json(&sink);
+        let stats = validate_chrome_trace(&text).expect("sleep trace validates");
+        assert_eq!(stats.slices, 2);
+        assert_eq!(stats.sleep_slices, 1);
+        let doc = chrome_trace(&sink);
+        let entries = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let sleep = entries
+            .iter()
+            .find(|e| e.get("name").and_then(Value::as_str) == Some("sleep"))
+            .expect("sleep slice present");
+        // Bracketed back from the wake instant: [1000, 5000] ns.
+        assert_eq!(sleep.get("ts").unwrap().as_f64(), Some(1.0));
+        assert_eq!(sleep.get("dur").unwrap().as_f64(), Some(4.0));
+        assert_eq!(sleep.get("tid").unwrap().as_f64(), Some(1.0));
+        assert_eq!(
+            sleep.get("args").unwrap().get("reason").unwrap().as_str(),
+            Some("signal")
+        );
+        let park = entries
+            .iter()
+            .find(|e| e.get("name").and_then(Value::as_str) == Some("park"))
+            .expect("park slice present");
+        assert_eq!(park.get("tid").unwrap().as_f64(), Some(0.0));
+    }
+
+    #[test]
+    fn validator_rejects_sleep_slices_without_a_reason() {
+        let bare = r#"{"traceEvents": [
+            {"name": "sleep", "ph": "X", "ts": 0, "dur": 1, "pid": 1, "tid": 0}
+        ]}"#;
+        assert!(validate_chrome_trace(bare)
+            .unwrap_err()
+            .contains("args.reason"));
+        let with_reason = r#"{"traceEvents": [
+            {"name": "sleep", "ph": "X", "ts": 0, "dur": 1, "pid": 1, "tid": 0,
+             "args": {"reason": "signal"}}
+        ]}"#;
+        let stats = validate_chrome_trace(with_reason).expect("reasoned sleep validates");
+        assert_eq!(stats.sleep_slices, 1);
     }
 
     #[test]

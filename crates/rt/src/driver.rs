@@ -80,6 +80,16 @@ impl FrequencyDriver for NullDriver {
 /// this fraction of `busy_watts_fast`.
 pub const PARK_WATTS_FRACTION: f64 = 0.05;
 
+/// Fraction of the fastest busy power an *elastically sleeping* core
+/// draws. A parked worker re-arms a 1 ms re-check timeout, so its core
+/// takes only shallow C-state residency between timer wakeups; an
+/// elastic sleeper waits indefinitely on a signal with no timer armed,
+/// which is what lets the package hold the deepest sleep state. The
+/// order-of-magnitude gap below [`PARK_WATTS_FRACTION`] is the energy
+/// headroom the worker-count axis adds over the frequency axis (see
+/// DESIGN.md §Elastic).
+pub const SLEEP_WATTS_FRACTION: f64 = 0.005;
+
 /// What one accounting call charged: the constant-power slice the pool
 /// turns into an [`Event::PowerInterval`](hermes_telemetry::Event) when
 /// a sink is attached. `milliwatts × duration_ns` picojoules mirrors the
@@ -222,7 +232,19 @@ impl EmulatedDvfs {
     /// of the core's DVFS operating point (a sleeping core's clock is
     /// gated either way).
     pub(crate) fn account_parked(&self, worker: usize, real: Duration) -> PowerCharge {
-        let watts = self.busy_watts_fast * PARK_WATTS_FRACTION;
+        self.account_fraction(worker, real, PARK_WATTS_FRACTION)
+    }
+
+    /// Account a completed elastic-sleep episode: like a park, but at
+    /// the deeper [`SLEEP_WATTS_FRACTION`] — an indefinite signal wait
+    /// arms no re-check timer, so the core reaches (and stays in) the
+    /// deepest sleep state.
+    pub(crate) fn account_slept(&self, worker: usize, real: Duration) -> PowerCharge {
+        self.account_fraction(worker, real, SLEEP_WATTS_FRACTION)
+    }
+
+    fn account_fraction(&self, worker: usize, real: Duration, fraction: f64) -> PowerCharge {
+        let watts = self.busy_watts_fast * fraction;
         let nj = watts * real.as_secs_f64() * 1e9;
         self.energy_nj[worker].fetch_add(nj as u64, Ordering::Relaxed);
         PowerCharge {

@@ -49,13 +49,21 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 
 mod driver;
+mod elastic;
 mod job;
 mod latch;
 mod pool;
 mod sysfs;
 mod task;
 
-pub use driver::{DriverError, EmulatedDvfs, FrequencyDriver, NullDriver, PARK_WATTS_FRACTION};
+pub use driver::{
+    DriverError, EmulatedDvfs, FrequencyDriver, NullDriver, PARK_WATTS_FRACTION,
+    SLEEP_WATTS_FRACTION,
+};
+pub use elastic::{
+    ElasticConfig, ElasticState, LoadSignal, ScaleController, ScaleDecision, SleepVerdict,
+    WorkerState,
+};
 pub use job::Priority;
 pub use latch::{Latch, WakerLatch};
 pub use pool::{
@@ -66,7 +74,7 @@ pub use sysfs::{parse_available_frequencies, parse_energy_uj, RaplProbe, SysfsCp
 // The live-metrics types `Pool::metrics` returns and the span-phase
 // vocabulary `spawn_future_traced` records, re-exported so callers
 // need no separate hermes-telemetry import.
-pub use hermes_telemetry::{MetricsSnapshot, SpanPhase, WorkerMetricsSample};
+pub use hermes_telemetry::{MetricsSnapshot, SpanPhase, WakeReason, WorkerMetricsSample};
 // The shared topology model the pool's locality-aware victim selection
 // is configured with (see `PoolBuilder::topology`).
 pub use hermes_topology::{discover as discover_topology, Topology, VictimPolicy};

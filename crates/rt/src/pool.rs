@@ -1,6 +1,7 @@
 //! The work-stealing thread pool with HERMES tempo control.
 
 use crate::driver::{EmulatedDvfs, FrequencyDriver, NullDriver, PowerCharge};
+use crate::elastic::{ElasticConfig, ElasticState, LoadSignal, SleepVerdict, WorkerState};
 use crate::job::{HeapJob, JobRef, Priority, StackJob};
 use crate::task::FutureTask;
 use hermes_core::{
@@ -118,6 +119,11 @@ fn injector_cell_order(topology: &Topology, core: CoreId) -> Vec<usize> {
 /// scan per tick) to be invisible in both energy and latency.
 const PARK_RECHECK: Duration = Duration::from_millis(1);
 
+/// Refresh period of the windowed busy-share estimator feeding the
+/// elastic scale controller — two cooldowns, so consecutive scale
+/// decisions never act on the same stale sample.
+const BUSY_WINDOW_NS: u64 = 4_000_000;
+
 /// Which deque implementation the pool's workers use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum DequeKind {
@@ -153,6 +159,15 @@ pub struct RtStats {
     pub parks: u64,
     /// Total nanoseconds workers spent parked.
     pub parked_ns: u64,
+    /// Completed elastic-sleep episodes (the pool scaled a worker out;
+    /// see [`PoolBuilder::elastic`]). Unlike a park, a sleep ends only
+    /// on an explicit wake signal, never on a timed re-check.
+    pub sleeps: u64,
+    /// Total nanoseconds workers spent in elastic sleep.
+    pub slept_ns: u64,
+    /// Elastic wake signals that ended a sleep episode (== `sleeps`
+    /// once the pool is quiescent).
+    pub wakes: u64,
     /// Future-task polls executed (each is one `Future::poll` of a task
     /// spawned via [`Pool::spawn_future`]).
     pub future_polls: u64,
@@ -184,6 +199,9 @@ struct AtomicStats {
     injector_pops: AtomicU64,
     parks: AtomicU64,
     parked_ns: AtomicU64,
+    sleeps: AtomicU64,
+    slept_ns: AtomicU64,
+    wakes: AtomicU64,
     future_polls: AtomicU64,
     future_wakes: AtomicU64,
     future_repushes: AtomicU64,
@@ -201,6 +219,9 @@ impl AtomicStats {
             injector_pops: self.injector_pops.load(Ordering::Relaxed),
             parks: self.parks.load(Ordering::Relaxed),
             parked_ns: self.parked_ns.load(Ordering::Relaxed),
+            sleeps: self.sleeps.load(Ordering::Relaxed),
+            slept_ns: self.slept_ns.load(Ordering::Relaxed),
+            wakes: self.wakes.load(Ordering::Relaxed),
             future_polls: self.future_polls.load(Ordering::Relaxed),
             future_wakes: self.future_wakes.load(Ordering::Relaxed),
             future_repushes: self.future_repushes.load(Ordering::Relaxed),
@@ -231,6 +252,7 @@ pub struct PoolBuilder {
     spin_budget: Option<u32>,
     parking: Option<bool>,
     injector_capacity: Option<usize>,
+    elastic: Option<ElasticConfig>,
 }
 
 impl std::fmt::Debug for PoolBuilder {
@@ -344,6 +366,35 @@ impl PoolBuilder {
     #[must_use]
     pub fn parking(mut self, on: bool) -> Self {
         self.parking = Some(on);
+        self
+    }
+
+    /// Enable elastic worker-count scaling (default: off).
+    ///
+    /// With a policy attached, an idle worker that exhausts its spin
+    /// budget consults the embedded
+    /// [`ScaleController`](crate::ScaleController) before blocking:
+    /// when the load signals (injector depth, failed-steal evidence,
+    /// busy-share) sit under the sleep thresholds and the cooldown
+    /// allows it, the worker *sleeps* — an indefinite wait on its own
+    /// wake channel, ended only by a load signal, a sentinel rotation,
+    /// or shutdown — instead of parking on the 1 ms re-check condvar.
+    /// At least [`ElasticConfig::min_awake`] workers never take that
+    /// indefinite sleep (the sentinel invariant — the sentinel keeps
+    /// spinning/stealing, or parks on the shallow 1 ms re-check condvar
+    /// where producer notifies still reach it), and a sleeping worker's
+    /// deque stays stealable while the injector cells stay drainable,
+    /// so no work is ever stranded. Sleeping time is accounted at
+    /// [`crate::SLEEP_WATTS_FRACTION`] — deeper than park watts, since
+    /// no re-check timer is armed — and the core is pinned at its
+    /// slowest frequency for the duration (the tempo `on_park` hook —
+    /// see DESIGN.md §Elastic for the precedence rule between the two
+    /// levers). Without this call the subsystem is entirely absent:
+    /// closed-model runs and the `sweep --smoke` figures are
+    /// byte-identical to a pre-elastic pool.
+    #[must_use]
+    pub fn elastic(mut self, cfg: ElasticConfig) -> Self {
+        self.elastic = Some(cfg);
         self
     }
 
@@ -475,7 +526,11 @@ impl PoolBuilder {
             parked_workers: AtomicUsize::new(0),
             spin_budget: self.spin_budget.unwrap_or(DEFAULT_SPIN_BUDGET),
             parking: self.parking.unwrap_or(true),
+            elastic: self.elastic.map(|cfg| ElasticState::new(cfg, workers)),
             stats: AtomicStats::default(),
+            busy_window_at_ns: AtomicU64::new(0),
+            busy_window_busy_ns: AtomicU64::new(0),
+            busy_window_permille: AtomicU64::new(0),
             epoch: Instant::now(),
             last_profile_ns: AtomicU64::new(0),
             profile_period_ns,
@@ -720,6 +775,7 @@ impl Pool {
             injector_depth: self.inner.cells.iter().map(ClassInjector::len).sum(),
             injector_cell_depths: self.inner.cells.iter().map(ClassInjector::len).collect(),
             in_flight: 0,
+            active_workers: self.active_workers(),
             latency_p50_ns: None,
             latency_p99_ns: None,
             energy_p50_uj: None,
@@ -730,6 +786,28 @@ impl Pool {
                 .as_deref()
                 .map_or(0, TelemetrySink::dropped_events),
         })
+    }
+
+    /// Workers currently awake — the full worker count minus those
+    /// inside an elastic-sleep bracket; simply the full count when
+    /// elastic scaling is off (see [`PoolBuilder::elastic`]).
+    #[must_use]
+    pub fn active_workers(&self) -> usize {
+        self.inner
+            .elastic
+            .as_ref()
+            .map_or(self.workers(), ElasticState::awake_workers)
+    }
+
+    /// Per-worker elastic lifecycle states (Busy / Stealing /
+    /// Sleeping), `None` when elastic scaling is off. Racy by nature,
+    /// like any live state read under concurrency.
+    #[must_use]
+    pub fn worker_states(&self) -> Option<Vec<WorkerState>> {
+        self.inner
+            .elastic
+            .as_ref()
+            .map(|el| (0..self.workers()).map(|w| el.worker_state(w)).collect())
     }
 
     /// Virtual energy consumed per worker, if the pool runs emulated DVFS.
@@ -836,6 +914,12 @@ impl Pool {
         // store above or receives this notify.
         drop(self.inner.sleep_lock.lock());
         self.inner.sleep_cond.notify_all();
+        // Elastic sleepers wait indefinitely on their own channels:
+        // deliver the shutdown wake there too (the terminate re-check
+        // inside `sleep_wait` covers workers still transitioning).
+        if let Some(el) = self.inner.elastic.as_ref() {
+            el.wake_all_for_shutdown();
+        }
         if let Some(handles) = self.handles.take() {
             for h in handles {
                 let _ = h.join();
@@ -915,7 +999,16 @@ pub(crate) struct PoolInner {
     spin_budget: u32,
     /// Whether idle workers park at all (see [`PoolBuilder::parking`]).
     parking: bool,
+    /// Elastic worker-count scaling state; `None` (the default) keeps
+    /// the subsystem entirely absent (see [`PoolBuilder::elastic`]).
+    elastic: Option<ElasticState>,
     stats: AtomicStats,
+    /// Windowed busy-share estimator backing the elastic load signal:
+    /// the epoch-ns of the last refresh, the total busy-ns sampled at
+    /// it, and the permille it yielded (served until the window rolls).
+    busy_window_at_ns: AtomicU64,
+    busy_window_busy_ns: AtomicU64,
+    busy_window_permille: AtomicU64,
     /// Pool start time and nanoseconds of the last profiler tick since
     /// then; any worker on the steal path advances it.
     epoch: Instant,
@@ -1096,6 +1189,144 @@ impl PoolInner {
             drop(self.sleep_lock.lock());
             self.sleep_cond.notify_one();
         }
+        self.maybe_scale_up();
+    }
+
+    /// Producer-side elastic scale-up: when the pool is scaled down and
+    /// the just-made-visible work pushes the load signal over the wake
+    /// thresholds, wake one sleeper ([`WakeReason::Signal`]). Rides
+    /// every `notify_parked` — a no-op branch without an elastic policy
+    /// and one atomic load while fully awake, so the closed-model hot
+    /// paths keep their shape.
+    fn maybe_scale_up(&self) {
+        let Some(el) = self.elastic.as_ref() else {
+            return;
+        };
+        if el.awake_workers() >= el.workers() {
+            return;
+        }
+        let sig = self.load_signal(0);
+        let now_ns = self.epoch.elapsed().as_nanos() as u64;
+        let _ = el.try_wake_for_load(sig, now_ns);
+    }
+
+    /// One observation of the pool's load for the scale controller:
+    /// merged injector depth, the windowed busy-share (when the
+    /// live-metrics hub exists), and the caller's failed-sweep
+    /// evidence.
+    fn load_signal(&self, failed_sweeps: u64) -> LoadSignal {
+        LoadSignal {
+            queue_depth: self.cells.iter().map(ClassInjector::len).sum(),
+            busy_permille: self.busy_share_permille(),
+            failed_sweeps,
+        }
+    }
+
+    /// Windowed busy-share of the pool in permille, refreshed at most
+    /// once per [`BUSY_WINDOW_NS`] by whoever crosses the boundary
+    /// first (everyone else reads the cached value). 0 without a
+    /// live-metrics hub — the depth and steal signals then drive the
+    /// elastic decisions alone.
+    fn busy_share_permille(&self) -> u32 {
+        let Some(hub) = self.metrics.as_ref() else {
+            return 0;
+        };
+        let now = self.epoch.elapsed().as_nanos() as u64;
+        let last = self.busy_window_at_ns.load(Ordering::Relaxed);
+        if now.saturating_sub(last) < BUSY_WINDOW_NS
+            || self
+                .busy_window_at_ns
+                .compare_exchange(last, now, Ordering::Relaxed, Ordering::Relaxed)
+                .is_err()
+        {
+            return self.busy_window_permille.load(Ordering::Relaxed) as u32;
+        }
+        let total: u64 = hub.sample().iter().map(|s| s.busy_ns).sum();
+        let prev = self.busy_window_busy_ns.swap(total, Ordering::Relaxed);
+        let wall = now.saturating_sub(last).max(1) * self.deques.len() as u64;
+        let permille = (total.saturating_sub(prev).saturating_mul(1000) / wall).min(1000);
+        self.busy_window_permille.store(permille, Ordering::Relaxed);
+        permille as u32
+    }
+
+    /// An idle worker's spin budget ran out: decide between elastic
+    /// sleep, ordinary parking, and staying awake. `failed_sweeps` is
+    /// the worker's own just-observed evidence (empty sweeps since it
+    /// last held work).
+    fn idle_block(&self, w: usize, failed_sweeps: u64) {
+        if let Some(el) = self.elastic.as_ref() {
+            let sig = self.load_signal(failed_sweeps);
+            let now_ns = self.epoch.elapsed().as_nanos() as u64;
+            match el.consult(w, sig, now_ns) {
+                SleepVerdict::Sleep => return self.elastic_sleep(w, el),
+                SleepVerdict::Sentinel => {
+                    // The sentinel is the pool's wake latency: it may
+                    // take the shallow 1 ms-recheck park below (a
+                    // producer notify still reaches it there), but
+                    // never the indefinite elastic sleep — someone must
+                    // answer a wake signal the moment load returns. At
+                    // most once per rotation period it taps a sleeper
+                    // to take over, so the on-call role circulates.
+                    el.try_rotate(now_ns);
+                }
+                // Cooldown or hysteresis band: fall through to an
+                // ordinary (bounded, see `park`) park so the worker
+                // re-consults once the cooldown expires.
+                SleepVerdict::Hold => {}
+            }
+            if !self.parking {
+                return;
+            }
+        }
+        self.park(w);
+    }
+
+    /// Worker `w`'s elastic-sleep bracket. The slot was already
+    /// reserved by [`ElasticState::consult`]; this re-checks for work
+    /// and shutdown (undoing the reservation instead of sleeping on
+    /// visible work), then waits **indefinitely** on the worker's wake
+    /// channel — no timed re-check; only a load signal, a sentinel
+    /// rotation, or shutdown ends it. With no timer armed the emulated
+    /// core reaches the deepest sleep state, so the episode is charged
+    /// at [`crate::SLEEP_WATTS_FRACTION`] (an order below park watts;
+    /// the tempo `on_park` hook still pins the slowest frequency),
+    /// bracketed by [`Event::WorkerSleep`] / [`Event::WorkerWake`].
+    fn elastic_sleep(&self, w: usize, el: &ElasticState) {
+        if self.terminate.load(Ordering::SeqCst) || self.has_claimable_work() {
+            el.finish_sleep(w);
+            return;
+        }
+        let t0 = Instant::now();
+        if let Some(sink) = self.sink.as_deref() {
+            sink.record(
+                w,
+                self.epoch.elapsed().as_nanos() as u64,
+                Event::WorkerSleep,
+            );
+        }
+        self.with_controller(|ctl, act| ctl.on_park(WorkerId(w), act));
+        let reason = el.sleep_wait(w, &self.terminate);
+        let slept = t0.elapsed();
+        let slept_ns = slept.as_nanos() as u64;
+        self.stats.sleeps.fetch_add(1, Ordering::Relaxed);
+        self.stats.slept_ns.fetch_add(slept_ns, Ordering::Relaxed);
+        self.stats.wakes.fetch_add(1, Ordering::Relaxed);
+        if let Some(emu) = &self.emu {
+            let charge = emu.account_slept(w, slept);
+            self.record_power(w, PowerKind::Parked, charge);
+        }
+        if let Some(hub) = &self.metrics {
+            hub.add_parked_ns(w, slept_ns);
+        }
+        if let Some(sink) = self.sink.as_deref() {
+            sink.record(
+                w,
+                self.epoch.elapsed().as_nanos() as u64,
+                Event::WorkerWake { reason, slept_ns },
+            );
+        }
+        self.with_controller(|ctl, act| ctl.on_unpark(WorkerId(w), act));
+        el.finish_sleep(w);
     }
 
     /// Work a parked worker could acquire: injected tasks or anything
@@ -1226,8 +1457,20 @@ impl PoolInner {
             // closes the sleep/notify race.
             self.parked_workers.fetch_add(1, Ordering::SeqCst);
             std::sync::atomic::fence(Ordering::SeqCst);
+            // Under an elastic policy the park is *bounded*: one timed
+            // recheck, then back to the worker loop so the idle worker
+            // re-consults the scale controller (whose cooldown may now
+            // allow it to sleep for real). Without one, the loop keeps
+            // the legacy shape — park until work or termination.
+            let bounded = self.elastic.is_some();
             while !(self.terminate.load(Ordering::SeqCst) || self.has_claimable_work()) {
-                let _ = self.sleep_cond.wait_for(&mut guard, PARK_RECHECK);
+                let timed_out = self
+                    .sleep_cond
+                    .wait_for(&mut guard, PARK_RECHECK)
+                    .timed_out();
+                if bounded && timed_out {
+                    break;
+                }
             }
             self.parked_workers.fetch_sub(1, Ordering::SeqCst);
         }
@@ -1406,6 +1649,11 @@ impl PoolInner {
     ///
     /// `job` must be executed exactly once across all threads.
     unsafe fn execute(&self, w: usize, job: JobRef) {
+        // Publish the Busy/Stealing lifecycle edges (one relaxed store
+        // each) only when an elastic policy is watching them.
+        if let Some(el) = &self.elastic {
+            el.set_state(w, WorkerState::Busy);
+        }
         if let Some(emu) = &self.emu {
             emu.begin_busy(w);
         }
@@ -1422,6 +1670,9 @@ impl PoolInner {
                 hub.add_busy_ns(w, elapsed.as_nanos() as u64);
                 hub.add_task(w);
             }
+        }
+        if let Some(el) = &self.elastic {
+            el.set_state(w, WorkerState::Stealing);
         }
     }
 
@@ -1598,14 +1849,20 @@ fn worker_main(inner: &Arc<PoolInner>, index: usize) {
         // Saturate: with parking disabled the counter is never reset
         // while idle, and a long-idle debug build must not overflow.
         idle_spins = idle_spins.saturating_add(1);
-        if !inner.parking || idle_spins < inner.spin_budget.max(1) {
+        // An elastic policy can block a worker (by sleeping it) even
+        // with parking disabled; without one, parking-off keeps the
+        // legacy spin-forever shape.
+        let can_block = inner.parking || inner.elastic.is_some();
+        if !can_block || idle_spins < inner.spin_budget.max(1) {
             std::thread::yield_now();
         } else {
             // Spin budget exhausted: account the spin segment, then
-            // sleep until work or termination (parked time is accounted
-            // separately, at park watts).
+            // block — elastic sleep, or a park until work or
+            // termination (parked/slept time is accounted separately,
+            // at park watts). The spent spin budget doubles as the
+            // failed-sweep evidence the scale controller wants.
             charge_idle_spin(inner, index, &mut idle_since, &mut spin);
-            inner.park(index);
+            inner.idle_block(index, u64::from(idle_spins));
             idle_spins = 0;
         }
     }
@@ -2583,6 +2840,117 @@ mod tests {
         // to the virtual energy model even though no task ran for most
         // of the window.
         assert!(pool.total_energy().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn elastic_pool_scales_down_to_the_sentinel_and_back_up() {
+        use std::sync::atomic::AtomicU32;
+        let mut pool = Pool::builder()
+            .workers(4)
+            .spin_budget(1)
+            .elastic(ElasticConfig {
+                cooldown_ns: 100_000,
+                ..ElasticConfig::default()
+            })
+            .build();
+        // Idle: the scale controller sheds workers one cooldown at a
+        // time until only the sentinel is awake.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while pool.active_workers() > 1 {
+            assert!(
+                Instant::now() < deadline,
+                "pool never scaled down: {} still awake",
+                pool.active_workers()
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(pool.active_workers(), 1, "the sentinel never sleeps");
+        let states = pool.worker_states().expect("elastic pool exposes states");
+        assert_eq!(
+            states
+                .iter()
+                .filter(|s| **s == WorkerState::Sleeping)
+                .count(),
+            3
+        );
+        // Load: every task completes (the sentinel and the wake signal
+        // between them guarantee it), no work is lost to a sleeper.
+        let hits = Arc::new(AtomicU32::new(0));
+        for _ in 0..64 {
+            let hits = Arc::clone(&hits);
+            pool.spawn(move || {
+                hits.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while hits.load(Ordering::SeqCst) != 64 && Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert_eq!(hits.load(Ordering::SeqCst), 64, "scaled-down pool serves");
+        pool.stop();
+        let stats = pool.stats();
+        assert!(stats.sleeps > 0, "{stats:?}");
+        assert!(stats.slept_ns > 0, "{stats:?}");
+        // Quiescent: every sleep bracket was closed by exactly one wake
+        // (shutdown wakes included), and shutdown left everyone awake.
+        assert_eq!(stats.wakes, stats.sleeps, "{stats:?}");
+        assert_eq!(pool.active_workers(), 4);
+    }
+
+    #[test]
+    fn sleep_telemetry_matches_scheduler_counters() {
+        use hermes_telemetry::RingSink;
+        let sink = Arc::new(RingSink::new(2));
+        let mut pool = Pool::builder()
+            .workers(2)
+            .spin_budget(1)
+            .elastic(ElasticConfig {
+                cooldown_ns: 100_000,
+                ..ElasticConfig::default()
+            })
+            .emulated_dvfs(Frequency::from_mhz(2400), 8.0)
+            .telemetry(Arc::clone(&sink) as Arc<dyn TelemetrySink>)
+            .build();
+        pool.install(|| ());
+        // Idle long enough for a sleep episode to begin.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while pool.active_workers() > 1 {
+            assert!(Instant::now() < deadline, "no worker slept");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        pool.stop();
+        let stats = pool.stats();
+        assert!(stats.sleeps > 0, "{stats:?}");
+        let report = sink.report("sleep-unit", "rt", pool.elapsed_ns() as f64 / 1e9, 0.0);
+        let totals = report.totals();
+        assert_eq!(totals.sleeps, stats.sleeps, "sleep events == counters");
+        assert_eq!(totals.slept_ns, stats.slept_ns);
+        assert_eq!(totals.wakes, stats.wakes);
+        // Slept time is attributed to the power model at park watts.
+        assert!(pool.total_energy().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn elastic_with_parking_disabled_still_sleeps() {
+        let mut pool = Pool::builder()
+            .workers(2)
+            .parking(false)
+            .spin_budget(1)
+            .elastic(ElasticConfig {
+                cooldown_ns: 100_000,
+                ..ElasticConfig::default()
+            })
+            .build();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while pool.active_workers() > 1 {
+            assert!(Instant::now() < deadline, "no worker slept");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        pool.stop();
+        // Elastic sleep is independent of the parking machinery: the
+        // pool slept without a single park episode.
+        assert_eq!(pool.stats().parks, 0, "{:?}", pool.stats());
+        assert!(pool.stats().sleeps > 0);
     }
 
     #[test]

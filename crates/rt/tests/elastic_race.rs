@@ -1,0 +1,287 @@
+//! Scale-down race tests for the elastic worker pool (ISSUE 7
+//! satellite): the transitions where work and sleep collide — a wake
+//! delivered while a worker is anywhere between its sleep reservation
+//! and the indefinite wait, a burst injected into a pool that has
+//! already shed workers, concurrent sleep claims hammering the sentinel
+//! floor, and shutdown racing the transition itself — must never lose a
+//! wakeup, lose a task, or run a task twice.
+//!
+//! The thread-heavy property tests are skipped under Miri; the `miri_`
+//! tests at the bottom are sized for the interpreter and run in the
+//! deque-concurrency CI lane's Miri step.
+
+use hermes_rt::{ElasticConfig, ElasticState, Pool, WakeReason};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A hair-trigger elastic config: default hysteresis bands, but a
+/// cooldown short enough that every round of a test can scale.
+fn cfg_fast() -> ElasticConfig {
+    ElasticConfig {
+        cooldown_ns: 50_000,
+        ..ElasticConfig::default()
+    }
+}
+
+fn elastic_pool(workers: usize) -> Pool {
+    Pool::builder()
+        .workers(workers)
+        .spin_budget(1)
+        .elastic(cfg_fast())
+        .build()
+}
+
+/// Spin until `counter` reaches `expect`, asserting along the way that
+/// it never overshoots — an overshoot is a task executed twice.
+fn wait_for_count(counter: &AtomicU32, expect: u32, what: &str) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let n = counter.load(Ordering::SeqCst);
+        assert!(
+            n <= expect,
+            "{what} overshot: {n} > {expect} (task ran twice)"
+        );
+        if n == expect {
+            return;
+        }
+        assert!(Instant::now() < deadline, "{what} stalled at {n}/{expect}");
+        std::thread::yield_now();
+    }
+}
+
+/// Wait for the scale controller to put at least one worker to sleep,
+/// then inject a burst: every task must complete exactly once, whether
+/// it is drained by the sentinel, a woken sleeper, or a thief pulling
+/// from a sleeping worker's (stealable) deque.
+fn scale_down_burst_round(pool: &Pool, tasks: u32, workers: usize) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while pool.active_workers() >= workers {
+        assert!(
+            Instant::now() < deadline,
+            "pool never scaled down from {workers}"
+        );
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    let hits = Arc::new(AtomicU32::new(0));
+    for _ in 0..tasks {
+        let hits = Arc::clone(&hits);
+        pool.spawn(move || {
+            hits.fetch_add(1, Ordering::SeqCst);
+        });
+    }
+    wait_for_count(&hits, tasks, "burst completions");
+    // Grace window: a duplicate execution would land shortly after the
+    // count first reaches the target.
+    for _ in 0..64 {
+        std::thread::yield_now();
+    }
+    assert_eq!(hits.load(Ordering::SeqCst), tasks, "task ran twice");
+}
+
+/// The scale-down race in isolation: deliver the wake while the sleeper
+/// is anywhere between its reservation (`try_begin_sleep`) and the
+/// indefinite wait (`sleep_wait`). Whichever side wins the race, the
+/// wake must be consumed — the pending slot under the cell mutex is the
+/// mechanism under test.
+fn wake_races_sleep_transition_round(el: &ElasticState, w: usize) {
+    let terminate = AtomicBool::new(false);
+    assert!(el.try_begin_sleep(w), "sleep slot must be free");
+    std::thread::scope(|s| {
+        let sleeper = s.spawn(|| el.sleep_wait(w, &terminate));
+        // `w` is already marked sleeping, so the wake targets it
+        // immediately — possibly before `sleep_wait` has even started.
+        assert_eq!(el.wake_one(WakeReason::Signal), Some(w));
+        assert_eq!(sleeper.join().unwrap(), WakeReason::Signal);
+    });
+    el.finish_sleep(w);
+    assert!(!el.is_sleeping(w));
+}
+
+/// Every worker claims a sleep slot at once: exactly `workers − 1` may
+/// win (the sentinel floor holds through the storm), and releasing the
+/// slots restores the full awake count.
+fn concurrent_sleep_claims_round(workers: usize) {
+    let el = ElasticState::new(cfg_fast(), workers);
+    let wins: Vec<bool> = std::thread::scope(|s| {
+        let el = &el;
+        let handles: Vec<_> = (0..workers)
+            .map(|w| s.spawn(move || el.try_begin_sleep(w)))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert_eq!(
+        wins.iter().filter(|won| **won).count(),
+        workers - 1,
+        "exactly the sentinel must be refused"
+    );
+    assert_eq!(el.awake_workers(), 1);
+    for (w, won) in wins.iter().enumerate() {
+        if *won {
+            el.finish_sleep(w);
+        }
+    }
+    assert_eq!(el.awake_workers(), workers);
+}
+
+/// Shutdown racing the transition: workers reserve their slots and head
+/// for the indefinite wait while the main thread terminates the pool.
+/// The pending-slot handshake plus the terminate re-check must end
+/// every wait, whether it had started or not.
+fn shutdown_races_sleep_transition_round(workers: usize) {
+    let el = ElasticState::new(cfg_fast(), workers);
+    let terminate = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let el = &el;
+        let terminate = &terminate;
+        let sleepers: Vec<_> = (0..workers - 1)
+            .map(|w| {
+                s.spawn(move || {
+                    assert!(el.try_begin_sleep(w), "slots are distinct");
+                    let reason = el.sleep_wait(w, terminate);
+                    el.finish_sleep(w);
+                    reason
+                })
+            })
+            .collect();
+        terminate.store(true, Ordering::SeqCst);
+        el.wake_all_for_shutdown();
+        for h in sleepers {
+            assert_eq!(h.join().unwrap(), WakeReason::Shutdown);
+        }
+    });
+    assert_eq!(el.awake_workers(), workers, "everyone is awake again");
+}
+
+#[test]
+fn scaled_down_pool_drains_bursts_exactly_once() {
+    let mut pool = elastic_pool(4);
+    for round in 0..20 {
+        scale_down_burst_round(&pool, 16 + round, 4);
+    }
+    pool.stop();
+    let stats = pool.stats();
+    assert!(
+        stats.sleeps > 0,
+        "the rounds must actually scale: {stats:?}"
+    );
+    assert_eq!(stats.wakes, stats.sleeps, "{stats:?}");
+}
+
+#[test]
+fn wake_during_sleep_transition_is_never_lost() {
+    let el = ElasticState::new(cfg_fast(), 3);
+    for round in 0..200 {
+        wake_races_sleep_transition_round(&el, round % 3);
+    }
+    assert_eq!(el.awake_workers(), 3);
+}
+
+#[test]
+fn sentinel_floor_holds_under_claim_storms() {
+    for _ in 0..50 {
+        concurrent_sleep_claims_round(4);
+    }
+}
+
+#[test]
+fn shutdown_is_never_slept_through() {
+    for _ in 0..50 {
+        shutdown_races_sleep_transition_round(3);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Bursts injected into pools mid scale-down, across worker counts
+    /// and burst sizes: exactly-once completion every time, and every
+    /// sleep bracket closed by exactly one wake at shutdown.
+    #[test]
+    #[cfg_attr(miri, ignore = "thread-heavy; miri_scale_down_smoke covers this")]
+    fn bursts_survive_scale_transitions(
+        workers in 2usize..5,
+        tasks in 8u32..48,
+        rounds in 1usize..3,
+    ) {
+        let mut pool = elastic_pool(workers);
+        for _ in 0..rounds {
+            scale_down_burst_round(&pool, tasks, workers);
+        }
+        pool.stop();
+        let stats = pool.stats();
+        prop_assert_eq!(stats.wakes, stats.sleeps);
+    }
+
+    /// The wake/sleep-transition race across worker counts and round
+    /// counts: no interleaving loses the wake.
+    #[test]
+    #[cfg_attr(miri, ignore = "thread-heavy; miri_transition_race_smoke covers this")]
+    fn transition_races_never_lose_wakes(
+        workers in 2usize..6,
+        rounds in 1usize..16,
+    ) {
+        let el = ElasticState::new(cfg_fast(), workers);
+        for round in 0..rounds {
+            wake_races_sleep_transition_round(&el, round % workers);
+        }
+        prop_assert_eq!(el.awake_workers(), workers);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Miri-sized variants: one round each, two workers, no proptest driver.
+// The deque-concurrency CI lane runs these under Miri.
+
+#[test]
+fn miri_transition_race_smoke() {
+    let el = ElasticState::new(cfg_fast(), 2);
+    wake_races_sleep_transition_round(&el, 1);
+    concurrent_sleep_claims_round(2);
+    shutdown_races_sleep_transition_round(2);
+}
+
+#[test]
+fn miri_scale_down_smoke() {
+    // One tiny burst on a live two-worker elastic pool — enough to run
+    // the spawn→wake path under the interpreter without the (wall-clock
+    // driven) scale-down wait of the full rounds.
+    let mut pool = elastic_pool(2);
+    let hits = Arc::new(AtomicU32::new(0));
+    for _ in 0..4 {
+        let hits = Arc::clone(&hits);
+        pool.spawn(move || {
+            hits.fetch_add(1, Ordering::SeqCst);
+        });
+    }
+    wait_for_count(&hits, 4, "miri burst completions");
+    pool.stop();
+    assert_eq!(hits.load(Ordering::SeqCst), 4);
+}
+
+// ---------------------------------------------------------------------
+// Full-length stress: #[ignore]d so local `cargo test -q` stays fast;
+// the deque-concurrency CI lane runs it in release via `-- --ignored`.
+
+#[test]
+#[ignore = "long-running scale-transition storm; the concurrency CI lane runs it"]
+fn stress_scale_transition_storm() {
+    for workers in [2, 4] {
+        let mut pool = elastic_pool(workers);
+        for round in 0..150 {
+            scale_down_burst_round(&pool, 8 + (round % 17), workers);
+        }
+        pool.stop();
+        let stats = pool.stats();
+        assert_eq!(stats.wakes, stats.sleeps, "{stats:?}");
+    }
+    let el = ElasticState::new(cfg_fast(), 4);
+    for round in 0..400 {
+        wake_races_sleep_transition_round(&el, round % 4);
+    }
+    for _ in 0..200 {
+        concurrent_sleep_claims_round(4);
+        shutdown_races_sleep_transition_round(3);
+    }
+}

@@ -81,4 +81,4 @@ pub use timer::{TimerSleep, VirtualTimer};
 pub use hermes_obs::{FlightDump, FlightRecorder};
 // The request-class vocabulary `SubmitOptions` speaks, re-exported so
 // callers need no separate hermes-rt import.
-pub use hermes_rt::{MetricsSnapshot, Priority};
+pub use hermes_rt::{ElasticConfig, MetricsSnapshot, Priority};

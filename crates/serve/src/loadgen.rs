@@ -84,6 +84,80 @@ impl PoissonSchedule {
             .collect()
     }
 
+    /// On/off square-wave burst modulation: arrivals alternate between
+    /// full-rate "on" bursts and an "off" lull at `off_ratio` of the
+    /// base rate, switching phase every `half_period` arrivals. Gap `i`
+    /// is divided by its phase's rate ratio, so the result is a new
+    /// schedule the existing [`offsets`](Self::offsets) /
+    /// [`fingerprint`](Self::fingerprint) machinery consumes unchanged
+    /// — modulation is pure arithmetic on the seeded draw, and the same
+    /// seed and parameters reproduce the identical schedule (and
+    /// fingerprint) on any host.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `half_period` is nonzero and `off_ratio` is
+    /// positive, finite, and at most 1.
+    #[must_use]
+    pub fn square_wave(&self, half_period: usize, off_ratio: f64) -> Self {
+        assert!(half_period > 0, "square-wave half period must be nonzero");
+        assert!(
+            off_ratio > 0.0 && off_ratio.is_finite() && off_ratio <= 1.0,
+            "off-phase rate ratio must be in (0, 1], got {off_ratio}"
+        );
+        let gaps = self
+            .gaps
+            .iter()
+            .enumerate()
+            .map(|(i, gap)| {
+                let on = (i / half_period).is_multiple_of(2);
+                gap / if on { 1.0 } else { off_ratio }
+            })
+            .collect();
+        PoissonSchedule {
+            gaps,
+            seed: self.seed,
+        }
+    }
+
+    /// Linear ramp modulation: the instantaneous rate climbs (or falls)
+    /// from `start_ratio` to `end_ratio` of the base rate across the
+    /// schedule, gap `i` divided by the interpolated ratio. Like
+    /// [`square_wave`](Self::square_wave), the transform is
+    /// deterministic arithmetic on the seeded gaps — same seed, same
+    /// ramp, same fingerprint everywhere.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both ratios are positive and finite.
+    #[must_use]
+    pub fn ramp(&self, start_ratio: f64, end_ratio: f64) -> Self {
+        for r in [start_ratio, end_ratio] {
+            assert!(
+                r > 0.0 && r.is_finite(),
+                "ramp rate ratios must be positive and finite, got {r}"
+            );
+        }
+        let n = self.gaps.len();
+        let gaps = self
+            .gaps
+            .iter()
+            .enumerate()
+            .map(|(i, gap)| {
+                let frac = if n > 1 {
+                    i as f64 / (n - 1) as f64
+                } else {
+                    0.0
+                };
+                gap / (start_ratio + (end_ratio - start_ratio) * frac)
+            })
+            .collect();
+        PoissonSchedule {
+            gaps,
+            seed: self.seed,
+        }
+    }
+
     /// FNV-1a hash of the schedule's exact gap bit patterns — the
     /// reproducibility fingerprint the bench artifact commits, so CI
     /// can prove it replayed the identical arrival process.
@@ -252,6 +326,53 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_rate_panics() {
         let _ = PoissonSchedule::unit(1, 4).offsets(0.0);
+    }
+
+    #[test]
+    fn square_wave_stretches_off_phase_gaps_deterministically() {
+        let base = PoissonSchedule::unit(11, 400);
+        let burst = base.square_wave(100, 0.25);
+        assert_eq!(burst, base.square_wave(100, 0.25), "pure transform");
+        assert_ne!(burst.fingerprint(), base.fingerprint());
+        // On-phase gaps are untouched; off-phase gaps are 4× longer.
+        assert_eq!(burst.gaps[0], base.gaps[0]);
+        assert_eq!(burst.gaps[150], base.gaps[150] / 0.25);
+        assert_eq!(burst.gaps[250], base.gaps[250]);
+        // Offsets still consume the modulated schedule unchanged.
+        let offs = burst.offsets(1_000.0);
+        assert_eq!(offs.len(), 400);
+        assert!(offs.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn ramp_densifies_arrivals_toward_the_end() {
+        let base = PoissonSchedule::unit(13, 2_000);
+        let up = base.ramp(0.2, 1.0);
+        assert_eq!(up, base.ramp(0.2, 1.0), "pure transform");
+        assert_ne!(up.fingerprint(), base.fingerprint());
+        // Rising rate ⇒ the first half of the run spans more unit time
+        // than the second half.
+        let first: f64 = up.gaps[..1_000].iter().sum();
+        let second: f64 = up.gaps[1_000..].iter().sum();
+        assert!(
+            first > 2.0 * second,
+            "ramp front-loads the gaps: {first} vs {second}"
+        );
+        // Endpoint ratios hit exactly.
+        assert_eq!(up.gaps[0], base.gaps[0] / 0.2);
+        assert_eq!(up.gaps[1_999], base.gaps[1_999]);
+    }
+
+    #[test]
+    #[should_panic(expected = "half period")]
+    fn zero_half_period_panics() {
+        let _ = PoissonSchedule::unit(1, 4).square_wave(0, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "ramp rate ratios")]
+    fn non_positive_ramp_ratio_panics() {
+        let _ = PoissonSchedule::unit(1, 4).ramp(0.0, 1.0);
     }
 
     #[test]

@@ -4,8 +4,8 @@ use crate::ticket::{Outcome, ShedError, ShedReason, Ticket, TicketInner};
 use hermes_core::TempoConfig;
 use hermes_obs::{FlightDump, FlightRecorder};
 use hermes_rt::{
-    current_worker_energy_nj, current_worker_index, DequeKind, MetricsSnapshot, Pool, PoolBuilder,
-    Priority, SpanPhase, SpawnOptions,
+    current_worker_energy_nj, current_worker_index, DequeKind, ElasticConfig, MetricsSnapshot,
+    Pool, PoolBuilder, Priority, SpanPhase, SpawnOptions,
 };
 use hermes_telemetry::{Event, LatencyHistogram, LatencyRecorder, TelemetrySink, MACHINE_STREAM};
 use std::future::Future;
@@ -336,6 +336,7 @@ pub struct ServerBuilder {
     parking: Option<bool>,
     spin_budget: Option<u32>,
     deque: DequeKind,
+    elastic: Option<ElasticConfig>,
     emulated: Option<(hermes_core::Frequency, f64)>,
     telemetry: Option<Arc<dyn TelemetrySink>>,
     admission: AdmissionPolicy,
@@ -417,6 +418,17 @@ impl ServerBuilder {
         self
     }
 
+    /// Enable elastic worker-count scaling under load swings (default:
+    /// off — the worker count is fixed). See [`PoolBuilder::elastic`]
+    /// for the sentinel invariant and hysteresis semantics; composes
+    /// with [`tempo`](Self::tempo) per the precedence rule in
+    /// DESIGN.md §Elastic.
+    #[must_use]
+    pub fn elastic(mut self, cfg: ElasticConfig) -> Self {
+        self.elastic = Some(cfg);
+        self
+    }
+
     /// Run the pool under emulated DVFS (timing dilation plus the
     /// virtual power model) so the server reports energy. See
     /// [`PoolBuilder::emulated_dvfs`].
@@ -492,6 +504,9 @@ impl ServerBuilder {
         }
         if let Some(c) = self.admission.injector_capacity {
             pool = pool.injector_capacity(c);
+        }
+        if let Some(e) = self.elastic {
+            pool = pool.elastic(e);
         }
         if let Some((fastest, watts)) = self.emulated {
             pool = pool.emulated_dvfs(fastest, watts);

@@ -117,6 +117,43 @@ impl PowerKind {
     }
 }
 
+/// Why a sleeping worker woke (carried by [`Event::WorkerWake`]).
+///
+/// Elastic sleep has no timeout — a sleeper stays down until something
+/// names a reason to get up, and the reason is worth keeping: a pool
+/// that wakes mostly on `Signal` is tracking load, one that wakes
+/// mostly on `SentinelRotation` is churning its sentinel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum WakeReason {
+    /// A load signal (scale-up decision or submitted work) woke the
+    /// worker to absorb demand.
+    Signal,
+    /// The sentinel rotated: this worker was woken to take over the
+    /// stay-awake duty so the previous sentinel could sleep.
+    SentinelRotation,
+    /// Pool shutdown: every sleeper is woken to exit.
+    Shutdown,
+}
+
+impl WakeReason {
+    /// All reasons, in code order.
+    pub const ALL: [WakeReason; 3] = [
+        WakeReason::Signal,
+        WakeReason::SentinelRotation,
+        WakeReason::Shutdown,
+    ];
+
+    /// Short label for reports and trace exporters.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            WakeReason::Signal => "signal",
+            WakeReason::SentinelRotation => "sentinel_rotation",
+            WakeReason::Shutdown => "shutdown",
+        }
+    }
+}
+
 /// One telemetry event, attributed by the recording host to a worker
 /// stream (or the machine stream) and a host-defined timestamp.
 ///
@@ -228,6 +265,22 @@ pub enum Event {
         /// Energy attributed to the completed request, µJ.
         microjoules: u64,
     },
+    /// The stream's worker entered elastic sleep: an *indefinite* park
+    /// with no 1 ms re-check, entered only when the `ElasticPolicy`
+    /// allows it (the sentinel invariant keeps at least one worker
+    /// awake). Distinct from [`Event::WorkerPark`] — a parked worker is
+    /// napping between re-checks, a sleeping worker is out of the pool's
+    /// active set until a [`WakeReason`] names why it should return.
+    WorkerSleep,
+    /// The stream's worker woke from an elastic sleep episode. The
+    /// sleep/wake bracket mirrors park/unpark: duration rides the wake.
+    WorkerWake {
+        /// Why the sleeper was woken.
+        reason: WakeReason,
+        /// Length of the completed sleep episode, ns (saturates at
+        /// 2⁵⁶ − 1 ≈ 2.3 years).
+        slept_ns: u64,
+    },
 }
 
 impl Event {
@@ -287,6 +340,11 @@ const TAG_SPAN_BEGIN: u64 = 11;
 const TAG_SPAN_END: u64 = 12;
 const TAG_POWER: u64 = 13;
 const TAG_REQ_ENERGY: u64 = 14;
+/// The last free tag carries *both* elastic lifecycle events,
+/// discriminated by payload bit 59: clear = sleep (remaining payload
+/// must be zero, the payload-free posture), set = wake (bits 56..59 the
+/// 3-bit [`WakeReason`] code, bits 0..56 the slept nanoseconds).
+const TAG_ELASTIC: u64 = 15;
 
 const PAYLOAD_MASK: u64 = (1 << TAG_SHIFT) - 1;
 const FREQ_MASK: u64 = (1 << 48) - 1;
@@ -299,6 +357,12 @@ const POWER_NS_MASK: u64 = (1 << 38) - 1;
 const POWER_MW_SHIFT: u32 = 38;
 const POWER_MW_MASK: u64 = (1 << 20) - 1;
 const POWER_KIND_SHIFT: u32 = 58;
+/// Elastic payload layout: bit 59 the sleep/wake discriminator, bits
+/// 56..59 the wake reason, bits 0..56 the slept nanoseconds.
+const ELASTIC_WAKE_BIT: u64 = 1 << 59;
+const ELASTIC_REASON_SHIFT: u32 = 56;
+const ELASTIC_REASON_MASK: u64 = 0b111;
+const ELASTIC_NS_MASK: u64 = (1 << 56) - 1;
 
 fn outcome_code(o: StealOutcome) -> u64 {
     match o {
@@ -361,6 +425,23 @@ fn power_kind_from_code(code: u64) -> Option<PowerKind> {
     })
 }
 
+fn wake_reason_code(r: WakeReason) -> u64 {
+    match r {
+        WakeReason::Signal => 0,
+        WakeReason::SentinelRotation => 1,
+        WakeReason::Shutdown => 2,
+    }
+}
+
+fn wake_reason_from_code(code: u64) -> Option<WakeReason> {
+    Some(match code {
+        0 => WakeReason::Signal,
+        1 => WakeReason::SentinelRotation,
+        2 => WakeReason::Shutdown,
+        _ => return None,
+    })
+}
+
 impl Event {
     /// Pack the event into one word. Oversized payloads saturate at
     /// their field maximum (48 bits for frequencies, 60 bits for
@@ -404,6 +485,13 @@ impl Event {
             }
             Event::RequestEnergy { microjoules } => {
                 (TAG_REQ_ENERGY << TAG_SHIFT) | microjoules.min(PAYLOAD_MASK)
+            }
+            Event::WorkerSleep => TAG_ELASTIC << TAG_SHIFT,
+            Event::WorkerWake { reason, slept_ns } => {
+                (TAG_ELASTIC << TAG_SHIFT)
+                    | ELASTIC_WAKE_BIT
+                    | (wake_reason_code(reason) << ELASTIC_REASON_SHIFT)
+                    | slept_ns.min(ELASTIC_NS_MASK)
             }
         }
     }
@@ -465,6 +553,13 @@ impl Event {
             TAG_REQ_ENERGY => Some(Event::RequestEnergy {
                 microjoules: payload,
             }),
+            TAG_ELASTIC if payload == 0 => Some(Event::WorkerSleep),
+            TAG_ELASTIC if payload & ELASTIC_WAKE_BIT != 0 => Some(Event::WorkerWake {
+                reason: wake_reason_from_code(
+                    (payload >> ELASTIC_REASON_SHIFT) & ELASTIC_REASON_MASK,
+                )?,
+                slept_ns: payload & ELASTIC_NS_MASK,
+            }),
             _ => None,
         }
     }
@@ -522,9 +617,17 @@ mod tests {
             Event::RequestEnergy {
                 microjoules: 987_654,
             },
+            Event::WorkerSleep,
         ];
         for ev in events {
             assert_eq!(Event::decode(ev.encode()), Some(ev), "{ev:?}");
+        }
+        // Every wake reason round-trips with boundary sleep durations.
+        for reason in WakeReason::ALL {
+            for slept_ns in [0u64, 1, 2_500_000_000, ELASTIC_NS_MASK] {
+                let ev = Event::WorkerWake { reason, slept_ns };
+                assert_eq!(Event::decode(ev.encode()), Some(ev), "{ev:?}");
+            }
         }
         // Every (phase, begin/end) span combination round-trips too.
         for phase in SpanPhase::ALL {
@@ -555,8 +658,22 @@ mod tests {
     #[test]
     fn vacant_sentinel_decodes_to_none() {
         assert_eq!(Event::decode(0), None);
-        // Unknown tag (15 is the sole remaining unassigned tag).
-        assert_eq!(Event::decode(15 << TAG_SHIFT), None);
+        // Tag 15 (the last tag, shared by sleep/wake) with the wake bit
+        // clear and stray payload bits set is neither a sleep (payload
+        // must be zero) nor a wake (bit 59 must be set): malformed.
+        assert_eq!(Event::decode((TAG_ELASTIC << TAG_SHIFT) | 42), None);
+        // A wake word with the invalid reason codes (3..8).
+        for code in 3u64..8 {
+            assert_eq!(
+                Event::decode(
+                    (TAG_ELASTIC << TAG_SHIFT)
+                        | ELASTIC_WAKE_BIT
+                        | (code << ELASTIC_REASON_SHIFT)
+                        | 42
+                ),
+                None
+            );
+        }
         // Steal with an invalid outcome code.
         assert_eq!(Event::decode((TAG_STEAL << TAG_SHIFT) | (3 << 32)), None);
         // Power interval with the invalid kind code (3).
@@ -665,6 +782,23 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+        // Oversized sleep durations clamp into the 56-bit field without
+        // bleeding into the reason bits or the wake discriminator.
+        for slept_ns in [u64::MAX, ELASTIC_NS_MASK + 1] {
+            match Event::decode(
+                Event::WorkerWake {
+                    reason: WakeReason::SentinelRotation,
+                    slept_ns,
+                }
+                .encode(),
+            ) {
+                Some(Event::WorkerWake { reason, slept_ns }) => {
+                    assert_eq!(reason, WakeReason::SentinelRotation);
+                    assert_eq!(slept_ns, ELASTIC_NS_MASK);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
         // A park word with payload bits set is malformed, not a park.
         assert_eq!(Event::decode((TAG_PARK << TAG_SHIFT) | 1), None);
         // Same for the payload-free task events.
@@ -678,6 +812,13 @@ mod tests {
         assert_eq!(StealOutcome::Success.label(), "success");
         assert_eq!(StealOutcome::Empty.label(), "empty");
         assert_eq!(StealOutcome::LostRace.label(), "lost_race");
+    }
+
+    #[test]
+    fn wake_reason_labels_are_distinct() {
+        let labels: std::collections::HashSet<_> =
+            WakeReason::ALL.iter().map(|r| r.label()).collect();
+        assert_eq!(labels.len(), WakeReason::ALL.len());
     }
 
     #[test]

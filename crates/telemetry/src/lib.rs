@@ -48,7 +48,7 @@ mod report;
 mod ring;
 mod sink;
 
-pub use event::{Event, PowerKind, SpanPhase, StealOutcome};
+pub use event::{Event, PowerKind, SpanPhase, StealOutcome, WakeReason};
 pub use latency::{
     bucket_index, bucket_lower_bound, LatencyHistogram, LatencyRecorder, NUM_BUCKETS,
 };

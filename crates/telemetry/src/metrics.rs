@@ -194,6 +194,11 @@ pub struct MetricsSnapshot {
     pub injector_cell_depths: Vec<usize>,
     /// Requests admitted but not yet completed (0 for bare pools).
     pub in_flight: u64,
+    /// Workers currently awake (not in elastic sleep). Hosts without an
+    /// elastic policy fill this with the full worker count; it is the
+    /// live face of the pool's scale decisions (the
+    /// `hermes_active_workers` Prometheus gauge).
+    pub active_workers: usize,
     /// Rolling request-latency median, ns (serving hosts only).
     pub latency_p50_ns: Option<u64>,
     /// Rolling request-latency 99th percentile, ns (serving hosts only).

@@ -23,6 +23,15 @@ pub struct WorkerTelemetry {
     pub parks: u64,
     /// Total nanoseconds this worker spent parked.
     pub parked_ns: u64,
+    /// Elastic sleep episodes this worker entered (indefinite parks
+    /// under the elastic policy; disjoint from `parks`).
+    pub sleeps: u64,
+    /// Total nanoseconds this worker spent in elastic sleep (rides the
+    /// wake event, so an episode still open at report time is not yet
+    /// counted — the parked_ns convention).
+    pub slept_ns: u64,
+    /// Elastic wake-ups this worker completed.
+    pub wakes: u64,
     /// Future-task polls executed on this worker.
     pub future_polls: u64,
     /// Future-task waker firings on this stream.
@@ -180,6 +189,9 @@ impl RunReport {
             t.energy_j += w.energy_j;
             t.parks += w.parks;
             t.parked_ns += w.parked_ns;
+            t.sleeps += w.sleeps;
+            t.slept_ns += w.slept_ns;
+            t.wakes += w.wakes;
             t.future_polls += w.future_polls;
             t.future_wakes += w.future_wakes;
             t.future_repushes += w.future_repushes;
@@ -440,6 +452,9 @@ fn worker_to_value(w: &WorkerTelemetry) -> Value {
         ("energy_j", Value::Num(w.energy_j)),
         ("parks", Value::Num(w.parks as f64)),
         ("parked_ns", Value::Num(w.parked_ns as f64)),
+        ("sleeps", Value::Num(w.sleeps as f64)),
+        ("slept_ns", Value::Num(w.slept_ns as f64)),
+        ("wakes", Value::Num(w.wakes as f64)),
         ("future_polls", Value::Num(w.future_polls as f64)),
         ("future_wakes", Value::Num(w.future_wakes as f64)),
         ("future_repushes", Value::Num(w.future_repushes as f64)),
@@ -483,6 +498,9 @@ fn worker_from_value(v: &Value) -> Result<WorkerTelemetry, JsonError> {
         })?,
         parks: num_or_zero("parks"),
         parked_ns: num_or_zero("parked_ns"),
+        sleeps: num_or_zero("sleeps"),
+        slept_ns: num_or_zero("slept_ns"),
+        wakes: num_or_zero("wakes"),
         future_polls: num_or_zero("future_polls"),
         future_wakes: num_or_zero("future_wakes"),
         future_repushes: num_or_zero("future_repushes"),
@@ -526,6 +544,9 @@ mod tests {
                     energy_j: 21.0,
                     parks: 4,
                     parked_ns: 2_500_000,
+                    sleeps: 3,
+                    slept_ns: 9_000_000,
+                    wakes: 2,
                     future_polls: 9,
                     future_wakes: 6,
                     future_repushes: 5,
@@ -553,6 +574,9 @@ mod tests {
                     energy_j: 21.125,
                     parks: 1,
                     parked_ns: 700_000,
+                    sleeps: 1,
+                    slept_ns: 4_000_000,
+                    wakes: 1,
                     future_polls: 2,
                     future_wakes: 1,
                     future_repushes: 0,
@@ -891,6 +915,69 @@ mod tests {
         assert_eq!(full.energy_hist.count(), 3);
         assert_eq!(full.totals().power_busy_ns, 1_750_000_000);
         assert!((full.totals().power_busy_j - 40.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pre_elastic_artifacts_parse_with_zero_sleep_counters() {
+        // A PR 9-shaped report (written before the elastic worker pool)
+        // has no per-worker sleeps / slept_ns / wakes fields; absent
+        // means zero, and every pre-existing counter is unaffected —
+        // the same additive-field posture as parks and the future_*
+        // counters.
+        let Value::Obj(pairs) = sample().to_value() else {
+            panic!("reports serialize as objects");
+        };
+        let stripped = Value::Obj(
+            pairs
+                .into_iter()
+                .map(|(k, v)| {
+                    if k != "per_worker" {
+                        return (k, v);
+                    }
+                    let Value::Arr(workers) = v else {
+                        panic!("per_worker serializes as an array");
+                    };
+                    let workers = workers
+                        .into_iter()
+                        .map(|w| {
+                            let Value::Obj(fields) = w else {
+                                panic!("worker entries serialize as objects");
+                            };
+                            Value::Obj(
+                                fields
+                                    .into_iter()
+                                    .filter(|(k, _)| {
+                                        k != "sleeps" && k != "slept_ns" && k != "wakes"
+                                    })
+                                    .collect(),
+                            )
+                        })
+                        .collect();
+                    (k, Value::Arr(workers))
+                })
+                .collect(),
+        );
+        let json = stripped.to_string_pretty();
+        // Quoted keys: "wakes" the substring would still match the
+        // (present, older) future_wakes field.
+        assert!(
+            !json.contains("\"sleeps\"")
+                && !json.contains("\"slept_ns\"")
+                && !json.contains("\"wakes\"")
+        );
+        let parsed = RunReport::from_json(&json).unwrap();
+        assert_eq!(parsed.totals().sleeps, 0);
+        assert_eq!(parsed.totals().slept_ns, 0);
+        assert_eq!(parsed.totals().wakes, 0);
+        // Pre-existing counters are untouched by the defaulting.
+        assert_eq!(parsed.totals().steals, sample().totals().steals);
+        assert_eq!(parsed.totals().parks, sample().totals().parks);
+        assert_eq!(parsed.totals().parked_ns, sample().totals().parked_ns);
+        // A modern round trip preserves the new counters exactly.
+        let full = RunReport::from_json(&sample().to_json()).unwrap();
+        assert_eq!(full.totals().sleeps, 4);
+        assert_eq!(full.totals().slept_ns, 13_000_000);
+        assert_eq!(full.totals().wakes, 3);
     }
 
     #[test]

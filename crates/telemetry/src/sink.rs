@@ -98,6 +98,9 @@ struct Tally {
     energy_uj: AtomicU64,
     parks: AtomicU64,
     parked_ns: AtomicU64,
+    sleeps: AtomicU64,
+    slept_ns: AtomicU64,
+    wakes: AtomicU64,
     future_polls: AtomicU64,
     future_wakes: AtomicU64,
     future_repushes: AtomicU64,
@@ -142,6 +145,9 @@ impl Tally {
             energy_uj: AtomicU64::new(0),
             parks: AtomicU64::new(0),
             parked_ns: AtomicU64::new(0),
+            sleeps: AtomicU64::new(0),
+            slept_ns: AtomicU64::new(0),
+            wakes: AtomicU64::new(0),
             future_polls: AtomicU64::new(0),
             future_wakes: AtomicU64::new(0),
             future_repushes: AtomicU64::new(0),
@@ -221,6 +227,13 @@ impl Tally {
             Event::RequestEnergy { microjoules } => {
                 self.request_energy.record(microjoules);
             }
+            Event::WorkerSleep => {
+                self.sleeps.fetch_add(1, Ordering::Relaxed);
+            }
+            Event::WorkerWake { slept_ns, .. } => {
+                self.wakes.fetch_add(1, Ordering::Relaxed);
+                self.slept_ns.fetch_add(slept_ns, Ordering::Relaxed);
+            }
         }
     }
 
@@ -239,6 +252,9 @@ impl Tally {
             energy_j: self.energy_uj.load(Ordering::Relaxed) as f64 / 1e6,
             parks: self.parks.load(Ordering::Relaxed),
             parked_ns: self.parked_ns.load(Ordering::Relaxed),
+            sleeps: self.sleeps.load(Ordering::Relaxed),
+            slept_ns: self.slept_ns.load(Ordering::Relaxed),
+            wakes: self.wakes.load(Ordering::Relaxed),
             future_polls: self.future_polls.load(Ordering::Relaxed),
             future_wakes: self.future_wakes.load(Ordering::Relaxed),
             future_repushes: self.future_repushes.load(Ordering::Relaxed),
@@ -637,6 +653,34 @@ mod tests {
         let totals = r.totals();
         assert!((totals.power_busy_j - 8e-3).abs() < 1e-15);
         assert_eq!(totals.power_parked_ns, 2_000_000);
+    }
+
+    #[test]
+    fn sleep_wake_brackets_fold_into_report() {
+        use crate::event::WakeReason;
+        let sink = RingSink::new(2);
+        // Worker 1 sleeps twice; the second episode is still open at
+        // report time (sleeps = 2, wakes = 1), slept time rides the
+        // wake like parked time rides the unpark.
+        sink.record(1, 0, Event::WorkerSleep);
+        sink.record(
+            1,
+            5_000_000,
+            Event::WorkerWake {
+                reason: WakeReason::Signal,
+                slept_ns: 5_000_000,
+            },
+        );
+        sink.record(1, 6_000_000, Event::WorkerSleep);
+        let r = sink.report("elastic", "test", 0.006, 0.0);
+        assert_eq!(r.per_worker[1].sleeps, 2);
+        assert_eq!(r.per_worker[1].wakes, 1);
+        assert_eq!(r.per_worker[1].slept_ns, 5_000_000);
+        assert_eq!(r.per_worker[0].sleeps, 0);
+        let totals = r.totals();
+        assert_eq!(totals.sleeps, 2);
+        assert_eq!(totals.wakes, 1);
+        assert_eq!(totals.slept_ns, 5_000_000);
     }
 
     #[test]

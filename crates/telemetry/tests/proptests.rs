@@ -160,6 +160,9 @@ proptest! {
                     energy_j: energy / workers as f64,
                     parks: s / 8,
                     parked_ns: s.wrapping_mul(1_000),
+                    sleeps: s / 15,
+                    slept_ns: s.wrapping_mul(2_000),
+                    wakes: s / 16,
                     future_polls: s / 9,
                     future_wakes: s / 10,
                     future_repushes: s / 11,

@@ -1,0 +1,130 @@
+//! Drive an elastic pool with a square-wave load and watch the worker
+//! count track the ramp.
+//!
+//! Builds a four-worker elastic [`Pool`] (short cooldown so the demo
+//! scales visibly), generates a deterministic Poisson arrival schedule
+//! whose rate alternates between dense bursts and near-silent lulls
+//! ([`PoissonSchedule::square_wave`]), and submits it open-loop while
+//! sampling `Pool::active_workers`. During the lulls the scale
+//! controller puts workers to sleep down toward the sentinel; each
+//! burst wakes them back up. At the end the run reconciles: every
+//! request completed exactly once, and every sleep bracket was closed
+//! by exactly one wake.
+//!
+//! ```sh
+//! cargo run --release --example elastic_ramp
+//! ```
+
+use hermes::rt::{ElasticConfig, Pool};
+use hermes::serve::PoissonSchedule;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One request: ~400 µs of pure spin, long enough that a dense burst
+/// overwhelms a lone sentinel and forces the wake path.
+fn request() {
+    let t0 = Instant::now();
+    let mut acc = 0x9e3779b97f4a7c15u64;
+    while t0.elapsed() < Duration::from_micros(400) {
+        for _ in 0..64 {
+            acc = std::hint::black_box(acc.wrapping_mul(2654435761).rotate_left(7));
+        }
+    }
+}
+
+fn main() {
+    let workers = 4;
+    let requests = 400;
+    let half = 50; // requests per square-wave phase
+    let phases = requests / half;
+    let pool = Pool::builder()
+        .workers(workers)
+        .spin_budget(1)
+        .elastic(ElasticConfig {
+            cooldown_ns: 200_000,
+            ..ElasticConfig::default()
+        })
+        .build();
+
+    // On-phase: 4000 req/s against ~400 µs of service ≈ 1.6 cores of
+    // offered work — more than the sentinel alone can absorb. Off-phase
+    // gaps are 8× longer, ≈ 0.2 cores: idle enough to sleep on.
+    let schedule = PoissonSchedule::unit(42, requests).square_wave(half, 0.125);
+    let offsets = schedule.offsets(4_000.0);
+    println!(
+        "square-wave load: {phases} phases × {half} requests \
+         (on ≈ 1.6 cores, off ≈ 0.2), {workers} workers, \
+         schedule fingerprint {:016x}",
+        schedule.fingerprint()
+    );
+
+    let done = Arc::new(AtomicU64::new(0));
+    let mut phase_lo = vec![usize::MAX; phases];
+    let mut phase_hi = vec![0usize; phases];
+    let start = Instant::now();
+    for (i, due) in offsets.iter().enumerate() {
+        let phase = (i / half).min(phases - 1);
+        loop {
+            let active = pool.active_workers();
+            phase_lo[phase] = phase_lo[phase].min(active);
+            phase_hi[phase] = phase_hi[phase].max(active);
+            if start.elapsed() >= *due {
+                break;
+            }
+            std::thread::sleep(Duration::from_micros(50));
+        }
+        let done = Arc::clone(&done);
+        pool.spawn(move || {
+            request();
+            done.fetch_add(1, Ordering::SeqCst);
+        });
+    }
+
+    // Drain, then linger through one more lull so the tail scale-down
+    // is visible too.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while done.load(Ordering::SeqCst) != requests as u64 {
+        assert!(Instant::now() < deadline, "requests never drained");
+        std::thread::yield_now();
+    }
+    let mut tail_lo = workers;
+    let lull = Instant::now() + Duration::from_millis(80);
+    while Instant::now() < lull {
+        tail_lo = tail_lo.min(pool.active_workers());
+        std::thread::sleep(Duration::from_micros(200));
+    }
+
+    for p in 0..phases {
+        let kind = if p % 2 == 0 { "burst" } else { "lull " };
+        println!(
+            "phase {p} ({kind}): active workers {}..{}",
+            phase_lo[p], phase_hi[p]
+        );
+    }
+    println!("tail lull: active workers down to {tail_lo}");
+
+    let mut pool = pool;
+    pool.stop();
+    let stats = pool.stats();
+    println!(
+        "completed {} requests | sleeps {} ({:.1} ms slept) | wakes {}",
+        done.load(Ordering::SeqCst),
+        stats.sleeps,
+        stats.slept_ns as f64 / 1e6,
+        stats.wakes,
+    );
+
+    // Reconciliation: exactly-once completion, the pool actually
+    // scaled, every sleep bracket closed by exactly one wake, and
+    // shutdown left the full complement awake.
+    assert_eq!(done.load(Ordering::SeqCst), requests as u64);
+    assert!(stats.sleeps > 0, "the lulls must put workers to sleep");
+    assert!(
+        tail_lo < workers,
+        "the tail lull must scale the pool below {workers}"
+    );
+    assert_eq!(stats.wakes, stats.sleeps, "unbalanced sleep/wake brackets");
+    assert_eq!(pool.active_workers(), workers);
+    println!("ok: worker count tracked the ramp and reconciled");
+}
